@@ -1,0 +1,94 @@
+//! Ablation of AnyMatch's data-centric pipeline (the design choices behind
+//! the paper's "data-centric approaches outperform model-centric ones"
+//! lesson): label balancing, boosting-based difficult-example selection,
+//! and attribute-pair augmentation, toggled independently on a subset of
+//! LODO targets.
+
+use em_bench::{Scale, StudyContext};
+use em_core::{evaluate_on_target, lodo_split, macro_average};
+use em_matchers::{AnyMatch, AnyMatchBackbone, AnyMatchConfig};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let mut scale = Scale::from_env();
+    scale.seeds = scale.seeds.min(2);
+    let ctx = StudyContext::new(scale);
+    // A small, diverse target subset keeps the ablation affordable.
+    let targets = ["BEER", "DBAC", "FOZA", "WDC"];
+
+    let variants: Vec<(&str, AnyMatchConfig)> = vec![
+        ("full pipeline", AnyMatchConfig::default()),
+        (
+            "no balancing",
+            AnyMatchConfig {
+                balancing: false,
+                ..AnyMatchConfig::default()
+            },
+        ),
+        (
+            "no boosting selection",
+            AnyMatchConfig {
+                boosting: false,
+                ..AnyMatchConfig::default()
+            },
+        ),
+        (
+            "no attribute augmentation",
+            AnyMatchConfig {
+                attribute_augmentation: false,
+                ..AnyMatchConfig::default()
+            },
+        ),
+        (
+            "balancing only",
+            AnyMatchConfig {
+                boosting: false,
+                attribute_augmentation: false,
+                ..AnyMatchConfig::default()
+            },
+        ),
+    ];
+
+    println!(
+        "AnyMatch [GPT-2] data-centric pipeline ablation ({} seeds, targets: {})\n",
+        scale.seeds,
+        targets.join(", ")
+    );
+    println!(
+        "{:<28} {}  {:>8}",
+        "Variant",
+        targets
+            .iter()
+            .map(|t| format!("{t:>8}"))
+            .collect::<String>(),
+        "Mean"
+    );
+    let mut means = Vec::new();
+    for (name, cfg) in variants {
+        let mut matcher =
+            AnyMatch::pretrained_with_config(AnyMatchBackbone::Gpt2, &ctx.corpus, cfg);
+        let mut row = format!("{name:<28} ");
+        let mut scores = Vec::new();
+        for code in targets {
+            let id = em_core::DatasetId::parse(code).unwrap();
+            let split = lodo_split(&ctx.suite, id).unwrap();
+            let score = evaluate_on_target(&mut matcher, &split, &scale.eval_config())
+                .expect("ablation eval");
+            let m = score.summary().mean;
+            row.push_str(&format!("{m:>8.1}"));
+            scores.push(m);
+        }
+        let mean = macro_average(&scores);
+        println!("{row}  {mean:>8.1}");
+        means.push((name, mean));
+    }
+
+    let full = means[0].1;
+    let balancing_only = means.last().unwrap().1;
+    println!(
+        "\nfull pipeline vs. balancing-only: {:+.1} F1 — the data-preparation steps carry the method",
+        full - balancing_only
+    );
+    println!("\n[ablation_anymatch completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,112 @@
+//! Figure 3: deployment cost versus prediction quality. Joins the Table 3
+//! F1 means (from `target/em-results/table3.csv` if a `table3_f1` run
+//! exists, otherwise the paper's published means) with the Table 6 costs,
+//! prints the scatter series, an ASCII rendering, the Pareto frontier, and
+//! the paper's budget recommendations.
+
+use em_bench::{paper_table3, parse_results_csv, parsed_mean, results_path};
+use em_cost::{
+    ascii_scatter, best_balance, best_within_budget, pareto_frontier, table6, TradeoffPoint,
+};
+use em_hardware::TABLE5_MODELS;
+use std::time::Instant;
+
+/// Table 6 label → Table 3 matcher label.
+fn table3_label(cost_label: &str) -> Option<&'static str> {
+    Some(match cost_label {
+        "MatchGPT [GPT-4]" => "MatchGPT [GPT-4]",
+        "MatchGPT [SOLAR]" => "MatchGPT [SOLAR]",
+        "MatchGPT [Beluga2]" => "MatchGPT [Beluga2]",
+        "MatchGPT [GPT-3.5-Turbo]" => "MatchGPT [GPT-3.5-Turbo]",
+        "MatchGPT [Mixtral-8x7B]" => "MatchGPT [Mixtral-8x7B]",
+        "MatchGPT [GPT-4o-Mini]" => "MatchGPT [GPT-4o-Mini]",
+        "Unicorn[DeBERTa]" => "Unicorn",
+        "AnyMatch[LLaMA3.2]" => "AnyMatch [LLaMA3.2]",
+        "AnyMatch[T5]" => "AnyMatch [T5]",
+        "AnyMatch[GPT-2]" => "AnyMatch [GPT-2]",
+        "Ditto[Bert]" => "Ditto",
+        // Jellyfish is excluded from the trade-off, as in the paper
+        // (its F1 cannot be fairly averaged).
+        _ => return None,
+    })
+}
+
+fn f1_means() -> (Vec<(String, f64)>, &'static str) {
+    if let Ok(csv) = std::fs::read_to_string(results_path()) {
+        let parsed = parse_results_csv(&csv);
+        if !parsed.is_empty() {
+            return (
+                parsed
+                    .into_iter()
+                    .map(|(m, _, rows)| {
+                        let mean = parsed_mean(&rows, false);
+                        (m, mean)
+                    })
+                    .collect(),
+                "measured (table3_f1 run)",
+            );
+        }
+    }
+    (
+        paper_table3()
+            .into_iter()
+            .map(|r| (r.label.to_owned(), r.mean))
+            .collect(),
+        "paper Table 3 (run `cargo bench --bench table3_f1` first for measured values)",
+    )
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let (means, source) = f1_means();
+    let throughputs: Vec<(&str, f64)> = TABLE5_MODELS
+        .iter()
+        .map(|m| (m.name, m.paper_tokens_per_s))
+        .collect();
+
+    let mut points = Vec::new();
+    for row in table6(&throughputs) {
+        let Some(label) = table3_label(&row.label) else {
+            continue;
+        };
+        let Some((_, f1)) = means.iter().find(|(m, _)| m == label) else {
+            continue;
+        };
+        points.push(TradeoffPoint {
+            label: label.to_owned(),
+            x: row.usd_per_1k_tokens,
+            f1: *f1,
+        });
+    }
+
+    println!("Figure 3: deployment cost vs. prediction quality (F1 source: {source})\n");
+    println!("{:<26} {:>14} {:>8}", "Matcher", "$/1K tokens", "F1");
+    let mut sorted = points.clone();
+    sorted.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    for p in &sorted {
+        println!("{:<26} {:>14.7} {:>8.1}", p.label, p.x, p.f1);
+    }
+
+    println!("\n{}", ascii_scatter(&points, "USD per 1K tokens"));
+
+    let frontier = pareto_frontier(&points);
+    println!("Pareto frontier (no cheaper point with higher F1):");
+    for p in &frontier {
+        println!("  {:<26} ${:.7} → F1 {:.1}", p.label, p.x, p.f1);
+    }
+
+    println!("\nBudget recommendations (paper's Section 4.2.2):");
+    for budget in [0.00005f64, 0.000075] {
+        match best_within_budget(&points, budget) {
+            Some(p) => println!("  budget ≤ ${budget:.6}/1K: {} (F1 {:.1})", p.label, p.f1),
+            None => println!("  budget ≤ ${budget:.6}/1K: nothing affordable"),
+        }
+    }
+    if let Some(balance) = best_balance(&points) {
+        println!(
+            "  best balance: {} (paper: AnyMatch [LLaMA3.2] \"strikes the best balance\")",
+            balance.label
+        );
+    }
+    println!("\n[figure3_cost_quality completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,147 @@
+//! Criterion micro-benchmarks of the substrate crates: similarity kernels,
+//! tokenization, the neural forward/backward passes, end-to-end matcher
+//! prediction, and blocking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use em_blocking::{Blocker, TokenBlocker};
+use em_core::{AttrValue, Record, RecordPair, SerializedPair};
+use em_lm::{encode_pair, train, Batch, EncoderClassifier, HashTokenizer, SlmFamily, TrainConfig};
+use std::time::Duration;
+
+const LEFT: &str = "gralev deluxe speaker kx-4812, home audio, gralev, 129.99";
+const RIGHT: &str = "GRALEV speaker deluxe KX4812, audio, gralev, 131.50";
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let (lt, rt) = (em_text::words(LEFT), em_text::words(RIGHT));
+    g.bench_function("ratcliff_obershelp", |b| {
+        b.iter(|| em_text::ratcliff_obershelp(std::hint::black_box(LEFT), RIGHT))
+    });
+    g.bench_function("levenshtein", |b| {
+        b.iter(|| em_text::levenshtein(std::hint::black_box(LEFT), RIGHT))
+    });
+    g.bench_function("jaro_winkler", |b| {
+        b.iter(|| em_text::jaro_winkler(std::hint::black_box(LEFT), RIGHT))
+    });
+    g.bench_function("jaccard_tokens", |b| {
+        b.iter(|| em_text::jaccard(std::hint::black_box(&lt), &rt))
+    });
+    g.bench_function("monge_elkan", |b| {
+        b.iter(|| em_text::monge_elkan_symmetric(std::hint::black_box(&lt), &rt))
+    });
+    g.finish();
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tokenizer");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let tok = HashTokenizer::new(2048);
+    let pair = SerializedPair {
+        left: LEFT.into(),
+        right: RIGHT.into(),
+    };
+    g.bench_function("encode_text", |b| {
+        b.iter(|| tok.encode_text(std::hint::black_box(LEFT)))
+    });
+    g.bench_function("encode_pair", |b| {
+        b.iter(|| encode_pair(&tok, std::hint::black_box(&pair), 32))
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    let cfg = SlmFamily::Bert.config();
+    let tok = HashTokenizer::new(cfg.vocab);
+    let pair = SerializedPair {
+        left: LEFT.into(),
+        right: RIGHT.into(),
+    };
+    let encoded: Vec<_> = (0..32)
+        .map(|_| encode_pair(&tok, &pair, cfg.max_seq))
+        .collect();
+    let batch = Batch::collate(&encoded);
+    let model = EncoderClassifier::new(cfg, 0);
+    g.bench_function("forward_batch32", |b| {
+        b.iter(|| model.forward(std::hint::black_box(&batch)))
+    });
+    let data: Vec<_> = encoded.iter().map(|e| (e.clone(), true)).collect();
+    g.bench_function("train_step_batch32", |b| {
+        b.iter_batched(
+            || EncoderClassifier::new(cfg, 0),
+            |mut m| {
+                train(
+                    &mut m,
+                    std::hint::black_box(&data),
+                    &TrainConfig {
+                        epochs: 1,
+                        batch_size: 32,
+                        ..Default::default()
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocking");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let bench = em_datagen::generate(em_core::DatasetId::Beer, 0);
+    let left: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(200)
+        .map(|p| p.pair.left.clone())
+        .collect();
+    let right: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(200)
+        .map(|p| p.pair.right.clone())
+        .collect();
+    g.bench_function("token_blocker_200x200", |b| {
+        b.iter(|| TokenBlocker::default().candidates(std::hint::black_box(&left), &right))
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serialization");
+    g.measurement_time(Duration::from_secs(2)).sample_size(30);
+    let pair = RecordPair::new(
+        Record::new(
+            0,
+            vec![
+                AttrValue::from("gralev deluxe speaker"),
+                AttrValue::Number(129.99),
+            ],
+        ),
+        Record::new(
+            1,
+            vec![
+                AttrValue::from("gralev speaker deluxe"),
+                AttrValue::Number(131.5),
+            ],
+        ),
+    );
+    let ser = em_core::Serializer::shuffled(2, 3);
+    g.bench_function("serialize_pair", |b| {
+        b.iter(|| ser.pair(std::hint::black_box(&pair)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_tokenizer,
+    bench_model,
+    bench_blocking,
+    bench_serialization
+);
+criterion_main!(benches);

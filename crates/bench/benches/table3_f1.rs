@@ -1,0 +1,127 @@
+//! Table 3: the main study — mean ± std F1 for all 14 matcher
+//! configurations on all 11 unseen target datasets under the
+//! leave-one-dataset-out protocol, followed by the Finding 5 (domain
+//! overlap t-test) and Finding 6 (skew correlation) analyses.
+//!
+//! Scale: `EM_SEEDS` seeds (default 2; the paper uses 5) and a test cap of
+//! `EM_TEST_CAP` (default 1250, the paper's value). Results are written to
+//! `target/em-results/table3.csv` for the figure harnesses.
+
+use em_bench::{
+    finding5_domain_overlap, finding6_skew_correlation, format_row, paper_table3, reports_to_csv,
+    results_path, table3_header, Scale, StudyContext,
+};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let scale = Scale::from_env();
+    eprintln!(
+        "[table3] seeds={} cap={} (paper: 5 seeds, cap 1250) — generating suite + pretraining ...",
+        scale.seeds, scale.test_cap
+    );
+    let ctx = StudyContext::new(scale);
+    let mut roster = ctx.table3_roster();
+    eprintln!(
+        "[table3] setup done in {:.1?}; evaluating {} matchers",
+        t0.elapsed(),
+        roster.len()
+    );
+
+    println!(
+        "Table 3: cross-dataset F1 (mean±std over {} seeds; brackets = dataset seen in training)\n",
+        scale.seeds
+    );
+    println!("{}", table3_header());
+    let mut reports = Vec::with_capacity(roster.len());
+    for matcher in roster.iter_mut() {
+        let tm = Instant::now();
+        let report = ctx.run(matcher.as_mut());
+        println!("{}", format_row(&report));
+        eprintln!("[table3]   {} done in {:.1?}", report.matcher, tm.elapsed());
+        reports.push(report);
+    }
+
+    // Paper comparison of the Mean column.
+    println!("\nMean column, measured vs. paper:");
+    for report in &reports {
+        let ours = report.mean_column().mean;
+        let paper = paper_table3()
+            .into_iter()
+            .find(|r| r.label == report.matcher)
+            .map(|r| r.mean);
+        match paper {
+            Some(p) => println!(
+                "  {:<26} measured {:>5.1}   paper {:>5.1}   Δ {:+.1}",
+                report.matcher,
+                ours,
+                p,
+                ours - p
+            ),
+            None => println!("  {:<26} measured {:>5.1}", report.matcher, ours),
+        }
+    }
+
+    // Headline check: best fine-tuned SLM vs. best prompted LLM.
+    let mean_of = |label: &str| {
+        reports
+            .iter()
+            .find(|r| r.matcher == label)
+            .map(|r| r.mean_column().mean)
+    };
+    if let (Some(any), Some(gpt4)) = (mean_of("AnyMatch [LLaMA3.2]"), mean_of("MatchGPT [GPT-4]")) {
+        println!(
+            "\nHeadline: AnyMatch [LLaMA3.2] = {any:.1} vs MatchGPT [GPT-4] = {gpt4:.1} \
+             (paper: 87.5 vs 87.4 — fine-tuned SLM on par with the largest prompted LLM)"
+        );
+    }
+
+    // Finding 5: domain overlap does not significantly help.
+    if let Some(reference) = reports.iter().find(|r| r.matcher.contains("GPT-3.5")) {
+        if let Some(t) = finding5_domain_overlap(&reports, reference) {
+            println!(
+                "\nFinding 5 — Welch t-test, same-domain vs. no-sibling normalized F1: \
+                 t = {:.2}, df = {:.1}, p = {:.3} → {}",
+                t.t,
+                t.df,
+                t.p_two_sided,
+                if t.rejects_at(0.05) {
+                    "REJECTED at α=0.05 (differs from paper)"
+                } else {
+                    "not rejected (matches the paper: overlapping domains do not significantly help)"
+                }
+            );
+        }
+    }
+
+    // Finding 6: weak monotonic link between F1 and label skew.
+    println!("\nFinding 6 — Spearman ρ(F1, positive rate) per language-model matcher:");
+    let mut rhos = Vec::new();
+    for report in &reports {
+        if report.params_millions.is_none() {
+            continue; // parameter-free baselines excluded, as in the paper
+        }
+        if let Some(rho) = finding6_skew_correlation(report) {
+            println!("  {:<26} ρ = {rho:+.2}", report.matcher);
+            rhos.push(rho.abs());
+        }
+    }
+    if !rhos.is_empty() {
+        let mean_abs = rhos.iter().sum::<f64>() / rhos.len() as f64;
+        println!(
+            "  mean |ρ| = {mean_abs:.2} (paper: ≈0.15, never above 0.3 → insensitive to skew)"
+        );
+    }
+
+    // Persist for the figure harnesses.
+    let path = results_path();
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&path, reports_to_csv(&reports)).expect("write results csv");
+    println!(
+        "\n[results written to {} — reused by figure3/figure4]",
+        path.display()
+    );
+    println!("[table3_f1 completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,110 @@
+//! Table 5: inference throughput of the nine open-weight models on
+//! 4×A100-40GB — RAM, model-parallelism degree, max batch size and
+//! tokens/s, all *derived* by the `em-hardware` simulator and printed next
+//! to the paper's measurements. Additionally measures the *real* tokens/s
+//! of this repository's tiny model instantiations on the host CPU.
+
+use em_hardware::{deploy, weights_ram_gib, Machine, TABLE5_MODELS};
+use em_lm::{encode_pair, Batch, EncoderClassifier, HashTokenizer, SlmFamily};
+use std::time::Instant;
+
+fn measure_real_throughput(family: SlmFamily) -> f64 {
+    // Tokens/s of the tiny instantiation on this CPU, DBGO-like inputs.
+    let cfg = family.config();
+    let model = EncoderClassifier::new(cfg, 0);
+    let tok = HashTokenizer::new(cfg.vocab);
+    let pair = em_core::SerializedPair {
+        left: "towards entity matching with gradient descent, a author, vldb, 2021".into(),
+        right: "towards entity matchin with gradient descent, a author, vldb, 2021".into(),
+    };
+    let encoded: Vec<_> = (0..64)
+        .map(|_| encode_pair(&tok, &pair, cfg.max_seq))
+        .collect();
+    let batch = Batch::collate(&encoded);
+    // Warm up, then measure.
+    let _ = model.forward(&batch);
+    let t0 = Instant::now();
+    let mut iters = 0usize;
+    while t0.elapsed().as_millis() < 300 {
+        let _ = model.forward(&batch);
+        iters += 1;
+    }
+    let tokens = iters * batch.n * batch.seq;
+    tokens as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let node = Machine::hpc_node();
+    println!("Table 5: throughput on 4×A100-40GB — simulator vs. paper\n");
+    println!(
+        "{:<14} {:<10} {:>10} {:>9} {:>9} {:>6} {:>6} {:>12} {:>12}",
+        "Model",
+        "Used by",
+        "#params(M)",
+        "RAM sim",
+        "RAM ppr",
+        "batch",
+        "ppr",
+        "tokens/s sim",
+        "tokens/s ppr"
+    );
+    for p in &TABLE5_MODELS {
+        let d = deploy(p, &node);
+        println!(
+            "{:<14} {:<10} {:>10.0} {:>9.2} {:>9} {:>6} {:>6} {:>12.0} {:>12.0}",
+            p.name,
+            p.used_by,
+            p.params_millions,
+            weights_ram_gib(p),
+            p.reported_ram_gib
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            d.max_batch,
+            p.paper_batch,
+            d.tokens_per_s,
+            p.paper_tokens_per_s,
+        );
+    }
+
+    // Structural checks from the paper's discussion.
+    let sim: Vec<(&str, f64)> = TABLE5_MODELS
+        .iter()
+        .map(|p| (p.name, deploy(p, &node).tokens_per_s))
+        .collect();
+    let get = |n: &str| sim.iter().find(|(name, _)| *name == n).unwrap().1;
+    println!("\nShape checks:");
+    println!(
+        "  Ditto[BERT] / SOLAR throughput ratio: {:.0}x (paper: 1,146x)",
+        get("BERT") / get("SOLAR")
+    );
+    println!(
+        "  Ditto[BERT] / Beluga2 throughput ratio: {:.0}x (paper: 798x)",
+        get("BERT") / get("Beluga2")
+    );
+    let slm_min = ["BERT", "GPT-2", "DeBERTa", "T5", "LLaMA3.2"]
+        .iter()
+        .map(|n| get(n))
+        .fold(f64::INFINITY, f64::min);
+    let llm_max = ["Mixtral-8x7B", "Beluga2", "SOLAR"]
+        .iter()
+        .map(|n| get(n))
+        .fold(0.0f64, f64::max);
+    println!(
+        "  min(SLM) / max(open LLM) = {:.0}x (paper: ≥ two orders of magnitude)",
+        slm_min / llm_max
+    );
+    assert!(slm_min / llm_max > 100.0);
+
+    println!("\nMeasured tokens/s of this repository's tiny instantiations (host CPU, batch 64):");
+    for family in [
+        SlmFamily::Bert,
+        SlmFamily::Gpt2,
+        SlmFamily::T5,
+        SlmFamily::Llama32,
+    ] {
+        let tps = measure_real_throughput(family);
+        println!("  {:<10} {:>10.0} tokens/s", family.label(), tps);
+    }
+    println!("\n[table5_throughput completed in {:.1?}]", t0.elapsed());
+}

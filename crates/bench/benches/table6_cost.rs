@@ -1,0 +1,68 @@
+//! Table 6: cost per 1K tokens for each method/model with its cheapest
+//! deployment scenario. Two variants are printed: one from the paper's
+//! measured throughput numbers and one from the `em-hardware` simulator's
+//! derived throughputs — the structure (ordering, orders-of-magnitude
+//! gaps) must agree.
+
+use em_cost::table6;
+use em_hardware::{deploy, Machine, TABLE5_MODELS};
+use std::time::Instant;
+
+fn print_table(title: &str, throughputs: &[(&str, f64)]) {
+    println!("{title}");
+    println!(
+        "{:<26} {:>14}   Deployment scenario",
+        "Method & model", "$/1K tokens"
+    );
+    for row in table6(throughputs) {
+        println!(
+            "{:<26} {:>14.7}   {}",
+            row.label,
+            row.usd_per_1k_tokens,
+            row.scenario.label()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let t0 = Instant::now();
+    let paper: Vec<(&str, f64)> = TABLE5_MODELS
+        .iter()
+        .map(|m| (m.name, m.paper_tokens_per_s))
+        .collect();
+    print_table("Table 6 (from the paper's measured throughputs):", &paper);
+
+    let node = Machine::hpc_node();
+    let simulated: Vec<(&str, f64)> = TABLE5_MODELS
+        .iter()
+        .map(|m| (m.name, deploy(m, &node).tokens_per_s))
+        .collect();
+    print_table(
+        "Table 6 (from the em-hardware simulator's throughputs):",
+        &simulated,
+    );
+
+    // Structural checks.
+    let rows = table6(&paper);
+    let cost = |needle: &str| {
+        rows.iter()
+            .find(|r| r.label.contains(needle))
+            .unwrap()
+            .usd_per_1k_tokens
+    };
+    println!("Shape checks:");
+    println!(
+        "  GPT-4 / Ditto cost ratio: {:.0}x (paper: 4,838x; the stated formula gives ~{:.0}x)",
+        cost("GPT-4]") / cost("Ditto"),
+        cost("GPT-4]") / cost("Ditto"),
+    );
+    assert!(cost("GPT-4]") / cost("Ditto") > 1_000.0);
+    assert!(cost("GPT-4o-Mini") < cost("GPT-3.5-Turbo"));
+    assert!(cost("Ditto") < cost("AnyMatch[GPT-2]"));
+    println!("  ordering: GPT-4 most expensive, Ditto cheapest, GPT-4o-Mini ≪ GPT-3.5 — matches the paper");
+    println!("\nNote: the paper's Jellyfish ($0.000025) and Mixtral ($0.00063) rows imply");
+    println!("replica-count extrapolation factors (8x / 4x) instead of the stated factor 2;");
+    println!("this harness applies the stated formula consistently (see EXPERIMENTS.md).");
+    println!("\n[table6_cost completed in {:.1?}]", t0.elapsed());
+}

@@ -1,0 +1,58 @@
+//! Development diagnostic for the frozen-tier capability ordering:
+//! evaluates every tier zero-shot on held-out corpus pairs and on two
+//! benchmark datasets.
+
+use em_core::{lodo_split, test_sample, DatasetId, Serializer};
+use em_lm::{pretrain_tier, LlmTier, PretrainCorpus};
+
+fn main() {
+    let corpus = PretrainCorpus {
+        pairs: em_datagen::pretrain_corpus(14_000, 0),
+    };
+    let heldout = em_datagen::pretrain_corpus(1_500, 99); // different seed
+    let suite: Vec<_> = [DatasetId::Beer, DatasetId::Foza]
+        .iter()
+        .map(|&id| em_datagen::generate(id, 0))
+        .collect();
+    let all = em_datagen::generate_suite(0);
+
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "tier", "corpus", "BEER", "FOZA", "params"
+    );
+    for tier in LlmTier::ALL {
+        let llm = pretrain_tier(tier, &corpus, 0);
+        // Held-out corpus F1.
+        let pairs: Vec<_> = heldout.iter().map(|(p, _)| p.clone()).collect();
+        let labels: Vec<bool> = heldout.iter().map(|(_, y)| *y).collect();
+        let preds: Vec<bool> = llm
+            .score_batch(&pairs, &[])
+            .into_iter()
+            .map(|s| s >= 0.5)
+            .collect();
+        let corpus_f1 = em_core::f1_percent(&preds, &labels);
+        // Benchmark F1 (identity serialization, capped samples).
+        let mut bench_f1 = Vec::new();
+        for b in &suite {
+            let _ = lodo_split(&all, b.id).unwrap();
+            let sample = test_sample(b, 450);
+            let ser = Serializer::identity(b.arity());
+            let sp: Vec<_> = sample.iter().map(|lp| ser.pair(&lp.pair)).collect();
+            let labels: Vec<bool> = sample.iter().map(|lp| lp.label).collect();
+            let preds: Vec<bool> = llm
+                .score_batch(&sp, &[])
+                .into_iter()
+                .map(|s| s >= 0.5)
+                .collect();
+            bench_f1.push(em_core::f1_percent(&preds, &labels));
+        }
+        println!(
+            "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8}",
+            tier.label(),
+            corpus_f1,
+            bench_f1[0],
+            bench_f1[1],
+            llm.param_count()
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Development diagnostic: can the SLM learn the benchmark task at all?
+//! Trains on transfer data and evaluates on (a) held-in training pairs and
+//! (b) the LODO target, printing loss curves.
+
+use em_core::{lodo_split, DatasetId, Serializer};
+use em_lm::{
+    encode_pair, predict_proba, train, EncoderClassifier, HashTokenizer, SlmFamily, TrainConfig,
+};
+use em_matchers::common::{balance_labels, sample_transfer_pairs};
+
+fn main() {
+    let suite = em_datagen::generate_suite(0);
+    let split = lodo_split(&suite, DatasetId::Beer).unwrap();
+    let mut data = sample_transfer_pairs(&split, 100, 0);
+    eprintln!(
+        "train pool: {} pairs, {} positive",
+        data.len(),
+        data.iter().filter(|(_, y)| *y).count()
+    );
+    balance_labels(&mut data, 1.0, 0);
+    eprintln!(
+        "balanced: {} pairs, {} positive",
+        data.len(),
+        data.iter().filter(|(_, y)| *y).count()
+    );
+    let fam = SlmFamily::Llama32;
+    let cfg = fam.config();
+    let tok = HashTokenizer::new(cfg.vocab);
+    let encoded: Vec<_> = data
+        .iter()
+        .map(|(p, y)| (encode_pair(&tok, p, cfg.max_seq), *y))
+        .collect();
+    // Print an example encoding.
+    let ex = &data[0];
+    eprintln!(
+        "example pair: L=<{}> R=<{}> y={}",
+        ex.0.left, ex.0.right, ex.1
+    );
+    eprintln!(
+        "encoded tokens: {} of {}",
+        encoded[0].0.token_count(),
+        cfg.max_seq
+    );
+
+    for lr in [1e-3f32, 3e-3, 1e-2] {
+        let mut model = EncoderClassifier::new(cfg, 0);
+        let report = train(
+            &mut model,
+            &encoded,
+            &TrainConfig {
+                epochs: 6,
+                lr,
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        // Train-set F1.
+        let probs = predict_proba(
+            &model,
+            &encoded.iter().map(|(e, _)| e.clone()).collect::<Vec<_>>(),
+            64,
+        );
+        let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
+        let labels: Vec<bool> = encoded.iter().map(|(_, y)| *y).collect();
+        let train_f1 = em_core::f1_percent(&preds, &labels);
+        // Target F1.
+        let ser = Serializer::identity(split.target.arity());
+        let test_enc: Vec<_> = split
+            .target
+            .pairs
+            .iter()
+            .take(450)
+            .map(|lp| encode_pair(&tok, &ser.pair(&lp.pair), cfg.max_seq))
+            .collect();
+        let test_labels: Vec<bool> = split
+            .target
+            .pairs
+            .iter()
+            .take(450)
+            .map(|lp| lp.label)
+            .collect();
+        let tp = predict_proba(&model, &test_enc, 64);
+        let tpreds: Vec<bool> = tp.iter().map(|&p| p >= 0.5).collect();
+        let test_f1 = em_core::f1_percent(&tpreds, &test_labels);
+        println!(
+            "lr={lr:.0e}  losses={:?}  train_f1={train_f1:.1}  target_f1(BEER)={test_f1:.1}  mean_prob={:.3}",
+            report.epoch_losses.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            probs.iter().sum::<f32>() / probs.len() as f32,
+        );
+    }
+}

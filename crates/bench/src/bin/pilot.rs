@@ -1,0 +1,61 @@
+//! Pilot calibration run: a few matchers on a few datasets, one seed.
+//! Used during development to calibrate dataset difficulty and measure
+//! wall-clock; not part of the published experiment set.
+
+use em_core::{evaluate_on_target, lodo_split, EvalConfig, Matcher};
+use em_lm::{pretrain_tier, LlmTier, PretrainCorpus};
+use em_matchers::{
+    AnyMatch, AnyMatchBackbone, DemoStrategy, Ditto, MatchGpt, StringSim, Unicorn, ZeroEr,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    eprintln!("generating benchmark suite ...");
+    let suite = em_datagen::generate_suite(0);
+    eprintln!("suite generated in {:.1?}", t0.elapsed());
+
+    let t1 = Instant::now();
+    let corpus = PretrainCorpus {
+        pairs: em_datagen::pretrain_corpus(6000, 0),
+    };
+    let gpt4 = Arc::new(pretrain_tier(LlmTier::Gpt4, &corpus, 0));
+    let gpt35 = Arc::new(pretrain_tier(LlmTier::Gpt35Turbo, &corpus, 0));
+    eprintln!("tiers pretrained in {:.1?}", t1.elapsed());
+
+    let targets = ["BEER", "DBAC", "ITAM", "FOZA", "WDC"];
+    let cfg = EvalConfig::quick(1, 1250);
+
+    let t2 = Instant::now();
+    let mut matchers: Vec<Box<dyn Matcher>> = vec![
+        Box::new(StringSim::new()),
+        Box::new(ZeroEr::new()),
+        Box::new(Ditto::pretrained(&corpus)),
+        Box::new(Unicorn::pretrained(&corpus)),
+        Box::new(AnyMatch::pretrained(AnyMatchBackbone::Gpt2, &corpus)),
+        Box::new(AnyMatch::pretrained(AnyMatchBackbone::Llama32, &corpus)),
+        Box::new(MatchGpt::with_llm(gpt35, DemoStrategy::None)),
+        Box::new(MatchGpt::with_llm(gpt4, DemoStrategy::None)),
+    ];
+    eprintln!("backbones pretrained in {:.1?}", t2.elapsed());
+
+    println!("{:<28} {}", "matcher", targets.join("  "));
+    for m in matchers.iter_mut() {
+        let tm = Instant::now();
+        let mut row = Vec::new();
+        for code in targets {
+            let id = em_core::DatasetId::parse(code).unwrap();
+            let split = lodo_split(&suite, id).unwrap();
+            let score = evaluate_on_target(m.as_mut(), &split, &cfg).unwrap();
+            row.push(format!("{:5.1}", score.summary().mean));
+        }
+        println!(
+            "{:<28} {}   [{:.1?}]",
+            m.name(),
+            row.join(" "),
+            tm.elapsed()
+        );
+    }
+    eprintln!("total {:.1?}", t0.elapsed());
+}

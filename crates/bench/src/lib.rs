@@ -1,0 +1,30 @@
+//! # em-bench — experiment harnesses
+//!
+//! One bench target per table and figure of the paper (run with
+//! `cargo bench`), built on the shared [`study`] harness and the paper's
+//! transcribed reference numbers in [`paper`].
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1_datasets` | Table 1 (dataset statistics) |
+//! | `figure2_lodo` | Figure 2 (leave-one-dataset-out methodology) |
+//! | `table3_f1` | Table 3 (main cross-dataset F1 study) + Findings 5/6 |
+//! | `table4_demos` | Table 4 (demonstration strategies) |
+//! | `table5_throughput` | Table 5 (throughput simulation) |
+//! | `table6_cost` | Table 6 (cost per 1K tokens) |
+//! | `figure3_cost_quality` | Figure 3 (cost vs. quality) |
+//! | `figure4_size_quality` | Figure 4 (size vs. quality) |
+//! | `ablation_anymatch` / `ablation_ditto` | data-centric pipeline ablations |
+//! | `micro_*` | Criterion micro-benchmarks of the substrates |
+//!
+//! Scale knobs: `EM_SEEDS` (default 2; the paper uses 5) and `EM_TEST_CAP`
+//! (default 1250, the paper's cap).
+
+pub mod paper;
+pub mod study;
+
+pub use paper::{paper_row, paper_table3, paper_table4_means, PaperRow};
+pub use study::{
+    finding5_domain_overlap, finding6_skew_correlation, format_row, parse_results_csv, parsed_mean,
+    reports_to_csv, results_path, table3_header, Scale, StudyContext,
+};

@@ -1,0 +1,333 @@
+//! The study harness: benchmark/corpus construction, the full matcher
+//! roster, the Table 3 / Table 4 runners, and the Findings 5/6 statistics.
+
+use em_core::stats::{spearman, welch_t_test, TTest};
+use em_core::{
+    evaluate_matcher, macro_average, spec_of, DatasetId, EvalConfig, EvalReport, Matcher, MeanStd,
+};
+use em_lm::{pretrain_tier, LlmTier, PretrainCorpus, PretrainedLlm};
+use em_matchers::{
+    AnyMatch, AnyMatchBackbone, DemoStrategy, Ditto, Jellyfish, MatchGpt, StringSim, Unicorn,
+    ZeroEr,
+};
+use std::sync::Arc;
+
+/// Scale of a study run. The paper uses five seeds and a 1,250-pair test
+/// cap; the default harness scale trades seeds for single-core wall-clock
+/// and is overridable via the `EM_SEEDS` / `EM_TEST_CAP` environment
+/// variables.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Repetition seeds.
+    pub seeds: u64,
+    /// Test-set cap per dataset.
+    pub test_cap: usize,
+    /// Pretraining corpus size for the frozen tiers and backbones.
+    pub corpus_size: usize,
+}
+
+impl Scale {
+    /// Default harness scale (2 seeds; paper protocol uses 5).
+    pub fn default_scale() -> Scale {
+        Scale {
+            seeds: 2,
+            test_cap: 1_250,
+            corpus_size: 14_000,
+        }
+    }
+
+    /// Reads the scale from the environment (`EM_SEEDS`, `EM_TEST_CAP`).
+    pub fn from_env() -> Scale {
+        let mut s = Scale::default_scale();
+        if let Ok(v) = std::env::var("EM_SEEDS") {
+            if let Ok(n) = v.parse() {
+                s.seeds = n;
+            }
+        }
+        if let Ok(v) = std::env::var("EM_TEST_CAP") {
+            if let Ok(n) = v.parse() {
+                s.test_cap = n;
+            }
+        }
+        s
+    }
+
+    /// Evaluation configuration for this scale.
+    pub fn eval_config(&self) -> EvalConfig {
+        EvalConfig::quick(self.seeds, self.test_cap)
+    }
+}
+
+/// Everything a study run needs: the generated benchmark suite, the
+/// pretraining corpus, and lazily constructed frozen tiers.
+pub struct StudyContext {
+    /// The 11 generated benchmarks.
+    pub suite: Vec<em_core::Benchmark>,
+    /// Pretraining corpus for tiers and backbones.
+    pub corpus: PretrainCorpus,
+    /// Run scale.
+    pub scale: Scale,
+}
+
+impl StudyContext {
+    /// Builds the context: generates the 11 benchmarks (seed 0 — the data
+    /// itself is fixed across repetitions, like the real benchmark files)
+    /// and the disjoint pretraining corpus.
+    pub fn new(scale: Scale) -> StudyContext {
+        StudyContext {
+            suite: em_datagen::generate_suite(0),
+            corpus: PretrainCorpus {
+                pairs: em_datagen::pretrain_corpus(scale.corpus_size, 0),
+            },
+            scale,
+        }
+    }
+
+    /// Pretrains one frozen tier (expensive; share the result).
+    pub fn tier(&self, tier: LlmTier) -> Arc<PretrainedLlm> {
+        Arc::new(pretrain_tier(tier, &self.corpus, 0))
+    }
+
+    /// The full Table 3 roster in the paper's row order.
+    pub fn table3_roster(&self) -> Vec<Box<dyn Matcher>> {
+        let mut roster: Vec<Box<dyn Matcher>> = vec![
+            Box::new(StringSim::new()),
+            Box::new(ZeroEr::new()),
+            Box::new(Ditto::pretrained(&self.corpus)),
+            Box::new(Unicorn::pretrained(&self.corpus)),
+            Box::new(AnyMatch::pretrained(AnyMatchBackbone::Gpt2, &self.corpus)),
+            Box::new(AnyMatch::pretrained(AnyMatchBackbone::T5, &self.corpus)),
+            Box::new(AnyMatch::pretrained(
+                AnyMatchBackbone::Llama32,
+                &self.corpus,
+            )),
+            Box::new(Jellyfish::pretrained(&self.corpus)),
+        ];
+        for tier in LlmTier::ALL {
+            roster.push(Box::new(MatchGpt::with_llm(
+                self.tier(tier),
+                DemoStrategy::None,
+            )));
+        }
+        roster
+    }
+
+    /// Runs one matcher over the full LODO protocol.
+    pub fn run(&self, matcher: &mut dyn Matcher) -> EvalReport {
+        evaluate_matcher(matcher, &self.suite, &self.scale.eval_config())
+            .expect("evaluation failed")
+    }
+}
+
+/// Renders a Table 3-style row: per-dataset `mean±std` cells (bracketed
+/// when seen during training) plus the Mean column.
+pub fn format_row(report: &EvalReport) -> String {
+    let mut cells = Vec::with_capacity(report.scores.len() + 1);
+    for s in &report.scores {
+        let cell = format!("{}", s.summary());
+        cells.push(if s.seen_in_training {
+            format!("({cell})")
+        } else {
+            cell
+        });
+    }
+    cells.push(format!("{}", report.mean_column()));
+    format!(
+        "{:<26} {:>10} {}",
+        report.matcher,
+        report
+            .params_millions
+            .map(|p| format!("{p:.0}"))
+            .unwrap_or_else(|| "-".into()),
+        cells.iter().map(|c| format!("{c:>12}")).collect::<String>()
+    )
+}
+
+/// Table 3 header line.
+pub fn table3_header() -> String {
+    let mut cells: Vec<String> = DatasetId::ALL.iter().map(|d| d.code().to_owned()).collect();
+    cells.push("Mean".into());
+    format!(
+        "{:<26} {:>10} {}",
+        "Matcher",
+        "#params(M)",
+        cells.iter().map(|c| format!("{c:>12}")).collect::<String>()
+    )
+}
+
+/// Finding 5: Welch t-test of normalized F1 between datasets with and
+/// without a same-domain sibling. Normalization subtracts a reference
+/// matcher's per-dataset mean (the paper uses MatchGPT [GPT-3.5-Turbo]).
+pub fn finding5_domain_overlap(reports: &[EvalReport], reference: &EvalReport) -> Option<TTest> {
+    let ref_means: Vec<f64> = reference.scores.iter().map(|s| s.summary().mean).collect();
+    let mut with_sibling = Vec::new();
+    let mut without = Vec::new();
+    for report in reports {
+        for (i, score) in report.scores.iter().enumerate() {
+            if score.seen_in_training {
+                continue;
+            }
+            let norm = score.summary().mean - ref_means[i];
+            if score.dataset.has_domain_sibling() {
+                with_sibling.push(norm);
+            } else {
+                without.push(norm);
+            }
+        }
+    }
+    welch_t_test(&with_sibling, &without)
+}
+
+/// Finding 6: Spearman correlation between per-dataset F1 and the label
+/// imbalance rate, for one matcher.
+pub fn finding6_skew_correlation(report: &EvalReport) -> Option<f64> {
+    let f1: Vec<f64> = report.scores.iter().map(|s| s.summary().mean).collect();
+    let skew: Vec<f64> = report
+        .scores
+        .iter()
+        .map(|s| spec_of(s.dataset).positive_rate())
+        .collect();
+    spearman(&f1, &skew)
+}
+
+/// Serializes Table 3 results to a simple CSV (matcher, params, dataset,
+/// mean, std, seen) so the figure harnesses can reuse an expensive run.
+pub fn reports_to_csv(reports: &[EvalReport]) -> String {
+    let mut out = String::from("matcher,params_millions,dataset,mean,std,seen\n");
+    for r in reports {
+        for s in &r.scores {
+            let m = s.summary();
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{}\n",
+                r.matcher,
+                r.params_millions.unwrap_or(f64::NAN),
+                s.dataset.code(),
+                m.mean,
+                m.std,
+                s.seen_in_training
+            ));
+        }
+    }
+    out
+}
+
+/// One parsed per-dataset result: `(dataset, mean F1, seen-in-training)`.
+pub type ParsedRow = (DatasetId, f64, bool);
+
+/// Parses the CSV written by [`reports_to_csv`] into
+/// `(matcher, params, per-dataset rows)` tuples.
+pub fn parse_results_csv(csv: &str) -> Vec<(String, Option<f64>, Vec<ParsedRow>)> {
+    let mut by_matcher: Vec<(String, Option<f64>, Vec<ParsedRow>)> = Vec::new();
+    for line in csv.lines().skip(1) {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 6 {
+            continue;
+        }
+        let matcher = fields[0].to_owned();
+        let params = fields[1].parse::<f64>().ok().filter(|p| p.is_finite());
+        let Some(ds) = DatasetId::parse(fields[2]) else {
+            continue;
+        };
+        let Ok(mean) = fields[3].parse::<f64>() else {
+            continue;
+        };
+        let seen = fields[5] == "true";
+        match by_matcher.iter_mut().find(|(m, _, _)| *m == matcher) {
+            Some((_, _, rows)) => rows.push((ds, mean, seen)),
+            None => by_matcher.push((matcher, params, vec![(ds, mean, seen)])),
+        }
+    }
+    by_matcher
+}
+
+/// Macro mean over a parsed matcher's rows, excluding seen datasets when
+/// `fair` is set.
+pub fn parsed_mean(rows: &[ParsedRow], fair: bool) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|(_, _, seen)| !fair || !seen)
+        .map(|(_, m, _)| *m)
+        .collect();
+    macro_average(&vals)
+}
+
+/// Location of the Table 3 results CSV shared between harnesses.
+pub fn results_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(
+        std::env::var("EM_RESULTS_DIR").unwrap_or_else(|_| "target/em-results".into()),
+    )
+    .join("table3.csv")
+}
+
+/// Pretty mean±std helper for Table 4 cells.
+pub fn fmt_ms(ms: MeanStd) -> String {
+    format!("{:>9}", format!("{ms}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{DatasetScore, EvalReport};
+
+    fn fake_report(name: &str, base: f64) -> EvalReport {
+        EvalReport {
+            matcher: name.into(),
+            params_millions: Some(100.0),
+            scores: DatasetId::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| DatasetScore {
+                    dataset: d,
+                    per_seed_f1: vec![base + i as f64, base + i as f64 + 1.0],
+                    seen_in_training: false,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn scale_env_parsing_defaults() {
+        let s = Scale::default_scale();
+        assert_eq!(s.test_cap, 1_250);
+        assert!(s.seeds >= 1);
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let reports = vec![fake_report("A", 50.0), fake_report("B", 70.0)];
+        let csv = reports_to_csv(&reports);
+        let parsed = parse_results_csv(&csv);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "A");
+        assert_eq!(parsed[0].2.len(), 11);
+        let mean_a = parsed_mean(&parsed[0].2, false);
+        assert!((mean_a - reports[0].mean_column().mean).abs() < 0.01);
+    }
+
+    #[test]
+    fn finding6_detects_no_strong_skew_link() {
+        // A synthetic report whose F1 is unrelated to skew.
+        let r = fake_report("X", 60.0);
+        let rho = finding6_skew_correlation(&r).unwrap();
+        assert!(rho.abs() <= 1.0);
+    }
+
+    #[test]
+    fn finding5_runs_on_fake_reports() {
+        let reports = vec![fake_report("A", 50.0), fake_report("B", 70.0)];
+        let reference = fake_report("ref", 60.0);
+        let t = finding5_domain_overlap(&reports, &reference).unwrap();
+        assert!(t.p_two_sided >= 0.0 && t.p_two_sided <= 1.0);
+    }
+
+    #[test]
+    fn header_and_rows_align() {
+        let header = table3_header();
+        let row = format_row(&fake_report("SomeMatcher", 55.0));
+        // Both carry 14 whitespace-separated fields (matcher, params, 11
+        // datasets, mean). `±` is multi-byte, so compare char counts.
+        assert_eq!(header.split_whitespace().count(), 14);
+        assert_eq!(row.split_whitespace().count(), 14);
+        assert_eq!(header.chars().count(), row.chars().count());
+    }
+}

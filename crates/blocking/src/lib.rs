@@ -1,0 +1,104 @@
+//! # em-blocking — candidate-set generation
+//!
+//! "Real-world entity matching systems typically first apply a blocking
+//! function to the set R_l × R_r to form smaller candidate sets as input to
+//! the matcher" (Section 2.1). The study evaluates matchers only, noting
+//! they "can be easily plugged into existing matching systems"; this crate
+//! provides that surrounding system: token blocking, q-gram blocking,
+//! sorted neighbourhood, and the quality metrics (pair completeness /
+//! reduction ratio) used to evaluate blockers.
+
+pub mod metrics;
+pub mod qgram;
+pub mod sorted;
+pub mod token;
+
+pub use metrics::{pair_completeness, reduction_ratio, BlockingQuality};
+pub use qgram::QGramBlocker;
+pub use sorted::SortedNeighbourhood;
+pub use token::TokenBlocker;
+
+use em_core::Record;
+use std::collections::HashSet;
+
+/// A candidate pair referenced by indices into the two input relations.
+pub type CandidatePair = (usize, usize);
+
+/// Common interface of blocking techniques: produce candidate pairs from
+/// two relations (deduplicated, sorted).
+pub trait Blocker {
+    /// Generates candidate pairs `(left index, right index)`.
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair>;
+}
+
+/// Sorts and deduplicates a raw candidate list (shared by implementations).
+pub(crate) fn normalize(mut pairs: Vec<CandidatePair>) -> Vec<CandidatePair> {
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Renders a record to the lowercase concatenation of its values (blockers
+/// observe the same value-only view as cross-dataset matchers).
+pub(crate) fn record_text(record: &Record) -> String {
+    let mut parts = Vec::with_capacity(record.values.len());
+    for v in &record.values {
+        let s = v.render().to_lowercase();
+        if !s.is_empty() {
+            parts.push(s);
+        }
+    }
+    parts.join(" ")
+}
+
+/// Exhaustive cross product (the baseline blockers are compared against).
+pub fn full_cross_product(left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+    let mut out = Vec::with_capacity(left.len() * right.len());
+    for i in 0..left.len() {
+        for j in 0..right.len() {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Set view of candidate pairs for metric computation.
+pub fn pair_set(pairs: &[CandidatePair]) -> HashSet<CandidatePair> {
+    pairs.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![AttrValue::from(text)])
+    }
+
+    #[test]
+    fn cross_product_size() {
+        let left = vec![rec(0, "a"), rec(1, "b")];
+        let right = vec![rec(10, "c"), rec(11, "d"), rec(12, "e")];
+        assert_eq!(full_cross_product(&left, &right).len(), 6);
+    }
+
+    #[test]
+    fn normalize_dedups_and_sorts() {
+        let pairs = vec![(2, 1), (0, 0), (2, 1), (1, 5)];
+        assert_eq!(normalize(pairs), vec![(0, 0), (1, 5), (2, 1)]);
+    }
+
+    #[test]
+    fn record_text_joins_lowercased_values() {
+        let r = Record::new(
+            0,
+            vec![
+                AttrValue::from("Sony TV"),
+                AttrValue::Number(42.0),
+                AttrValue::Missing,
+            ],
+        );
+        assert_eq!(record_text(&r), "sony tv 42");
+    }
+}

@@ -1,0 +1,86 @@
+//! Blocking quality metrics: pair completeness (recall of true matches)
+//! and reduction ratio (fraction of the cross product pruned).
+
+use crate::CandidatePair;
+use std::collections::HashSet;
+
+/// Quality summary of a blocking run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingQuality {
+    /// Fraction of true matching pairs retained, in `[0, 1]`.
+    pub pair_completeness: f64,
+    /// Fraction of the cross product pruned, in `[0, 1]`.
+    pub reduction_ratio: f64,
+}
+
+/// Pair completeness: `|candidates ∩ true matches| / |true matches|`;
+/// defined as 1 when there are no true matches.
+pub fn pair_completeness(
+    candidates: &HashSet<CandidatePair>,
+    true_matches: &[CandidatePair],
+) -> f64 {
+    if true_matches.is_empty() {
+        return 1.0;
+    }
+    let found = true_matches
+        .iter()
+        .filter(|p| candidates.contains(p))
+        .count();
+    found as f64 / true_matches.len() as f64
+}
+
+/// Reduction ratio: `1 - |candidates| / (|left| · |right|)`;
+/// defined as 0 for an empty cross product.
+pub fn reduction_ratio(n_candidates: usize, left: usize, right: usize) -> f64 {
+    let total = left * right;
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - n_candidates as f64 / total as f64
+}
+
+/// Computes both metrics.
+pub fn quality(
+    candidates: &[CandidatePair],
+    true_matches: &[CandidatePair],
+    left: usize,
+    right: usize,
+) -> BlockingQuality {
+    let set: HashSet<CandidatePair> = candidates.iter().copied().collect();
+    BlockingQuality {
+        pair_completeness: pair_completeness(&set, true_matches),
+        reduction_ratio: reduction_ratio(candidates.len(), left, right),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completeness_counts_retained_matches() {
+        let candidates: HashSet<CandidatePair> = [(0, 0), (1, 1), (2, 5)].into();
+        let matches = [(0, 0), (1, 1), (3, 3)];
+        assert!((pair_completeness(&candidates, &matches) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completeness_of_no_matches_is_one() {
+        let candidates: HashSet<CandidatePair> = HashSet::new();
+        assert_eq!(pair_completeness(&candidates, &[]), 1.0);
+    }
+
+    #[test]
+    fn reduction_ratio_formula() {
+        assert!((reduction_ratio(10, 10, 10) - 0.9).abs() < 1e-12);
+        assert_eq!(reduction_ratio(0, 0, 10), 0.0);
+        assert_eq!(reduction_ratio(100, 10, 10), 0.0);
+    }
+
+    #[test]
+    fn quality_combines_both() {
+        let q = quality(&[(0, 0)], &[(0, 0), (1, 1)], 10, 10);
+        assert!((q.pair_completeness - 0.5).abs() < 1e-12);
+        assert!((q.reduction_ratio - 0.99).abs() < 1e-12);
+    }
+}

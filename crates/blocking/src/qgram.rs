@@ -1,0 +1,105 @@
+//! Q-gram blocking: candidates share at least `min_shared` character
+//! q-grams of their key value — robust to typos that break token blocking.
+
+use crate::{normalize, Blocker, CandidatePair};
+use em_core::Record;
+use std::collections::HashMap;
+
+/// Q-gram blocker over the first attribute (the key value).
+#[derive(Debug, Clone, Copy)]
+pub struct QGramBlocker {
+    /// Gram length.
+    pub q: usize,
+    /// Minimum shared grams.
+    pub min_shared: usize,
+}
+
+impl Default for QGramBlocker {
+    fn default() -> Self {
+        QGramBlocker {
+            q: 3,
+            min_shared: 3,
+        }
+    }
+}
+
+fn key_grams(record: &Record, q: usize) -> Vec<String> {
+    let key = record
+        .values
+        .first()
+        .map(|v| v.render().to_lowercase())
+        .unwrap_or_default();
+    let mut grams = em_text::qgrams(&key, q);
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
+impl Blocker for QGramBlocker {
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, r) in right.iter().enumerate() {
+            for g in key_grams(r, self.q) {
+                index.entry(g).or_default().push(j);
+            }
+        }
+        let mut shared: HashMap<CandidatePair, usize> = HashMap::new();
+        for (i, l) in left.iter().enumerate() {
+            for g in key_grams(l, self.q) {
+                if let Some(matches) = index.get(&g) {
+                    for &j in matches {
+                        *shared.entry((i, j)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        normalize(
+            shared
+                .into_iter()
+                .filter_map(|(p, c)| (c >= self.min_shared).then_some(p))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![AttrValue::from(text)])
+    }
+
+    #[test]
+    fn survives_typos_that_break_token_blocking() {
+        let left = vec![rec(0, "powershot")];
+        let right = vec![rec(10, "powershoot"), rec(11, "different")];
+        let c = QGramBlocker::default().candidates(&left, &right);
+        assert_eq!(c, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn disjoint_keys_are_not_candidates() {
+        let left = vec![rec(0, "aaaa")];
+        let right = vec![rec(10, "zzzz")];
+        assert!(QGramBlocker::default().candidates(&left, &right).is_empty());
+    }
+
+    #[test]
+    fn min_shared_controls_strictness() {
+        let left = vec![rec(0, "abcdef")];
+        let right = vec![rec(10, "abcxyz")];
+        // They share grams around "abc" only.
+        let loose = QGramBlocker {
+            q: 3,
+            min_shared: 1,
+        };
+        assert_eq!(loose.candidates(&left, &right).len(), 1);
+        let strict = QGramBlocker {
+            q: 3,
+            min_shared: 5,
+        };
+        assert!(strict.candidates(&left, &right).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Sorted-neighbourhood blocking: both relations are merged, sorted by a
+//! key rendering, and a sliding window pairs nearby records.
+
+use crate::{normalize, record_text, Blocker, CandidatePair};
+use em_core::Record;
+
+/// Sorted-neighbourhood blocker.
+#[derive(Debug, Clone, Copy)]
+pub struct SortedNeighbourhood {
+    /// Sliding window size (≥ 2).
+    pub window: usize,
+}
+
+impl Default for SortedNeighbourhood {
+    fn default() -> Self {
+        SortedNeighbourhood { window: 10 }
+    }
+}
+
+impl Blocker for SortedNeighbourhood {
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        assert!(self.window >= 2, "window must be at least 2");
+        // (sort key, relation, index)
+        let mut entries: Vec<(String, bool, usize)> = Vec::with_capacity(left.len() + right.len());
+        for (i, r) in left.iter().enumerate() {
+            entries.push((record_text(r), false, i));
+        }
+        for (j, r) in right.iter().enumerate() {
+            entries.push((record_text(r), true, j));
+        }
+        entries.sort();
+        let mut out = Vec::new();
+        for (pos, (_, is_right, idx)) in entries.iter().enumerate() {
+            let end = (pos + self.window).min(entries.len());
+            for (_, other_right, other_idx) in &entries[pos + 1..end] {
+                match (is_right, other_right) {
+                    (false, true) => out.push((*idx, *other_idx)),
+                    (true, false) => out.push((*other_idx, *idx)),
+                    _ => {} // same relation: not a candidate
+                }
+            }
+        }
+        normalize(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![AttrValue::from(text)])
+    }
+
+    #[test]
+    fn nearby_keys_become_candidates() {
+        let left = vec![rec(0, "apple pie"), rec(1, "zebra crossing")];
+        let right = vec![rec(10, "apple tart"), rec(11, "yak wool")];
+        let c = SortedNeighbourhood { window: 2 }.candidates(&left, &right);
+        assert!(c.contains(&(0, 0)), "{c:?}"); // apple* sort adjacently
+        assert!(!c.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn window_covers_everything_when_large() {
+        let left = vec![rec(0, "a"), rec(1, "m")];
+        let right = vec![rec(10, "b"), rec(11, "z")];
+        let c = SortedNeighbourhood { window: 100 }.candidates(&left, &right);
+        assert_eq!(c.len(), 4); // all cross pairs
+    }
+
+    #[test]
+    fn same_relation_neighbours_are_skipped() {
+        let left = vec![rec(0, "aa"), rec(1, "ab")];
+        let right = vec![rec(10, "zz")];
+        let c = SortedNeighbourhood { window: 2 }.candidates(&left, &right);
+        // aa-ab are adjacent but both in the left relation.
+        assert!(c.iter().all(|&(i, j)| i < 2 && j == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be at least 2")]
+    fn tiny_window_rejected() {
+        let _ = SortedNeighbourhood { window: 1 }.candidates(&[], &[]);
+    }
+}

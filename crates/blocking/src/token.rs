@@ -1,0 +1,117 @@
+//! Token blocking: two records become a candidate pair when they share at
+//! least `min_shared` word tokens. The classic high-recall baseline.
+
+use crate::{normalize, record_text, Blocker, CandidatePair};
+use em_core::Record;
+use std::collections::HashMap;
+
+/// Token (word-overlap) blocker.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenBlocker {
+    /// Minimum number of shared tokens for a candidate.
+    pub min_shared: usize,
+    /// Tokens occurring in more than this fraction of records are treated
+    /// as stop words and ignored (prevents quadratic blowup on "the").
+    pub max_token_frequency: f64,
+}
+
+impl Default for TokenBlocker {
+    fn default() -> Self {
+        TokenBlocker {
+            min_shared: 1,
+            max_token_frequency: 0.2,
+        }
+    }
+}
+
+impl Blocker for TokenBlocker {
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        // Inverted index over right-relation tokens.
+        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, r) in right.iter().enumerate() {
+            let mut toks = em_text::words(&record_text(r));
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                index.entry(t).or_default().push(j);
+            }
+        }
+        let max_df =
+            ((left.len() + right.len()) as f64 * self.max_token_frequency).max(2.0) as usize;
+        let mut shared_counts: HashMap<CandidatePair, usize> = HashMap::new();
+        for (i, l) in left.iter().enumerate() {
+            let mut toks = em_text::words(&record_text(l));
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                if let Some(matches) = index.get(&t) {
+                    if matches.len() > max_df {
+                        continue; // stop word
+                    }
+                    for &j in matches {
+                        *shared_counts.entry((i, j)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        normalize(
+            shared_counts
+                .into_iter()
+                .filter_map(|(p, c)| (c >= self.min_shared).then_some(p))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![AttrValue::from(text)])
+    }
+
+    #[test]
+    fn shared_token_produces_candidate() {
+        let left = vec![rec(0, "sony camera"), rec(1, "nikon lens")];
+        let right = vec![rec(10, "sony tv"), rec(11, "canon printer")];
+        let c = TokenBlocker::default().candidates(&left, &right);
+        assert_eq!(c, vec![(0, 0)]); // "sony"
+    }
+
+    #[test]
+    fn min_shared_two_requires_two_tokens() {
+        let left = vec![rec(0, "sony alpha camera")];
+        let right = vec![rec(10, "sony camera bag"), rec(11, "sony tv")];
+        let blocker = TokenBlocker {
+            min_shared: 2,
+            ..Default::default()
+        };
+        let c = blocker.candidates(&left, &right);
+        assert_eq!(c, vec![(0, 0)]); // shares "sony" + "camera"
+    }
+
+    #[test]
+    fn frequent_tokens_are_stopped() {
+        // "item" appears everywhere; without the stop-word cut every pair
+        // would be a candidate.
+        let left: Vec<Record> = (0..20).map(|i| rec(i, &format!("item l{i}"))).collect();
+        let right: Vec<Record> = (0..20)
+            .map(|i| rec(i + 100, &format!("item r{i}")))
+            .collect();
+        let c = TokenBlocker::default().candidates(&left, &right);
+        assert!(
+            c.is_empty(),
+            "stop word must not create {} candidates",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn no_shared_tokens_no_candidates() {
+        let left = vec![rec(0, "alpha beta")];
+        let right = vec![rec(10, "gamma delta")];
+        assert!(TokenBlocker::default().candidates(&left, &right).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! Benchmark datasets and their identities.
+//!
+//! The study evaluates on the 11 benchmark datasets of Table 1. Each dataset
+//! is a labelled set of record pairs `(r_l, r_r, y)` drawn from two relations
+//! with `k` aligned attributes.
+
+use crate::pair::LabeledPair;
+use crate::record::AttrType;
+use std::fmt;
+
+/// Identifiers of the 11 benchmark datasets (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DatasetId {
+    /// Abt-Buy (web product).
+    Abt,
+    /// Web Data Commons (web product).
+    Wdc,
+    /// DBLP-ACM (citation).
+    Dbac,
+    /// DBLP-Google (citation).
+    Dbgo,
+    /// Fodors-Zagats (restaurant).
+    Foza,
+    /// Zomato-Yelp (restaurant).
+    Zoye,
+    /// Amazon-Google (software).
+    Amgo,
+    /// Beer (drink).
+    Beer,
+    /// iTunes-Amazon (music).
+    Itam,
+    /// RottenTomato-IMDB (movie).
+    Roim,
+    /// Walmart-Amazon (electronics).
+    Waam,
+}
+
+impl DatasetId {
+    /// All 11 datasets in Table 1 order.
+    pub const ALL: [DatasetId; 11] = [
+        DatasetId::Abt,
+        DatasetId::Wdc,
+        DatasetId::Dbac,
+        DatasetId::Dbgo,
+        DatasetId::Foza,
+        DatasetId::Zoye,
+        DatasetId::Amgo,
+        DatasetId::Beer,
+        DatasetId::Itam,
+        DatasetId::Roim,
+        DatasetId::Waam,
+    ];
+
+    /// The four-letter code used in the paper's tables.
+    pub fn code(&self) -> &'static str {
+        match self {
+            DatasetId::Abt => "ABT",
+            DatasetId::Wdc => "WDC",
+            DatasetId::Dbac => "DBAC",
+            DatasetId::Dbgo => "DBGO",
+            DatasetId::Foza => "FOZA",
+            DatasetId::Zoye => "ZOYE",
+            DatasetId::Amgo => "AMGO",
+            DatasetId::Beer => "BEER",
+            DatasetId::Itam => "ITAM",
+            DatasetId::Roim => "ROIM",
+            DatasetId::Waam => "WAAM",
+        }
+    }
+
+    /// Full dataset name as listed in Table 1.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            DatasetId::Abt => "Abt-Buy",
+            DatasetId::Wdc => "Web Data Commons",
+            DatasetId::Dbac => "DBLP-ACM",
+            DatasetId::Dbgo => "DBLP-Google",
+            DatasetId::Foza => "Fodors-Zagats",
+            DatasetId::Zoye => "Zomato-Yelp",
+            DatasetId::Amgo => "Amazon-Google",
+            DatasetId::Beer => "Beer",
+            DatasetId::Itam => "iTunes-Amazon",
+            DatasetId::Roim => "RottenTomato-IMDB",
+            DatasetId::Waam => "Walmart-Amazon",
+        }
+    }
+
+    /// Domain of the dataset (Table 1 column "Domain").
+    pub fn domain(&self) -> Domain {
+        match self {
+            DatasetId::Abt | DatasetId::Wdc => Domain::WebProduct,
+            DatasetId::Dbac | DatasetId::Dbgo => Domain::Citation,
+            DatasetId::Foza | DatasetId::Zoye => Domain::Restaurant,
+            DatasetId::Amgo => Domain::Software,
+            DatasetId::Beer => Domain::Drink,
+            DatasetId::Itam => Domain::Music,
+            DatasetId::Roim => Domain::Movie,
+            DatasetId::Waam => Domain::Electronics,
+        }
+    }
+
+    /// Parses a four-letter code (case-insensitive).
+    pub fn parse(code: &str) -> Option<DatasetId> {
+        let up = code.to_ascii_uppercase();
+        DatasetId::ALL.iter().copied().find(|d| d.code() == up)
+    }
+
+    /// `true` if another dataset in the benchmark shares this dataset's
+    /// domain (used for Finding 5's overlapping-domain analysis).
+    pub fn has_domain_sibling(&self) -> bool {
+        DatasetId::ALL
+            .iter()
+            .any(|other| other != self && other.domain() == self.domain())
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Entity domains covered by the benchmark (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Web products with free-text titles and descriptions.
+    WebProduct,
+    /// Academic citations (titles, authors, venues, years).
+    Citation,
+    /// Restaurants (names, addresses, phone numbers, cuisine).
+    Restaurant,
+    /// Software products.
+    Software,
+    /// Beers (name, brewery, style, ABV).
+    Drink,
+    /// Music tracks (song, artist, album, genre, ...).
+    Music,
+    /// Movies (title, director, actors, year, rating).
+    Movie,
+    /// Consumer electronics (title, category, brand, model, price).
+    Electronics,
+}
+
+impl Domain {
+    /// Label as printed in Table 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Domain::WebProduct => "web product",
+            Domain::Citation => "citation",
+            Domain::Restaurant => "restaurant",
+            Domain::Software => "software",
+            Domain::Drink => "drink",
+            Domain::Music => "music",
+            Domain::Movie => "movie",
+            Domain::Electronics => "electronics",
+        }
+    }
+}
+
+/// Expected statistics for one Table 1 row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Dataset identity.
+    pub id: DatasetId,
+    /// Number of aligned attributes.
+    pub attrs: usize,
+    /// Number of positive (matching) pairs.
+    pub positives: usize,
+    /// Number of negative (non-matching) pairs.
+    pub negatives: usize,
+}
+
+impl DatasetSpec {
+    /// Total number of labelled pairs.
+    pub fn total(&self) -> usize {
+        self.positives + self.negatives
+    }
+
+    /// Positive rate (label imbalance), in `(0, 1)`.
+    pub fn positive_rate(&self) -> f64 {
+        self.positives as f64 / self.total() as f64
+    }
+}
+
+/// Table 1 of the paper, verbatim.
+pub const TABLE1: [DatasetSpec; 11] = [
+    DatasetSpec {
+        id: DatasetId::Abt,
+        attrs: 3,
+        positives: 1028,
+        negatives: 8547,
+    },
+    DatasetSpec {
+        id: DatasetId::Wdc,
+        attrs: 3,
+        positives: 2250,
+        negatives: 7992,
+    },
+    DatasetSpec {
+        id: DatasetId::Dbac,
+        attrs: 4,
+        positives: 2220,
+        negatives: 10143,
+    },
+    DatasetSpec {
+        id: DatasetId::Dbgo,
+        attrs: 4,
+        positives: 5347,
+        negatives: 23360,
+    },
+    DatasetSpec {
+        id: DatasetId::Foza,
+        attrs: 6,
+        positives: 110,
+        negatives: 836,
+    },
+    DatasetSpec {
+        id: DatasetId::Zoye,
+        attrs: 7,
+        positives: 90,
+        negatives: 354,
+    },
+    DatasetSpec {
+        id: DatasetId::Amgo,
+        attrs: 3,
+        positives: 1167,
+        negatives: 10293,
+    },
+    DatasetSpec {
+        id: DatasetId::Beer,
+        attrs: 4,
+        positives: 68,
+        negatives: 382,
+    },
+    DatasetSpec {
+        id: DatasetId::Itam,
+        attrs: 8,
+        positives: 132,
+        negatives: 407,
+    },
+    DatasetSpec {
+        id: DatasetId::Roim,
+        attrs: 5,
+        positives: 190,
+        negatives: 410,
+    },
+    DatasetSpec {
+        id: DatasetId::Waam,
+        attrs: 5,
+        positives: 962,
+        negatives: 9280,
+    },
+];
+
+/// Looks up the Table 1 specification of a dataset.
+pub fn spec_of(id: DatasetId) -> DatasetSpec {
+    TABLE1
+        .iter()
+        .copied()
+        .find(|s| s.id == id)
+        .expect("every DatasetId has a Table 1 row")
+}
+
+/// A materialized benchmark dataset: labelled record pairs plus metadata.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Dataset identity.
+    pub id: DatasetId,
+    /// Column types, aligned with record values. Only consumed by components
+    /// documented to violate cross-dataset Restriction 2 (ZeroER).
+    pub attr_types: Vec<AttrType>,
+    /// Labelled pairs.
+    pub pairs: Vec<LabeledPair>,
+}
+
+impl Benchmark {
+    /// Number of aligned attributes.
+    pub fn arity(&self) -> usize {
+        self.attr_types.len()
+    }
+
+    /// Count of positive pairs.
+    pub fn positives(&self) -> usize {
+        self.pairs.iter().filter(|p| p.label).count()
+    }
+
+    /// Count of negative pairs.
+    pub fn negatives(&self) -> usize {
+        self.pairs.len() - self.positives()
+    }
+
+    /// Positive rate of the labelled pairs.
+    pub fn positive_rate(&self) -> f64 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        self.positives() as f64 / self.pairs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_datasets_once() {
+        let mut seen = std::collections::HashSet::new();
+        for spec in TABLE1 {
+            assert!(seen.insert(spec.id));
+        }
+        assert_eq!(seen.len(), 11);
+    }
+
+    #[test]
+    fn table1_statistics_match_the_paper() {
+        // Spot-check rows quoted in the paper text.
+        let abt = spec_of(DatasetId::Abt);
+        assert_eq!((abt.attrs, abt.positives, abt.negatives), (3, 1028, 8547));
+        let dbgo = spec_of(DatasetId::Dbgo);
+        assert_eq!(
+            (dbgo.attrs, dbgo.positives, dbgo.negatives),
+            (4, 5347, 23360)
+        );
+        let beer = spec_of(DatasetId::Beer);
+        assert_eq!((beer.attrs, beer.positives, beer.negatives), (4, 68, 382));
+    }
+
+    #[test]
+    fn dbgo_is_the_largest_dataset() {
+        // Section 4.2.1 uses DBGO "since it is the largest dataset".
+        let max = TABLE1.iter().max_by_key(|s| s.total()).unwrap();
+        assert_eq!(max.id, DatasetId::Dbgo);
+    }
+
+    #[test]
+    fn codes_round_trip_through_parse() {
+        for id in DatasetId::ALL {
+            assert_eq!(DatasetId::parse(id.code()), Some(id));
+            assert_eq!(DatasetId::parse(&id.code().to_lowercase()), Some(id));
+        }
+        assert_eq!(DatasetId::parse("NOPE"), None);
+    }
+
+    #[test]
+    fn six_datasets_share_a_domain() {
+        // Finding 5: "six datasets share the same domain with at least one
+        // other dataset" (ABT+WDC, DBAC+DBGO, FOZA+ZOYE).
+        let siblings: Vec<_> = DatasetId::ALL
+            .iter()
+            .filter(|d| d.has_domain_sibling())
+            .collect();
+        assert_eq!(siblings.len(), 6);
+    }
+
+    #[test]
+    fn positive_rates_are_imbalanced() {
+        for spec in TABLE1 {
+            let rate = spec.positive_rate();
+            assert!(rate > 0.0 && rate < 0.5, "{}: {rate}", spec.id);
+        }
+    }
+
+    #[test]
+    fn display_uses_code() {
+        assert_eq!(format!("{}", DatasetId::Itam), "ITAM");
+    }
+
+    #[test]
+    fn domain_labels_match_table1() {
+        assert_eq!(DatasetId::Abt.domain().label(), "web product");
+        assert_eq!(DatasetId::Waam.domain().label(), "electronics");
+        assert_eq!(DatasetId::Beer.domain().label(), "drink");
+    }
+}

@@ -1,0 +1,71 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by the evaluation framework and the matchers built on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmError {
+    /// A matcher was asked to predict before [`crate::Matcher::fit`] succeeded.
+    NotFitted { matcher: String },
+    /// The input to an operation was structurally invalid (empty dataset,
+    /// mismatched lengths, attribute-count mismatch, ...).
+    InvalidInput(String),
+    /// A numeric routine failed to converge or produced a non-finite value.
+    Numeric(String),
+    /// A dataset with the requested identifier is not part of the benchmark.
+    UnknownDataset(String),
+    /// Configuration error (bad hyper-parameter, impossible model shape, ...).
+    Config(String),
+}
+
+impl fmt::Display for EmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmError::NotFitted { matcher } => {
+                write!(f, "matcher `{matcher}` used before fit() completed")
+            }
+            EmError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            EmError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
+            EmError::UnknownDataset(name) => write!(f, "unknown dataset: {name}"),
+            EmError::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, EmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EmError::NotFitted {
+            matcher: "ditto".into(),
+        };
+        assert!(e.to_string().contains("ditto"));
+        let e = EmError::UnknownDataset("XYZ".into());
+        assert!(e.to_string().contains("XYZ"));
+        let e = EmError::InvalidInput("empty".into());
+        assert!(e.to_string().contains("empty"));
+        let e = EmError::Numeric("nan".into());
+        assert!(e.to_string().contains("nan"));
+        let e = EmError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EmError::InvalidInput("x".into()),
+            EmError::InvalidInput("x".into())
+        );
+        assert_ne!(
+            EmError::InvalidInput("x".into()),
+            EmError::Numeric("x".into())
+        );
+    }
+}

@@ -1,0 +1,407 @@
+//! The evaluation driver implementing the experimental protocol of
+//! Section 2.2 / 4.1:
+//!
+//! * test sets are down-sampled to at most 1,250 pairs (the MatchGPT
+//!   protocol) with a sample that is **identical across all baselines**
+//!   (seeded only by the dataset identity, not the repetition seed);
+//! * five repetition seeds vary the serialization column order and all
+//!   stochastic matcher choices;
+//! * per dataset we report mean ± std of F1 over the seeds; the "Mean"
+//!   column is the macro-average over datasets computed per seed and then
+//!   aggregated.
+
+use crate::dataset::{Benchmark, DatasetId};
+use crate::error::Result;
+use crate::lodo::{lodo_split, LodoSplit};
+use crate::matcher::{EvalBatch, Matcher};
+use crate::metrics::{f1_percent, macro_average, MeanStd};
+use crate::pair::LabeledPair;
+use crate::serialize::Serializer;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Maximum test-set size, following the down-sampling protocol adopted from
+/// the MatchGPT study (Section 4.1, "Data preparation").
+pub const TEST_CAP: usize = 1250;
+
+/// Number of repetition seeds (Section 2.2, "Repetitions").
+pub const DEFAULT_SEEDS: u64 = 5;
+
+/// Evaluation configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Repetition seeds; the paper uses five distinct seeds.
+    pub seeds: Vec<u64>,
+    /// Maximum number of test pairs per dataset.
+    pub test_cap: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            seeds: (0..DEFAULT_SEEDS).collect(),
+            test_cap: TEST_CAP,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A reduced configuration for fast tests: fewer seeds, smaller cap.
+    pub fn quick(seeds: u64, cap: usize) -> Self {
+        EvalConfig {
+            seeds: (0..seeds).collect(),
+            test_cap: cap,
+        }
+    }
+}
+
+/// Draws the deterministic test sample for a dataset.
+///
+/// The sample depends only on the dataset identity and the cap — not on the
+/// repetition seed or the matcher — so that "the test sets used for
+/// evaluation remain identical across all compared baselines".
+pub fn test_sample(bench: &Benchmark, cap: usize) -> Vec<&LabeledPair> {
+    let mut idx: Vec<usize> = (0..bench.pairs.len()).collect();
+    if bench.pairs.len() > cap {
+        // Stable per-dataset seed: hash of the four-letter code.
+        let seed = bench
+            .id
+            .code()
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+            });
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx.truncate(cap);
+        idx.sort_unstable(); // deterministic order after sampling
+    }
+    idx.into_iter().map(|i| &bench.pairs[i]).collect()
+}
+
+/// Builds the evaluation batch for one (dataset, seed) combination: the
+/// fixed test sample serialized under the seed's column permutation.
+pub fn build_batch(bench: &Benchmark, cap: usize, seed: u64) -> (EvalBatch, Vec<bool>) {
+    let sample = test_sample(bench, cap);
+    let ser = Serializer::shuffled(bench.arity(), seed);
+    let mut serialized = Vec::with_capacity(sample.len());
+    let mut raw = Vec::with_capacity(sample.len());
+    let mut labels = Vec::with_capacity(sample.len());
+    for lp in sample {
+        serialized.push(ser.pair(&lp.pair));
+        raw.push(lp.pair.clone());
+        labels.push(lp.label);
+    }
+    (
+        EvalBatch {
+            serialized,
+            raw,
+            attr_types: bench.attr_types.clone(),
+        },
+        labels,
+    )
+}
+
+/// F1 results of one matcher on one target dataset, over all seeds.
+#[derive(Debug, Clone)]
+pub struct DatasetScore {
+    /// The target dataset.
+    pub dataset: DatasetId,
+    /// Per-seed F1 scores in percent.
+    pub per_seed_f1: Vec<f64>,
+    /// `true` if the matcher saw this dataset during its own training
+    /// (bracketed in Table 3).
+    pub seen_in_training: bool,
+}
+
+impl DatasetScore {
+    /// Mean ± std over the seeds.
+    pub fn summary(&self) -> MeanStd {
+        MeanStd::of(&self.per_seed_f1)
+    }
+}
+
+/// Full LODO evaluation result of one matcher across all datasets.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// Matcher display name.
+    pub matcher: String,
+    /// Parameter count in millions (None for parameter-free).
+    pub params_millions: Option<f64>,
+    /// Per-dataset scores, in the order the benchmark suite was given.
+    pub scores: Vec<DatasetScore>,
+}
+
+impl EvalReport {
+    /// Looks up the score for one dataset.
+    pub fn score_for(&self, id: DatasetId) -> Option<&DatasetScore> {
+        self.scores.iter().find(|s| s.dataset == id)
+    }
+
+    /// Macro-averaged F1 per seed (over datasets), then aggregated —
+    /// the "Mean" column of Tables 3/4.
+    pub fn mean_column(&self) -> MeanStd {
+        if self.scores.is_empty() {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
+        }
+        let n_seeds = self.scores[0].per_seed_f1.len();
+        let per_seed_macro: Vec<f64> = (0..n_seeds)
+            .map(|s| {
+                let per_ds: Vec<f64> = self.scores.iter().map(|d| d.per_seed_f1[s]).collect();
+                macro_average(&per_ds)
+            })
+            .collect();
+        MeanStd::of(&per_seed_macro)
+    }
+
+    /// Macro-average over datasets *excluding* any the matcher saw during
+    /// training — the fair cross-dataset mean (used when discussing
+    /// Jellyfish, which cannot be fairly averaged).
+    pub fn fair_mean_column(&self) -> MeanStd {
+        let fair: Vec<&DatasetScore> = self.scores.iter().filter(|s| !s.seen_in_training).collect();
+        if fair.is_empty() {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
+        }
+        let n_seeds = fair[0].per_seed_f1.len();
+        let per_seed_macro: Vec<f64> = (0..n_seeds)
+            .map(|s| {
+                let per_ds: Vec<f64> = fair.iter().map(|d| d.per_seed_f1[s]).collect();
+                macro_average(&per_ds)
+            })
+            .collect();
+        MeanStd::of(&per_seed_macro)
+    }
+}
+
+/// Evaluates one matcher on one LODO target over all seeds.
+pub fn evaluate_on_target(
+    matcher: &mut dyn Matcher,
+    split: &LodoSplit<'_>,
+    cfg: &EvalConfig,
+) -> Result<DatasetScore> {
+    let mut per_seed_f1 = Vec::with_capacity(cfg.seeds.len());
+    for &seed in &cfg.seeds {
+        matcher.fit(split, seed)?;
+        let (batch, labels) = build_batch(split.target, cfg.test_cap, seed);
+        let preds = matcher.predict(&batch)?;
+        per_seed_f1.push(f1_percent(&preds, &labels));
+    }
+    Ok(DatasetScore {
+        dataset: split.target_id(),
+        per_seed_f1,
+        seen_in_training: matcher.saw_during_training(split.target_id()),
+    })
+}
+
+/// Evaluates one matcher across every LODO split of the suite.
+pub fn evaluate_matcher(
+    matcher: &mut dyn Matcher,
+    benchmarks: &[Benchmark],
+    cfg: &EvalConfig,
+) -> Result<EvalReport> {
+    let mut scores = Vec::with_capacity(benchmarks.len());
+    for bench in benchmarks {
+        let split = lodo_split(benchmarks, bench.id)?;
+        scores.push(evaluate_on_target(matcher, &split, cfg)?);
+    }
+    Ok(EvalReport {
+        matcher: matcher.name(),
+        params_millions: matcher.params_millions(),
+        scores,
+    })
+}
+
+/// Evaluates many matchers in parallel (one thread per matcher) across the
+/// whole suite. Matcher construction is deferred to the factory so each
+/// thread owns its matcher.
+pub fn evaluate_all<F>(
+    factories: Vec<(String, F)>,
+    benchmarks: &[Benchmark],
+    cfg: &EvalConfig,
+) -> Result<Vec<EvalReport>>
+where
+    F: FnOnce() -> Box<dyn Matcher> + Send,
+{
+    let mut out: Vec<Option<Result<EvalReport>>> = (0..factories.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for ((_, factory), slot) in factories.into_iter().zip(out.iter_mut()) {
+            handles.push(scope.spawn(move |_| {
+                let mut matcher = factory();
+                *slot = Some(evaluate_matcher(matcher.as_mut(), benchmarks, cfg));
+            }));
+        }
+        for h in handles {
+            h.join().expect("evaluation thread panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter()
+        .map(|r| r.expect("every slot filled by its thread"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AttrType, AttrValue, Record};
+
+    fn bench_with_pairs(id: DatasetId, n: usize) -> Benchmark {
+        let pairs = (0..n)
+            .map(|i| {
+                let l = Record::new(
+                    i as u64,
+                    vec![
+                        AttrValue::Text(format!("item {i}")),
+                        AttrValue::Number(i as f64),
+                    ],
+                );
+                let r = if i % 3 == 0 {
+                    l.clone()
+                } else {
+                    Record::new(
+                        i as u64 + 10_000,
+                        vec![
+                            AttrValue::Text(format!("other {i}")),
+                            AttrValue::Number(i as f64 + 1.0),
+                        ],
+                    )
+                };
+                LabeledPair::new(l, r, i % 3 == 0)
+            })
+            .collect();
+        Benchmark {
+            id,
+            attr_types: vec![AttrType::ShortText, AttrType::Numeric],
+            pairs,
+        }
+    }
+
+    fn suite() -> Vec<Benchmark> {
+        DatasetId::ALL
+            .iter()
+            .map(|&id| bench_with_pairs(id, 30))
+            .collect()
+    }
+
+    /// Matcher that predicts "match" iff both serialized sides are equal.
+    struct ExactMatch;
+    impl Matcher for ExactMatch {
+        fn name(&self) -> String {
+            "ExactMatch".into()
+        }
+        fn fit(&mut self, _: &LodoSplit<'_>, _: u64) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+            Ok(batch.serialized.iter().map(|p| p.left == p.right).collect())
+        }
+    }
+
+    #[test]
+    fn test_sample_caps_and_is_deterministic() {
+        let b = bench_with_pairs(DatasetId::Dbgo, 5000);
+        let s1 = test_sample(&b, 1250);
+        let s2 = test_sample(&b, 1250);
+        assert_eq!(s1.len(), 1250);
+        assert_eq!(
+            s1.iter().map(|p| p.pair.left.id).collect::<Vec<_>>(),
+            s2.iter().map(|p| p.pair.left.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn small_datasets_are_not_sampled() {
+        let b = bench_with_pairs(DatasetId::Beer, 100);
+        assert_eq!(test_sample(&b, 1250).len(), 100);
+    }
+
+    #[test]
+    fn different_datasets_sample_differently() {
+        let a = bench_with_pairs(DatasetId::Abt, 3000);
+        let b = bench_with_pairs(DatasetId::Wdc, 3000);
+        let sa: Vec<u64> = test_sample(&a, 10).iter().map(|p| p.pair.left.id).collect();
+        let sb: Vec<u64> = test_sample(&b, 10).iter().map(|p| p.pair.left.id).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn batch_labels_align_with_pairs() {
+        let b = bench_with_pairs(DatasetId::Abt, 30);
+        let (batch, labels) = build_batch(&b, 1250, 0);
+        assert_eq!(batch.len(), labels.len());
+        assert_eq!(batch.raw.len(), labels.len());
+    }
+
+    #[test]
+    fn exact_matcher_scores_perfectly_on_exact_data() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let mut m = ExactMatch;
+        let score = evaluate_on_target(&mut m, &split, &EvalConfig::quick(2, 1250)).unwrap();
+        for f1 in &score.per_seed_f1 {
+            assert!((*f1 - 100.0).abs() < 1e-9, "f1 = {f1}");
+        }
+    }
+
+    #[test]
+    fn full_report_has_all_datasets_and_mean() {
+        let s = suite();
+        let mut m = ExactMatch;
+        let report = evaluate_matcher(&mut m, &s, &EvalConfig::quick(2, 1250)).unwrap();
+        assert_eq!(report.scores.len(), 11);
+        assert!((report.mean_column().mean - 100.0).abs() < 1e-9);
+        assert!(report.score_for(DatasetId::Waam).is_some());
+    }
+
+    #[test]
+    fn fair_mean_excludes_seen_datasets() {
+        let s = suite();
+        struct HalfSeen;
+        impl Matcher for HalfSeen {
+            fn name(&self) -> String {
+                "HalfSeen".into()
+            }
+            fn fit(&mut self, _: &LodoSplit<'_>, _: u64) -> Result<()> {
+                Ok(())
+            }
+            fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+                Ok(batch.serialized.iter().map(|p| p.left == p.right).collect())
+            }
+            fn saw_during_training(&self, d: DatasetId) -> bool {
+                d == DatasetId::Abt
+            }
+        }
+        let mut m = HalfSeen;
+        let report = evaluate_matcher(&mut m, &s, &EvalConfig::quick(1, 100)).unwrap();
+        assert!(report.score_for(DatasetId::Abt).unwrap().seen_in_training);
+        // fair mean over 10 datasets only
+        let fair = report.fair_mean_column();
+        assert!((fair.mean - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_all_runs_matchers_in_parallel() {
+        let s = suite();
+        type Factory = Box<dyn FnOnce() -> Box<dyn Matcher> + Send>;
+        let factories: Vec<(String, Factory)> = vec![
+            (
+                "a".into(),
+                Box::new(|| Box::new(ExactMatch) as Box<dyn Matcher>),
+            ),
+            (
+                "b".into(),
+                Box::new(|| Box::new(ExactMatch) as Box<dyn Matcher>),
+            ),
+        ];
+        let reports = evaluate_all(factories, &s, &EvalConfig::quick(1, 50)).unwrap();
+        assert_eq!(reports.len(), 2);
+    }
+}

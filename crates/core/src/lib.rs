@@ -1,0 +1,40 @@
+//! # em-core — cross-dataset entity matching: task, methodology, metrics
+//!
+//! Core abstractions for the reproduction of *"A Deep Dive Into
+//! Cross-Dataset Entity Matching with Large and Small Language Models"*
+//! (EDBT 2025):
+//!
+//! * records, attribute values, labelled pairs ([`record`], [`pair`]);
+//! * the 11 benchmark datasets of Table 1 and their statistics ([`dataset`]);
+//! * restriction-compliant serialization with per-seed column shuffling
+//!   ([`serialize`]);
+//! * the "leave-one-dataset-out" evaluation strategy ([`lodo`]);
+//! * the [`Matcher`] trait implemented by every approach in the study;
+//! * metrics (F1, macro-F1, mean ± std) and the statistical tests used for
+//!   Findings 5/6 ([`metrics`], [`stats`]);
+//! * the evaluation driver implementing the full experimental protocol
+//!   ([`eval`]).
+
+pub mod dataset;
+pub mod error;
+pub mod eval;
+pub mod lodo;
+pub mod matcher;
+pub mod metrics;
+pub mod pair;
+pub mod record;
+pub mod serialize;
+pub mod stats;
+
+pub use dataset::{spec_of, Benchmark, DatasetId, DatasetSpec, Domain, TABLE1};
+pub use error::{EmError, Result};
+pub use eval::{
+    build_batch, evaluate_matcher, evaluate_on_target, test_sample, DatasetScore, EvalConfig,
+    EvalReport, TEST_CAP,
+};
+pub use lodo::{all_splits, lodo_split, LodoSplit};
+pub use matcher::{EvalBatch, Matcher};
+pub use metrics::{f1_percent, macro_average, Confusion, MeanStd};
+pub use pair::{LabeledPair, RecordPair};
+pub use record::{AttrType, AttrValue, Record};
+pub use serialize::{SerializedPair, Serializer, VALUE_SEPARATOR};

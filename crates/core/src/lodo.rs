@@ -1,0 +1,162 @@
+//! "Leave-one-dataset-out" (LODO) evaluation strategy (Section 2.2).
+//!
+//! To evaluate a matcher on an unseen target dataset, the matcher may access
+//! the *other ten* datasets as transfer-learning data — for fine-tuning or
+//! for demonstration selection — but never labelled pairs, column names, or
+//! types from the target.
+
+use crate::dataset::{Benchmark, DatasetId};
+use crate::error::{EmError, Result};
+
+/// One LODO split: a target dataset plus the transfer pool (all others).
+#[derive(Debug)]
+pub struct LodoSplit<'a> {
+    /// The unseen target dataset (test only).
+    pub target: &'a Benchmark,
+    /// The ten transfer datasets available for fine-tuning / demonstrations.
+    pub transfer: Vec<&'a Benchmark>,
+}
+
+impl<'a> LodoSplit<'a> {
+    /// Identity of the target dataset.
+    pub fn target_id(&self) -> DatasetId {
+        self.target.id
+    }
+
+    /// Total number of labelled pairs available for transfer learning.
+    pub fn transfer_pair_count(&self) -> usize {
+        self.transfer.iter().map(|b| b.pairs.len()).sum()
+    }
+}
+
+/// Builds the LODO split for one target from the full benchmark suite.
+///
+/// Fails if the target is not present or appears more than once.
+pub fn lodo_split<'a>(benchmarks: &'a [Benchmark], target: DatasetId) -> Result<LodoSplit<'a>> {
+    let mut tgt = None;
+    let mut transfer = Vec::with_capacity(benchmarks.len().saturating_sub(1));
+    for b in benchmarks {
+        if b.id == target {
+            if tgt.is_some() {
+                return Err(EmError::InvalidInput(format!(
+                    "dataset {target} appears more than once"
+                )));
+            }
+            tgt = Some(b);
+        } else {
+            transfer.push(b);
+        }
+    }
+    let target_bench = tgt.ok_or_else(|| EmError::UnknownDataset(target.code().to_owned()))?;
+    Ok(LodoSplit {
+        target: target_bench,
+        transfer,
+    })
+}
+
+/// Iterates over every LODO split of the suite, in Table 1 order of the
+/// provided benchmarks.
+pub fn all_splits(benchmarks: &[Benchmark]) -> Result<Vec<LodoSplit<'_>>> {
+    benchmarks
+        .iter()
+        .map(|b| lodo_split(benchmarks, b.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pair::LabeledPair;
+    use crate::record::{AttrType, AttrValue, Record};
+
+    fn tiny_benchmark(id: DatasetId, n: usize) -> Benchmark {
+        let pairs = (0..n)
+            .map(|i| {
+                LabeledPair::new(
+                    Record::new(i as u64, vec![AttrValue::from("a")]),
+                    Record::new(i as u64 + 1000, vec![AttrValue::from("a")]),
+                    i % 2 == 0,
+                )
+            })
+            .collect();
+        Benchmark {
+            id,
+            attr_types: vec![AttrType::ShortText],
+            pairs,
+        }
+    }
+
+    fn suite() -> Vec<Benchmark> {
+        DatasetId::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| tiny_benchmark(id, i + 1))
+            .collect()
+    }
+
+    #[test]
+    fn split_excludes_target_from_transfer() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        assert_eq!(split.target_id(), DatasetId::Abt);
+        assert_eq!(split.transfer.len(), 10);
+        assert!(split.transfer.iter().all(|b| b.id != DatasetId::Abt));
+    }
+
+    #[test]
+    fn transfer_pool_is_everything_else() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Beer).unwrap();
+        let mut ids: Vec<DatasetId> = split.transfer.iter().map(|b| b.id).collect();
+        ids.sort();
+        let mut expect: Vec<DatasetId> = DatasetId::ALL
+            .iter()
+            .copied()
+            .filter(|&d| d != DatasetId::Beer)
+            .collect();
+        expect.sort();
+        assert_eq!(ids, expect);
+    }
+
+    #[test]
+    fn transfer_pair_count_sums_pools() {
+        let s = suite();
+        let total: usize = s.iter().map(|b| b.pairs.len()).sum();
+        let split = lodo_split(&s, DatasetId::Wdc).unwrap();
+        assert_eq!(
+            split.transfer_pair_count(),
+            total - split.target.pairs.len()
+        );
+    }
+
+    #[test]
+    fn missing_target_is_an_error() {
+        let s: Vec<Benchmark> = suite()
+            .into_iter()
+            .filter(|b| b.id != DatasetId::Roim)
+            .collect();
+        let err = lodo_split(&s, DatasetId::Roim).unwrap_err();
+        assert!(matches!(err, EmError::UnknownDataset(_)));
+    }
+
+    #[test]
+    fn duplicate_target_is_an_error() {
+        let mut s = suite();
+        s.push(tiny_benchmark(DatasetId::Abt, 3));
+        let err = lodo_split(&s, DatasetId::Abt).unwrap_err();
+        assert!(matches!(err, EmError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn all_splits_yields_eleven() {
+        let s = suite();
+        let splits = all_splits(&s).unwrap();
+        assert_eq!(splits.len(), 11);
+        // Each dataset is the target exactly once.
+        let mut targets: Vec<DatasetId> = splits.iter().map(|s| s.target_id()).collect();
+        targets.sort();
+        let mut expect = DatasetId::ALL.to_vec();
+        expect.sort();
+        assert_eq!(targets, expect);
+    }
+}

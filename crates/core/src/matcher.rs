@@ -1,0 +1,151 @@
+//! The `Matcher` abstraction shared by all approaches in the study.
+//!
+//! A cross-dataset matcher is fitted on the transfer pool of a LODO split
+//! (never on target data) and then predicts match/non-match for a batch of
+//! serialized pairs from the unseen target. Matchers that the paper
+//! documents as (partially) violating the cross-dataset restrictions —
+//! ZeroER needs column types and batch access — read the `raw` /
+//! `attr_types` fields of the [`EvalBatch`], which exist for exactly that
+//! purpose and are documented as a restriction escape hatch.
+
+use crate::dataset::DatasetId;
+use crate::error::Result;
+use crate::lodo::LodoSplit;
+use crate::pair::RecordPair;
+use crate::record::AttrType;
+use crate::serialize::SerializedPair;
+
+/// A batch of target-dataset pairs to classify.
+#[derive(Debug, Clone)]
+pub struct EvalBatch {
+    /// Restriction-compliant view: serialized attribute values only, under
+    /// the repetition seed's column permutation.
+    pub serialized: Vec<SerializedPair>,
+    /// Raw records. Only for matchers documented to violate Restriction 2
+    /// (ZeroER); all language-model matchers must ignore this field.
+    pub raw: Vec<RecordPair>,
+    /// Column types of the raw records (same caveat as `raw`).
+    pub attr_types: Vec<AttrType>,
+}
+
+impl EvalBatch {
+    /// Number of pairs in the batch.
+    pub fn len(&self) -> usize {
+        self.serialized.len()
+    }
+
+    /// `true` if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.serialized.is_empty()
+    }
+}
+
+/// Common interface of every matcher in the study.
+pub trait Matcher: Send {
+    /// Human-readable name as printed in the paper's tables
+    /// (e.g. `"AnyMatch [LLaMA3.2]"`).
+    fn name(&self) -> String;
+
+    /// Parameter count in millions, if the approach has parameters
+    /// (Tables 3/5; `None` for parameter-free methods).
+    fn params_millions(&self) -> Option<f64> {
+        None
+    }
+
+    /// Fits / prepares the matcher for one LODO target using only the
+    /// transfer pool. `seed` controls all stochastic choices (serialization
+    /// column order, sampling, initialization) for the repetition protocol.
+    ///
+    /// Parameter-free matchers may implement this as a no-op.
+    fn fit(&mut self, split: &LodoSplit<'_>, seed: u64) -> Result<()>;
+
+    /// Predicts match / non-match for every pair in the batch.
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>>;
+
+    /// `true` if the matcher's underlying model saw this dataset during its
+    /// own (pre-)training, violating the cross-dataset setup. Such scores
+    /// are put in brackets in Table 3 (the Jellyfish caveat).
+    fn saw_during_training(&self, _dataset: DatasetId) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Benchmark, DatasetId};
+    use crate::lodo::lodo_split;
+    use crate::pair::LabeledPair;
+    use crate::record::{AttrValue, Record};
+
+    /// A trivial always-"no" matcher used to exercise the trait surface.
+    struct AlwaysNo;
+
+    impl Matcher for AlwaysNo {
+        fn name(&self) -> String {
+            "AlwaysNo".into()
+        }
+        fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+            Ok(vec![false; batch.len()])
+        }
+    }
+
+    fn bench(id: DatasetId) -> Benchmark {
+        Benchmark {
+            id,
+            attr_types: vec![AttrType::ShortText],
+            pairs: vec![LabeledPair::new(
+                Record::new(0, vec![AttrValue::from("x")]),
+                Record::new(1, vec![AttrValue::from("x")]),
+                true,
+            )],
+        }
+    }
+
+    #[test]
+    fn trait_default_methods() {
+        let m = AlwaysNo;
+        assert_eq!(m.params_millions(), None);
+        assert!(!m.saw_during_training(DatasetId::Abt));
+    }
+
+    #[test]
+    fn batch_len_tracks_serialized() {
+        let batch = EvalBatch {
+            serialized: vec![SerializedPair {
+                left: "a".into(),
+                right: "b".into(),
+            }],
+            raw: vec![],
+            attr_types: vec![],
+        };
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn fit_predict_cycle() {
+        let suite: Vec<Benchmark> = DatasetId::ALL.iter().map(|&d| bench(d)).collect();
+        let split = lodo_split(&suite, DatasetId::Abt).unwrap();
+        let mut m = AlwaysNo;
+        m.fit(&split, 0).unwrap();
+        let batch = EvalBatch {
+            serialized: vec![
+                SerializedPair {
+                    left: "a".into(),
+                    right: "a".into(),
+                },
+                SerializedPair {
+                    left: "a".into(),
+                    right: "b".into(),
+                },
+            ],
+            raw: vec![],
+            attr_types: vec![],
+        };
+        assert_eq!(m.predict(&batch).unwrap(), vec![false, false]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Evaluation metrics: precision, recall, F1, macro averages, mean ± std.
+//!
+//! Implements the metric definitions of Section 2.2 of the paper. The F1
+//! score is reported per dataset; the "Mean" column of Tables 3/4 is the
+//! macro-average over datasets ("treating all datasets as equally
+//! important"). Repetitions over five seeds are summarized as mean and
+//! standard deviation.
+
+/// Confusion-matrix counts for binary matching.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds a confusion matrix from aligned prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(predictions: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(
+            predictions.len(),
+            labels.len(),
+            "predictions and labels must align"
+        );
+        let mut c = Confusion::default();
+        for (&p, &y) in predictions.iter().zip(labels) {
+            match (p, y) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Precision = TP / (TP + FP); defined as 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall = TP / (TP + FN); defined as 0 when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = 2 · P · R / (P + R), in `[0, 1]`; 0 when both P and R are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy, for completeness (the paper reports F1 because the label
+    /// distribution is imbalanced).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+/// Convenience: F1 score (in percent, like the paper's tables) from aligned
+/// prediction/label slices.
+pub fn f1_percent(predictions: &[bool], labels: &[bool]) -> f64 {
+    Confusion::from_predictions(predictions, labels).f1() * 100.0
+}
+
+/// Mean and (population) standard deviation of repeated scores, as reported
+/// in Tables 3 and 4 (`mean ± std` over five random seeds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanStd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation (population form, matching numpy's default used by
+    /// the original study's analysis scripts).
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of a slice of scores.
+    ///
+    /// Returns `MeanStd { mean: 0, std: 0 }` for an empty slice.
+    pub fn of(scores: &[f64]) -> Self {
+        if scores.is_empty() {
+            return MeanStd {
+                mean: 0.0,
+                std: 0.0,
+            };
+        }
+        let n = scores.len() as f64;
+        let mean = scores.iter().sum::<f64>() / n;
+        let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        MeanStd {
+            mean,
+            std: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean, self.std)
+    }
+}
+
+/// Macro-average over per-dataset scores (the "Mean" column of Table 3):
+/// every dataset counts equally regardless of its size.
+pub fn macro_average(per_dataset: &[f64]) -> f64 {
+    if per_dataset.is_empty() {
+        return 0.0;
+    }
+    per_dataset.iter().sum::<f64>() / per_dataset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_all_four_cells() {
+        let preds = [true, true, false, false, true];
+        let labels = [true, false, true, false, true];
+        let c = Confusion::from_predictions(&preds, &labels);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn hand_computed_f1() {
+        // TP=8, FP=2, FN=2 → P = 0.8, R = 0.8, F1 = 0.8.
+        let c = Confusion {
+            tp: 8,
+            fp: 2,
+            tn: 10,
+            fn_: 2,
+        };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_precision_recall() {
+        // TP=6, FP=2 → P=0.75; TP=6, FN=6 → R=0.5; F1 = 2*.375/1.25 = 0.6.
+        let c = Confusion {
+            tp: 6,
+            fp: 2,
+            tn: 0,
+            fn_: 6,
+        };
+        assert!((c.f1() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 5,
+            fn_: 0,
+        };
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(Confusion::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let labels = [true, false, true, false];
+        let c = Confusion::from_predictions(&labels, &labels);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn f1_percent_scales_to_table_units() {
+        let preds = [true, false];
+        let labels = [true, false];
+        assert_eq!(f1_percent(&preds, &labels), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = Confusion::from_predictions(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn mean_std_of_constant_scores() {
+        let m = MeanStd::of(&[70.0, 70.0, 70.0]);
+        assert_eq!(m.mean, 70.0);
+        assert_eq!(m.std, 0.0);
+    }
+
+    #[test]
+    fn mean_std_hand_computed() {
+        // scores 2, 4, 4, 4, 5, 5, 7, 9: mean 5, population std 2.
+        let m = MeanStd::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m.mean - 5.0).abs() < 1e-12);
+        assert!((m.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_std_empty_is_zero() {
+        let m = MeanStd::of(&[]);
+        assert_eq!((m.mean, m.std), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mean_std_display_format() {
+        let m = MeanStd {
+            mean: 87.54,
+            std: 1.04,
+        };
+        assert_eq!(m.to_string(), "87.5±1.0");
+    }
+
+    #[test]
+    fn macro_average_weights_datasets_equally() {
+        assert!((macro_average(&[100.0, 0.0]) - 50.0).abs() < 1e-12);
+        assert_eq!(macro_average(&[]), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Record pairs and labels.
+
+use crate::record::Record;
+
+/// An unlabelled candidate pair `(r_l, r_r)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordPair {
+    /// Record from the left relation.
+    pub left: Record,
+    /// Record from the right relation.
+    pub right: Record,
+}
+
+impl RecordPair {
+    /// Creates a pair; both records must have the same arity.
+    pub fn new(left: Record, right: Record) -> Self {
+        debug_assert_eq!(
+            left.arity(),
+            right.arity(),
+            "pair records must have aligned attributes"
+        );
+        RecordPair { left, right }
+    }
+
+    /// Number of aligned attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.left.arity()
+    }
+}
+
+/// A labelled pair: `true` means both records refer to the same real-world
+/// entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledPair {
+    /// The record pair.
+    pub pair: RecordPair,
+    /// Ground-truth match label.
+    pub label: bool,
+}
+
+impl LabeledPair {
+    /// Creates a labelled pair.
+    pub fn new(left: Record, right: Record, label: bool) -> Self {
+        LabeledPair {
+            pair: RecordPair::new(left, right),
+            label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AttrValue;
+
+    fn rec(id: u64, vals: &[&str]) -> Record {
+        Record::new(id, vals.iter().map(|v| AttrValue::from(*v)).collect())
+    }
+
+    #[test]
+    fn pair_reports_arity() {
+        let p = RecordPair::new(rec(1, &["a", "b"]), rec(2, &["c", "d"]));
+        assert_eq!(p.arity(), 2);
+    }
+
+    #[test]
+    fn labeled_pair_stores_label() {
+        let lp = LabeledPair::new(rec(1, &["a"]), rec(2, &["a"]), true);
+        assert!(lp.label);
+        let ln = LabeledPair::new(rec(1, &["a"]), rec(2, &["b"]), false);
+        assert!(!ln.label);
+    }
+}

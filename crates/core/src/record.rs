@@ -1,0 +1,231 @@
+//! Records and attribute values.
+//!
+//! A [`Record`] is one row of one of the two input relations of an entity
+//! matching task. Under the cross-dataset restrictions of the paper
+//! (Section 2.1), a matcher may only observe the attribute *values* of a
+//! record, in string form — never attribute names or types. The typed
+//! [`AttrValue`] representation is retained internally so that the data
+//! generator and the (explicitly restriction-violating) ZeroER baseline can
+//! reason about types, but the serialization layer erases it.
+
+use std::fmt;
+
+/// One attribute value of a record.
+///
+/// Real benchmark data is dirty: values may be missing, numeric values are
+/// frequently stored as strings, and free text dominates several datasets.
+/// We keep a small typed enum so the generator can produce realistic values
+/// and ZeroER can pick type-appropriate similarity functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A missing value (NULL / empty cell).
+    Missing,
+    /// Free-form text (titles, descriptions, names, ...).
+    Text(String),
+    /// A numeric value (price, year, track length, ...).
+    Number(f64),
+}
+
+impl AttrValue {
+    /// Returns `true` if the value is missing.
+    #[inline]
+    pub fn is_missing(&self) -> bool {
+        matches!(self, AttrValue::Missing)
+    }
+
+    /// String rendering used by the cross-dataset serialization layer.
+    ///
+    /// Missing values render as the empty string; numbers render without a
+    /// trailing `.0` when integral, matching how CSV exports of the original
+    /// benchmarks look.
+    pub fn render(&self) -> String {
+        match self {
+            AttrValue::Missing => String::new(),
+            AttrValue::Text(s) => s.clone(),
+            AttrValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+        }
+    }
+
+    /// Renders into an existing buffer, avoiding an allocation for the
+    /// common case inside the hot serialization loop.
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            AttrValue::Missing => {}
+            AttrValue::Text(s) => out.push_str(s),
+            AttrValue::Number(n) => {
+                use fmt::Write;
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+        }
+    }
+
+    /// Returns the numeric payload if this is a number.
+    #[inline]
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload if this is text.
+    #[inline]
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Text(s.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Text(s)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::Number(n)
+    }
+}
+
+/// The declared type of an attribute column.
+///
+/// Only visible to components that are *documented* to violate cross-dataset
+/// Restriction 2 (ZeroER), mirroring Section 4.1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Short textual values (names, categories, brands).
+    ShortText,
+    /// Long free-form text (descriptions).
+    LongText,
+    /// Numeric values.
+    Numeric,
+}
+
+/// One record (row) of an input relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Stable identifier within its relation; unique per relation.
+    pub id: u64,
+    /// Attribute values, aligned with the owning dataset's schema.
+    pub values: Vec<AttrValue>,
+}
+
+impl Record {
+    /// Creates a record from an id and values.
+    pub fn new(id: u64, values: Vec<AttrValue>) -> Self {
+        Record { id, values }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of attributes that are missing, in `[0, 1]`.
+    pub fn missing_rate(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let missing = self.values.iter().filter(|v| v.is_missing()).count();
+        missing as f64 / self.values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_missing_is_empty() {
+        assert_eq!(AttrValue::Missing.render(), "");
+        assert!(AttrValue::Missing.is_missing());
+    }
+
+    #[test]
+    fn render_integral_number_has_no_fraction() {
+        assert_eq!(AttrValue::Number(42.0).render(), "42");
+        assert_eq!(AttrValue::Number(-3.0).render(), "-3");
+    }
+
+    #[test]
+    fn render_fractional_number_keeps_fraction() {
+        assert_eq!(AttrValue::Number(19.99).render(), "19.99");
+    }
+
+    #[test]
+    fn render_into_matches_render() {
+        let vals = [
+            AttrValue::Missing,
+            AttrValue::Text("abc def".into()),
+            AttrValue::Number(7.5),
+            AttrValue::Number(1000.0),
+        ];
+        for v in &vals {
+            let mut buf = String::new();
+            v.render_into(&mut buf);
+            assert_eq!(buf, v.render());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(AttrValue::from("x"), AttrValue::Text("x".into()));
+        assert_eq!(AttrValue::from(2.0).as_number(), Some(2.0));
+        assert_eq!(AttrValue::from("y").as_text(), Some("y"));
+        assert_eq!(AttrValue::Missing.as_number(), None);
+        assert_eq!(AttrValue::Number(1.0).as_text(), None);
+    }
+
+    #[test]
+    fn missing_rate_counts_fraction() {
+        let r = Record::new(
+            1,
+            vec![
+                AttrValue::Missing,
+                AttrValue::from("a"),
+                AttrValue::Missing,
+                AttrValue::from(1.0),
+            ],
+        );
+        assert_eq!(r.arity(), 4);
+        assert!((r.missing_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_rate_of_empty_record_is_zero() {
+        let r = Record::new(1, vec![]);
+        assert_eq!(r.missing_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let v = AttrValue::Text("hello".into());
+        assert_eq!(format!("{v}"), "hello");
+    }
+}

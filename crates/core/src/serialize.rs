@@ -1,0 +1,220 @@
+//! Cross-dataset serialization of records and pairs.
+//!
+//! Per Restriction 2 of the paper (Section 2.1), a cross-dataset matcher
+//! "can only enumerate the attribute values ... of a record ... in a string
+//! representation" — no column names, no types. The paper additionally
+//! shuffles the column order per random seed during serialization
+//! ("Repetitions", Section 2.2) to quantify the sensitivity of language
+//! models to the input sequence. This module implements both.
+
+use crate::pair::RecordPair;
+use crate::record::Record;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Separator between attribute values, matching the StringSim baseline's
+/// "concatenating the values with a comma separator".
+pub const VALUE_SEPARATOR: &str = ", ";
+
+/// A serialized pair: both records rendered to plain strings under the same
+/// column permutation. This is the *only* view of the data that
+/// cross-dataset matchers receive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SerializedPair {
+    /// Left record, values joined by [`VALUE_SEPARATOR`].
+    pub left: String,
+    /// Right record, values joined by [`VALUE_SEPARATOR`].
+    pub right: String,
+}
+
+impl SerializedPair {
+    /// Combined length in bytes (useful for token-cost accounting).
+    pub fn len_bytes(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+}
+
+/// Serializes records under a fixed column permutation.
+///
+/// A `Serializer` is created per (dataset, seed) so that every pair within
+/// one evaluation run sees the same permutation, while different seeds see
+/// different permutations — exactly the repetition protocol of Section 2.2.
+#[derive(Debug, Clone)]
+pub struct Serializer {
+    order: Vec<usize>,
+}
+
+impl Serializer {
+    /// Identity serializer: columns in schema order.
+    pub fn identity(arity: usize) -> Self {
+        Serializer {
+            order: (0..arity).collect(),
+        }
+    }
+
+    /// Seed-shuffled serializer. Seed 0 is defined to be the identity
+    /// permutation so that the first repetition mirrors the canonical
+    /// serialization; later seeds shuffle.
+    pub fn shuffled(arity: usize, seed: u64) -> Self {
+        let mut order: Vec<usize> = (0..arity).collect();
+        if seed != 0 {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            order.shuffle(&mut rng);
+        }
+        Serializer { order }
+    }
+
+    /// The column permutation in effect.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Serializes a single record into a comma-joined value string.
+    pub fn record(&self, record: &Record) -> String {
+        let mut out = String::with_capacity(estimate_len(record));
+        self.record_into(record, &mut out);
+        out
+    }
+
+    /// Serializes into an existing buffer (cleared first) — the workhorse
+    /// used in batch serialization to avoid per-record allocations.
+    pub fn record_into(&self, record: &Record, out: &mut String) {
+        out.clear();
+        let mut first = true;
+        for &col in &self.order {
+            if !first {
+                out.push_str(VALUE_SEPARATOR);
+            }
+            first = false;
+            if let Some(v) = record.values.get(col) {
+                v.render_into(out);
+            }
+        }
+    }
+
+    /// Serializes a pair of records under the shared permutation.
+    pub fn pair(&self, pair: &RecordPair) -> SerializedPair {
+        SerializedPair {
+            left: self.record(&pair.left),
+            right: self.record(&pair.right),
+        }
+    }
+
+    /// Serializes a batch of pairs.
+    pub fn pairs(&self, pairs: &[RecordPair]) -> Vec<SerializedPair> {
+        pairs.iter().map(|p| self.pair(p)).collect()
+    }
+}
+
+fn estimate_len(record: &Record) -> usize {
+    let payload: usize = record
+        .values
+        .iter()
+        .map(|v| match v {
+            crate::record::AttrValue::Text(s) => s.len(),
+            crate::record::AttrValue::Number(_) => 8,
+            crate::record::AttrValue::Missing => 0,
+        })
+        .sum();
+    payload + record.values.len().saturating_sub(1) * VALUE_SEPARATOR.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AttrValue;
+
+    fn rec(vals: &[&str]) -> Record {
+        Record::new(0, vals.iter().map(|v| AttrValue::from(*v)).collect())
+    }
+
+    #[test]
+    fn identity_preserves_schema_order() {
+        let s = Serializer::identity(3);
+        assert_eq!(s.record(&rec(&["a", "b", "c"])), "a, b, c");
+    }
+
+    #[test]
+    fn seed_zero_is_identity() {
+        let s = Serializer::shuffled(4, 0);
+        assert_eq!(s.order(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn same_seed_same_permutation() {
+        let a = Serializer::shuffled(8, 3);
+        let b = Serializer::shuffled(8, 3);
+        assert_eq!(a.order(), b.order());
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        // With 8 columns the chance of two random permutations colliding is
+        // 1/40320; check a few seeds produce at least one difference.
+        let base = Serializer::shuffled(8, 1);
+        let any_diff = (2..6).any(|s| Serializer::shuffled(8, s).order() != base.order());
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        for seed in 0..10 {
+            let s = Serializer::shuffled(6, seed);
+            let mut sorted = s.order().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn missing_values_render_empty_but_keep_separator() {
+        let s = Serializer::identity(3);
+        let r = Record::new(
+            0,
+            vec![
+                AttrValue::from("x"),
+                AttrValue::Missing,
+                AttrValue::from("z"),
+            ],
+        );
+        assert_eq!(s.record(&r), "x, , z");
+    }
+
+    #[test]
+    fn serialization_contains_no_column_names() {
+        // Restriction 2 sanity check: output is exactly the values.
+        let s = Serializer::identity(2);
+        let out = s.record(&rec(&["title-value", "brand-value"]));
+        assert_eq!(out, "title-value, brand-value");
+    }
+
+    #[test]
+    fn pair_uses_same_permutation_for_both_sides() {
+        let s = Serializer::shuffled(3, 7);
+        let p = RecordPair::new(rec(&["a", "b", "c"]), rec(&["x", "y", "z"]));
+        let sp = s.pair(&p);
+        let order = s.order();
+        let expect_left: Vec<&str> = order.iter().map(|&i| ["a", "b", "c"][i]).collect();
+        assert_eq!(sp.left, expect_left.join(", "));
+        let expect_right: Vec<&str> = order.iter().map(|&i| ["x", "y", "z"][i]).collect();
+        assert_eq!(sp.right, expect_right.join(", "));
+    }
+
+    #[test]
+    fn record_into_reuses_buffer() {
+        let s = Serializer::identity(2);
+        let mut buf = String::from("stale content");
+        s.record_into(&rec(&["p", "q"]), &mut buf);
+        assert_eq!(buf, "p, q");
+    }
+
+    #[test]
+    fn len_bytes_sums_both_sides() {
+        let sp = SerializedPair {
+            left: "abc".into(),
+            right: "de".into(),
+        };
+        assert_eq!(sp.len_bytes(), 5);
+    }
+}

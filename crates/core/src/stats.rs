@@ -1,0 +1,352 @@
+//! Statistical tests used in the paper's analysis.
+//!
+//! * Finding 5 uses a two-sample t-test on normalized F1 scores to test
+//!   whether overlapping-domain datasets score higher under LODO.
+//! * Finding 6 uses the Spearman rank correlation between predictive quality
+//!   and the label imbalance rate.
+//!
+//! Both are implemented from scratch: Welch's t-test with a
+//! Student-t survival function evaluated through the regularized incomplete
+//! beta function, and Spearman's rho with average-rank tie handling.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n-1) sample variance; 0 for fewer than two observations.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTest {
+    /// The t statistic.
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+}
+
+impl TTest {
+    /// `true` if the null hypothesis (equal means) is rejected at `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Welch's unequal-variance two-sample t-test.
+///
+/// Returns `None` if either sample has fewer than two observations or both
+/// variances are zero (the statistic is undefined).
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (sample_variance(a), sample_variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2.powi(2) / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p = 2.0 * student_t_sf(t.abs(), df);
+    Some(TTest {
+        t,
+        df,
+        p_two_sided: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Survival function `P(T > t)` of the Student t distribution with `df`
+/// degrees of freedom, via the regularized incomplete beta function.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    if !t.is_finite() || df <= 0.0 {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    0.5 * regularized_incomplete_beta(0.5 * df, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` using the continued
+/// fraction expansion (Numerical Recipes `betacf`).
+pub fn regularized_incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // The continued fraction converges fastest for x < (a+1)/(a+b+2);
+    // otherwise evaluate the mirrored fraction directly (no recursion, so
+    // x = 0.5 with a = b cannot ping-pong between the two branches).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = COEFFS[0];
+        for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Average ranks of a sample (1-based), with ties receiving the mean of the
+/// ranks they span — the convention Spearman's rho requires.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| xs[i].partial_cmp(&xs[j]).expect("no NaNs in ranked data"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) are tied; average their 1-based ranks.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Pearson correlation coefficient; `None` if either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "correlation inputs must align");
+    if xs.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let (dx, dy) = (x - mx, y - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson on average ranks). `None` if either
+/// side is constant.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    pearson(&rx, &ry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        let v = regularized_incomplete_beta(2.5, 1.5, 0.3);
+        let w = 1.0 - regularized_incomplete_beta(1.5, 2.5, 0.7);
+        assert!((v - w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.25, 0.5, 0.9] {
+            assert!((regularized_incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn student_t_sf_reference_values() {
+        // With df → large, t distribution approaches N(0,1): P(T>1.96)≈0.025.
+        let p = student_t_sf(1.96, 1e6);
+        assert!((p - 0.025).abs() < 1e-3, "{p}");
+        // df=1 (Cauchy): P(T>1) = 0.25.
+        let p = student_t_sf(1.0, 1.0);
+        assert!((p - 0.25).abs() < 1e-6, "{p}");
+        // Symmetry point: P(T>0) = 0.5.
+        assert!((student_t_sf(0.0, 7.0) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welch_detects_clear_difference() {
+        let a = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1];
+        let b = [20.0, 20.5, 19.5, 20.2, 19.8, 20.1];
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_two_sided < 0.001);
+        assert!(t.rejects_at(0.05));
+        assert!(t.t < 0.0); // a's mean is below b's
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a = [5.0, 6.1, 4.9, 5.5, 5.2, 5.7, 4.8, 5.9];
+        let b = [5.1, 5.8, 5.0, 5.6, 5.3, 5.4, 4.9, 6.0];
+        let t = welch_t_test(&a, &b).unwrap();
+        assert!(t.p_two_sided > 0.3, "p = {}", t.p_two_sided);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn welch_undefined_cases() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_averages() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_of_sorted_sequence_are_identity() {
+        let ranks = average_ranks(&[1.0, 2.0, 3.0]);
+        assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [10.0, 100.0, 1000.0, 10000.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((spearman(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // A non-linear but monotone transform leaves rho at 1.
+        let xs: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_input_is_none() {
+        assert!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn pearson_hand_computed() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_short_samples_is_zero() {
+        assert_eq!(sample_variance(&[]), 0.0);
+        assert_eq!(sample_variance(&[3.0]), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Cost-per-1K-token estimation (Table 6).
+//!
+//! For self-hosted models the paper's formula is
+//! `(p / (2 · t_m · 3600)) · 1000`, where `p` is the hourly p4d.24xlarge
+//! price, `t_m` the tokens/s measured on the 4-GPU node, and 2 the
+//! extrapolation factor to the 8-GPU cloud instance. For proprietary models
+//! the listed per-1K-token API price is used directly; for open-weight
+//! models the cheaper of self-hosting and together.ai hosting is chosen.
+
+use crate::pricing::{openai, together_ai, DeploymentScenario, P4D_24XLARGE_HOURLY_USD};
+use em_hardware::{deploy, profile_by_name, Machine};
+
+/// One Table 6 row: a method+model combination with its cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEntry {
+    /// "Method & model" label as printed in Table 6.
+    pub label: String,
+    /// USD per 1,000 input tokens.
+    pub usd_per_1k_tokens: f64,
+    /// Chosen (cheapest) deployment scenario.
+    pub scenario: DeploymentScenario,
+}
+
+/// The paper's self-hosting formula: hourly price over extrapolated
+/// throughput.
+pub fn self_host_cost_per_1k(tokens_per_s_4gpu: f64) -> f64 {
+    assert!(tokens_per_s_4gpu > 0.0, "throughput must be positive");
+    P4D_24XLARGE_HOURLY_USD / (2.0 * tokens_per_s_4gpu * 3600.0) * 1000.0
+}
+
+/// Whether together.ai hosting is available for a model (the 70B
+/// open-weight chat models in the study).
+fn together_available(model: &str) -> bool {
+    matches!(model, "SOLAR" | "Beluga2")
+}
+
+/// Computes a Table 6 row for a self-hostable open-weight model, choosing
+/// the cheaper of p4d self-hosting and together.ai hosting.
+///
+/// `tokens_per_s` is the 4×A100 throughput (simulated or paper-reported).
+pub fn open_weight_cost(label: &str, model: &str, tokens_per_s: f64) -> CostEntry {
+    let self_cost = self_host_cost_per_1k(tokens_per_s);
+    let profile = profile_by_name(model);
+    let replicas = profile
+        .map(|p| deploy(p, &Machine::p4d_24xlarge()).replicas)
+        .unwrap_or(8);
+    if together_available(model) && together_ai::MODEL_70B_PER_1K < self_cost {
+        CostEntry {
+            label: label.to_owned(),
+            usd_per_1k_tokens: together_ai::MODEL_70B_PER_1K,
+            scenario: DeploymentScenario::TogetherAi,
+        }
+    } else {
+        CostEntry {
+            label: label.to_owned(),
+            usd_per_1k_tokens: self_cost,
+            scenario: DeploymentScenario::SelfHostedP4d { replicas },
+        }
+    }
+}
+
+/// Computes a Table 6 row for an OpenAI-hosted model.
+pub fn api_cost(label: &str, model: &str) -> CostEntry {
+    let price = match model {
+        "GPT-4" => openai::GPT4_PER_1K,
+        "GPT-3.5-Turbo" => openai::GPT35_TURBO_PER_1K,
+        "GPT-4o-Mini" => openai::GPT4O_MINI_PER_1K,
+        other => panic!("no API price for {other}"),
+    };
+    CostEntry {
+        label: label.to_owned(),
+        usd_per_1k_tokens: price,
+        scenario: DeploymentScenario::OpenAiBatchApi,
+    }
+}
+
+/// Builds the full Table 6 from throughput numbers.
+///
+/// `throughputs` maps Table 5 model names to 4×A100 tokens/s. Pass the
+/// simulator's outputs (or the paper's measurements) — both reproduce the
+/// table's structure. Jellyfish is included for cost (the paper lists it in
+/// Table 6 even though its F1 cannot be fairly averaged). Rows are sorted
+/// by descending cost like the paper's table.
+pub fn table6(throughputs: &[(&str, f64)]) -> Vec<CostEntry> {
+    let t = |name: &str| -> f64 {
+        throughputs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing throughput for {name}"))
+    };
+    let mut rows = vec![
+        api_cost("MatchGPT [GPT-4]", "GPT-4"),
+        open_weight_cost("MatchGPT [SOLAR]", "SOLAR", t("SOLAR")),
+        open_weight_cost("MatchGPT [Beluga2]", "Beluga2", t("Beluga2")),
+        api_cost("MatchGPT [GPT-3.5-Turbo]", "GPT-3.5-Turbo"),
+        open_weight_cost("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B", t("Mixtral-8x7B")),
+        api_cost("MatchGPT [GPT-4o-Mini]", "GPT-4o-Mini"),
+        open_weight_cost("Jellyfish", "LLaMA2-13B", t("LLaMA2-13B")),
+        open_weight_cost("Unicorn[DeBERTa]", "DeBERTa", t("DeBERTa")),
+        open_weight_cost("AnyMatch[LLaMA3.2]", "LLaMA3.2", t("LLaMA3.2")),
+        open_weight_cost("AnyMatch[T5]", "T5", t("T5")),
+        open_weight_cost("AnyMatch[GPT-2]", "GPT-2", t("GPT-2")),
+        open_weight_cost("Ditto[Bert]", "BERT", t("BERT")),
+    ];
+    rows.sort_by(|a, b| {
+        b.usd_per_1k_tokens
+            .partial_cmp(&a.usd_per_1k_tokens)
+            .unwrap()
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_hardware::TABLE5_MODELS;
+
+    fn paper_throughputs() -> Vec<(&'static str, f64)> {
+        TABLE5_MODELS
+            .iter()
+            .map(|m| (m.name, m.paper_tokens_per_s))
+            .collect()
+    }
+
+    #[test]
+    fn self_host_formula_reproduces_ditto_cost() {
+        // Paper: Ditto[Bert] costs $0.0000031 per 1K tokens.
+        let c = self_host_cost_per_1k(862_001.0);
+        assert!((c - 0.0000031).abs() < 2e-7, "{c}");
+    }
+
+    #[test]
+    fn jellyfish_cost_from_the_stated_formula() {
+        // Applying the paper's formula `(p/(2·t_m·3600))·1000` to the
+        // paper's own throughput gives $0.0000999 — the published Table 6
+        // value ($0.000025) implies an 8× extrapolation for this row
+        // (documented in EXPERIMENTS.md as an inconsistency of the
+        // original table). We apply the stated formula consistently.
+        let c = self_host_cost_per_1k(26_721.0);
+        assert!((c - 0.0000999).abs() < 2e-6, "{c}");
+    }
+
+    #[test]
+    fn solar_beluga_choose_together_ai() {
+        // Self-hosting a 70B at ~1K tokens/s costs ~$0.0025/1K — more than
+        // together.ai's $0.0009, so the paper picks together.ai.
+        let solar = open_weight_cost("MatchGPT [SOLAR]", "SOLAR", 752.0);
+        assert_eq!(solar.scenario, DeploymentScenario::TogetherAi);
+        assert_eq!(solar.usd_per_1k_tokens, 0.0009);
+        let beluga = open_weight_cost("MatchGPT [Beluga2]", "Beluga2", 1_079.0);
+        assert_eq!(beluga.scenario, DeploymentScenario::TogetherAi);
+    }
+
+    #[test]
+    fn mixtral_self_hosts() {
+        // The stated formula gives $0.00127 (the paper's $0.00063 implies a
+        // 4× replica extrapolation for this row — see EXPERIMENTS.md).
+        let m = open_weight_cost("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B", 2_108.0);
+        assert!(matches!(
+            m.scenario,
+            DeploymentScenario::SelfHostedP4d { replicas: 4 }
+        ));
+        assert!(
+            (m.usd_per_1k_tokens - 0.001266).abs() < 5e-5,
+            "{}",
+            m.usd_per_1k_tokens
+        );
+    }
+
+    #[test]
+    fn slms_deploy_8x_on_p4d() {
+        let d = open_weight_cost("Ditto[Bert]", "BERT", 862_001.0);
+        assert!(matches!(
+            d.scenario,
+            DeploymentScenario::SelfHostedP4d { replicas: 8 }
+        ));
+    }
+
+    #[test]
+    fn table6_order_matches_paper() {
+        let rows = table6(&paper_throughputs());
+        assert_eq!(rows.len(), 12);
+        // GPT-4 most expensive, Ditto cheapest.
+        assert_eq!(rows.first().unwrap().label, "MatchGPT [GPT-4]");
+        assert_eq!(rows.last().unwrap().label, "Ditto[Bert]");
+        // Monotone non-increasing.
+        for w in rows.windows(2) {
+            assert!(w[0].usd_per_1k_tokens >= w[1].usd_per_1k_tokens);
+        }
+    }
+
+    #[test]
+    fn gpt4_is_thousands_of_times_ditto() {
+        // Paper: "4,838 times cheaper".
+        let rows = table6(&paper_throughputs());
+        let gpt4 = rows.iter().find(|r| r.label.contains("GPT-4]")).unwrap();
+        let ditto = rows.iter().find(|r| r.label.contains("Ditto")).unwrap();
+        let factor = gpt4.usd_per_1k_tokens / ditto.usd_per_1k_tokens;
+        assert!((3_000.0..8_000.0).contains(&factor), "factor {factor}");
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput must be positive")]
+    fn zero_throughput_rejected() {
+        let _ = self_host_cost_per_1k(0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # em-cost — deployment-cost model and quality/cost trade-off
+//!
+//! Reproduces the paper's Section 4.2.2 analysis:
+//!
+//! * the December-2024 price book (OpenAI Batch API, together.ai, AWS
+//!   p4d.24xlarge) ([`pricing`]);
+//! * the cost-per-1K-tokens formula for self-hosted models and the
+//!   cheapest-deployment selection (Table 6) ([`estimate`]);
+//! * the quality-vs-cost and quality-vs-size trade-off analysis behind
+//!   Figures 3 and 4, including Pareto frontiers and the budget-driven
+//!   recommendations ([`tradeoff`]).
+
+pub mod estimate;
+pub mod pricing;
+pub mod tradeoff;
+
+pub use estimate::{api_cost, open_weight_cost, self_host_cost_per_1k, table6, CostEntry};
+pub use pricing::{DeploymentScenario, P4D_24XLARGE_HOURLY_USD};
+pub use tradeoff::{
+    ascii_scatter, best_balance, best_within_budget, pareto_frontier, TradeoffPoint,
+};

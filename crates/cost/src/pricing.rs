@@ -1,0 +1,81 @@
+//! Price book (December 2024, as quoted in Section 4.2.2 of the paper).
+
+/// Hourly price of a reserved AWS p4d.24xlarge instance (8×A100-40GB),
+/// one-year reservation.
+pub const P4D_24XLARGE_HOURLY_USD: f64 = 19.22;
+
+/// OpenAI Batch API input-token prices per 1K tokens (entity matching is a
+/// sequence-classification task, so only input cost matters).
+pub mod openai {
+    /// GPT-4 batch input price per 1K tokens.
+    pub const GPT4_PER_1K: f64 = 0.015;
+    /// GPT-3.5-Turbo-0125 batch input price per 1K tokens.
+    pub const GPT35_TURBO_PER_1K: f64 = 0.000_75;
+    /// GPT-4o-Mini batch input price per 1K tokens.
+    pub const GPT4O_MINI_PER_1K: f64 = 0.000_075;
+}
+
+/// together.ai hosted-inference prices per 1K tokens for the open-weight
+/// 70B models (the paper's cheaper alternative for SOLAR and Beluga2).
+pub mod together_ai {
+    /// 70B-class models (SOLAR, StableBeluga2).
+    pub const MODEL_70B_PER_1K: f64 = 0.000_9;
+}
+
+/// Deployment scenario behind a cost figure (Table 6's rightmost column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentScenario {
+    /// OpenAI Batch API.
+    OpenAiBatchApi,
+    /// Hosted on together.ai.
+    TogetherAi,
+    /// Self-hosted, `replicas`× on a p4d.24xlarge instance.
+    SelfHostedP4d {
+        /// Number of model replicas on the instance.
+        replicas: usize,
+    },
+}
+
+impl DeploymentScenario {
+    /// Label as printed in Table 6.
+    pub fn label(&self) -> String {
+        match self {
+            DeploymentScenario::OpenAiBatchApi => "OpenAI Batch API".into(),
+            DeploymentScenario::TogetherAi => "Hosting on Together.ai".into(),
+            DeploymentScenario::SelfHostedP4d { replicas } => {
+                format!("{replicas}x on p4d.24xlarge")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prices_match_the_paper_quotes() {
+        assert_eq!(P4D_24XLARGE_HOURLY_USD, 19.22);
+        assert_eq!(openai::GPT4_PER_1K, 0.015);
+        assert_eq!(openai::GPT35_TURBO_PER_1K, 0.00075);
+        assert_eq!(openai::GPT4O_MINI_PER_1K, 0.000075);
+        assert_eq!(together_ai::MODEL_70B_PER_1K, 0.0009);
+    }
+
+    #[test]
+    fn gpt4_is_200x_gpt4o_mini() {
+        assert!((openai::GPT4_PER_1K / openai::GPT4O_MINI_PER_1K - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_labels() {
+        assert_eq!(
+            DeploymentScenario::SelfHostedP4d { replicas: 8 }.label(),
+            "8x on p4d.24xlarge"
+        );
+        assert_eq!(
+            DeploymentScenario::TogetherAi.label(),
+            "Hosting on Together.ai"
+        );
+    }
+}

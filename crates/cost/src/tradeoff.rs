@@ -1,0 +1,181 @@
+//! Quality-vs-cost and quality-vs-size trade-off analysis
+//! (Figures 3 and 4, and the "Trade-off" discussion of Section 4.2.2).
+
+/// One point of a trade-off scatter plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffPoint {
+    /// Matcher label.
+    pub label: String,
+    /// Horizontal coordinate (USD/1K tokens for Figure 3, parameters in
+    /// millions for Figure 4).
+    pub x: f64,
+    /// Mean F1 score (vertical coordinate).
+    pub f1: f64,
+}
+
+/// Points on the Pareto frontier: no other point has lower-or-equal `x`
+/// (cost / size) *and* strictly higher F1.
+pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
+    let mut frontier: Vec<TradeoffPoint> = points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.x <= p.x && q.f1 > p.f1))
+        .cloned()
+        .collect();
+    frontier.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    frontier
+}
+
+/// The best matcher affordable within a per-1K-token budget (the paper's
+/// budget-driven recommendation: "for systems with a budget of less than
+/// $0.00005 per 1K tokens ...").
+pub fn best_within_budget(points: &[TradeoffPoint], budget: f64) -> Option<&TradeoffPoint> {
+    points
+        .iter()
+        .filter(|p| p.x <= budget)
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
+}
+
+/// The "balance" pick behind "AnyMatch [LLaMA3.2] strikes the best
+/// balance": maximizes F1 with a small penalty per decade of cost above
+/// the cheapest option (`F1 − 2·log10(cost/min_cost)`).
+pub fn best_balance(points: &[TradeoffPoint]) -> Option<&TradeoffPoint> {
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    points.iter().filter(|p| p.x > 0.0).max_by(|a, b| {
+        let score = |p: &TradeoffPoint| p.f1 - 2.0 * (p.x / min_x).log10();
+        score(a).partial_cmp(&score(b)).unwrap()
+    })
+}
+
+/// Renders a text scatter plot (rows = F1 bands, columns = log-x bands) —
+/// the harness's stand-in for Figures 3/4.
+pub fn ascii_scatter(points: &[TradeoffPoint], x_label: &str) -> String {
+    if points.is_empty() {
+        return String::from("(no points)");
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.x).fold(0.0f64, f64::max);
+    let log_span = (max_x / min_x).log10().max(1e-9);
+    const COLS: usize = 60;
+    const ROWS: usize = 16;
+    let mut grid = vec![vec![' '; COLS + 1]; ROWS + 1];
+    let mut labels: Vec<String> = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        let cx = (((p.x / min_x).log10() / log_span) * COLS as f64).round() as usize;
+        let f1_lo = 40.0;
+        let f1_hi = 95.0;
+        let fy =
+            ((p.f1.clamp(f1_lo, f1_hi) - f1_lo) / (f1_hi - f1_lo) * ROWS as f64).round() as usize;
+        let row = ROWS - fy.min(ROWS);
+        let marker = char::from_digit((i % 36) as u32, 36).unwrap_or('*');
+        grid[row][cx.min(COLS)] = marker;
+        labels.push(format!(
+            "  {marker} = {} (x={:.3e}, F1={:.1})",
+            p.label, p.x, p.f1
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("F1\n");
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(COLS + 1));
+    out.push_str(&format!("-> {x_label} (log scale)\n"));
+    for l in labels {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<TradeoffPoint> {
+        vec![
+            TradeoffPoint {
+                label: "Ditto".into(),
+                x: 0.0000031,
+                f1: 72.9,
+            },
+            TradeoffPoint {
+                label: "AnyMatch [GPT-2]".into(),
+                x: 0.0000038,
+                f1: 81.5,
+            },
+            TradeoffPoint {
+                label: "AnyMatch [LLaMA3.2]".into(),
+                x: 0.00001,
+                f1: 87.5,
+            },
+            TradeoffPoint {
+                label: "Unicorn".into(),
+                x: 0.000012,
+                f1: 81.0,
+            },
+            TradeoffPoint {
+                label: "GPT-4o-Mini".into(),
+                x: 0.000075,
+                f1: 83.9,
+            },
+            TradeoffPoint {
+                label: "GPT-3.5".into(),
+                x: 0.00075,
+                f1: 66.0,
+            },
+            TradeoffPoint {
+                label: "GPT-4".into(),
+                x: 0.015,
+                f1: 87.4,
+            },
+        ]
+    }
+
+    #[test]
+    fn frontier_excludes_dominated_points() {
+        let f = pareto_frontier(&pts());
+        let labels: Vec<&str> = f.iter().map(|p| p.label.as_str()).collect();
+        // GPT-3.5 is dominated (more expensive, lower F1 than 4o-mini);
+        // GPT-4 is dominated by AnyMatch [LLaMA3.2] (cheaper, higher F1).
+        assert!(!labels.contains(&"GPT-3.5"));
+        assert!(!labels.contains(&"GPT-4"));
+        assert!(labels.contains(&"Ditto"));
+        assert!(labels.contains(&"AnyMatch [LLaMA3.2]"));
+    }
+
+    #[test]
+    fn budget_recommendations_match_the_paper() {
+        let p = pts();
+        // Budget < $0.00005: AnyMatch family (LLaMA3.2 best).
+        let pick = best_within_budget(&p, 0.00005).unwrap();
+        assert_eq!(pick.label, "AnyMatch [LLaMA3.2]");
+        // Budget $0.000075 admits GPT-4o-Mini, but LLaMA3.2 still wins F1.
+        let pick = best_within_budget(&p, 0.000075).unwrap();
+        assert_eq!(pick.label, "AnyMatch [LLaMA3.2]");
+        // Tiny budget: only Ditto.
+        let pick = best_within_budget(&p, 0.0000032).unwrap();
+        assert_eq!(pick.label, "Ditto");
+        // Impossible budget.
+        assert!(best_within_budget(&p, 1e-9).is_none());
+    }
+
+    #[test]
+    fn anymatch_llama_is_the_best_balance() {
+        let p = pts();
+        assert_eq!(best_balance(&p).unwrap().label, "AnyMatch [LLaMA3.2]");
+    }
+
+    #[test]
+    fn scatter_renders_all_points() {
+        let p = pts();
+        let s = ascii_scatter(&p, "USD per 1K tokens");
+        for point in &p {
+            assert!(s.contains(point.label.as_str()));
+        }
+        assert!(s.contains("log scale"));
+        assert_eq!(ascii_scatter(&[], "x"), "(no points)");
+    }
+}

@@ -1,0 +1,217 @@
+//! Value corruptions simulating real-world data dirtiness: typos, token
+//! drops/reorders, abbreviations, casing noise, and numeric jitter. Each is
+//! deterministic under the caller's RNG.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Introduces a single character-level typo (swap, delete, or duplicate).
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 2 {
+        return s.to_owned();
+    }
+    let mut out = chars.clone();
+    let i = rng.gen_range(0..chars.len() - 1);
+    match rng.gen_range(0..3u8) {
+        0 => out.swap(i, i + 1),
+        1 => {
+            out.remove(i);
+        }
+        _ => out.insert(i, chars[i]),
+    }
+    out.into_iter().collect()
+}
+
+/// Drops one random word token (keeps at least one).
+pub fn drop_token(s: &str, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..tokens.len());
+    tokens
+        .iter()
+        .enumerate()
+        .filter_map(|(j, t)| (j != i).then_some(*t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Fully shuffles the word tokens (token-soup titles: same content,
+/// different order — sinks order-sensitive whole-string similarity while
+/// preserving token overlap).
+pub fn shuffle_tokens(s: &str, rng: &mut StdRng) -> String {
+    use rand::seq::SliceRandom;
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    tokens.shuffle(rng);
+    tokens.join(" ")
+}
+
+/// Swaps two adjacent word tokens.
+pub fn reorder_tokens(s: &str, rng: &mut StdRng) -> String {
+    let mut tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.len() < 2 {
+        return s.to_owned();
+    }
+    let i = rng.gen_range(0..tokens.len() - 1);
+    tokens.swap(i, i + 1);
+    tokens.join(" ")
+}
+
+/// Abbreviates one word to its first 1–4 characters (optionally with a
+/// trailing period), e.g. "boulevard" → "blvd." style truncation.
+pub fn abbreviate(s: &str, rng: &mut StdRng) -> String {
+    let tokens: Vec<&str> = s.split_whitespace().collect();
+    if tokens.is_empty() {
+        return s.to_owned();
+    }
+    let candidates: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| (t.chars().count() > 4).then_some(i))
+        .collect();
+    let Some(&i) = candidates.get(
+        rng.gen_range(0..candidates.len().max(1))
+            .min(candidates.len().saturating_sub(1)),
+    ) else {
+        return s.to_owned();
+    };
+    let keep = rng.gen_range(1..=4usize);
+    let mut short: String = tokens[i].chars().take(keep).collect();
+    if rng.gen_bool(0.5) {
+        short.push('.');
+    }
+    let mut out: Vec<String> = tokens.iter().map(|t| (*t).to_string()).collect();
+    out[i] = short;
+    out.join(" ")
+}
+
+/// Random casing perturbation: all-upper, all-lower, or title case.
+pub fn recase(s: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3u8) {
+        0 => s.to_uppercase(),
+        1 => s.to_lowercase(),
+        _ => s
+            .split_whitespace()
+            .map(crate::lexicon::capitalize)
+            .collect::<Vec<_>>()
+            .join(" "),
+    }
+}
+
+/// Multiplicative jitter of a numeric value within ±`pct` percent.
+pub fn jitter(value: f64, pct: f64, rng: &mut StdRng) -> f64 {
+    let factor = 1.0 + rng.gen_range(-pct..=pct) / 100.0;
+    (value * factor * 100.0).round() / 100.0
+}
+
+/// Applies `n` corruption passes chosen from the text corruptions above.
+pub fn corrupt_text(s: &str, n: usize, rng: &mut StdRng) -> String {
+    let mut out = s.to_owned();
+    for _ in 0..n {
+        out = match rng.gen_range(0..5u8) {
+            0 => typo(&out, rng),
+            1 => drop_token(&out, rng),
+            2 => reorder_tokens(&out, rng),
+            3 => abbreviate(&out, rng),
+            _ => recase(&out, rng),
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn typo_changes_longer_strings() {
+        let mut r = rng(0);
+        let changed = (0..20)
+            .filter(|_| typo("hello world", &mut r) != "hello world")
+            .count();
+        assert!(changed >= 15);
+    }
+
+    #[test]
+    fn typo_leaves_tiny_strings_alone() {
+        let mut r = rng(1);
+        assert_eq!(typo("a", &mut r), "a");
+        assert_eq!(typo("", &mut r), "");
+    }
+
+    #[test]
+    fn drop_token_removes_exactly_one() {
+        let mut r = rng(2);
+        let out = drop_token("alpha beta gamma", &mut r);
+        assert_eq!(out.split_whitespace().count(), 2);
+        assert_eq!(drop_token("single", &mut r), "single");
+    }
+
+    #[test]
+    fn reorder_preserves_multiset() {
+        let mut r = rng(3);
+        let out = reorder_tokens("a b c d", &mut r);
+        let mut toks: Vec<&str> = out.split_whitespace().collect();
+        toks.sort_unstable();
+        assert_eq!(toks, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn abbreviate_shortens_a_long_word() {
+        let mut r = rng(4);
+        let out = abbreviate("boulevard junction", &mut r);
+        assert!(out.len() < "boulevard junction".len());
+    }
+
+    #[test]
+    fn abbreviate_skips_short_only_strings() {
+        let mut r = rng(5);
+        assert_eq!(abbreviate("ab cd", &mut r), "ab cd");
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut r = rng(6);
+        for _ in 0..50 {
+            let v = jitter(100.0, 5.0, &mut r);
+            assert!((94.9..=105.1).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn corrupt_text_zero_passes_is_identity() {
+        let mut r = rng(7);
+        assert_eq!(corrupt_text("same text", 0, &mut r), "same text");
+    }
+
+    proptest! {
+        #[test]
+        fn corruptions_never_panic(s in ".{0,40}", seed in 0u64..50, n in 0usize..4) {
+            let mut r = rng(seed);
+            let _ = corrupt_text(&s, n, &mut r);
+            let _ = typo(&s, &mut r);
+            let _ = drop_token(&s, &mut r);
+            let _ = reorder_tokens(&s, &mut r);
+            let _ = abbreviate(&s, &mut r);
+            let _ = recase(&s, &mut r);
+        }
+
+        #[test]
+        fn recase_preserves_alphanumeric_content(s in "[a-zA-Z ]{0,30}", seed in 0u64..20) {
+            let mut r = rng(seed);
+            let out = recase(&s, &mut r);
+            prop_assert_eq!(
+                s.to_lowercase().replace(' ', ""),
+                out.to_lowercase().replace(' ', "")
+            );
+        }
+    }
+}

@@ -1,0 +1,1161 @@
+//! Per-domain entity generators.
+//!
+//! Every benchmark dataset is backed by a [`Domain`]: a generator of
+//! canonical entities, *near-miss* twins (hard negatives sharing most
+//! surface tokens), and noisy *presentations* (the two relations' views of
+//! an entity). The noise profile per dataset is chosen to reproduce the
+//! difficulty structure visible in the paper's Table 3:
+//!
+//! * citations (DBAC clean, DBGO abbreviated) are well-structured — string
+//!   similarity alone separates most pairs;
+//! * restaurants (FOZA, ZOYE) are clean per column but the two relations
+//!   use systematically different formats, which sinks whole-string
+//!   similarity while column-wise methods (ZeroER) excel;
+//! * web products / software / electronics (ABT, WDC, AMGO, WAAM) carry
+//!   long free-text descriptions, token-soup titles and model numbers —
+//!   hard for parameter-free methods, domain-specific language rewards the
+//!   strongest pretrained tiers (Finding 4);
+//! * music (ITAM) has many overlapping-value columns that break ZeroER's
+//!   distributional assumption.
+
+use crate::corrupt::{
+    abbreviate, corrupt_text, drop_token, jitter, recase, reorder_tokens, shuffle_tokens, typo,
+};
+use crate::lexicon::{pools, Lexicon};
+use em_core::{AttrType, AttrValue};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Which relation a presentation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left input relation.
+    Left,
+    /// The right input relation.
+    Right,
+}
+
+/// A domain-specific entity generator.
+pub trait Domain {
+    /// Column types of this domain's aligned schema.
+    fn attr_types(&self) -> Vec<AttrType>;
+    /// Samples a fresh canonical entity.
+    fn entity(&mut self) -> Vec<AttrValue>;
+    /// Derives a near-miss entity: a *different* real-world entity sharing
+    /// most of the surface form (same brand, similar title, ...).
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue>;
+    /// Renders a noisy presentation of the entity for one relation.
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue>;
+}
+
+fn text(s: impl Into<String>) -> AttrValue {
+    AttrValue::Text(s.into())
+}
+
+fn take_text(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Text(s) => s.clone(),
+        AttrValue::Number(n) => AttrValue::Number(*n).render(),
+        AttrValue::Missing => String::new(),
+    }
+}
+
+/// Noise knobs shared by the concrete domains.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseProfile {
+    /// Corruption passes applied to each textual value of a presentation.
+    pub corruption_passes: usize,
+    /// Probability that a non-key attribute is missing in a presentation.
+    pub missing_rate: f64,
+    /// Probability of numeric jitter on numeric attributes (matched
+    /// presentations keep values close; jitter stays within ±3%).
+    pub numeric_jitter: f64,
+}
+
+fn maybe_missing(v: AttrValue, rate: f64, rng: &mut StdRng) -> AttrValue {
+    if rng.gen_bool(rate) {
+        AttrValue::Missing
+    } else {
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Products (ABT, WDC, AMGO, WAAM)
+// ---------------------------------------------------------------------------
+
+/// Style of the product-family datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProductStyle {
+    /// Abt-Buy: name, long description, price.
+    Abt,
+    /// WDC: title, category, brand (token-soup titles).
+    Wdc,
+    /// Amazon-Google software: title, manufacturer, price.
+    Amgo,
+    /// Walmart-Amazon electronics: title, category, brand, model, price.
+    Waam,
+}
+
+/// Product-family domain generator.
+pub struct ProductDomain {
+    style: ProductStyle,
+    lex: Lexicon,
+    rng: StdRng,
+    brands: Vec<String>,
+    profile: NoiseProfile,
+}
+
+impl ProductDomain {
+    /// New product domain with its own entity vocabulary.
+    pub fn new(style: ProductStyle, seed: u64) -> Self {
+        let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x70726f64));
+        let brands = lex.name_pool(30);
+        let profile = match style {
+            // Free-text-heavy datasets are dirtier.
+            ProductStyle::Abt => NoiseProfile {
+                corruption_passes: 2,
+                missing_rate: 0.15,
+                numeric_jitter: 0.5,
+            },
+            ProductStyle::Wdc => NoiseProfile {
+                corruption_passes: 1,
+                missing_rate: 0.2,
+                numeric_jitter: 0.3,
+            },
+            ProductStyle::Amgo => NoiseProfile {
+                corruption_passes: 2,
+                missing_rate: 0.3,
+                numeric_jitter: 0.6,
+            },
+            ProductStyle::Waam => NoiseProfile {
+                corruption_passes: 2,
+                missing_rate: 0.15,
+                numeric_jitter: 0.4,
+            },
+        };
+        ProductDomain {
+            style,
+            rng: StdRng::seed_from_u64(seed ^ 0x70616972),
+            lex,
+            brands,
+            profile,
+        }
+    }
+
+    fn base_title(&mut self) -> (String, String, String) {
+        let brand = self.brands[self.rng.gen_range(0..self.brands.len())].clone();
+        let adj = pools::ADJECTIVES[self.rng.gen_range(0..pools::ADJECTIVES.len())];
+        let noun = match self.style {
+            ProductStyle::Amgo => {
+                pools::SOFTWARE_NOUNS[self.rng.gen_range(0..pools::SOFTWARE_NOUNS.len())]
+            }
+            _ => pools::PRODUCT_NOUNS[self.rng.gen_range(0..pools::PRODUCT_NOUNS.len())],
+        };
+        let model = self.lex.model_code();
+        let title = format!("{brand} {adj} {noun} {model}");
+        (title, brand, model)
+    }
+
+    fn description(&mut self, title: &str) -> String {
+        // Long, unconventional free text: feature fragments and units.
+        let mut parts = vec![title.to_lowercase()];
+        let n = self.rng.gen_range(3..7);
+        for _ in 0..n {
+            let frag = match self.rng.gen_range(0..5u8) {
+                0 => format!("{}w output", self.rng.gen_range(5..500)),
+                1 => format!("{}gb storage", 2u32 << self.rng.gen_range(0..6)),
+                2 => format!(
+                    "{} {}",
+                    pools::ADJECTIVES[self.rng.gen_range(0..pools::ADJECTIVES.len())],
+                    self.lex.word()
+                ),
+                3 => format!("{}in display", self.rng.gen_range(5..32)),
+                _ => format!("model {}", self.lex.model_code().to_lowercase()),
+            };
+            parts.push(frag);
+        }
+        parts.join(" ")
+    }
+}
+
+impl Domain for ProductDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        match self.style {
+            ProductStyle::Abt => {
+                vec![AttrType::ShortText, AttrType::LongText, AttrType::Numeric]
+            }
+            ProductStyle::Wdc => {
+                vec![
+                    AttrType::ShortText,
+                    AttrType::ShortText,
+                    AttrType::ShortText,
+                ]
+            }
+            ProductStyle::Amgo => {
+                vec![AttrType::ShortText, AttrType::ShortText, AttrType::Numeric]
+            }
+            ProductStyle::Waam => vec![
+                AttrType::ShortText,
+                AttrType::ShortText,
+                AttrType::ShortText,
+                AttrType::ShortText,
+                AttrType::Numeric,
+            ],
+        }
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let (title, brand, model) = self.base_title();
+        let price = (self.rng.gen_range(900..99900) as f64) / 100.0;
+        match self.style {
+            ProductStyle::Abt => {
+                let desc = self.description(&title);
+                vec![text(title), text(desc), AttrValue::Number(price)]
+            }
+            ProductStyle::Wdc => {
+                let cat = pools::CATEGORIES[self.rng.gen_range(0..pools::CATEGORIES.len())];
+                vec![text(title), text(cat), text(brand)]
+            }
+            ProductStyle::Amgo => {
+                let ver = format!(
+                    "v{}.{}",
+                    self.rng.gen_range(1..12),
+                    self.rng.gen_range(0..10)
+                );
+                vec![
+                    text(format!("{title} {ver}")),
+                    text(brand),
+                    AttrValue::Number(price),
+                ]
+            }
+            ProductStyle::Waam => {
+                let cat = pools::CATEGORIES[self.rng.gen_range(0..pools::CATEGORIES.len())];
+                vec![
+                    text(title),
+                    text(cat),
+                    text(brand),
+                    text(model),
+                    AttrValue::Number(price),
+                ]
+            }
+        }
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Same brand and product line, different model / version — the
+        // classic hard negative in product matching.
+        let mut out = e.to_vec();
+        let new_model = self.lex.model_code();
+        let title = take_text(&e[0]);
+        let mut tokens: Vec<String> = title.split_whitespace().map(String::from).collect();
+        if let Some(last) = tokens.last_mut() {
+            *last = match self.style {
+                ProductStyle::Amgo => {
+                    format!(
+                        "v{}.{}",
+                        self.rng.gen_range(1..12),
+                        self.rng.gen_range(0..10)
+                    )
+                }
+                _ => new_model.clone(),
+            };
+        }
+        out[0] = text(tokens.join(" "));
+        match self.style {
+            ProductStyle::Abt => {
+                let new_title = take_text(&out[0]);
+                out[1] = text(self.description(&new_title));
+                out[2] = AttrValue::Number(jitter(
+                    e[2].as_number().unwrap_or(50.0),
+                    30.0,
+                    &mut self.rng,
+                ));
+            }
+            ProductStyle::Waam => {
+                out[3] = text(new_model);
+                out[4] = AttrValue::Number(jitter(
+                    e[4].as_number().unwrap_or(50.0),
+                    30.0,
+                    &mut self.rng,
+                ));
+            }
+            ProductStyle::Amgo => {
+                out[2] = AttrValue::Number(jitter(
+                    e[2].as_number().unwrap_or(50.0),
+                    30.0,
+                    &mut self.rng,
+                ));
+            }
+            ProductStyle::Wdc => {}
+        }
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        let profile = self.profile;
+        let style = self.style;
+        let rng = &mut self.rng;
+        e.iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                AttrValue::Text(s) => {
+                    // The right relation (vendor B) rewrites more
+                    // aggressively — mirrors Abt vs Buy catalog styles.
+                    let passes = if side == Side::Right {
+                        profile.corruption_passes
+                    } else {
+                        profile.corruption_passes.saturating_sub(1)
+                    };
+                    let mut noisy = corrupt_text(s, passes, rng);
+                    // Token-soup titles: vendor B lists the same tokens in
+                    // its own order (kills order-sensitive whole-string
+                    // similarity, keeps token overlap).
+                    if i == 0
+                        && side == Side::Right
+                        && matches!(style, ProductStyle::Wdc | ProductStyle::Waam)
+                    {
+                        noisy = shuffle_tokens(&noisy, rng);
+                    }
+                    // Vendors categorize the same product differently.
+                    if i == 1
+                        && side == Side::Right
+                        && matches!(style, ProductStyle::Wdc | ProductStyle::Waam)
+                        && rng.gen_bool(0.4)
+                    {
+                        noisy =
+                            pools::CATEGORIES[rng.gen_range(0..pools::CATEGORIES.len())].to_owned();
+                    }
+                    // Key attribute (index 0) is never missing.
+                    if i == 0 {
+                        text(noisy)
+                    } else {
+                        maybe_missing(text(noisy), profile.missing_rate, rng)
+                    }
+                }
+                AttrValue::Number(n) => {
+                    let val = if rng.gen_bool(profile.numeric_jitter) {
+                        AttrValue::Number(jitter(*n, 3.0, rng))
+                    } else {
+                        AttrValue::Number(*n)
+                    };
+                    maybe_missing(val, profile.missing_rate, rng)
+                }
+                AttrValue::Missing => AttrValue::Missing,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Citations (DBAC, DBGO)
+// ---------------------------------------------------------------------------
+
+/// Citation dataset flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CitationStyle {
+    /// DBLP-ACM: clean, consistent metadata.
+    Clean,
+    /// DBLP-Google: abbreviations, missing venues, noisy author lists.
+    Scholar,
+}
+
+/// Citation domain: title, authors, venue, year.
+pub struct CitationDomain {
+    style: CitationStyle,
+    lex: Lexicon,
+    rng: StdRng,
+    authors: Vec<String>,
+}
+
+impl CitationDomain {
+    /// New citation domain.
+    pub fn new(style: CitationStyle, seed: u64) -> Self {
+        let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x63697465));
+        let authors = lex.name_pool(120);
+        CitationDomain {
+            style,
+            rng: StdRng::seed_from_u64(seed ^ 0x70757273),
+            lex,
+            authors,
+        }
+    }
+
+    fn author_list(&mut self) -> String {
+        let n = self.rng.gen_range(1..=4);
+        let mut names = Vec::with_capacity(n);
+        for _ in 0..n {
+            let last = &self.authors[self.rng.gen_range(0..self.authors.len())];
+            let first = &self.authors[self.rng.gen_range(0..self.authors.len())];
+            names.push(format!("{first} {last}"));
+        }
+        names.join(", ")
+    }
+}
+
+impl Domain for CitationDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        vec![
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::Numeric,
+        ]
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let prefix = pools::CS_PREFIXES[self.rng.gen_range(0..pools::CS_PREFIXES.len())];
+        let topic = pools::CS_TOPICS[self.rng.gen_range(0..pools::CS_TOPICS.len())];
+        let q1 = self.lex.word();
+        let q2 = self.lex.word();
+        let title = format!("{prefix} {topic} with {q1} {q2}");
+        let authors = self.author_list();
+        let venue = pools::VENUES[self.rng.gen_range(0..pools::VENUES.len())];
+        let year = self.rng.gen_range(1995..2024) as f64;
+        vec![
+            text(title),
+            text(authors),
+            text(venue),
+            AttrValue::Number(year),
+        ]
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Same topic line, different qualifier and year — e.g. the
+        // conference and extended journal version trap, but still a
+        // different paper.
+        let mut out = e.to_vec();
+        let title = take_text(&e[0]);
+        let mut tokens: Vec<&str> = title.split_whitespace().collect();
+        let q1 = self.lex.word();
+        let q2 = self.lex.word();
+        if tokens.len() >= 3 {
+            tokens.pop();
+            tokens.pop();
+            let rebuilt = format!("{} {} {}", tokens.join(" "), q1, q2);
+            out[0] = text(rebuilt);
+        }
+        out[1] = text(self.author_list());
+        out[3] = AttrValue::Number(self.rng.gen_range(1995..2024) as f64);
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        let mut out = Vec::with_capacity(e.len());
+        // Title: essentially clean (one light corruption in Scholar style).
+        let title = take_text(&e[0]);
+        let title = match self.style {
+            CitationStyle::Clean => title,
+            CitationStyle::Scholar => {
+                if side == Side::Right && self.rng.gen_bool(0.4) {
+                    typo(&title, &mut self.rng)
+                } else {
+                    title
+                }
+            }
+        };
+        out.push(text(title));
+        // Authors: Scholar abbreviates and drops.
+        let authors = take_text(&e[1]);
+        let authors = match self.style {
+            CitationStyle::Clean => authors,
+            CitationStyle::Scholar => {
+                let mut a = authors;
+                if side == Side::Right {
+                    a = abbreviate(&a, &mut self.rng);
+                    if self.rng.gen_bool(0.3) {
+                        a = drop_token(&a, &mut self.rng);
+                    }
+                }
+                a
+            }
+        };
+        out.push(text(authors));
+        // Venue: Scholar frequently loses it.
+        let venue = take_text(&e[2]);
+        let missing_venue = match self.style {
+            CitationStyle::Clean => 0.02,
+            CitationStyle::Scholar => 0.35,
+        };
+        out.push(maybe_missing(text(venue), missing_venue, &mut self.rng));
+        // Year: clean (occasionally missing in Scholar).
+        let year = e[3].clone();
+        let missing_year = match self.style {
+            CitationStyle::Clean => 0.0,
+            CitationStyle::Scholar => 0.15,
+        };
+        out.push(maybe_missing(year, missing_year, &mut self.rng));
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Restaurants (FOZA, ZOYE)
+// ---------------------------------------------------------------------------
+
+/// Restaurant dataset flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestaurantStyle {
+    /// Fodors-Zagats: 6 attributes, strong per-relation format shift.
+    Foza,
+    /// Zomato-Yelp: 7 attributes including votes/rating/cost.
+    Zoye,
+}
+
+/// Restaurant domain with systematic per-relation formatting differences:
+/// individual columns are clean, but phone formats, address abbreviations,
+/// and casing differ between the two relations — whole-string similarity
+/// drops below threshold while per-column similarity stays high.
+pub struct RestaurantDomain {
+    style: RestaurantStyle,
+    lex: Lexicon,
+    rng: StdRng,
+}
+
+impl RestaurantDomain {
+    /// New restaurant domain.
+    pub fn new(style: RestaurantStyle, seed: u64) -> Self {
+        RestaurantDomain {
+            style,
+            lex: Lexicon::new(StdRng::seed_from_u64(seed ^ 0x72657374)),
+            rng: StdRng::seed_from_u64(seed ^ 0x666f6f64),
+        }
+    }
+}
+
+impl Domain for RestaurantDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        match self.style {
+            RestaurantStyle::Foza => vec![
+                AttrType::ShortText, // name
+                AttrType::ShortText, // address
+                AttrType::ShortText, // city
+                AttrType::ShortText, // phone
+                AttrType::ShortText, // cuisine
+                AttrType::ShortText, // class
+            ],
+            RestaurantStyle::Zoye => vec![
+                AttrType::ShortText, // name
+                AttrType::Numeric,   // votes
+                AttrType::Numeric,   // rating
+                AttrType::ShortText, // phone
+                AttrType::ShortText, // address
+                AttrType::ShortText, // cuisine
+                AttrType::Numeric,   // cost
+            ],
+        }
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let name = format!("{} {}", self.lex.name(), self.lex.name());
+        let number = self.rng.gen_range(1..9999);
+        let street = self.lex.word();
+        let suffix = pools::STREETS[self.rng.gen_range(0..pools::STREETS.len())];
+        let address = format!("{number} {street} {suffix}");
+        let city = pools::CITIES[self.rng.gen_range(0..pools::CITIES.len())];
+        let (a, b, c) = self.lex.phone();
+        let phone = format!("{a}-{b}-{c}");
+        let cuisine = pools::CUISINES[self.rng.gen_range(0..pools::CUISINES.len())];
+        match self.style {
+            RestaurantStyle::Foza => {
+                let class = format!("class {}", self.rng.gen_range(1..30));
+                vec![
+                    text(name),
+                    text(address),
+                    text(city),
+                    text(phone),
+                    text(cuisine),
+                    text(class),
+                ]
+            }
+            RestaurantStyle::Zoye => {
+                let votes = self.rng.gen_range(5..3000) as f64;
+                let rating = (self.rng.gen_range(20..50) as f64) / 10.0;
+                let cost = self.rng.gen_range(10..120) as f64;
+                vec![
+                    text(name),
+                    AttrValue::Number(votes),
+                    AttrValue::Number(rating),
+                    text(phone),
+                    text(address),
+                    text(cuisine),
+                    AttrValue::Number(cost),
+                ]
+            }
+        }
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Different branch of a similarly named restaurant: shares the name
+        // stem and city, different address and phone.
+        let mut out = e.to_vec();
+        let name = take_text(&e[0]);
+        let stem = name.split_whitespace().next().unwrap_or("x").to_owned();
+        out[0] = text(format!("{stem} {}", self.lex.name()));
+        let number = self.rng.gen_range(1..9999);
+        let street = self.lex.word();
+        let suffix = pools::STREETS[self.rng.gen_range(0..pools::STREETS.len())];
+        let (a, b, c) = self.lex.phone();
+        match self.style {
+            RestaurantStyle::Foza => {
+                out[1] = text(format!("{number} {street} {suffix}"));
+                out[3] = text(format!("{a}-{b}-{c}"));
+            }
+            RestaurantStyle::Zoye => {
+                out[4] = text(format!("{number} {street} {suffix}"));
+                out[3] = text(format!("{a}-{b}-{c}"));
+            }
+        }
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        // Systematic style shift between relations.
+        e.iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                AttrValue::Text(s) => {
+                    let formatted = match side {
+                        // Relation A: title case, full street words,
+                        // dashed phones, decorated names.
+                        Side::Left => {
+                            let mut t = recase_title(s);
+                            if i == 0 {
+                                t.push_str(" Restaurant");
+                            }
+                            t
+                        }
+                        // Relation B: lower case, abbreviated, dotted
+                        // phones, "(xxx) yyy-zzzz" style.
+                        Side::Right => {
+                            let mut t = s.to_lowercase();
+                            if t.contains('-')
+                                && t.chars().filter(|c| c.is_ascii_digit()).count() >= 10
+                            {
+                                // Phone reformat.
+                                let digits: String =
+                                    t.chars().filter(|c| c.is_ascii_digit()).collect();
+                                t = format!(
+                                    "({}) {} {}",
+                                    &digits[0..3],
+                                    &digits[3..6],
+                                    &digits[6..10]
+                                );
+                            } else if i == 1 || i == 4 {
+                                // Addresses: platform B drops the street
+                                // suffix and keeps number + street name —
+                                // token overlap survives, contiguity dies.
+                                let toks: Vec<&str> = t.split_whitespace().collect();
+                                if toks.len() > 2 {
+                                    t = toks[..toks.len() - 1].join(" ");
+                                }
+                            } else if i == 0 {
+                                // Platform B lists "name, cuisine kitchen"
+                                // style: reordered tokens plus boilerplate.
+                                t = reorder_tokens(&t, &mut self.rng);
+                                t.push_str(" kitchen");
+                            }
+                            t
+                        }
+                    };
+                    // Mild residual noise.
+                    let noisy = if self.rng.gen_bool(0.1) {
+                        typo(&formatted, &mut self.rng)
+                    } else {
+                        formatted
+                    };
+                    text(noisy)
+                }
+                AttrValue::Number(n) => {
+                    // Votes/ratings drift slightly between platforms.
+                    if self.rng.gen_bool(0.5) {
+                        AttrValue::Number(jitter(*n, 4.0, &mut self.rng))
+                    } else {
+                        AttrValue::Number(*n)
+                    }
+                }
+                AttrValue::Missing => AttrValue::Missing,
+            })
+            .collect()
+    }
+}
+
+fn recase_title(s: &str) -> String {
+    s.split_whitespace()
+        .map(crate::lexicon::capitalize)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+// ---------------------------------------------------------------------------
+// Beer (BEER)
+// ---------------------------------------------------------------------------
+
+/// Beer domain: name, brewery, style, ABV.
+pub struct BeerDomain {
+    lex: Lexicon,
+    rng: StdRng,
+    breweries: Vec<String>,
+}
+
+impl BeerDomain {
+    /// New beer domain.
+    pub fn new(seed: u64) -> Self {
+        let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x62656572));
+        let breweries: Vec<String> = lex
+            .name_pool(15)
+            .into_iter()
+            .map(|n| format!("{n} brewing"))
+            .collect();
+        BeerDomain {
+            rng: StdRng::seed_from_u64(seed ^ 0x686f7073),
+            lex,
+            breweries,
+        }
+    }
+}
+
+impl Domain for BeerDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        vec![
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::Numeric,
+        ]
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let style = pools::BEER_STYLES[self.rng.gen_range(0..pools::BEER_STYLES.len())];
+        let name = format!("{} {}", self.lex.name(), style);
+        let brewery = self.breweries[self.rng.gen_range(0..self.breweries.len())].clone();
+        let abv = (self.rng.gen_range(35..120) as f64) / 10.0;
+        vec![
+            text(name),
+            text(brewery),
+            text(style),
+            AttrValue::Number(abv),
+        ]
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Same brewery, different beer of the same style with a similar
+        // strength — only the name reliably distinguishes them.
+        let mut out = e.to_vec();
+        let style = take_text(&e[2]);
+        out[0] = text(format!("{} {}", self.lex.name(), style));
+        let abv = e[3].as_number().unwrap_or(5.0);
+        out[3] = AttrValue::Number(
+            ((abv * 10.0 + self.rng.gen_range(-8..=8) as f64) / 10.0).clamp(3.5, 12.0),
+        );
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        e.iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                AttrValue::Text(s) => {
+                    let mut t = s.clone();
+                    if side == Side::Right {
+                        t = recase(&t, &mut self.rng);
+                        if self.rng.gen_bool(0.15) {
+                            t = typo(&t, &mut self.rng);
+                        }
+                    }
+                    if i == 0 {
+                        text(t)
+                    } else {
+                        maybe_missing(text(t), 0.05, &mut self.rng)
+                    }
+                }
+                AttrValue::Number(n) => {
+                    // Label databases round ABV differently.
+                    if side == Side::Right && self.rng.gen_bool(0.4) {
+                        AttrValue::Number((*n + 0.1).floor())
+                    } else {
+                        AttrValue::Number(*n)
+                    }
+                }
+                AttrValue::Missing => AttrValue::Missing,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Music (ITAM)
+// ---------------------------------------------------------------------------
+
+/// Music domain (iTunes-Amazon): 8 attributes with heavily overlapping
+/// value distributions between matches and non-matches — the setting in
+/// which ZeroER's distributional assumption collapses (its F1 on ITAM is
+/// 10.8 in the paper).
+pub struct MusicDomain {
+    lex: Lexicon,
+    rng: StdRng,
+    artists: Vec<String>,
+    song_words: Vec<String>,
+}
+
+impl MusicDomain {
+    /// New music domain. Song titles draw from a *small* shared pool, so
+    /// different tracks frequently share words — the value-overlap property
+    /// that makes ITAM hostile to similarity-distribution methods.
+    pub fn new(seed: u64) -> Self {
+        let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x6d757369));
+        let artists = lex.name_pool(25);
+        let song_words = (0..18).map(|_| lex.word()).collect();
+        MusicDomain {
+            rng: StdRng::seed_from_u64(seed ^ 0x736f6e67),
+            lex,
+            artists,
+            song_words,
+        }
+    }
+
+    fn song_title(&mut self) -> String {
+        let a = self.song_words[self.rng.gen_range(0..self.song_words.len())].clone();
+        let b = self.song_words[self.rng.gen_range(0..self.song_words.len())].clone();
+        format!("{a} {b}")
+    }
+}
+
+impl Domain for MusicDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        vec![
+            AttrType::ShortText, // song
+            AttrType::ShortText, // artist
+            AttrType::ShortText, // album
+            AttrType::ShortText, // genre
+            AttrType::Numeric,   // price
+            AttrType::ShortText, // copyright
+            AttrType::ShortText, // time
+            AttrType::ShortText, // released
+        ]
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let song = self.song_title();
+        let artist = self.artists[self.rng.gen_range(0..self.artists.len())].clone();
+        let album = format!("{} {}", self.lex.name(), self.lex.word());
+        let genre = pools::GENRES[self.rng.gen_range(0..pools::GENRES.len())];
+        // Prices cluster on two points — overlapping distributions.
+        let price = if self.rng.gen_bool(0.7) { 0.99 } else { 1.29 };
+        // Tiny label pool: copyright strings repeat across unrelated tracks.
+        let labels = [
+            "(c) sonic records",
+            "(c) harbor music",
+            "(c) nova records",
+            "(c) meridian audio",
+            "(c) pulse media",
+        ];
+        let copyright = labels[self.rng.gen_range(0..labels.len())].to_owned();
+        // Coarse duration grid: unrelated tracks frequently share a length.
+        let time = format!(
+            "{}:{:02}",
+            self.rng.gen_range(2..6),
+            15 * self.rng.gen_range(0..4)
+        );
+        let released = format!(
+            "{} {}, {}",
+            ["jan", "feb", "mar", "apr", "may", "jun"][self.rng.gen_range(0..6)],
+            self.rng.gen_range(1..29),
+            self.rng.gen_range(2005..2015)
+        );
+        vec![
+            text(song),
+            text(artist),
+            text(album),
+            text(genre),
+            AttrValue::Number(price),
+            text(copyright),
+            text(time),
+            text(released),
+        ]
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Same artist and album, different track — only the song title and
+        // time distinguish them (remaster/cover trap). Song words come from
+        // the shared pool, so even the titles partially overlap.
+        let mut out = e.to_vec();
+        out[0] = text(self.song_title());
+        out[6] = text(format!(
+            "{}:{:02}",
+            self.rng.gen_range(2..6),
+            self.rng.gen_range(0..60)
+        ));
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        e.iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                AttrValue::Text(s) => {
+                    let mut t = s.clone();
+                    if side == Side::Right {
+                        // Store B renders durations as seconds and release
+                        // dates as bare years — per-column comparisons
+                        // carry almost no signal either way.
+                        if i == 6 {
+                            if let Some((m, sec)) = t.split_once(':') {
+                                let total = m.parse::<i64>().unwrap_or(3) * 60
+                                    + sec.parse::<i64>().unwrap_or(0);
+                                t = format!("{total} sec");
+                            }
+                        }
+                        if i == 7 {
+                            if let Some(year) = t.rsplit(' ').next() {
+                                t = year.to_owned();
+                            }
+                        }
+                        // Store B decorates song titles heavily and often
+                        // misspells them — the one distinguishing column
+                        // degrades for similarity-vector methods.
+                        if i == 0 {
+                            if self.rng.gen_bool(0.85) {
+                                t = format!(
+                                    "{t} {}",
+                                    [
+                                        "[explicit]",
+                                        "(remastered)",
+                                        "- single",
+                                        "(deluxe)",
+                                        "(album version)",
+                                        "(feat. various)"
+                                    ][self.rng.gen_range(0..6)]
+                                );
+                            }
+                            if self.rng.gen_bool(0.25) {
+                                t = typo(&t, &mut self.rng);
+                            }
+                        }
+                        if self.rng.gen_bool(0.3) {
+                            t = recase(&t, &mut self.rng);
+                        }
+                    }
+                    if i == 0 {
+                        text(t)
+                    } else {
+                        maybe_missing(text(t), 0.12, &mut self.rng)
+                    }
+                }
+                AttrValue::Number(n) => AttrValue::Number(*n),
+                AttrValue::Missing => AttrValue::Missing,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Movies (ROIM)
+// ---------------------------------------------------------------------------
+
+/// Movie domain (RottenTomatoes-IMDB): title, director, stars, year, rating.
+pub struct MovieDomain {
+    rng: StdRng,
+    people: Vec<String>,
+}
+
+impl MovieDomain {
+    /// New movie domain.
+    pub fn new(seed: u64) -> Self {
+        let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x6d6f7669));
+        let people = lex.name_pool(60);
+        MovieDomain {
+            rng: StdRng::seed_from_u64(seed ^ 0x66696c6d),
+            people,
+        }
+    }
+
+    fn person(&mut self) -> String {
+        format!(
+            "{} {}",
+            self.people[self.rng.gen_range(0..self.people.len())],
+            self.people[self.rng.gen_range(0..self.people.len())]
+        )
+    }
+}
+
+impl Domain for MovieDomain {
+    fn attr_types(&self) -> Vec<AttrType> {
+        vec![
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::ShortText,
+            AttrType::Numeric,
+            AttrType::Numeric,
+        ]
+    }
+
+    fn entity(&mut self) -> Vec<AttrValue> {
+        let w1 = pools::MOVIE_WORDS[self.rng.gen_range(0..pools::MOVIE_WORDS.len())];
+        let w2 = pools::MOVIE_WORDS[self.rng.gen_range(0..pools::MOVIE_WORDS.len())];
+        let title = format!("the {w1} {w2}");
+        let director = self.person();
+        let stars = format!("{}, {}", self.person(), self.person());
+        let year = self.rng.gen_range(1970..2024) as f64;
+        let rating = (self.rng.gen_range(30..95) as f64) / 10.0;
+        vec![
+            text(title),
+            text(director),
+            text(stars),
+            AttrValue::Number(year),
+            AttrValue::Number(rating),
+        ]
+    }
+
+    fn near_miss(&mut self, e: &[AttrValue]) -> Vec<AttrValue> {
+        // Remake trap: same title, different year/director.
+        let mut out = e.to_vec();
+        out[1] = text(self.person());
+        out[2] = text(format!("{}, {}", self.person(), self.person()));
+        out[3] = AttrValue::Number(self.rng.gen_range(1970..2024) as f64);
+        out
+    }
+
+    fn present(&mut self, e: &[AttrValue], side: Side) -> Vec<AttrValue> {
+        e.iter()
+            .enumerate()
+            .map(|(i, v)| match v {
+                AttrValue::Text(s) => {
+                    let mut t = s.clone();
+                    if side == Side::Right {
+                        t = t.to_lowercase();
+                        if self.rng.gen_bool(0.2) {
+                            t = reorder_tokens(&t, &mut self.rng);
+                        }
+                    } else {
+                        t = recase_title(&t);
+                    }
+                    if i == 0 {
+                        text(t)
+                    } else {
+                        maybe_missing(text(t), 0.05, &mut self.rng)
+                    }
+                }
+                AttrValue::Number(n) => {
+                    // Ratings differ slightly across platforms.
+                    if *n < 11.0 && self.rng.gen_bool(0.6) {
+                        AttrValue::Number(jitter(*n, 6.0, &mut self.rng))
+                    } else {
+                        AttrValue::Number(*n)
+                    }
+                }
+                AttrValue::Missing => AttrValue::Missing,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_domains(seed: u64) -> Vec<Box<dyn Domain>> {
+        vec![
+            Box::new(ProductDomain::new(ProductStyle::Abt, seed)),
+            Box::new(ProductDomain::new(ProductStyle::Wdc, seed + 1)),
+            Box::new(ProductDomain::new(ProductStyle::Amgo, seed + 2)),
+            Box::new(ProductDomain::new(ProductStyle::Waam, seed + 3)),
+            Box::new(CitationDomain::new(CitationStyle::Clean, seed + 4)),
+            Box::new(CitationDomain::new(CitationStyle::Scholar, seed + 5)),
+            Box::new(RestaurantDomain::new(RestaurantStyle::Foza, seed + 6)),
+            Box::new(RestaurantDomain::new(RestaurantStyle::Zoye, seed + 7)),
+            Box::new(BeerDomain::new(seed + 8)),
+            Box::new(MusicDomain::new(seed + 9)),
+            Box::new(MovieDomain::new(seed + 10)),
+        ]
+    }
+
+    #[test]
+    fn entities_match_declared_arity() {
+        for mut d in all_domains(0) {
+            let types = d.attr_types();
+            for _ in 0..5 {
+                let e = d.entity();
+                assert_eq!(e.len(), types.len());
+                let near = d.near_miss(&e);
+                assert_eq!(near.len(), types.len());
+                let left = d.present(&e, Side::Left);
+                let right = d.present(&e, Side::Right);
+                assert_eq!(left.len(), types.len());
+                assert_eq!(right.len(), types.len());
+            }
+        }
+    }
+
+    #[test]
+    fn near_miss_differs_from_entity() {
+        for mut d in all_domains(1) {
+            let e = d.entity();
+            let n = d.near_miss(&e);
+            assert_ne!(e, n, "near-miss must be a different entity");
+        }
+    }
+
+    #[test]
+    fn near_miss_shares_surface_tokens() {
+        // Hard negatives should overlap with the original.
+        let mut d = ProductDomain::new(ProductStyle::Waam, 42);
+        let e = d.entity();
+        let n = d.near_miss(&e);
+        let et = em_text::words(&take_text(&e[0]));
+        let nt = em_text::words(&take_text(&n[0]));
+        let shared = et.iter().filter(|t| nt.contains(t)).count();
+        assert!(shared >= 2, "expected shared tokens: {et:?} vs {nt:?}");
+    }
+
+    #[test]
+    fn presentations_keep_key_attribute_present() {
+        for mut d in all_domains(2) {
+            for _ in 0..20 {
+                let e = d.entity();
+                let p = d.present(&e, Side::Right);
+                assert!(!p[0].is_missing(), "key attribute must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn restaurant_relations_use_different_formats() {
+        let mut d = RestaurantDomain::new(RestaurantStyle::Foza, 7);
+        let e = d.entity();
+        let l = d.present(&e, Side::Left);
+        let r = d.present(&e, Side::Right);
+        // Phone formats differ systematically: dashed vs parenthesised.
+        let lp = take_text(&l[3]);
+        let rp = take_text(&r[3]);
+        assert!(lp.contains('-'), "{lp}");
+        assert!(rp.contains('('), "{rp}");
+    }
+
+    #[test]
+    fn citation_clean_presentations_are_near_identical() {
+        let mut d = CitationDomain::new(CitationStyle::Clean, 9);
+        let e = d.entity();
+        let l = d.present(&e, Side::Left);
+        let r = d.present(&e, Side::Right);
+        assert_eq!(take_text(&l[0]), take_text(&r[0]), "clean titles match");
+    }
+
+    #[test]
+    fn music_prices_overlap_between_entities() {
+        let mut d = MusicDomain::new(11);
+        let prices: std::collections::HashSet<String> =
+            (0..30).map(|_| take_text(&d.entity()[4])).collect();
+        assert!(prices.len() <= 2, "ITAM prices cluster: {prices:?}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = MovieDomain::new(5);
+        let mut b = MovieDomain::new(5);
+        for _ in 0..5 {
+            assert_eq!(a.entity(), b.entity());
+        }
+    }
+}

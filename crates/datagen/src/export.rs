@@ -1,0 +1,114 @@
+//! CSV export of generated benchmarks, in the layout the original
+//! Magellan-style benchmark files use: one row per labelled pair with
+//! `left_*` / `right_*` value columns and a `label` column. Useful for
+//! inspecting the synthetic data or feeding it to external tools.
+
+use em_core::{AttrValue, Benchmark};
+
+/// Escapes one CSV field (RFC 4180: quote when the field contains a comma,
+/// quote, or newline; double embedded quotes).
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+fn render(v: &AttrValue) -> String {
+    escape_field(&v.render())
+}
+
+/// Serializes a benchmark to CSV. Columns: `left_id`, `left_a0..`,
+/// `right_id`, `right_a0..`, `label`. Attribute columns are deliberately
+/// anonymous (`a0`, `a1`, ...) — consistent with cross-dataset
+/// Restriction 2, the export carries no semantic column names.
+pub fn to_csv(bench: &Benchmark) -> String {
+    let arity = bench.arity();
+    let mut out = String::new();
+    out.push_str("left_id");
+    for i in 0..arity {
+        out.push_str(&format!(",left_a{i}"));
+    }
+    out.push_str(",right_id");
+    for i in 0..arity {
+        out.push_str(&format!(",right_a{i}"));
+    }
+    out.push_str(",label\n");
+    for lp in &bench.pairs {
+        out.push_str(&lp.pair.left.id.to_string());
+        for v in &lp.pair.left.values {
+            out.push(',');
+            out.push_str(&render(v));
+        }
+        out.push(',');
+        out.push_str(&lp.pair.right.id.to_string());
+        for v in &lp.pair.right.values {
+            out.push(',');
+            out.push_str(&render(v));
+        }
+        out.push_str(if lp.label { ",1\n" } else { ",0\n" });
+    }
+    out
+}
+
+/// Writes the CSV export of a benchmark to a file.
+pub fn write_csv(bench: &Benchmark, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_csv(bench))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::generate;
+    use em_core::DatasetId;
+
+    #[test]
+    fn escape_handles_special_characters() {
+        assert_eq!(escape_field("plain"), "plain");
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_pair() {
+        let b = generate(DatasetId::Beer, 0);
+        let csv = to_csv(&b);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), b.pairs.len() + 1);
+        // Header: left_id + 4 attrs + right_id + 4 attrs + label = 11 cols.
+        assert_eq!(lines[0].split(',').count(), 11);
+        assert!(lines[0].starts_with("left_id,left_a0"));
+        assert!(lines[0].ends_with("label"));
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let b = generate(DatasetId::Zoye, 0);
+        let csv = to_csv(&b);
+        let positives = csv.lines().skip(1).filter(|l| l.ends_with(",1")).count();
+        assert_eq!(positives, b.positives());
+    }
+
+    #[test]
+    fn no_semantic_column_names_leak() {
+        let b = generate(DatasetId::Foza, 0);
+        let header = to_csv(&b).lines().next().unwrap().to_owned();
+        for forbidden in ["name", "phone", "address", "city", "cuisine"] {
+            assert!(!header.contains(forbidden), "{header}");
+        }
+    }
+
+    #[test]
+    fn write_csv_creates_a_readable_file() {
+        let b = generate(DatasetId::Beer, 1);
+        let dir = std::env::temp_dir().join("em_datagen_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("beer.csv");
+        write_csv(&b, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, to_csv(&b));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,84 @@
+//! Accelerator specifications.
+//!
+//! The study's throughput experiment (Section 4.2.1) runs on a machine with
+//! four NVIDIA A100 (40 GB) GPUs; the cost analysis (Section 4.2.2)
+//! extrapolates to a p4d.24xlarge cloud instance with eight of the same
+//! GPU.
+
+/// A GPU device model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Device memory in GiB.
+    pub memory_gib: f64,
+    /// Dense fp16 peak throughput in TFLOPS.
+    pub fp16_tflops: f64,
+}
+
+/// NVIDIA A100 with 40 GB HBM2 (the paper's hardware).
+pub const A100_40GB: GpuSpec = GpuSpec {
+    name: "A100-40GB",
+    memory_gib: 40.0,
+    fp16_tflops: 312.0,
+};
+
+/// A multi-GPU machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Device model.
+    pub gpu: GpuSpec,
+    /// Number of devices.
+    pub gpus: usize,
+}
+
+impl Machine {
+    /// The paper's academic HPC node: 4×A100-40GB.
+    pub fn hpc_node() -> Machine {
+        Machine {
+            gpu: A100_40GB,
+            gpus: 4,
+        }
+    }
+
+    /// AWS p4d.24xlarge: 8×A100-40GB.
+    pub fn p4d_24xlarge() -> Machine {
+        Machine {
+            gpu: A100_40GB,
+            gpus: 8,
+        }
+    }
+
+    /// Total device memory in GiB.
+    pub fn total_memory_gib(&self) -> f64 {
+        self.gpu.memory_gib * self.gpus as f64
+    }
+
+    /// Total dense fp16 TFLOPS.
+    pub fn total_tflops(&self) -> f64 {
+        self.gpu.fp16_tflops * self.gpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_spec() {
+        assert_eq!(A100_40GB.memory_gib, 40.0);
+        assert_eq!(A100_40GB.fp16_tflops, 312.0);
+    }
+
+    #[test]
+    fn machines_aggregate() {
+        let node = Machine::hpc_node();
+        assert_eq!(node.total_memory_gib(), 160.0);
+        assert_eq!(node.total_tflops(), 1248.0);
+        let p4d = Machine::p4d_24xlarge();
+        assert_eq!(p4d.gpus, 8);
+        // p4d has exactly twice the GPUs of the HPC node (the paper's
+        // extrapolation factor of 2).
+        assert_eq!(p4d.gpus, 2 * node.gpus);
+    }
+}

@@ -1,0 +1,208 @@
+//! Architecture profiles of the open-weight models in Table 5.
+//!
+//! Layer counts and hidden sizes are the published architectures; the
+//! activation multiplier and utilization class are calibration constants of
+//! the simulator (see DESIGN.md §1 — constants are fitted once against the
+//! paper's published A100 measurements, then every Table 5 quantity is
+//! *derived* from the model).
+
+/// Architecture family, which drives efficiency characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchClass {
+    /// Encoder-only classifier (BERT).
+    Encoder,
+    /// Decoder-only / encoder-decoder LM (GPT-2, T5, LLaMA).
+    Decoder,
+    /// Mixture-of-experts prediction head on a dense encoder (Unicorn's
+    /// DeBERTa): routing overhead only after the encoder.
+    MoeHead,
+    /// Fully sparse mixture-of-experts transformer (Mixtral): per-layer
+    /// routing and poor expert batching.
+    MoeSparse,
+}
+
+/// Profile of one deployable model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelProfile {
+    /// Model name as printed in Table 5.
+    pub name: &'static str,
+    /// Matcher that uses this model.
+    pub used_by: &'static str,
+    /// Parameter count in millions.
+    pub params_millions: f64,
+    /// Transformer layers (published architecture).
+    pub layers: usize,
+    /// Hidden size (published architecture).
+    pub hidden: usize,
+    /// Architecture class.
+    pub arch: ArchClass,
+    /// Activation-memory multiplier (calibrated constant).
+    pub activation_mult: f64,
+    /// Paper-reported RAM (GiB) — used when the measured footprint deviates
+    /// from the fp16-weights formula (e.g. Mixtral's shared layers).
+    pub reported_ram_gib: Option<f64>,
+    /// Paper-reported throughput (tokens/s, 4×A100) for comparison columns.
+    pub paper_tokens_per_s: f64,
+    /// Paper-reported max batch size for comparison columns.
+    pub paper_batch: usize,
+}
+
+/// Sequence length assumed by the throughput experiment (DBGO records).
+pub const BENCH_SEQ_LEN: usize = 256;
+
+/// The nine open-weight models of Table 5, in the paper's row order.
+pub const TABLE5_MODELS: [ModelProfile; 9] = [
+    ModelProfile {
+        name: "BERT",
+        used_by: "Ditto",
+        params_millions: 110.0,
+        layers: 12,
+        hidden: 768,
+        arch: ArchClass::Encoder,
+        activation_mult: 1.0,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 862_001.0,
+        paper_batch: 8192,
+    },
+    ModelProfile {
+        name: "GPT-2",
+        used_by: "AnyMatch",
+        params_millions: 124.0,
+        layers: 12,
+        hidden: 768,
+        arch: ArchClass::Decoder,
+        activation_mult: 1.0,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 693_999.0,
+        paper_batch: 8192,
+    },
+    ModelProfile {
+        name: "DeBERTa",
+        used_by: "Unicorn",
+        params_millions: 143.0,
+        layers: 12,
+        hidden: 768,
+        arch: ArchClass::MoeHead,
+        activation_mult: 2.0,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 216_396.0,
+        paper_batch: 4096,
+    },
+    ModelProfile {
+        name: "T5",
+        used_by: "AnyMatch",
+        params_millions: 220.0,
+        layers: 12,
+        hidden: 768,
+        arch: ArchClass::Decoder,
+        activation_mult: 1.05,
+        reported_ram_gib: Some(0.54),
+        paper_tokens_per_s: 530_656.0,
+        paper_batch: 8192,
+    },
+    ModelProfile {
+        name: "LLaMA3.2",
+        used_by: "AnyMatch",
+        params_millions: 1_300.0,
+        layers: 16,
+        hidden: 2048,
+        arch: ArchClass::Decoder,
+        activation_mult: 0.5,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 264_952.0,
+        paper_batch: 4096,
+    },
+    ModelProfile {
+        name: "LLaMA2-13B",
+        used_by: "Jellyfish",
+        params_millions: 13_000.0,
+        layers: 40,
+        hidden: 5120,
+        arch: ArchClass::Decoder,
+        activation_mult: 1.0,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 26_721.0,
+        paper_batch: 128,
+    },
+    ModelProfile {
+        name: "Mixtral-8x7B",
+        used_by: "MatchGPT",
+        params_millions: 56_000.0,
+        layers: 32,
+        hidden: 4096,
+        arch: ArchClass::MoeSparse,
+        activation_mult: 1.5,
+        reported_ram_gib: Some(73.73),
+        paper_tokens_per_s: 2_108.0,
+        paper_batch: 32,
+    },
+    ModelProfile {
+        name: "Beluga2",
+        used_by: "MatchGPT",
+        params_millions: 70_000.0,
+        layers: 80,
+        hidden: 8192,
+        arch: ArchClass::Decoder,
+        activation_mult: 1.5,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 1_079.0,
+        paper_batch: 32,
+    },
+    ModelProfile {
+        name: "SOLAR",
+        used_by: "MatchGPT",
+        params_millions: 70_000.0,
+        layers: 48,
+        hidden: 8192,
+        arch: ArchClass::Decoder,
+        activation_mult: 1.5,
+        reported_ram_gib: None,
+        paper_tokens_per_s: 752.0,
+        paper_batch: 64,
+    },
+];
+
+/// Looks a profile up by name.
+pub fn profile_by_name(name: &str) -> Option<&'static ModelProfile> {
+    TABLE5_MODELS.iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_models_in_table5_order() {
+        assert_eq!(TABLE5_MODELS.len(), 9);
+        assert_eq!(TABLE5_MODELS[0].name, "BERT");
+        assert_eq!(TABLE5_MODELS[8].name, "SOLAR");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(profile_by_name("LLaMA2-13B").is_some());
+        assert!(profile_by_name("GPT-5").is_none());
+    }
+
+    #[test]
+    fn params_are_ascending_except_moe_quirks() {
+        // Table 5 is sorted by parameter count.
+        let params: Vec<f64> = TABLE5_MODELS.iter().map(|m| m.params_millions).collect();
+        let mut sorted = params.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(params, sorted);
+    }
+
+    #[test]
+    fn paper_throughputs_span_three_orders_of_magnitude() {
+        let max = TABLE5_MODELS
+            .iter()
+            .map(|m| m.paper_tokens_per_s)
+            .fold(0.0f64, f64::max);
+        let min = TABLE5_MODELS
+            .iter()
+            .map(|m| m.paper_tokens_per_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1_000.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # em-lm — language-model substrate
+//!
+//! Tiny-but-real transformer language models built on `em-nn`, covering all
+//! model roles of the study:
+//!
+//! * a hashed-word tokenizer with special/segment ids ([`tokenizer`]);
+//! * model family presets preserving the paper's capacity ordering
+//!   ([`config`]);
+//! * the encoder classifier with plain and mixture-of-experts heads
+//!   ([`model`]);
+//! * the fine-tuning loop ([`finetune`]);
+//! * prompt assembly with in-context demonstrations ([`prompt`]);
+//! * frozen pre-trained capability tiers standing in for the prompted
+//!   commercial/open LLMs ([`zoo`]).
+
+pub mod config;
+pub mod finetune;
+pub mod model;
+pub mod prompt;
+pub mod tokenizer;
+pub mod zoo;
+
+pub use config::{LlmTier, ModelConfig, SlmFamily};
+pub use finetune::{predict_proba, train, TrainConfig, TrainReport};
+pub use model::{Batch, EncoderClassifier, Head, MoeHead};
+pub use prompt::{encode_prompt, Demonstration, PromptBudget};
+pub use tokenizer::{encode_pair, segment, special, Encoded, HashTokenizer};
+pub use zoo::{
+    pretrain_backbone, pretrain_tier, random_demonstrations, PretrainCorpus, PretrainedLlm,
+};

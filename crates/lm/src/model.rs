@@ -1,0 +1,649 @@
+//! The encoder classifier: embeddings (token + position + segment) →
+//! transformer blocks → final LayerNorm → masked mean pooling → prediction
+//! head. Two heads are provided:
+//!
+//! * [`Head::Linear`] — the standard single-logit head (Ditto, AnyMatch,
+//!   Jellyfish, and the frozen LLM tiers);
+//! * [`Head::Moe`] — a mixture-of-experts head reproducing Unicorn's
+//!   design: a gating network mixes expert FFNs before the final logit.
+
+use crate::config::ModelConfig;
+use crate::tokenizer::{overlap, segment, Encoded};
+use em_nn::{softmax_inplace, Embedding, Gelu, LayerNorm, Linear, Param, Tensor, TransformerBlock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A collated batch of encoded sequences.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Token ids, `n · seq` entries.
+    pub ids: Vec<u32>,
+    /// Segment ids, aligned with `ids`.
+    pub segments: Vec<u32>,
+    /// Validity mask, aligned with `ids`.
+    pub mask: Vec<bool>,
+    /// Overlap flags, aligned with `ids`.
+    pub overlap: Vec<u32>,
+    /// Number of sequences.
+    pub n: usize,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+impl Batch {
+    /// Collates encoded sequences (all must share one length).
+    pub fn collate(examples: &[Encoded]) -> Batch {
+        assert!(!examples.is_empty(), "cannot collate an empty batch");
+        let seq = examples[0].len();
+        assert!(
+            examples.iter().all(|e| e.len() == seq),
+            "all sequences must share one length"
+        );
+        let n = examples.len();
+        let mut ids = Vec::with_capacity(n * seq);
+        let mut segments = Vec::with_capacity(n * seq);
+        let mut mask = Vec::with_capacity(n * seq);
+        let mut ovl = Vec::with_capacity(n * seq);
+        for e in examples {
+            ids.extend_from_slice(&e.ids);
+            segments.extend_from_slice(&e.segments);
+            mask.extend_from_slice(&e.mask);
+            ovl.extend_from_slice(&e.overlap);
+        }
+        Batch {
+            ids,
+            segments,
+            mask,
+            overlap: ovl,
+            n,
+            seq,
+        }
+    }
+}
+
+/// Mixture-of-experts head (Unicorn): gated combination of expert FFNs
+/// applied to the pooled representation, followed by a single-logit layer.
+#[derive(Debug, Clone)]
+pub struct MoeHead {
+    /// Gating network: pooled → expert logits.
+    pub gate: Linear,
+    /// Expert FFNs: (expand, activation, contract).
+    pub experts: Vec<(Linear, Gelu, Linear)>,
+    /// Final logit layer on the mixed representation.
+    pub out: Linear,
+    cache: Option<MoeCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MoeCache {
+    pooled: Tensor,
+    gate_probs: Tensor,
+    expert_outs: Vec<Tensor>,
+}
+
+impl MoeHead {
+    /// New MoE head with `n_experts` experts of hidden size `hidden`.
+    pub fn new(dim: usize, hidden: usize, n_experts: usize, rng: &mut StdRng) -> Self {
+        MoeHead {
+            gate: Linear::new(dim, n_experts, rng),
+            experts: (0..n_experts)
+                .map(|_| {
+                    (
+                        Linear::new(dim, hidden, rng),
+                        Gelu::new(),
+                        Linear::new(hidden, dim, rng),
+                    )
+                })
+                .collect(),
+            out: Linear::new(dim, 1, rng),
+            cache: None,
+        }
+    }
+
+    fn gate_probs(&self, pooled: &Tensor) -> Tensor {
+        let mut logits = self.gate.forward_inference(pooled);
+        for i in 0..logits.rows() {
+            softmax_inplace(logits.row_mut(i));
+        }
+        logits
+    }
+
+    /// Forward with caching; returns per-row logits.
+    pub fn forward(&mut self, pooled: &Tensor) -> Vec<f32> {
+        let gate_probs = {
+            let mut logits = self.gate.forward(pooled);
+            for i in 0..logits.rows() {
+                softmax_inplace(logits.row_mut(i));
+            }
+            logits
+        };
+        let mut mixed = Tensor::zeros(pooled.rows(), pooled.cols());
+        let mut expert_outs = Vec::with_capacity(self.experts.len());
+        for (k, (e1, act, e2)) in self.experts.iter_mut().enumerate() {
+            let h = e1.forward(pooled);
+            let h = act.forward(&h);
+            let o = e2.forward(&h);
+            for i in 0..o.rows() {
+                let g = gate_probs.get(i, k);
+                for (m, &v) in mixed.row_mut(i).iter_mut().zip(o.row(i)) {
+                    *m += g * v;
+                }
+            }
+            expert_outs.push(o);
+        }
+        let logits = self.out.forward(&mixed);
+        self.cache = Some(MoeCache {
+            pooled: pooled.clone(),
+            gate_probs,
+            expert_outs,
+        });
+        logits.data().to_vec()
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, pooled: &Tensor) -> Vec<f32> {
+        let gate_probs = self.gate_probs(pooled);
+        let mut mixed = Tensor::zeros(pooled.rows(), pooled.cols());
+        for (k, (e1, act, e2)) in self.experts.iter().enumerate() {
+            let h = e1.forward_inference(pooled);
+            let h = act.forward_inference(&h);
+            let o = e2.forward_inference(&h);
+            for i in 0..o.rows() {
+                let g = gate_probs.get(i, k);
+                for (m, &v) in mixed.row_mut(i).iter_mut().zip(o.row(i)) {
+                    *m += g * v;
+                }
+            }
+        }
+        self.out.forward_inference(&mixed).data().to_vec()
+    }
+
+    /// Backward; returns gradient w.r.t. the pooled input.
+    pub fn backward(&mut self, dlogits: &[f32]) -> Tensor {
+        let cache = self.cache.take().expect("backward before forward");
+        let n = cache.pooled.rows();
+        let dim = cache.pooled.cols();
+        let k_experts = self.experts.len();
+        let dlog = Tensor::from_vec(n, 1, dlogits.to_vec());
+        let dmixed = self.out.backward(&dlog);
+
+        let mut dpooled = Tensor::zeros(n, dim);
+        // Gate gradient: dgate_k = <dmixed_i, expert_out_k_i>, then softmax
+        // backward to gate logits.
+        let mut dgate_probs = Tensor::zeros(n, k_experts);
+        for (k, o) in cache.expert_outs.iter().enumerate() {
+            for i in 0..n {
+                let d: f32 = dmixed.row(i).iter().zip(o.row(i)).map(|(a, b)| a * b).sum();
+                dgate_probs.set(i, k, d);
+            }
+        }
+        let mut dgate_logits = Tensor::zeros(n, k_experts);
+        for i in 0..n {
+            let probs = cache.gate_probs.row(i);
+            let dp = dgate_probs.row(i);
+            let inner: f32 = probs.iter().zip(dp).map(|(a, b)| a * b).sum();
+            for k in 0..k_experts {
+                dgate_logits.set(i, k, probs[k] * (dp[k] - inner));
+            }
+        }
+        dpooled.add_assign(&self.gate.backward(&dgate_logits));
+
+        // Expert gradients: each expert receives gate-weighted dmixed.
+        for (k, (e1, act, e2)) in self.experts.iter_mut().enumerate() {
+            let mut dout_k = Tensor::zeros(n, dim);
+            for i in 0..n {
+                let g = cache.gate_probs.get(i, k);
+                for (d, &v) in dout_k.row_mut(i).iter_mut().zip(dmixed.row(i)) {
+                    *d = g * v;
+                }
+            }
+            let dh = e2.backward(&dout_k);
+            let dh = act.backward(&dh);
+            dpooled.add_assign(&e1.backward(&dh));
+        }
+        dpooled
+    }
+
+    /// Visits parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.gate.params_mut();
+        for (e1, _, e2) in &mut self.experts {
+            ps.extend(e1.params_mut());
+            ps.extend(e2.params_mut());
+        }
+        ps.extend(self.out.params_mut());
+        ps
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.gate.param_count()
+            + self
+                .experts
+                .iter()
+                .map(|(a, _, b)| a.param_count() + b.param_count())
+                .sum::<usize>()
+            + self.out.param_count()
+    }
+}
+
+/// Prediction head variants.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one head per model; size is irrelevant
+pub enum Head {
+    /// Single linear logit layer.
+    Linear(Linear),
+    /// Mixture-of-experts head (Unicorn).
+    Moe(MoeHead),
+}
+
+/// The full encoder classifier.
+#[derive(Debug, Clone)]
+pub struct EncoderClassifier {
+    /// Architecture configuration.
+    pub config: ModelConfig,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    seg_emb: Embedding,
+    ovl_emb: Embedding,
+    blocks: Vec<TransformerBlock>,
+    ln_f: LayerNorm,
+    head: Head,
+    pooled_cache: Option<PoolCache>,
+    dropout_rng: StdRng,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    mask: Vec<bool>,
+    counts: Vec<f32>,
+    n: usize,
+    seq: usize,
+}
+
+impl EncoderClassifier {
+    /// Builds a model with a plain linear head.
+    pub fn new(config: ModelConfig, seed: u64) -> Self {
+        Self::build(config, seed, false)
+    }
+
+    /// Builds a model with a mixture-of-experts head (Unicorn).
+    pub fn new_moe(config: ModelConfig, seed: u64) -> Self {
+        Self::build(config, seed, true)
+    }
+
+    fn build(config: ModelConfig, seed: u64, moe: bool) -> Self {
+        config.validate().expect("invalid model config");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6d6f_64656c);
+        let d = config.d_model;
+        let head = if moe {
+            Head::Moe(MoeHead::new(d, d * 2, 4, &mut rng))
+        } else {
+            Head::Linear(Linear::new(d, 1, &mut rng))
+        };
+        EncoderClassifier {
+            tok_emb: Embedding::new(config.vocab as usize, d, &mut rng),
+            pos_emb: Embedding::new(config.max_seq, d, &mut rng),
+            seg_emb: Embedding::new(segment::COUNT, d, &mut rng),
+            ovl_emb: Embedding::new(overlap::COUNT, d, &mut rng),
+            blocks: (0..config.n_layers)
+                .map(|_| {
+                    TransformerBlock::new(
+                        d,
+                        config.n_heads,
+                        config.ff_mult,
+                        config.dropout,
+                        &mut rng,
+                    )
+                })
+                .collect(),
+            ln_f: LayerNorm::new(d),
+            head,
+            pooled_cache: None,
+            dropout_rng: StdRng::seed_from_u64(seed ^ 0x64726f70),
+            config,
+        }
+    }
+
+    /// Actual trainable parameter count of the tiny instantiation.
+    pub fn param_count(&self) -> usize {
+        let head = match &self.head {
+            Head::Linear(l) => l.param_count(),
+            Head::Moe(m) => m.param_count(),
+        };
+        self.tok_emb.param_count()
+            + self.pos_emb.param_count()
+            + self.seg_emb.param_count()
+            + self.ovl_emb.param_count()
+            + self.blocks.iter().map(|b| b.param_count()).sum::<usize>()
+            + self.ln_f.param_count()
+            + head
+    }
+
+    fn embed(&self, batch: &Batch) -> (Tensor, Vec<u32>) {
+        let pos_ids: Vec<u32> = (0..batch.n)
+            .flat_map(|_| (0..batch.seq as u32).collect::<Vec<u32>>())
+            .collect();
+        let mut x = self.tok_emb.lookup(&batch.ids);
+        x.add_assign(&self.pos_emb.lookup(&pos_ids));
+        x.add_assign(&self.seg_emb.lookup(&batch.segments));
+        x.add_assign(&self.ovl_emb.lookup(&batch.overlap));
+        (x, pos_ids)
+    }
+
+    fn pool(&self, h: &Tensor, batch: &Batch) -> (Tensor, Vec<f32>) {
+        let mut pooled = Tensor::zeros(batch.n, self.config.d_model);
+        let mut counts = Vec::with_capacity(batch.n);
+        for b in 0..batch.n {
+            let mut count = 0.0f32;
+            for t in 0..batch.seq {
+                if batch.mask[b * batch.seq + t] {
+                    count += 1.0;
+                    let src = h.row(b * batch.seq + t);
+                    for (p, &v) in pooled.row_mut(b).iter_mut().zip(src) {
+                        *p += v;
+                    }
+                }
+            }
+            let denom = count.max(1.0);
+            pooled.row_mut(b).iter_mut().for_each(|p| *p /= denom);
+            counts.push(denom);
+        }
+        (pooled, counts)
+    }
+
+    /// Training forward: returns one logit per sequence; caches for
+    /// [`Self::backward`].
+    pub fn forward_train(&mut self, batch: &Batch) -> Vec<f32> {
+        assert!(
+            batch.seq <= self.config.max_seq,
+            "sequence exceeds positions"
+        );
+        // Embeddings (cache ids inside the embedding layers).
+        let pos_ids: Vec<u32> = (0..batch.n)
+            .flat_map(|_| (0..batch.seq as u32).collect::<Vec<u32>>())
+            .collect();
+        let mut x = self.tok_emb.forward(&batch.ids);
+        x.add_assign(&self.pos_emb.forward(&pos_ids));
+        x.add_assign(&self.seg_emb.forward(&batch.segments));
+        x.add_assign(&self.ovl_emb.forward(&batch.overlap));
+        for block in &mut self.blocks {
+            x = block.forward(&x, batch.seq, &batch.mask, &mut self.dropout_rng);
+        }
+        let h = self.ln_f.forward(&x);
+        let (pooled, counts) = self.pool(&h, batch);
+        self.pooled_cache = Some(PoolCache {
+            mask: batch.mask.clone(),
+            counts,
+            n: batch.n,
+            seq: batch.seq,
+        });
+        match &mut self.head {
+            Head::Linear(l) => l.forward(&pooled).data().to_vec(),
+            Head::Moe(m) => m.forward(&pooled),
+        }
+    }
+
+    /// Inference forward (no caching, `&self`).
+    pub fn forward(&self, batch: &Batch) -> Vec<f32> {
+        assert!(
+            batch.seq <= self.config.max_seq,
+            "sequence exceeds positions"
+        );
+        let (mut x, _) = self.embed(batch);
+        for block in &self.blocks {
+            x = block.forward_inference(&x, batch.seq, &batch.mask);
+        }
+        let h = self.ln_f.forward_inference(&x);
+        let (pooled, _) = self.pool(&h, batch);
+        match &self.head {
+            Head::Linear(l) => l.forward_inference(&pooled).data().to_vec(),
+            Head::Moe(m) => m.forward_inference(&pooled),
+        }
+    }
+
+    /// Backward from per-sequence logit gradients; accumulates all
+    /// parameter gradients.
+    pub fn backward(&mut self, dlogits: &[f32]) {
+        let cache = self.pooled_cache.take().expect("backward before forward");
+        assert_eq!(dlogits.len(), cache.n);
+        let dpooled = match &mut self.head {
+            Head::Linear(l) => {
+                let d = Tensor::from_vec(cache.n, 1, dlogits.to_vec());
+                l.backward(&d)
+            }
+            Head::Moe(m) => m.backward(dlogits),
+        };
+        // Un-pool: distribute each pooled gradient over the valid tokens.
+        let d = self.config.d_model;
+        let mut dh = Tensor::zeros(cache.n * cache.seq, d);
+        for b in 0..cache.n {
+            let inv = 1.0 / cache.counts[b];
+            for t in 0..cache.seq {
+                if cache.mask[b * cache.seq + t] {
+                    let dst = dh.row_mut(b * cache.seq + t);
+                    for (x, &g) in dst.iter_mut().zip(dpooled.row(b)) {
+                        *x = g * inv;
+                    }
+                }
+            }
+        }
+        let mut dx = self.ln_f.backward(&dh);
+        for block in self.blocks.iter_mut().rev() {
+            dx = block.backward(&dx);
+        }
+        // All four embeddings received the same upstream gradient.
+        self.tok_emb.backward(&dx);
+        self.pos_emb.backward(&dx);
+        self.seg_emb.backward(&dx);
+        self.ovl_emb.backward(&dx);
+    }
+
+    /// Visits all parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.tok_emb.params_mut();
+        ps.extend(self.pos_emb.params_mut());
+        ps.extend(self.seg_emb.params_mut());
+        ps.extend(self.ovl_emb.params_mut());
+        for b in &mut self.blocks {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.ln_f.params_mut());
+        match &mut self.head {
+            Head::Linear(l) => ps.extend(l.params_mut()),
+            Head::Moe(m) => ps.extend(m.params_mut()),
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SlmFamily;
+    use crate::tokenizer::{encode_pair, HashTokenizer};
+    use em_core::SerializedPair;
+
+    fn tiny_config() -> ModelConfig {
+        ModelConfig {
+            vocab: 256,
+            d_model: 8,
+            n_layers: 1,
+            n_heads: 2,
+            ff_mult: 2,
+            max_seq: 16,
+            dropout: 0.0,
+            claimed_params_millions: 1.0,
+        }
+    }
+
+    fn batch_of(pairs: &[(&str, &str)], seq: usize) -> Batch {
+        let tok = HashTokenizer::new(256);
+        let encoded: Vec<_> = pairs
+            .iter()
+            .map(|(l, r)| {
+                encode_pair(
+                    &tok,
+                    &SerializedPair {
+                        left: (*l).into(),
+                        right: (*r).into(),
+                    },
+                    seq,
+                )
+            })
+            .collect();
+        Batch::collate(&encoded)
+    }
+
+    #[test]
+    fn forward_returns_one_logit_per_sequence() {
+        let model = EncoderClassifier::new(tiny_config(), 0);
+        let batch = batch_of(&[("a b", "a b"), ("a b", "x y"), ("c", "c d")], 16);
+        let logits = model.forward(&batch);
+        assert_eq!(logits.len(), 3);
+        assert!(logits.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn train_and_inference_forward_agree_without_dropout() {
+        let mut model = EncoderClassifier::new(tiny_config(), 1);
+        let batch = batch_of(&[("p q r", "p q"), ("s", "t u")], 16);
+        let a = model.forward_train(&batch);
+        let b = model.forward(&batch);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m1 = EncoderClassifier::new(tiny_config(), 9);
+        let m2 = EncoderClassifier::new(tiny_config(), 9);
+        let batch = batch_of(&[("a", "a")], 16);
+        assert_eq!(m1.forward(&batch), m2.forward(&batch));
+        let m3 = EncoderClassifier::new(tiny_config(), 10);
+        assert_ne!(m1.forward(&batch), m3.forward(&batch));
+    }
+
+    #[test]
+    fn backward_fills_all_gradients() {
+        let mut model = EncoderClassifier::new(tiny_config(), 2);
+        let batch = batch_of(&[("a b c", "a b c"), ("d", "e")], 16);
+        let logits = model.forward_train(&batch);
+        let d: Vec<f32> = logits.iter().map(|_| 1.0).collect();
+        model.backward(&d);
+        let nonzero = model
+            .params_mut()
+            .iter()
+            .filter(|p| p.grad.frobenius_norm() > 0.0)
+            .count();
+        // Every parameter group except unused embedding rows gets gradient.
+        assert!(nonzero >= 10, "only {nonzero} params received gradient");
+    }
+
+    #[test]
+    fn model_gradient_checks_end_to_end() {
+        // Finite-difference check through the entire model via the token
+        // embedding of a used token.
+        let mut model = EncoderClassifier::new(tiny_config(), 3);
+        // Scale the embedding tables up so the finite-difference signal is
+        // well above f32 noise (init is σ=0.02, tiny relative to h).
+        for p in model.params_mut().into_iter().take(3) {
+            p.value.scale(20.0);
+        }
+        let batch = batch_of(&[("zz", "zz")], 12);
+        let used_id = batch.ids[1] as usize; // first real token
+        let logits = model.forward_train(&batch);
+        model.backward(&[1.0]);
+        let _ = logits;
+        let analytic: Vec<f32> = {
+            let ps = model.params_mut();
+            ps[0].grad.row(used_id).to_vec()
+        };
+        let dim = model.config.d_model;
+        let h = 1e-2f32;
+        let mut numeric = Vec::with_capacity(dim);
+        for j in 0..dim {
+            let eval_at = |delta: f32| {
+                let mut probe = model.clone();
+                let mut ps = probe.params_mut();
+                ps[0].value.row_mut(used_id)[j] += delta;
+                drop(ps);
+                probe.forward(&batch)[0]
+            };
+            numeric.push((eval_at(h) - eval_at(-h)) / (2.0 * h));
+        }
+        let err = em_nn::max_relative_error(&analytic, &numeric);
+        assert!(err < 0.08, "gradient check error {err}");
+    }
+
+    #[test]
+    fn moe_head_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut moe = MoeHead::new(4, 8, 3, &mut rng);
+        let pooled: Vec<f32> = vec![0.3, -0.2, 0.7, 0.1, -0.5, 0.4, 0.0, 0.9];
+        let x = Tensor::from_vec(2, 4, pooled.clone());
+        let _ = moe.forward(&x);
+        let dpooled = moe.backward(&[1.0, -0.5]);
+        let numeric = em_nn::numeric_gradient(
+            &pooled,
+            |vals| {
+                let xt = Tensor::from_vec(2, 4, vals.to_vec());
+                let l = moe.forward_inference(&xt);
+                l[0] - 0.5 * l[1]
+            },
+            1e-2,
+        );
+        let err = em_nn::max_relative_error(dpooled.data(), &numeric);
+        assert!(err < 0.05, "moe gradient check error {err}");
+    }
+
+    #[test]
+    fn moe_model_builds_and_runs() {
+        let model = EncoderClassifier::new_moe(tiny_config(), 4);
+        let batch = batch_of(&[("m n", "m n")], 16);
+        let logits = model.forward(&batch);
+        assert_eq!(logits.len(), 1);
+        assert!(model.param_count() > EncoderClassifier::new(tiny_config(), 4).param_count());
+    }
+
+    #[test]
+    fn family_configs_build_real_models() {
+        for fam in [SlmFamily::Bert, SlmFamily::Llama32] {
+            let model = EncoderClassifier::new(fam.config(), 0);
+            assert!(model.param_count() > 10_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot collate an empty batch")]
+    fn empty_collate_panics() {
+        let _ = Batch::collate(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one length")]
+    fn ragged_collate_panics() {
+        let tok = HashTokenizer::new(256);
+        let a = encode_pair(
+            &tok,
+            &SerializedPair {
+                left: "a".into(),
+                right: "b".into(),
+            },
+            12,
+        );
+        let b = encode_pair(
+            &tok,
+            &SerializedPair {
+                left: "a".into(),
+                right: "b".into(),
+            },
+            16,
+        );
+        let _ = Batch::collate(&[a, b]);
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

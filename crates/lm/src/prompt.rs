@@ -1,0 +1,255 @@
+//! Prompt construction for the prompted-LLM matchers (MatchGPT): the
+//! serialized query pair, optionally preceded by in-context demonstrations
+//! drawn from the transfer pool (never from the target dataset —
+//! Section 4.1.1's cross-dataset demonstration protocol).
+
+use crate::tokenizer::{overlap, overlap_flags, segment, special, Encoded, HashTokenizer};
+use em_core::SerializedPair;
+
+/// One in-context demonstration: a labelled pair from a transfer dataset.
+#[derive(Debug, Clone)]
+pub struct Demonstration {
+    /// The demonstrated pair.
+    pub pair: SerializedPair,
+    /// Its ground-truth label.
+    pub label: bool,
+}
+
+/// Token budgets for prompt assembly.
+#[derive(Debug, Clone, Copy)]
+pub struct PromptBudget {
+    /// Total sequence length (padded).
+    pub max_seq: usize,
+    /// Tokens per demonstration record side.
+    pub demo_side: usize,
+    /// Tokens per query record side.
+    pub query_side: usize,
+}
+
+impl Default for PromptBudget {
+    fn default() -> Self {
+        PromptBudget {
+            max_seq: 64,
+            demo_side: 5,
+            query_side: 10,
+        }
+    }
+}
+
+/// Encodes `[CLS] (demoL [SEP] demoR [SEP] YES|NO [SEP])* queryL [SEP]
+/// queryR [SEP]` with demonstration tokens in the DEMO segment and query
+/// tokens in LEFT/RIGHT segments. Demonstrations that do not fit the budget
+/// are dropped from the front (oldest first).
+pub fn encode_prompt(
+    tok: &HashTokenizer,
+    query: &SerializedPair,
+    demos: &[Demonstration],
+    budget: PromptBudget,
+) -> Encoded {
+    assert!(budget.max_seq >= 8, "sequence budget too small");
+    let mut ids: Vec<u32> = vec![special::CLS];
+    let mut segments: Vec<u32> = vec![segment::SPECIAL];
+    let mut flags: Vec<u32> = vec![overlap::NA];
+
+    // Query cost (computed up front so demos can be dropped if needed).
+    let mut q_left = tok.encode_text(&query.left);
+    q_left.truncate(budget.query_side);
+    let mut q_right = tok.encode_text(&query.right);
+    q_right.truncate(budget.query_side);
+    let query_cost = q_left.len() + q_right.len() + 2;
+
+    // Encode demos; drop from the front while over budget.
+    let mut demo_tokens: Vec<(Vec<u32>, Vec<u32>, bool)> = demos
+        .iter()
+        .map(|d| {
+            let mut l = tok.encode_text(&d.pair.left);
+            l.truncate(budget.demo_side);
+            let mut r = tok.encode_text(&d.pair.right);
+            r.truncate(budget.demo_side);
+            (l, r, d.label)
+        })
+        .collect();
+    let demo_cost = |d: &(Vec<u32>, Vec<u32>, bool)| d.0.len() + d.1.len() + 3;
+    while !demo_tokens.is_empty()
+        && 1 + demo_tokens.iter().map(demo_cost).sum::<usize>() + query_cost > budget.max_seq
+    {
+        demo_tokens.remove(0);
+    }
+
+    for (l, r, label) in &demo_tokens {
+        let (lf, rf) = overlap_flags(l, r);
+        for (&t, &f) in l.iter().zip(&lf) {
+            ids.push(t);
+            segments.push(segment::DEMO);
+            flags.push(f);
+        }
+        ids.push(special::SEP);
+        segments.push(segment::SPECIAL);
+        flags.push(overlap::NA);
+        for (&t, &f) in r.iter().zip(&rf) {
+            ids.push(t);
+            segments.push(segment::DEMO);
+            flags.push(f);
+        }
+        ids.push(special::SEP);
+        segments.push(segment::SPECIAL);
+        flags.push(overlap::NA);
+        ids.push(if *label { special::YES } else { special::NO });
+        segments.push(segment::DEMO);
+        flags.push(overlap::NA);
+        ids.push(special::SEP);
+        segments.push(segment::SPECIAL);
+        flags.push(overlap::NA);
+    }
+
+    let (qlf, qrf) = overlap_flags(&q_left, &q_right);
+    for (&t, &f) in q_left.iter().zip(&qlf) {
+        ids.push(t);
+        segments.push(segment::LEFT);
+        flags.push(f);
+    }
+    ids.push(special::SEP);
+    segments.push(segment::SPECIAL);
+    flags.push(overlap::NA);
+    for (&t, &f) in q_right.iter().zip(&qrf) {
+        ids.push(t);
+        segments.push(segment::RIGHT);
+        flags.push(f);
+    }
+    ids.push(special::SEP);
+    segments.push(segment::SPECIAL);
+    flags.push(overlap::NA);
+
+    debug_assert!(ids.len() <= budget.max_seq, "prompt exceeded budget");
+    let used = ids.len();
+    let mut mask = vec![true; used];
+    ids.resize(budget.max_seq, special::PAD);
+    segments.resize(budget.max_seq, segment::SPECIAL);
+    flags.resize(budget.max_seq, overlap::NA);
+    mask.resize(budget.max_seq, false);
+    Encoded {
+        ids,
+        segments,
+        mask,
+        overlap: flags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(l: &str, r: &str) -> SerializedPair {
+        SerializedPair {
+            left: l.into(),
+            right: r.into(),
+        }
+    }
+
+    fn demo(l: &str, r: &str, label: bool) -> Demonstration {
+        Demonstration {
+            pair: sp(l, r),
+            label,
+        }
+    }
+
+    #[test]
+    fn zero_demos_is_a_plain_pair_prompt() {
+        let tok = HashTokenizer::new(1024);
+        let e = encode_prompt(&tok, &sp("a b", "c"), &[], PromptBudget::default());
+        assert_eq!(e.ids[0], special::CLS);
+        assert!(!e.segments.contains(&segment::DEMO));
+        assert!(e.segments.contains(&segment::LEFT));
+        assert!(e.segments.contains(&segment::RIGHT));
+    }
+
+    #[test]
+    fn demos_carry_label_tokens() {
+        let tok = HashTokenizer::new(1024);
+        let demos = vec![demo("x", "x", true), demo("p", "q", false)];
+        let e = encode_prompt(&tok, &sp("a", "b"), &demos, PromptBudget::default());
+        let yes_count = e.ids.iter().filter(|&&t| t == special::YES).count();
+        let no_count = e.ids.iter().filter(|&&t| t == special::NO).count();
+        assert_eq!(yes_count, 1);
+        assert_eq!(no_count, 1);
+        assert!(e.segments.contains(&segment::DEMO));
+    }
+
+    #[test]
+    fn query_tokens_come_after_demo_tokens() {
+        let tok = HashTokenizer::new(1024);
+        let demos = vec![demo("d1", "d2", true)];
+        let e = encode_prompt(&tok, &sp("q1", "q2"), &demos, PromptBudget::default());
+        let last_demo = e
+            .segments
+            .iter()
+            .rposition(|&s| s == segment::DEMO)
+            .unwrap();
+        let first_query = e.segments.iter().position(|&s| s == segment::LEFT).unwrap();
+        assert!(last_demo < first_query);
+    }
+
+    #[test]
+    fn over_budget_drops_oldest_demos_first() {
+        let tok = HashTokenizer::new(1024);
+        let demos: Vec<Demonstration> = (0..20)
+            .map(|i| demo(&format!("left{i} a b c d"), "right e f g h", i % 2 == 0))
+            .collect();
+        let budget = PromptBudget {
+            max_seq: 48,
+            demo_side: 5,
+            query_side: 8,
+        };
+        let e = encode_prompt(&tok, &sp("query alpha", "query beta"), &demos, budget);
+        assert_eq!(e.len(), 48);
+        // Query survives.
+        assert!(e.segments.contains(&segment::LEFT));
+        assert!(e.segments.contains(&segment::RIGHT));
+        // Fewer than 20 demos fit.
+        let labels = e
+            .ids
+            .iter()
+            .filter(|&&t| t == special::YES || t == special::NO)
+            .count();
+        assert!((1..20).contains(&labels));
+    }
+
+    #[test]
+    fn prompt_never_exceeds_budget() {
+        let tok = HashTokenizer::new(1024);
+        let long = "word ".repeat(100);
+        let demos = vec![demo(&long, &long, true); 5];
+        for max_seq in [16, 32, 64, 96] {
+            let e = encode_prompt(
+                &tok,
+                &sp(&long, &long),
+                &demos,
+                PromptBudget {
+                    max_seq,
+                    demo_side: 6,
+                    query_side: 12,
+                },
+            );
+            assert_eq!(e.len(), max_seq);
+        }
+    }
+
+    #[test]
+    fn query_only_prompt_matches_manual_layout() {
+        let tok = HashTokenizer::new(1024);
+        let e = encode_prompt(
+            &tok,
+            &sp("aa", "bb"),
+            &[],
+            PromptBudget {
+                max_seq: 16,
+                demo_side: 4,
+                query_side: 4,
+            },
+        );
+        // CLS aa SEP bb SEP → 5 tokens.
+        assert_eq!(e.token_count(), 5);
+        assert_eq!(e.ids[2], special::SEP);
+        assert_eq!(e.ids[4], special::SEP);
+    }
+}

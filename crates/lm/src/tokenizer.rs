@@ -1,0 +1,333 @@
+//! Hashed-word tokenizer with special tokens and segment ids.
+//!
+//! Real language models carry learned subword vocabularies; for the tiny
+//! model instantiations in this reproduction a deterministic hashed-word
+//! vocabulary preserves what matters for entity matching: *identical
+//! surface tokens get identical ids*, so cross-record token overlap is
+//! visible to the attention mechanism. Long words additionally emit
+//! 4-character chunk tokens, which gives partial overlap for typo'd or
+//! truncated values (the analogue of subword sharing).
+
+use em_core::SerializedPair;
+
+/// Special token ids.
+pub mod special {
+    /// Padding.
+    pub const PAD: u32 = 0;
+    /// Classification token, always first.
+    pub const CLS: u32 = 1;
+    /// Separator between serialized records and prompt sections.
+    pub const SEP: u32 = 2;
+    /// In-context label token "yes" (demonstrations).
+    pub const YES: u32 = 3;
+    /// In-context label token "no" (demonstrations).
+    pub const NO: u32 = 4;
+    /// Number of reserved ids.
+    pub const COUNT: u32 = 5;
+}
+
+/// Overlap flags: whether a token's id also occurs on the *other side* of
+/// its record pair. This is pure input-derivable structure (exactly what a
+/// pretrained LM's attention extracts); exposing it as an embedding gives
+/// the tiny from-scratch models the pattern-matching prior that real
+/// pretrained checkpoints carry — see DESIGN.md §1.
+pub mod overlap {
+    /// Token id does not occur on the other side.
+    pub const ABSENT: u32 = 0;
+    /// Token id occurs on the other side.
+    pub const SHARED: u32 = 1;
+    /// Not applicable (special tokens, padding).
+    pub const NA: u32 = 2;
+    /// Number of flag kinds.
+    pub const COUNT: usize = 3;
+}
+
+/// Segment ids distinguishing the roles of tokens (BERT-style segment
+/// embeddings, extended with a demonstration segment).
+pub mod segment {
+    /// Special tokens and padding.
+    pub const SPECIAL: u32 = 0;
+    /// Tokens of the left record.
+    pub const LEFT: u32 = 1;
+    /// Tokens of the right record.
+    pub const RIGHT: u32 = 2;
+    /// Tokens belonging to in-context demonstrations.
+    pub const DEMO: u32 = 3;
+    /// Number of segment kinds.
+    pub const COUNT: usize = 4;
+}
+
+/// Deterministic hashed-word tokenizer.
+#[derive(Debug, Clone)]
+pub struct HashTokenizer {
+    vocab: u32,
+}
+
+impl HashTokenizer {
+    /// New tokenizer with the given total vocabulary size (including the
+    /// reserved special ids).
+    ///
+    /// # Panics
+    /// Panics if `vocab` leaves no room for regular tokens.
+    pub fn new(vocab: u32) -> Self {
+        assert!(vocab > special::COUNT + 16, "vocabulary too small");
+        HashTokenizer { vocab }
+    }
+
+    /// Total vocabulary size.
+    pub fn vocab(&self) -> u32 {
+        self.vocab
+    }
+
+    fn hash_to_id(&self, s: &str, salt: u64) -> u32 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ salt;
+        for b in s.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        special::COUNT + (h % (self.vocab - special::COUNT) as u64) as u32
+    }
+
+    /// Tokenizes free text into hashed word ids plus 4-char chunk ids for
+    /// words longer than 5 characters.
+    pub fn encode_text(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for word in em_text::words(text) {
+            out.push(self.hash_to_id(&word, 0));
+            if word.len() > 5 {
+                let chars: Vec<char> = word.chars().collect();
+                for chunk in chars.chunks(4) {
+                    let piece: String = chunk.iter().collect();
+                    out.push(self.hash_to_id(&piece, 0x9e37));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One encoded sequence ready for the model: token ids, segment ids, and a
+/// validity mask, all of length `seq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    /// Token ids (padded with [`special::PAD`]).
+    pub ids: Vec<u32>,
+    /// Segment ids aligned with `ids`.
+    pub segments: Vec<u32>,
+    /// `true` for real tokens, `false` for padding.
+    pub mask: Vec<bool>,
+    /// Overlap flags aligned with `ids` (see [`overlap`]).
+    pub overlap: Vec<u32>,
+}
+
+impl Encoded {
+    /// Sequence length (including padding).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when the sequence contains no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of non-padding tokens.
+    pub fn token_count(&self) -> usize {
+        self.mask.iter().filter(|&&m| m).count()
+    }
+}
+
+/// Computes per-token overlap flags for two token-id slices.
+pub fn overlap_flags(left: &[u32], right: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let rset: std::collections::HashSet<u32> = right.iter().copied().collect();
+    let lset: std::collections::HashSet<u32> = left.iter().copied().collect();
+    let lf = left
+        .iter()
+        .map(|t| {
+            if rset.contains(t) {
+                overlap::SHARED
+            } else {
+                overlap::ABSENT
+            }
+        })
+        .collect();
+    let rf = right
+        .iter()
+        .map(|t| {
+            if lset.contains(t) {
+                overlap::SHARED
+            } else {
+                overlap::ABSENT
+            }
+        })
+        .collect();
+    (lf, rf)
+}
+
+/// Encodes a serialized pair as `[CLS] left [SEP] right [SEP]`, truncating
+/// each side to fit `max_seq` and padding to exactly `max_seq`.
+pub fn encode_pair(tok: &HashTokenizer, pair: &SerializedPair, max_seq: usize) -> Encoded {
+    assert!(max_seq >= 8, "sequence budget too small");
+    let budget = (max_seq - 3) / 2; // CLS + 2 SEP overhead
+    let mut left = tok.encode_text(&pair.left);
+    left.truncate(budget);
+    let mut right = tok.encode_text(&pair.right);
+    right.truncate(max_seq - 3 - left.len());
+    let (lflags, rflags) = overlap_flags(&left, &right);
+
+    let mut ids = Vec::with_capacity(max_seq);
+    let mut segments = Vec::with_capacity(max_seq);
+    let mut flags = Vec::with_capacity(max_seq);
+    ids.push(special::CLS);
+    segments.push(segment::SPECIAL);
+    flags.push(overlap::NA);
+    for (&t, &f) in left.iter().zip(&lflags) {
+        ids.push(t);
+        segments.push(segment::LEFT);
+        flags.push(f);
+    }
+    ids.push(special::SEP);
+    segments.push(segment::SPECIAL);
+    flags.push(overlap::NA);
+    for (&t, &f) in right.iter().zip(&rflags) {
+        ids.push(t);
+        segments.push(segment::RIGHT);
+        flags.push(f);
+    }
+    ids.push(special::SEP);
+    segments.push(segment::SPECIAL);
+    flags.push(overlap::NA);
+
+    let used = ids.len();
+    let mut mask = vec![true; used];
+    ids.resize(max_seq, special::PAD);
+    segments.resize(max_seq, segment::SPECIAL);
+    flags.resize(max_seq, overlap::NA);
+    mask.resize(max_seq, false);
+    Encoded {
+        ids,
+        segments,
+        mask,
+        overlap: flags,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sp(l: &str, r: &str) -> SerializedPair {
+        SerializedPair {
+            left: l.into(),
+            right: r.into(),
+        }
+    }
+
+    #[test]
+    fn identical_words_share_ids() {
+        let tok = HashTokenizer::new(1024);
+        // "coolpix" (7 chars) and "camera" (6 chars) expand to word + 2
+        // chunk tokens; "nikon" (5 chars) stays a single token.
+        let a = tok.encode_text("nikon coolpix camera");
+        let b = tok.encode_text("camera nikon");
+        assert_eq!(a.len(), 7);
+        assert_eq!(a[0], b[3]); // "nikon" is b's 4th token (after camera+chunks)
+        assert_eq!(a[4], b[0]); // "camera" word token
+    }
+
+    #[test]
+    fn long_words_emit_chunks() {
+        let tok = HashTokenizer::new(1024);
+        let ids = tok.encode_text("powershot");
+        // word id + chunk ids "powe", "rsho", "t".
+        assert_eq!(ids.len(), 4);
+        // Short words stay single tokens.
+        assert_eq!(tok.encode_text("nikon").len(), 1);
+    }
+
+    #[test]
+    fn typo_preserves_some_chunks() {
+        let tok = HashTokenizer::new(4096);
+        let a = tok.encode_text("powershot1200");
+        let b = tok.encode_text("powershot1201"); // final chunk differs
+        let shared = a.iter().filter(|id| b.contains(id)).count();
+        assert!(shared >= 2, "typo'd variants should share chunk ids");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ids_stay_out_of_special_range() {
+        let tok = HashTokenizer::new(256);
+        for id in tok.encode_text("hello world 123 foo bar baz qux") {
+            assert!(id >= special::COUNT);
+            assert!(id < 256);
+        }
+    }
+
+    #[test]
+    fn encode_pair_layout() {
+        let tok = HashTokenizer::new(1024);
+        let e = encode_pair(&tok, &sp("alpha beta", "gamma"), 16);
+        assert_eq!(e.len(), 16);
+        assert_eq!(e.ids[0], special::CLS);
+        assert_eq!(e.segments[0], segment::SPECIAL);
+        assert_eq!(e.segments[1], segment::LEFT);
+        assert_eq!(e.segments[2], segment::LEFT);
+        assert_eq!(e.ids[3], special::SEP);
+        assert_eq!(e.segments[4], segment::RIGHT);
+        assert_eq!(e.ids[5], special::SEP);
+        // Padding after the tokens.
+        assert!(!e.mask[6..].iter().any(|&m| m));
+        assert_eq!(e.token_count(), 6);
+    }
+
+    #[test]
+    fn encode_pair_truncates_long_inputs() {
+        let tok = HashTokenizer::new(1024);
+        let long = "word ".repeat(50);
+        let e = encode_pair(&tok, &sp(&long, &long), 24);
+        assert_eq!(e.len(), 24);
+        assert!(e.token_count() <= 24);
+        // Both sides are represented.
+        assert!(e.segments.contains(&segment::LEFT));
+        assert!(e.segments.contains(&segment::RIGHT));
+    }
+
+    #[test]
+    fn empty_pair_still_encodes() {
+        let tok = HashTokenizer::new(1024);
+        let e = encode_pair(&tok, &sp("", ""), 8);
+        assert_eq!(e.token_count(), 3); // CLS SEP SEP
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn tiny_vocab_rejected() {
+        let _ = HashTokenizer::new(8);
+    }
+
+    proptest! {
+        #[test]
+        fn encoding_is_deterministic(s in ".{0,64}") {
+            let tok = HashTokenizer::new(512);
+            prop_assert_eq!(tok.encode_text(&s), tok.encode_text(&s));
+        }
+
+        #[test]
+        fn pair_encoding_invariants(l in ".{0,80}", r in ".{0,80}") {
+            let tok = HashTokenizer::new(512);
+            let e = encode_pair(&tok, &sp(&l, &r), 32);
+            prop_assert_eq!(e.ids.len(), 32);
+            prop_assert_eq!(e.segments.len(), 32);
+            prop_assert_eq!(e.mask.len(), 32);
+            // Mask is a prefix of trues.
+            let first_pad = e.mask.iter().position(|&m| !m).unwrap_or(32);
+            prop_assert!(e.mask[..first_pad].iter().all(|&m| m));
+            prop_assert!(e.mask[first_pad..].iter().all(|&m| !m));
+            // All padding ids are PAD.
+            for i in first_pad..32 {
+                prop_assert_eq!(e.ids[i], special::PAD);
+            }
+        }
+    }
+}

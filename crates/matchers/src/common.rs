@@ -1,0 +1,335 @@
+//! Shared fine-tuning-data machinery: sampling serialized pairs from the
+//! LODO transfer pool, label balancing, and attribute-pair augmentation.
+
+use em_core::{Benchmark, LodoSplit, SerializedPair, Serializer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A labelled serialized pair used for fine-tuning.
+pub type TrainPair = (SerializedPair, bool);
+
+/// Samples up to `per_dataset` labelled pairs from each transfer dataset,
+/// serialized under the repetition seed's column permutation (each dataset
+/// has its own arity, hence its own permutation of the same seed).
+pub fn sample_transfer_pairs(
+    split: &LodoSplit<'_>,
+    per_dataset: usize,
+    seed: u64,
+) -> Vec<TrainPair> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_616e);
+    let mut out = Vec::with_capacity(per_dataset * split.transfer.len());
+    for bench in &split.transfer {
+        let ser = Serializer::shuffled(bench.arity(), seed);
+        let mut idx: Vec<usize> = (0..bench.pairs.len()).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(per_dataset) {
+            let lp = &bench.pairs[i];
+            out.push((ser.pair(&lp.pair), lp.label));
+        }
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Samples pairs from an explicit list of benchmarks (used by Jellyfish's
+/// instruction-tuning on its six seen datasets).
+pub fn sample_benchmark_pairs(
+    benches: &[&Benchmark],
+    per_dataset: usize,
+    seed: u64,
+) -> Vec<TrainPair> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a65_6c6c);
+    let mut out = Vec::with_capacity(per_dataset * benches.len());
+    for bench in benches {
+        let ser = Serializer::shuffled(bench.arity(), seed);
+        let mut idx: Vec<usize> = (0..bench.pairs.len()).collect();
+        idx.shuffle(&mut rng);
+        for &i in idx.iter().take(per_dataset) {
+            let lp = &bench.pairs[i];
+            out.push((ser.pair(&lp.pair), lp.label));
+        }
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Balances the label distribution by oversampling the minority class until
+/// it reaches `target_ratio` of the majority count (AnyMatch's label
+/// balancing heuristic). A `target_ratio` of 1.0 yields a fully balanced
+/// set.
+pub fn balance_labels(pairs: &mut Vec<TrainPair>, target_ratio: f64, seed: u64) {
+    assert!((0.0..=1.0).contains(&target_ratio), "ratio in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6261_6c61);
+    let positives: Vec<TrainPair> = pairs.iter().filter(|(_, y)| *y).cloned().collect();
+    let negatives: Vec<TrainPair> = pairs.iter().filter(|(_, y)| !*y).cloned().collect();
+    if positives.is_empty() || negatives.is_empty() {
+        return;
+    }
+    let (minority, majority_count) = if positives.len() < negatives.len() {
+        (positives, negatives.len())
+    } else {
+        (negatives, positives.len())
+    };
+    let target = (majority_count as f64 * target_ratio) as usize;
+    let mut extra = Vec::new();
+    while minority.len() + extra.len() < target {
+        extra.push(minority[rng.gen_range(0..minority.len())].clone());
+    }
+    pairs.extend(extra);
+    pairs.shuffle(&mut rng);
+}
+
+/// Attribute-pair augmentation (AnyMatch): derives weakly labelled
+/// attribute-level examples from record pairs — the aligned attribute
+/// values of a matching pair form positive mini-pairs, values from
+/// non-matching pairs form negatives. Record pairs are sampled from the
+/// transfer pool *before* serialization so individual attributes are
+/// available.
+pub fn attribute_pair_augmentation(split: &LodoSplit<'_>, n: usize, seed: u64) -> Vec<TrainPair> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6174_7472);
+    let mut out = Vec::with_capacity(n);
+    let transfer = &split.transfer;
+    if transfer.is_empty() {
+        return out;
+    }
+    let mut guard = 0;
+    while out.len() < n && guard < n * 20 {
+        guard += 1;
+        let bench = transfer[rng.gen_range(0..transfer.len())];
+        if bench.pairs.is_empty() {
+            continue;
+        }
+        let lp = &bench.pairs[rng.gen_range(0..bench.pairs.len())];
+        let col = rng.gen_range(0..bench.arity());
+        let left = lp.pair.left.values[col].render();
+        let right = lp.pair.right.values[col].render();
+        if left.is_empty() || right.is_empty() {
+            continue;
+        }
+        out.push((SerializedPair { left, right }, lp.label));
+    }
+    out
+}
+
+/// Similarity feature vector of a serialized pair, used by the boosting
+/// difficulty selector and by tests.
+pub fn similarity_features(pair: &SerializedPair) -> Vec<f64> {
+    let ll = pair.left.to_lowercase();
+    let rl = pair.right.to_lowercase();
+    let lt = em_text::words(&ll);
+    let rt = em_text::words(&rl);
+    vec![
+        em_text::ratcliff_obershelp(&ll, &rl),
+        em_text::jaccard(&lt, &rt),
+        em_text::overlap_coefficient(&lt, &rt),
+        em_text::jaro_winkler(&ll, &rl),
+        em_text::monge_elkan_symmetric(&lt, &rt),
+    ]
+}
+
+/// Boosting-based difficult-example selection (AnyMatch): fits AdaBoost on
+/// similarity features and keeps the `keep` highest-weight (hardest)
+/// examples plus an equal number of random easy ones for stability.
+pub fn select_difficult(pairs: &[TrainPair], keep: usize, seed: u64) -> Vec<TrainPair> {
+    if pairs.len() <= keep * 2 {
+        return pairs.to_vec();
+    }
+    let x: Vec<Vec<f64>> = pairs.iter().map(|(p, _)| similarity_features(p)).collect();
+    let y: Vec<bool> = pairs.iter().map(|(_, l)| *l).collect();
+    let model = em_ml::AdaBoost::fit(&x, &y, 20);
+    let hard = model.hardest_examples(keep);
+    let mut selected: Vec<TrainPair> = hard.iter().map(|&i| pairs[i].clone()).collect();
+    // Complement with random easy examples.
+    let hard_set: std::collections::HashSet<usize> = hard.into_iter().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6469_6666);
+    let mut rest: Vec<usize> = (0..pairs.len()).filter(|i| !hard_set.contains(i)).collect();
+    rest.shuffle(&mut rng);
+    selected.extend(rest.into_iter().take(keep).map(|i| pairs[i].clone()));
+    selected.shuffle(&mut rng);
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{lodo_split, AttrType, AttrValue, DatasetId, LabeledPair, Record};
+
+    fn bench(id: DatasetId, n: usize) -> Benchmark {
+        let pairs = (0..n)
+            .map(|i| {
+                let l = Record::new(
+                    i as u64,
+                    vec![
+                        AttrValue::Text(format!("entity {i}")),
+                        AttrValue::Number(i as f64),
+                    ],
+                );
+                let r = if i % 4 == 0 {
+                    l.clone()
+                } else {
+                    Record::new(
+                        i as u64 + 500,
+                        vec![
+                            AttrValue::Text(format!("other {}", i + 1)),
+                            AttrValue::Number((i + 7) as f64),
+                        ],
+                    )
+                };
+                LabeledPair::new(l, r, i % 4 == 0)
+            })
+            .collect();
+        Benchmark {
+            id,
+            attr_types: vec![AttrType::ShortText, AttrType::Numeric],
+            pairs,
+        }
+    }
+
+    fn suite() -> Vec<Benchmark> {
+        DatasetId::ALL.iter().map(|&id| bench(id, 40)).collect()
+    }
+
+    #[test]
+    fn transfer_sampling_excludes_target() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let pairs = sample_transfer_pairs(&split, 10, 0);
+        assert_eq!(pairs.len(), 100); // 10 datasets × 10
+    }
+
+    #[test]
+    fn transfer_sampling_caps_per_dataset() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let pairs = sample_transfer_pairs(&split, 1000, 0);
+        assert_eq!(pairs.len(), 400); // capped at full pool
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Wdc).unwrap();
+        assert_eq!(
+            sample_transfer_pairs(&split, 5, 3),
+            sample_transfer_pairs(&split, 5, 3)
+        );
+        assert_ne!(
+            sample_transfer_pairs(&split, 5, 3),
+            sample_transfer_pairs(&split, 5, 4)
+        );
+    }
+
+    #[test]
+    fn balancing_reaches_target_ratio() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let mut pairs = sample_transfer_pairs(&split, 40, 0);
+        let pos_before = pairs.iter().filter(|(_, y)| *y).count();
+        let neg = pairs.len() - pos_before;
+        assert!(pos_before * 2 < neg, "test premise: imbalanced input");
+        balance_labels(&mut pairs, 1.0, 0);
+        let pos_after = pairs.iter().filter(|(_, y)| *y).count();
+        let neg_after = pairs.iter().filter(|(_, y)| !*y).count();
+        let gap = (pos_after as f64 - neg_after as f64).abs() / neg_after as f64;
+        assert!(gap < 0.05, "{pos_after} vs {neg_after}");
+    }
+
+    #[test]
+    fn balancing_handles_single_class_gracefully() {
+        let mut pairs: Vec<TrainPair> = (0..10)
+            .map(|i| {
+                (
+                    SerializedPair {
+                        left: format!("{i}"),
+                        right: format!("{i}"),
+                    },
+                    true,
+                )
+            })
+            .collect();
+        balance_labels(&mut pairs, 1.0, 0);
+        assert_eq!(pairs.len(), 10);
+    }
+
+    #[test]
+    fn attribute_augmentation_yields_attribute_values() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let aug = attribute_pair_augmentation(&split, 30, 0);
+        assert_eq!(aug.len(), 30);
+        // Attribute-level values are shorter than full serialized records.
+        assert!(aug.iter().all(|(p, _)| !p.left.contains(", ")));
+    }
+
+    #[test]
+    fn similarity_features_are_bounded() {
+        let p = SerializedPair {
+            left: "sony camera dx100, electronics".into(),
+            right: "sony camera dx200, electronics".into(),
+        };
+        let f = similarity_features(&p);
+        assert_eq!(f.len(), 5);
+        assert!(f.iter().all(|v| (0.0..=1.0).contains(v)), "{f:?}");
+    }
+
+    #[test]
+    fn difficult_selection_prefers_borderline_examples() {
+        // Easy examples: identical or disjoint. Hard: half-overlapping with
+        // contradictory labels.
+        let mut pairs: Vec<TrainPair> = Vec::new();
+        for i in 0..50 {
+            pairs.push((
+                SerializedPair {
+                    left: format!("alpha beta {i}"),
+                    right: format!("alpha beta {i}"),
+                },
+                true,
+            ));
+            pairs.push((
+                SerializedPair {
+                    left: format!("gamma delta {i}"),
+                    right: format!("zzz qqq {}", i + 100),
+                },
+                false,
+            ));
+        }
+        // Borderline: share half their tokens, labelled inconsistently.
+        for i in 0..10 {
+            pairs.push((
+                SerializedPair {
+                    left: format!("mix one two {i}"),
+                    right: format!("mix one xx {i}"),
+                },
+                i % 2 == 0,
+            ));
+        }
+        let selected = select_difficult(&pairs, 10, 0);
+        assert_eq!(selected.len(), 20);
+        let borderline = selected
+            .iter()
+            .filter(|(p, _)| p.left.starts_with("mix"))
+            .count();
+        assert!(
+            borderline >= 5,
+            "hard picks should surface borderline cases: {borderline}"
+        );
+    }
+
+    #[test]
+    fn small_sets_skip_selection() {
+        let pairs: Vec<TrainPair> = (0..6)
+            .map(|i| {
+                (
+                    SerializedPair {
+                        left: format!("{i}"),
+                        right: format!("{i}"),
+                    },
+                    true,
+                )
+            })
+            .collect();
+        assert_eq!(select_difficult(&pairs, 10, 0).len(), 6);
+    }
+}

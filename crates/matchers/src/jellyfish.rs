@@ -1,0 +1,184 @@
+//! Jellyfish (Zhang et al., 2023): a LLaMA2-13B model instruction-tuned for
+//! data-preprocessing tasks including entity matching. Crucially for this
+//! study, the authors' released checkpoint was trained on **six of the
+//! eleven benchmark datasets** — so on those targets Jellyfish does *not*
+//! satisfy the cross-dataset setting, and Table 3 reports its scores in
+//! brackets. [`Matcher::saw_during_training`] reproduces exactly that
+//! bookkeeping.
+
+use crate::common::sample_benchmark_pairs;
+use em_core::{Benchmark, DatasetId, EmError, EvalBatch, LodoSplit, Matcher, Result};
+use em_lm::{
+    encode_pair, predict_proba, pretrain_backbone, train, EncoderClassifier, HashTokenizer,
+    PretrainCorpus, SlmFamily, TrainConfig,
+};
+
+/// The six datasets present in Jellyfish's instruction-tuning mixture
+/// (the bracketed columns of Table 3).
+pub const JELLYFISH_SEEN: [DatasetId; 6] = [
+    DatasetId::Dbac,
+    DatasetId::Dbgo,
+    DatasetId::Foza,
+    DatasetId::Amgo,
+    DatasetId::Beer,
+    DatasetId::Itam,
+];
+
+/// Configuration of the Jellyfish matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct JellyfishConfig {
+    /// Instruction-tuning pairs sampled per seen dataset.
+    pub per_dataset: usize,
+    /// Tuning epochs.
+    pub epochs: usize,
+}
+
+impl Default for JellyfishConfig {
+    fn default() -> Self {
+        JellyfishConfig {
+            per_dataset: 150,
+            epochs: 3,
+        }
+    }
+}
+
+/// The Jellyfish matcher.
+pub struct Jellyfish {
+    cfg: JellyfishConfig,
+    tokenizer: HashTokenizer,
+    model: Option<EncoderClassifier>,
+    backbone: Option<EncoderClassifier>,
+}
+
+impl Jellyfish {
+    /// New Jellyfish with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(JellyfishConfig::default())
+    }
+
+    /// New Jellyfish with explicit configuration.
+    pub fn with_config(cfg: JellyfishConfig) -> Self {
+        Jellyfish {
+            cfg,
+            tokenizer: HashTokenizer::new(SlmFamily::Llama2_13b.config().vocab),
+            model: None,
+            backbone: None,
+        }
+    }
+
+    /// Jellyfish starting from a pretrained LLaMA2-13B-family backbone.
+    pub fn pretrained(corpus: &PretrainCorpus) -> Self {
+        let mut m = Self::new();
+        m.backbone = Some(pretrain_backbone(
+            SlmFamily::Llama2_13b.config(),
+            false,
+            corpus,
+            8_000,
+            0,
+        ));
+        m
+    }
+}
+
+impl Default for Jellyfish {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Matcher for Jellyfish {
+    fn name(&self) -> String {
+        "Jellyfish".into()
+    }
+
+    fn params_millions(&self) -> Option<f64> {
+        Some(SlmFamily::Llama2_13b.config().claimed_params_millions)
+    }
+
+    /// Instruction-tunes on the six *seen* datasets — wherever they appear
+    /// in the split (transfer pool or even the target itself, which is the
+    /// point of the bracket caveat). The LODO transfer pool restriction is
+    /// deliberately **not** honoured for those six datasets, mirroring the
+    /// released checkpoint.
+    fn fit(&mut self, split: &LodoSplit<'_>, seed: u64) -> Result<()> {
+        let mut seen: Vec<&Benchmark> = Vec::with_capacity(JELLYFISH_SEEN.len());
+        for id in JELLYFISH_SEEN {
+            if split.target.id == id {
+                seen.push(split.target);
+            } else if let Some(b) = split.transfer.iter().find(|b| b.id == id) {
+                seen.push(b);
+            }
+        }
+        if seen.is_empty() {
+            return Err(EmError::InvalidInput(
+                "none of Jellyfish's training datasets present".into(),
+            ));
+        }
+        let data = sample_benchmark_pairs(&seen, self.cfg.per_dataset, seed);
+        let model_cfg = SlmFamily::Llama2_13b.config();
+        let encoded: Vec<_> = data
+            .iter()
+            .map(|(p, y)| (encode_pair(&self.tokenizer, p, model_cfg.max_seq), *y))
+            .collect();
+        let mut model = match &self.backbone {
+            Some(b) => b.clone(),
+            None => EncoderClassifier::new(model_cfg, seed),
+        };
+        train(
+            &mut model,
+            &encoded,
+            &TrainConfig {
+                epochs: self.cfg.epochs,
+                seed,
+                ..Default::default()
+            },
+        );
+        self.model = Some(model);
+        Ok(())
+    }
+
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        let model = self.model.as_ref().ok_or_else(|| EmError::NotFitted {
+            matcher: self.name(),
+        })?;
+        let encoded: Vec<_> = batch
+            .serialized
+            .iter()
+            .map(|p| encode_pair(&self.tokenizer, p, model.config.max_seq))
+            .collect();
+        Ok(predict_proba(model, &encoded, 64)
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+
+    fn saw_during_training(&self, dataset: DatasetId) -> bool {
+        JELLYFISH_SEEN.contains(&dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_six_datasets_are_bracketed() {
+        let m = Jellyfish::new();
+        let seen = DatasetId::ALL
+            .iter()
+            .filter(|&&d| m.saw_during_training(d))
+            .count();
+        assert_eq!(seen, 6);
+        assert!(m.saw_during_training(DatasetId::Beer));
+        assert!(!m.saw_during_training(DatasetId::Abt));
+        assert!(!m.saw_during_training(DatasetId::Wdc));
+        assert!(!m.saw_during_training(DatasetId::Zoye));
+        assert!(!m.saw_during_training(DatasetId::Roim));
+        assert!(!m.saw_during_training(DatasetId::Waam));
+    }
+
+    #[test]
+    fn reports_llama2_claimed_size() {
+        assert_eq!(Jellyfish::new().params_millions(), Some(13_000.0));
+    }
+}

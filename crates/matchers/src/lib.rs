@@ -1,0 +1,35 @@
+//! # em-matchers — every matcher of the study
+//!
+//! The eight matcher families of the paper's Table 2, all implementing
+//! [`em_core::Matcher`]:
+//!
+//! | Matcher    | PLM   | Type            | Module        |
+//! |------------|-------|-----------------|---------------|
+//! | StringSim  | no    | parameter-free  | [`string_sim`] |
+//! | ZeroER     | no    | parameter-free  | [`zeroer`]     |
+//! | Ditto      | small | model-aware     | [`ditto`]      |
+//! | Unicorn    | small | model-aware     | [`unicorn`]    |
+//! | AnyMatch   | small | model-agnostic  | [`anymatch`]   |
+//! | Jellyfish  | large | model-agnostic  | [`jellyfish`]  |
+//! | MatchGPT   | large | model-agnostic  | [`matchgpt`]   |
+//!
+//! plus the shared data-centric machinery in [`common`] (transfer-pool
+//! sampling, label balancing, boosting-based difficult-example selection,
+//! attribute-pair augmentation).
+
+pub mod anymatch;
+pub mod common;
+pub mod ditto;
+pub mod jellyfish;
+pub mod matchgpt;
+pub mod string_sim;
+pub mod unicorn;
+pub mod zeroer;
+
+pub use anymatch::{AnyMatch, AnyMatchBackbone, AnyMatchConfig};
+pub use ditto::{summarize, Ditto, DittoConfig};
+pub use jellyfish::{Jellyfish, JellyfishConfig, JELLYFISH_SEEN};
+pub use matchgpt::{DemoStrategy, MatchGpt};
+pub use string_sim::StringSim;
+pub use unicorn::{Unicorn, UnicornConfig};
+pub use zeroer::ZeroEr;

@@ -1,0 +1,124 @@
+//! The StringSim baseline: serializes both tuples (comma-joined values)
+//! and predicts a match when the Ratcliff/Obershelp similarity — the
+//! algorithm behind Python's `difflib` — exceeds 0.5 (Section 4.1,
+//! "Parameter-free baselines").
+
+use em_core::{EmError, EvalBatch, LodoSplit, Matcher, Result};
+use em_text::ratcliff_obershelp;
+
+/// Parameter-free string-similarity matcher.
+#[derive(Debug, Clone)]
+pub struct StringSim {
+    /// Decision threshold (0.5 in the paper).
+    pub threshold: f64,
+}
+
+impl StringSim {
+    /// StringSim with the paper's 0.5 threshold.
+    pub fn new() -> Self {
+        StringSim { threshold: 0.5 }
+    }
+
+    /// StringSim with a custom threshold (for ablations).
+    pub fn with_threshold(threshold: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&threshold) {
+            return Err(EmError::Config(format!(
+                "threshold {threshold} outside [0,1]"
+            )));
+        }
+        Ok(StringSim { threshold })
+    }
+}
+
+impl Default for StringSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Matcher for StringSim {
+    fn name(&self) -> String {
+        "StringSim".into()
+    }
+
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        Ok(()) // parameter-free
+    }
+
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(batch
+            .serialized
+            .iter()
+            .map(|p| {
+                ratcliff_obershelp(&p.left.to_lowercase(), &p.right.to_lowercase()) > self.threshold
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::{Record, RecordPair, SerializedPair};
+
+    fn batch(pairs: Vec<(&str, &str)>) -> EvalBatch {
+        EvalBatch {
+            serialized: pairs
+                .iter()
+                .map(|(l, r)| SerializedPair {
+                    left: (*l).into(),
+                    right: (*r).into(),
+                })
+                .collect(),
+            raw: pairs
+                .iter()
+                .map(|_| RecordPair::new(Record::new(0, vec![]), Record::new(1, vec![])))
+                .collect(),
+            attr_types: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_strings_match() {
+        let mut m = StringSim::new();
+        let preds = m
+            .predict(&batch(vec![("sony tv x100", "sony tv x100")]))
+            .unwrap();
+        assert_eq!(preds, vec![true]);
+    }
+
+    #[test]
+    fn disjoint_strings_do_not_match() {
+        let mut m = StringSim::new();
+        let preds = m.predict(&batch(vec![("aaaa", "zzzz")])).unwrap();
+        assert_eq!(preds, vec![false]);
+    }
+
+    #[test]
+    fn comparison_is_case_insensitive() {
+        let mut m = StringSim::new();
+        let preds = m.predict(&batch(vec![("SONY TV", "sony tv")])).unwrap();
+        assert_eq!(preds, vec![true]);
+    }
+
+    #[test]
+    fn threshold_is_strict_greater() {
+        // "ab" vs "bc": ratio 0.5 exactly → not a match at threshold 0.5.
+        let mut m = StringSim::new();
+        let preds = m.predict(&batch(vec![("ab", "bc")])).unwrap();
+        assert_eq!(preds, vec![false]);
+    }
+
+    #[test]
+    fn custom_threshold_validated() {
+        assert!(StringSim::with_threshold(0.7).is_ok());
+        assert!(StringSim::with_threshold(1.5).is_err());
+        assert!(StringSim::with_threshold(-0.1).is_err());
+    }
+
+    #[test]
+    fn is_parameter_free() {
+        let m = StringSim::new();
+        assert_eq!(m.params_millions(), None);
+    }
+}

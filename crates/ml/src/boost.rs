@@ -1,0 +1,286 @@
+//! Decision stumps and AdaBoost.
+//!
+//! AnyMatch's data-centric pipeline uses boosting "to identify difficult
+//! examples": after fitting a boosted ensemble on similarity features, the
+//! examples that accumulate the largest boosting weights are the hard ones
+//! worth keeping in the fine-tuning data.
+
+/// An axis-aligned decision stump: predicts `polarity` if
+/// `x[feature] >= threshold`, else the opposite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stump {
+    /// Feature index the stump splits on.
+    pub feature: usize,
+    /// Split threshold.
+    pub threshold: f64,
+    /// Prediction for the `>= threshold` side.
+    pub polarity: bool,
+}
+
+impl Stump {
+    /// Predicts the label for one example.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> bool {
+        if x[self.feature] >= self.threshold {
+            self.polarity
+        } else {
+            !self.polarity
+        }
+    }
+
+    /// Fits the stump minimizing weighted 0/1 error over all features and
+    /// candidate thresholds (midpoints of consecutive distinct values).
+    pub fn fit(x: &[Vec<f64>], y: &[bool], weights: &[f64]) -> Stump {
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), weights.len());
+        assert!(!x.is_empty());
+        let dim = x[0].len();
+        let total_w: f64 = weights.iter().sum();
+        let mut best = Stump {
+            feature: 0,
+            threshold: f64::NEG_INFINITY,
+            polarity: true,
+        };
+        let mut best_err = f64::INFINITY;
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        #[allow(clippy::needless_range_loop)] // f indexes a column, not a slice
+        for f in 0..dim {
+            order.sort_by(|&i, &j| x[i][f].partial_cmp(&x[j][f]).unwrap());
+            // Weighted positives with value >= threshold, swept from -inf.
+            // Start: threshold = -inf, everything on the >= side.
+            let w_pos_total: f64 = y
+                .iter()
+                .zip(weights)
+                .filter_map(|(&yy, &w)| yy.then_some(w))
+                .sum();
+            let mut w_pos_ge = w_pos_total;
+            let mut w_ge = total_w;
+            // threshold -inf: predicting polarity=true for everything.
+            let err_all_true = total_w - w_pos_total;
+            if err_all_true < best_err {
+                best_err = err_all_true;
+                best = Stump {
+                    feature: f,
+                    threshold: f64::NEG_INFINITY,
+                    polarity: true,
+                };
+            }
+            if w_pos_total < best_err {
+                best_err = w_pos_total;
+                best = Stump {
+                    feature: f,
+                    threshold: f64::NEG_INFINITY,
+                    polarity: false,
+                };
+            }
+            let mut k = 0;
+            while k < order.len() {
+                // Move all examples with this value to the < side.
+                let v = x[order[k]][f];
+                while k < order.len() && x[order[k]][f] == v {
+                    let i = order[k];
+                    w_ge -= weights[i];
+                    if y[i] {
+                        w_pos_ge -= weights[i];
+                    }
+                    k += 1;
+                }
+                let threshold = if k < order.len() {
+                    (v + x[order[k]][f]) / 2.0
+                } else {
+                    v + 1.0
+                };
+                // polarity = true: err = (neg on >= side) + (pos on < side)
+                let err_true = (w_ge - w_pos_ge) + (w_pos_total - w_pos_ge);
+                if err_true < best_err {
+                    best_err = err_true;
+                    best = Stump {
+                        feature: f,
+                        threshold,
+                        polarity: true,
+                    };
+                }
+                let err_false = total_w - err_true;
+                if err_false < best_err {
+                    best_err = err_false;
+                    best = Stump {
+                        feature: f,
+                        threshold,
+                        polarity: false,
+                    };
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A fitted AdaBoost ensemble of stumps.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    stumps: Vec<(f64, Stump)>,
+    /// Final per-example boosting weights — large weight = hard example.
+    pub example_weights: Vec<f64>,
+}
+
+impl AdaBoost {
+    /// Fits `rounds` of AdaBoost (SAMME / discrete AdaBoost).
+    pub fn fit(x: &[Vec<f64>], y: &[bool], rounds: usize) -> AdaBoost {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty());
+        let n = x.len();
+        let mut w = vec![1.0 / n as f64; n];
+        let mut stumps = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let stump = Stump::fit(x, y, &w);
+            let err: f64 = x
+                .iter()
+                .zip(y)
+                .zip(&w)
+                .filter_map(|((xi, &yi), &wi)| (stump.predict(xi) != yi).then_some(wi))
+                .sum();
+            let err = err.clamp(1e-10, 1.0 - 1e-10);
+            if err >= 0.5 - 1e-9 {
+                // Weak learner no better than chance: stop boosting.
+                break;
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            for ((xi, &yi), wi) in x.iter().zip(y).zip(w.iter_mut()) {
+                let agree = stump.predict(xi) == yi;
+                *wi *= if agree { (-alpha).exp() } else { alpha.exp() };
+            }
+            let z: f64 = w.iter().sum();
+            w.iter_mut().for_each(|wi| *wi /= z);
+            stumps.push((alpha, stump));
+        }
+        AdaBoost {
+            stumps,
+            example_weights: w,
+        }
+    }
+
+    /// Number of boosting rounds actually performed.
+    pub fn rounds(&self) -> usize {
+        self.stumps.len()
+    }
+
+    /// Signed ensemble margin (positive = match).
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.stumps
+            .iter()
+            .map(|(alpha, s)| if s.predict(x) { *alpha } else { -*alpha })
+            .sum()
+    }
+
+    /// Hard prediction.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.decision(x) >= 0.0
+    }
+
+    /// Indices of the `k` hardest examples (largest final boosting weight),
+    /// hardest first — AnyMatch's difficult-example selector.
+    pub fn hardest_examples(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.example_weights.len()).collect();
+        idx.sort_by(|&i, &j| {
+            self.example_weights[j]
+                .partial_cmp(&self.example_weights[i])
+                .unwrap()
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stump_learns_a_threshold() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let w = vec![1.0; 20];
+        let s = Stump::fit(&x, &y, &w);
+        assert_eq!(s.feature, 0);
+        assert!(s.polarity);
+        assert!(s.threshold > 9.0 && s.threshold <= 10.0, "{s:?}");
+        assert!((0..20).all(|i| s.predict(&[i as f64]) == (i >= 10)));
+    }
+
+    #[test]
+    fn stump_picks_the_informative_feature() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![rng.gen_range(0.0..1.0), if i < 50 { 0.0 } else { 1.0 }])
+            .collect();
+        let y: Vec<bool> = (0..100).map(|i| i >= 50).collect();
+        let w = vec![1.0; 100];
+        let s = Stump::fit(&x, &y, &w);
+        assert_eq!(s.feature, 1);
+    }
+
+    #[test]
+    fn stump_handles_inverted_labels() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i < 10).collect(); // small = positive
+        let w = vec![1.0; 20];
+        let s = Stump::fit(&x, &y, &w);
+        assert!(!s.polarity);
+        assert!((0..20).all(|i| s.predict(&[i as f64]) == (i < 10)));
+    }
+
+    #[test]
+    fn adaboost_fits_an_interval_problem() {
+        // "positive iff 0.3 < x < 0.7" is not separable by one stump but
+        // is easily captured by a boosted ensemble of stumps.
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f64>> = (0..400)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let y: Vec<bool> = x.iter().map(|r| r[0] > 0.3 && r[0] < 0.7).collect();
+        let model = AdaBoost::fit(&x, &y, 50);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| model.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn hardest_examples_are_the_mislabeled_ones() {
+        // Linearly separable data with two deliberately flipped labels:
+        // boosting piles weight on the contradictions.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let mut y: Vec<bool> = (0..40).map(|i| i >= 20).collect();
+        y[5] = true; // flipped
+        y[35] = false; // flipped
+        let model = AdaBoost::fit(&x, &y, 30);
+        let hard = model.hardest_examples(2);
+        assert!(hard.contains(&5), "{hard:?}");
+        assert!(hard.contains(&35), "{hard:?}");
+    }
+
+    #[test]
+    fn example_weights_stay_normalized() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, i as f64]).collect();
+        let y: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let model = AdaBoost::fit(&x, &y, 10);
+        let sum: f64 = model.example_weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boosting_stops_on_useless_features() {
+        // Labels independent of the (constant) feature: first stump has
+        // error ~0.5 and boosting should terminate quickly.
+        let x: Vec<Vec<f64>> = (0..20).map(|_| vec![1.0]).collect();
+        let y: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let model = AdaBoost::fit(&x, &y, 25);
+        assert!(model.rounds() <= 1);
+    }
+}

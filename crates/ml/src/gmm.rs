@@ -1,0 +1,408 @@
+//! Diagonal-covariance Gaussian mixture model fitted with
+//! expectation-maximization — the generative core of ZeroER, which models
+//! similarity vectors of matches and non-matches as two differently
+//! distributed components.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One mixture component with diagonal covariance.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Mixing weight, in `(0, 1)`.
+    pub weight: f64,
+    /// Per-dimension mean.
+    pub mean: Vec<f64>,
+    /// Per-dimension variance (floored for stability).
+    pub var: Vec<f64>,
+}
+
+impl Component {
+    /// Log density of `x` under this component (without the mixing weight).
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.mean.len());
+        let mut acc = 0.0;
+        for ((&xi, &mu), &var) in x.iter().zip(&self.mean).zip(&self.var) {
+            let d = xi - mu;
+            acc += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + d * d / var);
+        }
+        acc
+    }
+}
+
+/// Configuration for EM fitting.
+#[derive(Debug, Clone, Copy)]
+pub struct GmmConfig {
+    /// Number of mixture components.
+    pub components: usize,
+    /// Maximum EM iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on mean log-likelihood improvement.
+    pub tol: f64,
+    /// Variance floor (ZeroER's regularization against collapsed
+    /// components on near-duplicate similarity vectors).
+    pub var_floor: f64,
+    /// RNG seed for the initialization.
+    pub seed: u64,
+}
+
+impl Default for GmmConfig {
+    fn default() -> Self {
+        GmmConfig {
+            components: 2,
+            max_iter: 200,
+            tol: 1e-7,
+            var_floor: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted Gaussian mixture.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    /// Mixture components.
+    pub components: Vec<Component>,
+    /// Mean log-likelihood at convergence.
+    pub log_likelihood: f64,
+    /// Number of EM iterations performed.
+    pub iterations: usize,
+}
+
+/// `log(sum(exp(xs)))` computed stably.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m.is_infinite() {
+        return m;
+    }
+    m + xs.iter().map(|x| (x - m).exp()).sum::<f64>().ln()
+}
+
+impl Gmm {
+    /// Fits a mixture starting from a *hard initial assignment* of points
+    /// to components (e.g. a threshold split), then refines with EM. This
+    /// is how ZeroER seeds its match/non-match components so the mixture
+    /// converges to the intended separation rather than an arbitrary one.
+    ///
+    /// # Panics
+    /// Panics if `assignment` disagrees with `x` in length, names a
+    /// component out of range, or leaves a component empty.
+    pub fn fit_from_assignment(x: &[Vec<f64>], assignment: &[usize], cfg: GmmConfig) -> Self {
+        assert_eq!(
+            x.len(),
+            assignment.len(),
+            "assignment must cover all points"
+        );
+        assert!(!x.is_empty(), "empty dataset");
+        let dim = x[0].len();
+        let k = cfg.components;
+        assert!(assignment.iter().all(|&a| a < k), "component out of range");
+        let mut counts = vec![0usize; k];
+        for &a in assignment {
+            counts[a] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "empty initial component");
+        // Moment-match each component from its assigned points.
+        let mut components: Vec<Component> = (0..k)
+            .map(|j| Component {
+                weight: counts[j] as f64 / x.len() as f64,
+                mean: vec![0.0; dim],
+                var: vec![0.0; dim],
+            })
+            .collect();
+        for (row, &a) in x.iter().zip(assignment) {
+            for (m, &v) in components[a].mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for (j, c) in components.iter_mut().enumerate() {
+            c.mean.iter_mut().for_each(|m| *m /= counts[j] as f64);
+        }
+        for (row, &a) in x.iter().zip(assignment) {
+            let mean = components[a].mean.clone();
+            for ((v, &xv), m) in components[a].var.iter_mut().zip(row).zip(&mean) {
+                let d = xv - m;
+                *v += d * d;
+            }
+        }
+        for (j, c) in components.iter_mut().enumerate() {
+            c.var
+                .iter_mut()
+                .for_each(|v| *v = (*v / counts[j] as f64).max(cfg.var_floor));
+        }
+        Self::run_em(x, components, cfg)
+    }
+
+    fn run_em(x: &[Vec<f64>], mut components: Vec<Component>, cfg: GmmConfig) -> Self {
+        let n = x.len();
+        let k = components.len();
+        let mut resp = vec![0.0f64; n * k];
+        let mut logp = vec![0.0f64; k];
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        let mut ll = prev_ll;
+        for it in 0..cfg.max_iter {
+            iterations = it + 1;
+            // E step.
+            let mut total_ll = 0.0;
+            for (i, row) in x.iter().enumerate() {
+                for (p, c) in logp.iter_mut().zip(&components) {
+                    *p = c.weight.ln() + c.log_pdf(row);
+                }
+                let lse = log_sum_exp(&logp);
+                total_ll += lse;
+                for (j, &p) in logp.iter().enumerate() {
+                    resp[i * k + j] = (p - lse).exp();
+                }
+            }
+            ll = total_ll / n as f64;
+            // M step.
+            for (j, c) in components.iter_mut().enumerate() {
+                let nj: f64 = (0..n).map(|i| resp[i * k + j]).sum();
+                let nj = nj.max(1e-12);
+                c.weight = nj / n as f64;
+                c.mean.iter_mut().for_each(|m| *m = 0.0);
+                for (i, row) in x.iter().enumerate() {
+                    let r = resp[i * k + j];
+                    for (m, &v) in c.mean.iter_mut().zip(row) {
+                        *m += r * v;
+                    }
+                }
+                c.mean.iter_mut().for_each(|m| *m /= nj);
+                c.var.iter_mut().for_each(|v| *v = 0.0);
+                for (i, row) in x.iter().enumerate() {
+                    let r = resp[i * k + j];
+                    for ((v, &xv), &m) in c.var.iter_mut().zip(row).zip(&c.mean) {
+                        let d = xv - m;
+                        *v += r * d * d;
+                    }
+                }
+                c.var
+                    .iter_mut()
+                    .for_each(|v| *v = (*v / nj).max(cfg.var_floor));
+            }
+            if (ll - prev_ll).abs() < cfg.tol {
+                break;
+            }
+            prev_ll = ll;
+        }
+        Gmm {
+            components,
+            log_likelihood: ll,
+            iterations,
+        }
+    }
+
+    /// Fits a mixture on rows `x` via EM.
+    ///
+    /// Initialization: component means are distinct random data points
+    /// (deterministic under `cfg.seed`), variances start at the global
+    /// per-dimension variance, weights uniform.
+    ///
+    /// # Panics
+    /// Panics when there are fewer points than components or rows are ragged.
+    pub fn fit(x: &[Vec<f64>], cfg: GmmConfig) -> Self {
+        assert!(cfg.components >= 1, "need at least one component");
+        assert!(
+            x.len() >= cfg.components,
+            "need at least as many points as components"
+        );
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged rows");
+        let n = x.len();
+
+        // Global per-dimension variance for initialization.
+        let mut gmean = vec![0.0; dim];
+        for row in x {
+            for (g, &v) in gmean.iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        gmean.iter_mut().for_each(|g| *g /= n as f64);
+        let mut gvar = vec![0.0; dim];
+        for row in x {
+            for ((g, &v), &m) in gvar.iter_mut().zip(row).zip(&gmean) {
+                *g += (v - m) * (v - m);
+            }
+        }
+        gvar.iter_mut()
+            .for_each(|g| *g = (*g / n as f64).max(cfg.var_floor));
+
+        // Pick distinct points as initial means.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x05ee_d6a3u64);
+        idx.shuffle(&mut rng);
+        let components: Vec<Component> = idx[..cfg.components]
+            .iter()
+            .map(|&i| Component {
+                weight: 1.0 / cfg.components as f64,
+                mean: x[i].clone(),
+                var: gvar.clone(),
+            })
+            .collect();
+        Self::run_em(x, components, cfg)
+    }
+
+    /// Posterior responsibilities of each component for `x` (sums to 1).
+    pub fn responsibilities(&self, x: &[f64]) -> Vec<f64> {
+        let logp: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.ln() + c.log_pdf(x))
+            .collect();
+        let lse = log_sum_exp(&logp);
+        logp.iter().map(|p| (p - lse).exp()).collect()
+    }
+
+    /// Index of the most responsible component.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        let r = self.responsibilities(x);
+        r.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn two_blobs(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(2 * n);
+        let mut labels = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            x.push(vec![
+                rng.gen_range(-0.5..0.5) - 3.0,
+                rng.gen_range(-0.5..0.5) - 3.0,
+            ]);
+            labels.push(0);
+        }
+        for _ in 0..n {
+            x.push(vec![
+                rng.gen_range(-0.5..0.5) + 3.0,
+                rng.gen_range(-0.5..0.5) + 3.0,
+            ]);
+            labels.push(1);
+        }
+        (x, labels)
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - 2f64.ln()).abs() < 1e-12);
+        // Huge magnitudes must not overflow.
+        let v = log_sum_exp(&[-1000.0, -1000.0]);
+        assert!((v - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn separates_two_well_separated_blobs() {
+        let (x, labels) = two_blobs(1, 100);
+        let gmm = Gmm::fit(&x, GmmConfig::default());
+        // Cluster assignment should match blob identity up to permutation.
+        let assigns: Vec<usize> = x.iter().map(|p| gmm.assign(p)).collect();
+        let agree = assigns.iter().zip(&labels).filter(|(a, l)| a == l).count();
+        let acc = agree.max(x.len() - agree) as f64 / x.len() as f64;
+        assert!(acc > 0.99, "clustering accuracy {acc}");
+    }
+
+    #[test]
+    fn means_land_on_blob_centres() {
+        let (x, _) = two_blobs(2, 200);
+        let gmm = Gmm::fit(&x, GmmConfig::default());
+        let mut centres: Vec<f64> = gmm.components.iter().map(|c| c.mean[0]).collect();
+        centres.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((centres[0] + 3.0).abs() < 0.3, "{centres:?}");
+        assert!((centres[1] - 3.0).abs() < 0.3, "{centres:?}");
+    }
+
+    #[test]
+    fn responsibilities_sum_to_one() {
+        let (x, _) = two_blobs(3, 50);
+        let gmm = Gmm::fit(
+            &x,
+            GmmConfig {
+                components: 3,
+                ..Default::default()
+            },
+        );
+        for p in &x {
+            let r = gmm.responsibilities(p);
+            assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(r.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (x, _) = two_blobs(4, 60);
+        let gmm = Gmm::fit(&x, GmmConfig::default());
+        let total: f64 = gmm.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_floor_prevents_collapse() {
+        // All points identical: variance would be 0 without the floor.
+        let x = vec![vec![1.0, 2.0]; 10];
+        let gmm = Gmm::fit(&x, GmmConfig::default());
+        for c in &gmm.components {
+            assert!(c.var.iter().all(|&v| v >= 1e-4));
+        }
+        assert!(gmm.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn likelihood_is_monotone_in_practice() {
+        // Fit twice with different iteration caps: more EM iterations must
+        // not decrease the likelihood.
+        let (x, _) = two_blobs(5, 80);
+        let short = Gmm::fit(
+            &x,
+            GmmConfig {
+                max_iter: 2,
+                ..Default::default()
+            },
+        );
+        let long = Gmm::fit(
+            &x,
+            GmmConfig {
+                max_iter: 100,
+                ..Default::default()
+            },
+        );
+        assert!(long.log_likelihood >= short.log_likelihood - 1e-9);
+    }
+
+    #[test]
+    fn single_component_recovers_sample_moments() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let gmm = Gmm::fit(
+            &x,
+            GmmConfig {
+                components: 1,
+                ..Default::default()
+            },
+        );
+        assert!((gmm.components[0].mean[0] - 49.5).abs() < 1e-6);
+        assert!((gmm.components[0].weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least as many points")]
+    fn too_few_points_panics() {
+        let _ = Gmm::fit(
+            &[vec![1.0]],
+            GmmConfig {
+                components: 2,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # em-ml — classical machine-learning substrate
+//!
+//! Self-contained implementations of the non-neural estimators used in the
+//! study:
+//!
+//! * dense linear algebra ([`linalg`]);
+//! * L2-regularized logistic regression ([`logreg`]), the workhorse for
+//!   similarity-feature classification;
+//! * diagonal-covariance Gaussian mixtures fitted by EM ([`gmm`]) — the
+//!   generative core of ZeroER;
+//! * decision stumps and AdaBoost ([`boost`]) — AnyMatch's difficult-example
+//!   selection;
+//! * feature standardization ([`scaler`]).
+
+pub mod boost;
+pub mod gmm;
+pub mod linalg;
+pub mod logreg;
+pub mod scaler;
+
+pub use boost::{AdaBoost, Stump};
+pub use gmm::{log_sum_exp, Component, Gmm, GmmConfig};
+pub use linalg::{axpy, dot, norm2, Matrix};
+pub use logreg::{sigmoid, LogRegConfig, LogisticRegression};
+pub use scaler::StandardScaler;

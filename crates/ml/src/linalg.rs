@@ -1,0 +1,320 @@
+//! Minimal dense linear algebra for the classical-ML substrate: row-major
+//! `f64` matrices with the handful of operations the estimators need.
+
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from a slice of rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n_rows * n_cols);
+        for r in rows {
+            assert_eq!(r.len(), n_cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: n_rows,
+            cols: n_cols,
+            data,
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat data buffer.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+    }
+
+    /// Matrix-matrix product.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Solves `A x = b` for square `A` via Gaussian elimination with partial
+    /// pivoting. Returns `None` if the matrix is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs dimension mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let pivot = (col..n)
+                .max_by(|&i, &j| {
+                    a[i * n + col]
+                        .abs()
+                        .partial_cmp(&a[j * n + col].abs())
+                        .unwrap()
+                })
+                .unwrap();
+            if a[pivot * n + col].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot * n + k);
+                }
+                x.swap(col, pivot);
+            }
+            let diag = a[col * n + col];
+            for row in (col + 1)..n {
+                let factor = a[row * n + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for k in col..n {
+                    a[row * n + k] -= factor * a[col * n + k];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for k in (col + 1)..n {
+                acc -= a[col * n + k] * x[k];
+            }
+            x[col] = acc / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `out += alpha * x` (axpy).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(x.len(), out.len());
+    for (o, &xi) in out.iter_mut().zip(x) {
+        *o += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut m = Matrix::zeros(2, 3);
+        m[(1, 2)] = 5.0;
+        assert_eq!(m[(1, 2)], 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_hand_computed() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_norm() {
+        let mut out = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut out);
+        assert_eq!(out, vec![7.0, 9.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer does not match shape")]
+    fn from_vec_checks_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_then_multiply_recovers_rhs(
+            vals in proptest::collection::vec(-5.0f64..5.0, 9),
+            b in proptest::collection::vec(-5.0f64..5.0, 3)
+        ) {
+            let mut m = Matrix::from_vec(3, 3, vals);
+            // Diagonal dominance guarantees non-singularity.
+            for i in 0..3 {
+                m[(i, i)] += 20.0;
+            }
+            let x = m.solve(&b).unwrap();
+            let back = m.matvec(&x);
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn matmul_associativity(
+            a in proptest::collection::vec(-2.0f64..2.0, 4),
+            b in proptest::collection::vec(-2.0f64..2.0, 4),
+            c in proptest::collection::vec(-2.0f64..2.0, 4)
+        ) {
+            let ma = Matrix::from_vec(2, 2, a);
+            let mb = Matrix::from_vec(2, 2, b);
+            let mc = Matrix::from_vec(2, 2, c);
+            let left = ma.matmul(&mb).matmul(&mc);
+            let right = ma.matmul(&mb.matmul(&mc));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

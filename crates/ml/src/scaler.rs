@@ -1,0 +1,92 @@
+//! Feature standardization (z-score scaling), used before logistic
+//! regression / GMM fitting on similarity vectors.
+
+/// A fitted per-feature standard scaler.
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (floored at a small epsilon so
+    /// constant features map to 0 instead of NaN).
+    pub std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits means and standard deviations on the rows of `x`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset or ragged rows.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit scaler on empty data");
+        let dim = x[0].len();
+        assert!(x.iter().all(|r| r.len() == dim), "ragged rows");
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for row in x {
+            for (m, &v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut var = vec![0.0; dim];
+        for row in x {
+            for ((s, &v), &m) in var.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-12)).collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transforms one row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transforms a copy of the dataset.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|row| {
+                let mut r = row.clone();
+                self.transform_row(&mut r);
+                r
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_var() {
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64, 2.0 * i as f64 + 5.0])
+            .collect();
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        for dim in 0..2 {
+            let m: f64 = t.iter().map(|r| r[dim]).sum::<f64>() / t.len() as f64;
+            let v: f64 = t.iter().map(|r| (r[dim] - m).powi(2)).sum::<f64>() / t.len() as f64;
+            assert!(m.abs() < 1e-9);
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let x = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        assert!(t.iter().all(|r| r[0].abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = StandardScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,339 @@
+//! Multi-head self-attention with padding masks and a full backward pass.
+//!
+//! Batches are laid out as `(batch · seq, dim)` row-major tensors with a
+//! fixed sequence length per batch; a per-token boolean mask marks real
+//! tokens (`true`) vs. padding (`false`). Padding positions are excluded as
+//! attention *keys*; padded *query* rows produce zeros.
+
+use crate::layers::Linear;
+use crate::param::Param;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Multi-head self-attention layer.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    /// Query projection.
+    pub wq: Linear,
+    /// Key projection.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection.
+    pub wo: Linear,
+    heads: usize,
+    dim: usize,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax attention matrices, one `T×T` tensor per (batch, head).
+    attn: Vec<Tensor>,
+    concat: Tensor,
+    seq: usize,
+}
+
+/// Softmax over `row` restricted to positions where `mask` is `true`;
+/// masked positions get probability 0. A fully masked row stays all-zero.
+fn masked_softmax_row(row: &mut [f32], mask: &[bool]) {
+    let mut m = f32::NEG_INFINITY;
+    for (v, &keep) in row.iter().zip(mask) {
+        if keep && *v > m {
+            m = *v;
+        }
+    }
+    if !m.is_finite() {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for (v, &keep) in row.iter_mut().zip(mask) {
+        if keep {
+            *v = (*v - m).exp();
+            sum += *v;
+        } else {
+            *v = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+impl MultiHeadAttention {
+    /// New attention layer over `dim`-dimensional tokens with `heads` heads.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert!(dim.is_multiple_of(heads), "dim must be divisible by heads");
+        MultiHeadAttention {
+            wq: Linear::new(dim, dim, rng),
+            wk: Linear::new(dim, dim, rng),
+            wv: Linear::new(dim, dim, rng),
+            wo: Linear::new(dim, dim, rng),
+            heads,
+            dim,
+            cache: None,
+        }
+    }
+
+    /// Extracts the `(batch, head)` block as a contiguous `seq × head_dim`
+    /// matrix.
+    fn slice_head(x: &Tensor, b: usize, h: usize, seq: usize, hd: usize) -> Tensor {
+        let mut out = Tensor::zeros(seq, hd);
+        for t in 0..seq {
+            let src = &x.row(b * seq + t)[h * hd..(h + 1) * hd];
+            out.row_mut(t).copy_from_slice(src);
+        }
+        out
+    }
+
+    /// Scatter-adds a `seq × head_dim` block back into the `(batch, head)`
+    /// slot of a `(batch·seq, dim)` tensor.
+    fn unslice_head_add(dst: &mut Tensor, src: &Tensor, b: usize, h: usize, seq: usize, hd: usize) {
+        for t in 0..seq {
+            let drow = &mut dst.row_mut(b * seq + t)[h * hd..(h + 1) * hd];
+            for (d, &s) in drow.iter_mut().zip(src.row(t)) {
+                *d += s;
+            }
+        }
+    }
+
+    fn attend(
+        &self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        seq: usize,
+        mask: &[bool],
+    ) -> (Tensor, Vec<Tensor>) {
+        let hd = self.dim / self.heads;
+        let batch = q.rows() / seq;
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut concat = Tensor::zeros(q.rows(), self.dim);
+        let mut attn_mats = Vec::with_capacity(batch * self.heads);
+        for b in 0..batch {
+            let bmask = &mask[b * seq..(b + 1) * seq];
+            for h in 0..self.heads {
+                let qb = Self::slice_head(q, b, h, seq, hd);
+                let kb = Self::slice_head(k, b, h, seq, hd);
+                let vb = Self::slice_head(v, b, h, seq, hd);
+                let mut scores = qb.matmul_t(&kb);
+                scores.scale(scale);
+                for t in 0..seq {
+                    masked_softmax_row(scores.row_mut(t), bmask);
+                }
+                let ob = scores.matmul(&vb);
+                Self::unslice_head_add(&mut concat, &ob, b, h, seq, hd);
+                attn_mats.push(scores);
+            }
+        }
+        (concat, attn_mats)
+    }
+
+    /// Forward pass. `x` is `(batch·seq, dim)`, `mask` has one entry per
+    /// token row. Caches intermediates for [`Self::backward`].
+    pub fn forward(&mut self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
+        assert_eq!(x.rows() % seq, 0, "rows must be a multiple of seq");
+        assert_eq!(mask.len(), x.rows(), "mask must cover every token");
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let (concat, attn) = self.attend(&q, &k, &v, seq, mask);
+        let out = self.wo.forward(&concat);
+        self.cache = Some(Cache {
+            q,
+            k,
+            v,
+            attn,
+            concat,
+            seq,
+        });
+        out
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn forward_inference(&self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
+        let q = self.wq.forward_inference(x);
+        let k = self.wk.forward_inference(x);
+        let v = self.wv.forward_inference(x);
+        let (concat, _) = self.attend(&q, &k, &v, seq, mask);
+        self.wo.forward_inference(&concat)
+    }
+
+    /// Backward pass: accumulates all projection gradients, returns dX.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("backward called before forward");
+        let hd = self.dim / self.heads;
+        let seq = cache.seq;
+        let batch = cache.q.rows() / seq;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Through the output projection.
+        let d_concat = self.wo.backward(grad_out);
+
+        let mut dq = Tensor::zeros(cache.q.rows(), self.dim);
+        let mut dk = Tensor::zeros(cache.q.rows(), self.dim);
+        let mut dv = Tensor::zeros(cache.q.rows(), self.dim);
+
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let a = &cache.attn[b * self.heads + h];
+                let qb = Self::slice_head(&cache.q, b, h, seq, hd);
+                let kb = Self::slice_head(&cache.k, b, h, seq, hd);
+                let vb = Self::slice_head(&cache.v, b, h, seq, hd);
+                let dob = Self::slice_head(&d_concat, b, h, seq, hd);
+
+                // dA = dO·Vᵀ ; dV = Aᵀ·dO
+                let da = dob.matmul_t(&vb);
+                let dvb = a.t_matmul(&dob);
+                // Softmax backward per row: dS = A ⊙ (dA - rowsum(dA ⊙ A)).
+                let mut ds = Tensor::zeros(seq, seq);
+                for t in 0..seq {
+                    let arow = a.row(t);
+                    let darow = da.row(t);
+                    let inner: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+                    let dsrow = ds.row_mut(t);
+                    for j in 0..seq {
+                        dsrow[j] = arow[j] * (darow[j] - inner);
+                    }
+                }
+                ds.scale(scale);
+                // dQ = dS·K ; dK = dSᵀ·Q
+                let dqb = ds.matmul(&kb);
+                let dkb = ds.t_matmul(&qb);
+                Self::unslice_head_add(&mut dq, &dqb, b, h, seq, hd);
+                Self::unslice_head_add(&mut dk, &dkb, b, h, seq, hd);
+                Self::unslice_head_add(&mut dv, &dvb, b, h, seq, hd);
+            }
+        }
+        let _ = cache.concat; // consumed implicitly by wo.backward's cache
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+
+    /// Visits parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.wq.params_mut();
+        ps.extend(self.wk.params_mut());
+        ps.extend(self.wv.params_mut());
+        ps.extend(self.wo.params_mut());
+        ps
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.wq.param_count()
+            + self.wk.param_count()
+            + self.wv.param_count()
+            + self.wo.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn masked_softmax_ignores_padding() {
+        let mut row = vec![1.0, 2.0, 3.0];
+        masked_softmax_row(&mut row, &[true, false, true]);
+        assert_eq!(row[1], 0.0);
+        assert!((row[0] + row[2] - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[0]);
+    }
+
+    #[test]
+    fn fully_masked_row_is_zero() {
+        let mut row = vec![1.0, 2.0];
+        masked_softmax_row(&mut row, &[false, false]);
+        assert_eq!(row, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::from_vec(6, 8, (0..48).map(|i| (i as f32) * 0.01).collect());
+        let mask = vec![true; 6];
+        let y = mha.forward(&x, 3, &mask); // batch of 2 sequences of length 3
+        assert_eq!((y.rows(), y.cols()), (6, 8));
+    }
+
+    #[test]
+    fn attention_rows_sum_to_one_over_valid_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Tensor::from_vec(4, 4, (0..16).map(|i| (i as f32) * 0.1).collect());
+        let mask = vec![true, true, true, false];
+        let _ = mha.forward(&x, 4, &mask);
+        let cache = mha.cache.as_ref().unwrap();
+        let a = &cache.attn[0];
+        for t in 0..4 {
+            let s: f32 = a.row(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert_eq!(a.get(t, 3), 0.0, "padded key must get zero attention");
+        }
+    }
+
+    #[test]
+    fn padding_tokens_do_not_change_valid_outputs() {
+        // Same content with and without a padded tail: valid rows identical.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let data: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let x2 = Tensor::from_vec(2, 4, data.clone());
+        let y2 = mha.forward_inference(&x2, 2, &[true, true]);
+        let mut padded = data.clone();
+        padded.extend_from_slice(&[9.0, 9.0, 9.0, 9.0]); // garbage pad row
+        let x3 = Tensor::from_vec(3, 4, padded);
+        let y3 = mha.forward_inference(&x3, 3, &[true, true, false]);
+        for t in 0..2 {
+            for j in 0..4 {
+                assert!(
+                    (y2.get(t, j) - y3.get(t, j)).abs() < 1e-5,
+                    "row {t} col {j}: {} vs {}",
+                    y2.get(t, j),
+                    y3.get(t, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_produces_finite_gradients() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::from_vec(4, 8, (0..32).map(|i| ((i % 7) as f32) * 0.1).collect());
+        let mask = vec![true, true, true, false];
+        let y = mha.forward(&x, 4, &mask);
+        let dy = Tensor::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]);
+        let dx = mha.backward(&dy);
+        assert_eq!((dx.rows(), dx.cols()), (4, 8));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+        assert!(mha.wq.weight.grad.frobenius_norm() > 0.0);
+        assert!(mha.wo.weight.grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn param_count_is_four_projections() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mha = MultiHeadAttention::new(16, 4, &mut rng);
+        assert_eq!(mha.param_count(), 4 * (16 * 16 + 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = MultiHeadAttention::new(6, 4, &mut rng);
+    }
+}

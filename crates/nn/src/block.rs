@@ -1,0 +1,173 @@
+//! Pre-norm transformer encoder block:
+//! `x + MHA(LN(x))` followed by `x + FFN(LN(x))` with a GELU feed-forward.
+
+use crate::attention::MultiHeadAttention;
+use crate::layers::{Dropout, Gelu, LayerNorm, Linear};
+use crate::param::Param;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// One pre-norm transformer encoder block.
+#[derive(Debug, Clone)]
+pub struct TransformerBlock {
+    /// LayerNorm before attention.
+    pub ln1: LayerNorm,
+    /// Multi-head self-attention.
+    pub attn: MultiHeadAttention,
+    /// LayerNorm before the feed-forward network.
+    pub ln2: LayerNorm,
+    /// FFN expansion layer.
+    pub ff1: Linear,
+    /// FFN activation.
+    pub act: Gelu,
+    /// FFN contraction layer.
+    pub ff2: Linear,
+    /// Dropout on both residual branches.
+    pub dropout: Dropout,
+}
+
+impl TransformerBlock {
+    /// New block with model dim `dim`, `heads` attention heads and an FFN
+    /// hidden size of `ff_mult · dim`.
+    pub fn new(dim: usize, heads: usize, ff_mult: usize, dropout: f32, rng: &mut StdRng) -> Self {
+        TransformerBlock {
+            ln1: LayerNorm::new(dim),
+            attn: MultiHeadAttention::new(dim, heads, rng),
+            ln2: LayerNorm::new(dim),
+            ff1: Linear::new(dim, ff_mult * dim, rng),
+            act: Gelu::new(),
+            ff2: Linear::new(ff_mult * dim, dim, rng),
+            dropout: Dropout::new(dropout),
+        }
+    }
+
+    /// Training forward with caching. `rng` drives dropout masks.
+    pub fn forward(&mut self, x: &Tensor, seq: usize, mask: &[bool], rng: &mut StdRng) -> Tensor {
+        // Attention branch.
+        let h = self.ln1.forward(x);
+        let a = self.attn.forward(&h, seq, mask);
+        let a = self.dropout.forward_train(&a, rng);
+        let mut x1 = x.clone();
+        x1.add_assign(&a);
+        // FFN branch.
+        let h2 = self.ln2.forward(&x1);
+        let f = self.ff1.forward(&h2);
+        let f = self.act.forward(&f);
+        let f = self.ff2.forward(&f);
+        let mut out = x1;
+        out.add_assign(&f);
+        out
+    }
+
+    /// Inference-only forward (no caching, no dropout).
+    pub fn forward_inference(&self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
+        let h = self.ln1.forward_inference(x);
+        let a = self.attn.forward_inference(&h, seq, mask);
+        let mut x1 = x.clone();
+        x1.add_assign(&a);
+        let h2 = self.ln2.forward_inference(&x1);
+        let f = self.ff1.forward_inference(&h2);
+        let f = self.act.forward_inference(&f);
+        let f = self.ff2.forward_inference(&f);
+        let mut out = x1;
+        out.add_assign(&f);
+        out
+    }
+
+    /// Backward pass; returns dX.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // FFN branch: out = x1 + ff2(act(ff1(ln2(x1)))).
+        let df = self.ff2.backward(grad_out);
+        let df = self.act.backward(&df);
+        let df = self.ff1.backward(&df);
+        let dln2 = self.ln2.backward(&df);
+        let mut dx1 = grad_out.clone();
+        dx1.add_assign(&dln2);
+        // Attention branch: x1 = x + dropout(attn(ln1(x))).
+        let da = self.dropout.backward(&dx1);
+        let da = self.attn.backward(&da);
+        let dln1 = self.ln1.backward(&da);
+        let mut dx = dx1;
+        dx.add_assign(&dln1);
+        dx
+    }
+
+    /// Visits all parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.ln1.params_mut();
+        ps.extend(self.attn.params_mut());
+        ps.extend(self.ln2.params_mut());
+        ps.extend(self.ff1.params_mut());
+        ps.extend(self.ff2.params_mut());
+        ps
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.ln1.param_count()
+            + self.attn.param_count()
+            + self.ln2.param_count()
+            + self.ff1.param_count()
+            + self.ff2.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_preserves_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut block = TransformerBlock::new(8, 2, 4, 0.0, &mut rng);
+        let x = Tensor::from_vec(4, 8, (0..32).map(|i| (i as f32) * 0.05).collect());
+        let mask = vec![true; 4];
+        let y = block.forward(&x, 2, &mask, &mut rng);
+        assert_eq!((y.rows(), y.cols()), (4, 8));
+        let yi = block.forward_inference(&x, 2, &mask);
+        // With dropout 0, train and inference forward agree.
+        for (a, b) in y.data().iter().zip(yi.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_runs_and_fills_grads() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut block = TransformerBlock::new(8, 2, 2, 0.0, &mut rng);
+        let x = Tensor::from_vec(4, 8, (0..32).map(|i| ((i % 5) as f32) * 0.1).collect());
+        let mask = vec![true; 4];
+        let y = block.forward(&x, 4, &mask, &mut rng);
+        let dy = Tensor::from_vec(y.rows(), y.cols(), vec![0.5; y.len()]);
+        let dx = block.backward(&dy);
+        assert_eq!((dx.rows(), dx.cols()), (4, 8));
+        assert!(dx.data().iter().all(|v| v.is_finite()));
+        for p in block.params_mut() {
+            assert!(p.grad.data().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn residual_path_passes_gradient_through() {
+        // Gradient of the output w.r.t. input includes the identity path, so
+        // dX cannot vanish even if weights were zero.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut block = TransformerBlock::new(4, 1, 2, 0.0, &mut rng);
+        let x = Tensor::from_vec(2, 4, vec![0.1; 8]);
+        let _ = block.forward(&x, 2, &[true, true], &mut rng);
+        let dy = Tensor::from_vec(2, 4, vec![1.0; 8]);
+        let dx = block.backward(&dy);
+        assert!(dx.frobenius_norm() > 0.5);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let block = TransformerBlock::new(8, 2, 4, 0.0, &mut rng);
+        let expect = 2 * 8 + 2 * 8                   // two layer norms
+            + 4 * (8 * 8 + 8)                         // attention projections
+            + (8 * 32 + 32) + (32 * 8 + 8); // FFN
+        assert_eq!(block.param_count(), expect);
+    }
+}

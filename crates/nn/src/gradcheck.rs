@@ -1,0 +1,228 @@
+//! Finite-difference gradient checking utilities.
+//!
+//! Backpropagation bugs are silent: training still "works", just worse.
+//! Every layer in this crate is therefore verified against centered finite
+//! differences. The helpers here are public so downstream crates (`em-lm`)
+//! can gradient-check their composite models too.
+
+/// Centered-difference numeric gradient of a scalar function of a flat
+/// vector: `g_i ≈ (f(x + h·e_i) - f(x - h·e_i)) / 2h`.
+pub fn numeric_gradient<F>(x: &[f32], mut f: F, h: f32) -> Vec<f32>
+where
+    F: FnMut(&[f32]) -> f32,
+{
+    let mut grad = Vec::with_capacity(x.len());
+    let mut buf = x.to_vec();
+    for i in 0..x.len() {
+        let orig = buf[i];
+        buf[i] = orig + h;
+        let fp = f(&buf);
+        buf[i] = orig - h;
+        let fm = f(&buf);
+        buf[i] = orig;
+        grad.push((fp - fm) / (2.0 * h));
+    }
+    grad
+}
+
+/// Maximum relative error between analytic and numeric gradients, with an
+/// absolute floor so near-zero entries don't blow up the ratio.
+pub fn max_relative_error(analytic: &[f32], numeric: &[f32]) -> f32 {
+    assert_eq!(analytic.len(), numeric.len());
+    analytic
+        .iter()
+        .zip(numeric)
+        .map(|(&a, &n)| {
+            let denom = a.abs().max(n.abs()).max(1e-3);
+            (a - n).abs() / denom
+        })
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::MultiHeadAttention;
+    use crate::block::TransformerBlock;
+    use crate::layers::{LayerNorm, Linear};
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Loss: weighted sum of all outputs, so dLoss/dY is a constant tensor
+    /// of pseudo-random weights (catches transposition bugs that a uniform
+    /// dY would mask).
+    fn loss_weights(rows: usize, cols: usize) -> Tensor {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 2654435761usize % 1000) as f32 / 1000.0) - 0.5)
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn weighted_sum(y: &Tensor, w: &Tensor) -> f32 {
+        y.data().iter().zip(w.data()).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn linear_weight_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(4, 3, (0..12).map(|i| (i as f32) * 0.13 - 0.7).collect());
+        let w = loss_weights(4, 2);
+
+        let y = lin.forward(&x);
+        let _ = lin.backward(&w);
+        let analytic = lin.weight.grad.data().to_vec();
+        let _ = y;
+
+        let base = lin.weight.value.data().to_vec();
+        let numeric = numeric_gradient(
+            &base,
+            |vals| {
+                let mut probe = lin.clone();
+                probe.weight.value = Tensor::from_vec(3, 2, vals.to_vec());
+                weighted_sum(&probe.forward_inference(&x), &w)
+            },
+            1e-2,
+        );
+        assert!(
+            max_relative_error(&analytic, &numeric) < 2e-2,
+            "err {}",
+            max_relative_error(&analytic, &numeric)
+        );
+    }
+
+    #[test]
+    fn linear_input_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x0: Vec<f32> = (0..6).map(|i| (i as f32) * 0.21 - 0.5).collect();
+        let w = loss_weights(2, 2);
+        let x = Tensor::from_vec(2, 3, x0.clone());
+        let _ = lin.forward(&x);
+        let dx = lin.backward(&w);
+        let numeric = numeric_gradient(
+            &x0,
+            |vals| {
+                let xt = Tensor::from_vec(2, 3, vals.to_vec());
+                weighted_sum(&lin.forward_inference(&xt), &w)
+            },
+            1e-2,
+        );
+        assert!(max_relative_error(dx.data(), &numeric) < 2e-2);
+    }
+
+    #[test]
+    fn layernorm_input_gradient_checks() {
+        let mut ln = LayerNorm::new(4);
+        // Nonuniform gamma to exercise the full formula.
+        ln.gamma.value = Tensor::from_vec(1, 4, vec![1.5, 0.5, -0.7, 2.0]);
+        ln.beta.value = Tensor::from_vec(1, 4, vec![0.1, -0.2, 0.3, 0.0]);
+        let x0: Vec<f32> = vec![0.3, -1.2, 0.8, 2.1, -0.4, 0.9, 1.1, -2.0];
+        let w = loss_weights(2, 4);
+        let x = Tensor::from_vec(2, 4, x0.clone());
+        let _ = ln.forward(&x);
+        let dx = ln.backward(&w);
+        let numeric = numeric_gradient(
+            &x0,
+            |vals| {
+                let xt = Tensor::from_vec(2, 4, vals.to_vec());
+                weighted_sum(&ln.forward_inference(&xt), &w)
+            },
+            1e-2,
+        );
+        assert!(
+            max_relative_error(dx.data(), &numeric) < 3e-2,
+            "err {}",
+            max_relative_error(dx.data(), &numeric)
+        );
+    }
+
+    #[test]
+    fn attention_input_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let x0: Vec<f32> = (0..12).map(|i| ((i * 7 % 11) as f32) * 0.1 - 0.5).collect();
+        let mask = vec![true, true, false]; // includes a padded token
+        let w = loss_weights(3, 4);
+        let x = Tensor::from_vec(3, 4, x0.clone());
+        let _ = mha.forward(&x, 3, &mask);
+        let dx = mha.backward(&w);
+        let numeric = numeric_gradient(
+            &x0,
+            |vals| {
+                let xt = Tensor::from_vec(3, 4, vals.to_vec());
+                weighted_sum(&mha.forward_inference(&xt, 3, &mask), &w)
+            },
+            1e-2,
+        );
+        assert!(
+            max_relative_error(dx.data(), &numeric) < 5e-2,
+            "err {}",
+            max_relative_error(dx.data(), &numeric)
+        );
+    }
+
+    #[test]
+    fn attention_query_weight_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = Tensor::from_vec(2, 4, vec![0.2, -0.4, 0.6, 0.1, -0.3, 0.5, 0.0, 0.7]);
+        let mask = vec![true, true];
+        let w = loss_weights(2, 4);
+        let _ = mha.forward(&x, 2, &mask);
+        let _ = mha.backward(&w);
+        let analytic = mha.wq.weight.grad.data().to_vec();
+        let base = mha.wq.weight.value.data().to_vec();
+        let numeric = numeric_gradient(
+            &base,
+            |vals| {
+                let mut probe = mha.clone();
+                probe.wq.weight.value = Tensor::from_vec(4, 4, vals.to_vec());
+                weighted_sum(&probe.forward_inference(&x, 2, &mask), &w)
+            },
+            1e-2,
+        );
+        assert!(
+            max_relative_error(&analytic, &numeric) < 5e-2,
+            "err {}",
+            max_relative_error(&analytic, &numeric)
+        );
+    }
+
+    #[test]
+    fn full_block_input_gradient_checks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut block = TransformerBlock::new(4, 2, 2, 0.0, &mut rng);
+        let x0: Vec<f32> = (0..8).map(|i| ((i * 3 % 7) as f32) * 0.15 - 0.4).collect();
+        let mask = vec![true, true];
+        let w = loss_weights(2, 4);
+        let x = Tensor::from_vec(2, 4, x0.clone());
+        let mut drng = StdRng::seed_from_u64(0);
+        let _ = block.forward(&x, 2, &mask, &mut drng);
+        let dx = block.backward(&w);
+        let numeric = numeric_gradient(
+            &x0,
+            |vals| {
+                let xt = Tensor::from_vec(2, 4, vals.to_vec());
+                weighted_sum(&block.forward_inference(&xt, 2, &mask), &w)
+            },
+            1e-2,
+        );
+        assert!(
+            max_relative_error(dx.data(), &numeric) < 6e-2,
+            "err {}",
+            max_relative_error(dx.data(), &numeric)
+        );
+    }
+
+    #[test]
+    fn numeric_gradient_of_quadratic_is_exact() {
+        // f(x) = sum x², grad = 2x.
+        let x = vec![1.0f32, -2.0, 0.5];
+        let g = numeric_gradient(&x, |v| v.iter().map(|a| a * a).sum(), 1e-3);
+        for (gi, xi) in g.iter().zip(&x) {
+            assert!((gi - 2.0 * xi).abs() < 1e-2);
+        }
+    }
+}

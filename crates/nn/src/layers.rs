@@ -1,0 +1,516 @@
+//! Core layers with explicit forward/backward passes: Linear, Embedding,
+//! LayerNorm, Dropout, and the GELU activation.
+//!
+//! Layers cache what their backward pass needs during forward; gradients
+//! accumulate into [`Param::grad`], and each backward returns the gradient
+//! with respect to its input.
+
+use crate::param::Param;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Fully connected layer `Y = X·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix of shape (in, out).
+    pub weight: Param,
+    /// Bias of shape (1, out).
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Linear {
+            weight: Param::xavier(in_dim, out_dim, rng),
+            bias: Param::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.weight.value);
+        y.add_row_broadcast(self.bias.value.row(0));
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward (no caching, `&self`).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.weight.value);
+        y.add_row_broadcast(self.bias.value.row(0));
+        y
+    }
+
+    /// Backward pass: accumulates dW, db; returns dX.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW += Xᵀ·dY
+        let dw = x.t_matmul(grad_out);
+        self.weight.grad.add_assign(&dw);
+        // db += column sums of dY
+        let db = grad_out.sum_rows();
+        for (g, &d) in self.bias.grad.data_mut().iter_mut().zip(&db) {
+            *g += d;
+        }
+        // dX = dY·Wᵀ
+        grad_out.matmul_t(&self.weight.value)
+    }
+
+    /// Visits parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.weight.count() + self.bias.count()
+    }
+}
+
+/// Token embedding lookup table of shape (vocab, dim).
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The embedding table.
+    pub table: Param,
+    cached_ids: Option<Vec<u32>>,
+}
+
+impl Embedding {
+    /// Normal(0, 0.02)-initialized embedding table.
+    pub fn new(vocab: usize, dim: usize, rng: &mut StdRng) -> Self {
+        Embedding {
+            table: Param::normal_embedding(vocab, dim, rng),
+            cached_ids: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.value.rows()
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.table.value.cols()
+    }
+
+    /// Looks up a batch of token ids → (ids.len(), dim).
+    ///
+    /// # Panics
+    /// Panics if any id is out of vocabulary.
+    pub fn forward(&mut self, ids: &[u32]) -> Tensor {
+        let out = self.lookup(ids);
+        self.cached_ids = Some(ids.to_vec());
+        out
+    }
+
+    /// Inference-only lookup (no caching).
+    pub fn lookup(&self, ids: &[u32]) -> Tensor {
+        let dim = self.dim();
+        let mut out = Tensor::zeros(ids.len(), dim);
+        for (i, &id) in ids.iter().enumerate() {
+            assert!((id as usize) < self.vocab(), "token id {id} out of vocab");
+            out.row_mut(i)
+                .copy_from_slice(self.table.value.row(id as usize));
+        }
+        out
+    }
+
+    /// Backward: scatter-adds row gradients into the table gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) {
+        let ids = self
+            .cached_ids
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.rows(), ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            let src = grad_out.row(i);
+            let dst = self.table.grad.row_mut(id as usize);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Visits parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.table]
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.table.count()
+    }
+}
+
+/// Per-row layer normalization with learned gain/offset.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Gain γ of shape (1, dim), initialized to 1.
+    pub gamma: Param,
+    /// Offset β of shape (1, dim), initialized to 0.
+    pub beta: Param,
+    eps: f32,
+    cached: Option<(Tensor, Vec<f32>)>, // (x_hat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// New layer norm over vectors of length `dim`.
+    pub fn new(dim: usize) -> Self {
+        let mut gamma = Param::zeros(1, dim);
+        gamma.value.data_mut().iter_mut().for_each(|v| *v = 1.0);
+        LayerNorm {
+            gamma,
+            beta: Param::zeros(1, dim),
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+
+    /// Forward pass with caching.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (out, xhat, inv_std) = self.compute(x);
+        self.cached = Some((xhat, inv_std));
+        out
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        self.compute(x).0
+    }
+
+    fn compute(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+        let (n, d) = (x.rows(), x.cols());
+        let mut out = Tensor::zeros(n, d);
+        let mut xhat = Tensor::zeros(n, d);
+        let mut inv_stds = Vec::with_capacity(n);
+        let gamma = self.gamma.value.row(0);
+        let beta = self.beta.value.row(0);
+        for i in 0..n {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds.push(inv_std);
+            let xh = xhat.row_mut(i);
+            let o = &mut out.data_mut()[i * d..(i + 1) * d];
+            for j in 0..d {
+                let h = (row[j] - mean) * inv_std;
+                xh[j] = h;
+                o[j] = gamma[j] * h + beta[j];
+            }
+        }
+        (out, xhat, inv_stds)
+    }
+
+    /// Backward pass: accumulates dγ, dβ; returns dX.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (xhat, inv_stds) = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward");
+        let (n, d) = (grad_out.rows(), grad_out.cols());
+        let gamma = self.gamma.value.row(0).to_vec();
+        let mut dx = Tensor::zeros(n, d);
+        #[allow(clippy::needless_range_loop)] // rows of three tensors in lockstep
+        for i in 0..n {
+            let go = grad_out.row(i);
+            let xh = xhat.row(i);
+            // Parameter grads.
+            {
+                let dgamma = self.gamma.grad.row_mut(0);
+                let dbeta = self.beta.grad.row_mut(0);
+                for j in 0..d {
+                    dgamma[j] += go[j] * xh[j];
+                    dbeta[j] += go[j];
+                }
+            }
+            // dxhat = go * gamma
+            let dxhat: Vec<f32> = (0..d).map(|j| go[j] * gamma[j]).collect();
+            let sum_dxhat: f32 = dxhat.iter().sum();
+            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+            let inv_std = inv_stds[i];
+            let out = dx.row_mut(i);
+            let dinv = d as f32;
+            for j in 0..d {
+                out[j] = inv_std / dinv * (dinv * dxhat[j] - sum_dxhat - xh[j] * sum_dxhat_xhat);
+            }
+        }
+        dx
+    }
+
+    /// Visits parameters for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.gamma.count() + self.beta.count()
+    }
+}
+
+/// Inverted dropout: scales kept activations by `1/(1-p)` during training,
+/// identity at inference.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    /// Drop probability in `[0, 1)`.
+    pub p: f32,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// New dropout with probability `p`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p, mask: None }
+    }
+
+    /// Training-mode forward: samples a fresh mask from `rng`.
+    pub fn forward_train(&mut self, x: &Tensor, rng: &mut StdRng) -> Tensor {
+        if self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut out = x.clone();
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    /// Backward: applies the stored mask.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                let mut g = grad_out.clone();
+                for (v, &m) in g.data_mut().iter_mut().zip(mask) {
+                    *v *= m;
+                }
+                g
+            }
+        }
+    }
+}
+
+/// GELU activation (tanh approximation) with cached-input backward.
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+#[inline]
+fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+#[inline]
+fn gelu_grad_scalar(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044_715 * x * x * x);
+    let t = u.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * GELU_C * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+impl Gelu {
+    /// New GELU activation.
+    pub fn new() -> Self {
+        Gelu::default()
+    }
+
+    /// Forward with caching.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        y.data_mut().iter_mut().for_each(|v| *v = gelu_scalar(*v));
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        y.data_mut().iter_mut().for_each(|v| *v = gelu_scalar(*v));
+        y
+    }
+
+    /// Backward through the activation.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let mut g = grad_out.clone();
+        for (gv, &xv) in g.data_mut().iter_mut().zip(x.data()) {
+            *gv *= gelu_grad_scalar(xv);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_forward_hand_computed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.weight.value = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        lin.bias.value = Tensor::from_vec(1, 2, vec![1.0, -1.0]);
+        let x = Tensor::from_vec(1, 2, vec![2.0, 3.0]);
+        let y = lin.forward(&x);
+        assert_eq!(y.data(), &[3.0, 2.0]);
+        assert_eq!(lin.forward_inference(&x).data(), y.data());
+    }
+
+    #[test]
+    fn linear_backward_shapes_and_bias_grad() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.1).collect());
+        let _ = lin.forward(&x);
+        let dy = Tensor::from_vec(4, 2, vec![1.0; 8]);
+        let dx = lin.backward(&dy);
+        assert_eq!((dx.rows(), dx.cols()), (4, 3));
+        // Bias grad = column sums of dY = 4 for both outputs.
+        assert_eq!(lin.bias.grad.data(), &[4.0, 4.0]);
+        assert_eq!(lin.param_count(), 3 * 2 + 2);
+    }
+
+    #[test]
+    fn embedding_lookup_and_scatter() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(10, 4, &mut rng);
+        let ids = [3u32, 7, 3];
+        let out = emb.forward(&ids);
+        assert_eq!(out.row(0), emb.table.value.row(3));
+        assert_eq!(out.row(2), emb.table.value.row(3));
+        let mut dy = Tensor::zeros(3, 4);
+        dy.row_mut(0).iter_mut().for_each(|v| *v = 1.0);
+        dy.row_mut(2).iter_mut().for_each(|v| *v = 1.0);
+        emb.backward(&dy);
+        // Token 3 was used twice with grad 1 → accumulated grad 2.
+        assert!(emb
+            .table
+            .grad
+            .row(3)
+            .iter()
+            .all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(emb.table.grad.row(7).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocab")]
+    fn embedding_rejects_oov() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(4, 2, &mut rng);
+        let _ = emb.forward(&[4u32]);
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, -5.0, 0.0, 5.0, 10.0]);
+        let y = ln.forward(&x);
+        for i in 0..2 {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_gamma_beta_affect_output() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.value = Tensor::from_vec(1, 2, vec![2.0, 2.0]);
+        ln.beta.value = Tensor::from_vec(1, 2, vec![1.0, 1.0]);
+        let x = Tensor::from_vec(1, 2, vec![0.0, 2.0]);
+        let y = ln.forward(&x);
+        // Normalized row is (-1, 1) (up to eps) → output ≈ (-1, 3).
+        assert!((y.get(0, 0) + 1.0).abs() < 1e-2);
+        assert!((y.get(0, 1) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn dropout_zero_p_is_identity() {
+        let mut d = Dropout::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let x = Tensor::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.forward_train(&x, &mut rng), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.5);
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::from_vec(1, 10_000, vec![1.0; 10_000]);
+        let y = d.forward_train(&x, &mut rng);
+        let mean: f32 = y.data().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Backward applies the same mask.
+        let g = d.backward(&x);
+        assert_eq!(g, y);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        let mut g = Gelu::new();
+        let x = Tensor::from_vec(1, 3, vec![0.0, 1.0, -1.0]);
+        let y = g.forward(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 0.8412).abs() < 1e-3);
+        assert!((y.get(0, 2) + 0.1588).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_gradient_matches_finite_difference() {
+        let mut g = Gelu::new();
+        for &x0 in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let x = Tensor::from_vec(1, 1, vec![x0]);
+            let _ = g.forward(&x);
+            let dy = Tensor::from_vec(1, 1, vec![1.0]);
+            let analytic = g.backward(&dy).get(0, 0);
+            let h = 1e-3;
+            let numeric = (gelu_scalar(x0 + h) - gelu_scalar(x0 - h)) / (2.0 * h);
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "at {x0}: {analytic} vs {numeric}"
+            );
+        }
+    }
+}

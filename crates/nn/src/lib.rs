@@ -1,0 +1,33 @@
+//! # em-nn — from-scratch neural-network substrate
+//!
+//! A compact, dependency-free (beyond `rand`) neural-network library
+//! implementing exactly what the language-model substrate (`em-lm`) needs:
+//!
+//! * 2-D `f32` tensors with fused-transpose matmuls ([`tensor`]);
+//! * trainable parameters with Xavier / GPT-style init ([`param`]);
+//! * Linear / Embedding / LayerNorm / Dropout / GELU layers with explicit
+//!   forward-backward passes ([`layers`]);
+//! * masked multi-head self-attention ([`attention`]) and pre-norm
+//!   transformer encoder blocks ([`block`]);
+//! * binary cross-entropy with logits ([`loss`]);
+//! * Adam / SGD optimizers with gradient clipping ([`optim`]);
+//! * finite-difference gradient checking, used to verify every backward
+//!   pass in this crate's test suite ([`gradcheck`]).
+
+pub mod attention;
+pub mod block;
+pub mod gradcheck;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod tensor;
+
+pub use attention::MultiHeadAttention;
+pub use block::TransformerBlock;
+pub use gradcheck::{max_relative_error, numeric_gradient};
+pub use layers::{Dropout, Embedding, Gelu, LayerNorm, Linear};
+pub use loss::{accuracy, bce_with_logits, sigmoid_f32, softplus};
+pub use optim::{clip_grad_norm, zero_grads, Adam, Sgd};
+pub use param::Param;
+pub use tensor::{dot_f32, softmax_inplace, Tensor};

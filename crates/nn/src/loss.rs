@@ -1,0 +1,143 @@
+//! Loss functions: binary cross-entropy with logits (the matching head's
+//! objective) and its gradient, plus optional positive-class weighting for
+//! imbalanced pair data.
+
+/// Numerically stable `log(1 + exp(x))`.
+#[inline]
+pub fn softplus(x: f32) -> f32 {
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Stable sigmoid.
+#[inline]
+pub fn sigmoid_f32(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy with logits.
+///
+/// Returns `(mean loss, per-example dLoss/dlogit)`. `pos_weight` scales the
+/// positive-class term (`> 1` boosts recall on skewed data; 1.0 = standard).
+pub fn bce_with_logits(logits: &[f32], labels: &[bool], pos_weight: f32) -> (f32, Vec<f32>) {
+    assert_eq!(logits.len(), labels.len(), "logits and labels must align");
+    assert!(!logits.is_empty(), "empty batch");
+    let n = logits.len() as f32;
+    let mut total = 0.0f32;
+    let mut grads = Vec::with_capacity(logits.len());
+    for (&z, &y) in logits.iter().zip(labels) {
+        let p = sigmoid_f32(z);
+        if y {
+            // loss = -w · log σ(z) = w · softplus(-z)
+            total += pos_weight * softplus(-z);
+            grads.push(pos_weight * (p - 1.0) / n);
+        } else {
+            // loss = -log(1 - σ(z)) = softplus(z)
+            total += softplus(z);
+            grads.push(p / n);
+        }
+    }
+    (total / n, grads)
+}
+
+/// Classification accuracy of logits at threshold 0.
+pub fn accuracy(logits: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(logits.len(), labels.len());
+    if logits.is_empty() {
+        return 0.0;
+    }
+    let correct = logits
+        .iter()
+        .zip(labels)
+        .filter(|(&z, &y)| (z >= 0.0) == y)
+        .count();
+    correct as f64 / logits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softplus_reference() {
+        assert!((softplus(0.0) - 2.0f32.ln()).abs() < 1e-6);
+        assert!((softplus(100.0) - 100.0).abs() < 1e-4);
+        assert!(softplus(-100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_perfect_predictions_have_low_loss() {
+        let logits = [10.0, -10.0, 10.0];
+        let labels = [true, false, true];
+        let (loss, _) = bce_with_logits(&logits, &labels, 1.0);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn bce_wrong_predictions_have_high_loss() {
+        let logits = [-10.0, 10.0];
+        let labels = [true, false];
+        let (loss, _) = bce_with_logits(&logits, &labels, 1.0);
+        assert!(loss > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let labels = [true, false, true, false];
+        for &z0 in &[-2.0f32, -0.3, 0.0, 0.7, 2.5] {
+            let logits = [z0, z0 * 0.5, -z0, 1.0];
+            let (_, grads) = bce_with_logits(&logits, &labels, 1.0);
+            for i in 0..4 {
+                let h = 1e-3;
+                let mut plus = logits;
+                plus[i] += h;
+                let mut minus = logits;
+                minus[i] -= h;
+                let (lp, _) = bce_with_logits(&plus, &labels, 1.0);
+                let (lm, _) = bce_with_logits(&minus, &labels, 1.0);
+                let numeric = (lp - lm) / (2.0 * h);
+                assert!(
+                    (grads[i] - numeric).abs() < 1e-3,
+                    "grad[{i}] {} vs numeric {numeric}",
+                    grads[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pos_weight_scales_positive_gradient() {
+        let logits = [0.0];
+        let (_, g1) = bce_with_logits(&logits, &[true], 1.0);
+        let (_, g3) = bce_with_logits(&logits, &[true], 3.0);
+        assert!((g3[0] / g1[0] - 3.0).abs() < 1e-5);
+        // Negative examples unaffected.
+        let (_, n1) = bce_with_logits(&logits, &[false], 1.0);
+        let (_, n3) = bce_with_logits(&logits, &[false], 3.0);
+        assert_eq!(n1[0], n3[0]);
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_zero() {
+        let logits = [1.0, -1.0, 1.0, -1.0];
+        let labels = [true, false, false, false];
+        assert!((accuracy(&logits, &labels) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let _ = bce_with_logits(&[], &[], 1.0);
+    }
+}

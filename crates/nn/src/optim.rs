@@ -1,0 +1,231 @@
+//! Optimizers: SGD with momentum and Adam, with optional gradient clipping.
+//!
+//! Optimizers are stateful per parameter slot; the caller must visit
+//! parameters in a stable order (which our models' `params_mut()` provide).
+
+use crate::param::Param;
+
+/// Adam optimizer state and hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style), 0 to disable.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// New Adam optimizer with the given learning rate and defaults
+    /// β₁ = 0.9, β₂ = 0.999, ε = 1e-8, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one update over all parameters, then leaves the gradients
+    /// untouched (call [`zero_grads`] afterwards).
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.t += 1;
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            assert_eq!(
+                m.len(),
+                p.value.len(),
+                "parameter shape changed mid-training"
+            );
+            let grads = p.grad.data();
+            let values = p.value.data().to_vec();
+            for i in 0..m.len() {
+                let g = grads[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            }
+            let data = p.value.data_mut();
+            for i in 0..m.len() {
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                let mut upd = self.lr * mhat / (vhat.sqrt() + self.eps);
+                if self.weight_decay > 0.0 {
+                    upd += self.lr * self.weight_decay * values[i];
+                }
+                data[i] -= upd;
+            }
+        }
+    }
+}
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// New SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update over all parameters.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        }
+        for (idx, p) in params.iter_mut().enumerate() {
+            let vel = &mut self.velocity[idx];
+            let grads = p.grad.data().to_vec();
+            let data = p.value.data_mut();
+            for i in 0..vel.len() {
+                vel[i] = self.momentum * vel[i] + grads[i];
+                data[i] -= self.lr * vel[i];
+            }
+        }
+    }
+}
+
+/// Clips the global gradient norm to `max_norm`; returns the pre-clip norm.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale(scale);
+        }
+    }
+    norm
+}
+
+/// Zeroes every parameter's gradient accumulator.
+pub fn zero_grads(params: &mut [&mut Param]) {
+    for p in params.iter_mut() {
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    fn quad_problem() -> Param {
+        // Minimize f(w) = ||w - 3||² starting at 0.
+        Param::zeros(1, 4)
+    }
+
+    fn quad_grad(p: &mut Param) {
+        let vals = p.value.data().to_vec();
+        for (g, v) in p.grad.data_mut().iter_mut().zip(vals) {
+            *g = 2.0 * (v - 3.0);
+        }
+    }
+
+    #[test]
+    fn adam_converges_on_a_quadratic() {
+        let mut p = quad_problem();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p]);
+            zero_grads(&mut [&mut p]);
+        }
+        assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2));
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn sgd_with_momentum_converges() {
+        let mut p = quad_problem();
+        let mut opt = Sgd::new(0.05, 0.9);
+        for _ in 0..300 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p]);
+            zero_grads(&mut [&mut p]);
+        }
+        assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn adam_weight_decay_shrinks_toward_zero() {
+        // With a zero gradient and weight decay, values decay geometrically.
+        let mut p = Param::zeros(1, 1);
+        p.value.data_mut()[0] = 1.0;
+        let mut opt = Adam::new(0.1);
+        opt.weight_decay = 0.5;
+        for _ in 0..10 {
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.data()[0] < 1.0);
+        assert!(p.value.data()[0] > 0.0);
+    }
+
+    #[test]
+    fn clip_rescales_large_gradients() {
+        let mut p = Param::zeros(1, 2);
+        p.grad = Tensor::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        let post: f32 = p.grad.data().iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((post - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_alone() {
+        let mut p = Param::zeros(1, 2);
+        p.grad = Tensor::from_vec(1, 2, vec![0.3, 0.4]);
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 0.5).abs() < 1e-6);
+        assert_eq!(p.grad.data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn zero_grads_clears_all() {
+        let mut a = Param::zeros(1, 2);
+        let mut b = Param::zeros(2, 2);
+        a.grad.data_mut()[0] = 1.0;
+        b.grad.data_mut()[3] = 2.0;
+        zero_grads(&mut [&mut a, &mut b]);
+        assert!(a.grad.data().iter().all(|&g| g == 0.0));
+        assert!(b.grad.data().iter().all(|&g| g == 0.0));
+    }
+}

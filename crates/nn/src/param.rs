@@ -1,0 +1,108 @@
+//! Trainable parameters: a value tensor paired with an accumulated
+//! gradient, plus Xavier/He initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A trainable parameter with its gradient accumulator.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Zero-initialized parameter.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Param {
+            value: Tensor::zeros(rows, cols),
+            grad: Tensor::zeros(rows, cols),
+        }
+    }
+
+    /// Xavier/Glorot uniform initialization: `U(-a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let mut value = Tensor::zeros(rows, cols);
+        for v in value.data_mut() {
+            *v = rng.gen_range(-a..a);
+        }
+        Param {
+            grad: Tensor::zeros(rows, cols),
+            value,
+        }
+    }
+
+    /// Small-normal initialization for embeddings (`σ = 0.02`, GPT-style),
+    /// via Box-Muller.
+    pub fn normal_embedding(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let mut value = Tensor::zeros(rows, cols);
+        for v in value.data_mut() {
+            let u1: f64 = rng.gen_range(1e-9..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            *v = (0.02 * z) as f32;
+        }
+        Param {
+            grad: Tensor::zeros(rows, cols),
+            value,
+        }
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn count(&self) -> usize {
+        self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = Param::xavier(16, 16, &mut rng);
+        let a = (6.0f64 / 32.0).sqrt() as f32;
+        assert!(p.value.data().iter().all(|v| v.abs() <= a));
+        // Not all zero.
+        assert!(p.value.frobenius_norm() > 0.0);
+        assert_eq!(p.grad.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn embedding_init_is_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::normal_embedding(100, 8, &mut rng);
+        let rms = p.value.frobenius_norm() / (p.count() as f32).sqrt();
+        assert!(rms < 0.05, "rms {rms}");
+        assert!(rms > 0.005, "rms {rms}");
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::zeros(2, 2);
+        p.grad.data_mut()[0] = 3.0;
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn init_is_deterministic_under_seed() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = Param::xavier(4, 4, &mut r1);
+        let b = Param::xavier(4, 4, &mut r2);
+        assert_eq!(a.value, b.value);
+    }
+}

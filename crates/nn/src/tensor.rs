@@ -1,0 +1,336 @@
+//! A minimal 2-D row-major `f32` tensor with exactly the operations the
+//! transformer substrate needs. Shapes are checked with assertions; all
+//! inner loops run over contiguous slices so the compiler can vectorize.
+
+/// Dense row-major 2-D tensor of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero tensor of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer does not match the shape.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer does not match shape");
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat data access.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data access.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutation.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Fills with zeros in place.
+    pub fn zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// `self @ other` — (m,k) × (k,n) → (m,n) with an ikj loop order so the
+    /// innermost loop streams contiguous memory on both operands.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (p, &a) in arow.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other` — (k,m)ᵀ × (k,n) → (m,n), without materializing the
+    /// transpose (used for weight gradients `Xᵀ·dY`).
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        for p in 0..k {
+            let arow = self.row(p);
+            let brow = other.row(p);
+            for (i, &a) in arow.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T` — (m,k) × (n,k)ᵀ → (m,n), without materializing the
+    /// transpose (used for input gradients `dY·Wᵀ` and attention scores).
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
+        let (m, _k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(m, n);
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate().take(n) {
+                let brow = other.row(j);
+                *o = dot_f32(arow, brow);
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise in-place addition.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign shape mismatch"
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Adds a row vector to every row (broadcast bias add).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sum over rows → vector of length `cols` (bias gradient).
+    pub fn sum_rows(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Dot product over `f32` slices.
+#[inline]
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Softmax over a mutable slice, in place, numerically stable.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 4, (0..12).map(|i| i as f32).collect());
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(4, 3, (0..12).map(|i| i as f32).collect());
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn broadcast_bias_and_sum_rows_are_adjoint() {
+        let mut x = Tensor::zeros(3, 2);
+        x.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(x.sum_rows(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut xs = vec![1000.0, 1000.0];
+        softmax_inplace(&mut xs);
+        assert!((xs[0] - 0.5).abs() < 1e-6);
+        assert!(xs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Tensor::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        a.scale(2.0);
+        let b = Tensor::from_vec(1, 3, vec![1.0, 1.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(
+            rows in 1usize..5, cols in 1usize..5,
+            seed in proptest::collection::vec(-2.0f32..2.0, 25)
+        ) {
+            let data: Vec<f32> = seed.into_iter().cycle().take(rows * cols).collect();
+            let t = Tensor::from_vec(rows, cols, data);
+            prop_assert_eq!(t.transpose().transpose(), t);
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(
+            a in proptest::collection::vec(-2.0f32..2.0, 4),
+            b in proptest::collection::vec(-2.0f32..2.0, 4),
+            c in proptest::collection::vec(-2.0f32..2.0, 4)
+        ) {
+            let ta = Tensor::from_vec(2, 2, a);
+            let tb = Tensor::from_vec(2, 2, b);
+            let tc = Tensor::from_vec(2, 2, c);
+            let mut sum = tb.clone();
+            sum.add_assign(&tc);
+            let left = ta.matmul(&sum);
+            let mut right = ta.matmul(&tb);
+            right.add_assign(&ta.matmul(&tc));
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

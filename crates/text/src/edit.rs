@@ -1,0 +1,184 @@
+//! Edit-distance-based similarity: Levenshtein, normalized Levenshtein,
+//! Jaro, and Jaro-Winkler.
+
+/// Levenshtein (edit) distance between two strings, computed over Unicode
+/// scalar values with a two-row dynamic program (O(min(m,n)) memory).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Ensure the inner dimension is the shorter string.
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity in `[0, 1]`: `1 - dist / max_len`;
+/// two empty strings are defined to have similarity 1.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = vec![false; a.len()];
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                a_matched[i] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions between the matched subsequences.
+    let a_seq: Vec<char> = a
+        .iter()
+        .zip(&a_matched)
+        .filter_map(|(&c, &m)| m.then_some(c))
+        .collect();
+    let b_seq: Vec<char> = b
+        .iter()
+        .zip(&b_used)
+        .filter_map(|(&c, &m)| m.then_some(c))
+        .collect();
+    let transpositions = a_seq.iter().zip(&b_seq).filter(|(x, y)| x != y).count() / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by the length of the common prefix
+/// (up to 4 characters) with the standard scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_classic_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_range_and_identity() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_reference_values() {
+        // Canonical examples from Winkler's papers.
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-5);
+        assert!((jaro("DIXON", "DICKSONX") - 0.766_667).abs() < 1e-5);
+        assert!((jaro("JELLYFISH", "SMELLYFISH") - 0.896_296).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jaro_winkler_reference_values() {
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111).abs() < 1e-5);
+        assert!((jaro_winkler("DIXON", "DICKSONX") - 0.813_333).abs() < 1e-5);
+    }
+
+    #[test]
+    fn jaro_empty_cases() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("", "a"), 0.0);
+        assert_eq!(jaro("ab", "cd"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_is_a_metric(
+            a in "[a-d]{0,12}", b in "[a-d]{0,12}", c in "[a-d]{0,12}"
+        ) {
+            // Symmetry.
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            // Identity of indiscernibles.
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            // Triangle inequality.
+            prop_assert!(
+                levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
+            );
+        }
+
+        #[test]
+        fn similarities_are_bounded(a in ".{0,24}", b in ".{0,24}") {
+            for s in [
+                levenshtein_similarity(&a, &b),
+                jaro(&a, &b),
+                jaro_winkler(&a, &b),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+            }
+        }
+
+        #[test]
+        fn jaro_symmetry(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn winkler_never_below_jaro(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+            prop_assert!(jaro_winkler(&a, &b) >= jaro(&a, &b) - 1e-12);
+        }
+
+        #[test]
+        fn identical_strings_have_similarity_one(a in ".{0,24}") {
+            prop_assert!((levenshtein_similarity(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

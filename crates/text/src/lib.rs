@@ -1,0 +1,28 @@
+//! # em-text — tokenization and string similarity substrate
+//!
+//! From-scratch implementations of the text primitives the entity matchers
+//! rely on:
+//!
+//! * tokenizers: lowercase word tokens and padded character q-grams
+//!   ([`tokenize`]);
+//! * edit-based similarities: Levenshtein, Jaro, Jaro-Winkler ([`edit`]);
+//! * the Ratcliff/Obershelp gestalt ratio used by the paper's StringSim
+//!   baseline (`difflib.SequenceMatcher.ratio` semantics) ([`ratcliff`]);
+//! * set/bag similarities: Jaccard, overlap, Dice, Monge-Elkan ([`setsim`]);
+//! * corpus-level TF-IDF with sparse cosine similarity ([`tfidf`]);
+//! * numeric-attribute similarity and tolerant number extraction
+//!   ([`numeric`]).
+
+pub mod edit;
+pub mod numeric;
+pub mod ratcliff;
+pub mod setsim;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use edit::{jaro, jaro_winkler, levenshtein, levenshtein_similarity};
+pub use numeric::{extract_number, relative_similarity, window_similarity};
+pub use ratcliff::{matching_blocks, ratcliff_obershelp, MatchBlock};
+pub use setsim::{dice, jaccard, monge_elkan, monge_elkan_symmetric, overlap_coefficient};
+pub use tfidf::{SparseVec, TfIdf};
+pub use tokenize::{qgrams, token_counts, words};

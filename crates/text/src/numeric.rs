@@ -1,0 +1,134 @@
+//! Numeric-attribute similarity and number extraction from dirty strings.
+//!
+//! ZeroER selects type-appropriate similarity functions; numeric columns
+//! (prices, years, ABV, ...) use relative-difference similarity. Benchmark
+//! values are frequently numbers embedded in strings ("$ 19.99", "180g"),
+//! so a tolerant parser is provided as well.
+
+/// Relative-difference similarity of two numbers in `[0, 1]`:
+/// `1 - |a - b| / max(|a|, |b|)`, with exact-zero pairs scoring 1.
+pub fn relative_similarity(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).max(0.0)
+}
+
+/// Absolute-window similarity: 1 within `tol`, linearly decaying to 0 at
+/// `3·tol`. Useful for years and other bounded-scale attributes.
+pub fn window_similarity(a: f64, b: f64, tol: f64) -> f64 {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let d = (a - b).abs();
+    if d <= tol {
+        1.0
+    } else if d >= 3.0 * tol {
+        0.0
+    } else {
+        1.0 - (d - tol) / (2.0 * tol)
+    }
+}
+
+/// Extracts the first decimal number from a dirty string
+/// (`"$ 1,299.99"` → `1299.99`; `"about 12 items"` → `12.0`).
+pub fn extract_number(s: &str) -> Option<f64> {
+    let mut buf = String::new();
+    let mut seen_digit = false;
+    let mut seen_dot = false;
+    for ch in s.chars() {
+        match ch {
+            '0'..='9' => {
+                buf.push(ch);
+                seen_digit = true;
+            }
+            '.' if seen_digit && !seen_dot => {
+                buf.push(ch);
+                seen_dot = true;
+            }
+            ',' if seen_digit => { /* thousands separator: skip */ }
+            '-' if !seen_digit && buf.is_empty() => buf.push(ch),
+            _ => {
+                if seen_digit {
+                    break;
+                }
+                buf.clear();
+                seen_dot = false;
+            }
+        }
+    }
+    if seen_digit {
+        buf.parse().ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relative_similarity_basics() {
+        assert_eq!(relative_similarity(10.0, 10.0), 1.0);
+        assert_eq!(relative_similarity(0.0, 0.0), 1.0);
+        assert!((relative_similarity(10.0, 9.0) - 0.9).abs() < 1e-12);
+        assert_eq!(relative_similarity(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn window_similarity_shape() {
+        assert_eq!(window_similarity(2000.0, 2000.0, 1.0), 1.0);
+        assert_eq!(window_similarity(2000.0, 2001.0, 1.0), 1.0);
+        assert!((window_similarity(2000.0, 2002.0, 1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(window_similarity(2000.0, 2003.0, 1.0), 0.0);
+        assert_eq!(window_similarity(2000.0, 2050.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn window_rejects_zero_tolerance() {
+        let _ = window_similarity(1.0, 2.0, 0.0);
+    }
+
+    #[test]
+    fn extract_number_from_dirty_strings() {
+        assert_eq!(extract_number("$ 1,299.99"), Some(1299.99));
+        assert_eq!(extract_number("about 12 items"), Some(12.0));
+        assert_eq!(extract_number("5.0% abv"), Some(5.0));
+        assert_eq!(extract_number("-40 degrees"), Some(-40.0));
+        assert_eq!(extract_number("no numbers here"), None);
+        assert_eq!(extract_number(""), None);
+    }
+
+    #[test]
+    fn extract_number_takes_first_number() {
+        assert_eq!(extract_number("3 of 10"), Some(3.0));
+        assert_eq!(extract_number("v2.5.1"), Some(2.5));
+    }
+
+    proptest! {
+        #[test]
+        fn relative_similarity_bounded(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let s = relative_similarity(a, b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - relative_similarity(b, a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn window_similarity_bounded(a in -1e4f64..1e4, b in -1e4f64..1e4, tol in 0.1f64..100.0) {
+            let s = window_similarity(a, b, tol);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn extract_parses_plain_floats(x in -1e6f64..1e6) {
+            let rendered = format!("{:.3}", x);
+            let parsed = extract_number(&rendered).unwrap();
+            prop_assert!((parsed - x).abs() < 1e-2);
+        }
+    }
+}

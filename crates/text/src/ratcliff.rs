@@ -1,0 +1,172 @@
+//! Ratcliff/Obershelp "gestalt pattern matching" similarity — the algorithm
+//! behind Python's `difflib.SequenceMatcher.ratio()`, which the paper's
+//! StringSim baseline uses with a 0.5 threshold.
+//!
+//! The similarity is `2·M / (|a| + |b|)` where `M` is the total number of
+//! matching characters found by recursively locating the longest matching
+//! block and then matching the regions to its left and right.
+
+/// A matching block: `a[a_start..a_start+len] == b[b_start..b_start+len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchBlock {
+    /// Start in the first sequence.
+    pub a_start: usize,
+    /// Start in the second sequence.
+    pub b_start: usize,
+    /// Block length.
+    pub len: usize,
+}
+
+/// Finds the longest matching block between `a[alo..ahi]` and `b[blo..bhi]`,
+/// preferring the earliest in `a`, then earliest in `b` (difflib semantics,
+/// junk-free).
+fn longest_match(
+    a: &[char],
+    b: &[char],
+    alo: usize,
+    ahi: usize,
+    blo: usize,
+    bhi: usize,
+) -> MatchBlock {
+    let mut best = MatchBlock {
+        a_start: alo,
+        b_start: blo,
+        len: 0,
+    };
+    // j2len[j] = length of longest match ending at a[i], b[j].
+    let mut j2len = vec![0usize; bhi.saturating_sub(blo)];
+    let mut new_j2len = vec![0usize; j2len.len()];
+    #[allow(clippy::needless_range_loop)] // index arithmetic spans both sequences
+    for i in alo..ahi {
+        for (jj, slot) in new_j2len.iter_mut().enumerate() {
+            let j = blo + jj;
+            if a[i] == b[j] {
+                let k = if jj == 0 { 0 } else { j2len[jj - 1] } + 1;
+                *slot = k;
+                if k > best.len {
+                    best = MatchBlock {
+                        a_start: i + 1 - k,
+                        b_start: j + 1 - k,
+                        len: k,
+                    };
+                }
+            } else {
+                *slot = 0;
+            }
+        }
+        std::mem::swap(&mut j2len, &mut new_j2len);
+    }
+    best
+}
+
+/// All matching blocks between `a` and `b` in order, following the
+/// Ratcliff/Obershelp recursion (implemented with an explicit stack).
+pub fn matching_blocks(a: &str, b: &str) -> Vec<MatchBlock> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut blocks = Vec::new();
+    let mut stack = vec![(0usize, a.len(), 0usize, b.len())];
+    while let Some((alo, ahi, blo, bhi)) = stack.pop() {
+        if alo >= ahi || blo >= bhi {
+            continue;
+        }
+        let m = longest_match(&a, &b, alo, ahi, blo, bhi);
+        if m.len > 0 {
+            blocks.push(m);
+            stack.push((alo, m.a_start, blo, m.b_start));
+            stack.push((m.a_start + m.len, ahi, m.b_start + m.len, bhi));
+        }
+    }
+    blocks.sort_by_key(|m| (m.a_start, m.b_start));
+    blocks
+}
+
+/// The Ratcliff/Obershelp similarity ratio in `[0, 1]`
+/// (`difflib.SequenceMatcher(None, a, b).ratio()` without autojunk).
+///
+/// Two empty strings have ratio 1.
+pub fn ratcliff_obershelp(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la + lb == 0 {
+        return 1.0;
+    }
+    let matched: usize = matching_blocks(a, b).iter().map(|m| m.len).sum();
+    2.0 * matched as f64 / (la + lb) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn difflib_reference_values() {
+        // Values cross-checked against Python difflib.
+        assert!((ratcliff_obershelp("abcd", "bcde") - 0.75).abs() < 1e-12);
+        // SequenceMatcher(None, " abcd", "abcd abcd").ratio() == 0.7142857...
+        assert!((ratcliff_obershelp(" abcd", "abcd abcd") - 10.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(ratcliff_obershelp("hello world", "hello world"), 1.0);
+        assert_eq!(ratcliff_obershelp("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(ratcliff_obershelp("aaa", "bbb"), 0.0);
+        assert_eq!(ratcliff_obershelp("", "x"), 0.0);
+    }
+
+    #[test]
+    fn blocks_are_real_matches() {
+        let a = "the quick brown fox";
+        let b = "quick brown foxes";
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        for m in matching_blocks(a, b) {
+            assert!(m.len > 0);
+            assert_eq!(
+                &ac[m.a_start..m.a_start + m.len],
+                &bc[m.b_start..m.b_start + m.len]
+            );
+        }
+    }
+
+    #[test]
+    fn longest_block_found_first() {
+        let blocks = matching_blocks("xxABCDEFxx", "yyABCDEFyy");
+        let max = blocks.iter().map(|m| m.len).max().unwrap();
+        assert_eq!(max, 6); // "ABCDEF"
+    }
+
+    proptest! {
+        #[test]
+        fn ratio_is_bounded(a in "[a-d]{0,16}", b in "[a-d]{0,16}") {
+            let r = ratcliff_obershelp(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in ".{0,24}") {
+            prop_assert!((ratcliff_obershelp(&a, &a) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn matched_chars_bounded_by_shorter(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let m: usize = matching_blocks(&a, &b).iter().map(|x| x.len).sum();
+            prop_assert!(m <= a.chars().count().min(b.chars().count()));
+        }
+
+        #[test]
+        fn blocks_do_not_overlap_in_a(a in "[a-c]{0,12}", b in "[a-c]{0,12}") {
+            let blocks = matching_blocks(&a, &b);
+            for w in blocks.windows(2) {
+                prop_assert!(w[0].a_start + w[0].len <= w[1].a_start);
+                prop_assert!(w[0].b_start + w[0].len <= w[1].b_start);
+            }
+        }
+    }
+}

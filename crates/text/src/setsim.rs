@@ -1,0 +1,172 @@
+//! Set- and bag-based token similarities: Jaccard, overlap coefficient,
+//! Dice, and Monge-Elkan (hybrid token/edit similarity).
+
+use crate::edit::jaro_winkler;
+use std::collections::HashSet;
+
+fn token_set(tokens: &[String]) -> HashSet<&str> {
+    tokens.iter().map(|s| s.as_str()).collect()
+}
+
+/// Jaccard similarity of two token multisets, computed on their supports:
+/// `|A ∩ B| / |A ∪ B|`; two empty sets are defined to have similarity 1.
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient: `|A ∩ B| / min(|A|, |B|)`; 1 when both empty,
+/// 0 when exactly one is empty.
+pub fn overlap_coefficient(a: &[String], b: &[String]) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    inter as f64 / sa.len().min(sb.len()) as f64
+}
+
+/// Sørensen–Dice coefficient: `2·|A ∩ B| / (|A| + |B|)`.
+pub fn dice(a: &[String], b: &[String]) -> f64 {
+    let sa = token_set(a);
+    let sb = token_set(b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    2.0 * inter as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Monge-Elkan similarity: for each token of `a`, the best Jaro-Winkler
+/// match in `b`, averaged. Asymmetric by definition; use
+/// [`monge_elkan_symmetric`] for a symmetric variant.
+pub fn monge_elkan(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = a
+        .iter()
+        .map(|ta| {
+            b.iter()
+                .map(|tb| jaro_winkler(ta, tb))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    total / a.len() as f64
+}
+
+/// Symmetric Monge-Elkan: the mean of both directions.
+pub fn monge_elkan_symmetric(a: &[String], b: &[String]) -> f64 {
+    0.5 * (monge_elkan(a, b) + monge_elkan(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::words;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        words(s)
+    }
+
+    #[test]
+    fn jaccard_hand_computed() {
+        // {a,b,c} vs {b,c,d}: inter 2, union 4.
+        assert!((jaccard(&toks("a b c"), &toks("b c d")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_empty_conventions() {
+        assert_eq!(jaccard(&[], &[]), 1.0);
+        assert_eq!(jaccard(&toks("a"), &[]), 0.0);
+    }
+
+    #[test]
+    fn overlap_uses_smaller_set() {
+        // {a,b} vs {a,b,c,d}: inter 2, min size 2 → 1.0.
+        assert_eq!(overlap_coefficient(&toks("a b"), &toks("a b c d")), 1.0);
+        assert_eq!(overlap_coefficient(&toks("a"), &[]), 0.0);
+    }
+
+    #[test]
+    fn dice_hand_computed() {
+        // {a,b} vs {b,c}: 2*1/(2+2) = 0.5.
+        assert!((dice(&toks("a b"), &toks("b c")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_rewards_near_matches() {
+        let a = toks("nikon coolpix");
+        let b = toks("nikn coolpix"); // typo in first token
+        let s = monge_elkan(&a, &b);
+        assert!(s > 0.9, "near-identical token lists should score high: {s}");
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn monge_elkan_empty_conventions() {
+        assert_eq!(monge_elkan(&[], &[]), 1.0);
+        assert_eq!(monge_elkan(&toks("a"), &[]), 0.0);
+        assert_eq!(monge_elkan(&[], &toks("a")), 0.0);
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let a = toks("one two three");
+        let b = toks("three four");
+        let s1 = monge_elkan_symmetric(&a, &b);
+        let s2 = monge_elkan_symmetric(&b, &a);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn all_set_sims_bounded(a in "[a-d ]{0,24}", b in "[a-d ]{0,24}") {
+            let (ta, tb) = (toks(&a), toks(&b));
+            for s in [
+                jaccard(&ta, &tb),
+                overlap_coefficient(&ta, &tb),
+                dice(&ta, &tb),
+                monge_elkan(&ta, &tb),
+                monge_elkan_symmetric(&ta, &tb),
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{s}");
+            }
+        }
+
+        #[test]
+        fn jaccard_symmetric(a in "[a-d ]{0,24}", b in "[a-d ]{0,24}") {
+            let (ta, tb) = (toks(&a), toks(&b));
+            prop_assert!((jaccard(&ta, &tb) - jaccard(&tb, &ta)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn self_similarity_is_one(a in "[a-d ]{1,24}") {
+            let ta = toks(&a);
+            prop_assert!((jaccard(&ta, &ta) - 1.0).abs() < 1e-12);
+            prop_assert!((dice(&ta, &ta) - 1.0).abs() < 1e-12);
+            prop_assert!((monge_elkan(&ta, &ta) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn dice_dominates_jaccard(a in "[a-d ]{0,24}", b in "[a-d ]{0,24}") {
+            // Dice = 2J/(1+J) >= J for J in [0,1].
+            let (ta, tb) = (toks(&a), toks(&b));
+            prop_assert!(dice(&ta, &tb) + 1e-12 >= jaccard(&ta, &tb));
+        }
+    }
+}

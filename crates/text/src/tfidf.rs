@@ -1,0 +1,230 @@
+//! TF-IDF weighting and cosine similarity over a corpus vocabulary.
+//!
+//! Used by ZeroER's similarity vectors (soft TF-IDF features), by the
+//! canopy blocking technique, and as a general-purpose document similarity.
+
+use std::collections::HashMap;
+
+/// A corpus-level TF-IDF model: document frequencies learned from a corpus
+/// of token lists, then used to embed documents as sparse weighted vectors.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, usize>,
+    n_docs: usize,
+}
+
+/// A sparse TF-IDF vector: `(term id within this model, weight)` pairs
+/// sorted by term id, L2-normalized unless the document was empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u64, f64)>,
+}
+
+impl SparseVec {
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// L2 norm (1.0 for non-empty normalized vectors, 0.0 when empty).
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product with another sparse vector (merge join on term ids).
+    pub fn dot(&self, other: &SparseVec) -> f64 {
+        let mut i = 0;
+        let mut j = 0;
+        let mut acc = 0.0;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+fn term_id(term: &str) -> u64 {
+    // FNV-1a over bytes: stable, fast, adequate for term identification.
+    term.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+impl TfIdf {
+    /// Fits document frequencies over a corpus of tokenized documents.
+    pub fn fit<'a, I>(corpus: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [String]>,
+    {
+        let mut doc_freq: HashMap<String, usize> = HashMap::new();
+        let mut n_docs = 0;
+        for doc in corpus {
+            n_docs += 1;
+            let mut seen: Vec<&String> = doc.iter().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *doc_freq.entry(t.clone()).or_insert(0) += 1;
+            }
+        }
+        TfIdf { doc_freq, n_docs }
+    }
+
+    /// Number of documents the model was fitted on.
+    pub fn corpus_size(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Smoothed inverse document frequency of a term:
+    /// `ln((1 + N) / (1 + df)) + 1`, so unseen terms get the highest weight.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        ((1.0 + self.n_docs as f64) / (1.0 + df as f64)).ln() + 1.0
+    }
+
+    /// Embeds a tokenized document as an L2-normalized sparse TF-IDF vector.
+    pub fn embed(&self, tokens: &[String]) -> SparseVec {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for t in tokens {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(u64, f64)> = counts
+            .into_iter()
+            .map(|(t, c)| (term_id(t), c as f64 * self.idf(t)))
+            .collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        // Hash collisions would create duplicate ids; merge them.
+        entries.dedup_by(|next, prev| {
+            if prev.0 == next.0 {
+                prev.1 += next.1;
+                true
+            } else {
+                false
+            }
+        });
+        let norm = entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for e in &mut entries {
+                e.1 /= norm;
+            }
+        }
+        SparseVec { entries }
+    }
+
+    /// Cosine similarity between two tokenized documents in `[0, 1]`;
+    /// 1 when both are empty, 0 when exactly one is.
+    pub fn cosine(&self, a: &[String], b: &[String]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let va = self.embed(a);
+        let vb = self.embed(b);
+        va.dot(&vb).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::words;
+    use proptest::prelude::*;
+
+    fn corpus() -> Vec<Vec<String>> {
+        [
+            "the quick brown fox",
+            "the lazy dog",
+            "quick quick dog",
+            "fox and dog",
+        ]
+        .iter()
+        .map(|s| words(s))
+        .collect()
+    }
+
+    #[test]
+    fn fit_counts_documents() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        assert_eq!(model.corpus_size(), 4);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        // "dog" appears in 3 docs, "brown" in 1 → brown is rarer and heavier.
+        assert!(model.idf("brown") > model.idf("dog"));
+        // Unseen terms get the maximum idf.
+        assert!(model.idf("zebra") > model.idf("brown"));
+    }
+
+    #[test]
+    fn embeddings_are_normalized() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        let v = model.embed(&words("quick brown fox"));
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(model.embed(&[]).nnz(), 0);
+    }
+
+    #[test]
+    fn cosine_identity_and_disjoint() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        let a = words("quick brown fox");
+        assert!((model.cosine(&a, &a) - 1.0).abs() < 1e-12);
+        let b = words("lazy dog");
+        assert_eq!(model.cosine(&words("quick"), &b), 0.0);
+        assert_eq!(model.cosine(&[], &[]), 1.0);
+        assert_eq!(model.cosine(&a, &[]), 0.0);
+    }
+
+    #[test]
+    fn shared_rare_term_beats_shared_common_term() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        // Pairs sharing the rare "brown" vs pairs sharing the common "dog",
+        // with one extra distinct token on each side.
+        let s_rare = model.cosine(&words("brown alpha"), &words("brown beta"));
+        let s_common = model.cosine(&words("dog alpha"), &words("dog beta"));
+        assert!(s_rare > s_common);
+    }
+
+    #[test]
+    fn sparse_dot_merge_join() {
+        let docs = corpus();
+        let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+        let model = TfIdf::fit(refs);
+        let va = model.embed(&words("quick fox"));
+        let vb = model.embed(&words("fox dog"));
+        let d = va.dot(&vb);
+        assert!(d > 0.0 && d < 1.0);
+        assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-15);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded_and_symmetric(a in "[a-e ]{0,30}", b in "[a-e ]{0,30}") {
+            let docs = corpus();
+            let refs: Vec<&[String]> = docs.iter().map(|d| d.as_slice()).collect();
+            let model = TfIdf::fit(refs);
+            let (ta, tb) = (words(&a), words(&b));
+            let s = model.cosine(&ta, &tb);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - model.cosine(&tb, &ta)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Tokenizers: whitespace/alphanumeric word tokens and character q-grams.
+//!
+//! These are the building blocks for token-based similarity measures
+//! (Jaccard, TF-IDF cosine, Monge-Elkan) and for the blocking substrate.
+
+/// Splits a string into lowercase alphanumeric word tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is a
+/// separator. This matches the standard preprocessing in EM toolkits
+/// (Magellan's `alphanumeric` tokenizer).
+pub fn words(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Character q-grams of the lowercase input (over the raw character stream,
+/// whitespace included), with `#` padding on both ends as is conventional
+/// for q-gram blocking.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q must be at least 1");
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
+        .chain(s.chars().flat_map(|c| c.to_lowercase()))
+        .chain(std::iter::repeat_n('#', q - 1))
+        .collect();
+    if padded.len() < q {
+        return Vec::new();
+    }
+    padded
+        .windows(q)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Counts distinct tokens, returning `(token, count)` pairs sorted by token.
+pub fn token_counts(tokens: &[String]) -> Vec<(String, usize)> {
+    let mut sorted: Vec<&String> = tokens.iter().collect();
+    sorted.sort_unstable();
+    let mut out: Vec<(String, usize)> = Vec::new();
+    for t in sorted {
+        match out.last_mut() {
+            Some((prev, c)) if prev == t => *c += 1,
+            _ => out.push((t.clone(), 1)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn words_split_on_punctuation_and_lowercase() {
+        assert_eq!(
+            words("Sony DSLR-A100, 10.2MP!"),
+            vec!["sony", "dslr", "a100", "10", "2mp"]
+        );
+    }
+
+    #[test]
+    fn words_of_empty_and_symbolic_strings() {
+        assert!(words("").is_empty());
+        assert!(words("--- !!! ---").is_empty());
+    }
+
+    #[test]
+    fn qgrams_pad_with_hashes() {
+        assert_eq!(qgrams("ab", 2), vec!["#a", "ab", "b#"]);
+    }
+
+    #[test]
+    fn qgrams_of_empty_string() {
+        // Only padding remains: "#" windows.
+        assert_eq!(qgrams("", 2), vec!["##"]);
+        assert!(qgrams("", 1).is_empty());
+    }
+
+    #[test]
+    fn unigrams_are_characters() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn token_counts_aggregate() {
+        let toks = words("a b a c b a");
+        let counts = token_counts(&toks);
+        assert_eq!(
+            counts,
+            vec![
+                ("a".to_string(), 3),
+                ("b".to_string(), 2),
+                ("c".to_string(), 1)
+            ]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn words_are_lowercase_alphanumeric(s in ".{0,64}") {
+            for t in words(&s) {
+                prop_assert!(!t.is_empty());
+                prop_assert!(t.chars().all(|c| c.is_alphanumeric()));
+                prop_assert_eq!(t.to_lowercase(), t.clone());
+            }
+        }
+
+        #[test]
+        fn qgram_count_formula(s in "[a-z ]{0,32}", q in 1usize..5) {
+            let grams = qgrams(&s, q);
+            let n = s.chars().count();
+            // With (q-1) pad on each side there are n + q - 1 windows,
+            // except when that underflows to below zero.
+            let expect = (n + q - 1).saturating_sub(q - 1) + (q - 1);
+            let expect = if n + 2 * (q - 1) < q { 0 } else { expect };
+            prop_assert_eq!(grams.len(), expect);
+        }
+
+        #[test]
+        fn token_counts_sum_to_token_count(s in "[a-c ]{0,32}") {
+            let toks = words(&s);
+            let total: usize = token_counts(&toks).iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(total, toks.len());
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Cloud data-integration scenario (the paper's AWS Glue use case,
+//! Section 2.1): two vendor catalogs arrive with no labels, no reliable
+//! column names, and no type information. The pipeline is the one the
+//! paper positions its matchers inside:
+//!
+//! 1. **blocking** prunes the `left × right` cross product to a candidate
+//!    set;
+//! 2. a **cross-dataset matcher** (fine-tuned on unrelated transfer data)
+//!    classifies the candidates — zero target labels involved.
+//!
+//! ```sh
+//! cargo run --release --example catalog_integration
+//! ```
+
+use cross_dataset_em::blocking::metrics::quality;
+use cross_dataset_em::blocking::{pair_set, Blocker, TokenBlocker};
+use cross_dataset_em::prelude::*;
+use em_core::{EvalBatch, Record, RecordPair, Serializer};
+
+fn main() {
+    // Two "vendor catalogs": the left/right presentations of the WAAM
+    // electronics benchmark stand in for Walmart- and Amazon-style feeds.
+    let bench = cross_dataset_em::datagen::generate(DatasetId::Waam, 7);
+    let n = 400;
+    let left: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .map(|p| p.pair.left.clone())
+        .collect();
+    let right: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .map(|p| p.pair.right.clone())
+        .collect();
+    let true_matches: Vec<(usize, usize)> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .enumerate()
+        .filter_map(|(i, p)| p.label.then_some((i, i)))
+        .collect();
+    println!(
+        "catalogs: {} x {} records, {} true matches, cross product = {} pairs",
+        left.len(),
+        right.len(),
+        true_matches.len(),
+        left.len() * right.len()
+    );
+
+    // Step 1: blocking.
+    let blocker = TokenBlocker {
+        min_shared: 2,
+        ..Default::default()
+    };
+    let candidates = blocker.candidates(&left, &right);
+    let q = quality(&candidates, &true_matches, left.len(), right.len());
+    println!(
+        "blocking: {} candidates | pair completeness {:.1}% | reduction ratio {:.1}%",
+        candidates.len(),
+        q.pair_completeness * 100.0,
+        q.reduction_ratio * 100.0
+    );
+
+    // Step 2: a cross-dataset matcher fine-tuned on *other* domains.
+    let suite = cross_dataset_em::datagen::generate_suite(0);
+    let corpus = PretrainCorpus {
+        pairs: cross_dataset_em::datagen::pretrain_corpus(6_000, 0),
+    };
+    let split = lodo_split(&suite, DatasetId::Waam).expect("WAAM split");
+    let mut matcher = AnyMatch::pretrained(AnyMatchBackbone::Llama32, &corpus);
+    matcher
+        .fit(&split, 0)
+        .expect("fine-tuning on transfer data");
+
+    // Classify the candidate set (values-only serialization).
+    let ser = Serializer::identity(bench.arity());
+    let raw: Vec<RecordPair> = candidates
+        .iter()
+        .map(|&(i, j)| RecordPair::new(left[i].clone(), right[j].clone()))
+        .collect();
+    let batch = EvalBatch {
+        serialized: raw.iter().map(|p| ser.pair(p)).collect(),
+        raw,
+        attr_types: bench.attr_types.clone(),
+    };
+    let preds = matcher.predict(&batch).expect("prediction");
+
+    // Evaluate end-to-end: a candidate is correct if predicted-match and
+    // truly matching.
+    let truth = pair_set(&true_matches);
+    let mut tp = 0;
+    let mut fp = 0;
+    for (cand, &pred) in candidates.iter().zip(&preds) {
+        if pred {
+            if truth.contains(cand) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    let fn_ = true_matches.len() - tp;
+    let precision = tp as f64 / (tp + fp).max(1) as f64;
+    let recall = tp as f64 / (tp + fn_).max(1) as f64;
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    println!(
+        "end-to-end pipeline: precision {:.1}% | recall {:.1}% | F1 {:.1}",
+        precision * 100.0,
+        recall * 100.0,
+        f1 * 100.0
+    );
+    println!("no WAAM label, column name, or type was used at any point.");
+}

@@ -1,0 +1,92 @@
+//! Deployment-cost planner (the paper's Section 4.2.2 in tool form): given
+//! a matching workload and a budget, ranks every matcher by monthly cost
+//! and picks the best affordable one — the decision a team building a
+//! cloud EM service actually has to make.
+//!
+//! ```sh
+//! cargo run --release --example cost_planner
+//! ```
+
+use cross_dataset_em::cost::{best_balance, best_within_budget, table6, TradeoffPoint};
+use cross_dataset_em::hardware::{deploy, Machine, TABLE5_MODELS};
+
+/// F1 means from the paper's Table 3 (swap in your own `table3_f1` run).
+fn f1_of(label: &str) -> Option<f64> {
+    Some(match label {
+        "MatchGPT [GPT-4]" => 87.4,
+        "MatchGPT [SOLAR]" => 74.0,
+        "MatchGPT [Beluga2]" => 78.7,
+        "MatchGPT [GPT-3.5-Turbo]" => 66.0,
+        "MatchGPT [Mixtral-8x7B]" => 73.3,
+        "MatchGPT [GPT-4o-Mini]" => 83.9,
+        "Unicorn[DeBERTa]" => 81.0,
+        "AnyMatch[LLaMA3.2]" => 87.5,
+        "AnyMatch[T5]" => 78.6,
+        "AnyMatch[GPT-2]" => 81.5,
+        "Ditto[Bert]" => 72.9,
+        _ => return None,
+    })
+}
+
+fn main() {
+    // Workload: 50M candidate pairs/month, ~120 tokens per serialized pair.
+    let pairs_per_month: f64 = 50_000_000.0;
+    let tokens_per_pair: f64 = 120.0;
+    let monthly_tokens = pairs_per_month * tokens_per_pair;
+    println!(
+        "workload: {:.0}M pairs/month × {tokens_per_pair} tokens = {:.1}B tokens/month\n",
+        pairs_per_month / 1e6,
+        monthly_tokens / 1e9
+    );
+
+    // Costs from the hardware simulator's throughputs.
+    let node = Machine::hpc_node();
+    let throughputs: Vec<(&str, f64)> = TABLE5_MODELS
+        .iter()
+        .map(|m| (m.name, deploy(m, &node).tokens_per_s))
+        .collect();
+    let mut points = Vec::new();
+    println!(
+        "{:<26} {:>12} {:>14} {:>7}   scenario",
+        "matcher", "$/1K tok", "$/month", "F1"
+    );
+    for row in table6(&throughputs) {
+        let Some(f1) = f1_of(&row.label) else {
+            continue;
+        };
+        let monthly = row.usd_per_1k_tokens * monthly_tokens / 1000.0;
+        println!(
+            "{:<26} {:>12.7} {:>14.2} {:>7.1}   {}",
+            row.label,
+            row.usd_per_1k_tokens,
+            monthly,
+            f1,
+            row.scenario.label()
+        );
+        points.push(TradeoffPoint {
+            label: row.label,
+            x: row.usd_per_1k_tokens,
+            f1,
+        });
+    }
+
+    println!("\nrecommendations:");
+    for budget_per_month in [100.0f64, 1_000.0, 100_000.0] {
+        let per_1k = budget_per_month / (monthly_tokens / 1000.0);
+        match best_within_budget(&points, per_1k) {
+            Some(p) => println!(
+                "  ≤ ${budget_per_month:>9.0}/month → {} (F1 {:.1}, ~${:.2}/month)",
+                p.label,
+                p.f1,
+                p.x * monthly_tokens / 1000.0
+            ),
+            None => println!("  ≤ ${budget_per_month:>9.0}/month → nothing affordable"),
+        }
+    }
+    if let Some(p) = best_balance(&points) {
+        println!(
+            "  overall balance pick: {} — the paper's recommendation when transfer data exists",
+            p.label
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # cross-dataset-em
+//!
+//! A from-scratch Rust reproduction of *"A Deep Dive Into Cross-Dataset
+//! Entity Matching with Large and Small Language Models"* (EDBT 2025):
+//! the cross-dataset EM task, the "leave-one-dataset-out" evaluation, all
+//! eight matcher families, synthetic versions of the 11 benchmark
+//! datasets, and the quality/cost trade-off analysis — built on a
+//! self-contained neural-network and classical-ML substrate.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `em-core` | records, datasets, serialization, LODO, metrics, the [`core::Matcher`] trait |
+//! | [`text`] | `em-text` | tokenizers and string-similarity kernels |
+//! | [`ml`] | `em-ml` | logistic regression, GMM/EM, AdaBoost |
+//! | [`nn`] | `em-nn` | tensors, attention, transformer blocks, Adam |
+//! | [`lm`] | `em-lm` | tiny language models, fine-tuning, prompting, frozen LLM tiers |
+//! | [`datagen`] | `em-datagen` | the 11 synthetic benchmarks + pretraining corpus |
+//! | [`matchers`] | `em-matchers` | StringSim, ZeroER, Ditto, Unicorn, AnyMatch, Jellyfish, MatchGPT |
+//! | [`blocking`] | `em-blocking` | candidate-set generation |
+//! | [`hardware`] | `em-hardware` | A100 deployment simulator (Table 5) |
+//! | [`cost`] | `em-cost` | price book and trade-off analysis (Table 6, Figures 3/4) |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cross_dataset_em::prelude::*;
+//!
+//! // Generate the benchmark suite and a pretraining corpus.
+//! let suite = cross_dataset_em::datagen::generate_suite(0);
+//! let corpus = PretrainCorpus { pairs: cross_dataset_em::datagen::pretrain_corpus(4000, 0) };
+//!
+//! // Evaluate a matcher on an unseen target under LODO.
+//! let split = lodo_split(&suite, DatasetId::Beer).unwrap();
+//! let mut matcher = Ditto::pretrained(&corpus);
+//! let cfg = EvalConfig::quick(2, 450);
+//! let score = evaluate_on_target(&mut matcher, &split, &cfg).unwrap();
+//! println!("Ditto on unseen BEER: {}", score.summary());
+//! ```
+
+pub use em_blocking as blocking;
+pub use em_core as core;
+pub use em_cost as cost;
+pub use em_datagen as datagen;
+pub use em_hardware as hardware;
+pub use em_lm as lm;
+pub use em_matchers as matchers;
+pub use em_ml as ml;
+pub use em_nn as nn;
+pub use em_text as text;
+
+/// The most common imports for downstream users.
+pub mod prelude {
+    pub use em_core::{
+        evaluate_matcher, evaluate_on_target, lodo_split, Benchmark, DatasetId, EvalConfig,
+        EvalReport, Matcher, SerializedPair,
+    };
+    pub use em_lm::{LlmTier, PretrainCorpus};
+    pub use em_matchers::{
+        AnyMatch, AnyMatchBackbone, DemoStrategy, Ditto, Jellyfish, MatchGpt, StringSim, Unicorn,
+        ZeroEr,
+    };
+}

@@ -1,0 +1,122 @@
+//! End-to-end integration: the full LODO protocol with real matchers on
+//! the generated benchmark suite, exercising every crate together.
+
+use cross_dataset_em::prelude::*;
+use em_core::{evaluate_on_target, EvalConfig};
+use em_lm::PretrainCorpus;
+
+fn suite() -> Vec<em_core::Benchmark> {
+    cross_dataset_em::datagen::generate_suite(0)
+}
+
+fn small_corpus() -> PretrainCorpus {
+    PretrainCorpus {
+        pairs: cross_dataset_em::datagen::pretrain_corpus(2_000, 0),
+    }
+}
+
+#[test]
+fn parameter_free_matchers_run_the_full_protocol() {
+    let suite = suite();
+    let cfg = EvalConfig::quick(2, 200);
+    for mut matcher in [
+        Box::new(StringSim::new()) as Box<dyn Matcher>,
+        Box::new(ZeroEr::new()),
+    ] {
+        let report = evaluate_matcher(matcher.as_mut(), &suite, &cfg).unwrap();
+        assert_eq!(report.scores.len(), 11);
+        let mean = report.mean_column();
+        assert!(
+            mean.mean > 0.0 && mean.mean < 100.0,
+            "{}: {}",
+            report.matcher,
+            mean
+        );
+    }
+}
+
+#[test]
+fn fine_tuned_matcher_beats_string_baseline_on_beer() {
+    let suite = suite();
+    let corpus = small_corpus();
+    let split = lodo_split(&suite, DatasetId::Beer).unwrap();
+    let cfg = EvalConfig::quick(1, 450);
+    let mut baseline = StringSim::new();
+    let base = evaluate_on_target(&mut baseline, &split, &cfg).unwrap();
+    let mut anymatch = AnyMatch::pretrained(AnyMatchBackbone::Llama32, &corpus);
+    let tuned = evaluate_on_target(&mut anymatch, &split, &cfg).unwrap();
+    assert!(
+        tuned.summary().mean > base.summary().mean + 10.0,
+        "fine-tuned {} vs baseline {}",
+        tuned.summary(),
+        base.summary()
+    );
+}
+
+#[test]
+fn evaluation_is_deterministic_end_to_end() {
+    let suite = suite();
+    let split = lodo_split(&suite, DatasetId::Zoye).unwrap();
+    let cfg = EvalConfig::quick(2, 200);
+    let corpus = small_corpus();
+    let run = || {
+        let mut m = Ditto::pretrained(&corpus);
+        evaluate_on_target(&mut m, &split, &cfg)
+            .unwrap()
+            .per_seed_f1
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn jellyfish_brackets_propagate_through_the_report() {
+    let suite = suite();
+    let corpus = small_corpus();
+    let cfg = EvalConfig::quick(1, 120);
+    let mut jelly = Jellyfish::pretrained(&corpus);
+    let report = evaluate_matcher(&mut jelly, &suite, &cfg).unwrap();
+    let seen = report.scores.iter().filter(|s| s.seen_in_training).count();
+    assert_eq!(seen, 6, "Jellyfish's six seen datasets must be bracketed");
+    // The fair mean skips them.
+    let fair = report.fair_mean_column();
+    let full = report.mean_column();
+    assert!(fair.mean > 0.0);
+    assert_ne!(fair.mean, full.mean);
+}
+
+#[test]
+fn seeds_change_serialization_but_not_the_test_sample() {
+    let suite = suite();
+    let bench = suite.iter().find(|b| b.id == DatasetId::Itam).unwrap();
+    let (b0, l0) = em_core::build_batch(bench, 200, 0);
+    let (b1, l1) = em_core::build_batch(bench, 200, 1);
+    // Identical sample (labels align pair-by-pair) ...
+    assert_eq!(l0, l1);
+    assert_eq!(b0.raw.len(), b1.raw.len());
+    for (p0, p1) in b0.raw.iter().zip(&b1.raw) {
+        assert_eq!(p0.left.id, p1.left.id);
+    }
+    // ... but different column order in the serialized view.
+    assert!(
+        b0.serialized
+            .iter()
+            .zip(&b1.serialized)
+            .any(|(a, b)| a.left != b.left),
+        "seed must shuffle serialization"
+    );
+}
+
+#[test]
+fn restriction_two_no_column_names_reach_matchers() {
+    // The serialized views consist purely of attribute values: none of the
+    // internal domain vocabulary for column roles appears.
+    let suite = suite();
+    let bench = &suite[0];
+    let (batch, _) = em_core::build_batch(bench, 50, 0);
+    for sp in &batch.serialized {
+        for forbidden in ["title:", "brand:", "price:", "COL ", "name="] {
+            assert!(!sp.left.contains(forbidden), "{}", sp.left);
+            assert!(!sp.right.contains(forbidden), "{}", sp.right);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration of the blocking substrate with the matchers: the
+//! block-then-match pipeline of a real EM system (Section 2.1).
+
+use cross_dataset_em::blocking::metrics::quality;
+use cross_dataset_em::blocking::{pair_set, Blocker, QGramBlocker, TokenBlocker};
+use cross_dataset_em::prelude::*;
+use em_core::{EvalBatch, Record, RecordPair, Serializer};
+
+type Catalogs = (
+    em_core::Benchmark,
+    Vec<Record>,
+    Vec<Record>,
+    Vec<(usize, usize)>,
+);
+
+fn catalogs(n: usize) -> Catalogs {
+    let bench = cross_dataset_em::datagen::generate(DatasetId::Foza, 5);
+    let left: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .map(|p| p.pair.left.clone())
+        .collect();
+    let right: Vec<Record> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .map(|p| p.pair.right.clone())
+        .collect();
+    let truth: Vec<(usize, usize)> = bench
+        .pairs
+        .iter()
+        .take(n)
+        .enumerate()
+        .filter_map(|(i, p)| p.label.then_some((i, i)))
+        .collect();
+    (bench, left, right, truth)
+}
+
+#[test]
+fn token_blocking_keeps_most_matches_and_prunes_hard() {
+    let (_, left, right, truth) = catalogs(400);
+    let candidates = TokenBlocker::default().candidates(&left, &right);
+    let q = quality(&candidates, &truth, left.len(), right.len());
+    assert!(
+        q.pair_completeness > 0.85,
+        "completeness {}",
+        q.pair_completeness
+    );
+    assert!(q.reduction_ratio > 0.8, "reduction {}", q.reduction_ratio);
+    // A stricter blocker prunes harder at some completeness cost.
+    let strict = TokenBlocker {
+        min_shared: 2,
+        ..Default::default()
+    }
+    .candidates(&left, &right);
+    let qs = quality(&strict, &truth, left.len(), right.len());
+    assert!(qs.reduction_ratio > q.reduction_ratio);
+    assert!(qs.pair_completeness <= q.pair_completeness);
+}
+
+#[test]
+fn qgram_blocking_is_a_valid_alternative() {
+    let (_, left, right, truth) = catalogs(300);
+    let candidates = QGramBlocker::default().candidates(&left, &right);
+    let q = quality(&candidates, &truth, left.len(), right.len());
+    assert!(
+        q.pair_completeness > 0.7,
+        "completeness {}",
+        q.pair_completeness
+    );
+    assert!(q.reduction_ratio > 0.5, "reduction {}", q.reduction_ratio);
+}
+
+#[test]
+fn block_then_match_pipeline_produces_sensible_f1() {
+    let (bench, left, right, truth) = catalogs(300);
+    let candidates = TokenBlocker {
+        min_shared: 2,
+        ..Default::default()
+    }
+    .candidates(&left, &right);
+    assert!(!candidates.is_empty());
+
+    // ZeroER (parameter-free) classifies the candidate batch.
+    let ser = Serializer::identity(bench.arity());
+    let raw: Vec<RecordPair> = candidates
+        .iter()
+        .map(|&(i, j)| RecordPair::new(left[i].clone(), right[j].clone()))
+        .collect();
+    let batch = EvalBatch {
+        serialized: raw.iter().map(|p| ser.pair(p)).collect(),
+        raw,
+        attr_types: bench.attr_types.clone(),
+    };
+    let mut matcher = ZeroEr::new();
+    let preds = matcher.predict(&batch).unwrap();
+
+    let truth_set = pair_set(&truth);
+    let tp = candidates
+        .iter()
+        .zip(&preds)
+        .filter(|(c, &p)| p && truth_set.contains(c))
+        .count();
+    let predicted = preds.iter().filter(|&&p| p).count();
+    let precision = tp as f64 / predicted.max(1) as f64;
+    let recall = tp as f64 / truth.len().max(1) as f64;
+    assert!(
+        precision > 0.25 && recall > 0.4,
+        "pipeline degenerated: P {precision:.2} R {recall:.2}"
+    );
+}
+
+#[test]
+fn blockers_agree_on_obvious_duplicates() {
+    // Records that are byte-identical must survive every blocker.
+    let rec = |id: u64, s: &str| Record::new(id, vec![em_core::AttrValue::from(s)]);
+    let left = vec![
+        rec(0, "unique sapphire gadget"),
+        rec(1, "other thing entirely"),
+    ];
+    let right = vec![rec(10, "unique sapphire gadget")];
+    for blocker in [
+        Box::new(TokenBlocker::default()) as Box<dyn Blocker>,
+        Box::new(QGramBlocker::default()),
+    ] {
+        let c = blocker.candidates(&left, &right);
+        assert!(
+            c.contains(&(0, 0)),
+            "blocker missed an exact duplicate: {c:?}"
+        );
+    }
+}

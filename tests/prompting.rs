@@ -1,0 +1,96 @@
+//! Integration of the frozen-LLM zoo with the MatchGPT matcher and the
+//! demonstration machinery (the Table 4 experiment's moving parts).
+
+use cross_dataset_em::prelude::*;
+use em_core::{evaluate_on_target, EvalConfig};
+use em_lm::{pretrain_tier, PretrainCorpus};
+use std::sync::Arc;
+
+fn corpus() -> PretrainCorpus {
+    PretrainCorpus {
+        pairs: cross_dataset_em::datagen::pretrain_corpus(2_500, 0),
+    }
+}
+
+#[test]
+fn one_pretrained_tier_serves_all_demo_strategies() {
+    let suite = cross_dataset_em::datagen::generate_suite(0);
+    let split = lodo_split(&suite, DatasetId::Beer).unwrap();
+    let llm = Arc::new(pretrain_tier(LlmTier::Gpt4oMini, &corpus(), 0));
+    let cfg = EvalConfig::quick(1, 200);
+    let mut scores = Vec::new();
+    for strategy in [
+        DemoStrategy::None,
+        DemoStrategy::HandPicked,
+        DemoStrategy::Random,
+    ] {
+        let mut matcher = MatchGpt::with_llm(llm.clone(), strategy);
+        let score = evaluate_on_target(&mut matcher, &split, &cfg).unwrap();
+        scores.push((strategy, score.summary().mean));
+    }
+    // All strategies produce valid scores from the shared frozen model.
+    for (s, f1) in &scores {
+        assert!((0.0..=100.0).contains(f1), "{s:?}: {f1}");
+    }
+}
+
+#[test]
+fn demonstrations_come_from_the_transfer_pool_only() {
+    let suite = cross_dataset_em::datagen::generate_suite(0);
+    let split = lodo_split(&suite, DatasetId::Itam).unwrap();
+    let llm = Arc::new(pretrain_tier(LlmTier::Gpt35Turbo, &corpus(), 0));
+    let mut matcher = MatchGpt::with_llm(llm, DemoStrategy::Random);
+    matcher.fit(&split, 0).unwrap();
+    let demos = matcher.demonstrations();
+    assert_eq!(demos.len(), 3);
+    assert_eq!(demos.iter().filter(|d| d.label).count(), 1);
+    // ITAM records carry the music-domain serialization (8 attributes →
+    // 7 separators); transfer demos must come from other datasets.
+    for d in demos {
+        let commas = d.pair.left.matches(", ").count();
+        assert_ne!(
+            commas, 7,
+            "demo looks like a target (ITAM) record: {}",
+            d.pair.left
+        );
+    }
+}
+
+#[test]
+fn zero_shot_prompting_never_mutates_the_model() {
+    // Two consecutive evaluations give identical predictions: prompting is
+    // a pure forward pass.
+    let suite = cross_dataset_em::datagen::generate_suite(0);
+    let split = lodo_split(&suite, DatasetId::Zoye).unwrap();
+    let llm = Arc::new(pretrain_tier(LlmTier::Solar, &corpus(), 0));
+    let cfg = EvalConfig::quick(2, 150);
+    let mut matcher = MatchGpt::with_llm(llm, DemoStrategy::None);
+    let a = evaluate_on_target(&mut matcher, &split, &cfg).unwrap();
+    let b = evaluate_on_target(&mut matcher, &split, &cfg).unwrap();
+    assert_eq!(a.per_seed_f1, b.per_seed_f1);
+}
+
+#[test]
+fn capability_tiers_order_on_held_out_corpus() {
+    // The substitution's core promise: the strongest tier generalizes
+    // better than the weakest on unseen corpus pairs.
+    let train = corpus();
+    let heldout = cross_dataset_em::datagen::pretrain_corpus(600, 77);
+    let weak = pretrain_tier(LlmTier::Gpt35Turbo, &train, 0);
+    let strong = pretrain_tier(LlmTier::Gpt4, &train, 0);
+    let pairs: Vec<_> = heldout.iter().map(|(p, _)| p.clone()).collect();
+    let labels: Vec<bool> = heldout.iter().map(|(_, y)| *y).collect();
+    let f1 = |llm: &em_lm::PretrainedLlm| {
+        let preds: Vec<bool> = llm
+            .score_batch(&pairs, &[])
+            .into_iter()
+            .map(|s| s >= 0.5)
+            .collect();
+        em_core::f1_percent(&preds, &labels)
+    };
+    let (fw, fs) = (f1(&weak), f1(&strong));
+    assert!(
+        fs > fw + 2.0,
+        "GPT-4 tier {fs:.1} must beat GPT-3.5 tier {fw:.1}"
+    );
+}
