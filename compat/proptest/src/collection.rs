@@ -1,0 +1,24 @@
+//! Collection strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+
+/// Strategy producing `Vec`s of a fixed length.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        (0..self.len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(strategy, len)`: a vector of exactly `len`
+/// elements drawn from `strategy` (the workspace only uses fixed sizes).
+pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

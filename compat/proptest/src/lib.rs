@@ -1,0 +1,225 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a compact, seeded property-testing harness that supports the
+//! strategy surface its tests actually use:
+//!
+//! * numeric range strategies (`1usize..5`, `-2.0f32..2.0`, `0u64..=3`);
+//! * string strategies from the simple regex subset `CLASS{m,n}` where
+//!   `CLASS` is `.` or a character class like `[a-d ]` (generated strings
+//!   are printable ASCII);
+//! * `proptest::collection::vec(strategy, len)` with a fixed length;
+//! * the [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream: cases are seeded from the test name (fully
+//! deterministic, no persistence files), there is **no shrinking** — the
+//! failure report prints the generated inputs instead — and the case count
+//! is fixed at [`CASES`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod prelude;
+mod string;
+
+/// Number of generated cases per property.
+pub const CASES: u32 = 128;
+
+/// A failed property-test case (produced by `prop_assert!`-style macros).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A value generator. Implemented for numeric ranges, pattern strings and
+/// the [`collection::vec`] combinator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value: std::fmt::Debug;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        string::sample_pattern(self, rng)
+    }
+}
+
+/// Drives one property: runs [`CASES`] seeded cases, panicking with the
+/// generated inputs on the first failure. Used by the [`proptest!`] macro.
+pub fn run_cases<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), (TestCaseError, String)>,
+{
+    // Stable per-test seed: FNV-1a over the property name.
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0100_0000_01b3)
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..CASES {
+        if let Err((err, inputs)) = case(&mut rng) {
+            panic!("property '{name}' failed at case {i}/{CASES}: {err}\n  inputs: {inputs}");
+        }
+    }
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream form
+/// `proptest! { #[test] fn name(x in strategy, ...) { body } ... }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::Strategy::sample(&$strat, __pt_rng);)+
+                    let mut __pt_inputs = ::std::string::String::new();
+                    $(
+                        ::std::fmt::Write::write_fmt(
+                            &mut __pt_inputs,
+                            format_args!("{} = {:?}; ", stringify!($arg), &$arg),
+                        ).expect("formatting inputs cannot fail");
+                    )+
+                    let __pt_body = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __pt_body().map_err(|e| (e, __pt_inputs))
+                });
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ..)`: fails the
+/// current case (with input reporting) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)`: equality assertion that fails the case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 1usize..5, b in -2.0f32..2.0, c in 2u64..=3) {
+            prop_assert!((1..5).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+            prop_assert!(c == 2 || c == 3);
+        }
+
+        #[test]
+        fn string_patterns_obey_class_and_length(s in "[a-c ]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|ch| ch == ' ' || ('a'..='c').contains(&ch)));
+        }
+
+        #[test]
+        fn dot_patterns_are_printable_ascii(s in ".{0,16}") {
+            prop_assert!(s.len() <= 16);
+            prop_assert!(s.chars().all(|ch| (' '..='~').contains(&ch)));
+        }
+
+        #[test]
+        fn vec_strategy_has_fixed_length(v in crate::collection::vec(-1.0f64..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_inputs() {
+        crate::run_cases("always_fails", |_| {
+            Err((crate::TestCaseError::fail("boom"), "x = 1; ".into()))
+        });
+    }
+}

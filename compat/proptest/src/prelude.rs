@@ -1,0 +1,3 @@
+//! Glob-import surface mirroring `proptest::prelude::*`.
+
+pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};

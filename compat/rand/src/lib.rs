@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *subset* of the `rand 0.8` API it actually uses:
+//!
+//! * [`rngs::StdRng`] — a seeded, cloneable PRNG (xoshiro256** seeded via
+//!   SplitMix64; not the upstream ChaCha12, but the workspace only relies
+//!   on determinism-under-seed, never on the exact upstream stream);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng`] — `gen::<T>()`, `gen_range(..)` over integer/float ranges,
+//!   and `gen_bool(p)`;
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Everything is deterministic given the seed; there is no entropy source
+//! and no `thread_rng`.
+
+pub mod rngs;
+pub mod seq;
+
+pub use rngs::StdRng;
+
+/// Construction of a PRNG from a seed value.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from a generator (stand-in for sampling with
+/// the upstream `Standard` distribution).
+pub trait Uniform: Sized {
+    /// Draws one uniform value.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Uniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniform for bool {
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + <$t as Uniform>::uniform(rng) * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + <$t as Uniform>::uniform(rng) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// Raw 64-bit generator core (object-safe; stand-in for `rand::RngCore`).
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample of `T` (floats in `[0, 1)`).
+    fn gen<T: Uniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::uniform(self)
+    }
+
+    /// Uniform sample from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        f64::uniform(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::SliceRandom;
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_ranges_are_half_open_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: f32 = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let v = rng.gen_range(2..=3u32);
+            assert!(v == 2 || v == 3);
+        }
+        let neg = rng.gen_range(-5..-1i64);
+        assert!((-5..-1).contains(&neg));
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut w = v.clone();
+        v.shuffle(&mut StdRng::seed_from_u64(9));
+        w.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(v, w);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        let mut u: Vec<u32> = (0..50).collect();
+        u.shuffle(&mut StdRng::seed_from_u64(10));
+        assert_ne!(u, v);
+    }
+}

@@ -50,6 +50,39 @@ fn bench_tokenizer(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.measurement_time(Duration::from_secs(3)).sample_size(20);
+    // Transformer-shaped multiply: (batch·seq) × d_model × d_ff.
+    let (m, k, n) = (256, 1024, 256);
+    let fill = |len: usize, salt: u32| -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 2.0
+            })
+            .collect()
+    };
+    let a = fill(m * k, 1);
+    let b = fill(k * n, 2);
+    let mut out = vec![0.0f32; m * n];
+    g.bench_function("naive_256x256x1024", |bch| {
+        bch.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            em_nn::reference::matmul(m, k, n, std::hint::black_box(&a), &b, &mut out);
+        })
+    });
+    g.bench_function("blocked_256x256x1024", |bch| {
+        bch.iter(|| em_nn::gemm::gemm_blocked(m, k, n, std::hint::black_box(&a), false, &b, false, &mut out))
+    });
+    em_nn::threadpool::set_max_threads(Some(1));
+    g.bench_function("blocked_1_thread_256x256x1024", |bch| {
+        bch.iter(|| em_nn::gemm::gemm_blocked(m, k, n, std::hint::black_box(&a), false, &b, false, &mut out))
+    });
+    em_nn::threadpool::set_max_threads(None);
+    g.finish();
+}
+
 fn bench_model(c: &mut Criterion) {
     let mut g = c.benchmark_group("model");
     g.measurement_time(Duration::from_secs(3)).sample_size(20);
@@ -140,6 +173,7 @@ criterion_group!(
     benches,
     bench_similarity,
     bench_tokenizer,
+    bench_gemm,
     bench_model,
     bench_blocking,
     bench_serialization

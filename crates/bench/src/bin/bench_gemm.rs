@@ -1,0 +1,143 @@
+//! GEMM micro-benchmark: seed-naive vs current reference vs cache-blocked
+//! vs blocked + threads, on the acceptance shape 256×256×1024 (m×n×k).
+//!
+//! The primary baseline is the *seed* `Tensor::matmul` loop (ikj order
+//! with the data-dependent `a == 0.0` skip and unfused multiply-add),
+//! reproduced verbatim below — that is the kernel this PR replaced. The
+//! current [`em_nn::reference`] kernels (branch-free, fused multiply-add)
+//! are timed as well since they are the bitwise ground truth the blocked
+//! kernel is verified against.
+//!
+//! Writes machine-readable results to `BENCH_gemm.json` in the current
+//! directory (run from the repo root) and a human-readable table to
+//! stdout. Pass a different output path as the first argument.
+
+use em_nn::{gemm, reference, threadpool};
+use std::time::Instant;
+
+const M: usize = 256;
+const N: usize = 256;
+const K: usize = 1024;
+const REPS: usize = 9;
+
+/// The seed repository's `Tensor::matmul` inner loops, verbatim.
+fn seed_naive_matmul(a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..M {
+        let arow = &a[i * K..(i + 1) * K];
+        let orow = &mut c[i * N..(i + 1) * N];
+        for (p, &av) in arow.iter().enumerate().take(K) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * N..(p + 1) * N];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn fill(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 2.0
+        })
+        .collect()
+}
+
+/// (best, median) wall-clock seconds over `REPS` runs (1 warmup run
+/// discarded). The best-of figure is the one used for speedup claims:
+/// on a shared/virtualized host the minimum is the least noisy estimate
+/// of the kernel's true cost.
+fn time_it(mut run: impl FnMut()) -> (f64, f64) {
+    run(); // warmup
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[0], samples[REPS / 2])
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+    let a = fill(M * K, 1);
+    let b = fill(K * N, 2);
+    let mut c = vec![0.0f32; M * N];
+    let flops = 2.0 * M as f64 * N as f64 * K as f64;
+    let threads = threadpool::max_threads();
+
+    let (t_seed, t_seed_med) = time_it(|| {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        seed_naive_matmul(&a, &b, &mut c);
+        std::hint::black_box(&c);
+    });
+
+    let (t_ref, t_ref_med) = time_it(|| {
+        c.iter_mut().for_each(|v| *v = 0.0);
+        reference::matmul(M, K, N, &a, &b, &mut c);
+        std::hint::black_box(&c);
+    });
+    let ref_out = c.clone();
+
+    threadpool::set_max_threads(Some(1));
+    let (t_blocked, t_blocked_med) = time_it(|| {
+        gemm::gemm_blocked(M, K, N, &a, false, &b, false, &mut c);
+        std::hint::black_box(&c);
+    });
+    assert!(
+        ref_out.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "blocked kernel diverged from reference"
+    );
+
+    threadpool::set_max_threads(None);
+    let (t_par, t_par_med) = time_it(|| {
+        gemm::gemm_blocked(M, K, N, &a, false, &b, false, &mut c);
+        std::hint::black_box(&c);
+    });
+    assert!(
+        ref_out.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "parallel kernel diverged from reference"
+    );
+
+    let gflops = |t: f64| flops / t / 1e9;
+    let row = |name: &str, best: f64, med: f64| {
+        println!(
+            "  {name:<22}: best {:>8.2} ms ({:>6.1} GFLOP/s), median {:>8.2} ms  [{:.2}x vs seed]",
+            best * 1e3,
+            gflops(best),
+            med * 1e3,
+            t_seed / best
+        );
+    };
+    println!("GEMM {M}x{N}x{K} f32, best/median of {REPS}, {threads} thread(s) available");
+    row("seed naive matmul", t_seed, t_seed_med);
+    row("reference (fma)", t_ref, t_ref_med);
+    row("blocked, 1 thread", t_blocked, t_blocked_med);
+    row(&format!("blocked, {threads} thread(s)"), t_par, t_par_med);
+
+    let entry = |best: f64, med: f64| {
+        format!(
+            "{{ \"best_seconds\": {best:.6}, \"median_seconds\": {med:.6}, \"best_gflops\": {:.3} }}",
+            gflops(best)
+        )
+    };
+    let json = format!(
+        "{{\n  \"shape\": {{ \"m\": {M}, \"n\": {N}, \"k\": {K} }},\n  \"flops_per_call\": {flops},\n  \"reps\": {REPS},\n  \"threads_available\": {threads},\n  \"seed_naive\": {},\n  \"reference_fma\": {},\n  \"blocked_1_thread\": {},\n  \"blocked_parallel\": {},\n  \"speedup_blocked_vs_seed_naive\": {:.3},\n  \"speedup_parallel_vs_seed_naive\": {:.3},\n  \"speedup_blocked_vs_reference\": {:.3}\n}}\n",
+        entry(t_seed, t_seed_med),
+        entry(t_ref, t_ref_med),
+        entry(t_blocked, t_blocked_med),
+        entry(t_par, t_par_med),
+        t_seed / t_blocked,
+        t_seed / t_par,
+        t_ref / t_blocked,
+    );
+    std::fs::write(&out_path, json).expect("failed to write benchmark results");
+    println!("wrote {out_path}");
+}

@@ -20,6 +20,7 @@ use crate::serialize::Serializer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Mutex;
 
 /// Maximum test-set size, following the down-sampling protocol adopted from
 /// the MatchGPT study (Section 4.1, "Data preparation").
@@ -218,33 +219,120 @@ pub fn evaluate_matcher(
     })
 }
 
-/// Evaluates many matchers in parallel (one thread per matcher) across the
-/// whole suite. Matcher construction is deferred to the factory so each
-/// thread owns its matcher.
+/// Evaluates many matchers across the whole suite using a bounded
+/// work-stealing pool over (matcher × LODO-target) work items.
+///
+/// The seed implementation spawned one thread per matcher, which both
+/// oversubscribed the machine for large studies (a caller with 100
+/// factories got 100 threads) and serialized each matcher's eleven LODO
+/// targets behind one another. Here the cross product of matchers and
+/// targets becomes the unit of scheduling: items are spread over a
+/// [`crate::workqueue::WorkQueue`] and drained by at most
+/// `em_nn::threadpool::max_threads()` workers (the budget shared with the
+/// GEMM row-band parallelism, so nested parallel regions never
+/// oversubscribe). Idle workers steal targets from the busiest matcher.
+///
+/// Each worker constructs its own matcher instances via the factories —
+/// hence `Fn` rather than the seed's `FnOnce` — and every item runs
+/// `fit` + `predict` from scratch per seed, exactly as
+/// [`evaluate_on_target`] always has, so results are identical to the
+/// sequential order regardless of worker count or steal pattern.
 pub fn evaluate_all<F>(
     factories: Vec<(String, F)>,
     benchmarks: &[Benchmark],
     cfg: &EvalConfig,
 ) -> Result<Vec<EvalReport>>
 where
-    F: FnOnce() -> Box<dyn Matcher> + Send,
+    F: Fn() -> Box<dyn Matcher> + Send + Sync,
 {
-    let mut out: Vec<Option<Result<EvalReport>>> = (0..factories.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for ((_, factory), slot) in factories.into_iter().zip(out.iter_mut()) {
-            handles.push(scope.spawn(move |_| {
-                let mut matcher = factory();
-                *slot = Some(evaluate_matcher(matcher.as_mut(), benchmarks, cfg));
-            }));
+    let items: Vec<(usize, usize)> = (0..factories.len())
+        .flat_map(|mi| (0..benchmarks.len()).map(move |bi| (mi, bi)))
+        .collect();
+    // Bounded concurrency: the calling thread plus however many extra
+    // workers the shared budget grants (never more than there are items,
+    // and never more than available parallelism).
+    let reservation = em_nn::threadpool::reserve_workers(items.len().saturating_sub(1));
+    let nworkers = reservation.total().min(items.len()).max(1);
+    let queue = crate::workqueue::WorkQueue::new(nworkers, items);
+
+    // One result slot per (matcher, target); each is written exactly once.
+    let slots: Vec<Mutex<Option<Result<DatasetScore>>>> = (0..factories.len() * benchmarks.len())
+        .map(|_| Mutex::new(None))
+        .collect();
+    // Display name and parameter count, recorded by whichever worker
+    // constructs an instance of the matcher first.
+    let meta: Vec<Mutex<Option<(String, Option<f64>)>>> =
+        (0..factories.len()).map(|_| Mutex::new(None)).collect();
+
+    let worker = |id: usize| {
+        // Matcher instances are per worker and lazily built, so a worker
+        // that processes several targets of one matcher reuses its
+        // instance, while matchers it never touches are never built.
+        let mut matchers: Vec<Option<Box<dyn Matcher>>> =
+            (0..factories.len()).map(|_| None).collect();
+        while let Some((mi, bi)) = queue.next(id) {
+            let matcher = matchers[mi].get_or_insert_with(|| {
+                let m = (factories[mi].1)();
+                meta[mi]
+                    .lock()
+                    .unwrap()
+                    .get_or_insert_with(|| (m.name(), m.params_millions()));
+                m
+            });
+            let result = lodo_split(benchmarks, benchmarks[bi].id)
+                .and_then(|split| evaluate_on_target(matcher.as_mut(), &split, cfg));
+            *slots[mi * benchmarks.len() + bi].lock().unwrap() = Some(result);
         }
-        for h in handles {
-            h.join().expect("evaluation thread panicked");
-        }
-    })
-    .expect("crossbeam scope failed");
-    out.into_iter()
-        .map(|r| r.expect("every slot filled by its thread"))
+    };
+
+    if nworkers <= 1 {
+        worker(0);
+    } else {
+        std::thread::scope(|scope| {
+            let worker = &worker;
+            let mut handles = Vec::new();
+            for id in 1..nworkers {
+                handles.push(scope.spawn(move || worker(id)));
+            }
+            worker(0);
+            for h in handles {
+                h.join().expect("evaluation worker panicked");
+            }
+        });
+    }
+    drop(reservation);
+
+    let mut slots = slots.into_iter();
+    factories
+        .iter()
+        .zip(meta)
+        .map(|((_, factory), meta)| {
+            let scores = benchmarks
+                .iter()
+                .map(|_| {
+                    slots
+                        .next()
+                        .expect("one slot per (matcher, target)")
+                        .into_inner()
+                        .unwrap()
+                        .expect("every work item was drained")
+                })
+                .collect::<Result<Vec<DatasetScore>>>()?;
+            // With an empty suite no worker ever built the matcher; probe
+            // an instance just for its metadata.
+            let (name, params) = meta
+                .into_inner()
+                .unwrap()
+                .unwrap_or_else(|| {
+                    let probe = factory();
+                    (probe.name(), probe.params_millions())
+                });
+            Ok(EvalReport {
+                matcher: name,
+                params_millions: params,
+                scores,
+            })
+        })
         .collect()
 }
 
@@ -387,21 +475,62 @@ mod tests {
         assert!((fair.mean - 100.0).abs() < 1e-9);
     }
 
+    type Factory = Box<dyn Fn() -> Box<dyn Matcher> + Send + Sync>;
+
+    fn exact_factory() -> Factory {
+        Box::new(|| Box::new(ExactMatch) as Box<dyn Matcher>)
+    }
+
     #[test]
     fn evaluate_all_runs_matchers_in_parallel() {
         let s = suite();
-        type Factory = Box<dyn FnOnce() -> Box<dyn Matcher> + Send>;
-        let factories: Vec<(String, Factory)> = vec![
-            (
-                "a".into(),
-                Box::new(|| Box::new(ExactMatch) as Box<dyn Matcher>),
-            ),
-            (
-                "b".into(),
-                Box::new(|| Box::new(ExactMatch) as Box<dyn Matcher>),
-            ),
-        ];
+        let factories: Vec<(String, Factory)> =
+            vec![("a".into(), exact_factory()), ("b".into(), exact_factory())];
         let reports = evaluate_all(factories, &s, &EvalConfig::quick(1, 50)).unwrap();
         assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert_eq!(r.matcher, "ExactMatch");
+            assert_eq!(r.scores.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn evaluate_all_matches_sequential_evaluation_exactly() {
+        let s = suite();
+        let cfg = EvalConfig::quick(2, 50);
+        let factories: Vec<(String, Factory)> = vec![("a".into(), exact_factory())];
+        let parallel = evaluate_all(factories, &s, &cfg).unwrap();
+        let mut m = ExactMatch;
+        let sequential = evaluate_matcher(&mut m, &s, &cfg).unwrap();
+        assert_eq!(parallel.len(), 1);
+        for (p, q) in parallel[0].scores.iter().zip(&sequential.scores) {
+            assert_eq!(p.dataset, q.dataset);
+            assert_eq!(p.per_seed_f1, q.per_seed_f1);
+        }
+    }
+
+    #[test]
+    fn evaluate_all_with_many_factories_stays_bounded() {
+        // The seed spawned one thread per factory; the work-stealing pool
+        // must stay within the shared budget no matter how many factories
+        // are passed, and still return every report in order.
+        let s = suite();
+        let factories: Vec<(String, Factory)> = (0..40)
+            .map(|i| (format!("m{i}"), exact_factory()))
+            .collect();
+        let reports = evaluate_all(factories, &s, &EvalConfig::quick(1, 20)).unwrap();
+        assert_eq!(reports.len(), 40);
+        assert!(reports
+            .iter()
+            .all(|r| (r.mean_column().mean - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn evaluate_all_on_empty_suite_probes_matcher_metadata() {
+        let factories: Vec<(String, Factory)> = vec![("a".into(), exact_factory())];
+        let reports = evaluate_all(factories, &[], &EvalConfig::quick(1, 20)).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].matcher, "ExactMatch");
+        assert!(reports[0].scores.is_empty());
     }
 }

@@ -25,12 +25,13 @@ pub mod pair;
 pub mod record;
 pub mod serialize;
 pub mod stats;
+pub mod workqueue;
 
 pub use dataset::{spec_of, Benchmark, DatasetId, DatasetSpec, Domain, TABLE1};
 pub use error::{EmError, Result};
 pub use eval::{
-    build_batch, evaluate_matcher, evaluate_on_target, test_sample, DatasetScore, EvalConfig,
-    EvalReport, TEST_CAP,
+    build_batch, evaluate_all, evaluate_matcher, evaluate_on_target, test_sample, DatasetScore,
+    EvalConfig, EvalReport, TEST_CAP,
 };
 pub use lodo::{all_splits, lodo_split, LodoSplit};
 pub use matcher::{EvalBatch, Matcher};
@@ -38,3 +39,4 @@ pub use metrics::{f1_percent, macro_average, Confusion, MeanStd};
 pub use pair::{LabeledPair, RecordPair};
 pub use record::{AttrType, AttrValue, Record};
 pub use serialize::{SerializedPair, Serializer, VALUE_SEPARATOR};
+pub use workqueue::WorkQueue;

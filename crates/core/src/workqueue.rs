@@ -1,0 +1,166 @@
+//! A bounded work-stealing queue for coarse-grained evaluation work.
+//!
+//! [`eval::evaluate_all`](crate::eval::evaluate_all) decomposes the study
+//! into (matcher × LODO-target) work items whose costs differ by orders of
+//! magnitude — a parameter-free heuristic finishes a target in microseconds
+//! while a fine-tuned language model takes seconds. Static partitioning
+//! (one thread per matcher, as the seed did) therefore leaves most workers
+//! idle behind the slowest matcher. Here every worker owns a deque seeded
+//! with a contiguous share of the items; it drains its own deque from the
+//! front and, when empty, steals from the *back* of the busiest victim, so
+//! stolen work is the work its owner would touch last.
+//!
+//! The queue is **bounded**: it never spawns threads itself. Callers decide
+//! the worker count from the shared [`em_nn::threadpool`] budget, so nested
+//! parallel regions (a matcher's own GEMM threads, say) degrade to
+//! sequential instead of oversubscribing the machine.
+//!
+//! Items are distributed at construction time and never re-enqueued, which
+//! keeps termination trivial: once every deque reports empty, no item can
+//! ever appear again, so a worker observing all-empty can exit.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Fixed set of work items partitioned over per-worker deques.
+pub struct WorkQueue<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Distributes `items` over `nworkers` deques in contiguous blocks
+    /// (worker 0 gets the first block, and so on), preserving order within
+    /// each block so workers sweep their share front-to-back.
+    pub fn new(nworkers: usize, items: Vec<T>) -> Self {
+        assert!(nworkers > 0, "a work queue needs at least one worker");
+        let total = items.len();
+        let mut deques: Vec<Mutex<VecDeque<T>>> = (0..nworkers)
+            .map(|w| {
+                // Block sizes differ by at most one: ceil for the first
+                // `total % nworkers` workers, floor for the rest.
+                let cap = total / nworkers + usize::from(w < total % nworkers);
+                Mutex::new(VecDeque::with_capacity(cap))
+            })
+            .collect();
+        for (i, item) in items.into_iter().enumerate() {
+            // i * nworkers / total maps index i into its block owner.
+            let w = if total == 0 { 0 } else { i * nworkers / total };
+            deques[w].get_mut().unwrap().push_back(item);
+        }
+        WorkQueue { deques }
+    }
+
+    /// Number of worker slots the queue was built for.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Fetches the next item for `worker`: its own deque first (front),
+    /// then a steal from the back of the fullest other deque. Returns
+    /// `None` only when every deque is empty, which is permanent.
+    pub fn next(&self, worker: usize) -> Option<T> {
+        if let Some(item) = self.deques[worker].lock().unwrap().pop_front() {
+            return Some(item);
+        }
+        loop {
+            // Pick the victim with the most remaining work so steals are
+            // rare and balanced; re-check under the victim's lock since
+            // the census is only advisory.
+            let victim = (0..self.deques.len())
+                .filter(|&w| w != worker)
+                .max_by_key(|&w| self.deques[w].lock().unwrap().len())?;
+            let mut dq = self.deques[victim].lock().unwrap();
+            if let Some(item) = dq.pop_back() {
+                return Some(item);
+            }
+            drop(dq);
+            // The victim drained between census and lock; if everything is
+            // empty we are done, otherwise try again.
+            if self
+                .deques
+                .iter()
+                .all(|d| d.lock().unwrap().is_empty())
+            {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn distributes_all_items_in_contiguous_blocks() {
+        let q = WorkQueue::new(3, (0..10).collect());
+        // Worker 0 drains its own share in order before stealing.
+        let mut own = Vec::new();
+        for _ in 0..4 {
+            own.push(q.next(0).unwrap());
+        }
+        assert_eq!(own, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn single_worker_sees_every_item_in_order() {
+        let q = WorkQueue::new(1, (0..7).collect());
+        let drained: Vec<i32> = std::iter::from_fn(|| q.next(0)).collect();
+        assert_eq!(drained, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_queue_terminates_immediately() {
+        let q: WorkQueue<u8> = WorkQueue::new(4, Vec::new());
+        for w in 0..4 {
+            assert_eq!(q.next(w), None);
+        }
+    }
+
+    #[test]
+    fn idle_workers_steal_until_everything_is_processed() {
+        // All items land on worker 0's deque (workers 1..3 start empty and
+        // must steal); every item must be seen exactly once.
+        let q = WorkQueue::new(4, (0..100).collect::<Vec<i32>>());
+        let seen = Mutex::new(HashSet::new());
+        let duplicates = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let q = &q;
+                let seen = &seen;
+                let duplicates = &duplicates;
+                scope.spawn(move || {
+                    while let Some(item) = q.next(w) {
+                        if !seen.lock().unwrap().insert(item) {
+                            duplicates.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(duplicates.load(Ordering::Relaxed), 0);
+        assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn more_workers_than_items_still_drains() {
+        let q = WorkQueue::new(8, vec![1, 2]);
+        let drained = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..8 {
+                let q = &q;
+                let drained = &drained;
+                scope.spawn(move || {
+                    while let Some(item) = q.next(w) {
+                        drained.lock().unwrap().push(item);
+                    }
+                });
+            }
+        });
+        let mut got = drained.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

@@ -860,7 +860,7 @@ impl Domain for MusicDomain {
         );
         let released = format!(
             "{} {}, {}",
-            ["jan", "feb", "mar", "apr", "may", "jun"][self.rng.gen_range(0..6)],
+            ["jan", "feb", "mar", "apr", "may", "jun"][self.rng.gen_range(0..6usize)],
             self.rng.gen_range(1..29),
             self.rng.gen_range(2005..2015)
         );
@@ -926,7 +926,7 @@ impl Domain for MusicDomain {
                                         "(deluxe)",
                                         "(album version)",
                                         "(feat. various)"
-                                    ][self.rng.gen_range(0..6)]
+                                    ][self.rng.gen_range(0..6usize)]
                                 );
                             }
                             if self.rng.gen_bool(0.25) {

@@ -58,7 +58,7 @@ impl Lexicon {
     /// A model-number-like code, e.g. `DX-4812` or `SL300`.
     pub fn model_code(&mut self) -> String {
         let letters: String = (0..self.rng.gen_range(1..=2))
-            .map(|_| (b'A' + self.rng.gen_range(0..26)) as char)
+            .map(|_| (b'A' + self.rng.gen_range(0..26u8)) as char)
             .collect();
         let digits = self.rng.gen_range(100..9999);
         if self.rng.gen_bool(0.5) {

@@ -56,6 +56,15 @@ pub fn encode_prompt(
     q_left.truncate(budget.query_side);
     let mut q_right = tok.encode_text(&query.right);
     q_right.truncate(budget.query_side);
+    // Tiny budgets: trim the query itself (longest side first) so the bare
+    // `CLS left SEP right SEP` skeleton always fits.
+    while q_left.len() + q_right.len() + 3 > budget.max_seq {
+        if q_left.len() >= q_right.len() {
+            q_left.pop();
+        } else {
+            q_right.pop();
+        }
+    }
     let query_cost = q_left.len() + q_right.len() + 2;
 
     // Encode demos; drop from the front while over budget.
@@ -69,7 +78,8 @@ pub fn encode_prompt(
             (l, r, d.label)
         })
         .collect();
-    let demo_cost = |d: &(Vec<u32>, Vec<u32>, bool)| d.0.len() + d.1.len() + 3;
+    // Each demo emits `l SEP r SEP label SEP`: l + r + 4 positions.
+    let demo_cost = |d: &(Vec<u32>, Vec<u32>, bool)| d.0.len() + d.1.len() + 4;
     while !demo_tokens.is_empty()
         && 1 + demo_tokens.iter().map(demo_cost).sum::<usize>() + query_cost > budget.max_seq
     {

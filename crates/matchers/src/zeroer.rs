@@ -266,7 +266,7 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..n {
             let name: String = (0..3)
-                .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
                 .collect();
             let price = rng.gen_range(10.0..500.0f64);
             let l = Record::new(
@@ -287,7 +287,7 @@ mod tests {
                 )
             } else {
                 let other: String = (0..3)
-                    .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
                     .collect();
                 Record::new(
                     i as u64 + 10_000,

@@ -3,7 +3,12 @@
 //! A compact, dependency-free (beyond `rand`) neural-network library
 //! implementing exactly what the language-model substrate (`em-lm`) needs:
 //!
-//! * 2-D `f32` tensors with fused-transpose matmuls ([`tensor`]);
+//! * 2-D `f32` tensors with fused-transpose matmuls ([`tensor`]), backed
+//!   by a cache-blocked, register-tiled, optionally parallel GEMM
+//!   ([`gemm`]) that is bitwise-identical to the naive loops kept in
+//!   [`reference`];
+//! * a global worker-thread budget shared by every parallel region in the
+//!   workspace ([`threadpool`]);
 //! * trainable parameters with Xavier / GPT-style init ([`param`]);
 //! * Linear / Embedding / LayerNorm / Dropout / GELU layers with explicit
 //!   forward-backward passes ([`layers`]);
@@ -16,12 +21,15 @@
 
 pub mod attention;
 pub mod block;
+pub mod gemm;
 pub mod gradcheck;
 pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod param;
+pub mod reference;
 pub mod tensor;
+pub mod threadpool;
 
 pub use attention::MultiHeadAttention;
 pub use block::TransformerBlock;

@@ -1,0 +1,100 @@
+//! Naive reference GEMM kernels.
+//!
+//! These are the original straight-line loops the [`crate::gemm`] kernels
+//! replaced. They are kept as executable ground truth: the blocked kernels
+//! must produce **bitwise identical** output (both accumulate each output
+//! element's products serially in `p = 0..k` order with separate multiply
+//! and add, which Rust never contracts into FMA), and the property tests
+//! in `tests/gemm_equivalence.rs` assert exact equality against them.
+//!
+//! Compared to the seed implementation, the `if a == 0.0 { continue; }`
+//! shortcut has been removed from the inner loops: it made throughput
+//! data-dependent, broke IEEE semantics for non-finite operands
+//! (`0.0 * inf` must be NaN, not skipped), and the branch was mispredicted
+//! on dense data, which these kernels always see. The accumulation step is
+//! [`f32::mul_add`] — a *fused* multiply-add with a single IEEE-specified
+//! rounding, so it is exactly reproducible on every platform and matches
+//! the FMA instructions the blocked microkernel issues.
+
+/// `C = A·B` for row-major `A (m×k)`, `B (k×n)`, `C (m×n)`.
+///
+/// ikj loop order: the inner loop streams contiguous memory on `B` and `C`.
+pub fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ·B` for row-major `A (k×m)`, `B (k×n)`, `C (m×n)`, without
+/// materializing the transpose.
+pub fn t_matmul(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = av.mul_add(bv, *cv);
+            }
+        }
+    }
+}
+
+/// `C = A·Bᵀ` for row-major `A (m×k)`, `B (n×k)`, `C (m×n)`, without
+/// materializing the transpose.
+pub fn matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc = av.mul_add(bv, acc);
+            }
+            *cv = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_computed() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0f32; 4];
+        matmul(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn zero_times_infinity_is_nan_not_skipped() {
+        // The seed kernels skipped a == 0.0 rows entirely; IEEE requires
+        // the product to propagate NaN.
+        let a = [0.0f32, 1.0];
+        let b = [f32::INFINITY, 2.0, 3.0, 4.0];
+        let mut c = [0.0f32; 2];
+        matmul(1, 2, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "0·inf + 1·3 must be NaN, got {}", c[0]);
+        assert_eq!(c[1], 4.0);
+    }
+}

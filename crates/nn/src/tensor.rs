@@ -93,64 +93,38 @@ impl Tensor {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
-    /// `self @ other` — (m,k) × (k,n) → (m,n) with an ikj loop order so the
-    /// innermost loop streams contiguous memory on both operands.
+    /// `self @ other` — (m,k) × (k,n) → (m,n).
+    ///
+    /// Routed through the cache-blocked kernel in [`crate::gemm`]; results
+    /// are bitwise identical to the naive loop in [`crate::reference`] at
+    /// every thread count.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (p, &a) in arow.iter().enumerate().take(k) {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(m, k, n, &self.data, false, &other.data, false, &mut out.data);
         out
     }
 
     /// `self^T @ other` — (k,m)ᵀ × (k,n) → (m,n), without materializing the
-    /// transpose (used for weight gradients `Xᵀ·dY`).
+    /// transpose (used for weight gradients `Xᵀ·dY`). The transpose is
+    /// absorbed by the GEMM packing stage.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let arow = self.row(p);
-            let brow = other.row(p);
-            for (i, &a) in arow.iter().enumerate().take(m) {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(m, k, n, &self.data, true, &other.data, false, &mut out.data);
         out
     }
 
     /// `self @ other^T` — (m,k) × (n,k)ᵀ → (m,n), without materializing the
     /// transpose (used for input gradients `dY·Wᵀ` and attention scores).
+    /// The transpose is absorbed by the GEMM packing stage.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
-        let (m, _k, n) = (self.rows, self.cols, other.rows);
+        let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(m, n);
-        for i in 0..m {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in orow.iter_mut().enumerate().take(n) {
-                let brow = other.row(j);
-                *o = dot_f32(arow, brow);
-            }
-        }
+        crate::gemm::gemm(m, k, n, &self.data, false, &other.data, true, &mut out.data);
         out
     }
 

@@ -1,0 +1,176 @@
+//! Global worker-thread budget shared by every parallel region in the
+//! workspace (GEMM row bands, LODO evaluation workers, batched LM scoring).
+//!
+//! The budget caps the number of OS threads doing compute at once, so
+//! nested parallelism — e.g. a parallel GEMM inside an evaluation worker
+//! that is itself one of N parallel workers — degrades gracefully to
+//! sequential execution instead of oversubscribing the machine.
+//!
+//! The cap is `EM_NUM_THREADS` if set (and ≥ 1), otherwise
+//! [`std::thread::available_parallelism`]. Tests can pin it with
+//! [`set_max_threads`].
+//!
+//! Callers that want to fan out call [`reserve_workers`]; the returned
+//! [`Reservation`] says how many *extra* threads (beyond the calling
+//! thread) were granted, and returns them to the pool on drop. A grant of
+//! zero means "run inline on the current thread" — always a correct
+//! fallback because every parallel region in this workspace partitions
+//! work without changing per-element results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Test override for the thread cap; 0 means "unset".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra worker threads currently reserved across all parallel regions.
+static EXTRA_IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+
+fn configured_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        if let Ok(s) = std::env::var("EM_NUM_THREADS") {
+            if let Ok(v) = s.trim().parse::<usize>() {
+                if v >= 1 {
+                    return v;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The maximum number of compute threads (including the calling thread)
+/// any cooperating parallel region may use.
+pub fn max_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        o
+    } else {
+        configured_cap()
+    }
+}
+
+/// Pins (`Some(n)`, `n ≥ 1`) or restores (`None`) the thread cap.
+/// Intended for tests that assert identical results across thread counts.
+pub fn set_max_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0).max(0), Ordering::Relaxed);
+}
+
+/// A claim on extra worker threads, returned by [`reserve_workers`].
+/// Dropping it releases the claim.
+#[derive(Debug)]
+pub struct Reservation {
+    granted: usize,
+}
+
+impl Reservation {
+    /// Number of extra threads granted (0 = run inline).
+    pub fn extra(&self) -> usize {
+        self.granted
+    }
+
+    /// Total parallelism available to the caller: granted extras plus the
+    /// calling thread itself.
+    pub fn total(&self) -> usize {
+        self.granted + 1
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        if self.granted > 0 {
+            EXTRA_IN_FLIGHT.fetch_sub(self.granted, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Claims up to `requested` extra worker threads from the shared budget.
+///
+/// The grant is `min(requested, cap - 1 - already_reserved)`, never
+/// negative: the calling thread always counts against the cap, so with
+/// `cap = 1` (or inside an already-saturated region) the grant is zero and
+/// the caller runs sequentially.
+pub fn reserve_workers(requested: usize) -> Reservation {
+    if requested == 0 {
+        return Reservation { granted: 0 };
+    }
+    let cap = max_threads();
+    let mut cur = EXTRA_IN_FLIGHT.load(Ordering::Relaxed);
+    loop {
+        let avail = cap.saturating_sub(1 + cur);
+        let grant = requested.min(avail);
+        if grant == 0 {
+            return Reservation { granted: 0 };
+        }
+        match EXTRA_IN_FLIGHT.compare_exchange_weak(
+            cur,
+            cur + grant,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return Reservation { granted: grant },
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The override is process-global, so the tests below run under a lock
+    // to avoid interleaving with each other.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn cap_of_one_grants_no_extras() {
+        let _g = LOCK.lock().unwrap();
+        set_max_threads(Some(1));
+        let r = reserve_workers(8);
+        assert_eq!(r.extra(), 0);
+        assert_eq!(r.total(), 1);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn nested_reservations_share_one_budget() {
+        let _g = LOCK.lock().unwrap();
+        set_max_threads(Some(4));
+        let outer = reserve_workers(2); // claims 2 of the 3 extras
+        assert_eq!(outer.extra(), 2);
+        let inner = reserve_workers(5); // only 1 extra left
+        assert_eq!(inner.extra(), 1);
+        let starved = reserve_workers(1);
+        assert_eq!(starved.extra(), 0);
+        drop(inner);
+        let refilled = reserve_workers(5);
+        assert_eq!(refilled.extra(), 1);
+        drop(refilled);
+        drop(outer);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn drop_releases_the_claim() {
+        let _g = LOCK.lock().unwrap();
+        set_max_threads(Some(8));
+        {
+            let r = reserve_workers(7);
+            assert_eq!(r.extra(), 7);
+        }
+        let again = reserve_workers(7);
+        assert_eq!(again.extra(), 7);
+        drop(again);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        let _g = LOCK.lock().unwrap();
+        set_max_threads(None);
+        assert!(max_threads() >= 1);
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + the fast test suite, exactly as CI runs it.
+#
+# The criterion micro-benchmark harness is behind the opt-in
+# `bench-harness` feature of em-bench, so this never compiles criterion;
+# run `cargo bench -p em-bench --features bench-harness` separately for
+# the micro-benchmarks, or `cargo run --release -p em-bench --bin
+# bench_gemm` for the GEMM before/after numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
