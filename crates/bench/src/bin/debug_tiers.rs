@@ -30,7 +30,7 @@ fn main() {
             .into_iter()
             .map(|s| s >= 0.5)
             .collect();
-        let corpus_f1 = em_core::f1_percent(&preds, &labels);
+        let corpus_f1 = em_core::f1_percent(&preds, &labels).expect("aligned predictions");
         // Benchmark F1 (identity serialization, capped samples).
         let mut bench_f1 = Vec::new();
         for b in &suite {
@@ -44,7 +44,7 @@ fn main() {
                 .into_iter()
                 .map(|s| s >= 0.5)
                 .collect();
-            bench_f1.push(em_core::f1_percent(&preds, &labels));
+            bench_f1.push(em_core::f1_percent(&preds, &labels).expect("aligned predictions"));
         }
         println!(
             "{:<16} {:>8.1} {:>8.1} {:>8.1} {:>8}",

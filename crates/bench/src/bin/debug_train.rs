@@ -62,7 +62,7 @@ fn main() {
         );
         let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
         let labels: Vec<bool> = encoded.iter().map(|(_, y)| *y).collect();
-        let train_f1 = em_core::f1_percent(&preds, &labels);
+        let train_f1 = em_core::f1_percent(&preds, &labels).expect("aligned predictions");
         // Target F1.
         let ser = Serializer::identity(split.target.arity());
         let test_enc: Vec<_> = split
@@ -81,7 +81,7 @@ fn main() {
             .collect();
         let tp = predict_proba(&model, &test_enc, 64);
         let tpreds: Vec<bool> = tp.iter().map(|&p| p >= 0.5).collect();
-        let test_f1 = em_core::f1_percent(&tpreds, &test_labels);
+        let test_f1 = em_core::f1_percent(&tpreds, &test_labels).expect("aligned predictions");
         println!(
             "lr={lr:.0e}  losses={:?}  train_f1={train_f1:.1}  target_f1(BEER)={test_f1:.1}  mean_prob={:.3}",
             report.epoch_losses.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>(),

@@ -31,12 +31,19 @@ pub fn pair_completeness(
 
 /// Reduction ratio: `1 - |candidates| / (|left| · |right|)`;
 /// defined as 0 for an empty cross product.
+///
+/// The cross-product size is computed in `f64`: web-scale tables (WDC has
+/// millions of offers per side) make `left * right` overflow a `usize` on
+/// 32-bit targets — and even on 64-bit the product of two `u64`-sized
+/// sides can wrap, silently reporting a nonsense ratio. `f64` loses at
+/// most relative rounding error `2^-52`, invisible at the four decimal
+/// places the paper reports.
 pub fn reduction_ratio(n_candidates: usize, left: usize, right: usize) -> f64 {
-    let total = left * right;
-    if total == 0 {
+    let total = left as f64 * right as f64;
+    if total == 0.0 {
         return 0.0;
     }
-    1.0 - n_candidates as f64 / total as f64
+    1.0 - n_candidates as f64 / total
 }
 
 /// Computes both metrics.
@@ -75,6 +82,18 @@ mod tests {
         assert!((reduction_ratio(10, 10, 10) - 0.9).abs() < 1e-12);
         assert_eq!(reduction_ratio(0, 0, 10), 0.0);
         assert_eq!(reduction_ratio(100, 10, 10), 0.0);
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn reduction_ratio_survives_huge_cross_products() {
+        // Regression: `left * right` as usize wraps to 0 here (2^33 · 2^33
+        // = 2^66 ≡ 0 mod 2^64), which used to take the `total == 0` branch
+        // and report 0.0 for an astronomically selective blocker.
+        let side = 1usize << 33;
+        let rr = reduction_ratio(1000, side, side);
+        assert!(rr > 0.999_999, "rr = {rr}");
+        assert!(rr <= 1.0);
     }
 
     #[test]

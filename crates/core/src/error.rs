@@ -16,6 +16,18 @@ pub enum EmError {
     UnknownDataset(String),
     /// Configuration error (bad hyper-parameter, impossible model shape, ...).
     Config(String),
+    /// Two slices that must align element-wise have different lengths
+    /// (e.g. predictions vs. labels in [`crate::Confusion`]).
+    LengthMismatch {
+        /// Length of the prediction-side slice.
+        predictions: usize,
+        /// Length of the label-side slice.
+        labels: usize,
+    },
+    /// A worker thread panicked while evaluating one (matcher × target)
+    /// item; the panic was caught and converted into this per-item error
+    /// instead of aborting the whole run.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for EmError {
@@ -28,6 +40,14 @@ impl fmt::Display for EmError {
             EmError::Numeric(msg) => write!(f, "numeric failure: {msg}"),
             EmError::UnknownDataset(name) => write!(f, "unknown dataset: {name}"),
             EmError::Config(msg) => write!(f, "configuration error: {msg}"),
+            EmError::LengthMismatch {
+                predictions,
+                labels,
+            } => write!(
+                f,
+                "length mismatch: {predictions} predictions vs {labels} labels"
+            ),
+            EmError::WorkerPanic(msg) => write!(f, "evaluation worker panicked: {msg}"),
         }
     }
 }
@@ -55,6 +75,13 @@ mod tests {
         assert!(e.to_string().contains("nan"));
         let e = EmError::Config("bad".into());
         assert!(e.to_string().contains("bad"));
+        let e = EmError::LengthMismatch {
+            predictions: 3,
+            labels: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+        let e = EmError::WorkerPanic("boom".into());
+        assert!(e.to_string().contains("boom"));
     }
 
     #[test]

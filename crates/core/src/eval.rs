@@ -11,7 +11,7 @@
 //!   aggregated.
 
 use crate::dataset::{Benchmark, DatasetId};
-use crate::error::Result;
+use crate::error::{EmError, Result};
 use crate::lodo::{lodo_split, LodoSplit};
 use crate::matcher::{EvalBatch, Matcher};
 use crate::metrics::{f1_percent, macro_average, MeanStd};
@@ -182,22 +182,49 @@ impl EvalReport {
 }
 
 /// Evaluates one matcher on one LODO target over all seeds.
+///
+/// Emits one `eval.item` span per call (with nested `eval.fit` /
+/// `eval.predict` spans per seed) and feeds the `eval.pairs_scored`
+/// counter and the per-(matcher × target) latency histograms when
+/// [`em_obs`] capture is on.
 pub fn evaluate_on_target(
     matcher: &mut dyn Matcher,
     split: &LodoSplit<'_>,
     cfg: &EvalConfig,
 ) -> Result<DatasetScore> {
+    let target = split.target_id();
+    let _span = em_obs::span!("eval.item", matcher = matcher.name(), target = target.code());
+    let t0 = em_obs::capture_enabled().then(std::time::Instant::now);
     let mut per_seed_f1 = Vec::with_capacity(cfg.seeds.len());
     for &seed in &cfg.seeds {
-        matcher.fit(split, seed)?;
+        {
+            let _fit = em_obs::span!("eval.fit", seed = seed);
+            matcher.fit(split, seed)?;
+        }
         let (batch, labels) = build_batch(split.target, cfg.test_cap, seed);
-        let preds = matcher.predict(&batch)?;
-        per_seed_f1.push(f1_percent(&preds, &labels));
+        let preds = {
+            let _predict = em_obs::span!("eval.predict", seed = seed, pairs = labels.len());
+            matcher.predict(&batch)?
+        };
+        if em_obs::capture_enabled() {
+            em_obs::metrics::counter("eval.pairs_scored").add(labels.len() as u64);
+        }
+        per_seed_f1.push(f1_percent(&preds, &labels)?);
+    }
+    if let Some(t0) = t0 {
+        let ns = t0.elapsed().as_nanos() as u64;
+        em_obs::metrics::histogram("eval.item_ns").record(ns);
+        em_obs::metrics::histogram(&format!(
+            "eval.item_ns.{}.{}",
+            matcher.name(),
+            target.code()
+        ))
+        .record(ns);
     }
     Ok(DatasetScore {
-        dataset: split.target_id(),
+        dataset: target,
         per_seed_f1,
-        seen_in_training: matcher.saw_during_training(split.target_id()),
+        seen_in_training: matcher.saw_during_training(target),
     })
 }
 
@@ -271,16 +298,33 @@ where
         let mut matchers: Vec<Option<Box<dyn Matcher>>> =
             (0..factories.len()).map(|_| None).collect();
         while let Some((mi, bi)) = queue.next(id) {
-            let matcher = matchers[mi].get_or_insert_with(|| {
-                let m = (factories[mi].1)();
-                meta[mi]
-                    .lock()
-                    .unwrap()
-                    .get_or_insert_with(|| (m.name(), m.params_millions()));
-                m
+            // A panicking matcher (construction, fit, or predict) used to
+            // kill this worker thread and abort the whole run via the
+            // scope join; catch it and record a per-item error instead.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let matcher = matchers[mi].get_or_insert_with(|| {
+                    let m = (factories[mi].1)();
+                    meta[mi]
+                        .lock()
+                        .unwrap()
+                        .get_or_insert_with(|| (m.name(), m.params_millions()));
+                    m
+                });
+                lodo_split(benchmarks, benchmarks[bi].id)
+                    .and_then(|split| evaluate_on_target(matcher.as_mut(), &split, cfg))
+            }));
+            let result = outcome.unwrap_or_else(|payload| {
+                // The instance's internal state is unknown after a panic;
+                // drop it so later items rebuild from the factory.
+                matchers[mi] = None;
+                em_obs::event!(
+                    error,
+                    "eval.worker_panic",
+                    matcher = factories[mi].0.as_str(),
+                    target = benchmarks[bi].id.code()
+                );
+                Err(EmError::WorkerPanic(panic_message(payload.as_ref())))
             });
-            let result = lodo_split(benchmarks, benchmarks[bi].id)
-                .and_then(|split| evaluate_on_target(matcher.as_mut(), &split, cfg));
             *slots[mi * benchmarks.len() + bi].lock().unwrap() = Some(result);
         }
     };
@@ -334,6 +378,18 @@ where
             })
         })
         .collect()
+}
+
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces) for the [`EmError::WorkerPanic`] message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 #[cfg(test)]
@@ -523,6 +579,65 @@ mod tests {
         assert!(reports
             .iter()
             .all(|r| (r.mean_column().mean - 100.0).abs() < 1e-9));
+    }
+
+    /// Matcher whose `predict` panics — simulates the latent bugs that
+    /// used to kill a worker thread and wedge/abort `evaluate_all`.
+    struct Bomb;
+    impl Matcher for Bomb {
+        fn name(&self) -> String {
+            "Bomb".into()
+        }
+        fn fit(&mut self, _: &LodoSplit<'_>, _: u64) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&mut self, _: &EvalBatch) -> Result<Vec<bool>> {
+            panic!("bomb matcher detonated");
+        }
+    }
+
+    #[test]
+    fn panicking_matcher_becomes_a_per_item_error_not_an_abort() {
+        // Regression: before the catch_unwind in the worker loop this
+        // test itself panicked (the worker's panic propagated through the
+        // scope join and took the whole evaluation down).
+        let s = suite();
+        let factories: Vec<(String, Factory)> = vec![
+            ("good".into(), exact_factory()),
+            ("bomb".into(), Box::new(|| Box::new(Bomb) as Box<dyn Matcher>)),
+        ];
+        let err = evaluate_all(factories, &s, &EvalConfig::quick(1, 20)).unwrap_err();
+        match err {
+            EmError::WorkerPanic(msg) => assert!(msg.contains("detonated"), "{msg}"),
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    /// Matcher that returns one prediction too few — the length-mismatch
+    /// latent bug (previously an `assert_eq!` panic inside the metric).
+    struct ShortPredictions;
+    impl Matcher for ShortPredictions {
+        fn name(&self) -> String {
+            "ShortPredictions".into()
+        }
+        fn fit(&mut self, _: &LodoSplit<'_>, _: u64) -> Result<()> {
+            Ok(())
+        }
+        fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+            Ok(vec![false; batch.len().saturating_sub(1)])
+        }
+    }
+
+    #[test]
+    fn wrong_length_predictions_surface_as_length_mismatch_error() {
+        let s = suite();
+        let split = lodo_split(&s, DatasetId::Abt).unwrap();
+        let mut m = ShortPredictions;
+        let err = evaluate_on_target(&mut m, &split, &EvalConfig::quick(1, 30)).unwrap_err();
+        assert!(
+            matches!(err, EmError::LengthMismatch { .. }),
+            "expected LengthMismatch, got {err:?}"
+        );
     }
 
     #[test]

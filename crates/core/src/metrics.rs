@@ -6,6 +6,8 @@
 //! important"). Repetitions over five seeds are summarized as mean and
 //! standard deviation.
 
+use crate::error::{EmError, Result};
+
 /// Confusion-matrix counts for binary matching.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Confusion {
@@ -22,14 +24,20 @@ pub struct Confusion {
 impl Confusion {
     /// Builds a confusion matrix from aligned prediction/label slices.
     ///
-    /// # Panics
-    /// Panics if the slices have different lengths.
-    pub fn from_predictions(predictions: &[bool], labels: &[bool]) -> Self {
-        assert_eq!(
-            predictions.len(),
-            labels.len(),
-            "predictions and labels must align"
-        );
+    /// # Errors
+    /// Returns [`EmError::LengthMismatch`] when the slices differ in
+    /// length. This used to be an `assert_eq!`; inside the parallel
+    /// evaluation workers that panic killed a worker thread and could
+    /// abort the whole `evaluate_all` run, so a misbehaving matcher (one
+    /// that returns the wrong number of predictions) now surfaces as a
+    /// typed per-item error instead.
+    pub fn from_predictions(predictions: &[bool], labels: &[bool]) -> Result<Self> {
+        if predictions.len() != labels.len() {
+            return Err(EmError::LengthMismatch {
+                predictions: predictions.len(),
+                labels: labels.len(),
+            });
+        }
         let mut c = Confusion::default();
         for (&p, &y) in predictions.iter().zip(labels) {
             match (p, y) {
@@ -39,7 +47,7 @@ impl Confusion {
                 (false, false) => c.tn += 1,
             }
         }
-        c
+        Ok(c)
     }
 
     /// Total number of examples.
@@ -92,8 +100,11 @@ impl Confusion {
 
 /// Convenience: F1 score (in percent, like the paper's tables) from aligned
 /// prediction/label slices.
-pub fn f1_percent(predictions: &[bool], labels: &[bool]) -> f64 {
-    Confusion::from_predictions(predictions, labels).f1() * 100.0
+///
+/// # Errors
+/// Returns [`EmError::LengthMismatch`] when the slices differ in length.
+pub fn f1_percent(predictions: &[bool], labels: &[bool]) -> Result<f64> {
+    Ok(Confusion::from_predictions(predictions, labels)?.f1() * 100.0)
 }
 
 /// Mean and (population) standard deviation of repeated scores, as reported
@@ -151,7 +162,7 @@ mod tests {
     fn confusion_counts_all_four_cells() {
         let preds = [true, true, false, false, true];
         let labels = [true, false, true, false, true];
-        let c = Confusion::from_predictions(&preds, &labels);
+        let c = Confusion::from_predictions(&preds, &labels).unwrap();
         assert_eq!(
             c,
             Confusion {
@@ -207,7 +218,7 @@ mod tests {
     #[test]
     fn perfect_predictions_score_one() {
         let labels = [true, false, true, false];
-        let c = Confusion::from_predictions(&labels, &labels);
+        let c = Confusion::from_predictions(&labels, &labels).unwrap();
         assert_eq!(c.f1(), 1.0);
         assert_eq!(c.accuracy(), 1.0);
     }
@@ -216,13 +227,22 @@ mod tests {
     fn f1_percent_scales_to_table_units() {
         let preds = [true, false];
         let labels = [true, false];
-        assert_eq!(f1_percent(&preds, &labels), 100.0);
+        assert_eq!(f1_percent(&preds, &labels).unwrap(), 100.0);
     }
 
     #[test]
-    #[should_panic(expected = "must align")]
-    fn mismatched_lengths_panic() {
-        let _ = Confusion::from_predictions(&[true], &[true, false]);
+    fn mismatched_lengths_are_a_typed_error_not_a_panic() {
+        // Regression: this was an `assert_eq!` that killed evaluation
+        // worker threads; it must now be an `EmError::LengthMismatch`.
+        let err = Confusion::from_predictions(&[true], &[true, false]).unwrap_err();
+        assert_eq!(
+            err,
+            EmError::LengthMismatch {
+                predictions: 1,
+                labels: 2
+            }
+        );
+        assert!(f1_percent(&[true], &[true, false]).is_err());
     }
 
     #[test]

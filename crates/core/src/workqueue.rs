@@ -20,11 +20,13 @@
 //! ever appear again, so a worker observing all-empty can exit.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Fixed set of work items partitioned over per-worker deques.
 pub struct WorkQueue<T> {
     deques: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
 }
 
 impl<T> WorkQueue<T> {
@@ -47,12 +49,21 @@ impl<T> WorkQueue<T> {
             let w = if total == 0 { 0 } else { i * nworkers / total };
             deques[w].get_mut().unwrap().push_back(item);
         }
-        WorkQueue { deques }
+        WorkQueue {
+            deques,
+            steals: AtomicU64::new(0),
+        }
     }
 
     /// Number of worker slots the queue was built for.
     pub fn workers(&self) -> usize {
         self.deques.len()
+    }
+
+    /// Number of successful steals so far (items taken from another
+    /// worker's deque). Feeds the `workqueue.steals` metric.
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 
     /// Fetches the next item for `worker`: its own deque first (front),
@@ -71,6 +82,11 @@ impl<T> WorkQueue<T> {
                 .max_by_key(|&w| self.deques[w].lock().unwrap().len())?;
             let mut dq = self.deques[victim].lock().unwrap();
             if let Some(item) = dq.pop_back() {
+                drop(dq);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                if em_obs::capture_enabled() {
+                    em_obs::metrics::counter("workqueue.steals").inc();
+                }
                 return Some(item);
             }
             drop(dq);
@@ -142,6 +158,17 @@ mod tests {
         });
         assert_eq!(duplicates.load(Ordering::Relaxed), 0);
         assert_eq!(seen.lock().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn steal_count_tracks_cross_worker_takes() {
+        // Worker 0 owns [0, 1], worker 1 owns [2, 3]. Worker 1 drains
+        // everything: its own two items, then two steals (back-first).
+        let q = WorkQueue::new(2, (0..4).collect::<Vec<i32>>());
+        assert_eq!(q.steal_count(), 0);
+        let drained: Vec<i32> = std::iter::from_fn(|| q.next(1)).collect();
+        assert_eq!(drained, vec![2, 3, 1, 0]);
+        assert_eq!(q.steal_count(), 2);
     }
 
     #[test]

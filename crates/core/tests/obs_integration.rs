@@ -1,0 +1,163 @@
+//! Integration test: the evaluation driver emits a coherent trace.
+//!
+//! Runs a full `evaluate_all` over the eleven-dataset suite with capture
+//! forced on and checks the span/metric contract the profiling tooling
+//! (`profile_lodo`) relies on: one `eval.item` span per (matcher ×
+//! LODO-target), nested `eval.fit`/`eval.predict` spans parent-linked to
+//! their item, and a `eval.pairs_scored` counter equal to the number of
+//! labels actually scored.
+
+use em_core::dataset::{Benchmark, DatasetId};
+use em_core::error::Result;
+use em_core::eval::{evaluate_all, EvalConfig};
+use em_core::lodo::LodoSplit;
+use em_core::matcher::{EvalBatch, Matcher};
+use em_core::pair::LabeledPair;
+use em_core::record::{AttrType, AttrValue, Record};
+use em_obs::trace::RecordKind;
+
+const PAIRS_PER_DATASET: usize = 30;
+const TEST_CAP: usize = 20;
+
+fn bench_with_pairs(id: DatasetId, n: usize) -> Benchmark {
+    let pairs = (0..n)
+        .map(|i| {
+            let l = Record::new(
+                i as u64,
+                vec![
+                    AttrValue::Text(format!("item {i}")),
+                    AttrValue::Number(i as f64),
+                ],
+            );
+            let r = if i % 3 == 0 {
+                l.clone()
+            } else {
+                Record::new(
+                    i as u64 + 10_000,
+                    vec![
+                        AttrValue::Text(format!("other {i}")),
+                        AttrValue::Number(i as f64 + 1.0),
+                    ],
+                )
+            };
+            LabeledPair::new(l, r, i % 3 == 0)
+        })
+        .collect();
+    Benchmark {
+        id,
+        attr_types: vec![AttrType::ShortText, AttrType::Numeric],
+        pairs,
+    }
+}
+
+struct ExactMatch(&'static str);
+impl Matcher for ExactMatch {
+    fn name(&self) -> String {
+        self.0.into()
+    }
+    fn fit(&mut self, _: &LodoSplit<'_>, _: u64) -> Result<()> {
+        Ok(())
+    }
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(batch.serialized.iter().map(|p| p.left == p.right).collect())
+    }
+}
+
+#[test]
+fn evaluate_all_emits_one_span_per_matcher_target_item() {
+    let suite: Vec<Benchmark> = DatasetId::ALL
+        .iter()
+        .map(|&id| bench_with_pairs(id, PAIRS_PER_DATASET))
+        .collect();
+
+    em_obs::trace::set_capture(true);
+    em_obs::metrics::reset();
+    let _ = em_obs::trace::drain();
+
+    type Factory = Box<dyn Fn() -> Box<dyn Matcher> + Send + Sync>;
+    let factories: Vec<(String, Factory)> = vec![
+        (
+            "a".into(),
+            Box::new(|| Box::new(ExactMatch("ExactA")) as Box<dyn Matcher>),
+        ),
+        (
+            "b".into(),
+            Box::new(|| Box::new(ExactMatch("ExactB")) as Box<dyn Matcher>),
+        ),
+    ];
+    let n_matchers = factories.len();
+    let cfg = EvalConfig::quick(1, TEST_CAP);
+    let reports = evaluate_all(factories, &suite, &cfg).unwrap();
+    assert_eq!(reports.len(), n_matchers);
+
+    em_obs::trace::set_capture(false);
+    let records = em_obs::trace::drain();
+    assert_eq!(em_obs::trace::dropped_records(), 0);
+
+    // Exactly one eval.item span per (matcher × LODO-target).
+    let items: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == RecordKind::Span && r.name == "eval.item")
+        .collect();
+    assert_eq!(items.len(), n_matchers * suite.len());
+
+    // Every (matcher, target) combination appears.
+    let mut combos: Vec<(String, String)> = items
+        .iter()
+        .map(|r| {
+            let get = |key: &str| {
+                r.fields
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| format!("{v:?}"))
+                    .unwrap()
+            };
+            (get("matcher"), get("target"))
+        })
+        .collect();
+    combos.sort();
+    combos.dedup();
+    assert_eq!(combos.len(), n_matchers * suite.len());
+
+    // fit/predict spans exist once per item (one seed) and parent-link to
+    // an eval.item span.
+    let item_ids: std::collections::HashSet<u64> = items.iter().map(|r| r.id).collect();
+    for name in ["eval.fit", "eval.predict"] {
+        let children: Vec<_> = records
+            .iter()
+            .filter(|r| r.kind == RecordKind::Span && r.name == name)
+            .collect();
+        assert_eq!(children.len(), n_matchers * suite.len(), "{name}");
+        for c in children {
+            assert_ne!(c.parent, 0, "{name} must be nested");
+            assert!(
+                item_ids.contains(&c.parent),
+                "{name} not nested in eval.item"
+            );
+        }
+    }
+
+    // The pairs-scored counter equals the labels actually evaluated:
+    // every dataset has 30 pairs capped to 20, one seed.
+    let snap = em_obs::metrics::snapshot();
+    let pairs = snap
+        .iter()
+        .find_map(|(name, m)| match (name.as_str(), m) {
+            ("eval.pairs_scored", em_obs::metrics::MetricSnapshot::Counter(v)) => Some(*v),
+            _ => None,
+        })
+        .expect("eval.pairs_scored counter registered");
+    assert_eq!(pairs as usize, n_matchers * suite.len() * TEST_CAP);
+
+    // Per-item latency histograms recorded one observation per item.
+    let hist_count: u64 = snap
+        .iter()
+        .find_map(|(name, m)| match (name.as_str(), m) {
+            ("eval.item_ns", em_obs::metrics::MetricSnapshot::Histogram { count, .. }) => {
+                Some(*count)
+            }
+            _ => None,
+        })
+        .expect("eval.item_ns histogram registered");
+    assert_eq!(hist_count as usize, n_matchers * suite.len());
+}

@@ -38,40 +38,52 @@ fn together_available(model: &str) -> bool {
 /// the cheaper of p4d self-hosting and together.ai hosting.
 ///
 /// `tokens_per_s` is the 4×A100 throughput (simulated or paper-reported).
-pub fn open_weight_cost(label: &str, model: &str, tokens_per_s: f64) -> CostEntry {
+///
+/// Returns `None` (with a `cost.unknown_model` warn event) when the model
+/// has no hardware profile. Previously the replica count silently defaulted
+/// to 8, fabricating a deployment scenario — and therefore a Table 6 row —
+/// for models the hardware model knows nothing about.
+pub fn open_weight_cost(label: &str, model: &str, tokens_per_s: f64) -> Option<CostEntry> {
     let self_cost = self_host_cost_per_1k(tokens_per_s);
-    let profile = profile_by_name(model);
-    let replicas = profile
-        .map(|p| deploy(p, &Machine::p4d_24xlarge()).replicas)
-        .unwrap_or(8);
+    let Some(profile) = profile_by_name(model) else {
+        em_obs::event!(warn, "cost.unknown_model", label = label, model = model);
+        return None;
+    };
+    let replicas = deploy(profile, &Machine::p4d_24xlarge()).replicas;
     if together_available(model) && together_ai::MODEL_70B_PER_1K < self_cost {
-        CostEntry {
+        Some(CostEntry {
             label: label.to_owned(),
             usd_per_1k_tokens: together_ai::MODEL_70B_PER_1K,
             scenario: DeploymentScenario::TogetherAi,
-        }
+        })
     } else {
-        CostEntry {
+        Some(CostEntry {
             label: label.to_owned(),
             usd_per_1k_tokens: self_cost,
             scenario: DeploymentScenario::SelfHostedP4d { replicas },
-        }
+        })
     }
 }
 
 /// Computes a Table 6 row for an OpenAI-hosted model.
-pub fn api_cost(label: &str, model: &str) -> CostEntry {
+///
+/// Returns `None` (with a `cost.unknown_model` warn event) when the price
+/// book has no entry for `model`.
+pub fn api_cost(label: &str, model: &str) -> Option<CostEntry> {
     let price = match model {
         "GPT-4" => openai::GPT4_PER_1K,
         "GPT-3.5-Turbo" => openai::GPT35_TURBO_PER_1K,
         "GPT-4o-Mini" => openai::GPT4O_MINI_PER_1K,
-        other => panic!("no API price for {other}"),
+        _ => {
+            em_obs::event!(warn, "cost.unknown_model", label = label, model = model);
+            return None;
+        }
     };
-    CostEntry {
+    Some(CostEntry {
         label: label.to_owned(),
         usd_per_1k_tokens: price,
         scenario: DeploymentScenario::OpenAiBatchApi,
-    }
+    })
 }
 
 /// Builds the full Table 6 from throughput numbers.
@@ -81,34 +93,62 @@ pub fn api_cost(label: &str, model: &str) -> CostEntry {
 /// table's structure. Jellyfish is included for cost (the paper lists it in
 /// Table 6 even though its F1 cannot be fairly averaged). Rows are sorted
 /// by descending cost like the paper's table.
+///
+/// A row whose throughput is missing from `throughputs` (or whose model is
+/// unknown to the price book / hardware model) is **skipped** rather than
+/// panicking or being fabricated; each skip emits a `cost.row_skipped`
+/// warn event and bumps the `cost.rows_skipped` counter, so a partial
+/// table is always explicit in the run's trace.
 pub fn table6(throughputs: &[(&str, f64)]) -> Vec<CostEntry> {
-    let t = |name: &str| -> f64 {
-        throughputs
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, v)| *v)
-            .unwrap_or_else(|| panic!("missing throughput for {name}"))
+    let t = |name: &str| -> Option<f64> {
+        let found = throughputs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v);
+        if found.is_none() {
+            em_obs::event!(warn, "cost.row_skipped", model = name, reason = "no throughput");
+            if em_obs::capture_enabled() {
+                em_obs::metrics::counter("cost.rows_skipped").inc();
+            }
+        }
+        found
     };
-    let mut rows = vec![
+    let ow = |label: &str, model: &str| t(model).and_then(|tp| open_weight_cost(label, model, tp));
+    let mut rows: Vec<CostEntry> = [
         api_cost("MatchGPT [GPT-4]", "GPT-4"),
-        open_weight_cost("MatchGPT [SOLAR]", "SOLAR", t("SOLAR")),
-        open_weight_cost("MatchGPT [Beluga2]", "Beluga2", t("Beluga2")),
+        ow("MatchGPT [SOLAR]", "SOLAR"),
+        ow("MatchGPT [Beluga2]", "Beluga2"),
         api_cost("MatchGPT [GPT-3.5-Turbo]", "GPT-3.5-Turbo"),
-        open_weight_cost("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B", t("Mixtral-8x7B")),
+        ow("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B"),
         api_cost("MatchGPT [GPT-4o-Mini]", "GPT-4o-Mini"),
-        open_weight_cost("Jellyfish", "LLaMA2-13B", t("LLaMA2-13B")),
-        open_weight_cost("Unicorn[DeBERTa]", "DeBERTa", t("DeBERTa")),
-        open_weight_cost("AnyMatch[LLaMA3.2]", "LLaMA3.2", t("LLaMA3.2")),
-        open_weight_cost("AnyMatch[T5]", "T5", t("T5")),
-        open_weight_cost("AnyMatch[GPT-2]", "GPT-2", t("GPT-2")),
-        open_weight_cost("Ditto[Bert]", "BERT", t("BERT")),
-    ];
+        ow("Jellyfish", "LLaMA2-13B"),
+        ow("Unicorn[DeBERTa]", "DeBERTa"),
+        ow("AnyMatch[LLaMA3.2]", "LLaMA3.2"),
+        ow("AnyMatch[T5]", "T5"),
+        ow("AnyMatch[GPT-2]", "GPT-2"),
+        ow("Ditto[Bert]", "BERT"),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
     rows.sort_by(|a, b| {
         b.usd_per_1k_tokens
             .partial_cmp(&a.usd_per_1k_tokens)
             .unwrap()
     });
     rows
+}
+
+/// Tokens-per-second throughput derived from the run's own measured
+/// counters: total real prompt tokens (`lm.prompt_tokens`) over total
+/// scoring wall-clock (`lm.score_ns`), both maintained by
+/// `em_lm::zoo::score_batch` when [`em_obs`] capture is on. Lets Table 6
+/// rows be derived from an instrumented run instead of hard-coded
+/// throughput numbers. Returns `None` when nothing was measured.
+pub fn measured_throughput() -> Option<f64> {
+    let tokens = em_obs::metrics::counter("lm.prompt_tokens").get();
+    let ns = em_obs::metrics::histogram("lm.score_ns").sum();
+    if tokens == 0 || ns == 0 {
+        return None;
+    }
+    Some(tokens as f64 / (ns as f64 / 1e9))
 }
 
 #[cfg(test)]
@@ -145,10 +185,10 @@ mod tests {
     fn solar_beluga_choose_together_ai() {
         // Self-hosting a 70B at ~1K tokens/s costs ~$0.0025/1K — more than
         // together.ai's $0.0009, so the paper picks together.ai.
-        let solar = open_weight_cost("MatchGPT [SOLAR]", "SOLAR", 752.0);
+        let solar = open_weight_cost("MatchGPT [SOLAR]", "SOLAR", 752.0).unwrap();
         assert_eq!(solar.scenario, DeploymentScenario::TogetherAi);
         assert_eq!(solar.usd_per_1k_tokens, 0.0009);
-        let beluga = open_weight_cost("MatchGPT [Beluga2]", "Beluga2", 1_079.0);
+        let beluga = open_weight_cost("MatchGPT [Beluga2]", "Beluga2", 1_079.0).unwrap();
         assert_eq!(beluga.scenario, DeploymentScenario::TogetherAi);
     }
 
@@ -156,7 +196,7 @@ mod tests {
     fn mixtral_self_hosts() {
         // The stated formula gives $0.00127 (the paper's $0.00063 implies a
         // 4× replica extrapolation for this row — see EXPERIMENTS.md).
-        let m = open_weight_cost("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B", 2_108.0);
+        let m = open_weight_cost("MatchGPT [Mixtral-8x7B]", "Mixtral-8x7B", 2_108.0).unwrap();
         assert!(matches!(
             m.scenario,
             DeploymentScenario::SelfHostedP4d { replicas: 4 }
@@ -170,7 +210,7 @@ mod tests {
 
     #[test]
     fn slms_deploy_8x_on_p4d() {
-        let d = open_weight_cost("Ditto[Bert]", "BERT", 862_001.0);
+        let d = open_weight_cost("Ditto[Bert]", "BERT", 862_001.0).unwrap();
         assert!(matches!(
             d.scenario,
             DeploymentScenario::SelfHostedP4d { replicas: 8 }
@@ -204,5 +244,51 @@ mod tests {
     #[should_panic(expected = "throughput must be positive")]
     fn zero_throughput_rejected() {
         let _ = self_host_cost_per_1k(0.0);
+    }
+
+    #[test]
+    fn measured_throughput_divides_tokens_by_scoring_time() {
+        // 5,000 tokens over 2 ms of scoring → 2.5M tokens/s.
+        em_obs::metrics::counter("lm.prompt_tokens").add(5_000);
+        em_obs::metrics::histogram("lm.score_ns").record(2_000_000);
+        let tp = measured_throughput().expect("counters populated");
+        assert!((tp - 2_500_000.0).abs() < 1e-6, "{tp}");
+    }
+
+    #[test]
+    fn unknown_model_yields_none_not_a_fabricated_row() {
+        // Regression: a model without a hardware profile used to get a
+        // made-up 8-replica self-hosted deployment; it must now be absent.
+        assert_eq!(open_weight_cost("Mystery[13B]", "Mystery-13B", 1_000.0), None);
+        assert_eq!(api_cost("Mystery API", "Mystery-API"), None);
+    }
+
+    #[test]
+    fn table6_skips_rows_with_missing_throughput_instead_of_panicking() {
+        // Regression: a missing throughput entry used to panic. Drop BERT
+        // from the inputs: Table 6 loses exactly the Ditto[Bert] row, and
+        // the skip is visible as a warn event in the trace.
+        em_obs::trace::set_capture(true);
+        let _ = em_obs::trace::drain();
+        let partial: Vec<(&str, f64)> = paper_throughputs()
+            .into_iter()
+            .filter(|(n, _)| *n != "BERT")
+            .collect();
+        let rows = table6(&partial);
+        em_obs::trace::set_capture(false);
+        assert_eq!(rows.len(), 11);
+        assert!(rows.iter().all(|r| r.label != "Ditto[Bert]"));
+        let records = em_obs::trace::drain();
+        assert!(
+            records.iter().any(|r| {
+                r.name == "cost.row_skipped"
+                    && r.level == em_obs::trace::Level::Warn
+                    && r.fields
+                        .iter()
+                        .any(|(k, v)| *k == "model"
+                            && *v == em_obs::trace::FieldValue::Str("BERT".into()))
+            }),
+            "skip must be announced as a warn event"
+        );
     }
 }

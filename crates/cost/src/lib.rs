@@ -14,7 +14,9 @@ pub mod estimate;
 pub mod pricing;
 pub mod tradeoff;
 
-pub use estimate::{api_cost, open_weight_cost, self_host_cost_per_1k, table6, CostEntry};
+pub use estimate::{
+    api_cost, measured_throughput, open_weight_cost, self_host_cost_per_1k, table6, CostEntry,
+};
 pub use pricing::{DeploymentScenario, P4D_24XLARGE_HOURLY_USD};
 pub use tradeoff::{
     ascii_scatter, best_balance, best_within_budget, pareto_frontier, TradeoffPoint,

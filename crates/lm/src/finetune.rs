@@ -230,7 +230,7 @@ mod tests {
         );
         let preds: Vec<bool> = probs.iter().map(|&p| p >= 0.5).collect();
         let labels: Vec<bool> = test_data.iter().map(|(_, y)| *y).collect();
-        let f1 = em_core::f1_percent(&preds, &labels);
+        let f1 = em_core::f1_percent(&preds, &labels).unwrap();
         assert!(
             f1 > 80.0,
             "tiny model should learn overlap matching, F1 = {f1}"

@@ -317,7 +317,7 @@ mod tests {
         let (batch, labels) = make_batch(200, 0);
         let mut m = ZeroEr::new();
         let preds = m.predict(&batch).unwrap();
-        let f1 = em_core::f1_percent(&preds, &labels);
+        let f1 = em_core::f1_percent(&preds, &labels).unwrap();
         assert!(f1 > 90.0, "ZeroER should ace clean bimodal data: F1 {f1}");
     }
 

@@ -40,6 +40,21 @@
 
 use crate::threadpool;
 
+/// Metric handles resolved once; GEMM runs millions of times per study, so
+/// the registry lock must never sit on this path.
+struct GemmMetrics {
+    calls: std::sync::Arc<em_obs::metrics::Counter>,
+    flops: std::sync::Arc<em_obs::metrics::Counter>,
+}
+
+fn gemm_metrics() -> &'static GemmMetrics {
+    static METRICS: std::sync::OnceLock<GemmMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| GemmMetrics {
+        calls: em_obs::metrics::counter("gemm.calls"),
+        flops: em_obs::metrics::counter("gemm.flops"),
+    })
+}
+
 /// Microkernel tile height (rows of `A` per strip).
 pub const MR: usize = 8;
 /// Microkernel tile width (columns of `B` per panel).
@@ -78,6 +93,12 @@ pub fn gemm(
         return;
     }
     let volume = m.saturating_mul(n).saturating_mul(k);
+    if em_obs::capture_enabled() {
+        let metrics = gemm_metrics();
+        metrics.calls.inc();
+        // One multiply + one add per (i, j, p) triple.
+        metrics.flops.add(2 * volume as u64);
+    }
     if volume < BLOCKED_MIN_VOLUME {
         // The reference kernels accumulate into `c` (the seed semantics);
         // zero it first so every path through `gemm` overwrites.
@@ -125,6 +146,13 @@ pub fn gemm_blocked(
     pack_b(k, n, b, b_trans, &mut bpack);
 
     let volume = m * n * k;
+    // Only parallel-scale GEMMs get a span; per-tile calls are far too
+    // frequent to trace individually (they are visible in `gemm.calls`).
+    let _span = if volume >= PARALLEL_MIN_VOLUME {
+        em_obs::span!("gemm.large", m = m, n = n, k = k)
+    } else {
+        em_obs::trace::SpanGuard::disabled()
+    };
     let reservation = if volume >= PARALLEL_MIN_VOLUME && nstrips > 1 {
         threadpool::reserve_workers(nstrips - 1)
     } else {

@@ -111,10 +111,32 @@ pub fn reserve_workers(requested: usize) -> Reservation {
             Ordering::Relaxed,
             Ordering::Relaxed,
         ) {
-            Ok(_) => return Reservation { granted: grant },
+            Ok(_) => {
+                if em_obs::capture_enabled() {
+                    let m = pool_metrics();
+                    m.reservations.inc();
+                    m.workers_granted.add(grant as u64);
+                }
+                return Reservation { granted: grant };
+            }
             Err(observed) => cur = observed,
         }
     }
+}
+
+/// Metric handles resolved once so reservations never take the registry
+/// lock.
+struct PoolMetrics {
+    reservations: std::sync::Arc<em_obs::metrics::Counter>,
+    workers_granted: std::sync::Arc<em_obs::metrics::Counter>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        reservations: em_obs::metrics::counter("threadpool.reservations"),
+        workers_granted: em_obs::metrics::counter("threadpool.workers_granted"),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,68 @@
+//! Minimal JSON string emission for the JSONL trace exporter.
+//!
+//! Only what the exporter needs: escaped strings and finite-number
+//! formatting. Writing (not parsing) keeps the crate dependency-free.
+
+/// Appends `s` to `out` as a double-quoted JSON string with the mandatory
+/// escapes (`"`, `\`, control characters).
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a float as a JSON number, or `null` when non-finite (JSON has
+/// no NaN/Infinity literals).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn esc(s: &str) -> String {
+        let mut out = String::new();
+        push_escaped(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn plain_strings_are_quoted() {
+        assert_eq!(esc("abc"), "\"abc\"");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_are_escaped() {
+        assert_eq!(esc("a\"b"), "\"a\\\"b\"");
+        assert_eq!(esc("a\\b"), "\"a\\\\b\"");
+        assert_eq!(esc("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(esc("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_f64(&mut out, 1.5);
+        assert_eq!(out, "1.5");
+    }
+}

@@ -1,0 +1,146 @@
+//! # em-obs — zero-dependency observability for the EM pipeline
+//!
+//! Structured tracing ([`span!`]/[`event!`] over per-thread ring buffers
+//! with a JSONL exporter), a registry of atomic counters / gauges /
+//! histograms ([`metrics`]), and a run-profile summary printer
+//! ([`report`]). Every other crate in the workspace instruments through
+//! this one, so Table 6 cost rows and the BENCH_*.json numbers can be
+//! derived from *measured* token/throughput/latency counters instead of
+//! hard-coded extrapolation.
+//!
+//! # Quick start
+//!
+//! Set `EM_TRACE=path.jsonl` in the environment: capture switches on and
+//! every span/event is streamed to `path.jsonl` as JSON lines. Without
+//! `EM_TRACE`, capture is off and every probe is a single atomic load.
+//!
+//! ```
+//! let _span = em_obs::span!("my.stage", items = 42usize);
+//! em_obs::event!(warn, "my.skip", reason = "missing input");
+//! em_obs::metrics::counter("my.items").add(42);
+//! ```
+//!
+//! Programmatic control (tests, profilers):
+//!
+//! ```
+//! em_obs::trace::set_capture(true);
+//! {
+//!     let _s = em_obs::span!("doc.example");
+//! }
+//! let records = em_obs::trace::drain();
+//! assert!(records.iter().any(|r| r.name == "doc.example"));
+//! em_obs::trace::set_capture(false);
+//! println!("{}", em_obs::report::render_summary(&records, 10));
+//! ```
+//!
+//! # Overhead contract
+//!
+//! Capture off: one relaxed atomic load per probe, no allocation, no
+//! `Instant::now()`. Capture on: field vectors are small and spans are
+//! placed on coarse stages (per evaluation item, per batch, per *large*
+//! GEMM), keeping the measured overhead of a traced `figure2_lodo` /
+//! `profile_lodo` run under 2% (see DESIGN.md §6).
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use trace::{capture_enabled, drain, flush_current_thread, set_capture, write_jsonl};
+pub use trace::{FieldValue, Level, RecordKind, SpanGuard, TraceRecord};
+
+/// Opens a span; the returned guard records the span (with duration) when
+/// dropped. Fields are `name = expr` pairs; expressions are only
+/// evaluated when capture is on.
+///
+/// ```
+/// let _guard = em_obs::span!("stage.name", size = 10usize, kind = "full");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace::capture_enabled() {
+            $crate::trace::SpanGuard::new(
+                $name,
+                vec![$((stringify!($key), $crate::trace::FieldValue::from($val))),*],
+            )
+        } else {
+            $crate::trace::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Emits an instant event at a level (`debug`/`info`/`warn`/`error`)
+/// under the current thread's open span. Field expressions are only
+/// evaluated when capture is on.
+///
+/// ```
+/// em_obs::event!(warn, "table.row_skipped", model = "GPT-2");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($level:ident, $name:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::trace::capture_enabled() {
+            $crate::trace::emit_event(
+                $crate::__obs_level!($level),
+                $name,
+                vec![$((stringify!($key), $crate::trace::FieldValue::from($val))),*],
+            );
+        }
+    };
+}
+
+/// Maps the lower-case level idents accepted by [`event!`] onto
+/// [`trace::Level`] variants. Implementation detail of the macros.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __obs_level {
+    (debug) => {
+        $crate::trace::Level::Debug
+    };
+    (info) => {
+        $crate::trace::Level::Info
+    };
+    (warn) => {
+        $crate::trace::Level::Warn
+    };
+    (error) => {
+        $crate::trace::Level::Error
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_no_op_without_capture_and_capture_with_it() {
+        // Serialize against the other capture-toggling tests.
+        let _g = crate::trace::tests::LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        crate::trace::set_capture(false);
+        let _ = crate::trace::drain();
+        let mut evaluated = false;
+        {
+            let _s = crate::span!("lib.test.off", flag = {
+                evaluated = true;
+                1usize
+            });
+        }
+        assert!(!evaluated, "fields must not be evaluated when capture is off");
+
+        crate::trace::set_capture(true);
+        {
+            let _s = crate::span!("lib.test.on", flag = {
+                evaluated = true;
+                1usize
+            });
+            crate::event!(error, "lib.test.event");
+        }
+        crate::trace::set_capture(false);
+        assert!(evaluated);
+        let records = crate::trace::drain();
+        assert!(records.iter().any(|r| r.name == "lib.test.on"));
+        let ev = records.iter().find(|r| r.name == "lib.test.event").unwrap();
+        assert_eq!(ev.level, crate::trace::Level::Error);
+    }
+}

@@ -1,0 +1,391 @@
+//! A process-global metrics registry: atomic counters, gauges, and
+//! power-of-two histograms.
+//!
+//! Handles are `Arc`s; resolve once (e.g. in a `OnceLock`) on hot paths so
+//! the registry lock is only taken at resolution time, never per update.
+//! Updates are single relaxed atomic RMWs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed up/down gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values whose bit length is `i`, i.e. `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free histogram over `u64` observations (latencies in ns, token
+/// counts, ...) with power-of-two buckets — coarse but constant-size and
+/// mergeable, which is all the percentile reporting needs.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a value falls into: 0 for 0, otherwise the value's
+    /// bit length (so bucket `i` covers `[2^(i-1), 2^i - 1]`).
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `[low, high]` range of values a bucket covers.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Raw bucket counts, `buckets[i]` as defined by [`Self::bucket_index`].
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the first
+    /// bucket at which the cumulative count reaches `q · total`, clamped
+    /// to the observed min/max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.bucket_counts().iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                let (_, high) = Self::bucket_bounds(i);
+                return high.clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+}
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The registry lock, tolerating poisoning (a panicking type-mismatch
+/// lookup must not take the whole registry down with it).
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Resolves (registering on first use) the counter named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric type.
+pub fn counter(name: &str) -> Arc<Counter> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+    {
+        Metric::Counter(c) => Arc::clone(c),
+        _ => panic!("metric `{name}` is registered as a non-counter"),
+    }
+}
+
+/// Resolves (registering on first use) the gauge named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric type.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+    {
+        Metric::Gauge(g) => Arc::clone(g),
+        _ => panic!("metric `{name}` is registered as a non-gauge"),
+    }
+}
+
+/// Resolves (registering on first use) the histogram named `name`.
+///
+/// # Panics
+/// Panics if `name` is already registered as a different metric type.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    let mut reg = lock_registry();
+    match reg
+        .entry(name.to_owned())
+        .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::default())))
+    {
+        Metric::Histogram(h) => Arc::clone(h),
+        _ => panic!("metric `{name}` is registered as a non-histogram"),
+    }
+}
+
+/// A point-in-time copy of one metric's state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram {
+        /// Observation count.
+        count: u64,
+        /// Observation sum.
+        sum: u64,
+        /// Approximate median.
+        p50: u64,
+        /// Approximate 95th percentile.
+        p95: u64,
+        /// Largest observation.
+        max: u64,
+    },
+}
+
+/// Snapshots every registered metric, sorted by name.
+pub fn snapshot() -> Vec<(String, MetricSnapshot)> {
+    lock_registry()
+        .iter()
+        .map(|(name, m)| {
+            let snap = match m {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    max: h.max(),
+                },
+            };
+            (name.clone(), snap)
+        })
+        .collect()
+}
+
+/// Removes every registered metric. Handles already resolved keep working
+/// but are no longer visible to [`snapshot`] — intended for tests only.
+pub fn reset() {
+    lock_registry().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_the_bit_length() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(10), (512, 1023));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every value lands in the bucket whose bounds contain it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, 123_456_789, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 202.0).abs() < 1e-9);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[1], 1); // 1
+        assert_eq!(counts[2], 2); // 2, 3
+        assert_eq!(counts[3], 1); // 4
+        assert_eq!(counts[10], 1); // 1000
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        // p50 → 3rd of 5 observations → value 3, bucket [2, 3].
+        assert_eq!(h.quantile(0.5), 3);
+        // p95 → 5th observation → 1000's bucket [512, 1023], clamped to max.
+        assert_eq!(h.quantile(0.95), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_from_8_threads_lose_nothing() {
+        let c = counter("metrics.test.concurrent");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = counter("metrics.test.concurrent");
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn registry_returns_the_same_instance_and_snapshots() {
+        let c = counter("metrics.test.same");
+        counter("metrics.test.same").add(5);
+        assert_eq!(c.get(), 5);
+        gauge("metrics.test.gauge").set(-3);
+        histogram("metrics.test.hist").record(7);
+        let snap = snapshot();
+        let get = |n: &str| snap.iter().find(|(k, _)| k == n).map(|(_, v)| v.clone());
+        assert_eq!(
+            get("metrics.test.same"),
+            Some(MetricSnapshot::Counter(5))
+        );
+        assert_eq!(get("metrics.test.gauge"), Some(MetricSnapshot::Gauge(-3)));
+        match get("metrics.test.hist") {
+            Some(MetricSnapshot::Histogram { count: 1, sum: 7, .. }) => {}
+            other => panic!("unexpected snapshot {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-counter")]
+    fn type_mismatch_is_rejected() {
+        gauge("metrics.test.mismatch").set(1);
+        let _ = counter("metrics.test.mismatch");
+    }
+}

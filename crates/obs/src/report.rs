@@ -1,0 +1,235 @@
+//! Run-profile summarization: aggregates trace records into per-span
+//! statistics and renders the human-readable report the `profile_lodo`
+//! tooling prints (top spans by cumulative time, warning events, metrics).
+
+use crate::metrics::{snapshot, MetricSnapshot};
+use crate::trace::{Level, RecordKind, TraceRecord};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Number of closed spans with this name.
+    pub count: u64,
+    /// Sum of durations, ns.
+    pub total_ns: u64,
+    /// Mean duration, ns.
+    pub mean_ns: u64,
+    /// Median duration, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile duration, ns.
+    pub p95_ns: u64,
+    /// Longest duration, ns.
+    pub max_ns: u64,
+}
+
+/// Aggregates span records by name, sorted by descending cumulative time.
+pub fn span_stats(records: &[TraceRecord]) -> Vec<SpanStat> {
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for r in records {
+        if r.kind == RecordKind::Span {
+            by_name.entry(r.name).or_default().push(r.dur_ns);
+        }
+    }
+    let mut stats: Vec<SpanStat> = by_name
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_unstable();
+            let count = durs.len() as u64;
+            let total: u64 = durs.iter().sum();
+            let pick = |q: f64| {
+                let idx = ((q * (durs.len() - 1) as f64).round() as usize).min(durs.len() - 1);
+                durs[idx]
+            };
+            SpanStat {
+                name: name.to_owned(),
+                count,
+                total_ns: total,
+                mean_ns: total / count,
+                p50_ns: pick(0.50),
+                p95_ns: pick(0.95),
+                max_ns: *durs.last().unwrap(),
+            }
+        })
+        .collect();
+    stats.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+/// Renders the top-`n` spans by cumulative time as an aligned table.
+pub fn render_top_spans(records: &[TraceRecord], n: usize) -> String {
+    let stats = span_stats(records);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total", "mean", "p50", "p95", "max"
+    ));
+    for s in stats.iter().take(n) {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            s.name,
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.p50_ns),
+            fmt_ns(s.p95_ns),
+            fmt_ns(s.max_ns),
+        ));
+    }
+    if stats.is_empty() {
+        out.push_str("  (no spans captured)\n");
+    }
+    out
+}
+
+/// Renders warning/error events (name × count), if any.
+pub fn render_warnings(records: &[TraceRecord]) -> String {
+    let mut counts: BTreeMap<(&str, Level), u64> = BTreeMap::new();
+    for r in records {
+        if r.kind == RecordKind::Event && r.level >= Level::Warn {
+            *counts.entry((r.name, r.level)).or_default() += 1;
+        }
+    }
+    if counts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("warnings:\n");
+    for ((name, level), n) in counts {
+        out.push_str(&format!("  [{}] {name} ×{n}\n", level.as_str()));
+    }
+    out
+}
+
+/// Renders the current metrics registry.
+pub fn render_metrics() -> String {
+    let snap = snapshot();
+    if snap.is_empty() {
+        return String::from("metrics: (none registered)\n");
+    }
+    let mut out = String::from("metrics:\n");
+    for (name, m) in snap {
+        match m {
+            MetricSnapshot::Counter(v) => out.push_str(&format!("  {name:<40} {v}\n")),
+            MetricSnapshot::Gauge(v) => out.push_str(&format!("  {name:<40} {v}\n")),
+            MetricSnapshot::Histogram {
+                count,
+                sum,
+                p50,
+                p95,
+                max,
+            } => out.push_str(&format!(
+                "  {name:<40} n={count} sum={sum} p50={} p95={} max={}\n",
+                fmt_ns(p50),
+                fmt_ns(p95),
+                fmt_ns(max)
+            )),
+        }
+    }
+    out
+}
+
+/// The full run-profile summary: top spans, warnings, metrics.
+pub fn render_summary(records: &[TraceRecord], top: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("top {top} spans by cumulative time:\n"));
+    out.push_str(&render_top_spans(records, top));
+    let warnings = render_warnings(records);
+    if !warnings.is_empty() {
+        out.push('\n');
+        out.push_str(&warnings);
+    }
+    out.push('\n');
+    out.push_str(&render_metrics());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::FieldValue;
+
+    fn span(name: &'static str, dur_ns: u64) -> TraceRecord {
+        TraceRecord {
+            kind: RecordKind::Span,
+            level: Level::Info,
+            name,
+            thread: 0,
+            id: 1,
+            parent: 0,
+            start_ns: 0,
+            dur_ns,
+            fields: Vec::new(),
+        }
+    }
+
+    fn warn_event(name: &'static str) -> TraceRecord {
+        TraceRecord {
+            kind: RecordKind::Event,
+            level: Level::Warn,
+            name,
+            thread: 0,
+            id: 0,
+            parent: 0,
+            start_ns: 0,
+            dur_ns: 0,
+            fields: vec![("model", FieldValue::Str("X".into()))],
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_and_rank_by_cumulative_time() {
+        let records = vec![
+            span("b", 10),
+            span("a", 100),
+            span("b", 30),
+            span("a", 200),
+            span("a", 300),
+        ];
+        let stats = span_stats(&records);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].name, "a");
+        assert_eq!(stats[0].count, 3);
+        assert_eq!(stats[0].total_ns, 600);
+        assert_eq!(stats[0].mean_ns, 200);
+        assert_eq!(stats[0].p50_ns, 200);
+        assert_eq!(stats[0].max_ns, 300);
+        assert_eq!(stats[1].name, "b");
+        assert_eq!(stats[1].total_ns, 40);
+    }
+
+    #[test]
+    fn events_do_not_contribute_to_span_stats() {
+        let records = vec![span("a", 10), warn_event("a")];
+        let stats = span_stats(&records);
+        assert_eq!(stats[0].count, 1);
+    }
+
+    #[test]
+    fn summary_lists_spans_and_warnings() {
+        let records = vec![span("eval.item", 5_000_000), warn_event("cost.row_skipped")];
+        let s = render_summary(&records, 10);
+        assert!(s.contains("eval.item"));
+        assert!(s.contains("cost.row_skipped"));
+        assert!(s.contains("[warn]"));
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(50_000), "50.0µs");
+        assert_eq!(fmt_ns(50_000_000), "50.0ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

@@ -1,0 +1,610 @@
+//! Structured tracing: spans, events, per-thread buffers, JSONL export.
+//!
+//! # Design
+//!
+//! * **Hot path.** [`capture_enabled`] is a single relaxed atomic load;
+//!   when capture is off the [`span!`](crate::span) / [`event!`](crate::event)
+//!   macros evaluate none of their field expressions and allocate nothing,
+//!   so instrumented code pays ~1 ns per probe.
+//! * **Per-thread rings.** When capture is on, finished spans and events
+//!   are pushed into a thread-local ring buffer without taking any lock.
+//!   A thread drains its ring into the global sink only when the ring
+//!   fills or the thread exits, so sink contention is amortized over
+//!   [`THREAD_RING_CAPACITY`] records.
+//! * **Sink.** The sink retains records in memory (bounded by
+//!   [`SINK_RETAIN_CAP`]; overflow increments a drop counter instead of
+//!   growing without bound) and, when the `EM_TRACE=path.jsonl`
+//!   environment variable is set, streams every drained batch to that file
+//!   as JSON lines.
+//! * **Span nesting** is tracked per thread: each record carries its span
+//!   id and parent span id, and a span's record is emitted when the span
+//!   *closes*, so an inner span always appears before its enclosing outer
+//!   span in the export.
+
+use crate::json;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Records buffered per thread before a (locking) drain into the sink.
+pub const THREAD_RING_CAPACITY: usize = 4096;
+
+/// Maximum records retained in memory by the sink; older runs should
+/// export or [`drain`] before hitting this.
+pub const SINK_RETAIN_CAP: usize = 1 << 18;
+
+// ---------------------------------------------------------------------------
+// record model
+// ---------------------------------------------------------------------------
+
+/// Whether a record is a closed span (with a duration) or an instant event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A timed region; `dur_ns` is its wall-clock duration.
+    Span,
+    /// An instant occurrence; `dur_ns` is zero.
+    Event,
+}
+
+/// Severity of an event (spans are always `Info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operation.
+    Info,
+    /// Something was skipped or degraded but the run continues.
+    Warn,
+    /// A failure the caller will surface.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A structured field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point (exported as `null` when non-finite).
+    Float(f64),
+    /// Text.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> FieldValue { FieldValue::$variant(v as $conv) }
+        })*
+    };
+}
+
+impl_field_from!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64,
+    i64 => Int as i64, isize => Int as i64,
+    f32 => Float as f64, f64 => Float as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// One exported trace record (a closed span or an instant event).
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Severity (always `Info` for spans).
+    pub level: Level,
+    /// Static name, e.g. `"eval.item"`.
+    pub name: &'static str,
+    /// Dense per-process thread index (not the OS thread id).
+    pub thread: u64,
+    /// Unique span id; 0 for events.
+    pub id: u64,
+    /// Enclosing span id at emission time; 0 at top level.
+    pub parent: u64,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for events).
+    pub dur_ns: u64,
+    /// Structured fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceRecord {
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"type\":\"");
+        out.push_str(match self.kind {
+            RecordKind::Span => "span",
+            RecordKind::Event => "event",
+        });
+        out.push_str("\",\"level\":\"");
+        out.push_str(self.level.as_str());
+        out.push_str("\",\"name\":");
+        json::push_escaped(&mut out, self.name);
+        out.push_str(&format!(
+            ",\"thread\":{},\"id\":{},\"parent\":{},\"start_ns\":{},\"dur_ns\":{}",
+            self.thread, self.id, self.parent, self.start_ns, self.dur_ns
+        ));
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_escaped(&mut out, k);
+            out.push(':');
+            match v {
+                FieldValue::Int(n) => out.push_str(&format!("{n}")),
+                FieldValue::UInt(n) => out.push_str(&format!("{n}")),
+                FieldValue::Float(x) => json::push_f64(&mut out, *x),
+                FieldValue::Str(s) => json::push_escaped(&mut out, s),
+                FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// global capture state
+// ---------------------------------------------------------------------------
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_IDX: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct Sink {
+    records: Vec<TraceRecord>,
+    dropped: u64,
+    writer: Option<BufWriter<File>>,
+}
+
+fn sink() -> &'static Mutex<Sink> {
+    static SINK: OnceLock<Mutex<Sink>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(Sink {
+            records: Vec::new(),
+            dropped: 0,
+            writer: None,
+        })
+    })
+}
+
+/// Runs the one-time `EM_TRACE` environment probe: sets capture on and
+/// installs the JSONL file writer when the variable names a path.
+fn init_from_env() {
+    static INIT: OnceLock<()> = OnceLock::new();
+    INIT.get_or_init(|| {
+        epoch(); // pin the trace epoch as early as possible
+        let mut on = false;
+        if let Ok(path) = std::env::var("EM_TRACE") {
+            if !path.trim().is_empty() {
+                on = true;
+                if let Some(dir) = std::path::Path::new(&path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        let _ = std::fs::create_dir_all(dir);
+                    }
+                }
+                match File::create(&path) {
+                    Ok(f) => sink().lock().unwrap().writer = Some(BufWriter::new(f)),
+                    Err(e) => eprintln!("em-obs: cannot open EM_TRACE={path}: {e}"),
+                }
+            }
+        }
+        // Only transition out of UNINIT; an earlier set_capture() wins.
+        let _ = STATE.compare_exchange(
+            STATE_UNINIT,
+            if on { STATE_ON } else { STATE_OFF },
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    });
+}
+
+/// `true` when trace capture is on (first call probes `EM_TRACE`).
+#[inline]
+pub fn capture_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => {
+            init_from_env();
+            STATE.load(Ordering::Relaxed) == STATE_ON
+        }
+    }
+}
+
+/// Turns capture on or off programmatically (overrides `EM_TRACE`'s
+/// on/off decision; the env-configured file writer, if any, stays
+/// installed).
+pub fn set_capture(on: bool) {
+    init_from_env();
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// per-thread ring
+// ---------------------------------------------------------------------------
+
+struct ThreadRing {
+    idx: u64,
+    buf: Vec<TraceRecord>,
+    /// Stack of open span ids on this thread (for parent links).
+    stack: Vec<u64>,
+}
+
+impl ThreadRing {
+    fn new() -> ThreadRing {
+        ThreadRing {
+            idx: NEXT_THREAD_IDX.fetch_add(1, Ordering::Relaxed),
+            buf: Vec::with_capacity(THREAD_RING_CAPACITY),
+            stack: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut sink = sink().lock().unwrap();
+        if let Some(w) = sink.writer.as_mut() {
+            for r in &self.buf {
+                let _ = writeln!(w, "{}", r.to_json());
+            }
+            let _ = w.flush();
+        }
+        let room = SINK_RETAIN_CAP.saturating_sub(sink.records.len());
+        if room < self.buf.len() {
+            sink.dropped += (self.buf.len() - room) as u64;
+            self.buf.truncate(room);
+        }
+        sink.records.append(&mut self.buf);
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        self.buf.push(record);
+        if self.buf.len() >= THREAD_RING_CAPACITY {
+            self.flush();
+        }
+    }
+}
+
+impl Drop for ThreadRing {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static RING: RefCell<ThreadRing> = RefCell::new(ThreadRing::new());
+}
+
+/// Runs `f` with the current thread's ring; silently no-ops during TLS
+/// teardown (a span closing inside another thread-local's destructor).
+fn with_ring<R>(f: impl FnOnce(&mut ThreadRing) -> R) -> Option<R> {
+    RING.try_with(|ring| f(&mut ring.borrow_mut())).ok()
+}
+
+// ---------------------------------------------------------------------------
+// spans and events
+// ---------------------------------------------------------------------------
+
+/// RAII guard for a span: records the span (with its duration) when
+/// dropped. Construct through the [`span!`](crate::span) macro.
+#[must_use = "a span guard measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    start_ns: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Opens a span now. Assumes capture was checked by the caller (the
+    /// macro); records even if capture is later disabled mid-span.
+    pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = with_ring(|ring| {
+            let parent = ring.stack.last().copied().unwrap_or(0);
+            ring.stack.push(id);
+            parent
+        })
+        .unwrap_or(0);
+        let now = Instant::now();
+        SpanGuard {
+            active: true,
+            id,
+            parent,
+            name,
+            start: Some(now),
+            start_ns: now.duration_since(epoch()).as_nanos() as u64,
+            fields,
+        }
+    }
+
+    /// A no-op guard for when capture is off.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard {
+            active: false,
+            id: 0,
+            parent: 0,
+            name: "",
+            start: None,
+            start_ns: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    /// The span's unique id (0 for a disabled guard).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = self
+            .start
+            .map(|s| s.elapsed().as_nanos() as u64)
+            .unwrap_or(0);
+        let (id, parent, name) = (self.id, self.parent, self.name);
+        let (start_ns, fields) = (self.start_ns, std::mem::take(&mut self.fields));
+        with_ring(|ring| {
+            // Pop this span from the open stack (it is the top unless a
+            // guard was dropped out of order; then remove it wherever it
+            // is, keeping the stack consistent).
+            if ring.stack.last() == Some(&id) {
+                ring.stack.pop();
+            } else if let Some(pos) = ring.stack.iter().rposition(|&s| s == id) {
+                ring.stack.remove(pos);
+            }
+            ring.push(TraceRecord {
+                kind: RecordKind::Span,
+                level: Level::Info,
+                name,
+                thread: ring.idx,
+                id,
+                parent,
+                start_ns,
+                dur_ns,
+                fields,
+            });
+        });
+    }
+}
+
+/// Emits an instant event under the current thread's open span. Use the
+/// [`event!`](crate::event) macro, which skips all work when capture is off.
+pub fn emit_event(level: Level, name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    let start_ns = Instant::now().duration_since(epoch()).as_nanos() as u64;
+    with_ring(|ring| {
+        let parent = ring.stack.last().copied().unwrap_or(0);
+        ring.push(TraceRecord {
+            kind: RecordKind::Event,
+            level,
+            name,
+            thread: ring.idx,
+            id: 0,
+            parent,
+            start_ns,
+            dur_ns: 0,
+            fields,
+        });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// draining and export
+// ---------------------------------------------------------------------------
+
+/// Drains the calling thread's ring into the sink (worker threads flush
+/// automatically on exit; call this on the main thread before exporting).
+pub fn flush_current_thread() {
+    with_ring(|ring| ring.flush());
+}
+
+/// Flushes the calling thread and takes every retained record out of the
+/// sink. Records buffered on *other live* threads are not included until
+/// those threads flush (they do so on exit or when their ring fills).
+pub fn drain() -> Vec<TraceRecord> {
+    flush_current_thread();
+    std::mem::take(&mut sink().lock().unwrap().records)
+}
+
+/// Number of records discarded because the sink retention cap was hit.
+pub fn dropped_records() -> u64 {
+    sink().lock().unwrap().dropped
+}
+
+/// Writes records to `path` as JSON lines (one object per record).
+pub fn write_jsonl(path: &str, records: &[TraceRecord]) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    for r in records {
+        writeln!(w, "{}", r.to_json())?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // Capture state is process-global; tests that toggle it serialize here.
+    pub(crate) static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_capture_records_nothing() {
+        let _g = locked();
+        set_capture(false);
+        let _ = drain();
+        {
+            let _s = crate::span!("trace.test.off", a = 1);
+            crate::event!(warn, "trace.test.off_event");
+        }
+        assert!(!drain().iter().any(|r| r.name.starts_with("trace.test.off")));
+    }
+
+    #[test]
+    fn span_nesting_links_parent_and_exports_inner_first() {
+        let _g = locked();
+        set_capture(true);
+        let _ = drain();
+        {
+            let _outer = crate::span!("trace.test.outer", label = "o");
+            {
+                let _inner = crate::span!("trace.test.inner");
+                crate::event!(info, "trace.test.tick", n = 3usize);
+            }
+        }
+        set_capture(false);
+        let records = drain();
+        let inner_pos = records
+            .iter()
+            .position(|r| r.name == "trace.test.inner")
+            .expect("inner span recorded");
+        let outer_pos = records
+            .iter()
+            .position(|r| r.name == "trace.test.outer")
+            .expect("outer span recorded");
+        assert!(inner_pos < outer_pos, "inner span must close (export) first");
+        let outer = &records[outer_pos];
+        let inner = &records[inner_pos];
+        assert_eq!(inner.parent, outer.id, "inner's parent is the outer span");
+        assert_eq!(outer.parent, 0);
+        let event = records
+            .iter()
+            .find(|r| r.name == "trace.test.tick")
+            .expect("event recorded");
+        assert_eq!(event.kind, RecordKind::Event);
+        assert_eq!(event.parent, inner.id, "event nests under the inner span");
+        assert_eq!(
+            event.fields,
+            vec![("n", FieldValue::UInt(3))],
+            "event fields survive"
+        );
+        assert!(outer.dur_ns >= inner.dur_ns, "outer encloses inner");
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_object_per_line() {
+        let _g = locked();
+        set_capture(true);
+        let _ = drain();
+        {
+            let _s = crate::span!("trace.test.json", text = "a \"quoted\"\nline", x = 1.5);
+        }
+        set_capture(false);
+        let records: Vec<TraceRecord> = drain()
+            .into_iter()
+            .filter(|r| r.name == "trace.test.json")
+            .collect();
+        assert_eq!(records.len(), 1);
+        let line = records[0].to_json();
+        assert!(line.starts_with("{\"type\":\"span\""));
+        assert!(line.contains("\"name\":\"trace.test.json\""));
+        assert!(line.contains("\\\"quoted\\\"\\nline"));
+        assert!(line.contains("\"x\":1.5"));
+        assert!(!line.contains('\n'), "one record stays on one line");
+        let dir = std::env::temp_dir().join("em_obs_test_export");
+        let path = dir.join("trace.jsonl").to_string_lossy().into_owned();
+        write_jsonl(&path, &records).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 1);
+        assert_eq!(content.lines().next().unwrap(), line);
+    }
+
+    #[test]
+    fn worker_thread_records_flush_on_thread_exit() {
+        let _g = locked();
+        set_capture(true);
+        let _ = drain();
+        std::thread::spawn(|| {
+            let _s = crate::span!("trace.test.worker");
+        })
+        .join()
+        .unwrap();
+        set_capture(false);
+        let records = drain();
+        let worker: Vec<_> = records
+            .iter()
+            .filter(|r| r.name == "trace.test.worker")
+            .collect();
+        assert_eq!(worker.len(), 1, "thread exit flushed its ring");
+    }
+
+    #[test]
+    fn field_value_conversions_cover_the_primitives() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::UInt(3));
+        assert_eq!(FieldValue::from(-3i32), FieldValue::Int(-3));
+        assert_eq!(FieldValue::from(1.5f32), FieldValue::Float(1.5));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("s"), FieldValue::Str("s".into()));
+        assert_eq!(
+            FieldValue::from(String::from("t")),
+            FieldValue::Str("t".into())
+        );
+    }
+}

@@ -38,7 +38,7 @@ fn main() {
     );
     for m in matchers.iter_mut() {
         let preds = m.predict(&batch).expect("prediction");
-        let c = Confusion::from_predictions(&preds, &labels);
+        let c = Confusion::from_predictions(&preds, &labels).expect("aligned predictions");
         println!(
             "{:<12} {:>6} {:>6} {:>6} {:>6}   {:>7.1} {:>7.1} {:>6.1}",
             m.name(),

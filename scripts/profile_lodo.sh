@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Profiles a full LODO evaluation under em-obs tracing and prints the
+# per-stage summary (top-10 spans by cumulative time, warnings, metrics),
+# then verifies the tracing overhead stays inside the <2% budget.
+#
+# The JSONL trace lands at EM_TRACE if set, else
+# target/em-results/profile_lodo.jsonl. Scale knobs EM_SEEDS / EM_TEST_CAP
+# apply (defaults: 2 seeds, 1250-pair cap).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p em-bench --bin profile_lodo
+
+echo "== run profile =="
+./target/release/profile_lodo
+
+echo
+echo "== tracing overhead (budget < 2%) =="
+./target/release/profile_lodo overhead

@@ -11,3 +11,13 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+
+# EM_TRACE smoke: the observability integration test must produce a
+# non-empty JSONL trace file when the env flag is set. Absolute path:
+# cargo runs test binaries with the *package* dir as cwd, so a relative
+# EM_TRACE would land under crates/core/.
+trace="$PWD/target/tier1-trace.jsonl"
+rm -f "$trace"
+EM_TRACE="$trace" cargo test -q -p em-core --test obs_integration
+test -s "$trace" || { echo "EM_TRACE smoke failed: $trace is empty"; exit 1; }
+echo "EM_TRACE smoke: $(wc -l < "$trace") trace records in $trace"

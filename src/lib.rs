@@ -21,6 +21,7 @@
 //! | [`blocking`] | `em-blocking` | candidate-set generation |
 //! | [`hardware`] | `em-hardware` | A100 deployment simulator (Table 5) |
 //! | [`cost`] | `em-cost` | price book and trade-off analysis (Table 6, Figures 3/4) |
+//! | [`obs`] | `em-obs` | tracing spans/events, metrics registry, run profiles (`EM_TRACE`) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use em_lm as lm;
 pub use em_matchers as matchers;
 pub use em_ml as ml;
 pub use em_nn as nn;
+pub use em_obs as obs;
 pub use em_text as text;
 
 /// The most common imports for downstream users.

@@ -86,7 +86,7 @@ fn capability_tiers_order_on_held_out_corpus() {
             .into_iter()
             .map(|s| s >= 0.5)
             .collect();
-        em_core::f1_percent(&preds, &labels)
+        em_core::f1_percent(&preds, &labels).expect("aligned predictions")
     };
     let (fw, fs) = (f1(&weak), f1(&strong));
     assert!(
