@@ -1,0 +1,464 @@
+//! Attention micro-benchmark: the seed multi-head attention layer
+//! (per-head tensor slicing, seed-naive matmuls, separate scale + softmax
+//! passes, single-threaded) vs the fused, arena-backed, thread-parallel
+//! kernel, on the representative fine-tune step shape — batch 32,
+//! seq 128, d_model 256, 8 heads.
+//!
+//! Both variants run the *full layer step* (Q/K/V/O projections + the
+//! attention core, forward and backward) with identical weights and
+//! inputs, which is what one transformer block costs inside
+//! `em_lm::finetune::train`. The seed replica below reproduces the seed
+//! repository's kernels verbatim: `slice_head` copies into fresh per-head
+//! tensors, ikj matmul with the data-dependent `a == 0.0` skip and
+//! unfused multiply-add, a separate `scale()` pass, and no threading.
+//!
+//! Writes machine-readable results to `BENCH_attention.json` (or the path
+//! in argv[1]); `--smoke` runs a tiny shape once to validate the harness
+//! in CI without the full measurement cost.
+
+use em_nn::tensor::Tensor;
+use em_nn::{reference, threadpool, MultiHeadAttention};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Deterministic pseudo-noise in roughly [-0.5, 0.5).
+fn fill(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            (h >> 8) as f32 / (1 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+/// (best, median) wall-clock seconds over `reps` runs (1 warmup run
+/// discarded). Best-of is the speedup figure: on a shared host the
+/// minimum is the least noisy estimate of true cost.
+fn time_it(reps: usize, mut run: impl FnMut()) -> (f64, f64) {
+    run(); // warmup
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[0], samples[reps / 2])
+}
+
+// ---------------------------------------------------------------------------
+// Seed replica: the attention layer exactly as the seed repository ran it.
+// ---------------------------------------------------------------------------
+
+/// The seed `Tensor::matmul` inner loops, verbatim (ikj order, `a == 0.0`
+/// skip, unfused multiply-add). `c` must be zeroed by the caller.
+fn seed_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Seed `Tensor::matmul_t`: `C = A·Bᵀ` with `B` stored `n×k`.
+fn seed_matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+}
+
+/// Seed `Tensor::t_matmul`: `C = Aᵀ·B` with `A` stored `k×m`.
+fn seed_t_matmul(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Seed masked softmax row (identical semantics to the current kernel;
+/// the seed ran it after a separate whole-matrix `scale()` pass).
+fn seed_masked_softmax_row(row: &mut [f32], mask: &[bool]) {
+    let mut m = f32::NEG_INFINITY;
+    for (v, &keep) in row.iter().zip(mask) {
+        if keep && *v > m {
+            m = *v;
+        }
+    }
+    if !m.is_finite() {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for (v, &keep) in row.iter_mut().zip(mask) {
+        if keep {
+            *v = (*v - m).exp();
+            sum += *v;
+        } else {
+            *v = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+/// A linear layer run through the seed kernels (fresh output allocations
+/// per call, exactly like the seed `Linear`).
+struct SeedLinear {
+    w: Vec<f32>, // in × out
+    b: Vec<f32>, // out
+    dw: Vec<f32>,
+    db: Vec<f32>,
+    cached_x: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl SeedLinear {
+    fn from(l: &em_nn::Linear) -> SeedLinear {
+        SeedLinear {
+            w: l.weight.value.data().to_vec(),
+            b: l.bias.value.data().to_vec(),
+            dw: vec![0.0; l.weight.value.len()],
+            db: vec![0.0; l.bias.value.len()],
+            cached_x: Vec::new(),
+            in_dim: l.weight.value.rows(),
+            out_dim: l.weight.value.cols(),
+        }
+    }
+
+    fn forward(&mut self, x: &[f32], rows: usize) -> Vec<f32> {
+        self.cached_x = x.to_vec();
+        let mut y = vec![0.0f32; rows * self.out_dim];
+        seed_matmul(rows, self.in_dim, self.out_dim, x, &self.w, &mut y);
+        for r in 0..rows {
+            for (yv, bv) in y[r * self.out_dim..(r + 1) * self.out_dim].iter_mut().zip(&self.b) {
+                *yv += bv;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, dy: &[f32], rows: usize) -> Vec<f32> {
+        // dW = Xᵀ·dY, db = colsum(dY), dX = dY·Wᵀ.
+        let mut dw = vec![0.0f32; self.in_dim * self.out_dim];
+        seed_t_matmul(rows, self.in_dim, self.out_dim, &self.cached_x, dy, &mut dw);
+        for (g, d) in self.dw.iter_mut().zip(&dw) {
+            *g += d;
+        }
+        for r in 0..rows {
+            for (g, &d) in self.db.iter_mut().zip(&dy[r * self.out_dim..(r + 1) * self.out_dim]) {
+                *g += d;
+            }
+        }
+        let mut dx = vec![0.0f32; rows * self.in_dim];
+        seed_matmul_t(rows, self.out_dim, self.in_dim, dy, &self.w, &mut dx);
+        dx
+    }
+}
+
+/// The seed attention layer: per-head slicing, naive matmuls, separate
+/// scale and softmax passes, no threading, fresh allocations throughout.
+struct SeedAttention {
+    wq: SeedLinear,
+    wk: SeedLinear,
+    wv: SeedLinear,
+    wo: SeedLinear,
+    heads: usize,
+    dim: usize,
+    // forward cache
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    attn: Vec<Vec<f32>>, // one seq×seq matrix per (batch, head)
+    seq: usize,
+    batch: usize,
+}
+
+impl SeedAttention {
+    fn from(mha: &MultiHeadAttention, heads: usize, dim: usize) -> SeedAttention {
+        SeedAttention {
+            wq: SeedLinear::from(&mha.wq),
+            wk: SeedLinear::from(&mha.wk),
+            wv: SeedLinear::from(&mha.wv),
+            wo: SeedLinear::from(&mha.wo),
+            heads,
+            dim,
+            q: Vec::new(),
+            k: Vec::new(),
+            v: Vec::new(),
+            attn: Vec::new(),
+            seq: 0,
+            batch: 0,
+        }
+    }
+
+    /// The seed `slice_head`: copies head `h` of sequence `b` into a fresh
+    /// `seq × hd` buffer.
+    fn slice_head(&self, x: &[f32], b: usize, h: usize, seq: usize) -> Vec<f32> {
+        let hd = self.dim / self.heads;
+        let mut out = vec![0.0f32; seq * hd];
+        for t in 0..seq {
+            let src = (b * seq + t) * self.dim + h * hd;
+            out[t * hd..(t + 1) * hd].copy_from_slice(&x[src..src + hd]);
+        }
+        out
+    }
+
+    /// The seed `unslice_head_add`: scatters a `seq × hd` buffer back.
+    fn unslice_head_add(&self, part: &[f32], b: usize, h: usize, seq: usize, out: &mut [f32]) {
+        let hd = self.dim / self.heads;
+        for t in 0..seq {
+            let dst = (b * seq + t) * self.dim + h * hd;
+            out[dst..dst + hd].copy_from_slice(&part[t * hd..(t + 1) * hd]);
+        }
+    }
+
+    fn forward(&mut self, x: &[f32], rows: usize, seq: usize, mask: &[bool]) -> Vec<f32> {
+        let batch = rows / seq;
+        let hd = self.dim / self.heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+        self.q = self.wq.forward(x, rows);
+        self.k = self.wk.forward(x, rows);
+        self.v = self.wv.forward(x, rows);
+        let mut concat = vec![0.0f32; rows * self.dim];
+        self.attn.clear();
+        for b in 0..batch {
+            let bmask = &mask[b * seq..(b + 1) * seq];
+            for h in 0..self.heads {
+                let qb = self.slice_head(&self.q, b, h, seq);
+                let kb = self.slice_head(&self.k, b, h, seq);
+                let vb = self.slice_head(&self.v, b, h, seq);
+                let mut scores = vec![0.0f32; seq * seq];
+                seed_matmul_t(seq, hd, seq, &qb, &kb, &mut scores);
+                scores.iter_mut().for_each(|s| *s *= scale); // separate scale pass
+                for t in 0..seq {
+                    seed_masked_softmax_row(&mut scores[t * seq..(t + 1) * seq], bmask);
+                }
+                let mut ob = vec![0.0f32; seq * hd];
+                seed_matmul(seq, seq, hd, &scores, &vb, &mut ob);
+                self.unslice_head_add(&ob, b, h, seq, &mut concat);
+                self.attn.push(scores);
+            }
+        }
+        self.seq = seq;
+        self.batch = batch;
+        self.wo.forward(&concat, rows)
+    }
+
+    fn backward(&mut self, dy: &[f32], rows: usize) -> Vec<f32> {
+        let (batch, seq) = (self.batch, self.seq);
+        let hd = self.dim / self.heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+        let d_concat = self.wo.backward(dy, rows);
+        let mut dq_all = vec![0.0f32; rows * self.dim];
+        let mut dk_all = vec![0.0f32; rows * self.dim];
+        let mut dv_all = vec![0.0f32; rows * self.dim];
+        for b in 0..batch {
+            for h in 0..self.heads {
+                let qb = self.slice_head(&self.q, b, h, seq);
+                let kb = self.slice_head(&self.k, b, h, seq);
+                let vb = self.slice_head(&self.v, b, h, seq);
+                let dob = self.slice_head(&d_concat, b, h, seq);
+                let p = &self.attn[b * self.heads + h];
+                // dA = dO·Vᵀ ; dV = Pᵀ·dO
+                let mut da = vec![0.0f32; seq * seq];
+                seed_matmul_t(seq, hd, seq, &dob, &vb, &mut da);
+                let mut dvb = vec![0.0f32; seq * hd];
+                seed_t_matmul(seq, seq, hd, p, &dob, &mut dvb);
+                // dS = scale · P ⊙ (dA − rowsum(dA ⊙ P))
+                let mut ds = vec![0.0f32; seq * seq];
+                for t in 0..seq {
+                    let prow = &p[t * seq..(t + 1) * seq];
+                    let darow = &da[t * seq..(t + 1) * seq];
+                    let inner: f32 = prow.iter().zip(darow).map(|(x, y)| x * y).sum();
+                    for j in 0..seq {
+                        ds[t * seq + j] = prow[j] * (darow[j] - inner);
+                    }
+                }
+                ds.iter_mut().for_each(|x| *x *= scale);
+                // dQ = dS·K ; dK = dSᵀ·Q
+                let mut dqb = vec![0.0f32; seq * hd];
+                seed_matmul(seq, seq, hd, &ds, &kb, &mut dqb);
+                let mut dkb = vec![0.0f32; seq * hd];
+                seed_t_matmul(seq, seq, hd, &ds, &qb, &mut dkb);
+                self.unslice_head_add(&dqb, b, h, seq, &mut dq_all);
+                self.unslice_head_add(&dkb, b, h, seq, &mut dk_all);
+                self.unslice_head_add(&dvb, b, h, seq, &mut dv_all);
+            }
+        }
+        let mut dx = self.wq.backward(&dq_all, rows);
+        for (d, x) in dx.iter_mut().zip(self.wk.backward(&dk_all, rows)) {
+            *d += x;
+        }
+        for (d, x) in dx.iter_mut().zip(self.wv.backward(&dv_all, rows)) {
+            *d += x;
+        }
+        dx
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// The `threads` JSON block shared by all bench bins: how the budget was
+/// derived and what a reservation is actually granted right now.
+fn threads_json() -> String {
+    let s = threadpool::budget_snapshot();
+    format!(
+        "{{ \"em_num_threads\": {}, \"available_parallelism\": {}, \"effective_budget\": {}, \"reservation_probe_extra\": {} }}",
+        s.env_threads.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        s.available_parallelism,
+        s.effective,
+        s.probe_grant
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(batch: usize, seq: usize, dim: usize, heads: usize, reps: usize, out_path: &str) {
+    let rows = batch * seq;
+    let hd = dim / heads;
+    let x = fill(rows * dim, 3);
+    let dy = fill(rows * dim, 4);
+    // Ragged mask: last quarter of each sequence padded (the collated-batch
+    // shape the matchers actually produce).
+    let mask: Vec<bool> = (0..rows).map(|i| i % seq < seq - seq / 4).collect();
+    let xt = Tensor::from_vec(rows, dim, x.clone());
+    let dyt = Tensor::from_vec(rows, dim, dy.clone());
+
+    let mut rng = StdRng::seed_from_u64(12345);
+    let mut fused = MultiHeadAttention::new(dim, heads, &mut rng);
+    let mut seed = SeedAttention::from(&fused, heads, dim);
+
+    // Correctness first: the two layers must agree on identical weights,
+    // and the fused core must match the naive oracle.
+    let seed_y = seed.forward(&x, rows, seq, &mask);
+    let fused_y = fused.forward(&xt, seq, &mask);
+    let max_diff = seed_y
+        .iter()
+        .zip(fused_y.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_diff <= 1e-4,
+        "fused layer diverged from seed layer by {max_diff}"
+    );
+    let qp = fused.wq.forward_inference(&xt);
+    let kp = fused.wk.forward_inference(&xt);
+    let vp = fused.wv.forward_inference(&xt);
+    let core = em_nn::fused_attention(&qp, &kp, &vp, seq, heads, &mask);
+    let mut want = vec![0.0f32; rows * dim];
+    reference::attention(batch, seq, heads, hd, qp.data(), kp.data(), vp.data(), &mask, &mut want);
+    let core_diff = core
+        .data()
+        .iter()
+        .zip(&want)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        core_diff <= 1e-5,
+        "fused core diverged from em_nn::reference::attention by {core_diff}"
+    );
+
+    // --- Seed layer step (single-threaded by construction). -------------
+    let (t_seed, t_seed_med) = time_it(reps, || {
+        let y = seed.forward(&x, rows, seq, &mask);
+        let dx = seed.backward(&dy, rows);
+        std::hint::black_box((&y, &dx));
+    });
+
+    // --- Fused layer step, 1 thread. -------------------------------------
+    threadpool::set_max_threads(Some(1));
+    let (t_fused1, t_fused1_med) = time_it(reps, || {
+        let y = fused.forward(&xt, seq, &mask);
+        let dx = fused.backward(&dyt);
+        std::hint::black_box((&y, &dx));
+    });
+
+    // --- Fused layer step, full budget. ----------------------------------
+    threadpool::set_max_threads(None);
+    let (t_fusedp, t_fusedp_med) = time_it(reps, || {
+        let y = fused.forward(&xt, seq, &mask);
+        let dx = fused.backward(&dyt);
+        std::hint::black_box((&y, &dx));
+    });
+
+    let budget = threadpool::max_threads();
+    let speedup_1t = t_seed / t_fused1;
+    let speedup_par = t_seed / t_fusedp;
+    println!(
+        "attention layer step (fwd+bwd), batch {batch} seq {seq} d_model {dim} heads {heads}, best/median of {reps}, budget {budget} thread(s)"
+    );
+    let row_fmt = |name: &str, best: f64, med: f64| {
+        println!(
+            "  {name:<26}: best {:>8.2} ms, median {:>8.2} ms  [{:.2}x vs seed]",
+            best * 1e3,
+            med * 1e3,
+            t_seed / best
+        );
+    };
+    row_fmt("seed attention layer", t_seed, t_seed_med);
+    row_fmt("fused, 1 thread", t_fused1, t_fused1_med);
+    row_fmt(&format!("fused, {budget} thread(s)"), t_fusedp, t_fusedp_med);
+
+    let entry = |best: f64, med: f64| {
+        format!("{{ \"best_seconds\": {best:.6}, \"median_seconds\": {med:.6} }}")
+    };
+    let json = format!(
+        "{{\n  \"workload\": \"attention layer forward+backward (Q/K/V/O projections + masked softmax core)\",\n  \"shape\": {{ \"batch\": {batch}, \"seq\": {seq}, \"d_model\": {dim}, \"heads\": {heads} }},\n  \"reps\": {reps},\n  \"threads\": {},\n  \"seed_attention\": {},\n  \"fused_1_thread\": {},\n  \"fused_parallel\": {},\n  \"speedup_fused_1_thread_vs_seed\": {:.3},\n  \"speedup_fused_parallel_vs_seed\": {:.3},\n  \"max_abs_diff_layer_vs_seed\": {:.3e},\n  \"max_abs_diff_core_vs_reference\": {:.3e}\n}}\n",
+        threads_json(),
+        entry(t_seed, t_seed_med),
+        entry(t_fused1, t_fused1_med),
+        entry(t_fusedp, t_fusedp_med),
+        speedup_1t,
+        speedup_par,
+        max_diff,
+        core_diff,
+    );
+    std::fs::write(out_path, json).expect("failed to write benchmark results");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_attention.json".to_string());
+    if smoke {
+        // Tiny shape, 2 reps: validates harness + equivalence asserts in CI.
+        run(2, 16, 32, 4, 2, &out_path);
+    } else {
+        run(32, 128, 256, 8, 7, &out_path);
+    }
+}

@@ -128,8 +128,20 @@ fn main() {
             gflops(best)
         )
     };
+    // The shared bench `threads` block: how the budget was derived
+    // (EM_NUM_THREADS / available_parallelism), what is effective, and
+    // what a maximal reservation is actually granted right now.
+    let snap = threadpool::budget_snapshot();
+    let threads_block = format!(
+        "{{ \"em_num_threads\": {}, \"available_parallelism\": {}, \"effective_budget\": {}, \"reservation_probe_extra\": {} }}",
+        snap.env_threads
+            .map_or_else(|| "null".to_string(), |v| v.to_string()),
+        snap.available_parallelism,
+        snap.effective,
+        snap.probe_grant
+    );
     let json = format!(
-        "{{\n  \"shape\": {{ \"m\": {M}, \"n\": {N}, \"k\": {K} }},\n  \"flops_per_call\": {flops},\n  \"reps\": {REPS},\n  \"threads_available\": {threads},\n  \"seed_naive\": {},\n  \"reference_fma\": {},\n  \"blocked_1_thread\": {},\n  \"blocked_parallel\": {},\n  \"speedup_blocked_vs_seed_naive\": {:.3},\n  \"speedup_parallel_vs_seed_naive\": {:.3},\n  \"speedup_blocked_vs_reference\": {:.3}\n}}\n",
+        "{{\n  \"shape\": {{ \"m\": {M}, \"n\": {N}, \"k\": {K} }},\n  \"flops_per_call\": {flops},\n  \"reps\": {REPS},\n  \"threads\": {threads_block},\n  \"seed_naive\": {},\n  \"reference_fma\": {},\n  \"blocked_1_thread\": {},\n  \"blocked_parallel\": {},\n  \"speedup_blocked_vs_seed_naive\": {:.3},\n  \"speedup_parallel_vs_seed_naive\": {:.3},\n  \"speedup_blocked_vs_reference\": {:.3}\n}}\n",
         entry(t_seed, t_seed_med),
         entry(t_ref, t_ref_med),
         entry(t_blocked, t_blocked_med),

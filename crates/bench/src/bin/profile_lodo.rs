@@ -44,10 +44,45 @@ fn run_eval(suite: &[Benchmark], cfg: &EvalConfig) {
     assert_eq!(reports.len(), 2);
 }
 
+/// Exercises the fused-attention inference path on a shape above the
+/// `attn.fused` span threshold, so the `attn.*` spans and counters land
+/// in the profile. The parameter-free roster never touches the neural
+/// substrate, and fine-tuning a PLM here would dwarf the evaluation being
+/// profiled — one untrained encoder forward is enough to account for the
+/// kernel in the span report.
+fn attention_probe() {
+    use em_lm::{encode_pair, Batch, EncoderClassifier, HashTokenizer, ModelConfig};
+    let cfg = ModelConfig {
+        vocab: 512,
+        d_model: 128,
+        n_layers: 2,
+        n_heads: 8,
+        ff_mult: 2,
+        max_seq: 64,
+        dropout: 0.0,
+        claimed_params_millions: 1.0,
+    };
+    let model = EncoderClassifier::new(cfg, 0);
+    let tok = HashTokenizer::new(512);
+    let encoded: Vec<_> = (0..32)
+        .map(|i| {
+            let pair = em_core::SerializedPair {
+                left: format!("record number {i} alpha beta gamma delta"),
+                right: format!("record number {} alpha beta gamma", i % 5),
+            };
+            encode_pair(&tok, &pair, 64)
+        })
+        .collect();
+    let batch = Batch::collate(&encoded);
+    let logits = model.forward(&batch);
+    assert!(logits.iter().all(|l| l.is_finite()));
+}
+
 fn profile(suite: &[Benchmark], cfg: &EvalConfig) {
     em_obs::trace::set_capture(true);
     let t0 = Instant::now();
     run_eval(suite, cfg);
+    attention_probe();
     let wall = t0.elapsed();
     em_obs::trace::set_capture(false);
 

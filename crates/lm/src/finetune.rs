@@ -68,6 +68,7 @@ pub fn train(
         let mut total_loss = 0.0f32;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let _span = em_obs::span!("finetune.step", batch = chunk.len());
             scratch.clear();
             labels.clear();
             for &i in chunk {

@@ -320,10 +320,19 @@ impl EncoderClassifier {
             + head
     }
 
+    /// Position ids `0..seq` repeated `n` times, built with a single
+    /// allocation (the previous `flat_map` allocated one `Vec<u32>` per
+    /// sequence on every forward call).
+    fn position_ids(n: usize, seq: usize) -> Vec<u32> {
+        let mut ids = Vec::with_capacity(n * seq);
+        for _ in 0..n {
+            ids.extend(0..seq as u32);
+        }
+        ids
+    }
+
     fn embed(&self, batch: &Batch) -> (Tensor, Vec<u32>) {
-        let pos_ids: Vec<u32> = (0..batch.n)
-            .flat_map(|_| (0..batch.seq as u32).collect::<Vec<u32>>())
-            .collect();
+        let pos_ids = Self::position_ids(batch.n, batch.seq);
         let mut x = self.tok_emb.lookup(&batch.ids);
         x.add_assign(&self.pos_emb.lookup(&pos_ids));
         x.add_assign(&self.seg_emb.lookup(&batch.segments));
@@ -360,9 +369,7 @@ impl EncoderClassifier {
             "sequence exceeds positions"
         );
         // Embeddings (cache ids inside the embedding layers).
-        let pos_ids: Vec<u32> = (0..batch.n)
-            .flat_map(|_| (0..batch.seq as u32).collect::<Vec<u32>>())
-            .collect();
+        let pos_ids = Self::position_ids(batch.n, batch.seq);
         let mut x = self.tok_emb.forward(&batch.ids);
         x.add_assign(&self.pos_emb.forward(&pos_ids));
         x.add_assign(&self.seg_emb.forward(&batch.segments));
@@ -384,12 +391,67 @@ impl EncoderClassifier {
         }
     }
 
+    /// Sequences per inference sub-chunk. Small enough that a typical
+    /// scoring chunk (64 pairs) splits across an 8-way budget, large
+    /// enough that each sub-chunk's GEMMs stay well-shaped.
+    const INFER_CHUNK_SEQS: usize = 8;
+
     /// Inference forward (no caching, `&self`).
+    ///
+    /// Large batches are split into sub-chunks of [`Self::INFER_CHUNK_SEQS`]
+    /// sequences fanned out over the shared `em_nn::threadpool` budget.
+    /// Every per-sequence computation (attention is intra-sequence; GEMM
+    /// rows, LayerNorm, embedding lookup, and pooling are per-row) is
+    /// independent of the rest of the batch, so any partition is bitwise
+    /// identical to the unsplit forward. Nested reservations degrade
+    /// gracefully: when evaluation workers already hold the budget, the
+    /// chunks (and the attention fan-out below them) run sequentially.
     pub fn forward(&self, batch: &Batch) -> Vec<f32> {
         assert!(
             batch.seq <= self.config.max_seq,
             "sequence exceeds positions"
         );
+        let nchunks = batch.n.div_ceil(Self::INFER_CHUNK_SEQS);
+        if nchunks <= 1 {
+            return self.forward_chunk(batch);
+        }
+        let reservation = em_nn::threadpool::reserve_workers(nchunks - 1);
+        let nworkers = reservation.total().min(nchunks);
+        if nworkers <= 1 {
+            return self.forward_chunk(batch);
+        }
+        let slots: Vec<std::sync::Mutex<Vec<f32>>> =
+            (0..nchunks).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let work = |_w: usize| {
+                let slots = &slots;
+                let next = &next;
+                move || loop {
+                    let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if c >= nchunks {
+                        break;
+                    }
+                    let s0 = c * Self::INFER_CHUNK_SEQS;
+                    let s1 = (s0 + Self::INFER_CHUNK_SEQS).min(batch.n);
+                    let sub = Self::sub_batch(batch, s0, s1);
+                    *slots[c].lock().expect("inference slot poisoned") = self.forward_chunk(&sub);
+                }
+            };
+            for w in 1..nworkers {
+                scope.spawn(work(w));
+            }
+            work(0)();
+        });
+        let mut out = Vec::with_capacity(batch.n);
+        for slot in &slots {
+            out.extend_from_slice(&slot.lock().expect("inference slot poisoned"));
+        }
+        out
+    }
+
+    /// One sequential inference sub-chunk (the pre-split forward body).
+    fn forward_chunk(&self, batch: &Batch) -> Vec<f32> {
         let (mut x, _) = self.embed(batch);
         for block in &self.blocks {
             x = block.forward_inference(&x, batch.seq, &batch.mask);
@@ -399,6 +461,19 @@ impl EncoderClassifier {
         match &self.head {
             Head::Linear(l) => l.forward_inference(&pooled).data().to_vec(),
             Head::Moe(m) => m.forward_inference(&pooled),
+        }
+    }
+
+    /// Copies sequences `[s0, s1)` of `batch` into a standalone sub-batch.
+    fn sub_batch(batch: &Batch, s0: usize, s1: usize) -> Batch {
+        let r = s0 * batch.seq..s1 * batch.seq;
+        Batch {
+            ids: batch.ids[r.clone()].to_vec(),
+            segments: batch.segments[r.clone()].to_vec(),
+            mask: batch.mask[r.clone()].to_vec(),
+            overlap: batch.overlap[r].to_vec(),
+            n: s1 - s0,
+            seq: batch.seq,
         }
     }
 
@@ -513,6 +588,25 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-5, "{x} vs {y}");
         }
+    }
+
+    #[test]
+    fn chunked_inference_matches_unsplit_forward() {
+        // 20 sequences → 3 sub-chunks on a 4-way budget; the split path
+        // must be bitwise identical to one sequential pass (every op is
+        // per-sequence independent and the thread budget never changes
+        // reduction order).
+        let model = EncoderClassifier::new(tiny_config(), 5);
+        let owned: Vec<(String, String)> = (0..20)
+            .map(|i| (format!("item number {i}"), format!("item number {}", i % 3)))
+            .collect();
+        let pairs: Vec<(&str, &str)> = owned.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+        let batch = batch_of(&pairs, 16);
+        em_nn::threadpool::set_max_threads(Some(4));
+        let split = model.forward(&batch);
+        em_nn::threadpool::set_max_threads(None);
+        let unsplit = model.forward_chunk(&batch);
+        assert_eq!(split, unsplit, "sub-chunked inference diverged");
     }
 
     #[test]

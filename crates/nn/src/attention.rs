@@ -1,17 +1,70 @@
-//! Multi-head self-attention with padding masks and a full backward pass.
+//! Fused, arena-backed, thread-parallel multi-head self-attention.
 //!
 //! Batches are laid out as `(batch · seq, dim)` row-major tensors with a
 //! fixed sequence length per batch; a per-token boolean mask marks real
 //! tokens (`true`) vs. padding (`false`). Padding positions are excluded as
-//! attention *keys*; padded *query* rows produce zeros.
+//! attention *keys*; padded *query* rows still compute a distribution over
+//! the valid keys (their outputs are discarded by masked pooling upstream).
+//!
+//! # Kernel design
+//!
+//! The seed implementation materialized three fresh `seq × head_dim`
+//! tensors per (batch, head) via `slice_head`, issued tiny per-head
+//! matmuls, and ran the whole (batch × head) loop on one thread. This
+//! version instead:
+//!
+//! * **packs** Q/K/V into a head-major contiguous layout in one pass —
+//!   block `(b, h)` is a contiguous `seq × head_dim` matrix, so every
+//!   per-head product runs on unit-stride slices with zero copies;
+//! * **reuses** all scratch (packed operands, the score buffer, the
+//!   head-major context, backward gradients) from a per-layer arena
+//!   ([`AttnScratch`] plus the recycled [`FwdCache`]) instead of
+//!   allocating per call;
+//! * **fuses** the `1/√d` scale into the masked-softmax pass over the
+//!   contiguous score buffer ([`masked_softmax_row_scaled`]);
+//! * **fans out** the (batch × head) loop over workers reserved from the
+//!   shared [`crate::threadpool`] budget, in `forward`,
+//!   `forward_inference`, and `backward`. Items write disjoint slices and
+//!   every per-element reduction stays serial, so results are bitwise
+//!   identical at any worker count.
+//!
+//! The single-threaded oracle lives in [`crate::reference::attention`];
+//! `tests/attention_equivalence.rs` asserts equivalence (and 1/2/8-thread
+//! parity) against it.
 
+use crate::gemm;
 use crate::layers::Linear;
 use crate::param::Param;
 use crate::tensor::Tensor;
+use crate::threadpool;
 use rand::rngs::StdRng;
+use std::sync::Mutex;
+
+/// Below this `batch · heads · seq² · head_dim` volume the (batch × head)
+/// fan-out is not worth a reservation (thread spawn dominates).
+const PARALLEL_MIN_VOLUME: usize = 1 << 21;
+
+/// Volume above which one `attn.fused` / `attn.backward` span is emitted
+/// per call; smaller calls are visible only through the `attn.*` counters.
+const SPAN_MIN_VOLUME: usize = 1 << 21;
+
+/// Metric handles resolved once; attention runs once per block per step,
+/// so the registry lock must never sit on this path.
+struct AttnMetrics {
+    calls: std::sync::Arc<em_obs::metrics::Counter>,
+    flops: std::sync::Arc<em_obs::metrics::Counter>,
+}
+
+fn attn_metrics() -> &'static AttnMetrics {
+    static METRICS: std::sync::OnceLock<AttnMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| AttnMetrics {
+        calls: em_obs::metrics::counter("attn.calls"),
+        flops: em_obs::metrics::counter("attn.flops"),
+    })
+}
 
 /// Multi-head self-attention layer.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiHeadAttention {
     /// Query projection.
     pub wq: Linear,
@@ -23,25 +76,117 @@ pub struct MultiHeadAttention {
     pub wo: Linear,
     heads: usize,
     dim: usize,
-    cache: Option<Cache>,
+    cache: Option<FwdCache>,
+    /// Consumed cache recycled by the next training forward, so the packed
+    /// Q/K/V and probability buffers are allocated once per layer.
+    spare: Option<FwdCache>,
+    /// Inference / backward scratch arena. `forward`/`backward` access it
+    /// through `get_mut` (no locking); `forward_inference` (`&self`, and
+    /// possibly concurrent across evaluation workers) takes it via
+    /// `try_lock` and falls back to a fresh local arena under contention.
+    scratch: Mutex<AttnScratch>,
 }
 
-#[derive(Debug, Clone)]
-struct Cache {
-    q: Tensor,
-    k: Tensor,
-    v: Tensor,
-    /// Softmax attention matrices, one `T×T` tensor per (batch, head).
-    attn: Vec<Tensor>,
-    concat: Tensor,
+impl Clone for MultiHeadAttention {
+    fn clone(&self) -> Self {
+        MultiHeadAttention {
+            wq: self.wq.clone(),
+            wk: self.wk.clone(),
+            wv: self.wv.clone(),
+            wo: self.wo.clone(),
+            heads: self.heads,
+            dim: self.dim,
+            cache: self.cache.clone(),
+            spare: None,
+            scratch: Mutex::new(AttnScratch::default()),
+        }
+    }
+}
+
+/// Training-forward cache: head-major packed Q/K/V and the softmax
+/// probabilities, one `seq × seq` block per (batch, head).
+#[derive(Debug, Clone, Default)]
+struct FwdCache {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    probs: Vec<f32>,
+    batch: usize,
     seq: usize,
+}
+
+/// Reusable scratch buffers. During inference they hold packed Q/K/V,
+/// scores, and the head-major context; during backward the same buffers
+/// hold packed dQ/dK/dV (`q`/`k`/`v`), the packed upstream gradient
+/// (`ctx`), and per-worker dA/dS workspace (`scores`).
+#[derive(Debug, Default)]
+struct AttnScratch {
+    q: Vec<f32>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    scores: Vec<f32>,
+    ctx: Vec<f32>,
+}
+
+/// Grows `buf` to exactly `len` elements. Newly grown tail is zeroed; the
+/// callers overwrite every element they read, so stale prefixes are fine.
+fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    buf.resize(len, 0.0);
+}
+
+/// Packs interleaved `(batch·seq, heads·hd)` rows into head-major layout:
+/// block `(b, h)` is the contiguous `seq × hd` matrix at offset
+/// `((b·heads + h)·seq)·hd`.
+fn pack_heads(x: &[f32], batch: usize, seq: usize, heads: usize, hd: usize, out: &mut [f32]) {
+    let dim = heads * hd;
+    debug_assert_eq!(x.len(), batch * seq * dim);
+    debug_assert_eq!(out.len(), x.len());
+    for b in 0..batch {
+        for t in 0..seq {
+            let src = &x[(b * seq + t) * dim..(b * seq + t + 1) * dim];
+            for h in 0..heads {
+                let dst = ((b * heads + h) * seq + t) * hd;
+                out[dst..dst + hd].copy_from_slice(&src[h * hd..(h + 1) * hd]);
+            }
+        }
+    }
+}
+
+/// Inverse of [`pack_heads`]: scatters head-major blocks back into the
+/// interleaved `(batch·seq, dim)` layout. A plain copy — packing is a
+/// permutation, so no accumulation is needed.
+fn unpack_heads(packed: &[f32], batch: usize, seq: usize, heads: usize, hd: usize, out: &mut [f32]) {
+    let dim = heads * hd;
+    debug_assert_eq!(packed.len(), batch * seq * dim);
+    debug_assert_eq!(out.len(), packed.len());
+    for b in 0..batch {
+        for t in 0..seq {
+            let dst = &mut out[(b * seq + t) * dim..(b * seq + t + 1) * dim];
+            for h in 0..heads {
+                let src = ((b * heads + h) * seq + t) * hd;
+                dst[h * hd..(h + 1) * hd].copy_from_slice(&packed[src..src + hd]);
+            }
+        }
+    }
 }
 
 /// Softmax over `row` restricted to positions where `mask` is `true`;
 /// masked positions get probability 0. A fully masked row stays all-zero.
+/// (Production paths use the fused scaled variant below; this thin wrapper
+/// keeps the semantics unit-testable in isolation.)
+#[cfg(test)]
 fn masked_softmax_row(row: &mut [f32], mask: &[bool]) {
+    masked_softmax_row_scaled(row, mask, 1.0);
+}
+
+/// Fused `row *= scale` + masked softmax: the scale multiply and the
+/// running max are computed in one traversal of the contiguous score row,
+/// bitwise identical to a separate scale pass followed by
+/// [`masked_softmax_row`].
+fn masked_softmax_row_scaled(row: &mut [f32], mask: &[bool], scale: f32) {
     let mut m = f32::NEG_INFINITY;
-    for (v, &keep) in row.iter().zip(mask) {
+    for (v, &keep) in row.iter_mut().zip(mask) {
+        *v *= scale;
         if keep && *v > m {
             m = *v;
         }
@@ -64,6 +209,198 @@ fn masked_softmax_row(row: &mut [f32], mask: &[bool]) {
     }
 }
 
+/// Splits `items` (batch × head blocks) into contiguous per-worker bands
+/// and runs `run_band(first_item, items_in_band, band_slices...)` on each,
+/// where each band receives disjoint `&mut` sub-slices of every buffer in
+/// `bufs` (sliced at `per_item[i] * item` element granularity). The last
+/// band runs on the calling thread.
+fn fan_out_items<F>(items: usize, nworkers: usize, bufs: Vec<&mut [f32]>, per_item: &[usize], run_band: F)
+where
+    F: Fn(usize, usize, Vec<&mut [f32]>) + Sync,
+{
+    debug_assert_eq!(bufs.len(), per_item.len());
+    let base = items / nworkers;
+    let rem = items % nworkers;
+    std::thread::scope(|scope| {
+        let run_band = &run_band;
+        let mut rest = bufs;
+        let mut item0 = 0usize;
+        for w in 0..nworkers {
+            let items_here = base + usize::from(w < rem);
+            let mut band = Vec::with_capacity(rest.len());
+            let mut tails = Vec::with_capacity(rest.len());
+            for (buf, &stride) in rest.into_iter().zip(per_item) {
+                let (head, tail) = buf.split_at_mut(items_here * stride);
+                band.push(head);
+                tails.push(tail);
+            }
+            rest = tails;
+            let first = item0;
+            if w + 1 == nworkers {
+                run_band(first, items_here, band);
+            } else {
+                scope.spawn(move || run_band(first, items_here, band));
+            }
+            item0 += items_here;
+        }
+    });
+}
+
+/// Scaled masked attention over head-major packed Q/K/V: fills `scores`
+/// with the softmax probabilities (one `seq × seq` block per item) and
+/// `ctx` with the head-major context (`P·V`, one `seq × hd` block per
+/// item). Fan-out over (batch × head) items draws from the shared
+/// threadpool budget; items write disjoint slices and each per-element
+/// reduction is serial, so output is bitwise identical at any worker
+/// count.
+#[allow(clippy::too_many_arguments)]
+fn attend_packed(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    hd: usize,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    mask: &[bool],
+    scores: &mut [f32],
+    ctx: &mut [f32],
+) {
+    let items = batch * heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let volume = items * seq * seq * hd;
+    if em_obs::capture_enabled() {
+        let m = attn_metrics();
+        m.calls.inc();
+        // Two GEMMs (QKᵀ and P·V), one multiply + one add each.
+        m.flops.add(4 * volume as u64);
+    }
+    let _span = if volume >= SPAN_MIN_VOLUME {
+        em_obs::span!("attn.fused", batch = batch, heads = heads, seq = seq)
+    } else {
+        em_obs::trace::SpanGuard::disabled()
+    };
+
+    let run_item = |idx: usize, sc: &mut [f32], cx: &mut [f32]| {
+        let off = idx * seq * hd;
+        let qb = &q[off..off + seq * hd];
+        let kb = &k[off..off + seq * hd];
+        let vb = &v[off..off + seq * hd];
+        let bmask = &mask[(idx / heads) * seq..(idx / heads + 1) * seq];
+        // Scores = Q·Kᵀ straight into the arena block, then scale + masked
+        // softmax fused over the contiguous rows.
+        gemm::gemm(seq, hd, seq, qb, false, kb, true, sc);
+        for t in 0..seq {
+            masked_softmax_row_scaled(&mut sc[t * seq..(t + 1) * seq], bmask, scale);
+        }
+        // Context = P·V.
+        gemm::gemm(seq, seq, hd, sc, false, vb, false, cx);
+    };
+
+    let reservation = if volume >= PARALLEL_MIN_VOLUME && items > 1 {
+        threadpool::reserve_workers(items - 1)
+    } else {
+        threadpool::reserve_workers(0)
+    };
+    let nworkers = reservation.total().min(items).max(1);
+    if nworkers <= 1 {
+        for idx in 0..items {
+            let (sc, cx) = (
+                &mut scores[idx * seq * seq..(idx + 1) * seq * seq],
+                &mut ctx[idx * seq * hd..(idx + 1) * seq * hd],
+            );
+            run_item(idx, sc, cx);
+        }
+        return;
+    }
+    fan_out_items(
+        items,
+        nworkers,
+        vec![scores, ctx],
+        &[seq * seq, seq * hd],
+        |first, count, mut band| {
+            let (sc_band, cx_band) = {
+                let cx = band.pop().unwrap();
+                let sc = band.pop().unwrap();
+                (sc, cx)
+            };
+            for i in 0..count {
+                run_item(
+                    first + i,
+                    &mut sc_band[i * seq * seq..(i + 1) * seq * seq],
+                    &mut cx_band[i * seq * hd..(i + 1) * seq * hd],
+                );
+            }
+        },
+    );
+}
+
+/// Backward through the attention core for one (batch, head) item.
+/// `p` holds the cached softmax probabilities, `dob` the packed upstream
+/// gradient; writes dQ/dK/dV blocks and uses `da`/`ds` as workspace.
+#[allow(clippy::too_many_arguments)]
+fn backward_item(
+    seq: usize,
+    hd: usize,
+    scale: f32,
+    qb: &[f32],
+    kb: &[f32],
+    vb: &[f32],
+    p: &[f32],
+    dob: &[f32],
+    dq: &mut [f32],
+    dk: &mut [f32],
+    dv: &mut [f32],
+    da: &mut [f32],
+    ds: &mut [f32],
+) {
+    // dA = dO·Vᵀ ; dV = Pᵀ·dO
+    gemm::gemm(seq, hd, seq, dob, false, vb, true, da);
+    gemm::gemm(seq, seq, hd, p, true, dob, false, dv);
+    // Softmax backward per row: dS = P ⊙ (dA - rowsum(dA ⊙ P)), then the
+    // deferred 1/√d scale.
+    for t in 0..seq {
+        let prow = &p[t * seq..(t + 1) * seq];
+        let darow = &da[t * seq..(t + 1) * seq];
+        let inner: f32 = prow.iter().zip(darow).map(|(x, y)| x * y).sum();
+        let dsrow = &mut ds[t * seq..(t + 1) * seq];
+        for j in 0..seq {
+            dsrow[j] = prow[j] * (darow[j] - inner);
+        }
+    }
+    ds.iter_mut().for_each(|x| *x *= scale);
+    // dQ = dS·K ; dK = dSᵀ·Q
+    gemm::gemm(seq, seq, hd, ds, false, kb, false, dq);
+    gemm::gemm(seq, seq, hd, ds, true, qb, false, dk);
+}
+
+/// Standalone fused attention core on interleaved `(batch·seq, dim)`
+/// Q/K/V (post-projection): packs, attends, unpacks, and returns the
+/// concatenated head outputs (pre output-projection). This is the
+/// equivalence/bench entry point mirroring
+/// [`crate::reference::attention`]; the layer paths below reuse arenas
+/// instead of allocating.
+pub fn fused_attention(q: &Tensor, k: &Tensor, v: &Tensor, seq: usize, heads: usize, mask: &[bool]) -> Tensor {
+    assert_eq!(q.rows() % seq, 0, "rows must be a multiple of seq");
+    assert!(q.cols().is_multiple_of(heads), "dim must be divisible by heads");
+    assert_eq!(mask.len(), q.rows(), "mask must cover every token");
+    let batch = q.rows() / seq;
+    let dim = q.cols();
+    let hd = dim / heads;
+    let mut qp = vec![0.0f32; batch * seq * dim];
+    let mut kp = vec![0.0f32; batch * seq * dim];
+    let mut vp = vec![0.0f32; batch * seq * dim];
+    pack_heads(q.data(), batch, seq, heads, hd, &mut qp);
+    pack_heads(k.data(), batch, seq, heads, hd, &mut kp);
+    pack_heads(v.data(), batch, seq, heads, hd, &mut vp);
+    let mut scores = vec![0.0f32; batch * heads * seq * seq];
+    let mut ctx = vec![0.0f32; batch * seq * dim];
+    attend_packed(batch, seq, heads, hd, &qp, &kp, &vp, mask, &mut scores, &mut ctx);
+    let mut out = Tensor::zeros(batch * seq, dim);
+    unpack_heads(&ctx, batch, seq, heads, hd, out.data_mut());
+    out
+}
+
 impl MultiHeadAttention {
     /// New attention layer over `dim`-dimensional tokens with `heads` heads.
     ///
@@ -79,143 +416,235 @@ impl MultiHeadAttention {
             heads,
             dim,
             cache: None,
+            spare: None,
+            scratch: Mutex::new(AttnScratch::default()),
         }
-    }
-
-    /// Extracts the `(batch, head)` block as a contiguous `seq × head_dim`
-    /// matrix.
-    fn slice_head(x: &Tensor, b: usize, h: usize, seq: usize, hd: usize) -> Tensor {
-        let mut out = Tensor::zeros(seq, hd);
-        for t in 0..seq {
-            let src = &x.row(b * seq + t)[h * hd..(h + 1) * hd];
-            out.row_mut(t).copy_from_slice(src);
-        }
-        out
-    }
-
-    /// Scatter-adds a `seq × head_dim` block back into the `(batch, head)`
-    /// slot of a `(batch·seq, dim)` tensor.
-    fn unslice_head_add(dst: &mut Tensor, src: &Tensor, b: usize, h: usize, seq: usize, hd: usize) {
-        for t in 0..seq {
-            let drow = &mut dst.row_mut(b * seq + t)[h * hd..(h + 1) * hd];
-            for (d, &s) in drow.iter_mut().zip(src.row(t)) {
-                *d += s;
-            }
-        }
-    }
-
-    fn attend(
-        &self,
-        q: &Tensor,
-        k: &Tensor,
-        v: &Tensor,
-        seq: usize,
-        mask: &[bool],
-    ) -> (Tensor, Vec<Tensor>) {
-        let hd = self.dim / self.heads;
-        let batch = q.rows() / seq;
-        let scale = 1.0 / (hd as f32).sqrt();
-        let mut concat = Tensor::zeros(q.rows(), self.dim);
-        let mut attn_mats = Vec::with_capacity(batch * self.heads);
-        for b in 0..batch {
-            let bmask = &mask[b * seq..(b + 1) * seq];
-            for h in 0..self.heads {
-                let qb = Self::slice_head(q, b, h, seq, hd);
-                let kb = Self::slice_head(k, b, h, seq, hd);
-                let vb = Self::slice_head(v, b, h, seq, hd);
-                let mut scores = qb.matmul_t(&kb);
-                scores.scale(scale);
-                for t in 0..seq {
-                    masked_softmax_row(scores.row_mut(t), bmask);
-                }
-                let ob = scores.matmul(&vb);
-                Self::unslice_head_add(&mut concat, &ob, b, h, seq, hd);
-                attn_mats.push(scores);
-            }
-        }
-        (concat, attn_mats)
     }
 
     /// Forward pass. `x` is `(batch·seq, dim)`, `mask` has one entry per
-    /// token row. Caches intermediates for [`Self::backward`].
+    /// token row. Caches intermediates for [`Self::backward`]; the cache
+    /// buffers are recycled from the previous step's consumed cache.
     pub fn forward(&mut self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
         assert_eq!(x.rows() % seq, 0, "rows must be a multiple of seq");
         assert_eq!(mask.len(), x.rows(), "mask must cover every token");
         let q = self.wq.forward(x);
         let k = self.wk.forward(x);
         let v = self.wv.forward(x);
-        let (concat, attn) = self.attend(&q, &k, &v, seq, mask);
-        let out = self.wo.forward(&concat);
-        self.cache = Some(Cache {
-            q,
-            k,
-            v,
-            attn,
-            concat,
+        let batch = x.rows() / seq;
+        let hd = self.dim / self.heads;
+        let n = batch * seq * self.dim;
+
+        let mut cache = self.spare.take().unwrap_or_default();
+        ensure_len(&mut cache.q, n);
+        ensure_len(&mut cache.k, n);
+        ensure_len(&mut cache.v, n);
+        ensure_len(&mut cache.probs, batch * self.heads * seq * seq);
+        pack_heads(q.data(), batch, seq, self.heads, hd, &mut cache.q);
+        pack_heads(k.data(), batch, seq, self.heads, hd, &mut cache.k);
+        pack_heads(v.data(), batch, seq, self.heads, hd, &mut cache.v);
+
+        let scratch = self.scratch.get_mut().expect("attention scratch poisoned");
+        ensure_len(&mut scratch.ctx, n);
+        attend_packed(
+            batch,
             seq,
-        });
+            self.heads,
+            hd,
+            &cache.q,
+            &cache.k,
+            &cache.v,
+            mask,
+            &mut cache.probs,
+            &mut scratch.ctx,
+        );
+        let mut concat = Tensor::zeros(x.rows(), self.dim);
+        unpack_heads(&scratch.ctx, batch, seq, self.heads, hd, concat.data_mut());
+        let out = self.wo.forward(&concat);
+        cache.batch = batch;
+        cache.seq = seq;
+        self.cache = Some(cache);
         out
     }
 
-    /// Inference-only forward (no caching).
+    /// Inference-only forward (no caching). Scratch comes from the layer
+    /// arena when uncontended; concurrent callers (parallel evaluation
+    /// workers sharing one model) fall back to a local arena.
     pub fn forward_inference(&self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
+        assert_eq!(x.rows() % seq, 0, "rows must be a multiple of seq");
+        assert_eq!(mask.len(), x.rows(), "mask must cover every token");
         let q = self.wq.forward_inference(x);
         let k = self.wk.forward_inference(x);
         let v = self.wv.forward_inference(x);
-        let (concat, _) = self.attend(&q, &k, &v, seq, mask);
+        let batch = x.rows() / seq;
+        let hd = self.dim / self.heads;
+        let n = batch * seq * self.dim;
+
+        let mut fallback;
+        let mut guard;
+        let s: &mut AttnScratch = match self.scratch.try_lock() {
+            Ok(g) => {
+                guard = g;
+                &mut guard
+            }
+            Err(_) => {
+                fallback = AttnScratch::default();
+                &mut fallback
+            }
+        };
+        ensure_len(&mut s.q, n);
+        ensure_len(&mut s.k, n);
+        ensure_len(&mut s.v, n);
+        ensure_len(&mut s.scores, batch * self.heads * seq * seq);
+        ensure_len(&mut s.ctx, n);
+        pack_heads(q.data(), batch, seq, self.heads, hd, &mut s.q);
+        pack_heads(k.data(), batch, seq, self.heads, hd, &mut s.k);
+        pack_heads(v.data(), batch, seq, self.heads, hd, &mut s.v);
+        attend_packed(
+            batch, seq, self.heads, hd, &s.q, &s.k, &s.v, mask, &mut s.scores, &mut s.ctx,
+        );
+        let mut concat = Tensor::zeros(x.rows(), self.dim);
+        unpack_heads(&s.ctx, batch, seq, self.heads, hd, concat.data_mut());
         self.wo.forward_inference(&concat)
     }
 
     /// Backward pass: accumulates all projection gradients, returns dX.
+    /// The (batch × head) loop fans out over the shared thread budget with
+    /// per-worker dA/dS workspace from the arena; the consumed forward
+    /// cache is recycled for the next step.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.take().expect("backward called before forward");
         let hd = self.dim / self.heads;
-        let seq = cache.seq;
-        let batch = cache.q.rows() / seq;
+        let heads = self.heads;
+        let (batch, seq) = (cache.batch, cache.seq);
         let scale = 1.0 / (hd as f32).sqrt();
+        let items = batch * heads;
+        let n = batch * seq * self.dim;
+        let volume = items * seq * seq * hd;
 
         // Through the output projection.
         let d_concat = self.wo.backward(grad_out);
 
-        let mut dq = Tensor::zeros(cache.q.rows(), self.dim);
-        let mut dk = Tensor::zeros(cache.q.rows(), self.dim);
-        let mut dv = Tensor::zeros(cache.q.rows(), self.dim);
-
-        for b in 0..batch {
-            for h in 0..self.heads {
-                let a = &cache.attn[b * self.heads + h];
-                let qb = Self::slice_head(&cache.q, b, h, seq, hd);
-                let kb = Self::slice_head(&cache.k, b, h, seq, hd);
-                let vb = Self::slice_head(&cache.v, b, h, seq, hd);
-                let dob = Self::slice_head(&d_concat, b, h, seq, hd);
-
-                // dA = dO·Vᵀ ; dV = Aᵀ·dO
-                let da = dob.matmul_t(&vb);
-                let dvb = a.t_matmul(&dob);
-                // Softmax backward per row: dS = A ⊙ (dA - rowsum(dA ⊙ A)).
-                let mut ds = Tensor::zeros(seq, seq);
-                for t in 0..seq {
-                    let arow = a.row(t);
-                    let darow = da.row(t);
-                    let inner: f32 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
-                    let dsrow = ds.row_mut(t);
-                    for j in 0..seq {
-                        dsrow[j] = arow[j] * (darow[j] - inner);
-                    }
-                }
-                ds.scale(scale);
-                // dQ = dS·K ; dK = dSᵀ·Q
-                let dqb = ds.matmul(&kb);
-                let dkb = ds.t_matmul(&qb);
-                Self::unslice_head_add(&mut dq, &dqb, b, h, seq, hd);
-                Self::unslice_head_add(&mut dk, &dkb, b, h, seq, hd);
-                Self::unslice_head_add(&mut dv, &dvb, b, h, seq, hd);
-            }
+        if em_obs::capture_enabled() {
+            let m = attn_metrics();
+            m.calls.inc();
+            // Four GEMM-shaped products (dA, dV, dQ, dK) plus the softmax
+            // backward sweep.
+            m.flops.add(9 * volume as u64);
         }
-        let _ = cache.concat; // consumed implicitly by wo.backward's cache
-        let mut dx = self.wq.backward(&dq);
-        dx.add_assign(&self.wk.backward(&dk));
-        dx.add_assign(&self.wv.backward(&dv));
+        let _span = if volume >= SPAN_MIN_VOLUME {
+            em_obs::span!("attn.backward", batch = batch, heads = heads, seq = seq)
+        } else {
+            em_obs::trace::SpanGuard::disabled()
+        };
+
+        let scratch = self.scratch.get_mut().expect("attention scratch poisoned");
+        let AttnScratch {
+            q: dq_buf,
+            k: dk_buf,
+            v: dv_buf,
+            scores: work_buf,
+            ctx: dpack_buf,
+        } = scratch;
+        ensure_len(dpack_buf, n);
+        pack_heads(d_concat.data(), batch, seq, heads, hd, dpack_buf);
+        ensure_len(dq_buf, n);
+        ensure_len(dk_buf, n);
+        ensure_len(dv_buf, n);
+
+        let reservation = if volume >= PARALLEL_MIN_VOLUME && items > 1 {
+            threadpool::reserve_workers(items - 1)
+        } else {
+            threadpool::reserve_workers(0)
+        };
+        let nworkers = reservation.total().min(items).max(1);
+        // Per-worker dA + dS workspace, carved from one arena buffer.
+        ensure_len(work_buf, nworkers * 2 * seq * seq);
+
+        let run_item =
+            |idx: usize, dq: &mut [f32], dk: &mut [f32], dv: &mut [f32], da: &mut [f32], ds: &mut [f32]| {
+                let off = idx * seq * hd;
+                backward_item(
+                    seq,
+                    hd,
+                    scale,
+                    &cache.q[off..off + seq * hd],
+                    &cache.k[off..off + seq * hd],
+                    &cache.v[off..off + seq * hd],
+                    &cache.probs[idx * seq * seq..(idx + 1) * seq * seq],
+                    &dpack_buf[off..off + seq * hd],
+                    dq,
+                    dk,
+                    dv,
+                    da,
+                    ds,
+                );
+            };
+
+        if nworkers <= 1 {
+            let (da, ds) = work_buf.split_at_mut(seq * seq);
+            for idx in 0..items {
+                let off = idx * seq * hd;
+                let dq = &mut dq_buf[off..off + seq * hd];
+                let dk = &mut dk_buf[off..off + seq * hd];
+                let dv = &mut dv_buf[off..off + seq * hd];
+                run_item(idx, dq, dk, dv, &mut da[..seq * seq], &mut ds[..seq * seq]);
+            }
+        } else {
+            let base = items / nworkers;
+            let rem = items % nworkers;
+            std::thread::scope(|scope| {
+                let run_item = &run_item;
+                let mut dq_rest: &mut [f32] = dq_buf;
+                let mut dk_rest: &mut [f32] = dk_buf;
+                let mut dv_rest: &mut [f32] = dv_buf;
+                let mut work_rest: &mut [f32] = work_buf;
+                let mut item0 = 0usize;
+                for w in 0..nworkers {
+                    let items_here = base + usize::from(w < rem);
+                    let (dq_band, dq_tail) = dq_rest.split_at_mut(items_here * seq * hd);
+                    let (dk_band, dk_tail) = dk_rest.split_at_mut(items_here * seq * hd);
+                    let (dv_band, dv_tail) = dv_rest.split_at_mut(items_here * seq * hd);
+                    let (work, work_tail) = work_rest.split_at_mut(2 * seq * seq);
+                    dq_rest = dq_tail;
+                    dk_rest = dk_tail;
+                    dv_rest = dv_tail;
+                    work_rest = work_tail;
+                    let first = item0;
+                    let mut run = move || {
+                        let (da, ds) = work.split_at_mut(seq * seq);
+                        for i in 0..items_here {
+                            let off = i * seq * hd;
+                            run_item(
+                                first + i,
+                                &mut dq_band[off..off + seq * hd],
+                                &mut dk_band[off..off + seq * hd],
+                                &mut dv_band[off..off + seq * hd],
+                                da,
+                                ds,
+                            );
+                        }
+                    };
+                    if w + 1 == nworkers {
+                        run();
+                    } else {
+                        scope.spawn(run);
+                    }
+                    item0 += items_here;
+                }
+            });
+        }
+
+        let mut dq_t = Tensor::zeros(batch * seq, self.dim);
+        let mut dk_t = Tensor::zeros(batch * seq, self.dim);
+        let mut dv_t = Tensor::zeros(batch * seq, self.dim);
+        unpack_heads(dq_buf, batch, seq, heads, hd, dq_t.data_mut());
+        unpack_heads(dk_buf, batch, seq, heads, hd, dk_t.data_mut());
+        unpack_heads(dv_buf, batch, seq, heads, hd, dv_t.data_mut());
+        self.spare = Some(cache);
+
+        let mut dx = self.wq.backward(&dq_t);
+        dx.add_assign(&self.wk.backward(&dk_t));
+        dx.add_assign(&self.wv.backward(&dv_t));
         dx
     }
 
@@ -259,6 +688,20 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_roundtrips() {
+        let (batch, seq, heads, hd) = (2, 3, 2, 2);
+        let x: Vec<f32> = (0..batch * seq * heads * hd).map(|i| i as f32).collect();
+        let mut packed = vec![0.0f32; x.len()];
+        pack_heads(&x, batch, seq, heads, hd, &mut packed);
+        // Spot-check the layout: block (b=1, h=1), row t=2, col c=1 is
+        // x[(1*3+2)*4 + 1*2 + 1].
+        assert_eq!(packed[(((1 * 2 + 1) * 3) + 2) * 2 + 1], x[(5 * 4) + 3]);
+        let mut back = vec![0.0f32; x.len()];
+        unpack_heads(&packed, batch, seq, heads, hd, &mut back);
+        assert_eq!(back, x);
+    }
+
+    #[test]
     fn forward_shapes() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
@@ -276,11 +719,12 @@ mod tests {
         let mask = vec![true, true, true, false];
         let _ = mha.forward(&x, 4, &mask);
         let cache = mha.cache.as_ref().unwrap();
-        let a = &cache.attn[0];
+        // One head, one sequence: the first probs block is the 4×4 matrix.
         for t in 0..4 {
-            let s: f32 = a.row(t).iter().sum();
+            let row = &cache.probs[t * 4..(t + 1) * 4];
+            let s: f32 = row.iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
-            assert_eq!(a.get(t, 3), 0.0, "padded key must get zero attention");
+            assert_eq!(row[3], 0.0, "padded key must get zero attention");
         }
     }
 
@@ -321,6 +765,50 @@ mod tests {
         assert!(dx.data().iter().all(|v| v.is_finite()));
         assert!(mha.wq.weight.grad.frobenius_norm() > 0.0);
         assert!(mha.wo.weight.grad.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn arena_reuse_is_transparent_across_steps() {
+        // Two identical train steps must produce identical outputs and
+        // gradients even though the second recycles the first's buffers.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::from_vec(6, 8, (0..48).map(|i| ((i % 9) as f32) * 0.07).collect());
+        let mask = vec![true, true, false, true, true, true];
+        let dy = Tensor::from_vec(6, 8, (0..48).map(|i| ((i % 5) as f32) * 0.1 - 0.2).collect());
+
+        let y1 = mha.forward(&x, 3, &mask);
+        let dx1 = mha.backward(&dy);
+        let g1 = mha.wq.weight.grad.clone();
+        // Second step on the recycled arena.
+        let y2 = mha.forward(&x, 3, &mask);
+        let dx2 = mha.backward(&dy);
+        assert_eq!(y1.data(), y2.data(), "forward diverged on recycled arena");
+        assert_eq!(dx1.data(), dx2.data(), "backward diverged on recycled arena");
+        // Gradients accumulate, so step 2's wq grad is exactly double.
+        let g2 = mha.wq.weight.grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((2.0 * a - b).abs() <= 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn smaller_batch_after_larger_shrinks_logical_shape() {
+        // Arena buffers only grow; a smaller follow-up batch must still
+        // compute on the correctly sized logical prefix.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mha = MultiHeadAttention::new(4, 2, &mut rng);
+        let big = Tensor::from_vec(8, 4, (0..32).map(|i| (i as f32) * 0.03).collect());
+        let _ = mha.forward(&big, 4, &[true; 8]);
+        let _ = mha.backward(&Tensor::from_vec(8, 4, vec![0.1; 32]));
+        let small = Tensor::from_vec(2, 4, (0..8).map(|i| (i as f32) * 0.05).collect());
+        let fresh = {
+            let mut m2 = mha.clone();
+            m2.spare = None;
+            m2.forward(&small, 2, &[true, true])
+        };
+        let reused = mha.forward(&small, 2, &[true, true]);
+        assert_eq!(fresh.data(), reused.data());
     }
 
     #[test]

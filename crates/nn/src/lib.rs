@@ -31,7 +31,7 @@ pub mod reference;
 pub mod tensor;
 pub mod threadpool;
 
-pub use attention::MultiHeadAttention;
+pub use attention::{fused_attention, MultiHeadAttention};
 pub use block::TransformerBlock;
 pub use gradcheck::{max_relative_error, numeric_gradient};
 pub use layers::{Dropout, Embedding, Gelu, LayerNorm, Linear};

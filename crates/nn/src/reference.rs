@@ -73,6 +73,100 @@ pub fn matmul_t(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
     }
 }
 
+/// Naive single-threaded masked multi-head attention: the equivalence
+/// oracle for the fused kernel in [`crate::attention`].
+///
+/// `q`/`k`/`v` are interleaved `(batch·seq, heads·head_dim)` row-major
+/// buffers (the post-projection layout), `mask` has one entry per token
+/// row (`true` = real token), and `out` receives the concatenated head
+/// outputs in the same interleaved layout. Every product accumulates
+/// serially with [`f32::mul_add`] and the scale + masked softmax follows
+/// the same operation order as the fused kernel, so the two agree
+/// **bitwise** — the property suite still only asserts ≤1e-5 to keep the
+/// contract honest under future kernel changes.
+///
+/// Padded *keys* get zero attention; a fully masked row yields an all-zero
+/// distribution (and thus zero output). Padded *query* rows still attend
+/// over the valid keys — their outputs are discarded by masked pooling
+/// upstream.
+#[allow(clippy::too_many_arguments)]
+pub fn attention(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    head_dim: usize,
+    q: &[f32],
+    k: &[f32],
+    v: &[f32],
+    mask: &[bool],
+    out: &mut [f32],
+) {
+    let dim = heads * head_dim;
+    debug_assert_eq!(q.len(), batch * seq * dim);
+    debug_assert_eq!(k.len(), q.len());
+    debug_assert_eq!(v.len(), q.len());
+    debug_assert_eq!(mask.len(), batch * seq);
+    debug_assert_eq!(out.len(), q.len());
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut row = vec![0.0f32; seq];
+    for b in 0..batch {
+        let bmask = &mask[b * seq..(b + 1) * seq];
+        for h in 0..heads {
+            let col0 = h * head_dim;
+            for t in 0..seq {
+                let qrow = &q[((b * seq + t) * dim + col0)..((b * seq + t) * dim + col0 + head_dim)];
+                // Scores for query t against every key j, then the fused
+                // scale + masked softmax sequence.
+                for (j, s) in row.iter_mut().enumerate() {
+                    let krow =
+                        &k[((b * seq + j) * dim + col0)..((b * seq + j) * dim + col0 + head_dim)];
+                    let mut acc = 0.0f32;
+                    for (&qv, &kv) in qrow.iter().zip(krow) {
+                        acc = qv.mul_add(kv, acc);
+                    }
+                    *s = acc;
+                }
+                let mut m = f32::NEG_INFINITY;
+                for (s, &keep) in row.iter_mut().zip(bmask) {
+                    *s *= scale;
+                    if keep && *s > m {
+                        m = *s;
+                    }
+                }
+                if !m.is_finite() {
+                    row.iter_mut().for_each(|s| *s = 0.0);
+                } else {
+                    let mut sum = 0.0;
+                    for (s, &keep) in row.iter_mut().zip(bmask) {
+                        if keep {
+                            *s = (*s - m).exp();
+                            sum += *s;
+                        } else {
+                            *s = 0.0;
+                        }
+                    }
+                    if sum > 0.0 {
+                        row.iter_mut().for_each(|s| *s /= sum);
+                    }
+                }
+                // Context: out[t] = Σ_j P[t][j] · V[j], accumulated in
+                // j order (the same serial reduction order as P·V through
+                // the GEMM).
+                let orow = &mut out
+                    [((b * seq + t) * dim + col0)..((b * seq + t) * dim + col0 + head_dim)];
+                orow.iter_mut().for_each(|o| *o = 0.0);
+                for (j, &p) in row.iter().enumerate() {
+                    let vrow =
+                        &v[((b * seq + j) * dim + col0)..((b * seq + j) * dim + col0 + head_dim)];
+                    for (o, &vv) in orow.iter_mut().zip(vrow) {
+                        *o = p.mul_add(vv, *o);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -124,6 +124,41 @@ pub fn reserve_workers(requested: usize) -> Reservation {
     }
 }
 
+/// How the worker budget was derived, for diagnostics and benchmark
+/// provenance (the `threads` block of `BENCH_*.json`).
+#[derive(Debug, Clone)]
+pub struct BudgetSnapshot {
+    /// `EM_NUM_THREADS` if set to a parseable value ≥ 1.
+    pub env_threads: Option<usize>,
+    /// `std::thread::available_parallelism()` (1 if unknown).
+    pub available_parallelism: usize,
+    /// [`max_threads`] right now (override > env > available parallelism).
+    pub effective: usize,
+    /// Extra workers a maximal reservation would be granted right now —
+    /// 0 whenever the budget is already claimed or `effective == 1`.
+    pub probe_grant: usize,
+}
+
+/// Snapshots the current budget. The probe reservation is released before
+/// returning, so this never holds workers.
+pub fn budget_snapshot() -> BudgetSnapshot {
+    let env_threads = std::env::var("EM_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&v| v >= 1);
+    let available_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let effective = max_threads();
+    let probe_grant = reserve_workers(effective.saturating_sub(1)).extra();
+    BudgetSnapshot {
+        env_threads,
+        available_parallelism,
+        effective,
+        probe_grant,
+    }
+}
+
 /// Metric handles resolved once so reservations never take the registry
 /// lock.
 struct PoolMetrics {
@@ -186,6 +221,24 @@ mod tests {
         let again = reserve_workers(7);
         assert_eq!(again.extra(), 7);
         drop(again);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn budget_snapshot_reflects_override_and_claims() {
+        let _g = LOCK.lock().unwrap();
+        set_max_threads(Some(4));
+        let s = budget_snapshot();
+        assert_eq!(s.effective, 4);
+        assert_eq!(s.probe_grant, 3, "probe must see the whole idle budget");
+        let held = reserve_workers(3);
+        assert_eq!(held.extra(), 3);
+        assert_eq!(
+            budget_snapshot().probe_grant,
+            0,
+            "probe must see a claimed budget as empty"
+        );
+        drop(held);
         set_max_threads(None);
     }
 

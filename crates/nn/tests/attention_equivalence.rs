@@ -1,0 +1,235 @@
+//! Fused-attention equivalence suite: the packed, arena-backed, parallel
+//! kernel in `em_nn::attention` must match the naive single-threaded
+//! oracle [`em_nn::reference::attention`] — within 1e-5 on arbitrary
+//! shapes/masks, and **bitwise** across 1/2/8-thread budgets (threads
+//! partition (batch × head) items only; no reduction order ever changes).
+//!
+//! Mirrors `tests/gemm_equivalence.rs`: thread-cap tests mutate the
+//! process-global budget and serialize on [`THREAD_CAP`].
+
+use em_nn::tensor::Tensor;
+use em_nn::{fused_attention, max_relative_error, numeric_gradient, reference, threadpool, MultiHeadAttention};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that overrides the global thread cap.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-noise in roughly [-1, 1) (Knuth multiplicative
+/// hash), so property-test failures reproduce without capturing data.
+fn fill(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 2.0
+        })
+        .collect()
+}
+
+fn bits(c: &[f32]) -> Vec<u32> {
+    c.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Deterministic ragged mask: ~1/4 of tokens padded, plus sequence 0 fully
+/// masked when `with_fully_masked` (the hardest softmax edge case).
+fn ragged_mask(batch: usize, seq: usize, salt: u32, with_fully_masked: bool) -> Vec<bool> {
+    let mut mask: Vec<bool> = (0..batch * seq)
+        .map(|i| (i as u32).wrapping_mul(2654435761).wrapping_add(salt) % 4 != 0)
+        .collect();
+    if with_fully_masked {
+        mask[..seq].iter_mut().for_each(|m| *m = false);
+    }
+    mask
+}
+
+/// Runs both kernels on one configuration and returns (fused, oracle).
+fn run_both(
+    batch: usize,
+    seq: usize,
+    heads: usize,
+    hd: usize,
+    salt: u32,
+    mask: &[bool],
+) -> (Vec<f32>, Vec<f32>) {
+    let dim = heads * hd;
+    let q = fill(batch * seq * dim, salt);
+    let k = fill(batch * seq * dim, salt.wrapping_add(1));
+    let v = fill(batch * seq * dim, salt.wrapping_add(2));
+    let qt = Tensor::from_vec(batch * seq, dim, q.clone());
+    let kt = Tensor::from_vec(batch * seq, dim, k.clone());
+    let vt = Tensor::from_vec(batch * seq, dim, v.clone());
+    let fused = fused_attention(&qt, &kt, &vt, seq, heads, mask);
+    let mut want = vec![0.0f32; batch * seq * dim];
+    reference::attention(batch, seq, heads, hd, &q, &k, &v, mask, &mut want);
+    (fused.data().to_vec(), want)
+}
+
+fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+proptest! {
+    /// Satellite requirement: arbitrary (batch, seq, heads, head_dim)
+    /// with ragged masks — including fully-masked rows — agree with the
+    /// naive oracle within 1e-5 absolute.
+    #[test]
+    fn fused_matches_reference_for_arbitrary_shapes(
+        batch in 1usize..=4,
+        seq in 1usize..=12,
+        heads_pow in 0u32..3, // heads ∈ {1, 2, 4}
+        hd in 1usize..=8,
+        salt in 0u32..1000,
+        fm in 0u32..2,
+    ) {
+        let fully_masked_first = fm == 1;
+        let heads = 1usize << heads_pow;
+        let mask = ragged_mask(batch, seq, salt, fully_masked_first);
+        let (got, want) = run_both(batch, seq, heads, hd, salt, &mask);
+        let diff = max_abs_diff(&got, &want);
+        prop_assert!(
+            diff <= 1e-5,
+            "fused attention diverged by {diff} at batch={batch} seq={seq} heads={heads} hd={hd}"
+        );
+    }
+}
+
+/// The satellite's named edge cases, pinned explicitly — and asserted
+/// **bitwise**, which holds because the fused path and the oracle perform
+/// identical serial FMA reductions and the identical scale+softmax
+/// operation sequence.
+#[test]
+fn pinned_edge_cases_match_bitwise() {
+    // (batch, seq, heads, hd, fully-masked first sequence?)
+    for (batch, seq, heads, hd, fm) in [
+        (1, 7, 4, 3, false),  // batch == 1
+        (3, 5, 1, 8, false),  // heads == 1
+        (2, 6, 2, 4, true),   // a fully-masked sequence
+        (1, 1, 1, 1, false),  // smallest possible call
+        (2, 9, 4, 5, true),   // ragged + fully-masked combined
+    ] {
+        let mask = ragged_mask(batch, seq, 7, fm);
+        let (got, want) = run_both(batch, seq, heads, hd, 31, &mask);
+        assert_eq!(
+            bits(&want),
+            bits(&got),
+            "fused attention not bitwise at batch={batch} seq={seq} heads={heads} hd={hd} fm={fm}"
+        );
+    }
+}
+
+/// Fully-masked rows must produce exactly zero context (the all-zero
+/// probability row contract the pooling layer depends on).
+#[test]
+fn fully_masked_batch_yields_zero_output() {
+    let (batch, seq, heads, hd) = (2, 4, 2, 3);
+    let mask = vec![false; batch * seq];
+    let (got, want) = run_both(batch, seq, heads, hd, 5, &mask);
+    assert!(got.iter().all(|&v| v == 0.0), "fused output must be all-zero");
+    assert!(want.iter().all(|&v| v == 0.0), "oracle output must be all-zero");
+}
+
+/// Satellite requirement: the fused kernel is thread-count invariant. The
+/// shape meets the parallel threshold (4·4·64²·32 = 2^21), so workers
+/// genuinely spawn at caps > 1 on multi-core hosts; on any host the
+/// result must be bitwise identical to the oracle at every cap.
+#[test]
+fn forward_is_identical_at_1_2_and_8_threads() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let (batch, seq, heads, hd) = (4usize, 64usize, 4usize, 32usize);
+    let mask = ragged_mask(batch, seq, 13, true);
+    let dim = heads * hd;
+    let q = fill(batch * seq * dim, 41);
+    let k = fill(batch * seq * dim, 42);
+    let v = fill(batch * seq * dim, 43);
+    let mut want = vec![0.0f32; batch * seq * dim];
+    reference::attention(batch, seq, heads, hd, &q, &k, &v, &mask, &mut want);
+    let want = bits(&want);
+    for cap in [1usize, 2, 8] {
+        let qt = Tensor::from_vec(batch * seq, dim, q.clone());
+        let kt = Tensor::from_vec(batch * seq, dim, k.clone());
+        let vt = Tensor::from_vec(batch * seq, dim, v.clone());
+        threadpool::set_max_threads(Some(cap));
+        let got = fused_attention(&qt, &kt, &vt, seq, heads, &mask);
+        threadpool::set_max_threads(None);
+        assert_eq!(
+            want,
+            bits(got.data()),
+            "fused attention diverged from oracle at {cap} thread(s)"
+        );
+    }
+}
+
+/// Full-layer parity: forward output, input gradient, and all four
+/// projection weight gradients are bitwise identical at 1, 2, and 8
+/// threads (the backward fan-out partitions (batch × head) items and
+/// gives each worker private dA/dS workspace).
+#[test]
+fn layer_forward_backward_is_thread_count_invariant() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let (batch, seq, heads, dim) = (4usize, 64usize, 4usize, 128usize);
+    let mask = ragged_mask(batch, seq, 17, false);
+    let x = Tensor::from_vec(batch * seq, dim, fill(batch * seq * dim, 51));
+    let dy = Tensor::from_vec(batch * seq, dim, fill(batch * seq * dim, 52));
+
+    let run_at = |cap: usize| {
+        // Fresh layer per cap from one seed: identical weights, zero grads.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut mha = MultiHeadAttention::new(dim, heads, &mut rng);
+        threadpool::set_max_threads(Some(cap));
+        let y = mha.forward(&x, seq, &mask);
+        let dx = mha.backward(&dy);
+        threadpool::set_max_threads(None);
+        (
+            bits(y.data()),
+            bits(dx.data()),
+            bits(mha.wq.weight.grad.data()),
+            bits(mha.wk.weight.grad.data()),
+            bits(mha.wv.weight.grad.data()),
+            bits(mha.wo.weight.grad.data()),
+        )
+    };
+
+    let want = run_at(1);
+    for cap in [2usize, 8] {
+        let got = run_at(cap);
+        assert_eq!(want.0, got.0, "forward diverged at {cap} thread(s)");
+        assert_eq!(want.1, got.1, "input gradient diverged at {cap} thread(s)");
+        assert_eq!(want.2, got.2, "wq gradient diverged at {cap} thread(s)");
+        assert_eq!(want.3, got.3, "wk gradient diverged at {cap} thread(s)");
+        assert_eq!(want.4, got.4, "wv gradient diverged at {cap} thread(s)");
+        assert_eq!(want.5, got.5, "wo gradient diverged at {cap} thread(s)");
+    }
+}
+
+/// Satellite requirement: finite-difference gradcheck of the new backward
+/// through the full layer (projections + fused core), on a ragged mask
+/// with multiple heads.
+#[test]
+fn backward_gradchecks_through_fused_kernel() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+    let (batch, seq) = (2usize, 3usize);
+    let x0 = fill(batch * seq * 8, 77);
+    let mask = vec![true, true, false, true, true, true];
+    // Random projection weights so the scalar loss mixes every output.
+    let weights = fill(batch * seq * 8, 99);
+
+    let x = Tensor::from_vec(batch * seq, 8, x0.clone());
+    let y = mha.forward(&x, seq, &mask);
+    let dy = Tensor::from_vec(y.rows(), y.cols(), weights.clone());
+    let dx = mha.backward(&dy);
+
+    let numeric = numeric_gradient(
+        &x0,
+        |vals| {
+            let xt = Tensor::from_vec(batch * seq, 8, vals.to_vec());
+            let yt = mha.forward_inference(&xt, seq, &mask);
+            yt.data().iter().zip(&weights).map(|(a, b)| a * b).sum()
+        },
+        1e-2,
+    );
+    let err = max_relative_error(dx.data(), &numeric);
+    assert!(err < 0.05, "fused attention gradcheck error {err}");
+}

@@ -12,7 +12,17 @@ cd "$(dirname "$0")/.."
 cargo build --release -q -p em-bench --bin profile_lodo
 
 echo "== run profile =="
-./target/release/profile_lodo
+profile_out="$(./target/release/profile_lodo)"
+printf '%s\n' "$profile_out"
+
+# The fused-attention kernel must be visible in the profile: the probe
+# stage runs a shape above the span threshold, so the top-span report has
+# to contain attn.* spans (and the metrics registry the attn counters).
+if ! grep -q "attn\." <<<"$profile_out"; then
+    echo "profile is missing attn.* spans/counters"
+    exit 1
+fi
+echo "attn.* spans present in the top-span report"
 
 echo
 echo "== tracing overhead (budget < 2%) =="

@@ -21,3 +21,13 @@ rm -f "$trace"
 EM_TRACE="$trace" cargo test -q -p em-core --test obs_integration
 test -s "$trace" || { echo "EM_TRACE smoke failed: $trace is empty"; exit 1; }
 echo "EM_TRACE smoke: $(wc -l < "$trace") trace records in $trace"
+
+# Fused-attention gates: the kernel-equivalence + thread-parity suite
+# (fused kernel vs the naive em_nn::reference oracle at 1/2/8 threads),
+# then an attention-bench smoke — a tiny shape that still runs the
+# seed-vs-fused equivalence asserts inside the bench harness.
+cargo test -q -p em-nn --test attention_equivalence
+attn_bench="$PWD/target/tier1-bench-attention.json"
+./target/release/bench_attention "$attn_bench" --smoke
+test -s "$attn_bench" || { echo "attention bench smoke failed: $attn_bench is empty"; exit 1; }
+echo "attention bench smoke: wrote $attn_bench"
