@@ -1,0 +1,259 @@
+//! Chaos drill for the `em-faults` resilience layer.
+//!
+//! Runs a small LODO sweep of MatchGPT four times and checks the
+//! acceptance properties of the fault-injection stack end to end:
+//!
+//! 1. **Baseline** — fault-free run through the historical direct path.
+//! 2. **Chaos** — the same sweep behind the resilient hosted client with
+//!    10% injected faults of every kind. Must complete with zero aborted
+//!    items, bit-identical F1 to the baseline (retries are transparent),
+//!    no degraded rows, and non-zero `faults.*` counters.
+//! 3. **Kill + resume** — the chaos run's JSONL checkpoint is truncated
+//!    to simulate a mid-sweep kill; the resumed run must reproduce the
+//!    full result bitwise while re-evaluating only the missing items
+//!    (verified by counting `predict` calls).
+//! 4. **Dead backend** — fault rate 1.0 trips the circuit breaker; every
+//!    MatchGPT row must degrade to the registered string-similarity
+//!    fallback (bit-identical to a pure StringSim run) and say so.
+//!
+//! `--smoke` selects the reduced scale wired into `scripts/tier1.sh`.
+
+use em_bench::{Scale, StudyContext};
+use em_core::{
+    evaluate_all, evaluate_all_resumable, EvalBatch, EvalConfig, EvalReport, LodoSplit, Matcher,
+};
+use em_faults::FaultPlan;
+use em_lm::PretrainedLlm;
+use em_matchers::{DemoStrategy, MatchGpt, StringSim};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+type Factory = Box<dyn Fn() -> Box<dyn Matcher> + Send + Sync>;
+
+/// Wraps a matcher to count `predict` calls — how the resume check proves
+/// completed items were served from the checkpoint, not re-evaluated.
+struct Counting {
+    inner: Box<dyn Matcher>,
+    predicts: Arc<AtomicUsize>,
+}
+
+impl Matcher for Counting {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn params_millions(&self) -> Option<f64> {
+        self.inner.params_millions()
+    }
+    fn fit(&mut self, split: &LodoSplit<'_>, seed: u64) -> em_core::Result<()> {
+        self.inner.fit(split, seed)
+    }
+    fn predict(&mut self, batch: &EvalBatch) -> em_core::Result<Vec<bool>> {
+        self.predicts.fetch_add(1, Ordering::Relaxed);
+        self.inner.predict(batch)
+    }
+    fn saw_during_training(&self, dataset: em_core::DatasetId) -> bool {
+        self.inner.saw_during_training(dataset)
+    }
+    fn was_degraded(&self) -> bool {
+        self.inner.was_degraded()
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    em_obs::metrics::counter(name).get()
+}
+
+/// The two MatchGPT variants the drill sweeps (zero-shot and hand-picked
+/// demonstrations), so the checkpoint holds rows of several matchers.
+const VARIANTS: [(&str, DemoStrategy); 2] = [
+    ("matchgpt-gpt35", DemoStrategy::None),
+    ("matchgpt-gpt35-hand", DemoStrategy::HandPicked),
+];
+
+fn plain_factories(llm: &Arc<PretrainedLlm>) -> Vec<(String, Factory)> {
+    VARIANTS
+        .iter()
+        .map(|&(label, strategy)| {
+            let llm = llm.clone();
+            let f: Factory =
+                Box::new(move || Box::new(MatchGpt::with_llm(llm.clone(), strategy)) as _);
+            (label.to_owned(), f)
+        })
+        .collect()
+}
+
+fn resilient_factories(
+    llm: &Arc<PretrainedLlm>,
+    plan: &FaultPlan,
+    predicts: Option<&Arc<AtomicUsize>>,
+) -> Vec<(String, Factory)> {
+    VARIANTS
+        .iter()
+        .map(|&(label, strategy)| {
+            let llm = llm.clone();
+            let plan = plan.clone();
+            let predicts = predicts.cloned();
+            let f: Factory = Box::new(move || {
+                let m = MatchGpt::with_resilience(
+                    llm.clone(),
+                    strategy,
+                    Some(plan.clone()),
+                    Box::new(StringSim::new()),
+                );
+                match &predicts {
+                    Some(p) => Box::new(Counting {
+                        inner: Box::new(m),
+                        predicts: p.clone(),
+                    }) as _,
+                    None => Box::new(m) as _,
+                }
+            });
+            (label.to_owned(), f)
+        })
+        .collect()
+}
+
+fn assert_reports_bitwise_equal(what: &str, a: &[EvalReport], b: &[EvalReport]) {
+    assert_eq!(a.len(), b.len(), "{what}: report count");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.scores.len(), rb.scores.len(), "{what}: score count");
+        for (sa, sb) in ra.scores.iter().zip(&rb.scores) {
+            assert_eq!(sa.dataset, sb.dataset, "{what}: dataset order");
+            let bits_a: Vec<u64> = sa.per_seed_f1.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = sb.per_seed_f1.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits_a,
+                bits_b,
+                "{what}: F1 of {} on {} must be bit-identical",
+                ra.matcher,
+                sa.dataset.code()
+            );
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale {
+            seeds: 1,
+            test_cap: 24,
+            corpus_size: 600,
+        }
+    } else {
+        Scale {
+            seeds: 2,
+            test_cap: 120,
+            corpus_size: 4_000,
+        }
+    };
+    let cfg = EvalConfig::quick(scale.seeds, scale.test_cap);
+    let ctx = StudyContext::new(scale);
+    let llm = ctx.tier(em_lm::LlmTier::Gpt35Turbo);
+    let n_items = VARIANTS.len() * ctx.suite.len();
+
+    let workdir = std::env::temp_dir().join(format!("em-chaos-lodo-{}", std::process::id()));
+    std::fs::create_dir_all(&workdir).expect("create chaos workdir");
+    let ckpt = workdir.join("sweep.jsonl");
+
+    // 1. Fault-free baseline.
+    let baseline = evaluate_all(plain_factories(&llm), &ctx.suite, &cfg).expect("baseline sweep");
+    println!("baseline: {n_items} items ok");
+
+    // 2. Chaos sweep at 10% fault rate, all kinds, checkpointed.
+    let plan = FaultPlan::parse("1,0.1,all").expect("chaos plan");
+    let injected0 = counter("faults.injected");
+    let retries0 = counter("faults.retries");
+    let chaos = evaluate_all_resumable(
+        resilient_factories(&llm, &plan, None),
+        &ctx.suite,
+        &cfg,
+        &ckpt,
+        false,
+    )
+    .expect("chaos sweep must complete with zero aborted items");
+    let injected = counter("faults.injected") - injected0;
+    let retries = counter("faults.retries") - retries0;
+    assert!(injected > 0, "10% plan must inject at least one fault");
+    assert!(retries > 0, "injected faults must be retried");
+    assert_reports_bitwise_equal("chaos vs baseline", &chaos, &baseline);
+    assert!(
+        chaos.iter().all(|r| r.scores.iter().all(|s| !s.degraded)),
+        "10% faults must be absorbed by retries, never degrade"
+    );
+    println!(
+        "chaos:    {n_items} items ok, {injected} faults injected, {retries} retries, \
+         recovered {}, F1 bit-identical to baseline",
+        counter("faults.recovered")
+    );
+
+    // 3. Simulate a mid-sweep kill: keep only half the checkpoint rows,
+    //    then resume. Only the dropped items may be re-evaluated.
+    let text = std::fs::read_to_string(&ckpt).expect("read checkpoint");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), n_items, "one checkpoint row per item");
+    let keep = n_items / 2;
+    let truncated: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+    std::fs::write(&ckpt, truncated).expect("truncate checkpoint");
+
+    let predicts = Arc::new(AtomicUsize::new(0));
+    let resumed = evaluate_all_resumable(
+        resilient_factories(&llm, &plan, Some(&predicts)),
+        &ctx.suite,
+        &cfg,
+        &ckpt,
+        true,
+    )
+    .expect("resumed sweep");
+    assert_reports_bitwise_equal("resumed vs chaos", &resumed, &chaos);
+    let expected_predicts = (n_items - keep) * cfg.seeds.len();
+    assert_eq!(
+        predicts.load(Ordering::Relaxed),
+        expected_predicts,
+        "resume must re-evaluate only the items lost at the kill point"
+    );
+    println!(
+        "resume:   killed after {keep}/{n_items} items; resumed run re-ran \
+         {} predict calls ({} items) and reproduced the sweep bitwise",
+        expected_predicts,
+        n_items - keep
+    );
+
+    // 4. Dead backend: rate 1.0 exhausts every retry budget and trips the
+    //    breaker; MatchGPT must degrade to StringSim and say so.
+    let dead = FaultPlan::parse("9,1.0,transient").expect("dead plan");
+    let opened0 = counter("faults.breaker_opened");
+    let degraded_runs = evaluate_all(
+        resilient_factories(&llm, &dead, None),
+        &ctx.suite,
+        &cfg,
+    )
+    .expect("dead-backend sweep still completes");
+    let stringsim_factory: Vec<(String, Factory)> = vec![(
+        "stringsim".into(),
+        Box::new(|| Box::new(StringSim::new()) as _),
+    )];
+    let stringsim = evaluate_all(stringsim_factory, &ctx.suite, &cfg).expect("stringsim sweep");
+    for report in &degraded_runs {
+        assert!(
+            report.scores.iter().all(|s| s.degraded),
+            "every row of a dead backend must be marked degraded"
+        );
+        assert_reports_bitwise_equal(
+            "degraded vs stringsim",
+            std::slice::from_ref(report),
+            &stringsim,
+        );
+    }
+    assert!(
+        counter("faults.breaker_opened") > opened0,
+        "a dead backend must open the circuit breaker"
+    );
+    println!(
+        "degrade:  dead backend opened the breaker and fell back to {} bit-identically",
+        "StringSim"
+    );
+
+    std::fs::remove_dir_all(&workdir).ok();
+    println!("chaos_lodo: all checks passed");
+}

@@ -3,13 +3,17 @@
 //! ```text
 //! cargo run --release -p em-bench --bin profile_lodo            # profile
 //! cargo run --release -p em-bench --bin profile_lodo overhead   # overhead check
+//! cargo run --release -p em-bench --bin profile_lodo -- --resume  # resume a killed sweep
 //! ```
 //!
-//! The default mode runs `evaluate_all` over the generated 11-dataset
-//! suite with capture forced on, exports the trace as JSONL (to `EM_TRACE`
-//! if set, else `target/em-results/profile_lodo.jsonl`), and prints the
-//! per-stage summary: top spans by cumulative time, warning events, and
-//! the metrics registry.
+//! The default mode runs the checkpointed `evaluate_all_resumable` over
+//! the generated 11-dataset suite with capture forced on, exports the
+//! trace as JSONL (to `EM_TRACE` if set, else
+//! `target/em-results/profile_lodo.jsonl`), and prints the per-stage
+//! summary: top spans by cumulative time, warning events, and the
+//! metrics registry. Completed (matcher × target) items stream to
+//! `target/em-results/profile_lodo.ckpt.jsonl`; `--resume` skips the
+//! items a previous (killed) run already finished, bit-identically.
 //!
 //! `overhead` runs the same evaluation twice — capture off, then capture
 //! on — and reports the tracing overhead against the <2% budget
@@ -41,6 +45,17 @@ fn roster() -> Vec<(String, Factory)> {
 
 fn run_eval(suite: &[Benchmark], cfg: &EvalConfig) {
     let reports = evaluate_all(roster(), suite, cfg).expect("evaluation failed");
+    assert_eq!(reports.len(), 2);
+}
+
+/// The profile-mode sweep: checkpointed, so a killed profiling run can be
+/// picked up with `--resume` instead of starting over.
+fn run_eval_checkpointed(suite: &[Benchmark], cfg: &EvalConfig, resume: bool) {
+    let dir = std::path::Path::new("target/em-results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let ckpt = dir.join("profile_lodo.ckpt.jsonl");
+    let reports = em_core::evaluate_all_resumable(roster(), suite, cfg, &ckpt, resume)
+        .expect("evaluation failed");
     assert_eq!(reports.len(), 2);
 }
 
@@ -78,10 +93,10 @@ fn attention_probe() {
     assert!(logits.iter().all(|l| l.is_finite()));
 }
 
-fn profile(suite: &[Benchmark], cfg: &EvalConfig) {
+fn profile(suite: &[Benchmark], cfg: &EvalConfig, resume: bool) {
     em_obs::trace::set_capture(true);
     let t0 = Instant::now();
-    run_eval(suite, cfg);
+    run_eval_checkpointed(suite, cfg, resume);
     attention_probe();
     let wall = t0.elapsed();
     em_obs::trace::set_capture(false);
@@ -170,15 +185,21 @@ fn overhead(suite: &[Benchmark], cfg: &EvalConfig) {
 }
 
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let resume = args.iter().any(|a| a == "--resume");
+    let mode = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_default();
     let scale = Scale::from_env();
     let suite = em_datagen::generate_suite(0);
     let cfg = scale.eval_config();
     match mode.as_str() {
-        "" | "profile" => profile(&suite, &cfg),
+        "" | "profile" => profile(&suite, &cfg, resume),
         "overhead" => overhead(&suite, &cfg),
         other => {
-            eprintln!("unknown mode `{other}` (expected: profile | overhead)");
+            eprintln!("unknown mode `{other}` (expected: profile | overhead) [--resume]");
             std::process::exit(2);
         }
     }

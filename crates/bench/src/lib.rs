@@ -25,6 +25,7 @@ pub mod study;
 
 pub use paper::{paper_row, paper_table3, paper_table4_means, PaperRow};
 pub use study::{
-    finding5_domain_overlap, finding6_skew_correlation, format_row, parse_results_csv, parsed_mean,
-    reports_to_csv, results_path, table3_header, Scale, StudyContext,
+    finding5_domain_overlap, finding6_skew_correlation, format_row, matchgpt_from_env,
+    parse_results_csv, parsed_mean, reports_to_csv, results_path, table3_header, Scale,
+    StudyContext,
 };

@@ -104,7 +104,7 @@ impl StudyContext {
             Box::new(Jellyfish::pretrained(&self.corpus)),
         ];
         for tier in LlmTier::ALL {
-            roster.push(Box::new(MatchGpt::with_llm(
+            roster.push(Box::new(matchgpt_from_env(
                 self.tier(tier),
                 DemoStrategy::None,
             )));
@@ -116,6 +116,22 @@ impl StudyContext {
     pub fn run(&self, matcher: &mut dyn Matcher) -> EvalReport {
         evaluate_matcher(matcher, &self.suite, &self.scale.eval_config())
             .expect("evaluation failed")
+    }
+}
+
+/// Builds a MatchGPT instance honouring the `EM_FAULTS` environment
+/// contract: when a fault plan is configured the matcher goes through the
+/// resilient hosted client (retry/backoff/circuit-breaker, with the
+/// string-similarity tier registered as degradation fallback); without
+/// `EM_FAULTS` it uses the historical direct path. Every study harness
+/// that constructs MatchGPT should come through here so a chaos run needs
+/// nothing but the environment variable.
+pub fn matchgpt_from_env(llm: Arc<PretrainedLlm>, strategy: DemoStrategy) -> MatchGpt {
+    match em_faults::FaultPlan::from_env() {
+        Some(plan) => {
+            MatchGpt::with_resilience(llm, strategy, Some(plan), Box::new(StringSim::new()))
+        }
+        None => MatchGpt::with_llm(llm, strategy),
     }
 }
 
@@ -280,6 +296,7 @@ mod tests {
                     dataset: d,
                     per_seed_f1: vec![base + i as f64, base + i as f64 + 1.0],
                     seen_in_training: false,
+                    degraded: false,
                 })
                 .collect(),
         }

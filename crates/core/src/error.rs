@@ -28,6 +28,9 @@ pub enum EmError {
     /// item; the panic was caught and converted into this per-item error
     /// instead of aborting the whole run.
     WorkerPanic(String),
+    /// Reading or writing the evaluation checkpoint log failed, or the log
+    /// itself is corrupt (a torn *final* line is tolerated, not reported).
+    Checkpoint(String),
 }
 
 impl fmt::Display for EmError {
@@ -48,6 +51,7 @@ impl fmt::Display for EmError {
                 "length mismatch: {predictions} predictions vs {labels} labels"
             ),
             EmError::WorkerPanic(msg) => write!(f, "evaluation worker panicked: {msg}"),
+            EmError::Checkpoint(msg) => write!(f, "checkpoint failure: {msg}"),
         }
     }
 }
@@ -56,6 +60,19 @@ impl std::error::Error for EmError {}
 
 /// Convenience result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, EmError>;
+
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces) for an [`EmError::WorkerPanic`] message. Shared by every
+/// join site that contains worker panics instead of aborting.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -82,6 +99,8 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains('5'));
         let e = EmError::WorkerPanic("boom".into());
         assert!(e.to_string().contains("boom"));
+        let e = EmError::Checkpoint("torn".into());
+        assert!(e.to_string().contains("torn"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   aggregated.
 
 use crate::dataset::{Benchmark, DatasetId};
-use crate::error::{EmError, Result};
+use crate::error::{panic_message, EmError, Result};
 use crate::lodo::{lodo_split, LodoSplit};
 use crate::matcher::{EvalBatch, Matcher};
 use crate::metrics::{f1_percent, macro_average, MeanStd};
@@ -114,6 +114,10 @@ pub struct DatasetScore {
     /// `true` if the matcher saw this dataset during its own training
     /// (bracketed in Table 3).
     pub seen_in_training: bool,
+    /// `true` if any seed's predictions came from a degraded fallback path
+    /// (the hosted-LLM circuit breaker was open and a registered fallback
+    /// matcher answered instead).
+    pub degraded: bool,
 }
 
 impl DatasetScore {
@@ -196,6 +200,7 @@ pub fn evaluate_on_target(
     let _span = em_obs::span!("eval.item", matcher = matcher.name(), target = target.code());
     let t0 = em_obs::capture_enabled().then(std::time::Instant::now);
     let mut per_seed_f1 = Vec::with_capacity(cfg.seeds.len());
+    let mut degraded = false;
     for &seed in &cfg.seeds {
         {
             let _fit = em_obs::span!("eval.fit", seed = seed);
@@ -206,6 +211,7 @@ pub fn evaluate_on_target(
             let _predict = em_obs::span!("eval.predict", seed = seed, pairs = labels.len());
             matcher.predict(&batch)?
         };
+        degraded |= matcher.was_degraded();
         if em_obs::capture_enabled() {
             em_obs::metrics::counter("eval.pairs_scored").add(labels.len() as u64);
         }
@@ -225,6 +231,7 @@ pub fn evaluate_on_target(
         dataset: target,
         per_seed_f1,
         seen_in_training: matcher.saw_during_training(target),
+        degraded,
     })
 }
 
@@ -272,8 +279,82 @@ pub fn evaluate_all<F>(
 where
     F: Fn() -> Box<dyn Matcher> + Send + Sync,
 {
+    evaluate_all_inner(factories, benchmarks, cfg, None)
+}
+
+/// Like [`evaluate_all`], but streams every completed (matcher × target)
+/// item to a JSONL checkpoint file as soon as it finishes.
+///
+/// With `resume = true` an existing checkpoint is read back first and the
+/// items it covers are served from the log instead of being re-evaluated —
+/// the per-seed F1 values round-trip bit-identically (see
+/// [`crate::checkpoint`]), so a killed-and-resumed sweep produces exactly
+/// the reports of an uninterrupted one. Rows are matched by (factory
+/// label × dataset) and must carry one F1 value per configured seed;
+/// stale rows (changed seed count, unknown label) are discarded and their
+/// items re-run. With `resume = false` any existing file is overwritten.
+pub fn evaluate_all_resumable<F>(
+    factories: Vec<(String, F)>,
+    benchmarks: &[Benchmark],
+    cfg: &EvalConfig,
+    checkpoint_path: &std::path::Path,
+    resume: bool,
+) -> Result<Vec<EvalReport>>
+where
+    F: Fn() -> Box<dyn Matcher> + Send + Sync,
+{
+    evaluate_all_inner(factories, benchmarks, cfg, Some((checkpoint_path, resume)))
+}
+
+fn evaluate_all_inner<F>(
+    factories: Vec<(String, F)>,
+    benchmarks: &[Benchmark],
+    cfg: &EvalConfig,
+    checkpoint: Option<(&std::path::Path, bool)>,
+) -> Result<Vec<EvalReport>>
+where
+    F: Fn() -> Box<dyn Matcher> + Send + Sync,
+{
+    use crate::checkpoint::{read_rows, CheckpointLog, CheckpointRow};
+
+    // Resume: load completed rows keyed by (factory label, dataset) and
+    // keep only those that still describe a scheduled item under the
+    // current configuration.
+    let mut done: Vec<Option<CheckpointRow>> = (0..factories.len() * benchmarks.len())
+        .map(|_| None)
+        .collect();
+    if let Some((path, true)) = checkpoint {
+        if path.exists() {
+            for row in read_rows(path)? {
+                let (Some(mi), Some(bi)) = (
+                    factories.iter().position(|(label, _)| *label == row.label),
+                    benchmarks.iter().position(|b| b.id == row.dataset),
+                ) else {
+                    continue;
+                };
+                if row.per_seed_f1.len() == cfg.seeds.len() {
+                    em_obs::event!(
+                        info,
+                        "eval.resume_skip",
+                        matcher = row.label.as_str(),
+                        target = row.dataset.code()
+                    );
+                    done[mi * benchmarks.len() + bi] = Some(row);
+                }
+            }
+        }
+    }
+    let log = match checkpoint {
+        Some((path, _)) => {
+            let retained: Vec<CheckpointRow> = done.iter().flatten().cloned().collect();
+            Some(CheckpointLog::create(path, &retained)?)
+        }
+        None => None,
+    };
+
     let items: Vec<(usize, usize)> = (0..factories.len())
         .flat_map(|mi| (0..benchmarks.len()).map(move |bi| (mi, bi)))
+        .filter(|&(mi, bi)| done[mi * benchmarks.len() + bi].is_none())
         .collect();
     // Bounded concurrency: the calling thread plus however many extra
     // workers the shared budget grants (never more than there are items,
@@ -282,14 +363,39 @@ where
     let nworkers = reservation.total().min(items.len()).max(1);
     let queue = crate::workqueue::WorkQueue::new(nworkers, items);
 
-    // One result slot per (matcher, target); each is written exactly once.
-    let slots: Vec<Mutex<Option<Result<DatasetScore>>>> = (0..factories.len() * benchmarks.len())
-        .map(|_| Mutex::new(None))
+    // One result slot per (matcher, target); each is written exactly once —
+    // resumed items are pre-filled from the checkpoint before any worker
+    // starts, the rest by whichever worker drains them.
+    let slots: Vec<Mutex<Option<Result<DatasetScore>>>> = done
+        .iter()
+        .map(|row| {
+            Mutex::new(row.as_ref().map(|r| {
+                Ok(DatasetScore {
+                    dataset: r.dataset,
+                    per_seed_f1: r.per_seed_f1.clone(),
+                    seen_in_training: r.seen_in_training,
+                    degraded: r.degraded,
+                })
+            }))
+        })
         .collect();
     // Display name and parameter count, recorded by whichever worker
-    // constructs an instance of the matcher first.
-    let meta: Vec<Mutex<Option<(String, Option<f64>)>>> =
-        (0..factories.len()).map(|_| Mutex::new(None)).collect();
+    // constructs an instance of the matcher first — or carried over from
+    // the checkpoint for matchers whose items were all resumed.
+    let meta: Vec<Mutex<Option<(String, Option<f64>)>>> = (0..factories.len())
+        .map(|mi| {
+            Mutex::new(
+                done[mi * benchmarks.len()..(mi + 1) * benchmarks.len()]
+                    .iter()
+                    .flatten()
+                    .next()
+                    .map(|r| (r.name.clone(), r.params_millions)),
+            )
+        })
+        .collect();
+    // First checkpoint-append failure, surfaced after the sweep (a lost
+    // checkpoint must not silently break a later `--resume`).
+    let ckpt_err: Mutex<Option<EmError>> = Mutex::new(None);
 
     let worker = |id: usize| {
         // Matcher instances are per worker and lazily built, so a worker
@@ -325,12 +431,36 @@ where
                 );
                 Err(EmError::WorkerPanic(panic_message(payload.as_ref())))
             });
+            if let (Some(log), Ok(score)) = (&log, &result) {
+                let (name, params) = meta[mi]
+                    .lock()
+                    .unwrap()
+                    .clone()
+                    .unwrap_or_else(|| (factories[mi].0.clone(), None));
+                let row = crate::checkpoint::CheckpointRow {
+                    label: factories[mi].0.clone(),
+                    name,
+                    params_millions: params,
+                    dataset: benchmarks[bi].id,
+                    per_seed_f1: score.per_seed_f1.clone(),
+                    seen_in_training: score.seen_in_training,
+                    degraded: score.degraded,
+                };
+                if let Err(e) = log.append(&row) {
+                    ckpt_err.lock().unwrap().get_or_insert(e);
+                }
+            }
             *slots[mi * benchmarks.len() + bi].lock().unwrap() = Some(result);
         }
     };
 
-    if nworkers <= 1 {
+    // A panic inside matcher code is already contained per item by the
+    // catch_unwind above; a panic in the worker loop itself (poisoned
+    // lock, queue bug) is collected at the join and surfaced as an error
+    // instead of aborting the caller via the old `.expect` on join.
+    let join_panics: Vec<String> = if nworkers <= 1 {
         worker(0);
+        Vec::new()
     } else {
         std::thread::scope(|scope| {
             let worker = &worker;
@@ -339,12 +469,20 @@ where
                 handles.push(scope.spawn(move || worker(id)));
             }
             worker(0);
-            for h in handles {
-                h.join().expect("evaluation worker panicked");
-            }
-        });
-    }
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().err())
+                .map(|payload| panic_message(payload.as_ref()))
+                .collect()
+        })
+    };
     drop(reservation);
+    if let Some(e) = ckpt_err.into_inner().unwrap() {
+        return Err(e);
+    }
+    if !join_panics.is_empty() {
+        return Err(EmError::WorkerPanic(join_panics.join("; ")));
+    }
 
     let mut slots = slots.into_iter();
     factories
@@ -358,8 +496,12 @@ where
                         .next()
                         .expect("one slot per (matcher, target)")
                         .into_inner()
-                        .unwrap()
-                        .expect("every work item was drained")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .unwrap_or_else(|| {
+                            Err(EmError::WorkerPanic(
+                                "work item was never completed".into(),
+                            ))
+                        })
                 })
                 .collect::<Result<Vec<DatasetScore>>>()?;
             // With an empty suite no worker ever built the matcher; probe
@@ -378,18 +520,6 @@ where
             })
         })
         .collect()
-}
-
-/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
-/// produces) for the [`EmError::WorkerPanic`] message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
-    }
 }
 
 #[cfg(test)]

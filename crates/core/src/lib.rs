@@ -13,8 +13,10 @@
 //! * metrics (F1, macro-F1, mean ± std) and the statistical tests used for
 //!   Findings 5/6 ([`metrics`], [`stats`]);
 //! * the evaluation driver implementing the full experimental protocol
-//!   ([`eval`]).
+//!   ([`eval`]), with streaming JSONL checkpoints for killed-and-resumed
+//!   sweeps ([`checkpoint`]).
 
+pub mod checkpoint;
 pub mod dataset;
 pub mod error;
 pub mod eval;
@@ -27,11 +29,12 @@ pub mod serialize;
 pub mod stats;
 pub mod workqueue;
 
+pub use checkpoint::{read_rows, CheckpointLog, CheckpointRow};
 pub use dataset::{spec_of, Benchmark, DatasetId, DatasetSpec, Domain, TABLE1};
 pub use error::{EmError, Result};
 pub use eval::{
-    build_batch, evaluate_all, evaluate_matcher, evaluate_on_target, test_sample, DatasetScore,
-    EvalConfig, EvalReport, TEST_CAP,
+    build_batch, evaluate_all, evaluate_all_resumable, evaluate_matcher, evaluate_on_target,
+    test_sample, DatasetScore, EvalConfig, EvalReport, TEST_CAP,
 };
 pub use lodo::{all_splits, lodo_split, LodoSplit};
 pub use matcher::{EvalBatch, Matcher};

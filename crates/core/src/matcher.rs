@@ -68,6 +68,14 @@ pub trait Matcher: Send {
     fn saw_during_training(&self, _dataset: DatasetId) -> bool {
         false
     }
+
+    /// `true` if the most recent [`Matcher::predict`] call served degraded
+    /// predictions — e.g. a hosted-LLM matcher whose circuit breaker was
+    /// open fell back to its registered string-similarity tier. Reset by
+    /// [`Matcher::fit`]. Matchers without a degraded mode keep the default.
+    fn was_degraded(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,252 @@
+//! Kill-and-resume integration tests for the checkpointed evaluation
+//! driver: for *any* interruption point, a resumed sweep must reproduce
+//! the uninterrupted run bit-identically while re-evaluating only the
+//! items lost at the kill.
+
+use em_core::{
+    evaluate_all, evaluate_all_resumable, AttrType, AttrValue, Benchmark, DatasetId, EvalBatch,
+    EvalConfig, EvalReport, LabeledPair, LodoSplit, Matcher, Record,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn suite() -> Vec<Benchmark> {
+    DatasetId::ALL
+        .iter()
+        .map(|&id| Benchmark {
+            id,
+            attr_types: vec![AttrType::ShortText, AttrType::Numeric],
+            pairs: (0..24)
+                .map(|i| {
+                    let l = Record::new(
+                        i as u64,
+                        vec![
+                            AttrValue::Text(format!("{} item {i}", id.code())),
+                            AttrValue::Number(i as f64),
+                        ],
+                    );
+                    let r = if i % 3 == 0 {
+                        l.clone()
+                    } else {
+                        Record::new(
+                            i as u64 + 10_000,
+                            vec![
+                                AttrValue::Text(format!("{} other {i}", id.code())),
+                                AttrValue::Number(i as f64 + 1.0),
+                            ],
+                        )
+                    };
+                    LabeledPair::new(l, r, i % 3 == 0)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// A deterministic matcher whose predictions genuinely depend on the fit
+/// seed and the pair text, so per-seed F1 values differ and a bitwise
+/// comparison is meaningful. Also counts `predict` calls: the proof that
+/// resumed items were served from the checkpoint.
+struct HashVote {
+    seed: u64,
+    predicts: Arc<AtomicUsize>,
+}
+
+impl Matcher for HashVote {
+    fn name(&self) -> String {
+        "HashVote".into()
+    }
+    fn params_millions(&self) -> Option<f64> {
+        Some(0.001)
+    }
+    fn fit(&mut self, _: &LodoSplit<'_>, seed: u64) -> em_core::Result<()> {
+        self.seed = seed;
+        Ok(())
+    }
+    fn predict(&mut self, batch: &EvalBatch) -> em_core::Result<Vec<bool>> {
+        self.predicts.fetch_add(1, Ordering::Relaxed);
+        Ok(batch
+            .serialized
+            .iter()
+            .map(|p| {
+                let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed.wrapping_mul(0x9e37);
+                for b in p.left.bytes().chain(p.right.bytes()) {
+                    h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                h & 1 == 0
+            })
+            .collect())
+    }
+}
+
+type Factory = Box<dyn Fn() -> Box<dyn Matcher> + Send + Sync>;
+
+fn factories(predicts: &Arc<AtomicUsize>) -> Vec<(String, Factory)> {
+    ["hash-a", "hash-b"]
+        .into_iter()
+        .map(|label| {
+            let predicts = predicts.clone();
+            let f: Factory = Box::new(move || {
+                Box::new(HashVote {
+                    seed: 0,
+                    predicts: predicts.clone(),
+                }) as _
+            });
+            (label.to_owned(), f)
+        })
+        .collect()
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "em-ckpt-resume-{}-{tag}.jsonl",
+        std::process::id()
+    ))
+}
+
+fn assert_bitwise_equal(a: &[EvalReport], b: &[EvalReport]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        prop_assert_eq!(&ra.matcher, &rb.matcher);
+        prop_assert_eq!(ra.params_millions, rb.params_millions);
+        prop_assert_eq!(ra.scores.len(), rb.scores.len());
+        for (sa, sb) in ra.scores.iter().zip(&rb.scores) {
+            prop_assert_eq!(sa.dataset, sb.dataset);
+            prop_assert_eq!(sa.seen_in_training, sb.seen_in_training);
+            prop_assert_eq!(sa.degraded, sb.degraded);
+            let bits_a: Vec<u64> = sa.per_seed_f1.iter().map(|v| v.to_bits()).collect();
+            let bits_b: Vec<u64> = sb.per_seed_f1.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(bits_a, bits_b);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Kill the sweep after `k` completed items (truncate the checkpoint
+    /// to its first `k` rows), resume, and require (a) a bit-identical
+    /// result and (b) exactly the remaining items re-evaluated.
+    #[test]
+    fn any_interruption_point_resumes_bitwise(k in 0usize..=22) {
+        let suite = suite();
+        let cfg = EvalConfig::quick(2, 24);
+        let n_items = 2 * suite.len();
+        let path = tmp_path(&format!("prop{k}"));
+
+        let full_predicts = Arc::new(AtomicUsize::new(0));
+        let full = evaluate_all_resumable(factories(&full_predicts), &suite, &cfg, &path, false)
+            .unwrap();
+        prop_assert_eq!(full_predicts.load(Ordering::Relaxed), n_items * 2);
+
+        // Simulate the kill: keep the first k completed rows.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), n_items);
+        let truncated: String = lines[..k].iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed_predicts = Arc::new(AtomicUsize::new(0));
+        let resumed =
+            evaluate_all_resumable(factories(&resumed_predicts), &suite, &cfg, &path, true)
+                .unwrap();
+        assert_bitwise_equal(&resumed, &full)?;
+        prop_assert_eq!(
+            resumed_predicts.load(Ordering::Relaxed),
+            (n_items - k) * 2,
+            "resume must only re-evaluate the {} lost items",
+            n_items - k
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn checkpointed_run_matches_plain_evaluate_all() {
+    let suite = suite();
+    let cfg = EvalConfig::quick(2, 24);
+    let path = tmp_path("plain");
+
+    let predicts = Arc::new(AtomicUsize::new(0));
+    let plain = evaluate_all(factories(&predicts), &suite, &cfg).unwrap();
+    let ckpt = evaluate_all_resumable(factories(&predicts), &suite, &cfg, &path, false).unwrap();
+    assert_bitwise_equal(&ckpt, &plain).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_final_row_is_reevaluated_not_fatal() {
+    let suite = suite();
+    let cfg = EvalConfig::quick(1, 24);
+    let path = tmp_path("torn");
+
+    let predicts = Arc::new(AtomicUsize::new(0));
+    let full = evaluate_all_resumable(factories(&predicts), &suite, &cfg, &path, false).unwrap();
+
+    // Cut the last row in half, as a kill mid-write would.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let cut = text.len() - 25;
+    std::fs::write(&path, &text[..cut]).unwrap();
+
+    let resumed = evaluate_all_resumable(factories(&predicts), &suite, &cfg, &path, true).unwrap();
+    assert_bitwise_equal(&resumed, &full).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_seed_count_discards_rows_and_reruns() {
+    let suite = suite();
+    let path = tmp_path("stale");
+
+    let predicts = Arc::new(AtomicUsize::new(0));
+    evaluate_all_resumable(
+        factories(&predicts),
+        &suite,
+        &EvalConfig::quick(1, 24),
+        &path,
+        false,
+    )
+    .unwrap();
+
+    // Resuming under a different seed count must ignore every stale row
+    // (their per-seed vectors no longer fit) and still produce a correct
+    // fresh run.
+    let cfg2 = EvalConfig::quick(2, 24);
+    let fresh_predicts = Arc::new(AtomicUsize::new(0));
+    let resumed =
+        evaluate_all_resumable(factories(&fresh_predicts), &suite, &cfg2, &path, true).unwrap();
+    assert_eq!(
+        fresh_predicts.load(Ordering::Relaxed),
+        2 * suite.len() * 2,
+        "no stale row may satisfy the new config"
+    );
+    let direct_predicts = Arc::new(AtomicUsize::new(0));
+    let direct = evaluate_all(factories(&direct_predicts), &suite, &cfg2).unwrap();
+    assert_bitwise_equal(&resumed, &direct).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn fully_resumed_sweep_runs_nothing_and_keeps_metadata() {
+    let suite = suite();
+    let cfg = EvalConfig::quick(2, 24);
+    let path = tmp_path("full");
+
+    let predicts = Arc::new(AtomicUsize::new(0));
+    let full = evaluate_all_resumable(factories(&predicts), &suite, &cfg, &path, false).unwrap();
+
+    let resumed_predicts = Arc::new(AtomicUsize::new(0));
+    let resumed =
+        evaluate_all_resumable(factories(&resumed_predicts), &suite, &cfg, &path, true).unwrap();
+    assert_eq!(
+        resumed_predicts.load(Ordering::Relaxed),
+        0,
+        "a complete checkpoint leaves nothing to evaluate"
+    );
+    assert_bitwise_equal(&resumed, &full).unwrap();
+    // Matcher metadata must come from the checkpoint rows, not a probe.
+    assert!(resumed.iter().all(|r| r.matcher == "HashVote"));
+    assert_eq!(resumed[0].params_millions, Some(0.001));
+    std::fs::remove_file(&path).ok();
+}

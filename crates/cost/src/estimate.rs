@@ -128,11 +128,7 @@ pub fn table6(throughputs: &[(&str, f64)]) -> Vec<CostEntry> {
     .into_iter()
     .flatten()
     .collect();
-    rows.sort_by(|a, b| {
-        b.usd_per_1k_tokens
-            .partial_cmp(&a.usd_per_1k_tokens)
-            .unwrap()
-    });
+    rows.sort_by(|a, b| b.usd_per_1k_tokens.total_cmp(&a.usd_per_1k_tokens));
     rows
 }
 
@@ -149,6 +145,76 @@ pub fn measured_throughput() -> Option<f64> {
         return None;
     }
     Some(tokens as f64 / (ns as f64 / 1e9))
+}
+
+/// Prompt tokens a hosted API would bill for an instrumented run:
+/// `(clean, retried)`. The clean part is `lm.prompt_tokens` (tokens of
+/// chunks that produced answers; maintained by `em_lm::zoo` when
+/// [`em_obs`] capture is on, like [`measured_throughput`]). The retried
+/// part is `faults.retried_tokens` — every token the resilient hosted
+/// client re-sent on a retry attempt; it is always-on, because a flaky
+/// backend bills those tokens whether or not tracing is enabled.
+pub fn billed_prompt_tokens() -> (u64, u64) {
+    (
+        em_obs::metrics::counter("lm.prompt_tokens").get(),
+        em_obs::metrics::counter("faults.retried_tokens").get(),
+    )
+}
+
+/// The API bill of a hosted run, split into useful work and retry
+/// overhead — faults do not change F1 (retries are transparent) but they
+/// do change the bill, and this is where that shows up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiBill {
+    /// Tokens billed for chunks that produced answers.
+    pub clean_tokens: u64,
+    /// Tokens billed again for retry attempts.
+    pub retried_tokens: u64,
+    /// USD per 1,000 tokens used for the conversion.
+    pub usd_per_1k_tokens: f64,
+}
+
+impl ApiBill {
+    /// Bill for the useful work alone.
+    pub fn usd_clean(&self) -> f64 {
+        self.clean_tokens as f64 / 1000.0 * self.usd_per_1k_tokens
+    }
+
+    /// Extra spend caused by retries.
+    pub fn usd_retries(&self) -> f64 {
+        self.retried_tokens as f64 / 1000.0 * self.usd_per_1k_tokens
+    }
+
+    /// Total billed amount.
+    pub fn usd_total(&self) -> f64 {
+        self.usd_clean() + self.usd_retries()
+    }
+
+    /// Retried tokens as a fraction of clean tokens (0.0 for a fault-free
+    /// run; 0.0 too when nothing was measured).
+    pub fn retry_overhead(&self) -> f64 {
+        if self.clean_tokens == 0 {
+            0.0
+        } else {
+            self.retried_tokens as f64 / self.clean_tokens as f64
+        }
+    }
+}
+
+/// Builds an [`ApiBill`] from explicit token counts.
+pub fn api_bill_for(clean_tokens: u64, retried_tokens: u64, usd_per_1k_tokens: f64) -> ApiBill {
+    ApiBill {
+        clean_tokens,
+        retried_tokens,
+        usd_per_1k_tokens,
+    }
+}
+
+/// Builds an [`ApiBill`] from the current run's counters
+/// (see [`billed_prompt_tokens`]).
+pub fn api_bill(usd_per_1k_tokens: f64) -> ApiBill {
+    let (clean, retried) = billed_prompt_tokens();
+    api_bill_for(clean, retried, usd_per_1k_tokens)
 }
 
 #[cfg(test)]
@@ -261,6 +327,34 @@ mod tests {
         // made-up 8-replica self-hosted deployment; it must now be absent.
         assert_eq!(open_weight_cost("Mystery[13B]", "Mystery-13B", 1_000.0), None);
         assert_eq!(api_cost("Mystery API", "Mystery-API"), None);
+    }
+
+    #[test]
+    fn api_bill_splits_clean_and_retry_spend() {
+        let bill = api_bill_for(100_000, 10_000, openai::GPT4_PER_1K);
+        assert!((bill.usd_clean() - 100.0 * openai::GPT4_PER_1K).abs() < 1e-12);
+        assert!((bill.usd_retries() - 10.0 * openai::GPT4_PER_1K).abs() < 1e-12);
+        assert!((bill.usd_total() - bill.usd_clean() - bill.usd_retries()).abs() < 1e-12);
+        assert!((bill.retry_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_bill_has_zero_retry_overhead() {
+        let bill = api_bill_for(50_000, 0, openai::GPT35_TURBO_PER_1K);
+        assert_eq!(bill.usd_retries(), 0.0);
+        assert_eq!(bill.retry_overhead(), 0.0);
+        // Degenerate: nothing measured at all.
+        assert_eq!(api_bill_for(0, 0, 1.0).retry_overhead(), 0.0);
+    }
+
+    #[test]
+    fn api_bill_reads_the_retry_counter() {
+        // `faults.retried_tokens` is always-on; add a known amount and
+        // check the delta (other tests in this process share the counter).
+        let before = api_bill(openai::GPT4_PER_1K);
+        em_obs::metrics::counter("faults.retried_tokens").add(1_234);
+        let after = api_bill(openai::GPT4_PER_1K);
+        assert_eq!(after.retried_tokens - before.retried_tokens, 1_234);
     }
 
     #[test]

@@ -15,7 +15,8 @@ pub mod pricing;
 pub mod tradeoff;
 
 pub use estimate::{
-    api_cost, measured_throughput, open_weight_cost, self_host_cost_per_1k, table6, CostEntry,
+    api_bill, api_bill_for, api_cost, billed_prompt_tokens, measured_throughput,
+    open_weight_cost, self_host_cost_per_1k, table6, ApiBill, CostEntry,
 };
 pub use pricing::{DeploymentScenario, P4D_24XLARGE_HOURLY_USD};
 pub use tradeoff::{

@@ -21,7 +21,7 @@ pub fn pareto_frontier(points: &[TradeoffPoint]) -> Vec<TradeoffPoint> {
         .filter(|p| !points.iter().any(|q| q.x <= p.x && q.f1 > p.f1))
         .cloned()
         .collect();
-    frontier.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+    frontier.sort_by(|a, b| a.x.total_cmp(&b.x));
     frontier
 }
 
@@ -32,7 +32,7 @@ pub fn best_within_budget(points: &[TradeoffPoint], budget: f64) -> Option<&Trad
     points
         .iter()
         .filter(|p| p.x <= budget)
-        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap())
+        .max_by(|a, b| a.f1.total_cmp(&b.f1))
 }
 
 /// The "balance" pick behind "AnyMatch [LLaMA3.2] strikes the best
@@ -42,7 +42,7 @@ pub fn best_balance(points: &[TradeoffPoint]) -> Option<&TradeoffPoint> {
     let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
     points.iter().filter(|p| p.x > 0.0).max_by(|a, b| {
         let score = |p: &TradeoffPoint| p.f1 - 2.0 * (p.x / min_x).log10();
-        score(a).partial_cmp(&score(b)).unwrap()
+        score(a).total_cmp(&score(b))
     })
 }
 

@@ -1,0 +1,233 @@
+//! A per-backend circuit breaker over virtual time.
+//!
+//! Classic three-state breaker: `Closed` counts consecutive failures and
+//! trips to `Open` at a threshold; `Open` rejects calls locally until a
+//! cooldown (measured on the caller's [`crate::VirtualClock`]) elapses,
+//! then admits a single probe in `HalfOpen`; the probe's outcome either
+//! closes the breaker or re-opens it for another cooldown. Trips and
+//! short-circuited calls feed the `faults.breaker_opened` /
+//! `faults.breaker_short_circuited` counters, and every transition bumps
+//! the local [`CircuitBreaker::transitions`] count so determinism tests
+//! can compare transition histories across runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Breaker state, exposed for assertions and result-row annotations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected locally until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe call is admitted.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Label for events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Closed { consecutive_failures: u32 },
+    Open { since_ns: u64 },
+    HalfOpen,
+}
+
+/// Consecutive-failure circuit breaker for one backend.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    backend: String,
+    threshold: u32,
+    cooldown_ms: u64,
+    inner: Mutex<Inner>,
+    transitions: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A breaker for `backend` that opens after `threshold` consecutive
+    /// failures and cools down for `cooldown_ms` virtual milliseconds.
+    pub fn new(backend: impl Into<String>, threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        assert!(threshold > 0, "breaker threshold must be positive");
+        CircuitBreaker {
+            backend: backend.into(),
+            threshold,
+            cooldown_ms,
+            inner: Mutex::new(Inner::Closed {
+                consecutive_failures: 0,
+            }),
+            transitions: AtomicU64::new(0),
+        }
+    }
+
+    /// Backend label the breaker guards.
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Current state (resolving an elapsed cooldown to `HalfOpen`).
+    pub fn state(&self, now_ns: u64) -> BreakerState {
+        match &*self.inner.lock().unwrap() {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::HalfOpen => BreakerState::HalfOpen,
+            Inner::Open { since_ns } => {
+                if now_ns.saturating_sub(*since_ns) >= self.cooldown_ms * 1_000_000 {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+
+    /// Number of state transitions so far (trips, probes, closes).
+    /// Identical across two runs with the same fault plan — the
+    /// determinism tests compare exactly this.
+    pub fn transitions(&self) -> u64 {
+        self.transitions.load(Ordering::Relaxed)
+    }
+
+    /// Asks whether a call may proceed at virtual time `now_ns`. An open
+    /// breaker whose cooldown has elapsed admits the call as a half-open
+    /// probe.
+    pub fn allow(&self, now_ns: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match &*inner {
+            Inner::Closed { .. } | Inner::HalfOpen => true,
+            Inner::Open { since_ns } => {
+                if now_ns.saturating_sub(*since_ns) >= self.cooldown_ms * 1_000_000 {
+                    *inner = Inner::HalfOpen;
+                    self.transitions.fetch_add(1, Ordering::Relaxed);
+                    em_obs::event!(info, "faults.breaker_probe", backend = self.backend.as_str());
+                    true
+                } else {
+                    em_obs::metrics::counter("faults.breaker_short_circuited").inc();
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful call: closes the breaker and resets the
+    /// failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        if !matches!(
+            &*inner,
+            Inner::Closed {
+                consecutive_failures: 0
+            }
+        ) {
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+        }
+        *inner = Inner::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Records a failed call at virtual time `now_ns`; trips the breaker
+    /// when the consecutive-failure streak reaches the threshold, and
+    /// re-opens immediately on a failed half-open probe.
+    pub fn record_failure(&self, now_ns: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let open = match &mut *inner {
+            Inner::Closed {
+                consecutive_failures,
+            } => {
+                *consecutive_failures += 1;
+                *consecutive_failures >= self.threshold
+            }
+            Inner::HalfOpen => true,
+            Inner::Open { .. } => false,
+        };
+        if open {
+            *inner = Inner::Open { since_ns: now_ns };
+            self.transitions.fetch_add(1, Ordering::Relaxed);
+            em_obs::metrics::counter("faults.breaker_opened").inc();
+            em_obs::event!(warn, "faults.breaker_open", backend = self.backend.as_str());
+        }
+    }
+
+    /// Forces the breaker open at `now_ns` (chaos drills and tests).
+    pub fn force_open(&self, now_ns: u64) {
+        *self.inner.lock().unwrap() = Inner::Open { since_ns: now_ns };
+        self.transitions.fetch_add(1, Ordering::Relaxed);
+        em_obs::metrics::counter("faults.breaker_opened").inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new("GPT-4", 3, 1_000);
+        assert!(b.allow(0));
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        assert!(!b.allow(10));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new("GPT-4", 2, 1_000);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_a_half_open_probe() {
+        let b = CircuitBreaker::new("GPT-4", 1, 1_000);
+        b.record_failure(0);
+        assert!(!b.allow(999 * 1_000_000));
+        // Cooldown elapsed → one probe admitted.
+        assert!(b.allow(1_000 * 1_000_000));
+        assert_eq!(b.state(1_000 * 1_000_000), BreakerState::HalfOpen);
+        // Probe succeeds → closed again.
+        b.record_success();
+        assert_eq!(b.state(1_000 * 1_000_000), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let now = 2_000 * 1_000_000;
+        let b = CircuitBreaker::new("GPT-4", 1, 1_000);
+        b.record_failure(0);
+        assert!(b.allow(now)); // probe
+        b.record_failure(now);
+        assert_eq!(b.state(now), BreakerState::Open);
+        assert!(!b.allow(now + 1));
+    }
+
+    #[test]
+    fn force_open_rejects_immediately() {
+        let b = CircuitBreaker::new("GPT-4", 99, 1_000);
+        b.force_open(0);
+        assert!(!b.allow(1));
+        assert_eq!(b.state(1), BreakerState::Open);
+    }
+
+    #[test]
+    fn transitions_count_state_changes() {
+        let b = CircuitBreaker::new("GPT-4", 1, 1_000);
+        let t0 = b.transitions();
+        b.record_failure(0); // closed → open
+        assert!(b.allow(1_000 * 1_000_000)); // open → half-open
+        b.record_success(); // half-open → closed
+        assert_eq!(b.transitions() - t0, 3);
+    }
+}

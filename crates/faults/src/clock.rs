@@ -1,0 +1,66 @@
+//! Virtual time.
+//!
+//! Backoff sleeps are *accounted*, never slept: a [`VirtualClock`] is an
+//! atomic nanosecond counter that retry loops advance by their computed
+//! delays. Tests (and the tier-1 chaos smoke) assert on the accumulated
+//! virtual time — "the retry schedule" — without ever blocking a thread,
+//! and the breaker's cooldown window is measured against the same clock,
+//! so breaker transitions are deterministic too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically advancing virtual clock in nanoseconds.
+#[derive(Debug, Default)]
+pub struct VirtualClock(AtomicU64);
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock(AtomicU64::new(0))
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by `delta_ns` (a "sleep") and returns the new
+    /// time.
+    pub fn advance_ns(&self, delta_ns: u64) -> u64 {
+        self.0.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns
+    }
+
+    /// Advances by whole milliseconds (the unit backoff policies use).
+    pub fn advance_ms(&self, delta_ms: u64) -> u64 {
+        self.advance_ns(delta_ms.saturating_mul(1_000_000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance_ms(3), 3_000_000);
+        assert_eq!(c.advance_ns(500), 3_000_500);
+        assert_eq!(c.now_ns(), 3_000_500);
+    }
+
+    #[test]
+    fn concurrent_advances_are_lossless() {
+        let c = VirtualClock::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.advance_ns(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now_ns(), 4000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The failure vocabulary of a hosted-LLM call.
+
+use std::fmt;
+
+/// Errors a hosted-model client can produce — injected by a
+/// [`crate::FaultPlan`] in chaos runs, or surfaced by the resilience layer
+/// itself (breaker open, retry budget exhausted).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// HTTP 429-style rejection; the server suggests a minimum wait.
+    RateLimited {
+        /// Server-suggested minimum delay before the next attempt.
+        retry_after_ms: u64,
+    },
+    /// The request exceeded its per-request timeout.
+    Timeout {
+        /// How long the request ran before being cut off.
+        after_ms: u64,
+    },
+    /// HTTP 5xx-style transient server error.
+    Transient(String),
+    /// The response arrived but failed validation (wrong cardinality,
+    /// non-finite scores, unparseable payload).
+    Malformed(String),
+    /// The per-backend circuit breaker is open; the call was rejected
+    /// locally without reaching the backend.
+    BreakerOpen {
+        /// Backend label the breaker guards.
+        backend: String,
+    },
+    /// Every retry attempt failed; carries the final underlying error.
+    RetriesExhausted {
+        /// Number of attempts made (including the first).
+        attempts: u32,
+        /// The last error observed.
+        last: Box<FaultError>,
+    },
+    /// Retrying would exceed the per-call deadline budget.
+    DeadlineExceeded {
+        /// The configured budget that would have been exceeded.
+        budget_ms: u64,
+    },
+}
+
+impl FaultError {
+    /// `true` for faults that a retry may plausibly clear (rate limits,
+    /// timeouts, transient server errors, malformed responses); `false`
+    /// for the resilience layer's own terminal verdicts.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FaultError::RateLimited { .. }
+                | FaultError::Timeout { .. }
+                | FaultError::Transient(_)
+                | FaultError::Malformed(_)
+        )
+    }
+
+    /// Short kind label used in metrics and trace events.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            FaultError::RateLimited { .. } => "rate-limit",
+            FaultError::Timeout { .. } => "timeout",
+            FaultError::Transient(_) => "transient",
+            FaultError::Malformed(_) => "malformed",
+            FaultError::BreakerOpen { .. } => "breaker-open",
+            FaultError::RetriesExhausted { .. } => "retries-exhausted",
+            FaultError::DeadlineExceeded { .. } => "deadline-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited (retry after {retry_after_ms}ms)")
+            }
+            FaultError::Timeout { after_ms } => write!(f, "request timed out after {after_ms}ms"),
+            FaultError::Transient(msg) => write!(f, "transient backend error: {msg}"),
+            FaultError::Malformed(msg) => write!(f, "malformed response: {msg}"),
+            FaultError::BreakerOpen { backend } => {
+                write!(f, "circuit breaker open for backend `{backend}`")
+            }
+            FaultError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            FaultError::DeadlineExceeded { budget_ms } => {
+                write!(f, "call deadline budget of {budget_ms}ms exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_partitions_the_vocabulary() {
+        assert!(FaultError::RateLimited { retry_after_ms: 5 }.is_retryable());
+        assert!(FaultError::Timeout { after_ms: 9 }.is_retryable());
+        assert!(FaultError::Transient("500".into()).is_retryable());
+        assert!(FaultError::Malformed("short".into()).is_retryable());
+        assert!(!FaultError::BreakerOpen {
+            backend: "GPT-4".into()
+        }
+        .is_retryable());
+        assert!(!FaultError::DeadlineExceeded { budget_ms: 1 }.is_retryable());
+        assert!(!FaultError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(FaultError::Timeout { after_ms: 1 }),
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = FaultError::RetriesExhausted {
+            attempts: 4,
+            last: Box::new(FaultError::RateLimited { retry_after_ms: 250 }),
+        };
+        let s = e.to_string();
+        assert!(s.contains('4') && s.contains("rate limited"), "{s}");
+        assert!(FaultError::BreakerOpen {
+            backend: "SOLAR".into()
+        }
+        .to_string()
+        .contains("SOLAR"));
+    }
+}

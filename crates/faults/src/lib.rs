@@ -1,0 +1,78 @@
+//! # em-faults — deterministic fault injection and resilience primitives
+//!
+//! The paper's best matchers (MatchGPT over the GPT series) run against
+//! hosted APIs that rate-limit, time out, and return malformed output in
+//! production. This crate provides the machinery to *exercise* those
+//! failure modes deterministically and to *survive* them:
+//!
+//! * a seeded [`FaultPlan`] that decides, as a pure function of
+//!   `(seed, call key, attempt)`, whether a call faults and how —
+//!   configurable from the environment via `EM_FAULTS=seed,rate,kinds`
+//!   ([`plan`]);
+//! * a [`VirtualClock`] so retry schedules are computed (and asserted on)
+//!   without any wall-time sleeps ([`clock`]);
+//! * exponential backoff with decorrelated jitter, again a pure function
+//!   of the seed and attempt ([`backoff`]);
+//! * a consecutive-failure [`CircuitBreaker`] with open/half-open/closed
+//!   states over virtual time ([`breaker`]);
+//! * a retry executor combining all of the above with a per-call deadline
+//!   budget ([`retry`]).
+//!
+//! Everything is deterministic by construction: the same `EM_FAULTS`
+//! specification yields the same injected faults, the same backoff
+//! delays, and the same breaker transitions, so a chaos run can be gated
+//! on *exact* metric equality with the fault-free baseline.
+//!
+//! Observability: injection, retry, breaker, and degradation activity is
+//! recorded through the always-on `faults.*` counters in
+//! [`em_obs::metrics`] (these sit on failure paths, never on scoring hot
+//! loops, so they are not gated on capture).
+
+pub mod backoff;
+pub mod breaker;
+pub mod clock;
+pub mod error;
+pub mod plan;
+pub mod retry;
+
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use clock::VirtualClock;
+pub use error::FaultError;
+pub use plan::{FaultKind, FaultPlan};
+pub use retry::{call_with_retries, RetryContext};
+
+/// SplitMix64 finalizer: the bit mixer behind every deterministic decision
+/// in this crate (fault rolls, jitter, injected delay magnitudes).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Maps a hash onto the unit interval `[0, 1)` with 53 bits of precision.
+pub(crate) fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_spreads_nearby_inputs() {
+        let a = mix64(1);
+        let b = mix64(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "nearby inputs must diverge");
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        for x in [0u64, 1, u64::MAX, 0xdead_beef] {
+            let u = unit_f64(mix64(x));
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+}

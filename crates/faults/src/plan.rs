@@ -1,0 +1,241 @@
+//! Seeded, configuration-driven fault plans.
+//!
+//! A [`FaultPlan`] decides whether one call attempt faults — and with
+//! which [`FaultKind`] — as a *pure function* of `(plan seed, call key,
+//! attempt)`. No shared RNG state means no cross-thread ordering effects:
+//! the injected fault schedule is identical no matter how chunks are
+//! scheduled, which is what lets chaos runs be gated on exact metric
+//! equality with the fault-free baseline.
+
+use crate::{mix64, unit_f64};
+
+/// The four production failure modes of a hosted-LLM API that the plan can
+/// inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// HTTP 429: the request is rejected with a suggested retry delay.
+    RateLimit,
+    /// The request hangs past its timeout and is cut off.
+    Timeout,
+    /// HTTP 5xx: a transient server-side error.
+    Transient,
+    /// The response arrives but is corrupted (wrong cardinality or
+    /// non-finite scores) — it must be *detected* by the client, not
+    /// handed an error.
+    Malformed,
+}
+
+impl FaultKind {
+    /// Every kind, in the order used for kind selection.
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::RateLimit,
+        FaultKind::Timeout,
+        FaultKind::Transient,
+        FaultKind::Malformed,
+    ];
+
+    /// Spec/metric token for the kind (`EM_FAULTS` uses these).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::RateLimit => "rate-limit",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Transient => "transient",
+            FaultKind::Malformed => "malformed",
+        }
+    }
+
+    fn parse(token: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.label() == token)
+    }
+}
+
+/// A deterministic fault-injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    kinds: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// Builds a plan injecting `kinds` at probability `rate` per attempt.
+    pub fn new(seed: u64, rate: f64, kinds: Vec<FaultKind>) -> Result<FaultPlan, String> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("fault rate {rate} outside [0, 1]"));
+        }
+        if kinds.is_empty() {
+            return Err("fault plan needs at least one kind".into());
+        }
+        Ok(FaultPlan { seed, rate, kinds })
+    }
+
+    /// Parses the `EM_FAULTS` specification `seed,rate,kinds` where
+    /// `kinds` is `all` or a `+`-joined subset of the kind labels, e.g.
+    /// `42,0.1,all` or `7,0.25,rate-limit+timeout`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let parts: Vec<&str> = spec.trim().split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "expected `seed,rate,kinds`, got `{spec}` ({} fields)",
+                parts.len()
+            ));
+        }
+        let seed: u64 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad seed `{}`: {e}", parts[0]))?;
+        let rate: f64 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad rate `{}`: {e}", parts[1]))?;
+        let kinds_spec = parts[2].trim();
+        let kinds = if kinds_spec == "all" {
+            FaultKind::ALL.to_vec()
+        } else {
+            kinds_spec
+                .split('+')
+                .map(|t| {
+                    FaultKind::parse(t.trim())
+                        .ok_or_else(|| format!("unknown fault kind `{}`", t.trim()))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        FaultPlan::new(seed, rate, kinds)
+    }
+
+    /// Reads the plan from the `EM_FAULTS` environment variable. Returns
+    /// `None` when the variable is absent or empty; panics on a malformed
+    /// specification (a configuration error should fail fast, not
+    /// silently run fault-free).
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("EM_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        Some(FaultPlan::parse(&spec).unwrap_or_else(|e| panic!("invalid EM_FAULTS: {e}")))
+    }
+
+    /// Plan seed (also seeds the backoff jitter of resilient clients).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-attempt fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Enabled fault kinds.
+    pub fn kinds(&self) -> &[FaultKind] {
+        &self.kinds
+    }
+
+    /// Decides the fault (if any) for one call attempt. Pure: the same
+    /// `(seed, key, attempt)` always yields the same outcome, independent
+    /// of thread scheduling or call interleaving.
+    pub fn fault_for(&self, key: u64, attempt: u32) -> Option<FaultKind> {
+        let roll = mix64(self.seed ^ key.rotate_left(17) ^ (u64::from(attempt) << 48));
+        if unit_f64(roll) >= self.rate {
+            return None;
+        }
+        let pick = mix64(roll ^ 0x6b69_6e64); // "kind"
+        Some(self.kinds[(pick % self.kinds.len() as u64) as usize])
+    }
+
+    /// Deterministic auxiliary magnitude for an injected fault (used for
+    /// `retry_after` hints, timeout durations, and malformed-corruption
+    /// choices), in `[lo, hi)`.
+    pub fn magnitude(&self, key: u64, attempt: u32, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        let h = mix64(self.seed ^ key ^ (u64::from(attempt) << 40) ^ 0x6d61_676e);
+        lo + h % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_readme_examples() {
+        let p = FaultPlan::parse("42,0.1,all").unwrap();
+        assert_eq!(p.seed(), 42);
+        assert_eq!(p.rate(), 0.1);
+        assert_eq!(p.kinds(), &FaultKind::ALL);
+
+        let p = FaultPlan::parse("7, 0.25, rate-limit+timeout").unwrap();
+        assert_eq!(p.kinds(), &[FaultKind::RateLimit, FaultKind::Timeout]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("42,0.1").is_err());
+        assert!(FaultPlan::parse("x,0.1,all").is_err());
+        assert!(FaultPlan::parse("1,nope,all").is_err());
+        assert!(FaultPlan::parse("1,1.5,all").is_err());
+        assert!(FaultPlan::parse("1,0.5,gremlins").is_err());
+    }
+
+    #[test]
+    fn fault_decision_is_a_pure_function() {
+        let p = FaultPlan::parse("9,0.5,all").unwrap();
+        for key in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(p.fault_for(key, attempt), p.fault_for(key, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_zero_never_faults_and_rate_one_always_faults() {
+        let zero = FaultPlan::new(3, 0.0, FaultKind::ALL.to_vec()).unwrap();
+        let one = FaultPlan::new(3, 1.0, FaultKind::ALL.to_vec()).unwrap();
+        for key in 0..256u64 {
+            assert_eq!(zero.fault_for(key, 0), None);
+            assert!(one.fault_for(key, 0).is_some());
+        }
+    }
+
+    #[test]
+    fn observed_rate_tracks_configured_rate() {
+        let p = FaultPlan::new(11, 0.1, FaultKind::ALL.to_vec()).unwrap();
+        let faults = (0..10_000u64).filter(|&k| p.fault_for(k, 0).is_some()).count();
+        // 10% ± a generous tolerance over 10k deterministic rolls.
+        assert!((800..1200).contains(&faults), "observed {faults}/10000");
+    }
+
+    #[test]
+    fn all_enabled_kinds_occur() {
+        let p = FaultPlan::new(5, 1.0, FaultKind::ALL.to_vec()).unwrap();
+        for kind in FaultKind::ALL {
+            assert!(
+                (0..128u64).any(|k| p.fault_for(k, 0) == Some(kind)),
+                "kind {kind:?} never selected"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_plans_only_inject_their_kinds() {
+        let p = FaultPlan::parse("2,1.0,malformed").unwrap();
+        for key in 0..64u64 {
+            assert_eq!(p.fault_for(key, 0), Some(FaultKind::Malformed));
+        }
+    }
+
+    #[test]
+    fn different_attempts_roll_independently() {
+        let p = FaultPlan::new(1, 0.5, FaultKind::ALL.to_vec()).unwrap();
+        let per_attempt: Vec<bool> = (0..32u32).map(|a| p.fault_for(77, a).is_some()).collect();
+        assert!(per_attempt.iter().any(|&f| f) && per_attempt.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn magnitude_stays_in_range() {
+        let p = FaultPlan::new(0, 1.0, FaultKind::ALL.to_vec()).unwrap();
+        for key in 0..64u64 {
+            let m = p.magnitude(key, 1, 50, 1000);
+            assert!((50..1000).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The retry executor: backoff + breaker + deadline, over virtual time.
+
+use crate::backoff::BackoffPolicy;
+use crate::breaker::CircuitBreaker;
+use crate::clock::VirtualClock;
+use crate::error::FaultError;
+
+/// Everything a resilient call needs, borrowed from the owning client.
+pub struct RetryContext<'a> {
+    /// Backoff/deadline policy.
+    pub policy: &'a BackoffPolicy,
+    /// Per-backend breaker consulted before every attempt.
+    pub breaker: &'a CircuitBreaker,
+    /// Virtual clock advanced by backoff sleeps.
+    pub clock: &'a VirtualClock,
+    /// Seed for the deterministic jitter (normally the fault-plan seed).
+    pub seed: u64,
+}
+
+/// Runs `op` with retries under the context's policy.
+///
+/// `op` receives the attempt number (0-based) and returns either the
+/// value or a [`FaultError`]. Retryable errors trigger a backoff sleep on
+/// the virtual clock and another attempt, until the policy's attempt or
+/// deadline budget runs out; the breaker is consulted before each attempt
+/// and fed the outcome of every attempt that reached the backend.
+///
+/// Rate-limit errors honor the server's `retry_after_ms` as a floor on
+/// the next delay.
+pub fn call_with_retries<T>(
+    ctx: &RetryContext<'_>,
+    key: u64,
+    mut op: impl FnMut(u32) -> Result<T, FaultError>,
+) -> Result<T, FaultError> {
+    let start_ns = ctx.clock.now_ns();
+    let mut prev_delay_ms = ctx.policy.base_ms;
+    let mut last_err = None;
+    for attempt in 0..ctx.policy.max_attempts {
+        if !ctx.breaker.allow(ctx.clock.now_ns()) {
+            return Err(FaultError::BreakerOpen {
+                backend: ctx.breaker.backend().to_owned(),
+            });
+        }
+        match op(attempt) {
+            Ok(v) => {
+                ctx.breaker.record_success();
+                if attempt > 0 {
+                    em_obs::metrics::counter("faults.recovered").inc();
+                }
+                return Ok(v);
+            }
+            Err(e) if e.is_retryable() => {
+                ctx.breaker.record_failure(ctx.clock.now_ns());
+                em_obs::event!(
+                    warn,
+                    "faults.attempt_failed",
+                    backend = ctx.breaker.backend(),
+                    kind = e.kind_label(),
+                    attempt = attempt as usize
+                );
+                let mut delay_ms = ctx.policy.delay_ms(ctx.seed, key, attempt + 1, prev_delay_ms);
+                if let FaultError::RateLimited { retry_after_ms } = e {
+                    delay_ms = delay_ms.max(retry_after_ms);
+                }
+                let elapsed_ms = ctx.clock.now_ns().saturating_sub(start_ns) / 1_000_000;
+                if elapsed_ms + delay_ms > ctx.policy.deadline_ms {
+                    em_obs::metrics::counter("faults.deadline_exceeded").inc();
+                    return Err(FaultError::DeadlineExceeded {
+                        budget_ms: ctx.policy.deadline_ms,
+                    });
+                }
+                em_obs::metrics::counter("faults.retries").inc();
+                ctx.clock.advance_ms(delay_ms);
+                prev_delay_ms = delay_ms;
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    em_obs::metrics::counter("faults.exhausted").inc();
+    Err(FaultError::RetriesExhausted {
+        attempts: ctx.policy.max_attempts,
+        last: Box::new(last_err.unwrap_or_else(|| {
+            // max_attempts >= 1 and the loop only exits after a retryable
+            // failure, so an error was always recorded.
+            FaultError::Transient("no attempt recorded".into())
+        })),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        policy: &'a BackoffPolicy,
+        breaker: &'a CircuitBreaker,
+        clock: &'a VirtualClock,
+    ) -> RetryContext<'a> {
+        RetryContext {
+            policy,
+            breaker,
+            clock,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn first_attempt_success_costs_no_virtual_time() {
+        let policy = BackoffPolicy::default();
+        let breaker = CircuitBreaker::new("b", 5, 30_000);
+        let clock = VirtualClock::new();
+        let out = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |_| Ok::<_, FaultError>(7));
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(clock.now_ns(), 0);
+    }
+
+    #[test]
+    fn transient_failures_are_retried_until_success() {
+        let policy = BackoffPolicy::default();
+        let breaker = CircuitBreaker::new("b", 10, 30_000);
+        let clock = VirtualClock::new();
+        let out = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |attempt| {
+            if attempt < 3 {
+                Err(FaultError::Transient("503".into()))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 3);
+        assert!(clock.now_ns() > 0, "backoff must advance the virtual clock");
+    }
+
+    #[test]
+    fn attempts_budget_is_enforced() {
+        let policy = BackoffPolicy {
+            max_attempts: 4,
+            ..BackoffPolicy::default()
+        };
+        let breaker = CircuitBreaker::new("b", 100, 30_000);
+        let clock = VirtualClock::new();
+        let mut calls = 0;
+        let out: Result<(), _> = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |_| {
+            calls += 1;
+            Err(FaultError::Timeout { after_ms: 10 })
+        });
+        assert_eq!(calls, 4);
+        match out.unwrap_err() {
+            FaultError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 4);
+                assert!(matches!(*last, FaultError::Timeout { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_budget_stops_retrying_early() {
+        let policy = BackoffPolicy {
+            base_ms: 200,
+            cap_ms: 200,
+            max_attempts: 100,
+            deadline_ms: 500,
+        };
+        let breaker = CircuitBreaker::new("b", 1000, 30_000);
+        let clock = VirtualClock::new();
+        let out: Result<(), _> = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |_| {
+            Err(FaultError::Transient("500".into()))
+        });
+        assert!(matches!(
+            out.unwrap_err(),
+            FaultError::DeadlineExceeded { budget_ms: 500 }
+        ));
+        // Two 200ms sleeps fit in the 500ms budget; a third does not.
+        assert_eq!(clock.now_ns(), 400 * 1_000_000);
+    }
+
+    #[test]
+    fn rate_limit_retry_after_floors_the_delay() {
+        let policy = BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 5,
+            max_attempts: 2,
+            deadline_ms: 60_000,
+        };
+        let breaker = CircuitBreaker::new("b", 100, 30_000);
+        let clock = VirtualClock::new();
+        let _ = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |attempt| {
+            if attempt == 0 {
+                Err(FaultError::RateLimited {
+                    retry_after_ms: 750,
+                })
+            } else {
+                Ok(())
+            }
+        });
+        assert!(clock.now_ns() >= 750 * 1_000_000, "{}", clock.now_ns());
+    }
+
+    #[test]
+    fn open_breaker_short_circuits_without_calling_op() {
+        let policy = BackoffPolicy::default();
+        let breaker = CircuitBreaker::new("gpt", 1, 60_000);
+        let clock = VirtualClock::new();
+        breaker.force_open(clock.now_ns());
+        let mut calls = 0;
+        let out: Result<(), _> = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |_| {
+            calls += 1;
+            Ok(())
+        });
+        assert_eq!(calls, 0);
+        assert!(matches!(out.unwrap_err(), FaultError::BreakerOpen { .. }));
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through() {
+        let policy = BackoffPolicy::default();
+        let breaker = CircuitBreaker::new("b", 100, 30_000);
+        let clock = VirtualClock::new();
+        let mut calls = 0;
+        let out: Result<(), _> = call_with_retries(&ctx(&policy, &breaker, &clock), 1, |_| {
+            calls += 1;
+            Err(FaultError::BreakerOpen {
+                backend: "inner".into(),
+            })
+        });
+        assert_eq!(calls, 1);
+        assert!(matches!(out.unwrap_err(), FaultError::BreakerOpen { .. }));
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic() {
+        let run = || {
+            let policy = BackoffPolicy::default();
+            let breaker = CircuitBreaker::new("b", 100, 30_000);
+            let clock = VirtualClock::new();
+            let _ = call_with_retries(&ctx(&policy, &breaker, &clock), 33, |attempt| {
+                if attempt < 4 {
+                    Err(FaultError::Transient("x".into()))
+                } else {
+                    Ok(())
+                }
+            });
+            clock.now_ns()
+        };
+        assert_eq!(run(), run());
+        assert!(run() > 0);
+    }
+}

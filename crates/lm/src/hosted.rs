@@ -1,0 +1,546 @@
+//! The hosted-LLM client abstraction and its resilience stack.
+//!
+//! The paper's MatchGPT matchers call hosted APIs (OpenAI, together.ai)
+//! that rate-limit, time out, and occasionally return malformed output.
+//! The simulated [`PretrainedLlm`] never does — so this module splits the
+//! scoring path into three layers that can be composed freely:
+//!
+//! 1. [`HostedLlm`] — the client trait: score one ≤[`HOSTED_CHUNK`]-pair
+//!    chunk, fallibly. [`PretrainedLlm`] implements it as the always-up
+//!    "origin server".
+//! 2. [`FaultInjectedLlm`] — a wrapper that consults a deterministic
+//!    [`FaultPlan`] per `(call key, attempt)` and injects rate-limit,
+//!    timeout, transient, and malformed-response faults.
+//! 3. [`ResilientLlm`] — the production client: retry with exponential
+//!    backoff + decorrelated jitter on a virtual clock, a per-call
+//!    deadline budget, and a per-backend circuit breaker. Malformed
+//!    responses are *detected* here (cardinality + finiteness checks)
+//!    regardless of where they came from.
+//!
+//! Chunks are retried independently; tokens re-sent on retry attempts are
+//! charged to the `faults.retried_tokens` counter, which
+//! `em_cost::billed_prompt_tokens` folds into the API bill.
+//!
+//! Determinism: fault decisions and backoff jitter are pure functions of
+//! the plan seed, and the breaker runs on the client's own virtual clock,
+//! so a chunk's retry schedule — and therefore the whole run's `faults.*`
+//! counters and final metrics — is reproducible bit-for-bit. To keep the
+//! breaker's transition history schedule-independent, [`ResilientLlm`]
+//! scores its chunks sequentially; parallelism still happens *inside*
+//! each chunk (`EncoderClassifier::forward` fans sub-chunks and attention
+//! bands out on the shared thread budget).
+
+use crate::prompt::Demonstration;
+use crate::zoo::PretrainedLlm;
+use em_core::SerializedPair;
+use em_faults::{
+    call_with_retries, BackoffPolicy, CircuitBreaker, FaultError, FaultKind, FaultPlan,
+    RetryContext, VirtualClock,
+};
+use std::sync::Arc;
+
+/// Chunk size of the hosted scoring path (mirrors the batch size the
+/// simulated backend scores per forward call).
+pub const HOSTED_CHUNK: usize = 64;
+
+/// Identity of one call attempt, threaded through wrappers so fault
+/// injection can be a pure function of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallCtx {
+    /// Stable key of the logical call (chunk content hash); identical
+    /// across retries, runs, and thread schedules.
+    pub key: u64,
+    /// 0-based attempt number within the logical call.
+    pub attempt: u32,
+}
+
+/// A hosted language-model backend scoring pair chunks, fallibly.
+pub trait HostedLlm: Send + Sync {
+    /// Backend label (breaker identity, events, Table 6 lookups).
+    fn backend(&self) -> String;
+
+    /// Scores one chunk of at most [`HOSTED_CHUNK`] pairs. Implementations
+    /// may fail with any [`FaultError`]; they may also return corrupted
+    /// output (wrong length, non-finite scores) — callers must validate.
+    fn score_chunk(
+        &self,
+        ctx: CallCtx,
+        pairs: &[SerializedPair],
+        demos: &[Demonstration],
+    ) -> Result<Vec<f32>, FaultError>;
+
+    /// Real (non-padding) prompt tokens one request for this chunk sends,
+    /// the unit the API bills — retried attempts re-send them.
+    fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64;
+}
+
+impl HostedLlm for PretrainedLlm {
+    fn backend(&self) -> String {
+        self.tier.label().to_owned()
+    }
+
+    fn score_chunk(
+        &self,
+        _ctx: CallCtx,
+        pairs: &[SerializedPair],
+        demos: &[Demonstration],
+    ) -> Result<Vec<f32>, FaultError> {
+        // The simulated backend's only failure mode is a worker panic in
+        // the scoring kernels; surface it as a transient server error so
+        // the resilience layer treats it like an HTTP 500.
+        self.try_score_batch(pairs, demos)
+            .map_err(|e| FaultError::Transient(e.to_string()))
+    }
+
+    fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+        pairs
+            .iter()
+            .map(|p| self.prompt_token_count(p, demos) as u64)
+            .sum()
+    }
+}
+
+impl<T: HostedLlm + ?Sized> HostedLlm for Arc<T> {
+    fn backend(&self) -> String {
+        (**self).backend()
+    }
+    fn score_chunk(
+        &self,
+        ctx: CallCtx,
+        pairs: &[SerializedPair],
+        demos: &[Demonstration],
+    ) -> Result<Vec<f32>, FaultError> {
+        (**self).score_chunk(ctx, pairs, demos)
+    }
+    fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+        (**self).chunk_tokens(pairs, demos)
+    }
+}
+
+/// Wraps a backend with deterministic fault injection.
+pub struct FaultInjectedLlm<C: HostedLlm> {
+    inner: C,
+    plan: FaultPlan,
+}
+
+impl<C: HostedLlm> FaultInjectedLlm<C> {
+    /// Injects `plan`'s faults in front of `inner`.
+    pub fn new(inner: C, plan: FaultPlan) -> Self {
+        FaultInjectedLlm { inner, plan }
+    }
+}
+
+impl<C: HostedLlm> HostedLlm for FaultInjectedLlm<C> {
+    fn backend(&self) -> String {
+        self.inner.backend()
+    }
+
+    fn score_chunk(
+        &self,
+        ctx: CallCtx,
+        pairs: &[SerializedPair],
+        demos: &[Demonstration],
+    ) -> Result<Vec<f32>, FaultError> {
+        let Some(kind) = self.plan.fault_for(ctx.key, ctx.attempt) else {
+            return self.inner.score_chunk(ctx, pairs, demos);
+        };
+        em_obs::metrics::counter("faults.injected").inc();
+        em_obs::metrics::counter(&format!("faults.injected.{}", kind.label())).inc();
+        em_obs::event!(
+            warn,
+            "faults.inject",
+            backend = self.inner.backend().as_str(),
+            kind = kind.label(),
+            attempt = ctx.attempt as usize
+        );
+        match kind {
+            FaultKind::RateLimit => Err(FaultError::RateLimited {
+                retry_after_ms: self.plan.magnitude(ctx.key, ctx.attempt, 50, 1_000),
+            }),
+            FaultKind::Timeout => Err(FaultError::Timeout {
+                after_ms: self.plan.magnitude(ctx.key, ctx.attempt, 1_000, 30_000),
+            }),
+            FaultKind::Transient => Err(FaultError::Transient("injected 503".into())),
+            FaultKind::Malformed => {
+                // The backend "responds", but the payload is corrupted:
+                // either a score is dropped or poisoned to NaN. Returning
+                // Ok exercises the *detection* path in ResilientLlm.
+                let mut scores = self.inner.score_chunk(ctx, pairs, demos)?;
+                if scores.is_empty() || self.plan.magnitude(ctx.key, ctx.attempt, 0, 2) == 0 {
+                    scores.pop();
+                } else {
+                    let i = self.plan.magnitude(ctx.key, ctx.attempt, 0, scores.len() as u64);
+                    scores[i as usize] = f32::NAN;
+                }
+                Ok(scores)
+            }
+        }
+    }
+
+    fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+        self.inner.chunk_tokens(pairs, demos)
+    }
+}
+
+/// Configuration of the resilient client.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Retry/backoff/deadline policy.
+    pub backoff: BackoffPolicy,
+    /// Consecutive failures (attempts, across chunks) before the breaker
+    /// opens.
+    pub breaker_threshold: u32,
+    /// Breaker cooldown in virtual milliseconds.
+    pub breaker_cooldown_ms: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            backoff: BackoffPolicy::default(),
+            // Above the per-call attempt budget (6), so one unlucky chunk
+            // alone cannot trip the breaker — it takes failures spilling
+            // across consecutive chunks, the signature of a down backend.
+            breaker_threshold: 8,
+            breaker_cooldown_ms: 30_000,
+        }
+    }
+}
+
+/// The production hosted-LLM client: retries, deadline budgets, and a
+/// circuit breaker around any [`HostedLlm`] backend.
+pub struct ResilientLlm {
+    client: Box<dyn HostedLlm>,
+    config: ResilienceConfig,
+    breaker: CircuitBreaker,
+    clock: Arc<VirtualClock>,
+    seed: u64,
+}
+
+impl ResilientLlm {
+    /// Wraps `client` with the given resilience configuration. `seed`
+    /// drives the deterministic backoff jitter (pass the fault-plan seed
+    /// in chaos runs).
+    pub fn new(client: Box<dyn HostedLlm>, config: ResilienceConfig, seed: u64) -> ResilientLlm {
+        let breaker = CircuitBreaker::new(
+            client.backend(),
+            config.breaker_threshold,
+            config.breaker_cooldown_ms,
+        );
+        ResilientLlm {
+            client,
+            config,
+            breaker,
+            clock: Arc::new(VirtualClock::new()),
+            seed,
+        }
+    }
+
+    /// Convenience constructor for the common wiring: the frozen tier as
+    /// origin, fault-injected when a plan is given (e.g. from
+    /// [`FaultPlan::from_env`]), default resilience policy.
+    pub fn for_tier(llm: Arc<PretrainedLlm>, plan: Option<FaultPlan>) -> ResilientLlm {
+        match plan {
+            Some(plan) => {
+                let seed = plan.seed();
+                ResilientLlm::new(
+                    Box::new(FaultInjectedLlm::new(llm, plan)),
+                    ResilienceConfig::default(),
+                    seed,
+                )
+            }
+            None => ResilientLlm::new(Box::new(llm), ResilienceConfig::default(), 0),
+        }
+    }
+
+    /// Backend label (used in degradation events and result rows).
+    pub fn backend(&self) -> String {
+        self.client.backend()
+    }
+
+    /// The per-backend circuit breaker (exposed for chaos drills: force
+    /// it open to rehearse degradation).
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// The virtual clock accumulating backoff sleeps; its reading after a
+    /// run *is* the retry schedule's total, compared across runs by the
+    /// determinism tests.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Scores a batch through the resilient path. Chunks are scored
+    /// sequentially (see module docs) and each chunk independently
+    /// retried; the first chunk that exhausts its budget or hits an open
+    /// breaker fails the batch, signalling the caller to degrade.
+    pub fn score_batch(
+        &self,
+        pairs: &[SerializedPair],
+        demos: &[Demonstration],
+    ) -> Result<Vec<f32>, FaultError> {
+        let mut out = Vec::with_capacity(pairs.len());
+        let ctx = RetryContext {
+            policy: &self.config.backoff,
+            breaker: &self.breaker,
+            clock: &self.clock,
+            seed: self.seed,
+        };
+        for (ci, chunk) in pairs.chunks(HOSTED_CHUNK).enumerate() {
+            let key = chunk_key(ci, chunk, demos);
+            let scores = call_with_retries(&ctx, key, |attempt| {
+                if attempt > 0 {
+                    em_obs::metrics::counter("faults.retried_tokens")
+                        .add(self.client.chunk_tokens(chunk, demos));
+                }
+                let scores = self.client.score_chunk(CallCtx { key, attempt }, chunk, demos)?;
+                validate_scores(scores, chunk.len())
+            })?;
+            out.extend(scores);
+        }
+        Ok(out)
+    }
+}
+
+/// Response validation: a well-formed chunk response has exactly one
+/// finite score per pair. Anything else is a malformed response — the
+/// client-side detection that makes injected `Malformed` faults (which
+/// arrive as `Ok`) retryable.
+fn validate_scores(scores: Vec<f32>, expected: usize) -> Result<Vec<f32>, FaultError> {
+    if scores.len() != expected {
+        em_obs::metrics::counter("faults.malformed_detected").inc();
+        return Err(FaultError::Malformed(format!(
+            "{} scores for {expected} pairs",
+            scores.len()
+        )));
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        em_obs::metrics::counter("faults.malformed_detected").inc();
+        return Err(FaultError::Malformed("non-finite score".into()));
+    }
+    Ok(scores)
+}
+
+/// Stable identity of a chunk request: FNV-1a over the chunk index, pair
+/// texts, and demonstration count. Identical across runs and thread
+/// schedules, distinct across chunks, and shared by all retry attempts
+/// of the same logical call.
+fn chunk_key(chunk_index: usize, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (chunk_index as u64);
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        h = (h ^ 0xff).wrapping_mul(0x0100_0000_01b3);
+    };
+    for p in pairs {
+        eat(&p.left);
+        eat(&p.right);
+    }
+    h ^ (demos.len() as u64).rotate_left(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(l: &str, r: &str) -> SerializedPair {
+        SerializedPair {
+            left: l.into(),
+            right: r.into(),
+        }
+    }
+
+    /// A scripted backend: responds with `pair index as f32 / 10` and
+    /// counts calls; never faults on its own.
+    struct Scripted {
+        calls: Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Scripted {
+        fn new() -> Self {
+            Scripted {
+                calls: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            }
+        }
+    }
+
+    impl HostedLlm for Scripted {
+        fn backend(&self) -> String {
+            "Scripted".into()
+        }
+        fn score_chunk(
+            &self,
+            _ctx: CallCtx,
+            pairs: &[SerializedPair],
+            _demos: &[Demonstration],
+        ) -> Result<Vec<f32>, FaultError> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok((0..pairs.len()).map(|i| i as f32 / 10.0).collect())
+        }
+        fn chunk_tokens(&self, pairs: &[SerializedPair], _demos: &[Demonstration]) -> u64 {
+            pairs.len() as u64 * 10
+        }
+    }
+
+    fn pairs(n: usize) -> Vec<SerializedPair> {
+        (0..n).map(|i| sp(&format!("item {i}"), "item")).collect()
+    }
+
+    #[test]
+    fn fault_free_resilient_path_is_transparent() {
+        let r = ResilientLlm::new(Box::new(Scripted::new()), ResilienceConfig::default(), 0);
+        let out = r.score_batch(&pairs(130), &[]).unwrap();
+        assert_eq!(out.len(), 130);
+        // Three chunks (64 + 64 + 2), no retries, no virtual time burned.
+        assert_eq!(r.clock().now_ns(), 0);
+    }
+
+    #[test]
+    fn injected_faults_are_retried_to_the_same_answer() {
+        let plan = FaultPlan::new(42, 0.3, FaultKind::ALL.to_vec()).unwrap();
+        let faulted = ResilientLlm::new(
+            Box::new(FaultInjectedLlm::new(Scripted::new(), plan)),
+            ResilienceConfig::default(),
+            42,
+        );
+        let clean = ResilientLlm::new(Box::new(Scripted::new()), ResilienceConfig::default(), 0);
+        let p = pairs(200);
+        assert_eq!(faulted.score_batch(&p, &[]).unwrap(), clean.score_batch(&p, &[]).unwrap());
+    }
+
+    #[test]
+    fn retry_schedule_is_reproducible_across_runs() {
+        let run = || {
+            let plan = FaultPlan::new(7, 0.5, FaultKind::ALL.to_vec()).unwrap();
+            let r = ResilientLlm::new(
+                Box::new(FaultInjectedLlm::new(Scripted::new(), plan)),
+                ResilienceConfig::default(),
+                7,
+            );
+            let scores = r.score_batch(&pairs(150), &[]).unwrap();
+            (scores, r.clock().now_ns(), r.breaker().transitions())
+        };
+        let (s1, t1, b1) = run();
+        let (s2, t2, b2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2, "virtual retry schedule must be identical");
+        assert_eq!(b1, b2, "breaker transition history must be identical");
+        assert!(t1 > 0, "a 50% fault rate must force retries");
+    }
+
+    #[test]
+    fn malformed_responses_are_detected_and_retried() {
+        // A backend whose first attempt always returns a corrupted (but
+        // Ok!) payload: validation must detect it and the retry recover.
+        struct CorruptFirst(Scripted);
+        impl HostedLlm for CorruptFirst {
+            fn backend(&self) -> String {
+                "CorruptFirst".into()
+            }
+            fn score_chunk(
+                &self,
+                ctx: CallCtx,
+                pairs: &[SerializedPair],
+                demos: &[Demonstration],
+            ) -> Result<Vec<f32>, FaultError> {
+                let mut v = self.0.score_chunk(ctx, pairs, demos)?;
+                if ctx.attempt == 0 {
+                    v[0] = f32::INFINITY;
+                }
+                Ok(v)
+            }
+            fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+                self.0.chunk_tokens(pairs, demos)
+            }
+        }
+        let before = em_obs::metrics::counter("faults.malformed_detected").get();
+        let r = ResilientLlm::new(
+            Box::new(CorruptFirst(Scripted::new())),
+            ResilienceConfig::default(),
+            0,
+        );
+        let out = r.score_batch(&pairs(3), &[]).unwrap();
+        assert!(out.iter().all(|s| s.is_finite()));
+        assert!(em_obs::metrics::counter("faults.malformed_detected").get() > before);
+    }
+
+    #[test]
+    fn total_fault_rate_exhausts_and_opens_the_breaker() {
+        let plan = FaultPlan::new(1, 1.0, vec![FaultKind::Transient]).unwrap();
+        let r = ResilientLlm::new(
+            Box::new(FaultInjectedLlm::new(Scripted::new(), plan)),
+            ResilienceConfig::default(),
+            1,
+        );
+        let p = pairs(200); // several chunks
+        let err = r.score_batch(&p, &[]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FaultError::RetriesExhausted { .. } | FaultError::BreakerOpen { .. }
+            ),
+            "{err:?}"
+        );
+        // Keep failing: the breaker opens and later batches short-circuit.
+        let _ = r.score_batch(&p, &[]);
+        let err = r.score_batch(&p, &[]).unwrap_err();
+        assert!(matches!(err, FaultError::BreakerOpen { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn forced_open_breaker_rejects_without_backend_calls() {
+        let scripted = Scripted::new();
+        let calls = scripted.calls.clone();
+        let r = ResilientLlm::new(Box::new(scripted), ResilienceConfig::default(), 0);
+        r.breaker().force_open(r.clock().now_ns());
+        let err = r.score_batch(&pairs(5), &[]).unwrap_err();
+        assert!(matches!(err, FaultError::BreakerOpen { .. }));
+        // No attempt reached the backend.
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn retried_tokens_are_charged() {
+        struct FailOnce(Scripted);
+        impl HostedLlm for FailOnce {
+            fn backend(&self) -> String {
+                "FailOnce".into()
+            }
+            fn score_chunk(
+                &self,
+                ctx: CallCtx,
+                pairs: &[SerializedPair],
+                demos: &[Demonstration],
+            ) -> Result<Vec<f32>, FaultError> {
+                if ctx.attempt == 0 {
+                    Err(FaultError::Transient("503".into()))
+                } else {
+                    self.0.score_chunk(ctx, pairs, demos)
+                }
+            }
+            fn chunk_tokens(&self, pairs: &[SerializedPair], demos: &[Demonstration]) -> u64 {
+                self.0.chunk_tokens(pairs, demos)
+            }
+        }
+        let before = em_obs::metrics::counter("faults.retried_tokens").get();
+        let r = ResilientLlm::new(Box::new(FailOnce(Scripted::new())), ResilienceConfig::default(), 0);
+        let out = r.score_batch(&pairs(4), &[]).unwrap();
+        assert_eq!(out.len(), 4);
+        // One retry of a 4-pair chunk at 10 tokens/pair.
+        assert_eq!(
+            em_obs::metrics::counter("faults.retried_tokens").get() - before,
+            40
+        );
+    }
+
+    #[test]
+    fn chunk_keys_are_content_stable_and_index_distinct() {
+        let a = pairs(4);
+        assert_eq!(chunk_key(0, &a, &[]), chunk_key(0, &a, &[]));
+        assert_ne!(chunk_key(0, &a, &[]), chunk_key(1, &a, &[]));
+        let b = pairs(5);
+        assert_ne!(chunk_key(0, &a, &[]), chunk_key(0, &b, &[]));
+    }
+}

@@ -11,10 +11,13 @@
 //! * the fine-tuning loop ([`finetune`]);
 //! * prompt assembly with in-context demonstrations ([`prompt`]);
 //! * frozen pre-trained capability tiers standing in for the prompted
-//!   commercial/open LLMs ([`zoo`]).
+//!   commercial/open LLMs ([`zoo`]);
+//! * the hosted-API client abstraction with deterministic fault injection
+//!   and a retry/backoff/circuit-breaker resilience stack ([`hosted`]).
 
 pub mod config;
 pub mod finetune;
+pub mod hosted;
 pub mod model;
 pub mod prompt;
 pub mod tokenizer;
@@ -22,6 +25,9 @@ pub mod zoo;
 
 pub use config::{LlmTier, ModelConfig, SlmFamily};
 pub use finetune::{predict_proba, train, TrainConfig, TrainReport};
+pub use hosted::{
+    CallCtx, FaultInjectedLlm, HostedLlm, ResilienceConfig, ResilientLlm, HOSTED_CHUNK,
+};
 pub use model::{Batch, EncoderClassifier, Head, MoeHead};
 pub use prompt::{encode_prompt, Demonstration, PromptBudget};
 pub use tokenizer::{encode_pair, segment, special, Encoded, HashTokenizer};

@@ -1,0 +1,126 @@
+//! Integration tests for the hosted-LLM resilience stack: determinism of
+//! the injected fault schedule, transparency of retries, and the
+//! `EM_FAULTS` environment contract.
+
+use em_faults::FaultPlan;
+use em_lm::{pretrain_tier, LlmTier, PretrainedLlm, ResilientLlm};
+use em_core::SerializedPair;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn sp(l: &str, r: &str) -> SerializedPair {
+    SerializedPair {
+        left: l.into(),
+        right: r.into(),
+    }
+}
+
+/// One shared frozen tier for every test (pretraining is the expensive
+/// part; the resilience layer under test wraps it without mutating it).
+fn shared_tier() -> Arc<PretrainedLlm> {
+    static TIER: OnceLock<Arc<PretrainedLlm>> = OnceLock::new();
+    TIER.get_or_init(|| {
+        let corpus = em_lm::PretrainCorpus {
+            pairs: (0..160)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        (sp(&format!("item {i}"), &format!("item {i}")), true)
+                    } else {
+                        (sp(&format!("item {i}"), &format!("thing {}", i + 1)), false)
+                    }
+                })
+                .collect(),
+        };
+        Arc::new(pretrain_tier(LlmTier::Gpt35Turbo, &corpus, 0))
+    })
+    .clone()
+}
+
+/// A batch spanning several `HOSTED_CHUNK`-sized API calls, so the fault
+/// schedule exercises distinct chunk keys.
+fn multi_chunk_batch() -> Vec<SerializedPair> {
+    (0..em_lm::HOSTED_CHUNK * 2 + 10)
+        .map(|i| {
+            if i % 2 == 0 {
+                sp(&format!("item {i}"), &format!("item {i}"))
+            } else {
+                sp(&format!("item {i}"), &format!("thing {}", i + 1))
+            }
+        })
+        .collect()
+}
+
+/// Full observable outcome of one resilient run: the scores (or the
+/// error's display form), the virtual-clock reading (the backoff
+/// schedule's total) and the breaker transition count.
+fn run_once(plan: &FaultPlan, pairs: &[SerializedPair]) -> (Result<Vec<u32>, String>, u64, u64) {
+    let client = ResilientLlm::for_tier(shared_tier(), Some(plan.clone()));
+    let outcome = client
+        .score_batch(pairs, &[])
+        .map(|scores| scores.into_iter().map(f32::to_bits).collect())
+        .map_err(|e| e.to_string());
+    (outcome, client.clock().now_ns(), client.breaker().transitions())
+}
+
+proptest! {
+    /// The same `EM_FAULTS` plan must reproduce the same run, bit for
+    /// bit: same scores (or same failure), same retry schedule (virtual
+    /// clock total), same breaker transitions.
+    #[test]
+    fn same_plan_reproduces_schedule_and_scores(seed in 0u64..1_000, rate_milli in 0u64..=250) {
+        let plan = FaultPlan::new(seed, rate_milli as f64 / 1000.0, em_faults::FaultKind::ALL.to_vec()).unwrap();
+        let pairs = multi_chunk_batch();
+        let a = run_once(&plan, &pairs);
+        let b = run_once(&plan, &pairs);
+        prop_assert_eq!(&a.0, &b.0, "scores/outcome must be deterministic");
+        prop_assert_eq!(a.1, b.1, "virtual-clock retry schedule must be deterministic");
+        prop_assert_eq!(a.2, b.2, "breaker transitions must be deterministic");
+    }
+
+    /// Whenever a faulty run succeeds, its scores are bit-identical to
+    /// the fault-free run: retries are transparent to the metrics.
+    #[test]
+    fn surviving_faults_never_change_scores(seed in 0u64..1_000) {
+        let plan = FaultPlan::new(seed, 0.1, em_faults::FaultKind::ALL.to_vec()).unwrap();
+        let pairs = multi_chunk_batch();
+        let clean = ResilientLlm::for_tier(shared_tier(), None)
+            .score_batch(&pairs, &[])
+            .unwrap();
+        if let (Ok(scores), _, _) = run_once(&plan, &pairs) {
+            let clean_bits: Vec<u32> = clean.into_iter().map(f32::to_bits).collect();
+            prop_assert_eq!(scores, clean_bits);
+        }
+    }
+}
+
+#[test]
+fn em_faults_env_contract_round_trips() {
+    // `FaultPlan::from_env` reads `EM_FAULTS=seed,rate,kinds`; this test
+    // owns the variable (nothing else in this binary touches it).
+    std::env::set_var("EM_FAULTS", "42,0.25,rate-limit+timeout");
+    let plan = FaultPlan::from_env().expect("EM_FAULTS is set");
+    assert_eq!(plan.seed(), 42);
+    assert!((plan.rate() - 0.25).abs() < 1e-12);
+    assert_eq!(
+        plan.kinds(),
+        &[em_faults::FaultKind::RateLimit, em_faults::FaultKind::Timeout]
+    );
+    std::env::remove_var("EM_FAULTS");
+    assert!(FaultPlan::from_env().is_none());
+}
+
+#[test]
+fn zero_rate_plan_is_a_clean_passthrough() {
+    let pairs = multi_chunk_batch();
+    let plan = FaultPlan::new(7, 0.0, em_faults::FaultKind::ALL.to_vec()).unwrap();
+    let (outcome, clock_ns, transitions) = run_once(&plan, &pairs);
+    let clean: Vec<u32> = ResilientLlm::for_tier(shared_tier(), None)
+        .score_batch(&pairs, &[])
+        .unwrap()
+        .into_iter()
+        .map(f32::to_bits)
+        .collect();
+    assert_eq!(outcome.unwrap(), clean);
+    assert_eq!(clock_ns, 0, "no faults means no backoff sleeps");
+    assert_eq!(transitions, 0, "no faults means no breaker movement");
+}

@@ -115,7 +115,7 @@ pub fn summarize(text: &str, tfidf: &TfIdf, budget: usize) -> String {
         .enumerate()
         .map(|(i, t)| (i, tfidf.idf(t)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut keep: Vec<usize> = scored.into_iter().take(budget).map(|(i, _)| i).collect();
     keep.sort_unstable();
     keep.into_iter()

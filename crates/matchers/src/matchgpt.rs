@@ -16,7 +16,8 @@
 
 use crate::common::sample_transfer_pairs;
 use em_core::{EmError, EvalBatch, LodoSplit, Matcher, Result};
-use em_lm::{random_demonstrations, Demonstration, LlmTier, PretrainedLlm};
+use em_faults::FaultPlan;
+use em_lm::{random_demonstrations, Demonstration, LlmTier, PretrainedLlm, ResilientLlm};
 use std::sync::Arc;
 
 /// Demonstration selection strategy (Table 4).
@@ -42,8 +43,19 @@ impl DemoStrategy {
 }
 
 /// The MatchGPT matcher: a frozen LLM tier plus a prompt policy.
+///
+/// The hosted backend is reached either directly (the historical path) or
+/// through the [`ResilientLlm`] client of `em_lm::hosted`, which retries
+/// transient API faults with backoff and trips a circuit breaker when the
+/// backend looks dead. A matcher built with [`MatchGpt::with_resilience`]
+/// then *degrades* instead of failing: the registered fallback matcher
+/// (typically the string-similarity tier) answers, and the degradation is
+/// reported through [`Matcher::was_degraded`] into the result row.
 pub struct MatchGpt {
     llm: Arc<PretrainedLlm>,
+    resilient: Option<ResilientLlm>,
+    fallback: Option<Box<dyn Matcher>>,
+    degraded: bool,
     strategy: DemoStrategy,
     demos: Vec<Demonstration>,
 }
@@ -54,6 +66,32 @@ impl MatchGpt {
     pub fn with_llm(llm: Arc<PretrainedLlm>, strategy: DemoStrategy) -> Self {
         MatchGpt {
             llm,
+            resilient: None,
+            fallback: None,
+            degraded: false,
+            strategy,
+            demos: Vec::new(),
+        }
+    }
+
+    /// Wraps the tier in the resilient hosted client: calls go through
+    /// retry/backoff and a per-backend circuit breaker, with `plan`
+    /// optionally injecting deterministic faults (the `EM_FAULTS`
+    /// environment contract — see [`FaultPlan::from_env`]). When the
+    /// client gives up (breaker open, retries exhausted, deadline blown),
+    /// `fallback` answers instead and the prediction round is flagged
+    /// degraded.
+    pub fn with_resilience(
+        llm: Arc<PretrainedLlm>,
+        strategy: DemoStrategy,
+        plan: Option<FaultPlan>,
+        fallback: Box<dyn Matcher>,
+    ) -> Self {
+        MatchGpt {
+            resilient: Some(ResilientLlm::for_tier(llm.clone(), plan)),
+            llm,
+            fallback: Some(fallback),
+            degraded: false,
             strategy,
             demos: Vec::new(),
         }
@@ -68,6 +106,12 @@ impl MatchGpt {
     pub fn demonstrations(&self) -> &[Demonstration] {
         &self.demos
     }
+
+    /// The resilient client, if this matcher was built with one (exposed
+    /// for chaos drills: force the breaker open to rehearse degradation).
+    pub fn resilient(&self) -> Option<&ResilientLlm> {
+        self.resilient.as_ref()
+    }
 }
 
 /// Picks prototypical demonstrations: the positive with the highest and the
@@ -77,13 +121,16 @@ fn hand_pick(pool: &[(em_core::SerializedPair, bool)]) -> Vec<Demonstration> {
     let score = |p: &em_core::SerializedPair| {
         em_text::ratcliff_obershelp(&p.left.to_lowercase(), &p.right.to_lowercase())
     };
+    // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN similarity (e.g.
+    // from a degenerate empty-string pair) must not abort the whole LODO
+    // sweep over an unwrap on `None`.
     let best_pos = pool
         .iter()
         .filter(|(_, y)| *y)
-        .max_by(|a, b| score(&a.0).partial_cmp(&score(&b.0)).unwrap());
+        .max_by(|a, b| score(&a.0).total_cmp(&score(&b.0)));
     let mut negs: Vec<&(em_core::SerializedPair, bool)> =
         pool.iter().filter(|(_, y)| !*y).collect();
-    negs.sort_by(|a, b| score(&a.0).partial_cmp(&score(&b.0)).unwrap());
+    negs.sort_by(|a, b| score(&a.0).total_cmp(&score(&b.0)));
     let mut out = Vec::with_capacity(3);
     for n in negs.into_iter().take(2) {
         out.push(Demonstration {
@@ -116,6 +163,10 @@ impl Matcher for MatchGpt {
     /// transfer pool (never from the target dataset); the model itself is
     /// frozen.
     fn fit(&mut self, split: &LodoSplit<'_>, seed: u64) -> Result<()> {
+        self.degraded = false;
+        if let Some(fallback) = &mut self.fallback {
+            fallback.fit(split, seed)?;
+        }
         self.demos = match self.strategy {
             DemoStrategy::None => Vec::new(),
             DemoStrategy::HandPicked => {
@@ -136,11 +187,39 @@ impl Matcher for MatchGpt {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
-        let scores = self.llm.score_batch(&batch.serialized, &self.demos);
+        let scores = match &self.resilient {
+            Some(client) => match client.score_batch(&batch.serialized, &self.demos) {
+                Ok(scores) => scores,
+                Err(e) => {
+                    // The hosted backend is unreachable even after
+                    // retries: degrade to the registered fallback matcher
+                    // rather than failing the evaluation item.
+                    let fallback = self
+                        .fallback
+                        .as_mut()
+                        .expect("with_resilience always registers a fallback");
+                    em_obs::metrics::counter("faults.degraded").add(1);
+                    em_obs::event!(
+                        warn,
+                        "hosted.degraded",
+                        backend = client.backend().as_str(),
+                        fallback = fallback.name().as_str(),
+                        cause = e.kind_label()
+                    );
+                    self.degraded = true;
+                    return fallback.predict(batch);
+                }
+            },
+            None => self.llm.try_score_batch(&batch.serialized, &self.demos)?,
+        };
         if scores.len() != batch.len() {
             return Err(EmError::Numeric("score batch size mismatch".into()));
         }
         Ok(scores.into_iter().map(|s| s >= 0.5).collect())
+    }
+
+    fn was_degraded(&self) -> bool {
+        self.degraded
     }
 }
 
@@ -239,5 +318,129 @@ mod tests {
         let llm = tiny_llm();
         let m = MatchGpt::with_llm(llm, DemoStrategy::None);
         assert_eq!(m.params_millions(), Some(175_000.0));
+    }
+
+    fn small_batch() -> EvalBatch {
+        EvalBatch {
+            serialized: (0..8)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        sp(&format!("item {i}"), &format!("item {i}"))
+                    } else {
+                        sp(&format!("item {i}"), &format!("thing {}", i + 1))
+                    }
+                })
+                .collect(),
+            raw: vec![],
+            attr_types: vec![],
+        }
+    }
+
+    #[test]
+    fn resilient_fault_free_path_matches_direct_path() {
+        let llm = tiny_llm();
+        let mut direct = MatchGpt::with_llm(llm.clone(), DemoStrategy::None);
+        let mut resilient = MatchGpt::with_resilience(
+            llm,
+            DemoStrategy::None,
+            None,
+            Box::new(crate::string_sim::StringSim::new()),
+        );
+        let batch = small_batch();
+        assert_eq!(
+            resilient.predict(&batch).unwrap(),
+            direct.predict(&batch).unwrap()
+        );
+        assert!(!resilient.was_degraded());
+    }
+
+    #[test]
+    fn injected_faults_do_not_change_predictions() {
+        let llm = tiny_llm();
+        let plan = em_faults::FaultPlan::parse("7,0.1,all").unwrap();
+        let mut clean = MatchGpt::with_llm(llm.clone(), DemoStrategy::None);
+        let mut faulty = MatchGpt::with_resilience(
+            llm,
+            DemoStrategy::None,
+            Some(plan),
+            Box::new(crate::string_sim::StringSim::new()),
+        );
+        let batch = small_batch();
+        assert_eq!(
+            faulty.predict(&batch).unwrap(),
+            clean.predict(&batch).unwrap(),
+            "retried faults must be invisible in the predictions"
+        );
+        assert!(!faulty.was_degraded());
+    }
+
+    #[test]
+    fn forced_open_breaker_degrades_to_fallback() {
+        let llm = tiny_llm();
+        let mut m = MatchGpt::with_resilience(
+            llm,
+            DemoStrategy::None,
+            None,
+            Box::new(crate::string_sim::StringSim::new()),
+        );
+        let client = m.resilient().unwrap();
+        client.breaker().force_open(client.clock().now_ns());
+        let batch = small_batch();
+        let preds = m.predict(&batch).unwrap();
+        assert!(m.was_degraded(), "open breaker must flag degradation");
+
+        let mut fallback = crate::string_sim::StringSim::new();
+        assert_eq!(
+            preds,
+            fallback.predict(&batch).unwrap(),
+            "degraded predictions must come from the fallback matcher"
+        );
+    }
+
+    #[test]
+    fn fit_resets_the_degraded_flag() {
+        let suite: Vec<em_core::Benchmark> = em_core::DatasetId::ALL
+            .iter()
+            .map(|&id| em_core::Benchmark {
+                id,
+                attr_types: vec![em_core::AttrType::ShortText],
+                pairs: vec![em_core::LabeledPair::new(
+                    em_core::Record::new(0, vec![em_core::AttrValue::from("x")]),
+                    em_core::Record::new(1, vec![em_core::AttrValue::from("x")]),
+                    true,
+                )],
+            })
+            .collect();
+        let split = em_core::lodo_split(&suite, em_core::DatasetId::Abt).unwrap();
+
+        let llm = tiny_llm();
+        let mut m = MatchGpt::with_resilience(
+            llm,
+            DemoStrategy::None,
+            None,
+            Box::new(crate::string_sim::StringSim::new()),
+        );
+        let client = m.resilient().unwrap();
+        client.breaker().force_open(client.clock().now_ns());
+        m.predict(&small_batch()).unwrap();
+        assert!(m.was_degraded());
+        m.fit(&split, 0).unwrap();
+        assert!(!m.was_degraded(), "fit must clear the sticky degraded flag");
+    }
+
+    #[test]
+    fn hand_pick_survives_nan_similarity_scores() {
+        // Empty strings drive ratcliff_obershelp into 0/0 territory on
+        // some implementations; whatever the score, sorting must not
+        // panic (the old `partial_cmp(..).unwrap()` did on NaN).
+        let pool = vec![
+            (sp("", ""), true),
+            (sp("alpha", "alpha"), true),
+            (sp("", "zzz"), false),
+            (sp("aaa", "zzz"), false),
+        ];
+        let demos = hand_pick(&pool);
+        assert_eq!(demos.iter().filter(|d| d.label).count(), 1);
+        assert_eq!(demos.iter().filter(|d| !d.label).count(), 2);
     }
 }

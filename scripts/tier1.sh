@@ -31,3 +31,10 @@ attn_bench="$PWD/target/tier1-bench-attention.json"
 ./target/release/bench_attention "$attn_bench" --smoke
 test -s "$attn_bench" || { echo "attention bench smoke failed: $attn_bench is empty"; exit 1; }
 echo "attention bench smoke: wrote $attn_bench"
+
+# Chaos smoke: a small LODO sweep through the resilient hosted client at
+# a 10% injected-fault rate must complete with zero aborted items and
+# metrics bit-identical to the fault-free run, a killed checkpoint must
+# resume bitwise, and a dead backend must degrade to the StringSim
+# fallback (see crates/bench/src/bin/chaos_lodo.rs for the assertions).
+./target/release/chaos_lodo --smoke
