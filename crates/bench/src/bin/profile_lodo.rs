@@ -93,11 +93,56 @@ fn attention_probe() {
     assert!(logits.iter().all(|l| l.is_finite()));
 }
 
+/// Exercises the fused training step so the `optim.step` spans and the
+/// `finetune.tokens` / `finetune.padded_tokens_saved` counters land in
+/// the profile: a few epochs of a tiny encoder on ragged pairs (same
+/// rationale as [`attention_probe`] — enough to account for the path in
+/// the span report, not a real fine-tune).
+fn finetune_probe() {
+    use em_lm::{encode_pair, train, EncoderClassifier, HashTokenizer, ModelConfig, TrainConfig};
+    let cfg = ModelConfig {
+        vocab: 512,
+        d_model: 32,
+        n_layers: 1,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 48,
+        dropout: 0.0,
+        claimed_params_millions: 1.0,
+    };
+    let tok = HashTokenizer::new(512);
+    let examples: Vec<_> = (0..48)
+        .map(|i| {
+            let words = (0..(3 + i % 12))
+                .map(|j| format!("tok{}", (i * 13 + j) % 37))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let pair = em_core::SerializedPair {
+                left: words.clone(),
+                right: words,
+            };
+            (encode_pair(&tok, &pair, 48), i % 2 == 0)
+        })
+        .collect();
+    let mut model = EncoderClassifier::new(cfg, 0);
+    let report = train(
+        &mut model,
+        &examples,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        },
+    );
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
 fn profile(suite: &[Benchmark], cfg: &EvalConfig, resume: bool) {
     em_obs::trace::set_capture(true);
     let t0 = Instant::now();
     run_eval_checkpointed(suite, cfg, resume);
     attention_probe();
+    finetune_probe();
     let wall = t0.elapsed();
     em_obs::trace::set_capture(false);
 
@@ -123,6 +168,29 @@ fn profile(suite: &[Benchmark], cfg: &EvalConfig, resume: bool) {
         println!(
             "warning: {} records dropped (sink retention cap)",
             em_obs::trace::dropped_records()
+        );
+    }
+    // Fine-tune throughput from the probe: tokens counted by the training
+    // loop over the wall-clock of its `finetune.step` spans.
+    let span_sum = |name: &str| -> (u64, u64) {
+        records
+            .iter()
+            .filter(|r| matches!(r.kind, em_obs::trace::RecordKind::Span) && r.name == name)
+            .fold((0u64, 0u64), |(n, ns), r| (n + 1, ns + r.dur_ns))
+    };
+    let (steps, step_ns) = span_sum("finetune.step");
+    let (opt_steps, opt_ns) = span_sum("optim.step");
+    let tokens = em_obs::metrics::counter("finetune.tokens").get();
+    let saved = em_obs::metrics::counter("finetune.padded_tokens_saved").get();
+    if step_ns > 0 && tokens > 0 {
+        println!(
+            "fine-tune probe: {tokens} tokens over {steps} finetune.step spans ({}) = {:.0} tokens/s, {saved} pad tokens saved by pad-to-batch-max",
+            em_obs::report::fmt_ns(step_ns),
+            tokens as f64 / (step_ns as f64 / 1e9),
+        );
+        println!(
+            "                 {opt_steps} optim.step spans, {} cumulative in the fused optimizer",
+            em_obs::report::fmt_ns(opt_ns),
         );
     }
     println!();

@@ -1,9 +1,22 @@
 //! Fine-tuning loop: mini-batch Adam training of an [`EncoderClassifier`]
 //! on labelled, already-encoded sequences.
+//!
+//! The hot loop is built around three invariants (see `DESIGN.md` §8):
+//!
+//! * **Zero-copy collation** — batches gather rows by index straight from
+//!   the example pool into one reused [`Batch`]
+//!   ([`Batch::collate_into`]); no `Encoded` is cloned per step.
+//! * **Pad-to-batch-max** — each batch is trimmed to its longest valid
+//!   row. Length bucketing (seeded shuffle → stable sort by valid length
+//!   → batch-order shuffle) keeps rows of similar length together so the
+//!   trim actually bites, while staying deterministic under `seed`.
+//! * **Fused optimizer** — norm → clip → AdamW update → gradient zeroing
+//!   run as one arena-backed parallel pass ([`FusedAdam`]), bitwise
+//!   identical at every thread count.
 
 use crate::model::{Batch, EncoderClassifier};
 use crate::tokenizer::Encoded;
-use em_nn::{bce_with_logits, clip_grad_norm, zero_grads, Adam};
+use em_nn::{bce_with_logits, FusedAdam};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,10 +54,47 @@ impl Default for TrainConfig {
 /// Summary of a completed training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
-    /// Mean loss per epoch.
+    /// Mean loss per epoch, weighted by example count (the last batch of
+    /// an epoch is usually smaller than the rest; weighting by batch count
+    /// would overweight its examples).
     pub epoch_losses: Vec<f32>,
     /// Optimizer steps taken.
     pub steps: u64,
+}
+
+/// Token-throughput counters, resolved once so the metric-registry lock
+/// never sits on the step path.
+struct FinetuneMetrics {
+    /// Tokens actually pushed through `forward_train` (post-trim).
+    tokens: std::sync::Arc<em_obs::metrics::Counter>,
+    /// Pad tokens that full-length collation would have added on top.
+    padded_saved: std::sync::Arc<em_obs::metrics::Counter>,
+}
+
+fn finetune_metrics() -> &'static FinetuneMetrics {
+    static METRICS: std::sync::OnceLock<FinetuneMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| FinetuneMetrics {
+        tokens: em_obs::metrics::counter("finetune.tokens"),
+        padded_saved: em_obs::metrics::counter("finetune.padded_tokens_saved"),
+    })
+}
+
+/// Builds this epoch's batch schedule: a seeded shuffle for tie-breaking,
+/// a *stable* sort by valid length so similar-length rows land in the same
+/// batch (pad-to-batch-max then trims aggressively), then a seeded shuffle
+/// of the batch order so the length curriculum is not monotone. Fully
+/// deterministic under the caller's rng.
+fn bucketed_batches(
+    order: &mut [usize],
+    valid: &[usize],
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    order.shuffle(rng);
+    order.sort_by_key(|&i| valid[i]);
+    let mut batches: Vec<Vec<usize>> = order.chunks(batch_size).map(<[usize]>::to_vec).collect();
+    batches.shuffle(rng);
+    batches
 }
 
 /// Trains the model in place; returns per-epoch mean losses.
@@ -57,38 +107,38 @@ pub fn train(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!examples.is_empty(), "no training examples");
+    let full_len = examples[0].0.len();
+    // Valid lengths drive the length bucketing; computed once, not per epoch.
+    let valid: Vec<usize> = examples
+        .iter()
+        .map(|(e, _)| e.mask.iter().rposition(|&m| m).map_or(0, |p| p + 1))
+        .collect();
     let mut order: Vec<usize> = (0..examples.len()).collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7261_696e);
-    let mut opt = Adam::new(cfg.lr);
+    let mut opt = FusedAdam::new(cfg.lr);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
-    let mut scratch: Vec<Encoded> = Vec::with_capacity(cfg.batch_size);
+    let mut batch = Batch::empty();
     let mut labels: Vec<bool> = Vec::with_capacity(cfg.batch_size);
+    let batch_size = cfg.batch_size.max(1);
     for _ in 0..cfg.epochs {
-        order.shuffle(&mut rng);
         let mut total_loss = 0.0f32;
-        let mut batches = 0usize;
-        for chunk in order.chunks(cfg.batch_size) {
+        for chunk in bucketed_batches(&mut order, &valid, batch_size, &mut rng) {
             let _span = em_obs::span!("finetune.step", batch = chunk.len());
-            scratch.clear();
+            batch.collate_into(examples, &chunk);
             labels.clear();
-            for &i in chunk {
-                scratch.push(examples[i].0.clone());
-                labels.push(examples[i].1);
+            labels.extend(chunk.iter().map(|&i| examples[i].1));
+            if em_obs::capture_enabled() {
+                let m = finetune_metrics();
+                m.tokens.add((batch.n * batch.seq) as u64);
+                m.padded_saved.add(batch.padded_tokens_saved(full_len) as u64);
             }
-            let batch = Batch::collate(&scratch);
             let logits = model.forward_train(&batch);
             let (loss, dlogits) = bce_with_logits(&logits, &labels, cfg.pos_weight);
             model.backward(&dlogits);
-            {
-                let mut params = model.params_mut();
-                clip_grad_norm(&mut params, cfg.clip);
-                opt.step(&mut params);
-                zero_grads(&mut params);
-            }
-            total_loss += loss;
-            batches += 1;
+            opt.step(&mut model.params_mut(), Some(cfg.clip));
+            total_loss += loss * chunk.len() as f32;
         }
-        epoch_losses.push(total_loss / batches.max(1) as f32);
+        epoch_losses.push(total_loss / examples.len() as f32);
     }
     TrainReport {
         epoch_losses,
@@ -97,15 +147,17 @@ pub fn train(
 }
 
 /// Predicts match probabilities (sigmoid of logits) for a slice of encoded
-/// sequences, batching internally.
+/// sequences, batching internally. Each batch reuses one collation buffer
+/// and is trimmed to its longest valid row, exactly like training.
 pub fn predict_proba(
     model: &EncoderClassifier,
     examples: &[Encoded],
     batch_size: usize,
 ) -> Vec<f32> {
     let mut out = Vec::with_capacity(examples.len());
+    let mut batch = Batch::empty();
     for chunk in examples.chunks(batch_size.max(1)) {
-        let batch = Batch::collate(chunk);
+        batch.collate_refs_into(chunk);
         for logit in model.forward(&batch) {
             out.push(em_nn::sigmoid_f32(logit));
         }
@@ -294,5 +346,62 @@ mod tests {
     fn empty_training_panics() {
         let mut model = EncoderClassifier::new(tiny_config(), 0);
         let _ = train(&mut model, &[], &TrainConfig::default());
+    }
+
+    #[test]
+    fn epoch_loss_is_weighted_by_example_count() {
+        // 3 examples with batch_size 2 → one full batch and one singleton.
+        // With lr = 0 the model never changes, so the epoch loss must equal
+        // the mean of the three per-example losses regardless of batching.
+        // The old `total / batches` formula averaged batch means, which
+        // overweights the ragged tail batch.
+        let tok = HashTokenizer::new(512);
+        let data = encode_all(&synthetic_pairs(3, 7), &tok, 20);
+        let frozen = TrainConfig {
+            epochs: 1,
+            batch_size: 2,
+            lr: 0.0,
+            ..Default::default()
+        };
+        let mut model = EncoderClassifier::new(tiny_config(), 11);
+        let report = train(&mut model, &data, &frozen);
+        // Per-example losses from the same frozen model, one at a time.
+        let mut expected = 0.0f32;
+        for (e, y) in &data {
+            let mut probe = EncoderClassifier::new(tiny_config(), 11);
+            let single = train(
+                &mut probe,
+                &[(e.clone(), *y)],
+                &TrainConfig {
+                    batch_size: 1,
+                    ..frozen
+                },
+            );
+            expected += single.epoch_losses[0];
+        }
+        expected /= data.len() as f32;
+        let got = report.epoch_losses[0];
+        assert!(
+            (got - expected).abs() < 1e-5,
+            "epoch loss {got} should be the example-weighted mean {expected}"
+        );
+    }
+
+    #[test]
+    fn batch_size_larger_than_dataset_is_fine() {
+        let tok = HashTokenizer::new(512);
+        let data = encode_all(&synthetic_pairs(5, 8), &tok, 20);
+        let mut model = EncoderClassifier::new(tiny_config(), 0);
+        let report = train(
+            &mut model,
+            &data,
+            &TrainConfig {
+                epochs: 1,
+                batch_size: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(report.steps, 1);
+        assert!(report.epoch_losses[0].is_finite());
     }
 }

@@ -31,7 +31,23 @@ pub struct Batch {
 }
 
 impl Batch {
-    /// Collates encoded sequences (all must share one length).
+    /// An empty batch whose buffers get reused across
+    /// [`Self::collate_into`] / [`Self::collate_refs_into`] calls.
+    pub fn empty() -> Batch {
+        Batch {
+            ids: Vec::new(),
+            segments: Vec::new(),
+            mask: Vec::new(),
+            overlap: Vec::new(),
+            n: 0,
+            seq: 0,
+        }
+    }
+
+    /// Collates encoded sequences (all must share one length), padded to
+    /// that full length. One-shot allocating variant; the training and
+    /// prediction hot loops use the buffer-reusing, pad-trimming
+    /// [`Self::collate_into`] / [`Self::collate_refs_into`] instead.
     pub fn collate(examples: &[Encoded]) -> Batch {
         assert!(!examples.is_empty(), "cannot collate an empty batch");
         let seq = examples[0].len();
@@ -58,6 +74,64 @@ impl Batch {
             n,
             seq,
         }
+    }
+
+    /// Zero-copy collation for the fine-tuning loop: gathers the rows of
+    /// `chunk` (indices into `examples`) straight from the labelled pool
+    /// into this batch's reused buffers — no per-example `Encoded` clone,
+    /// no fresh allocations after the first batch.
+    ///
+    /// The batch is trimmed to its longest *valid* row (pad-to-batch-max):
+    /// masked attention gives padded keys zero weight and masked mean
+    /// pooling ignores padded positions, so trailing-pad columns are inert
+    /// and the logits are identical to full-length padding (proven bitwise
+    /// in `tests/finetune_parity.rs`).
+    pub fn collate_into(&mut self, examples: &[(Encoded, bool)], chunk: &[usize]) {
+        self.gather(chunk.len(), |i| &examples[chunk[i]].0);
+    }
+
+    /// [`Self::collate_into`] for an unlabelled slice (the prediction
+    /// path): same reused buffers, same pad-to-batch-max trimming.
+    pub fn collate_refs_into(&mut self, examples: &[Encoded]) {
+        self.gather(examples.len(), |i| &examples[i]);
+    }
+
+    fn gather<'a>(&mut self, n: usize, get: impl Fn(usize) -> &'a Encoded) {
+        assert!(n > 0, "cannot collate an empty batch");
+        let full = get(0).len();
+        // Pad-to-batch-max: the longest valid row decides the batch's
+        // sequence length (floor 1 so shapes stay well-formed).
+        let mut seq = 1usize;
+        for i in 0..n {
+            let e = get(i);
+            assert_eq!(e.len(), full, "all sequences must share one length");
+            let valid = e.mask.iter().rposition(|&m| m).map_or(0, |p| p + 1);
+            seq = seq.max(valid);
+        }
+        self.ids.clear();
+        self.segments.clear();
+        self.mask.clear();
+        self.overlap.clear();
+        self.ids.reserve(n * seq);
+        self.segments.reserve(n * seq);
+        self.mask.reserve(n * seq);
+        self.overlap.reserve(n * seq);
+        for i in 0..n {
+            let e = get(i);
+            self.ids.extend_from_slice(&e.ids[..seq]);
+            self.segments.extend_from_slice(&e.segments[..seq]);
+            self.mask.extend_from_slice(&e.mask[..seq]);
+            self.overlap.extend_from_slice(&e.overlap[..seq]);
+        }
+        self.n = n;
+        self.seq = seq;
+    }
+
+    /// Tokens a full-length collation of the same rows would have carried
+    /// on top of this one — `n · (full_len − seq)` — for the
+    /// `finetune.padded_tokens_saved` counter.
+    pub fn padded_tokens_saved(&self, full_len: usize) -> usize {
+        self.n * full_len.saturating_sub(self.seq)
     }
 }
 

@@ -1,0 +1,174 @@
+//! Fine-tuning hot-loop parity suite, covering the two equivalences the
+//! fused training step rests on:
+//!
+//! * **Pad-to-batch-max is exact** — collating a batch to its longest
+//!   valid row produces bitwise identical logits to full-length padding.
+//!   Padded keys get zero attention weight, masked mean pooling skips
+//!   padded positions, and position ids of live tokens are unchanged by
+//!   trimming, so trailing-pad columns are completely inert.
+//! * **The training loop is thread-count invariant** — a full `train` +
+//!   `predict_proba` run produces bitwise identical probabilities (and
+//!   epoch losses) at 1, 2, and 8 worker threads, because every parallel
+//!   region in the stack (GEMM, attention, LayerNorm/Embedding backward,
+//!   fused optimizer) preserves its serial reduction order.
+
+use em_core::SerializedPair;
+use em_lm::config::ModelConfig;
+use em_lm::finetune::{predict_proba, train, TrainConfig};
+use em_lm::model::{Batch, EncoderClassifier};
+use em_lm::tokenizer::{encode_pair, Encoded, HashTokenizer};
+use em_nn::threadpool;
+use std::sync::Mutex;
+
+/// Serializes every test that overrides the global thread cap.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+fn tiny_config() -> ModelConfig {
+    ModelConfig {
+        vocab: 512,
+        d_model: 16,
+        n_layers: 2,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 24,
+        dropout: 0.0,
+        claimed_params_millions: 1.0,
+    }
+}
+
+/// Encodes pairs with strongly varying token counts so batches are truly
+/// ragged: valid lengths range from a few tokens up to (optionally) the
+/// full model max.
+fn ragged_examples(n: usize, seq: usize, with_full_row: bool) -> Vec<(Encoded, bool)> {
+    let tok = HashTokenizer::new(512);
+    let words = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+    ];
+    let mut out: Vec<(Encoded, bool)> = (0..n)
+        .map(|i| {
+            let len = 1 + i % 5;
+            let left: Vec<&str> = (0..len).map(|j| words[(i + j) % words.len()]).collect();
+            let right: Vec<&str> = (0..len).map(|j| words[(i + j + i % 2) % words.len()]).collect();
+            let pair = SerializedPair {
+                left: left.join(" "),
+                right: right.join(" "),
+            };
+            (encode_pair(&tok, &pair, seq), i % 2 == 0)
+        })
+        .collect();
+    if with_full_row {
+        // One row with enough tokens to fill the model max exactly, so the
+        // "longest row equals model max" edge case is always present.
+        let long: Vec<&str> = (0..seq).map(|j| words[j % words.len()]).collect();
+        let pair = SerializedPair {
+            left: long.join(" "),
+            right: long.join(" "),
+        };
+        let e = encode_pair(&tok, &pair, seq);
+        assert_eq!(
+            e.mask.iter().rposition(|&m| m).map(|p| p + 1),
+            Some(seq),
+            "long row must fill the model max"
+        );
+        out.push((e, true));
+    }
+    out
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Trimmed collation must yield bitwise identical inference logits to
+/// full-length padding, on ragged batches including one whose longest row
+/// equals the model max (where the trim is a no-op by construction).
+#[test]
+fn pad_to_batch_max_matches_full_padding_bitwise() {
+    let seq = tiny_config().max_seq;
+    let model = EncoderClassifier::new(tiny_config(), 3);
+    for with_full_row in [false, true] {
+        let examples = ragged_examples(9, seq, with_full_row);
+        let encoded: Vec<Encoded> = examples.iter().map(|(e, _)| e.clone()).collect();
+        let full = Batch::collate(&encoded);
+        let mut trimmed = Batch::empty();
+        trimmed.collate_refs_into(&encoded);
+        if with_full_row {
+            assert_eq!(trimmed.seq, seq, "full row must defeat the trim");
+        } else {
+            assert!(trimmed.seq < seq, "ragged batch must actually trim");
+        }
+        assert_eq!(
+            bits(&model.forward(&full)),
+            bits(&model.forward(&trimmed)),
+            "trimmed logits diverged (full_row = {with_full_row})"
+        );
+    }
+}
+
+/// Same contract through the training forward (caching path), which is
+/// what the fine-tuning loop actually calls.
+#[test]
+fn pad_to_batch_max_matches_full_padding_in_forward_train() {
+    let seq = tiny_config().max_seq;
+    let examples = ragged_examples(7, seq, true);
+    let encoded: Vec<Encoded> = examples.iter().map(|(e, _)| e.clone()).collect();
+    let full = Batch::collate(&encoded);
+    let mut trimmed = Batch::empty();
+    trimmed.collate_refs_into(&encoded);
+    // Fresh identically-seeded models: forward_train caches internally.
+    let mut m1 = EncoderClassifier::new(tiny_config(), 4);
+    let mut m2 = EncoderClassifier::new(tiny_config(), 4);
+    assert_eq!(
+        bits(&m1.forward_train(&full)),
+        bits(&m2.forward_train(&trimmed)),
+        "training-forward logits diverged under trimming"
+    );
+}
+
+/// Zero-copy collation must gather exactly the rows the index list names,
+/// in order.
+#[test]
+fn collate_into_gathers_indexed_rows() {
+    let seq = tiny_config().max_seq;
+    let examples = ragged_examples(6, seq, false);
+    let mut batch = Batch::empty();
+    batch.collate_into(&examples, &[4, 1, 3]);
+    assert_eq!(batch.n, 3);
+    for (row, &src) in [4usize, 1, 3].iter().enumerate() {
+        let e = &examples[src].0;
+        assert_eq!(
+            &batch.ids[row * batch.seq..(row + 1) * batch.seq],
+            &e.ids[..batch.seq],
+            "row {row} should be example {src}"
+        );
+    }
+}
+
+/// Satellite requirement: a full fine-tuning run — training and
+/// prediction — is bitwise identical at 1, 2, and 8 worker threads.
+#[test]
+fn training_run_is_identical_at_1_2_and_8_threads() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let seq = tiny_config().max_seq;
+    let examples = ragged_examples(33, seq, true);
+    let encoded: Vec<Encoded> = examples.iter().map(|(e, _)| e.clone()).collect();
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let run_at = |cap: usize| {
+        threadpool::set_max_threads(Some(cap));
+        let mut model = EncoderClassifier::new(tiny_config(), 9);
+        let report = train(&mut model, &examples, &cfg);
+        let probs = predict_proba(&model, &encoded, 16);
+        threadpool::set_max_threads(None);
+        (bits(&report.epoch_losses), bits(&probs))
+    };
+    let want = run_at(1);
+    for cap in [2usize, 8] {
+        let got = run_at(cap);
+        assert_eq!(want.0, got.0, "epoch losses diverged at {cap} thread(s)");
+        assert_eq!(want.1, got.1, "predictions diverged at {cap} thread(s)");
+    }
+}

@@ -133,20 +133,69 @@ impl Embedding {
         out
     }
 
+    /// Minimum scatter size (ids × dim) that justifies fanning the
+    /// embedding backward out over the worker budget.
+    const PAR_MIN_ELEMS: usize = 1 << 15;
+
     /// Backward: scatter-adds row gradients into the table gradient.
+    ///
+    /// Large scatters partition the *destination table rows* across
+    /// workers; every worker scans the full id list and accumulates only
+    /// the rows it owns, so each table row receives its contributions in
+    /// id order regardless of the thread count — bitwise identical to the
+    /// serial scatter.
     pub fn backward(&mut self, grad_out: &Tensor) {
         let ids = self
             .cached_ids
             .as_ref()
             .expect("backward called before forward");
         assert_eq!(grad_out.rows(), ids.len());
-        for (i, &id) in ids.iter().enumerate() {
-            let src = grad_out.row(i);
-            let dst = self.table.grad.row_mut(id as usize);
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d += s;
+        let dim = self.table.value.cols();
+        let vocab = self.table.value.rows();
+        let nworkers = if ids.len() * dim >= Self::PAR_MIN_ELEMS {
+            crate::threadpool::max_threads().min(vocab)
+        } else {
+            1
+        };
+        let reservation = crate::threadpool::reserve_workers(nworkers.saturating_sub(1));
+        let nworkers = reservation.total().min(vocab);
+        if nworkers <= 1 {
+            for (i, &id) in ids.iter().enumerate() {
+                let src = grad_out.row(i);
+                let dst = self.table.grad.row_mut(id as usize);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
             }
+            return;
         }
+        let rows_per = vocab.div_ceil(nworkers);
+        let scatter = |chunk: &mut [f32], lo: usize| {
+            let hi = lo + chunk.len() / dim;
+            for (i, &id) in ids.iter().enumerate() {
+                let id = id as usize;
+                if id >= lo && id < hi {
+                    let dst = &mut chunk[(id - lo) * dim..(id - lo + 1) * dim];
+                    for (d, &s) in dst.iter_mut().zip(grad_out.row(i)) {
+                        *d += s;
+                    }
+                }
+            }
+        };
+        std::thread::scope(|scope| {
+            let mut chunks = self
+                .table
+                .grad
+                .data_mut()
+                .chunks_mut(rows_per * dim)
+                .enumerate();
+            let (_, head) = chunks.next().expect("vocab is nonempty");
+            for (w, chunk) in chunks {
+                let scatter = &scatter;
+                scope.spawn(move || scatter(chunk, w * rows_per));
+            }
+            scatter(head, 0);
+        });
     }
 
     /// Visits parameters for the optimizer.
@@ -220,37 +269,86 @@ impl LayerNorm {
         (out, xhat, inv_stds)
     }
 
+    /// Rows per LayerNorm-backward block: the unit of both the parallel
+    /// fan-out and the fixed-order dγ/dβ reduction. Part of the numeric
+    /// contract — partial sums are always accumulated per block and then
+    /// reduced in block order, whether or not workers were granted, so
+    /// results are bitwise identical at every thread count.
+    const ROW_BLOCK: usize = 64;
+
     /// Backward pass: accumulates dγ, dβ; returns dX.
+    ///
+    /// Row blocks are independent (dX is per-row; dγ/dβ land in per-block
+    /// partials) and fan out via [`crate::threadpool::fan_out`]; the
+    /// partials reduce serially in block order afterwards.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (xhat, inv_stds) = self
             .cached
             .as_ref()
             .expect("backward called before forward");
         let (n, d) = (grad_out.rows(), grad_out.cols());
-        let gamma = self.gamma.value.row(0).to_vec();
+        let gamma = self.gamma.value.row(0);
         let mut dx = Tensor::zeros(n, d);
-        #[allow(clippy::needless_range_loop)] // rows of three tensors in lockstep
-        for i in 0..n {
-            let go = grad_out.row(i);
-            let xh = xhat.row(i);
-            // Parameter grads.
-            {
-                let dgamma = self.gamma.grad.row_mut(0);
-                let dbeta = self.beta.grad.row_mut(0);
+        let nblocks = n.div_ceil(Self::ROW_BLOCK).max(1);
+        // Per-block [dγ | dβ] partials, reduced in block order below.
+        let mut partials = vec![0.0f32; nblocks * 2 * d];
+        struct RowBlock<'a> {
+            go: &'a [f32],
+            xh: &'a [f32],
+            inv: &'a [f32],
+            dx: &'a mut [f32],
+            partial: &'a mut [f32],
+        }
+        let mut blocks: Vec<RowBlock> = grad_out
+            .data()
+            .chunks(Self::ROW_BLOCK * d)
+            .zip(xhat.data().chunks(Self::ROW_BLOCK * d))
+            .zip(inv_stds.chunks(Self::ROW_BLOCK))
+            .zip(dx.data_mut().chunks_mut(Self::ROW_BLOCK * d))
+            .zip(partials.chunks_mut(2 * d))
+            .map(|((((go, xh), inv), dx), partial)| RowBlock {
+                go,
+                xh,
+                inv,
+                dx,
+                partial,
+            })
+            .collect();
+        crate::threadpool::fan_out(&mut blocks, |b| {
+            let (dgamma, dbeta) = b.partial.split_at_mut(d);
+            let mut dxhat = vec![0.0f32; d];
+            for (r, &inv_std) in b.inv.iter().enumerate() {
+                let go = &b.go[r * d..(r + 1) * d];
+                let xh = &b.xh[r * d..(r + 1) * d];
                 for j in 0..d {
                     dgamma[j] += go[j] * xh[j];
                     dbeta[j] += go[j];
                 }
+                // dxhat = go * gamma
+                for j in 0..d {
+                    dxhat[j] = go[j] * gamma[j];
+                }
+                let sum_dxhat: f32 = dxhat.iter().sum();
+                let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
+                let out = &mut b.dx[r * d..(r + 1) * d];
+                let dinv = d as f32;
+                for j in 0..d {
+                    out[j] =
+                        inv_std / dinv * (dinv * dxhat[j] - sum_dxhat - xh[j] * sum_dxhat_xhat);
+                }
             }
-            // dxhat = go * gamma
-            let dxhat: Vec<f32> = (0..d).map(|j| go[j] * gamma[j]).collect();
-            let sum_dxhat: f32 = dxhat.iter().sum();
-            let sum_dxhat_xhat: f32 = dxhat.iter().zip(xh).map(|(a, b)| a * b).sum();
-            let inv_std = inv_stds[i];
-            let out = dx.row_mut(i);
-            let dinv = d as f32;
+        });
+        // Fixed-order reduction of the per-block parameter-grad partials.
+        let dgamma = self.gamma.grad.row_mut(0);
+        for b in 0..nblocks {
             for j in 0..d {
-                out[j] = inv_std / dinv * (dinv * dxhat[j] - sum_dxhat - xh[j] * sum_dxhat_xhat);
+                dgamma[j] += partials[b * 2 * d + j];
+            }
+        }
+        let dbeta = self.beta.grad.row_mut(0);
+        for b in 0..nblocks {
+            for j in 0..d {
+                dbeta[j] += partials[b * 2 * d + d + j];
             }
         }
         dx

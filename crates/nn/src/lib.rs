@@ -15,7 +15,9 @@
 //! * masked multi-head self-attention ([`attention`]) and pre-norm
 //!   transformer encoder blocks ([`block`]);
 //! * binary cross-entropy with logits ([`loss`]);
-//! * Adam / SGD optimizers with gradient clipping ([`optim`]);
+//! * Adam / SGD optimizers with gradient clipping, plus fused arena-backed
+//!   variants whose whole step tail (norm → clip → update → zero) runs as
+//!   one blocked parallel pass ([`optim`]);
 //! * finite-difference gradient checking, used to verify every backward
 //!   pass in this crate's test suite ([`gradcheck`]).
 
@@ -36,6 +38,6 @@ pub use block::TransformerBlock;
 pub use gradcheck::{max_relative_error, numeric_gradient};
 pub use layers::{Dropout, Embedding, Gelu, LayerNorm, Linear};
 pub use loss::{accuracy, bce_with_logits, sigmoid_f32, softplus};
-pub use optim::{clip_grad_norm, zero_grads, Adam, Sgd};
+pub use optim::{clip_grad_norm, zero_grads, Adam, FusedAdam, FusedSgd, Sgd, FUSED_BLOCK};
 pub use param::Param;
 pub use tensor::{dot_f32, softmax_inplace, Tensor};

@@ -1,9 +1,40 @@
-//! Optimizers: SGD with momentum and Adam, with optional gradient clipping.
+//! Optimizers: SGD with momentum and Adam, with optional gradient clipping,
+//! plus the fused, arena-backed variants the fine-tuning hot loop uses.
 //!
 //! Optimizers are stateful per parameter slot; the caller must visit
 //! parameters in a stable order (which our models' `params_mut()` provide).
+//!
+//! # Fused optimizers
+//!
+//! [`FusedAdam`] and [`FusedSgd`] keep their moment state in one contiguous
+//! arena instead of a `Vec<Vec<f32>>` per parameter, and collapse the whole
+//! training-step tail — global grad-norm reduction, clipping, the
+//! bias-corrected (decoupled-weight-decay) update, and gradient zeroing —
+//! into a single pass over fixed-size parameter blocks fanned out via
+//! [`crate::threadpool::fan_out`]. Two properties are load-bearing:
+//!
+//! * **No per-step clones.** The seed `Adam::step` cloned every gradient
+//!   and value tensor each step (`to_vec()`); the fused path reads and
+//!   writes parameter slices in place and zeroes gradients as it goes, so
+//!   the optimizer allocates nothing after the first step.
+//! * **Bitwise thread-count invariance.** The only cross-element reduction
+//!   is the gradient norm; it is computed as per-block serial
+//!   [`f32::mul_add`] sums reduced in fixed (parameter, block) order, so
+//!   any worker partition yields identical bits. The update itself is
+//!   element-wise independent. `em_nn::reference::{grad_norm, adam_update,
+//!   sgd_update}` are the naive single-threaded oracles the property suite
+//!   (`tests/optim_equivalence.rs`) compares against, bit for bit.
 
 use crate::param::Param;
+use crate::reference;
+use crate::threadpool;
+
+/// Elements per fused-optimizer block: the unit of both the fixed-order
+/// grad-norm reduction and the parallel update fan-out. Blocks never span
+/// parameter boundaries. The value is part of the numeric contract (the
+/// reference oracle reduces with the same block size), so changing it
+/// changes training bit-streams.
+pub const FUSED_BLOCK: usize = 4096;
 
 /// Adam optimizer state and hyper-parameters.
 #[derive(Debug, Clone)]
@@ -57,25 +88,21 @@ impl Adam {
         for (idx, p) in params.iter_mut().enumerate() {
             let m = &mut self.m[idx];
             let v = &mut self.v[idx];
-            assert_eq!(
-                m.len(),
-                p.value.len(),
-                "parameter shape changed mid-training"
-            );
-            let grads = p.grad.data();
-            let values = p.value.data().to_vec();
+            let Param { value, grad } = &mut **p;
+            assert_eq!(m.len(), value.len(), "parameter shape changed mid-training");
+            // Value and gradient are separate tensors, so both sides borrow
+            // directly — the seed implementation cloned both per step.
+            let grads = grad.data();
+            let data = value.data_mut();
             for i in 0..m.len() {
                 let g = grads[i];
                 m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
                 v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-            }
-            let data = p.value.data_mut();
-            for i in 0..m.len() {
                 let mhat = m[i] / bc1;
                 let vhat = v[i] / bc2;
                 let mut upd = self.lr * mhat / (vhat.sqrt() + self.eps);
                 if self.weight_decay > 0.0 {
-                    upd += self.lr * self.weight_decay * values[i];
+                    upd += self.lr * self.weight_decay * data[i];
                 }
                 data[i] -= upd;
             }
@@ -110,8 +137,9 @@ impl Sgd {
         }
         for (idx, p) in params.iter_mut().enumerate() {
             let vel = &mut self.velocity[idx];
-            let grads = p.grad.data().to_vec();
-            let data = p.value.data_mut();
+            let Param { value, grad } = &mut **p;
+            let grads = grad.data();
+            let data = value.data_mut();
             for i in 0..vel.len() {
                 vel[i] = self.momentum * vel[i] + grads[i];
                 data[i] -= self.lr * vel[i];
@@ -140,6 +168,256 @@ pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
 pub fn zero_grads(params: &mut [&mut Param]) {
     for p in params.iter_mut() {
         p.zero_grad();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused arena-backed optimizers
+// ---------------------------------------------------------------------------
+
+/// One mutable update block: disjoint slices of a parameter's value and
+/// gradient plus the matching arena slices, so blocks can be fanned out
+/// across workers without any synchronization.
+struct UpdateBlock<'a> {
+    value: &'a mut [f32],
+    grad: &'a mut [f32],
+    m: &'a mut [f32],
+    v: &'a mut [f32],
+}
+
+/// One gradient-norm block: a read-only grad slice plus the slot its
+/// serial `Σ g²` lands in.
+struct NormBlock<'a> {
+    grad: &'a [f32],
+    sum: &'a mut f32,
+}
+
+/// Fixed-order blocked gradient norm: block sums computed (possibly
+/// concurrently) with serial `mul_add` inner loops, then reduced serially
+/// in (parameter, block) order — bitwise equal to
+/// [`reference::grad_norm`] at every thread count.
+fn fused_grad_norm(params: &[&mut Param]) -> f32 {
+    let nblocks: usize = params
+        .iter()
+        .map(|p| p.grad.len().div_ceil(FUSED_BLOCK))
+        .sum();
+    let mut sums = vec![0.0f32; nblocks];
+    {
+        let mut slots = sums.iter_mut();
+        let mut blocks: Vec<NormBlock> = Vec::with_capacity(nblocks);
+        for p in params.iter() {
+            for grad in p.grad.data().chunks(FUSED_BLOCK) {
+                blocks.push(NormBlock {
+                    grad,
+                    sum: slots.next().expect("block/slot counts agree"),
+                });
+            }
+        }
+        threadpool::fan_out(&mut blocks, |b| {
+            let mut acc = 0.0f32;
+            for &x in b.grad {
+                acc = x.mul_add(x, acc);
+            }
+            *b.sum = acc;
+        });
+    }
+    let mut total = 0.0f32;
+    for s in &sums {
+        total += s;
+    }
+    total.sqrt()
+}
+
+/// Splits every parameter (and the aligned arena regions) into
+/// [`FUSED_BLOCK`]-sized update blocks.
+fn update_blocks<'a>(
+    params: &'a mut [&mut Param],
+    arena_m: &'a mut [f32],
+    arena_v: &'a mut [f32],
+) -> Vec<UpdateBlock<'a>> {
+    let mut blocks = Vec::new();
+    let mut m_rest = arena_m;
+    let mut v_rest = arena_v;
+    for p in params.iter_mut() {
+        let Param { value, grad } = &mut **p;
+        let len = value.len();
+        let (m_p, m_next) = m_rest.split_at_mut(len);
+        let (v_p, v_next) = v_rest.split_at_mut(len);
+        m_rest = m_next;
+        v_rest = v_next;
+        for (((value, grad), m), v) in value
+            .data_mut()
+            .chunks_mut(FUSED_BLOCK)
+            .zip(grad.data_mut().chunks_mut(FUSED_BLOCK))
+            .zip(m_p.chunks_mut(FUSED_BLOCK))
+            .zip(v_p.chunks_mut(FUSED_BLOCK))
+        {
+            blocks.push(UpdateBlock { value, grad, m, v });
+        }
+    }
+    blocks
+}
+
+/// Arena-backed fused AdamW: one contiguous `m`/`v` arena across all
+/// parameters, and a single blocked pass per step that reads the clipped
+/// gradient, updates both moments, applies the bias-corrected
+/// (weight-decayed) update, and zeroes the gradient. See the module docs
+/// for the threading/bitwise contract.
+#[derive(Debug, Clone)]
+pub struct FusedAdam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW style), 0 to disable.
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl FusedAdam {
+    /// New fused Adam with the same defaults as [`Adam::new`].
+    pub fn new(lr: f32) -> Self {
+        FusedAdam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// One fused training-step tail: grad norm → clip → AdamW update →
+    /// gradient zeroing, in one blocked parallel pass over the parameters.
+    ///
+    /// `clip` is the max global gradient norm (`None` skips the norm
+    /// reduction entirely). Returns the pre-clip norm (0.0 when `clip` is
+    /// `None`). Gradients are always zeroed on return — the fused
+    /// replacement for the seed's `clip_grad_norm` + `Adam::step` +
+    /// `zero_grads` sequence.
+    pub fn step(&mut self, params: &mut [&mut Param], clip: Option<f32>) -> f32 {
+        self.t += 1;
+        let total_elems: usize = params.iter().map(|p| p.value.len()).sum();
+        if self.m.len() != total_elems {
+            assert!(self.t == 1, "parameter shape changed mid-training");
+            self.m = vec![0.0; total_elems];
+            self.v = vec![0.0; total_elems];
+        }
+        let _span = em_obs::span!(
+            "optim.step",
+            kind = "fused_adam",
+            params = params.len(),
+            elems = total_elems,
+        );
+        let norm = clip.map(|_| fused_grad_norm(params)).unwrap_or(0.0);
+        let scale = clip.map_or(1.0, |c| reference::clip_scale(norm, c));
+        let (lr, beta1, beta2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+        let mut blocks = update_blocks(params, &mut self.m, &mut self.v);
+        threadpool::fan_out(&mut blocks, |b| {
+            // Identical per-element op order to `reference::adam_update`.
+            for i in 0..b.value.len() {
+                let g = b.grad[i] * scale;
+                b.m[i] = beta1 * b.m[i] + (1.0 - beta1) * g;
+                b.v[i] = beta2 * b.v[i] + (1.0 - beta2) * g * g;
+                let mhat = b.m[i] / bc1;
+                let vhat = b.v[i] / bc2;
+                let mut upd = lr * mhat / (vhat.sqrt() + eps);
+                if wd > 0.0 {
+                    upd += lr * wd * b.value[i];
+                }
+                b.value[i] -= upd;
+                b.grad[i] = 0.0;
+            }
+        });
+        norm
+    }
+}
+
+/// Arena-backed fused momentum SGD: contiguous velocity arena, one blocked
+/// pass fusing clip → momentum update → gradient zeroing. Shares the
+/// fixed-order norm reduction (and its bitwise contract) with
+/// [`FusedAdam`].
+#[derive(Debug, Clone)]
+pub struct FusedSgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 = plain SGD).
+    pub momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl FusedSgd {
+    /// New fused SGD optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        FusedSgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// One fused step: grad norm → clip → momentum update → gradient
+    /// zeroing. Semantics of `clip` and the return value match
+    /// [`FusedAdam::step`].
+    pub fn step(&mut self, params: &mut [&mut Param], clip: Option<f32>) -> f32 {
+        let total_elems: usize = params.iter().map(|p| p.value.len()).sum();
+        if self.velocity.len() != total_elems {
+            assert!(
+                self.velocity.is_empty(),
+                "parameter shape changed mid-training"
+            );
+            self.velocity = vec![0.0; total_elems];
+        }
+        let _span = em_obs::span!(
+            "optim.step",
+            kind = "fused_sgd",
+            params = params.len(),
+            elems = total_elems,
+        );
+        let norm = clip.map(|_| fused_grad_norm(params)).unwrap_or(0.0);
+        let scale = clip.map_or(1.0, |c| reference::clip_scale(norm, c));
+        let (lr, momentum) = (self.lr, self.momentum);
+        let mut blocks = Vec::new();
+        let mut vel_rest: &mut [f32] = &mut self.velocity;
+        for p in params.iter_mut() {
+            let Param { value, grad } = &mut **p;
+            let len = value.len();
+            let (vel_p, vel_next) = vel_rest.split_at_mut(len);
+            vel_rest = vel_next;
+            for ((value, grad), vel) in value
+                .data_mut()
+                .chunks_mut(FUSED_BLOCK)
+                .zip(grad.data_mut().chunks_mut(FUSED_BLOCK))
+                .zip(vel_p.chunks_mut(FUSED_BLOCK))
+            {
+                blocks.push((value, grad, vel));
+            }
+        }
+        threadpool::fan_out(&mut blocks, |(value, grad, vel)| {
+            // Identical per-element op order to `reference::sgd_update`.
+            for i in 0..value.len() {
+                let g = grad[i] * scale;
+                vel[i] = momentum * vel[i] + g;
+                value[i] -= lr * vel[i];
+                grad[i] = 0.0;
+            }
+        });
+        norm
     }
 }
 
@@ -174,6 +452,60 @@ mod tests {
     }
 
     #[test]
+    fn fused_adam_converges_on_a_quadratic() {
+        let mut p = quad_problem();
+        let mut opt = FusedAdam::new(0.1);
+        for _ in 0..500 {
+            quad_grad(&mut p);
+            opt.step(&mut [&mut p], None);
+        }
+        assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2));
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn fused_adam_matches_legacy_adam_without_clipping() {
+        // With no clipping in play the fused per-element math is the exact
+        // op sequence of the (fixed) legacy Adam, so the two trajectories
+        // agree bitwise.
+        let mut a = quad_problem();
+        let mut b = quad_problem();
+        let mut legacy = Adam::new(0.05);
+        let mut fused = FusedAdam::new(0.05);
+        for _ in 0..50 {
+            quad_grad(&mut a);
+            legacy.step(&mut [&mut a]);
+            zero_grads(&mut [&mut a]);
+            quad_grad(&mut b);
+            fused.step(&mut [&mut b], None);
+        }
+        assert_eq!(a.value.data(), b.value.data());
+    }
+
+    #[test]
+    fn fused_adam_zeroes_gradients() {
+        let mut p = quad_problem();
+        quad_grad(&mut p);
+        let mut opt = FusedAdam::new(0.1);
+        opt.step(&mut [&mut p], Some(1.0));
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn fused_step_returns_preclip_norm() {
+        let mut p = Param::zeros(1, 2);
+        p.grad = Tensor::from_vec(1, 2, vec![3.0, 4.0]); // norm 5
+        let mut opt = FusedAdam::new(0.0);
+        let norm = opt.step(&mut [&mut p], Some(1.0));
+        assert!((norm - 5.0).abs() < 1e-6);
+        let mut q = Param::zeros(1, 2);
+        q.grad = Tensor::from_vec(1, 2, vec![3.0, 4.0]);
+        let mut sgd = FusedSgd::new(0.0, 0.0);
+        let norm = sgd.step(&mut [&mut q], Some(1.0));
+        assert!((norm - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn sgd_with_momentum_converges() {
         let mut p = quad_problem();
         let mut opt = Sgd::new(0.05, 0.9);
@@ -183,6 +515,22 @@ mod tests {
             zero_grads(&mut [&mut p]);
         }
         assert!(p.value.data().iter().all(|v| (v - 3.0).abs() < 1e-2));
+    }
+
+    #[test]
+    fn fused_sgd_matches_legacy_sgd_without_clipping() {
+        let mut a = quad_problem();
+        let mut b = quad_problem();
+        let mut legacy = Sgd::new(0.05, 0.9);
+        let mut fused = FusedSgd::new(0.05, 0.9);
+        for _ in 0..100 {
+            quad_grad(&mut a);
+            legacy.step(&mut [&mut a]);
+            zero_grads(&mut [&mut a]);
+            quad_grad(&mut b);
+            fused.step(&mut [&mut b], None);
+        }
+        assert_eq!(a.value.data(), b.value.data());
     }
 
     #[test]

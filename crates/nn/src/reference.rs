@@ -167,6 +167,95 @@ pub fn attention(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused-optimizer oracles
+// ---------------------------------------------------------------------------
+
+/// Naive single-threaded global gradient norm with the fixed-order block
+/// reduction of the fused optimizers: per-block serial [`f32::mul_add`]
+/// sums of `g²`, block sums accumulated in (parameter, block) order. The
+/// block size is part of the numeric contract — the fused path computes
+/// block sums concurrently but reduces them in this exact order, so the
+/// two agree **bitwise** at every thread count
+/// (`crate::optim::FUSED_BLOCK` is what the fused optimizers pass here).
+pub fn grad_norm(grads: &[&[f32]], block: usize) -> f32 {
+    let block = block.max(1);
+    let mut total = 0.0f32;
+    for g in grads {
+        for chunk in g.chunks(block) {
+            let mut acc = 0.0f32;
+            for &x in chunk {
+                acc = x.mul_add(x, acc);
+            }
+            total += acc;
+        }
+    }
+    total.sqrt()
+}
+
+/// Clip factor applied to every gradient read: identity unless the norm
+/// exceeds `max_norm` (mirrors [`crate::optim::clip_grad_norm`]'s trigger
+/// condition).
+pub fn clip_scale(norm: f32, max_norm: f32) -> f32 {
+    if norm > max_norm && norm > 0.0 {
+        max_norm / norm
+    } else {
+        1.0
+    }
+}
+
+/// Naive single-threaded fused AdamW update for one parameter: clip-scaled
+/// gradient read → moment update → bias-corrected step → decoupled weight
+/// decay → gradient zeroing, element by element. The equivalence oracle
+/// for [`crate::optim::FusedAdam`]; the fused path must match bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_update(
+    value: &mut [f32],
+    grad: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    scale: f32,
+    bc1: f32,
+    bc2: f32,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+) {
+    for i in 0..value.len() {
+        let g = grad[i] * scale;
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+        let mhat = m[i] / bc1;
+        let vhat = v[i] / bc2;
+        let mut upd = lr * mhat / (vhat.sqrt() + eps);
+        if weight_decay > 0.0 {
+            upd += lr * weight_decay * value[i];
+        }
+        value[i] -= upd;
+        grad[i] = 0.0;
+    }
+}
+
+/// Naive single-threaded fused momentum-SGD update for one parameter: the
+/// equivalence oracle for [`crate::optim::FusedSgd`].
+pub fn sgd_update(
+    value: &mut [f32],
+    grad: &mut [f32],
+    vel: &mut [f32],
+    scale: f32,
+    lr: f32,
+    momentum: f32,
+) {
+    for i in 0..value.len() {
+        let g = grad[i] * scale;
+        vel[i] = momentum * vel[i] + g;
+        value[i] -= lr * vel[i];
+        grad[i] = 0.0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

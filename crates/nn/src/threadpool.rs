@@ -159,6 +159,46 @@ pub fn budget_snapshot() -> BudgetSnapshot {
     }
 }
 
+/// Runs `work` over every item of `items`, fanning contiguous chunks of
+/// the list out over workers reserved from the shared budget.
+///
+/// Items must be independent: `work` may only touch the item it is given
+/// (plus shared read-only state captured by the closure). Under that
+/// contract the result is **bitwise identical for every thread count** —
+/// the partition never changes what is computed per item, only where.
+/// With an empty or saturated budget the items run inline on the calling
+/// thread, preserving the same per-item order of operations.
+pub fn fan_out<T: Send, F: Fn(&mut T) + Sync>(items: &mut [T], work: F) {
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let reservation = reserve_workers(n - 1);
+    let nworkers = reservation.total().min(n);
+    if nworkers <= 1 {
+        for item in items.iter_mut() {
+            work(item);
+        }
+        return;
+    }
+    let per = n.div_ceil(nworkers);
+    std::thread::scope(|scope| {
+        let mut chunks = items.chunks_mut(per);
+        let head = chunks.next().expect("items is nonempty");
+        for chunk in chunks {
+            let work = &work;
+            scope.spawn(move || {
+                for item in chunk.iter_mut() {
+                    work(item);
+                }
+            });
+        }
+        for item in head.iter_mut() {
+            work(item);
+        }
+    });
+}
+
 /// Metric handles resolved once so reservations never take the registry
 /// lock.
 struct PoolMetrics {

@@ -1,0 +1,342 @@
+//! Fused-optimizer equivalence suite: the arena-backed blocked
+//! [`em_nn::FusedAdam`] / [`em_nn::FusedSgd`] must match the naive
+//! single-threaded oracles in `em_nn::reference` — **bitwise**, on
+//! arbitrary parameter shapes, with weight decay on and off and the clip
+//! both triggered and untriggered — and must produce identical bits at
+//! 1, 2, and 8 worker threads. The parallelized LayerNorm / Embedding
+//! backward passes carry the same thread-invariance contract.
+//!
+//! Mirrors `tests/attention_equivalence.rs`: thread-cap tests mutate the
+//! process-global budget and serialize on [`THREAD_CAP`].
+
+use em_nn::tensor::Tensor;
+use em_nn::{reference, threadpool, Embedding, FusedAdam, FusedSgd, LayerNorm, Param, FUSED_BLOCK};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+/// Serializes every test that overrides the global thread cap.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-noise in roughly [-1, 1) (Knuth multiplicative
+/// hash), so property-test failures reproduce without capturing data.
+fn fill(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 2.0
+        })
+        .collect()
+}
+
+fn bits(c: &[f32]) -> Vec<u32> {
+    c.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Builds parameters with pseudo-noise values and zero gradients.
+fn make_params(shapes: &[(usize, usize)], salt: u32) -> Vec<Param> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(r, c))| {
+            let mut p = Param::zeros(r, c);
+            p.value = Tensor::from_vec(r, c, fill(r * c, salt.wrapping_add(i as u32 * 7)));
+            p
+        })
+        .collect()
+}
+
+/// Deterministic per-step gradients (fresh noise each step via the salt).
+fn set_grads(params: &mut [Param], salt: u32) {
+    for (i, p) in params.iter_mut().enumerate() {
+        let (r, c) = (p.grad.rows(), p.grad.cols());
+        p.grad = Tensor::from_vec(r, c, fill(r * c, salt.wrapping_add(31 + i as u32 * 13)));
+    }
+}
+
+/// Naive single-threaded Adam trajectory built from the `reference`
+/// oracles: blocked fixed-order grad norm → clip scale → per-parameter
+/// [`reference::adam_update`].
+struct OracleAdam {
+    opt_template: FusedAdam,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl OracleAdam {
+    fn new(template: &FusedAdam, params: &[Param]) -> Self {
+        OracleAdam {
+            opt_template: template.clone(),
+            t: 0,
+            m: params.iter().map(|p| vec![0.0; p.value.len()]).collect(),
+            v: params.iter().map(|p| vec![0.0; p.value.len()]).collect(),
+        }
+    }
+
+    fn step(&mut self, params: &mut [Param], clip: Option<f32>) -> f32 {
+        self.t += 1;
+        let grads: Vec<&[f32]> = params.iter().map(|p| p.grad.data()).collect();
+        let norm = clip
+            .map(|_| reference::grad_norm(&grads, FUSED_BLOCK))
+            .unwrap_or(0.0);
+        drop(grads);
+        let scale = clip.map_or(1.0, |c| reference::clip_scale(norm, c));
+        let o = &self.opt_template;
+        let bc1 = 1.0 - o.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - o.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let Param { value, grad } = p;
+            reference::adam_update(
+                value.data_mut(),
+                grad.data_mut(),
+                &mut self.m[i],
+                &mut self.v[i],
+                scale,
+                bc1,
+                bc2,
+                o.lr,
+                o.beta1,
+                o.beta2,
+                o.eps,
+                o.weight_decay,
+            );
+        }
+        norm
+    }
+}
+
+/// Clip regimes the property tests sweep: no clipping at all, a max norm
+/// far above any noise gradient (scale stays 1.0), and a tiny max norm
+/// that always triggers rescaling.
+fn clip_of(mode: u32) -> Option<f32> {
+    match mode {
+        0 => None,
+        1 => Some(1e6),
+        _ => Some(0.25),
+    }
+}
+
+fn run_fused_adam(
+    shapes: &[(usize, usize)],
+    salt: u32,
+    weight_decay: f32,
+    clip: Option<f32>,
+    steps: usize,
+) -> (Vec<Param>, Vec<Param>, Vec<f32>, Vec<f32>) {
+    let mut fused_params = make_params(shapes, salt);
+    let mut oracle_params = make_params(shapes, salt);
+    let mut fused = FusedAdam::new(0.01);
+    fused.weight_decay = weight_decay;
+    let mut oracle = OracleAdam::new(&fused, &oracle_params);
+    let mut fused_norms = Vec::with_capacity(steps);
+    let mut oracle_norms = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let gsalt = salt.wrapping_add(1000 + s as u32 * 97);
+        set_grads(&mut fused_params, gsalt);
+        set_grads(&mut oracle_params, gsalt);
+        let mut refs: Vec<&mut Param> = fused_params.iter_mut().collect();
+        fused_norms.push(fused.step(&mut refs, clip));
+        oracle_norms.push(oracle.step(&mut oracle_params, clip));
+    }
+    (fused_params, oracle_params, fused_norms, oracle_norms)
+}
+
+proptest! {
+    /// Core tentpole contract: the fused blocked parallel AdamW step is
+    /// bitwise identical to the naive oracle across shapes, weight-decay
+    /// settings, clip regimes, and multi-step trajectories.
+    #[test]
+    fn fused_adam_matches_oracle_bitwise(
+        nparams in 1usize..4,
+        rows in 1usize..5,
+        cols in 1usize..48,
+        wd in 0u32..2,
+        clip_mode in 0u32..3,
+        steps in 1usize..4,
+        salt in 0u32..500,
+    ) {
+        // Vary shapes across parameters so block boundaries move around.
+        let shapes: Vec<(usize, usize)> =
+            (0..nparams).map(|i| (rows + i, cols + 3 * i)).collect();
+        let weight_decay = if wd == 1 { 0.01 } else { 0.0 };
+        let (fp, op, fnorms, onorms) =
+            run_fused_adam(&shapes, salt, weight_decay, clip_of(clip_mode), steps);
+        prop_assert_eq!(bits(&fnorms), bits(&onorms), "pre-clip norms diverged");
+        for (f, o) in fp.iter().zip(&op) {
+            prop_assert_eq!(bits(f.value.data()), bits(o.value.data()), "values diverged");
+            prop_assert!(f.grad.data().iter().all(|&g| g == 0.0), "fused left gradients unzeroed");
+            prop_assert!(o.grad.data().iter().all(|&g| g == 0.0), "oracle left gradients unzeroed");
+        }
+    }
+
+    /// Same contract for fused momentum SGD.
+    #[test]
+    fn fused_sgd_matches_oracle_bitwise(
+        nparams in 1usize..4,
+        rows in 1usize..5,
+        cols in 1usize..48,
+        momentum in 0u32..2,
+        clip_mode in 0u32..3,
+        steps in 1usize..4,
+        salt in 0u32..500,
+    ) {
+        let shapes: Vec<(usize, usize)> =
+            (0..nparams).map(|i| (rows + i, cols + 3 * i)).collect();
+        let momentum = if momentum == 1 { 0.9 } else { 0.0 };
+        let clip = clip_of(clip_mode);
+        let mut fused_params = make_params(&shapes, salt);
+        let mut oracle_params = make_params(&shapes, salt);
+        let mut fused = FusedSgd::new(0.05, momentum);
+        let mut vel: Vec<Vec<f32>> =
+            oracle_params.iter().map(|p| vec![0.0; p.value.len()]).collect();
+        for s in 0..steps {
+            let gsalt = salt.wrapping_add(2000 + s as u32 * 89);
+            set_grads(&mut fused_params, gsalt);
+            set_grads(&mut oracle_params, gsalt);
+            let mut refs: Vec<&mut Param> = fused_params.iter_mut().collect();
+            let fnorm = fused.step(&mut refs, clip);
+            let grads: Vec<&[f32]> = oracle_params.iter().map(|p| p.grad.data()).collect();
+            let onorm = clip
+                .map(|_| reference::grad_norm(&grads, FUSED_BLOCK))
+                .unwrap_or(0.0);
+            drop(grads);
+            let scale = clip.map_or(1.0, |c| reference::clip_scale(onorm, c));
+            for (i, p) in oracle_params.iter_mut().enumerate() {
+                let Param { value, grad } = p;
+                reference::sgd_update(
+                    value.data_mut(),
+                    grad.data_mut(),
+                    &mut vel[i],
+                    scale,
+                    0.05,
+                    momentum,
+                );
+            }
+            prop_assert_eq!(fnorm.to_bits(), onorm.to_bits(), "pre-clip norms diverged");
+        }
+        for (f, o) in fused_params.iter().zip(&oracle_params) {
+            prop_assert_eq!(bits(f.value.data()), bits(o.value.data()), "values diverged");
+            prop_assert!(f.grad.data().iter().all(|&g| g == 0.0), "fused left gradients unzeroed");
+        }
+    }
+}
+
+/// Shapes whose parameters individually span multiple `FUSED_BLOCK`s (and
+/// one that straddles a partial tail block), so the blocked reduction and
+/// the parallel fan-out genuinely split work.
+fn multi_block_shapes() -> Vec<(usize, usize)> {
+    vec![(3, FUSED_BLOCK), (1, FUSED_BLOCK + 1234), (7, 129), (1, 1)]
+}
+
+/// Fused Adam against the oracle on parameters spanning several blocks —
+/// the configuration the fine-tuning models actually present (embedding
+/// tables are hundreds of thousands of elements).
+#[test]
+fn fused_adam_matches_oracle_across_block_boundaries() {
+    let (fp, op, fnorms, onorms) =
+        run_fused_adam(&multi_block_shapes(), 77, 0.01, Some(0.25), 3);
+    assert_eq!(bits(&fnorms), bits(&onorms), "pre-clip norms diverged");
+    for (f, o) in fp.iter().zip(&op) {
+        assert_eq!(bits(f.value.data()), bits(o.value.data()), "values diverged");
+    }
+}
+
+/// Satellite requirement: the fused step is bitwise thread-count
+/// invariant. A multi-step clipped trajectory over multi-block parameters
+/// produces identical value bits (and identical returned norms) at 1, 2,
+/// and 8 worker threads.
+#[test]
+fn fused_step_is_identical_at_1_2_and_8_threads() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let shapes = multi_block_shapes();
+    let run_at = |cap: usize| {
+        let mut params = make_params(&shapes, 123);
+        let mut adam = FusedAdam::new(0.01);
+        adam.weight_decay = 0.01;
+        let mut sgd = FusedSgd::new(0.05, 0.9);
+        let mut norms = Vec::new();
+        threadpool::set_max_threads(Some(cap));
+        for s in 0..3u32 {
+            set_grads(&mut params, 3000 + s * 41);
+            let mut refs: Vec<&mut Param> = params.iter_mut().collect();
+            norms.push(adam.step(&mut refs, Some(0.25)));
+            set_grads(&mut params, 4000 + s * 43);
+            let mut refs: Vec<&mut Param> = params.iter_mut().collect();
+            norms.push(sgd.step(&mut refs, Some(0.25)));
+        }
+        threadpool::set_max_threads(None);
+        let value_bits: Vec<Vec<u32>> = params.iter().map(|p| bits(p.value.data())).collect();
+        (bits(&norms), value_bits)
+    };
+    let want = run_at(1);
+    for cap in [2usize, 8] {
+        let got = run_at(cap);
+        assert_eq!(want.0, got.0, "norms diverged at {cap} thread(s)");
+        assert_eq!(want.1, got.1, "values diverged at {cap} thread(s)");
+    }
+}
+
+/// The parallelized LayerNorm backward (blocked row fan-out + fixed-order
+/// dγ/dβ partial reduction) is bitwise thread-count invariant on a row
+/// count that spans several row blocks plus a ragged tail.
+#[test]
+fn layernorm_backward_is_thread_count_invariant() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let (rows, d) = (64 * 3 + 17, 32);
+    let x = Tensor::from_vec(rows, d, fill(rows * d, 61));
+    let dy = Tensor::from_vec(rows, d, fill(rows * d, 62));
+    let run_at = |cap: usize| {
+        let mut ln = LayerNorm::new(d);
+        // Non-trivial γ/β so both gradient paths carry signal.
+        ln.gamma.value = Tensor::from_vec(1, d, fill(d, 63));
+        ln.beta.value = Tensor::from_vec(1, d, fill(d, 64));
+        threadpool::set_max_threads(Some(cap));
+        let y = ln.forward(&x);
+        let dx = ln.backward(&dy);
+        threadpool::set_max_threads(None);
+        (
+            bits(y.data()),
+            bits(dx.data()),
+            bits(ln.gamma.grad.data()),
+            bits(ln.beta.grad.data()),
+        )
+    };
+    let want = run_at(1);
+    for cap in [2usize, 8] {
+        let got = run_at(cap);
+        assert_eq!(want.0, got.0, "forward diverged at {cap} thread(s)");
+        assert_eq!(want.1, got.1, "dx diverged at {cap} thread(s)");
+        assert_eq!(want.2, got.2, "dgamma diverged at {cap} thread(s)");
+        assert_eq!(want.3, got.3, "dbeta diverged at {cap} thread(s)");
+    }
+}
+
+/// The parallelized Embedding backward (destination-row partition) is
+/// bitwise thread-count invariant on a scatter large enough to take the
+/// parallel path, with ids that repeat (the order-sensitive case: repeated
+/// ids must accumulate in id order on every partition).
+#[test]
+fn embedding_backward_is_thread_count_invariant() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let (vocab, dim, n_ids) = (64usize, 16usize, 4096usize);
+    // ids*dim = 65536 ≥ the 1<<15 parallel threshold; heavy repetition.
+    let ids: Vec<u32> = (0..n_ids)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) >> 7) % vocab as u32)
+        .collect();
+    let dy = Tensor::from_vec(n_ids, dim, fill(n_ids * dim, 71));
+    let run_at = |cap: usize| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut emb = Embedding::new(vocab, dim, &mut rng);
+        let _ = emb.forward(&ids);
+        threadpool::set_max_threads(Some(cap));
+        emb.backward(&dy);
+        threadpool::set_max_threads(None);
+        bits(emb.table.grad.data())
+    };
+    let want = run_at(1);
+    for cap in [2usize, 8] {
+        assert_eq!(want, run_at(cap), "table gradient diverged at {cap} thread(s)");
+    }
+}

@@ -24,6 +24,19 @@ if ! grep -q "attn\." <<<"$profile_out"; then
 fi
 echo "attn.* spans present in the top-span report"
 
+# Likewise the fused optimizer: the fine-tune probe trains a tiny model,
+# so the profile must show optim.* spans (and the finetune.* token
+# counters feeding the tokens/s line).
+if ! grep -q "optim\." <<<"$profile_out"; then
+    echo "profile is missing optim.* spans"
+    exit 1
+fi
+if ! grep -q "finetune\." <<<"$profile_out"; then
+    echo "profile is missing finetune.* spans/counters"
+    exit 1
+fi
+echo "optim.* and finetune.* spans present in the top-span report"
+
 echo
 echo "== tracing overhead (budget < 2%) =="
 ./target/release/profile_lodo overhead

@@ -32,6 +32,19 @@ attn_bench="$PWD/target/tier1-bench-attention.json"
 test -s "$attn_bench" || { echo "attention bench smoke failed: $attn_bench is empty"; exit 1; }
 echo "attention bench smoke: wrote $attn_bench"
 
+# Fused-training-step gates: the optimizer-equivalence + thread-parity
+# suite (fused Adam/SGD vs the naive em_nn::reference oracles, bitwise,
+# at 1/2/8 threads), the fine-tuning parity suite (pad-to-batch-max vs
+# full padding, bitwise; whole training runs at 1/2/8 threads), then a
+# fine-tune-bench smoke — a tiny shape that still runs the seed-vs-fused
+# equivalence asserts inside the bench harness.
+cargo test -q -p em-nn --test optim_equivalence
+cargo test -q -p em-lm --test finetune_parity
+ft_bench="$PWD/target/tier1-bench-finetune.json"
+./target/release/bench_finetune "$ft_bench" --smoke
+test -s "$ft_bench" || { echo "finetune bench smoke failed: $ft_bench is empty"; exit 1; }
+echo "finetune bench smoke: wrote $ft_bench"
+
 # Chaos smoke: a small LODO sweep through the resilient hosted client at
 # a 10% injected-fault rate must complete with zero aborted items and
 # metrics bit-identical to the fault-free run, a killed checkpoint must
