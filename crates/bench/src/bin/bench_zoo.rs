@@ -1,0 +1,251 @@
+//! Zoo-scoring inference benchmark: the seed per-pair full-recompute path
+//! (`score_batch_full_recompute`: every prompt re-tokenizes and re-encodes
+//! the demonstration prefix, full-length collation) against the shipped
+//! inference path (`score_batch`: per-(model, demo-set, template)
+//! [`em_lm::PrefixCache`] encodes the demo prefix once, suffixes collate
+//! to the group max) and against the same cached path with the int8
+//! inference GEMM enabled (`set_precision(Int8)`: per-column symmetric
+//! weight quantization, i32 accumulation, VNNI microkernel).
+//!
+//! The representative shape: batch 96 pairs, 4 demonstrations whose
+//! rendered prefix is 81 tokens of a ~101-token prompt (well over half),
+//! d_model 512, 2 blocks, 8 heads — inference-bound GEMM work.
+//!
+//! Equivalence is asserted before timing: cached f32 scores are bitwise
+//! equal to full recompute, and int8 scores drift by at most ε per pair
+//! (the flip-rate gate runs on a *trained* tier in
+//! `crates/lm/tests/prefix_equivalence.rs`; an untrained bench model
+//! clusters scores at 0.5 where flips mean nothing).
+//!
+//! Writes machine-readable results to `BENCH_zoo.json` (or the path in
+//! argv[1]); `--smoke` runs a tiny shape once to validate the harness in
+//! CI without the full measurement cost.
+
+use em_core::SerializedPair;
+use em_lm::config::{LlmTier, ModelConfig};
+use em_lm::model::EncoderClassifier;
+use em_lm::prompt::{Demonstration, PromptBudget};
+use em_lm::tokenizer::HashTokenizer;
+use em_lm::zoo::PretrainedLlm;
+use em_nn::qgemm::InferencePrecision;
+use em_nn::threadpool;
+use std::time::Instant;
+
+/// (best, median) wall-clock seconds over `reps` runs (1 warmup run
+/// discarded). Best-of is the speedup figure: on a shared host the
+/// minimum is the least noisy estimate of true cost.
+fn time_it(reps: usize, mut run: impl FnMut()) -> (f64, f64) {
+    run(); // warmup (also populates the prefix cache for the cached paths)
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (samples[0], samples[reps / 2])
+}
+
+/// The `threads` JSON block shared by all bench bins: how the budget was
+/// derived and what a reservation is actually granted right now.
+fn threads_json() -> String {
+    let s = threadpool::budget_snapshot();
+    format!(
+        "{{ \"em_num_threads\": {}, \"available_parallelism\": {}, \"effective_budget\": {}, \"reservation_probe_extra\": {} }}",
+        s.env_threads.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        s.available_parallelism,
+        s.effective,
+        s.probe_grant
+    )
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Deterministic product-style pairs; every fifth query is long enough to
+/// need truncation so the sweep is not artificially uniform.
+fn bench_pairs(n: usize) -> Vec<SerializedPair> {
+    let words = [
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india",
+        "juliet", "kilo", "lima", "mike", "november", "oscar", "papa",
+    ];
+    let side = |i: usize, salt: usize, len: usize| -> String {
+        (0..len)
+            .map(|j| words[(i * 31 + salt * 17 + j * 7) % words.len()])
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    (0..n)
+        .map(|i| {
+            let len = 4 + (i % 5) * 3; // 4..16 words per side
+            SerializedPair {
+                left: side(i, 0, len),
+                right: side(i, if i % 3 == 0 { 0 } else { 1 }, len),
+            }
+        })
+        .collect()
+}
+
+fn bench_demos(k: usize, demo_side: usize) -> Vec<Demonstration> {
+    (0..k)
+        .map(|i| Demonstration {
+            pair: bench_pairs(k * 2)[i * 2].clone(),
+            label: i % 2 == 0,
+        })
+        .map(|mut d| {
+            // Make demo sides long enough to consume the full demo budget,
+            // so the cached prefix is as large as a real sweep's.
+            let pad = " extra detail".repeat(demo_side);
+            d.pair.left.push_str(&pad);
+            d.pair.right.push_str(&pad);
+            d
+        })
+        .collect()
+}
+
+fn run(
+    dim: usize,
+    layers: usize,
+    heads: usize,
+    max_seq: usize,
+    demo_side: usize,
+    query_side: usize,
+    n_demos: usize,
+    n_pairs: usize,
+    reps: usize,
+    out_path: &str,
+) {
+    const EPSILON: f32 = 0.05;
+    let config = ModelConfig {
+        vocab: 4096,
+        d_model: dim,
+        n_layers: layers,
+        n_heads: heads,
+        ff_mult: 2,
+        max_seq,
+        dropout: 0.0,
+        claimed_params_millions: 10.0,
+    };
+    let budget = PromptBudget {
+        max_seq,
+        demo_side,
+        query_side,
+    };
+    let tier = PretrainedLlm::from_parts(
+        LlmTier::Gpt4,
+        EncoderClassifier::new(config, 17),
+        HashTokenizer::new(config.vocab),
+        budget,
+    );
+    let demos = bench_demos(n_demos, demo_side);
+    let pairs = bench_pairs(n_pairs);
+
+    // Prefix/prompt token accounting, from the same cache the scoring
+    // path uses: how much of each prompt the cache makes reusable.
+    let prompt_tokens: usize = pairs.iter().map(|p| tier.prompt_token_count(p, &demos)).sum();
+    let prefix_len = 1 + n_demos * (2 * demo_side + 4); // CLS + (l SEP r SEP Y/N SEP)*
+    let suffix_tokens = prompt_tokens - prefix_len * n_pairs;
+    assert!(
+        prefix_len * n_pairs >= suffix_tokens,
+        "bench shape must keep the demo prefix at least half of every prompt"
+    );
+
+    // --- Equivalence asserts, before any timing. -------------------------
+    // (1) Prefix-cached f32 scoring is bitwise identical to full recompute.
+    let full_scores = tier.score_batch_full_recompute(&pairs, &demos);
+    let cached_scores = tier.score_batch(&pairs, &demos);
+    assert_eq!(
+        bits(&full_scores),
+        bits(&cached_scores),
+        "prefix-cached scores diverged from full recompute"
+    );
+    // (2) Int8 drifts by at most ε per score.
+    let mut int8_tier = tier.clone();
+    int8_tier.set_precision(InferencePrecision::Int8);
+    let int8_scores = int8_tier.score_batch(&pairs, &demos);
+    let max_drift = full_scores
+        .iter()
+        .zip(&int8_scores)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        max_drift <= EPSILON,
+        "int8 drift {max_drift} exceeds ε = {EPSILON}"
+    );
+
+    // --- Timed paths. ----------------------------------------------------
+    let (t_full, t_full_med) = time_it(reps, || {
+        std::hint::black_box(tier.score_batch_full_recompute(&pairs, &demos));
+    });
+    let (t_cached, t_cached_med) = time_it(reps, || {
+        std::hint::black_box(tier.score_batch(&pairs, &demos));
+    });
+    let (t_int8, t_int8_med) = time_it(reps, || {
+        std::hint::black_box(int8_tier.score_batch(&pairs, &demos));
+    });
+
+    let budget_threads = threadpool::max_threads();
+    let speedup_cached = t_full / t_cached;
+    let speedup_int8 = t_full / t_int8;
+    let pairs_per_sec = n_pairs as f64 / t_int8;
+    println!(
+        "zoo scoring, {n_pairs} pairs, {n_demos} demos (prefix {prefix_len} tokens of {:.0} avg prompt), d_model {dim} layers {layers} heads {heads}, best/median of {reps}, budget {budget_threads} thread(s)",
+        prompt_tokens as f64 / n_pairs as f64
+    );
+    let row = |name: &str, best: f64, _med: f64| {
+        println!(
+            "  {name:<28}: best {:>8.2} ms/batch  [{:.2}x vs full recompute]",
+            best * 1e3,
+            t_full / best
+        );
+    };
+    row("full recompute, f32", t_full, t_full_med);
+    row("prefix-cached, f32", t_cached, t_cached_med);
+    row("prefix-cached + int8", t_int8, t_int8_med);
+    println!(
+        "  prompt tokens {prompt_tokens} ({} prefix-cached, {suffix_tokens} suffix), max int8 drift {max_drift:.4}",
+        prefix_len * n_pairs
+    );
+
+    let entry = |best: f64, med: f64| {
+        format!(
+            "{{ \"best_seconds\": {best:.6}, \"median_seconds\": {med:.6}, \"best_ms_per_pair\": {:.4} }}",
+            best * 1e3 / n_pairs as f64
+        )
+    };
+    let json = format!(
+        "{{\n  \"workload\": \"zoo batch scoring (prompt assembly + frozen forward pass + sigmoid)\",\n  \"shape\": {{ \"pairs\": {n_pairs}, \"demos\": {n_demos}, \"prefix_tokens\": {prefix_len}, \"avg_prompt_tokens\": {:.1}, \"d_model\": {dim}, \"layers\": {layers}, \"heads\": {heads}, \"max_seq\": {max_seq} }},\n  \"reps\": {reps},\n  \"threads\": {},\n  \"full_recompute_f32\": {},\n  \"prefix_cached_f32\": {},\n  \"prefix_cached_int8\": {},\n  \"speedup_cached_f32_vs_full\": {:.3},\n  \"speedup_cached_int8_vs_full\": {:.3},\n  \"pairs_per_second_int8\": {:.0},\n  \"prompt_tokens_per_batch\": {prompt_tokens},\n  \"prefix_cached_tokens_per_batch\": {},\n  \"suffix_tokens_per_batch\": {suffix_tokens},\n  \"max_int8_score_drift\": {:.3e},\n  \"cached_f32_bitwise_equal_full_recompute\": true\n}}\n",
+        prompt_tokens as f64 / n_pairs as f64,
+        threads_json(),
+        entry(t_full, t_full_med),
+        entry(t_cached, t_cached_med),
+        entry(t_int8, t_int8_med),
+        speedup_cached,
+        speedup_int8,
+        pairs_per_sec,
+        prefix_len * n_pairs,
+        max_drift,
+    );
+    std::fs::write(out_path, json).expect("failed to write benchmark results");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_zoo.json".to_string());
+    if smoke {
+        // Tiny shape, 2 reps: validates harness + equivalence asserts in CI.
+        run(32, 1, 2, 64, 6, 8, 2, 24, 2, &out_path);
+    } else {
+        // Batch 96 pairs, 4 demos -> 81-token prefix of a ~103-token prompt.
+        run(512, 2, 8, 128, 8, 10, 4, 96, 3, &out_path);
+    }
+}

@@ -137,12 +137,71 @@ fn finetune_probe() {
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
 }
 
+/// Exercises the zoo inference path — prefix-cached batch scoring with the
+/// int8 GEMM enabled — so the `lm.prefix_hits` / `lm.prefix_tokens_saved`
+/// and `qgemm.calls` / `qgemm.flops` counters land in the profile. Scoring
+/// the same batch twice makes the second pass hit the demo-prefix cache
+/// (same rationale as [`attention_probe`]: enough to account for the path,
+/// not a real sweep).
+fn zoo_probe() {
+    use em_lm::config::{LlmTier, ModelConfig};
+    use em_lm::model::EncoderClassifier;
+    use em_lm::prompt::{Demonstration, PromptBudget};
+    use em_lm::tokenizer::HashTokenizer;
+    use em_lm::zoo::PretrainedLlm;
+    use em_nn::qgemm::InferencePrecision;
+    let config = ModelConfig {
+        vocab: 512,
+        d_model: 64,
+        n_layers: 1,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 64,
+        dropout: 0.0,
+        claimed_params_millions: 1.0,
+    };
+    let budget = PromptBudget {
+        max_seq: 64,
+        demo_side: 5,
+        query_side: 8,
+    };
+    let mut tier = PretrainedLlm::from_parts(
+        LlmTier::Gpt4,
+        EncoderClassifier::new(config, 11),
+        HashTokenizer::new(config.vocab),
+        budget,
+    );
+    tier.set_precision(InferencePrecision::Int8);
+    let demos: Vec<Demonstration> = (0..3)
+        .map(|i| Demonstration {
+            pair: em_core::SerializedPair {
+                left: format!("acme widget model {i} industrial"),
+                right: format!("acme widget model {i} industrial grade"),
+            },
+            label: i % 2 == 0,
+        })
+        .collect();
+    let pairs: Vec<em_core::SerializedPair> = (0..64)
+        .map(|i| em_core::SerializedPair {
+            left: format!("vendor item {i} blue medium"),
+            right: format!("vendor item {} blue", i % 7),
+        })
+        .collect();
+    // Second pass scores against the already-populated prefix cache, so
+    // `lm.prefix_hits` counts actual hits, not just the initial fill.
+    for _ in 0..2 {
+        let scores = tier.score_batch(&pairs, &demos);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+}
+
 fn profile(suite: &[Benchmark], cfg: &EvalConfig, resume: bool) {
     em_obs::trace::set_capture(true);
     let t0 = Instant::now();
     run_eval_checkpointed(suite, cfg, resume);
     attention_probe();
     finetune_probe();
+    zoo_probe();
     let wall = t0.elapsed();
     em_obs::trace::set_capture(false);
 

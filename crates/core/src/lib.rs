@@ -42,4 +42,4 @@ pub use metrics::{f1_percent, macro_average, Confusion, MeanStd};
 pub use pair::{LabeledPair, RecordPair};
 pub use record::{AttrType, AttrValue, Record};
 pub use serialize::{SerializedPair, Serializer, VALUE_SEPARATOR};
-pub use workqueue::WorkQueue;
+pub use workqueue::{run_chunks, WorkQueue};

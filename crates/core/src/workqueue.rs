@@ -103,6 +103,74 @@ impl<T> WorkQueue<T> {
     }
 }
 
+/// Runs `work` over every item, fanning chunks out over workers reserved
+/// from the shared [`em_nn::threadpool`] budget, and collects the results
+/// in item order.
+///
+/// The panic contract is uniform at every worker count: a panic inside
+/// `work` is caught *per item*, the remaining items still run, and after
+/// everything has been attempted the first failure (in item order) is
+/// reported as [`EmError::WorkerPanic`] carrying the payload message.
+/// Workers pull the next unclaimed index from a shared atomic, so items
+/// of uneven cost balance dynamically.
+///
+/// Items must be independent; under that contract results are identical
+/// at every worker count.
+pub fn run_chunks<T, R, F>(items: &[T], work: F) -> crate::error::Result<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use crate::error::{panic_message, EmError};
+
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let attempt = |item: &T| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(item)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    };
+    let reservation = em_nn::threadpool::reserve_workers(items.len() - 1);
+    let nworkers = reservation.total().min(items.len()).max(1);
+    let outcomes: Vec<Result<R, String>> = if nworkers <= 1 {
+        items.iter().map(attempt).collect()
+    } else {
+        type Slot<R> = Mutex<Option<Result<R, String>>>;
+        let slots: Vec<Slot<R>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let run = || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                *slots[i].lock().unwrap() = Some(attempt(&items[i]));
+            };
+            for _ in 0..nworkers - 1 {
+                scope.spawn(run);
+            }
+            run();
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .unwrap_or_else(|| Err("work item slot never written".into()))
+            })
+            .collect()
+    };
+    let mut results = Vec::with_capacity(items.len());
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => results.push(r),
+            Err(msg) => return Err(EmError::WorkerPanic(msg)),
+        }
+    }
+    Ok(results)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +257,54 @@ mod tests {
         let mut got = drained.into_inner().unwrap();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    // The thread-cap override is process-global; run_chunks tests that pin
+    // it share one lock to avoid interleaving.
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn run_chunks_preserves_item_order_at_every_worker_count() {
+        let _g = CAP_LOCK.lock().unwrap();
+        let items: Vec<usize> = (0..23).collect();
+        for threads in [1, 2, 8] {
+            em_nn::threadpool::set_max_threads(Some(threads));
+            let out = run_chunks(&items, |&i| i * 10).unwrap();
+            assert_eq!(out, (0..23).map(|i| i * 10).collect::<Vec<_>>());
+        }
+        em_nn::threadpool::set_max_threads(None);
+    }
+
+    #[test]
+    fn run_chunks_surfaces_panic_and_finishes_remaining_items() {
+        let _g = CAP_LOCK.lock().unwrap();
+        em_nn::threadpool::set_max_threads(Some(4));
+        let completed = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..9).collect();
+        let err = run_chunks(&items, |&i| {
+            if i == 3 {
+                panic!("chunk {i} exploded");
+            }
+            completed.fetch_add(1, Ordering::Relaxed);
+            i
+        })
+        .unwrap_err();
+        em_nn::threadpool::set_max_threads(None);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("chunk 3 exploded"),
+            "panic payload must survive into the error, got: {msg}"
+        );
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            8,
+            "the panicking item must not abort the remaining items"
+        );
+    }
+
+    #[test]
+    fn run_chunks_on_empty_input_is_empty() {
+        let out: Vec<u8> = run_chunks(&[] as &[u8], |_: &u8| 0u8).unwrap();
+        assert!(out.is_empty());
     }
 }

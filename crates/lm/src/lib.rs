@@ -9,7 +9,9 @@
 //! * the encoder classifier with plain and mixture-of-experts heads
 //!   ([`model`]);
 //! * the fine-tuning loop ([`finetune`]);
-//! * prompt assembly with in-context demonstrations ([`prompt`]);
+//! * prompt assembly with in-context demonstrations ([`prompt`]) and a
+//!   shared-prefix cache that encodes the demonstration prefix once per
+//!   sweep ([`prefix`]);
 //! * frozen pre-trained capability tiers standing in for the prompted
 //!   commercial/open LLMs ([`zoo`]);
 //! * the hosted-API client abstraction with deterministic fault injection
@@ -19,6 +21,7 @@ pub mod config;
 pub mod finetune;
 pub mod hosted;
 pub mod model;
+pub mod prefix;
 pub mod prompt;
 pub mod tokenizer;
 pub mod zoo;
@@ -28,7 +31,8 @@ pub use finetune::{predict_proba, train, TrainConfig, TrainReport};
 pub use hosted::{
     CallCtx, FaultInjectedLlm, HostedLlm, ResilienceConfig, ResilientLlm, HOSTED_CHUNK,
 };
-pub use model::{Batch, EncoderClassifier, Head, MoeHead};
+pub use model::{Batch, EncoderClassifier, Head, MoeHead, PrefixState};
+pub use prefix::{collate_suffixes, PrefixCache, PrefixVariant};
 pub use prompt::{encode_prompt, Demonstration, PromptBudget};
 pub use tokenizer::{encode_pair, segment, special, Encoded, HashTokenizer};
 pub use zoo::{

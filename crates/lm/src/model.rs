@@ -9,6 +9,7 @@
 
 use crate::config::ModelConfig;
 use crate::tokenizer::{overlap, segment, Encoded};
+use em_nn::qgemm::InferencePrecision;
 use em_nn::{softmax_inplace, Embedding, Gelu, LayerNorm, Linear, Param, Tensor, TransformerBlock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -335,6 +336,26 @@ struct PoolCache {
     seq: usize,
 }
 
+/// A demonstration prefix encoded once by
+/// [`EncoderClassifier::encode_prefix`]: the embedded rows plus every
+/// block-0 per-row projection that is independent of the per-pair suffix.
+/// Reused verbatim across all pairs of a sweep by
+/// [`EncoderClassifier::forward_with_prefix`].
+#[derive(Debug, Clone)]
+pub struct PrefixState {
+    /// Prefix length in tokens.
+    pub len: usize,
+    /// Embedded prefix rows (`len × d_model`): token + position + segment
+    /// + overlap embeddings at positions `0..len`.
+    pub x: Tensor,
+    /// Block-0 query projection of `ln1(x)`.
+    pub q1: Tensor,
+    /// Block-0 key projection of `ln1(x)`.
+    pub k1: Tensor,
+    /// Block-0 value projection of `ln1(x)`.
+    pub v1: Tensor,
+}
+
 impl EncoderClassifier {
     /// Builds a model with a plain linear head.
     pub fn new(config: ModelConfig, seed: u64) -> Self {
@@ -415,14 +436,21 @@ impl EncoderClassifier {
     }
 
     fn pool(&self, h: &Tensor, batch: &Batch) -> (Tensor, Vec<f32>) {
-        let mut pooled = Tensor::zeros(batch.n, self.config.d_model);
-        let mut counts = Vec::with_capacity(batch.n);
-        for b in 0..batch.n {
+        self.pool_masked(h, &batch.mask, batch.n, batch.seq)
+    }
+
+    /// Masked mean pooling over an explicit mask — shared by the batch
+    /// path ([`Self::pool`]) and the prefix-stitched path, whose mask
+    /// covers prefix + suffix rows and so never lives in a [`Batch`].
+    fn pool_masked(&self, h: &Tensor, mask: &[bool], n: usize, seq: usize) -> (Tensor, Vec<f32>) {
+        let mut pooled = Tensor::zeros(n, self.config.d_model);
+        let mut counts = Vec::with_capacity(n);
+        for b in 0..n {
             let mut count = 0.0f32;
-            for t in 0..batch.seq {
-                if batch.mask[b * batch.seq + t] {
+            for t in 0..seq {
+                if mask[b * seq + t] {
                     count += 1.0;
-                    let src = h.row(b * batch.seq + t);
+                    let src = h.row(b * seq + t);
                     for (p, &v) in pooled.row_mut(b).iter_mut().zip(src) {
                         *p += v;
                     }
@@ -489,39 +517,24 @@ impl EncoderClassifier {
         if nchunks <= 1 {
             return self.forward_chunk(batch);
         }
-        let reservation = em_nn::threadpool::reserve_workers(nchunks - 1);
-        let nworkers = reservation.total().min(nchunks);
-        if nworkers <= 1 {
-            return self.forward_chunk(batch);
-        }
-        let slots: Vec<std::sync::Mutex<Vec<f32>>> =
-            (0..nchunks).map(|_| std::sync::Mutex::new(Vec::new())).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let work = |_w: usize| {
-                let slots = &slots;
-                let next = &next;
-                move || loop {
-                    let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if c >= nchunks {
-                        break;
-                    }
-                    let s0 = c * Self::INFER_CHUNK_SEQS;
-                    let s1 = (s0 + Self::INFER_CHUNK_SEQS).min(batch.n);
-                    let sub = Self::sub_batch(batch, s0, s1);
-                    *slots[c].lock().expect("inference slot poisoned") = self.forward_chunk(&sub);
-                }
-            };
-            for w in 1..nworkers {
-                scope.spawn(work(w));
-            }
-            work(0)();
-        });
-        let mut out = Vec::with_capacity(batch.n);
-        for slot in &slots {
-            out.extend_from_slice(&slot.lock().expect("inference slot poisoned"));
-        }
-        out
+        let ranges = Self::chunk_ranges(batch.n);
+        let chunks = em_core::run_chunks(&ranges, |&(s0, s1)| {
+            self.forward_chunk(&Self::sub_batch(batch, s0, s1))
+        })
+        // forward() is infallible by signature; a worker panic here is a
+        // model bug, so re-raise it on the calling thread.
+        .unwrap_or_else(|e| panic!("{e}"));
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// `[s0, s1)` sequence ranges of [`Self::INFER_CHUNK_SEQS`] each.
+    fn chunk_ranges(n: usize) -> Vec<(usize, usize)> {
+        (0..n.div_ceil(Self::INFER_CHUNK_SEQS))
+            .map(|c| {
+                let s0 = c * Self::INFER_CHUNK_SEQS;
+                (s0, (s0 + Self::INFER_CHUNK_SEQS).min(n))
+            })
+            .collect()
     }
 
     /// One sequential inference sub-chunk (the pre-split forward body).
@@ -549,6 +562,164 @@ impl EncoderClassifier {
             n: s1 - s0,
             seq: batch.seq,
         }
+    }
+
+    /// Switches every Linear on the inference path (attention projections,
+    /// FFNs, head) to the given numeric mode. Embeddings and LayerNorms
+    /// stay f32 — they are per-row and cheap. Training forwards never
+    /// consult the quantized copies, so this only affects
+    /// [`Self::forward`] / [`Self::forward_with_prefix`].
+    pub fn set_inference_precision(&mut self, precision: InferencePrecision) {
+        for block in &mut self.blocks {
+            block.set_precision(precision);
+        }
+        match &mut self.head {
+            Head::Linear(l) => l.set_precision(precision),
+            Head::Moe(m) => {
+                m.gate.set_precision(precision);
+                for (e1, act, e2) in &mut m.experts {
+                    e1.set_precision(precision);
+                    act.set_precision(precision);
+                    e2.set_precision(precision);
+                }
+                m.out.set_precision(precision);
+            }
+        }
+    }
+
+    /// Encodes a shared demonstration prefix once: embeds its tokens and
+    /// precomputes every per-row block-0 quantity that does not depend on
+    /// the per-pair suffix.
+    ///
+    /// The bidirectional architecture bounds what is reusable. Embedding
+    /// adds, block-0 LN1, and the block-0 Q/K/V projections are per-row
+    /// operations, so prefix rows computed here are **bitwise identical**
+    /// to computing them inside a full stitched sequence (the GEMM
+    /// partitions output rows and accumulates each element serially over
+    /// `k`; the int8 path quantizes activations per row and accumulates in
+    /// exact i32). Block-0 attention mixes prefix and suffix rows, so
+    /// everything from there on must run on the full sequence.
+    ///
+    /// All `mask` entries of the prefix are implicitly `true`: the prefix
+    /// is CLS + rendered demonstrations, never padding.
+    pub fn encode_prefix(&self, ids: &[u32], segments: &[u32], overlap: &[u32]) -> PrefixState {
+        let len = ids.len();
+        assert!(len > 0, "prefix must contain at least CLS");
+        assert!(len <= self.config.max_seq, "prefix exceeds positions");
+        assert_eq!(segments.len(), len);
+        assert_eq!(overlap.len(), len);
+        let pos_ids: Vec<u32> = (0..len as u32).collect();
+        let mut x = self.tok_emb.lookup(ids);
+        x.add_assign(&self.pos_emb.lookup(&pos_ids));
+        x.add_assign(&self.seg_emb.lookup(segments));
+        x.add_assign(&self.ovl_emb.lookup(overlap));
+        let b0 = &self.blocks[0];
+        let h = b0.ln1.forward_inference(&x);
+        let mut qh = None;
+        let q1 = b0.attn.wq.forward_inference_shared(&h, &mut qh);
+        let k1 = b0.attn.wk.forward_inference_shared(&h, &mut qh);
+        let v1 = b0.attn.wv.forward_inference_shared(&h, &mut qh);
+        PrefixState { len, x, q1, k1, v1 }
+    }
+
+    /// Inference forward over per-pair suffixes that all share one encoded
+    /// prefix. Scores are **bitwise identical** to [`Self::forward`] on
+    /// the full stitched sequences (see [`Self::encode_prefix`] for why);
+    /// `tests/prefix_equivalence.rs` asserts it at 1/2/8 threads.
+    ///
+    /// `suffix.seq` counts suffix positions only; each stitched sequence
+    /// is `prefix.len + suffix.seq` tokens and must fit `max_seq`.
+    pub fn forward_with_prefix(&self, prefix: &PrefixState, suffix: &Batch) -> Vec<f32> {
+        assert!(
+            prefix.len + suffix.seq <= self.config.max_seq,
+            "prefix + suffix exceeds positions"
+        );
+        let nchunks = suffix.n.div_ceil(Self::INFER_CHUNK_SEQS);
+        if nchunks <= 1 {
+            return self.forward_chunk_with_prefix(prefix, suffix);
+        }
+        let ranges = Self::chunk_ranges(suffix.n);
+        let chunks = em_core::run_chunks(&ranges, |&(s0, s1)| {
+            self.forward_chunk_with_prefix(prefix, &Self::sub_batch(suffix, s0, s1))
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// One sequential prefix-stitched sub-chunk: block 0 runs suffix-only
+    /// per-row work and reuses the prefix rows from `prefix`; every later
+    /// operation runs on the full stitched sequences.
+    fn forward_chunk_with_prefix(&self, prefix: &PrefixState, suffix: &Batch) -> Vec<f32> {
+        let (p, s, n) = (prefix.len, suffix.seq, suffix.n);
+        let seq = p + s;
+        let d = self.config.d_model;
+
+        // Suffix embeddings at their stitched positions `p..p+s`.
+        let mut pos_ids = Vec::with_capacity(n * s);
+        for _ in 0..n {
+            pos_ids.extend(p as u32..seq as u32);
+        }
+        let mut xs = self.tok_emb.lookup(&suffix.ids);
+        xs.add_assign(&self.pos_emb.lookup(&pos_ids));
+        xs.add_assign(&self.seg_emb.lookup(&suffix.segments));
+        xs.add_assign(&self.ovl_emb.lookup(&suffix.overlap));
+
+        // Full mask: prefix tokens are always real.
+        let mut mask = Vec::with_capacity(n * seq);
+        for b in 0..n {
+            mask.extend(std::iter::repeat(true).take(p));
+            mask.extend_from_slice(&suffix.mask[b * s..(b + 1) * s]);
+        }
+
+        // Block 0: per-row work on suffix rows only, then attention over
+        // the stitched q/k/v.
+        let b0 = &self.blocks[0];
+        let hs = b0.ln1.forward_inference(&xs);
+        let mut qhs = None;
+        let qs = b0.attn.wq.forward_inference_shared(&hs, &mut qhs);
+        let ks = b0.attn.wk.forward_inference_shared(&hs, &mut qhs);
+        let vs = b0.attn.wv.forward_inference_shared(&hs, &mut qhs);
+        let x_full = Self::stitch(&prefix.x, &xs, n, p, s, d);
+        let q_full = Self::stitch(&prefix.q1, &qs, n, p, s, d);
+        let k_full = Self::stitch(&prefix.k1, &ks, n, p, s, d);
+        let v_full = Self::stitch(&prefix.v1, &vs, n, p, s, d);
+        let a = b0
+            .attn
+            .forward_inference_precomputed(&q_full, &k_full, &v_full, seq, &mask);
+        let mut x1 = x_full;
+        x1.add_assign(&a);
+        let h2 = b0.ln2.forward_inference(&x1);
+        let f = b0.ff1.forward_inference(&h2);
+        let f = b0.act.forward_inference(&f);
+        let f = b0.ff2.forward_inference(&f);
+        let mut x = x1;
+        x.add_assign(&f);
+
+        for block in &self.blocks[1..] {
+            x = block.forward_inference(&x, seq, &mask);
+        }
+        let h = self.ln_f.forward_inference(&x);
+        let (pooled, _) = self.pool_masked(&h, &mask, n, seq);
+        match &self.head {
+            Head::Linear(l) => l.forward_inference(&pooled).data().to_vec(),
+            Head::Moe(m) => m.forward_inference(&pooled),
+        }
+    }
+
+    /// Interleaves the shared prefix rows with each sequence's suffix rows
+    /// into one `(n·(p+s)) × d` tensor — two contiguous copies per
+    /// sequence.
+    fn stitch(prefix_rows: &Tensor, suffix_rows: &Tensor, n: usize, p: usize, s: usize, d: usize) -> Tensor {
+        debug_assert_eq!(prefix_rows.rows(), p);
+        debug_assert_eq!(suffix_rows.rows(), n * s);
+        let seq = p + s;
+        let mut out = Tensor::zeros(n * seq, d);
+        for b in 0..n {
+            out.data_mut()[b * seq * d..(b * seq + p) * d].copy_from_slice(prefix_rows.data());
+            out.data_mut()[(b * seq + p) * d..(b + 1) * seq * d]
+                .copy_from_slice(&suffix_rows.data()[b * s * d..(b + 1) * s * d]);
+        }
+        out
     }
 
     /// Backward from per-sequence logit gradients; accumulates all

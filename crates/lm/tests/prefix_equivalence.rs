@@ -1,0 +1,204 @@
+//! Prefix-cache and int8 equivalence suite for zoo scoring.
+//!
+//! Three contracts from the inference-path optimization work:
+//!
+//! 1. **Prefix caching is bitwise-invisible.** `score_batch` (grouped by
+//!    drop variant, demo prefix encoded once, suffixes padded to the
+//!    group max) must produce bit-identical scores to
+//!    `score_batch_full_recompute` (the seed path: every prompt encoded
+//!    and forwarded from scratch) — at 1, 2 and 8 worker threads.
+//! 2. **Int8 drifts within bounds.** With `InferencePrecision::Int8` the
+//!    per-pair score may move by at most ε, and the 0.5-threshold
+//!    decision may flip on fewer than 0.5% of a seeded LODO-style slice.
+//! 3. **Worker panics surface as data.** A panic inside one scoring
+//!    chunk becomes `EmError::WorkerPanic` carrying the payload message,
+//!    and the remaining chunks still complete.
+
+use em_core::{EmError, SerializedPair};
+use em_lm::{
+    pretrain_tier, random_demonstrations, Demonstration, EncoderClassifier, HashTokenizer,
+    LlmTier, ModelConfig, PretrainCorpus, PretrainedLlm, PromptBudget,
+};
+use em_nn::qgemm::InferencePrecision;
+use em_nn::threadpool;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Serializes tests that override the process-global worker budget.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+fn sp(l: &str, r: &str) -> SerializedPair {
+    SerializedPair {
+        left: l.into(),
+        right: r.into(),
+    }
+}
+
+fn toy_corpus(n: usize) -> PretrainCorpus {
+    PretrainCorpus {
+        pairs: (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (
+                        sp(&format!("acme widget {i} red"), &format!("acme widget {i} red")),
+                        true,
+                    )
+                } else {
+                    (
+                        sp(&format!("acme widget {i} red"), &format!("zenith gadget {} blue", i + 1)),
+                        false,
+                    )
+                }
+            })
+            .collect(),
+    }
+}
+
+/// One shared trained tier; tests that need a different precision clone it
+/// (the clone shares weights logically but owns its prefix memo).
+fn shared_tier() -> Arc<PretrainedLlm> {
+    static TIER: OnceLock<Arc<PretrainedLlm>> = OnceLock::new();
+    // The strongest tier: its pretraining polarizes scores away from the
+    // 0.5 threshold, which is what the flip-rate gate measures against.
+    TIER.get_or_init(|| Arc::new(pretrain_tier(LlmTier::Gpt4, &toy_corpus(160), 0)))
+        .clone()
+}
+
+fn shared_demos() -> Vec<Demonstration> {
+    random_demonstrations(&toy_corpus(160).pairs, 2, 2, 7)
+}
+
+/// A LODO-style scoring slice: enough pairs to span several worker
+/// chunks, with query lengths from empty to long enough to force the
+/// prefix cache through multiple drop variants.
+fn lodo_slice(n: usize) -> Vec<SerializedPair> {
+    (0..n)
+        .map(|i| match i % 5 {
+            0 => sp(&format!("acme widget {i} red"), &format!("acme widget {i} red")),
+            1 => sp(&format!("acme widget {i} red"), &format!("zenith gadget {} blue", i + 1)),
+            2 => sp(
+                &format!("portable bluetooth speaker model {i} with deep bass and long battery"),
+                &format!("portable bluetooth speaker model {i} deep bass long battery life"),
+            ),
+            3 => sp("", &format!("thing {i}")),
+            _ => sp(
+                &format!("super ultra mega deluxe premium edition item number {i} in stock now today"),
+                &format!("cheap knockoff item {}", i + 3),
+            ),
+        })
+        .collect()
+}
+
+fn bits(scores: &[f32]) -> Vec<u32> {
+    scores.iter().map(|s| s.to_bits()).collect()
+}
+
+/// Contract 1: prefix-cached scoring is bit-identical to the seed
+/// full-recompute path, independent of worker count and of cache warmth
+/// (the second scoring pass hits memoized `PrefixState`s).
+#[test]
+fn cached_scoring_matches_full_recompute_bitwise_at_every_thread_count() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let tier = shared_tier();
+    let demos = shared_demos();
+    let pairs = lodo_slice(150); // > 2 chunks of 64
+    let expect = bits(&tier.score_batch_full_recompute(&pairs, &demos));
+    for threads in [1usize, 2, 8] {
+        threadpool::set_max_threads(Some(threads));
+        let cold = bits(&tier.score_batch(&pairs, &demos));
+        let warm = bits(&tier.score_batch(&pairs, &demos));
+        assert_eq!(cold, expect, "cold cache diverged at {threads} threads");
+        assert_eq!(warm, expect, "warm cache diverged at {threads} threads");
+    }
+    threadpool::set_max_threads(None);
+}
+
+/// Prefix caching must also be invisible in the zero-demo (zero-shot)
+/// configuration, where the cached prefix is a lone CLS token.
+#[test]
+fn zero_shot_cached_scoring_matches_full_recompute() {
+    let tier = shared_tier();
+    let pairs = lodo_slice(70);
+    assert_eq!(
+        bits(&tier.score_batch(&pairs, &[])),
+        bits(&tier.score_batch_full_recompute(&pairs, &[])),
+    );
+}
+
+/// Contract 2: int8 inference stays within the drift bound per score and
+/// flips fewer than 0.5% of 0.5-threshold decisions on a seeded slice.
+#[test]
+fn int8_drift_and_flip_rate_within_bounds() {
+    const EPSILON: f32 = 0.05;
+    let demos = shared_demos();
+    let pairs = lodo_slice(400);
+    let f32_scores = shared_tier().score_batch(&pairs, &demos);
+
+    let mut int8_tier: PretrainedLlm = (*shared_tier()).clone();
+    int8_tier.set_precision(InferencePrecision::Int8);
+    let int8_scores = int8_tier.score_batch(&pairs, &demos);
+
+    let mut flips = 0usize;
+    for (i, (&a, &b)) in f32_scores.iter().zip(&int8_scores).enumerate() {
+        let delta = (a - b).abs();
+        assert!(
+            delta <= EPSILON,
+            "pair {i}: |Δscore| = {delta} exceeds ε = {EPSILON} ({a} vs {b})"
+        );
+        if (a >= 0.5) != (b >= 0.5) {
+            flips += 1;
+        }
+    }
+    let flip_rate = flips as f64 / pairs.len() as f64;
+    assert!(
+        flip_rate < 0.005,
+        "flip rate {flip_rate} (= {flips}/{}) at the 0.5 threshold exceeds 0.5%",
+        pairs.len()
+    );
+
+    // Returning to full precision restores the exact f32 bits.
+    int8_tier.set_precision(InferencePrecision::Full);
+    assert_eq!(bits(&int8_tier.score_batch(&pairs, &demos)), bits(&f32_scores));
+}
+
+/// Contract 3: a panic in one scoring chunk (here: the tokenizer hashes
+/// into a vocab the model's embedding table does not cover) surfaces as
+/// `EmError::WorkerPanic` with the payload message, at every worker
+/// count, instead of poisoning the process.
+#[test]
+fn scoring_panic_surfaces_as_worker_panic_error() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let config = ModelConfig {
+        vocab: 256, // embedding table far smaller than the tokenizer's ids
+        d_model: 16,
+        n_layers: 1,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 64,
+        dropout: 0.0,
+        claimed_params_millions: 0.0,
+    };
+    let tier = PretrainedLlm::from_parts(
+        LlmTier::Gpt35Turbo,
+        EncoderClassifier::new(config, 0),
+        HashTokenizer::new(4096),
+        PromptBudget {
+            max_seq: 64,
+            demo_side: 8,
+            query_side: 10,
+        },
+    );
+    let pairs = lodo_slice(130); // ≥ 2 chunks, so other chunks keep running
+    for threads in [1usize, 8] {
+        threadpool::set_max_threads(Some(threads));
+        match tier.try_score_batch(&pairs, &[]) {
+            Err(EmError::WorkerPanic(msg)) => {
+                assert!(
+                    msg.contains("out of vocab"),
+                    "panic payload should be preserved, got: {msg}"
+                );
+            }
+            other => panic!("expected WorkerPanic at {threads} threads, got {other:?}"),
+        }
+    }
+    threadpool::set_max_threads(None);
+}

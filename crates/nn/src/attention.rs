@@ -472,10 +472,43 @@ impl MultiHeadAttention {
     pub fn forward_inference(&self, x: &Tensor, seq: usize, mask: &[bool]) -> Tensor {
         assert_eq!(x.rows() % seq, 0, "rows must be a multiple of seq");
         assert_eq!(mask.len(), x.rows(), "mask must cover every token");
-        let q = self.wq.forward_inference(x);
-        let k = self.wk.forward_inference(x);
-        let v = self.wv.forward_inference(x);
-        let batch = x.rows() / seq;
+        // Q/K/V project the same rows: quantize the activations once.
+        let mut qx = None;
+        let q = self.wq.forward_inference_shared(x, &mut qx);
+        let k = self.wk.forward_inference_shared(x, &mut qx);
+        let v = self.wv.forward_inference_shared(x, &mut qx);
+        self.forward_inference_precomputed(&q, &k, &v, seq, mask)
+    }
+
+    /// Switches all four projection layers' inference numeric mode.
+    pub fn set_precision(&mut self, precision: crate::qgemm::InferencePrecision) {
+        self.wq.set_precision(precision);
+        self.wk.set_precision(precision);
+        self.wv.set_precision(precision);
+        self.wo.set_precision(precision);
+    }
+
+    /// Everything after the Q/K/V projections: pack heads, fused masked
+    /// attention, unpack, output projection.
+    ///
+    /// Split out so callers that cache projections of shared token rows
+    /// (em-lm's demonstration-prefix cache) can stitch cached and fresh
+    /// rows and resume here. The projections are per-row operations, so a
+    /// stitched buffer is bitwise identical to projecting the full
+    /// sequence in one call.
+    pub fn forward_inference_precomputed(
+        &self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        seq: usize,
+        mask: &[bool],
+    ) -> Tensor {
+        assert_eq!(q.rows() % seq, 0, "rows must be a multiple of seq");
+        assert_eq!(mask.len(), q.rows(), "mask must cover every token");
+        assert_eq!(q.rows(), k.rows());
+        assert_eq!(q.rows(), v.rows());
+        let batch = q.rows() / seq;
         let hd = self.dim / self.heads;
         let n = batch * seq * self.dim;
 
@@ -502,7 +535,7 @@ impl MultiHeadAttention {
         attend_packed(
             batch, seq, self.heads, hd, &s.q, &s.k, &s.v, mask, &mut s.scores, &mut s.ctx,
         );
-        let mut concat = Tensor::zeros(x.rows(), self.dim);
+        let mut concat = Tensor::zeros(q.rows(), self.dim);
         unpack_heads(&s.ctx, batch, seq, self.heads, hd, concat.data_mut());
         self.wo.forward_inference(&concat)
     }

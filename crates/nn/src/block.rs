@@ -41,6 +41,15 @@ impl TransformerBlock {
         }
     }
 
+    /// Switches every Linear in the block (attention projections + FFN)
+    /// to the given inference numeric mode. LayerNorm stays f32.
+    pub fn set_precision(&mut self, precision: crate::qgemm::InferencePrecision) {
+        self.attn.set_precision(precision);
+        self.ff1.set_precision(precision);
+        self.act.set_precision(precision);
+        self.ff2.set_precision(precision);
+    }
+
     /// Training forward with caching. `rng` drives dropout masks.
     pub fn forward(&mut self, x: &Tensor, seq: usize, mask: &[bool], rng: &mut StdRng) -> Tensor {
         // Attention branch.

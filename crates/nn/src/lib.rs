@@ -7,6 +7,8 @@
 //!   by a cache-blocked, register-tiled, optionally parallel GEMM
 //!   ([`gemm`]) that is bitwise-identical to the naive loops kept in
 //!   [`reference`];
+//! * an opt-in int8 inference GEMM for frozen weights with exact i32
+//!   accumulation and a bitwise-reproducible dequant ([`qgemm`]);
 //! * a global worker-thread budget shared by every parallel region in the
 //!   workspace ([`threadpool`]);
 //! * trainable parameters with Xavier / GPT-style init ([`param`]);
@@ -29,6 +31,7 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod param;
+pub mod qgemm;
 pub mod reference;
 pub mod tensor;
 pub mod threadpool;
@@ -40,4 +43,5 @@ pub use layers::{Dropout, Embedding, Gelu, LayerNorm, Linear};
 pub use loss::{accuracy, bce_with_logits, sigmoid_f32, softplus};
 pub use optim::{clip_grad_norm, zero_grads, Adam, FusedAdam, FusedSgd, Sgd, FUSED_BLOCK};
 pub use param::Param;
+pub use qgemm::{InferencePrecision, QuantizedActivations, QuantizedMatrix};
 pub use tensor::{dot_f32, softmax_inplace, Tensor};

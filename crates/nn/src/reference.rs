@@ -168,6 +168,51 @@ pub fn attention(
 }
 
 // ---------------------------------------------------------------------------
+// Quantized-GEMM oracle
+// ---------------------------------------------------------------------------
+
+/// Naive int8 quantized matmul: the equivalence oracle for
+/// [`crate::qgemm`].
+///
+/// Quantizes `w (k×n)` per output column and `x (m×k)` per row with the
+/// same symmetric round-to-nearest scheme as the packed path
+/// ([`crate::qgemm::symmetric_scale`] / [`crate::qgemm::quantize_value`]),
+/// accumulates in `i32` with a plain triple loop, and dequantizes as
+/// `sx[i] · sw[j] · acc`. Integer sums are exact (order-independent), and
+/// the dequant expression performs the identical two `f32`
+/// multiplications, so the packed/vectorized path must match **bitwise**
+/// — `tests/qgemm_equivalence.rs` asserts exact equality. The packed path
+/// offsets activations by +128 and subtracts `128 · Σ_p qw[p][j]`
+/// afterwards; that correction is exact in `i32`, so it cancels here.
+pub fn qgemm(m: usize, k: usize, n: usize, x: &[f32], w: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(x.len(), m * k);
+    debug_assert_eq!(w.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let mut wscales = Vec::with_capacity(n);
+    for j in 0..n {
+        wscales.push(crate::qgemm::symmetric_scale((0..k).map(|p| w[p * n + j])));
+    }
+    let mut qw = vec![0i32; k * n];
+    for p in 0..k {
+        for j in 0..n {
+            qw[p * n + j] = crate::qgemm::quantize_value(w[p * n + j], wscales[j]);
+        }
+    }
+    for i in 0..m {
+        let xrow = &x[i * k..(i + 1) * k];
+        let sx = crate::qgemm::symmetric_scale(xrow.iter().copied());
+        let qx: Vec<i32> = xrow.iter().map(|&v| crate::qgemm::quantize_value(v, sx)).collect();
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += qx[p] * qw[p * n + j];
+            }
+            out[i * n + j] = sx * wscales[j] * acc as f32;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fused-optimizer oracles
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,217 @@
+//! Quantized-GEMM equivalence suite: the packed / VNNI / parallel int8
+//! path must be **bitwise identical** to the naive oracle in
+//! [`em_nn::reference::qgemm`] for every shape and every thread count —
+//! both quantize with the same symmetric round-to-nearest scheme and
+//! accumulate in exact i32, so there is no tolerance to hide behind.
+//!
+//! Lives in its own integration binary because the thread-count parity
+//! tests mutate the process-global worker budget via
+//! [`em_nn::threadpool::set_max_threads`]; tests that do so serialize on
+//! [`THREAD_CAP`].
+
+use em_nn::qgemm::{self, QuantizedMatrix};
+use em_nn::{reference, threadpool};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes every test that overrides the global thread cap.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-noise (Knuth multiplicative hash) scaled to
+/// roughly [-2, 2), so failures reproduce without capturing data vectors.
+fn fill(len: usize, salt: u32) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+            ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+fn bits(c: &[f32]) -> Vec<u32> {
+    c.iter().map(|v| v.to_bits()).collect()
+}
+
+fn packed(m: usize, k: usize, n: usize, x: &[f32], w: &[f32]) -> Vec<f32> {
+    let qm = QuantizedMatrix::quantize(k, n, w);
+    let mut out = vec![0.0f32; m * n];
+    qgemm::qgemm(m, x, &qm, &mut out);
+    out
+}
+
+fn oracle(m: usize, k: usize, n: usize, x: &[f32], w: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    reference::qgemm(m, k, n, x, w, &mut out);
+    out
+}
+
+proptest! {
+    /// Arbitrary shapes around the MR=8 / NR=32 / k-group-of-4 tile
+    /// edges: packed path and naive oracle agree bitwise.
+    #[test]
+    fn packed_matches_oracle_bitwise(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..40,
+        salt in 0u32..1000,
+    ) {
+        let w = fill(k * n, salt);
+        let x = fill(m * k, salt.wrapping_add(1));
+        prop_assert_eq!(
+            bits(&packed(m, k, n, &x, &w)),
+            bits(&oracle(m, k, n, &x, &w))
+        );
+    }
+
+    /// Zero rows / zero columns quantize to scale 0 and must come out as
+    /// exact zeros on both paths.
+    #[test]
+    fn zero_scale_rows_and_columns_agree(
+        m in 1usize..6,
+        k in 1usize..20,
+        n in 1usize..20,
+        zrow in 0usize..6,
+        zcol in 0usize..20,
+        salt in 0u32..1000,
+    ) {
+        let mut w = fill(k * n, salt);
+        let mut x = fill(m * k, salt.wrapping_add(7));
+        let zrow = zrow % m;
+        let zcol = zcol % n;
+        x[zrow * k..(zrow + 1) * k].iter_mut().for_each(|v| *v = 0.0);
+        for p in 0..k {
+            w[p * n + zcol] = 0.0;
+        }
+        let fast = packed(m, k, n, &x, &w);
+        prop_assert_eq!(bits(&fast), bits(&oracle(m, k, n, &x, &w)));
+        for j in 0..n {
+            prop_assert_eq!(fast[zrow * n + j], 0.0);
+        }
+        for i in 0..m {
+            prop_assert_eq!(fast[i * n + zcol], 0.0);
+        }
+    }
+}
+
+/// Exact tile-edge shapes: full tiles, one-off edges, single panels.
+#[test]
+fn tile_edge_shapes_match_bitwise() {
+    for &(m, k, n) in &[
+        (8, 4, 32),
+        (8, 4, 33),
+        (9, 4, 32),
+        (7, 3, 31),
+        (16, 8, 64),
+        (17, 5, 65),
+        (1, 1, 1),
+        (1, 512, 1),
+        (24, 96, 96),
+    ] {
+        let w = fill(k * n, 11);
+        let x = fill(m * k, 13);
+        assert_eq!(
+            bits(&packed(m, k, n, &x, &w)),
+            bits(&oracle(m, k, n, &x, &w)),
+            "mismatch at ({m},{k},{n})"
+        );
+    }
+}
+
+/// Exact round-half-away-from-zero ties: with a row whose maxabs is 127
+/// the activation scale is exactly 1.0, so these values hit the .5
+/// quantization boundaries dead on — the vectorized rounding must agree
+/// with the scalar `quantize_value` on every one of them.
+#[test]
+fn rounding_tie_values_match_oracle_bitwise() {
+    let ties = [
+        127.0f32,
+        0.5,
+        -0.5,
+        1.5,
+        -1.5,
+        2.5,
+        -2.5,
+        126.5,
+        -126.5,
+        0.499_999_97,
+        -0.499_999_97,
+        0.500_000_06,
+        -0.0,
+        0.0,
+        3.5,
+        -127.0,
+        100.5,
+        -100.5,
+    ];
+    let (m, k, n) = (2, ties.len(), 37);
+    let mut x = Vec::new();
+    x.extend_from_slice(&ties);
+    x.extend(ties.iter().rev());
+    let w = fill(k * n, 41);
+    assert_eq!(
+        bits(&packed(m, k, n, &x, &w)),
+        bits(&oracle(m, k, n, &x, &w))
+    );
+}
+
+/// The row-band fan-out must not change a single bit: i32 accumulation is
+/// exact, so partitions are invisible. A shape above the parallel volume
+/// threshold, run at 1/2/8 threads, must equal the oracle each time.
+#[test]
+fn thread_count_parity_is_bitwise() {
+    let _guard = THREAD_CAP.lock().unwrap();
+    let (m, k, n) = (64, 128, 256); // volume 2^21, at the parallel gate
+    let w = fill(k * n, 17);
+    let x = fill(m * k, 19);
+    let expect = bits(&oracle(m, k, n, &x, &w));
+    for threads in [1, 2, 8] {
+        threadpool::set_max_threads(Some(threads));
+        let got = bits(&packed(m, k, n, &x, &w));
+        assert_eq!(got, expect, "divergence at {threads} threads");
+    }
+    threadpool::set_max_threads(None);
+}
+
+/// Quantizing is idempotent in the API sense: two `QuantizedMatrix`es of
+/// the same weights produce identical outputs, and requantizing after a
+/// round trip through `set_precision` keeps `forward_inference` stable.
+#[test]
+fn requantization_is_deterministic() {
+    let (m, k, n) = (5, 24, 12);
+    let w = fill(k * n, 23);
+    let x = fill(m * k, 29);
+    assert_eq!(bits(&packed(m, k, n, &x, &w)), bits(&packed(m, k, n, &x, &w)));
+}
+
+/// The f32 path of a Linear must be bit-identical before quantization,
+/// after `set_precision(Int8)` → the int8 path differs within drift, and
+/// after `set_precision(Full)` → restored exactly.
+#[test]
+fn linear_precision_toggle_restores_f32_bits() {
+    use em_nn::qgemm::InferencePrecision;
+    use em_nn::{Linear, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut layer = Linear::new(24, 16, &mut rng);
+    let x = Tensor::from_vec(6, 24, fill(6 * 24, 31));
+    let baseline = bits(layer.forward_inference(&x).data());
+
+    layer.set_precision(InferencePrecision::Int8);
+    let quantized = layer.forward_inference(&x);
+    for (q, &b) in quantized.data().iter().zip(&baseline) {
+        let exact = f32::from_bits(b);
+        assert!(
+            (q - exact).abs() < 0.2,
+            "int8 drift out of bound: {q} vs {exact}"
+        );
+    }
+
+    layer.set_precision(InferencePrecision::Full);
+    assert_eq!(
+        bits(layer.forward_inference(&x).data()),
+        baseline,
+        "returning to Full precision must restore the exact f32 bits"
+    );
+}

@@ -37,6 +37,19 @@ if ! grep -q "finetune\." <<<"$profile_out"; then
 fi
 echo "optim.* and finetune.* spans present in the top-span report"
 
+# Likewise the zoo inference path: the zoo probe scores a 64-pair batch
+# twice with the int8 GEMM enabled, so the metrics registry must show the
+# prefix-cache counters and the quantized-GEMM call/flop counters.
+if ! grep -q "lm\.prefix" <<<"$profile_out"; then
+    echo "profile is missing lm.prefix_* counters"
+    exit 1
+fi
+if ! grep -q "qgemm\." <<<"$profile_out"; then
+    echo "profile is missing qgemm.* counters"
+    exit 1
+fi
+echo "lm.prefix_* and qgemm.* counters present in the metrics registry"
+
 echo
 echo "== tracing overhead (budget < 2%) =="
 ./target/release/profile_lodo overhead

@@ -9,8 +9,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+# --workspace matters: the repo root is a workspace *and* a package, so a
+# bare `cargo build` covers only the root package and would leave the
+# em-bench bins this script runs (bench_attention, bench_finetune,
+# bench_zoo, chaos_lodo) unbuilt on a fresh target dir.
+cargo build --release --workspace
+cargo test -q --workspace
 
 # EM_TRACE smoke: the observability integration test must produce a
 # non-empty JSONL trace file when the env flag is set. Absolute path:
@@ -44,6 +48,20 @@ ft_bench="$PWD/target/tier1-bench-finetune.json"
 ./target/release/bench_finetune "$ft_bench" --smoke
 test -s "$ft_bench" || { echo "finetune bench smoke failed: $ft_bench is empty"; exit 1; }
 echo "finetune bench smoke: wrote $ft_bench"
+
+# Inference-path gates: the int8-GEMM equivalence suite (packed VNNI
+# path vs the naive quantized oracle, bitwise, incl. thread parity at
+# 1/2/8 threads and the f32-restore toggle), the prefix-cache suite
+# (cached zoo scoring vs full recompute, bitwise at 1/2/8 threads; int8
+# drift/flip-rate bounds on a trained tier), then a zoo-bench smoke — a
+# tiny shape that still runs the cached-vs-recompute and int8-drift
+# asserts inside the bench harness.
+cargo test -q -p em-nn --test qgemm_equivalence
+cargo test -q -p em-lm --test prefix_equivalence
+zoo_bench="$PWD/target/tier1-bench-zoo.json"
+./target/release/bench_zoo "$zoo_bench" --smoke
+test -s "$zoo_bench" || { echo "zoo bench smoke failed: $zoo_bench is empty"; exit 1; }
+echo "zoo bench smoke: wrote $zoo_bench"
 
 # Chaos smoke: a small LODO sweep through the resilient hosted client at
 # a 10% injected-fault rate must complete with zero aborted items and
