@@ -12,6 +12,12 @@ pub struct QGramBlocker {
     pub q: usize,
     /// Minimum shared grams.
     pub min_shared: usize,
+    /// Grams occurring in more than this fraction of records (document
+    /// frequency over both relations, same semantics as
+    /// `TokenBlocker::max_token_frequency`) are cut. Without this, a
+    /// common gram ("the", " 20") indexes a posting list covering most
+    /// of the right relation and the probe loop goes quadratic.
+    pub max_gram_frequency: f64,
 }
 
 impl Default for QGramBlocker {
@@ -19,6 +25,7 @@ impl Default for QGramBlocker {
         QGramBlocker {
             q: 3,
             min_shared: 3,
+            max_gram_frequency: 0.2,
         }
     }
 }
@@ -37,16 +44,35 @@ fn key_grams(record: &Record, q: usize) -> Vec<String> {
 
 impl Blocker for QGramBlocker {
     fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        let left_grams: Vec<Vec<String>> =
+            left.iter().map(|r| key_grams(r, self.q)).collect();
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
         for (j, r) in right.iter().enumerate() {
             for g in key_grams(r, self.q) {
                 index.entry(g).or_default().push(j);
             }
         }
+        // Document frequency over both relations; the cut runs before the
+        // posting loop so a stop gram costs one hash probe, not a scan of
+        // its (potentially relation-sized) posting list.
+        let mut df: HashMap<&str, usize> = index
+            .iter()
+            .map(|(g, postings)| (g.as_str(), postings.len()))
+            .collect();
+        for grams in &left_grams {
+            for g in grams {
+                *df.entry(g.as_str()).or_insert(0) += 1;
+            }
+        }
+        let max_df =
+            ((left.len() + right.len()) as f64 * self.max_gram_frequency).max(2.0) as usize;
         let mut shared: HashMap<CandidatePair, usize> = HashMap::new();
-        for (i, l) in left.iter().enumerate() {
-            for g in key_grams(l, self.q) {
-                if let Some(matches) = index.get(&g) {
+        for (i, grams) in left_grams.iter().enumerate() {
+            for g in grams {
+                if df.get(g.as_str()).copied().unwrap_or(0) > max_df {
+                    continue; // stop gram
+                }
+                if let Some(matches) = index.get(g.as_str()) {
                     for &j in matches {
                         *shared.entry((i, j)).or_insert(0) += 1;
                     }
@@ -94,12 +120,42 @@ mod tests {
         let loose = QGramBlocker {
             q: 3,
             min_shared: 1,
+            ..Default::default()
         };
         assert_eq!(loose.candidates(&left, &right).len(), 1);
         let strict = QGramBlocker {
             q: 3,
             min_shared: 5,
+            ..Default::default()
         };
         assert!(strict.candidates(&left, &right).is_empty());
+    }
+
+    #[test]
+    fn frequent_grams_are_cut_before_the_posting_loop() {
+        // Every key shares the long prefix "the 2020 widget ", whose grams
+        // have df = 60 out of 60 records — far past max(60·0.2, 2) = 12.
+        // Pre-fix each of those grams carried a 30-long posting list and
+        // every one of the 900 cross pairs shared ≥ 3 grams. With the cut
+        // only the distinct suffixes remain, which share at most 2 grams.
+        let left: Vec<Record> = (0..30)
+            .map(|i| rec(i, &format!("the 2020 widget l{i:02}")))
+            .collect();
+        let right: Vec<Record> = (0..30)
+            .map(|j| rec(j + 100, &format!("the 2020 widget r{j:02}")))
+            .collect();
+        let c = QGramBlocker::default().candidates(&left, &right);
+        assert!(
+            c.is_empty(),
+            "ubiquitous prefix grams must be cut, got {} candidates",
+            c.len()
+        );
+        // Disabling the cut restores the (pathological) pre-fix behaviour,
+        // pinning that the cut — not some other change — removed them.
+        let uncut = QGramBlocker {
+            max_gram_frequency: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(uncut.candidates(&left, &right).len(), 900);
     }
 }

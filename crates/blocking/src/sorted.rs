@@ -29,6 +29,42 @@ impl Blocker for SortedNeighbourhood {
             entries.push((record_text(r), true, j));
         }
         entries.sort();
+        // The sort key is (text, is_right, idx), so an equal-key run
+        // groups every left record before every right record. When the
+        // run is longer than the window, a left record's window fills up
+        // with other lefts and bit-identical left/right duplicates — the
+        // highest-confidence matches — never pair. Rewrite each mixed
+        // equal-key run interleaved L,R,L,R,… so duplicates sit adjacent
+        // while relative idx order inside each relation is preserved.
+        let mut run_start = 0;
+        while run_start < entries.len() {
+            let mut run_end = run_start + 1;
+            while run_end < entries.len() && entries[run_end].0 == entries[run_start].0 {
+                run_end += 1;
+            }
+            let run = &mut entries[run_start..run_end];
+            let split = run.iter().position(|e| e.1).unwrap_or(run.len());
+            if run.len() > 2 && split > 0 && split < run.len() {
+                let lefts: Vec<_> = run[..split].to_vec();
+                let rights: Vec<_> = run[split..].to_vec();
+                let (mut li, mut ri) = (0, 0);
+                for slot in run.iter_mut() {
+                    let take_left = if li < lefts.len() && ri < rights.len() {
+                        li <= ri
+                    } else {
+                        li < lefts.len()
+                    };
+                    if take_left {
+                        *slot = lefts[li].clone();
+                        li += 1;
+                    } else {
+                        *slot = rights[ri].clone();
+                        ri += 1;
+                    }
+                }
+            }
+            run_start = run_end;
+        }
         let mut out = Vec::new();
         for (pos, (_, is_right, idx)) in entries.iter().enumerate() {
             let end = (pos + self.window).min(entries.len());
@@ -83,5 +119,25 @@ mod tests {
     #[should_panic(expected = "window must be at least 2")]
     fn tiny_window_rejected() {
         let _ = SortedNeighbourhood { window: 1 }.candidates(&[], &[]);
+    }
+
+    #[test]
+    fn equal_key_runs_longer_than_window_still_pair_duplicates() {
+        // window + 1 = 5 bit-identical records on each side. Pre-fix the
+        // sorted run was L0..L4 R0..R4, so L0's window held only other
+        // lefts and the exact duplicate (0,0) — the surest match in the
+        // data — was never produced. Interleaved, Li and Ri are adjacent.
+        let n = 5;
+        let left: Vec<Record> = (0..n).map(|i| rec(i as u64, "acme widget 3000")).collect();
+        let right: Vec<Record> = (0..n)
+            .map(|i| rec(100 + i as u64, "acme widget 3000"))
+            .collect();
+        let c = SortedNeighbourhood { window: 4 }.candidates(&left, &right);
+        for i in 0..n {
+            assert!(
+                c.contains(&(i, i)),
+                "exact duplicate ({i},{i}) missing from {c:?}"
+            );
+        }
     }
 }

@@ -26,6 +26,17 @@ impl Default for TokenBlocker {
 
 impl Blocker for TokenBlocker {
     fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        // Tokenize every left record once; the token lists feed both the
+        // document-frequency census and the probe loop below.
+        let left_tokens: Vec<Vec<String>> = left
+            .iter()
+            .map(|r| {
+                let mut toks = em_text::words(&record_text(r));
+                toks.sort_unstable();
+                toks.dedup();
+                toks
+            })
+            .collect();
         // Inverted index over right-relation tokens.
         let mut index: HashMap<String, Vec<usize>> = HashMap::new();
         for (j, r) in right.iter().enumerate() {
@@ -36,18 +47,30 @@ impl Blocker for TokenBlocker {
                 index.entry(t).or_default().push(j);
             }
         }
+        // Document frequency over *both* relations, matching the documented
+        // stop-word semantics ("fraction of records"). The seed compared
+        // the right-only posting length against a threshold derived from
+        // left+right, so a token present in every right record slipped
+        // under the cut whenever the left relation was large — quadratic
+        // candidate blowup on skewed relation sizes.
+        let mut df: HashMap<&str, usize> = index
+            .iter()
+            .map(|(t, postings)| (t.as_str(), postings.len()))
+            .collect();
+        for toks in &left_tokens {
+            for t in toks {
+                *df.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
         let max_df =
             ((left.len() + right.len()) as f64 * self.max_token_frequency).max(2.0) as usize;
         let mut shared_counts: HashMap<CandidatePair, usize> = HashMap::new();
-        for (i, l) in left.iter().enumerate() {
-            let mut toks = em_text::words(&record_text(l));
-            toks.sort_unstable();
-            toks.dedup();
+        for (i, toks) in left_tokens.iter().enumerate() {
             for t in toks {
-                if let Some(matches) = index.get(&t) {
-                    if matches.len() > max_df {
-                        continue; // stop word
-                    }
+                if df.get(t.as_str()).copied().unwrap_or(0) > max_df {
+                    continue; // stop word
+                }
+                if let Some(matches) = index.get(t.as_str()) {
                     for &j in matches {
                         *shared_counts.entry((i, j)).or_insert(0) += 1;
                     }
@@ -86,10 +109,31 @@ mod tests {
         let right = vec![rec(10, "sony camera bag"), rec(11, "sony tv")];
         let blocker = TokenBlocker {
             min_shared: 2,
-            ..Default::default()
+            // Three records total, so at the default 0.2 every token hits
+            // the stop cut; disable it — this test is about min_shared.
+            max_token_frequency: 1.0,
         };
         let c = blocker.candidates(&left, &right);
         assert_eq!(c, vec![(0, 0)]); // shares "sony" + "camera"
+    }
+
+    #[test]
+    fn stop_cut_uses_both_relations_document_frequency() {
+        // Skewed sizes: 20 left records all containing "brand", 4 right
+        // records all containing "brand". Combined df = 24 out of 24
+        // records, way past max_df = max(24 * 0.2, 2) = 4 — but the
+        // right-only posting list is exactly 4, which slipped under the
+        // pre-fix cut (`4 > 4` is false) and produced all 80 pairs.
+        let left: Vec<Record> = (0..20).map(|i| rec(i, &format!("brand u{i}"))).collect();
+        let right: Vec<Record> = (0..4)
+            .map(|j| rec(j + 100, &format!("brand v{j}")))
+            .collect();
+        let c = TokenBlocker::default().candidates(&left, &right);
+        assert!(
+            c.is_empty(),
+            "token present in every record must be stopped, got {} candidates",
+            c.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property suite for the three blockers: every output is sorted,
+//! deduplicated, and a subset of the cross product; the serving-relevant
+//! configurations keep pair completeness high on generated relations
+//! (where `full_cross_product` is by construction complete).
+
+use em_blocking::metrics::pair_completeness;
+use em_blocking::{
+    full_cross_product, pair_set, Blocker, QGramBlocker, SortedNeighbourhood, TokenBlocker,
+};
+use em_core::Record;
+use proptest::prelude::*;
+
+/// All three blocker families under a spread of configurations.
+fn zoo() -> Vec<(&'static str, Box<dyn Blocker>)> {
+    vec![
+        ("token-default", Box::new(TokenBlocker::default())),
+        (
+            "token-strict",
+            Box::new(TokenBlocker {
+                min_shared: 2,
+                max_token_frequency: 0.05,
+            }),
+        ),
+        (
+            "token-uncut",
+            Box::new(TokenBlocker {
+                min_shared: 1,
+                max_token_frequency: 1.0,
+            }),
+        ),
+        ("qgram-default", Box::new(QGramBlocker::default())),
+        (
+            "qgram-loose",
+            Box::new(QGramBlocker {
+                q: 2,
+                min_shared: 1,
+                max_gram_frequency: 1.0,
+            }),
+        ),
+        ("sorted-w2", Box::new(SortedNeighbourhood { window: 2 })),
+        ("sorted-w10", Box::new(SortedNeighbourhood { window: 10 })),
+    ]
+}
+
+fn is_sorted_dedup(pairs: &[(usize, usize)]) -> bool {
+    pairs.windows(2).all(|w| w[0] < w[1])
+}
+
+proptest! {
+    /// Structural contract of `Blocker::candidates` for every family, on
+    /// relations of varying shape (including empty and heavily skewed).
+    #[test]
+    fn outputs_are_sorted_deduped_subsets(
+        seed in 0u64..12,
+        n_left in 0usize..45,
+        n_right in 0usize..45,
+        tenths in 0usize..=10,
+    ) {
+        let rels = em_datagen::serve_relations(n_left, n_right, tenths as f64 / 10.0, seed);
+        for (name, blocker) in zoo() {
+            let c = blocker.candidates(&rels.left, &rels.right);
+            prop_assert!(is_sorted_dedup(&c), "{name}: unsorted/duplicated output");
+            prop_assert!(
+                c.iter().all(|&(i, j)| i < rels.left.len() && j < rels.right.len()),
+                "{name}: candidate outside the cross product"
+            );
+        }
+    }
+
+    /// The structural contract also holds on adversarial single-token
+    /// records (empty strings, shared tokens everywhere).
+    #[test]
+    fn degenerate_records_do_not_break_the_contract(
+        texts in proptest::collection::vec("[ab ]{0,6}", 10),
+    ) {
+        let make = |offset: u64, texts: &[String]| -> Vec<Record> {
+            texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Record::new(offset + i as u64, vec![em_core::AttrValue::from(t.as_str())]))
+                .collect()
+        };
+        let left = make(0, &texts);
+        let right = make(1000, &texts);
+        for (name, blocker) in zoo() {
+            let c = blocker.candidates(&left, &right);
+            prop_assert!(is_sorted_dedup(&c), "{name}");
+            prop_assert!(c.iter().all(|&(i, j)| i < left.len() && j < right.len()), "{name}");
+        }
+    }
+
+    /// Pair completeness on the serving workload: the cross product is
+    /// complete by definition, and the serving blocker configurations
+    /// must stay close while pruning hard.
+    #[test]
+    fn serving_configs_keep_pair_completeness(seed in 0u64..6) {
+        let rels = em_datagen::serve_relations(150, 150, 0.3, seed);
+        let truth = &rels.matches;
+
+        let full = pair_set(&full_cross_product(&rels.left, &rels.right));
+        prop_assert_eq!(pair_completeness(&full, truth), 1.0);
+
+        let token = TokenBlocker { min_shared: 2, max_token_frequency: 0.05 };
+        let c = token.candidates(&rels.left, &rels.right);
+        let pc = pair_completeness(&pair_set(&c), truth);
+        prop_assert!(pc > 0.85, "token completeness {pc} at seed {seed}");
+        prop_assert!(
+            (c.len() as f64) < 0.2 * (rels.left.len() * rels.right.len()) as f64,
+            "token blocker stopped pruning: {} candidates",
+            c.len()
+        );
+
+        // Sorted neighbourhood with a generous window: sanity floor only —
+        // single-key sorting is the weakest family on noisy titles.
+        let sn = SortedNeighbourhood { window: 12 };
+        let pc_sn = pair_completeness(&pair_set(&sn.candidates(&rels.left, &rels.right)), truth);
+        prop_assert!(pc_sn > 0.2, "sorted-neighbourhood completeness {pc_sn}");
+    }
+}
+
+/// Exact-duplicate relations: every blocker must retain the identity
+/// pairing regardless of configuration quirks (the SortedNeighbourhood
+/// regression generalized).
+#[test]
+fn exact_duplicates_always_survive() {
+    let rels = em_datagen::serve_relations(40, 0, 0.0, 3);
+    let left = rels.left;
+    let mut right = left.clone();
+    for (j, r) in right.iter_mut().enumerate() {
+        r.id = 500_000 + j as u64;
+    }
+    let truth: Vec<(usize, usize)> = (0..left.len()).map(|i| (i, i)).collect();
+    for (name, blocker) in [
+        (
+            "token",
+            Box::new(TokenBlocker {
+                min_shared: 2,
+                max_token_frequency: 0.1,
+            }) as Box<dyn Blocker>,
+        ),
+        ("sorted", Box::new(SortedNeighbourhood { window: 4 })),
+    ] {
+        let c = pair_set(&blocker.candidates(&left, &right));
+        let pc = pair_completeness(&c, &truth);
+        assert_eq!(pc, 1.0, "{name} dropped exact duplicates: {pc}");
+    }
+}

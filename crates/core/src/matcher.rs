@@ -62,6 +62,22 @@ pub trait Matcher: Send {
     /// Predicts match / non-match for every pair in the batch.
     fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>>;
 
+    /// Predicts a match score in `[0, 1]` for every pair, where `>= 0.5`
+    /// means match. The score's distance from the decision boundary is a
+    /// confidence signal — `|2s − 1|` — which the serving cascade uses to
+    /// decide whether a pair escalates to a more expensive matcher.
+    ///
+    /// The default degrades to hard labels (0.0 / 1.0, i.e. maximum
+    /// confidence, never escalated); matchers with a real score surface
+    /// should override.
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        Ok(self
+            .predict(batch)?
+            .into_iter()
+            .map(|m| if m { 1.0 } else { 0.0 })
+            .collect())
+    }
+
     /// `true` if the matcher's underlying model saw this dataset during its
     /// own (pre-)training, violating the cross-dataset setup. Such scores
     /// are put in brackets in Table 3 (the Jellyfish caveat).
@@ -118,6 +134,28 @@ mod tests {
         let m = AlwaysNo;
         assert_eq!(m.params_millions(), None);
         assert!(!m.saw_during_training(DatasetId::Abt));
+    }
+
+    #[test]
+    fn default_scores_are_hard_labels() {
+        let mut m = AlwaysNo;
+        let batch = EvalBatch {
+            serialized: vec![
+                SerializedPair {
+                    left: "a".into(),
+                    right: "a".into(),
+                },
+                SerializedPair {
+                    left: "a".into(),
+                    right: "b".into(),
+                },
+            ],
+            raw: vec![],
+            attr_types: vec![],
+        };
+        // AlwaysNo has no score surface: the default maps its hard labels
+        // to maximally-confident 0.0 / 1.0 scores consistent with predict.
+        assert_eq!(m.predict_scores(&batch).unwrap(), vec![0.0, 0.0]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod domains;
 pub mod export;
 pub mod leakage;
 pub mod lexicon;
+pub mod relations;
 
 pub use benchmark::{domain_for, generate, generate_suite};
 pub use corpus::pretrain_corpus;
@@ -32,3 +33,4 @@ pub use domains::{Domain, Side};
 pub use export::{to_csv, write_csv};
 pub use leakage::{audit, natural_join_size, LeakageReport};
 pub use lexicon::Lexicon;
+pub use relations::{labeled_pairs, serve_relations, ServeRelations};

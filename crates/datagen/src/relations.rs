@@ -1,0 +1,315 @@
+//! Free-standing relation pairs for the serving pipeline.
+//!
+//! The Table 1 benchmarks ship as pre-paired labeled data — the right shape
+//! for LODO evaluation, the wrong one for a serving system that starts from
+//! two raw catalogs. This module generates the serving workload: two
+//! relations of arbitrary size with a known match mapping, realistic
+//! dirtiness on the matched presentations, and near-universal filler tokens
+//! that exercise the blockers' stop-word cuts.
+
+use crate::corrupt;
+use crate::lexicon::Lexicon;
+use em_core::{AttrValue, Record, Serializer, SerializedPair};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Filler tokens present in most titles — the "deluxe"/"series" glue that
+/// carries no identity signal and must be stopped by frequency cuts.
+const FILLERS: [&str; 6] = ["pro", "series", "edition", "premium", "model", "new"];
+
+/// Offset added to right-relation record ids so they never collide with
+/// left ids (useful when both relations flow into one cache or trace).
+pub const RIGHT_ID_OFFSET: u64 = 1_000_000_000;
+
+/// Two relations plus the ground-truth match mapping between them.
+#[derive(Debug, Clone)]
+pub struct ServeRelations {
+    /// Left catalog.
+    pub left: Vec<Record>,
+    /// Right catalog.
+    pub right: Vec<Record>,
+    /// Ground truth: `(left_idx, right_idx)` matching positions, sorted.
+    pub matches: Vec<(usize, usize)>,
+}
+
+impl ServeRelations {
+    /// Attribute count of the generated records (title, category, price).
+    pub fn arity(&self) -> usize {
+        3
+    }
+}
+
+/// One clean entity: distinct identity words, a model code, a category and
+/// a price. The identity words come from a pool sized relative to the
+/// relation sizes so per-token posting lists stay short at serve scale.
+struct Entity {
+    words: [String; 3],
+    code: String,
+    category: String,
+    price: f64,
+}
+
+fn make_entity(pool: &[String], lex: &mut Lexicon) -> Entity {
+    let rng = lex.rng();
+    let mut idx = [0usize; 3];
+    idx[0] = rng.gen_range(0..pool.len());
+    loop {
+        idx[1] = rng.gen_range(0..pool.len());
+        if idx[1] != idx[0] {
+            break;
+        }
+    }
+    loop {
+        idx[2] = rng.gen_range(0..pool.len());
+        if idx[2] != idx[0] && idx[2] != idx[1] {
+            break;
+        }
+    }
+    let category = crate::lexicon::pools::CATEGORIES[rng.gen_range(0..12usize)].to_owned();
+    let price = rng.gen_range(5.0..2000.0_f64).round();
+    Entity {
+        words: [
+            pool[idx[0]].clone(),
+            pool[idx[1]].clone(),
+            pool[idx[2]].clone(),
+        ],
+        code: lex.model_code(),
+        category,
+        price,
+    }
+}
+
+impl Entity {
+    /// The clean (left-catalog) presentation.
+    fn clean_record(&self, id: u64, rng: &mut StdRng) -> Record {
+        let filler = FILLERS[rng.gen_range(0..FILLERS.len())];
+        let title = format!(
+            "{} {} {} {} {}",
+            self.words[0], self.words[1], self.words[2], filler, self.code
+        );
+        Record::new(
+            id,
+            vec![
+                AttrValue::from(title),
+                AttrValue::from(self.category.as_str()),
+                AttrValue::from(self.price),
+            ],
+        )
+    }
+
+    /// A noisy (right-catalog) presentation of the same entity: a typo in
+    /// one identity word, possibly a different filler, recased title, and
+    /// jittered price. Token overlap with the clean presentation stays
+    /// high (≥ 2 identity words + code survive), so blocking recall is
+    /// governed by the blocker, not by generator noise.
+    fn noisy_record(&self, id: u64, rng: &mut StdRng) -> Record {
+        let mut words = self.words.clone();
+        if rng.gen_bool(0.5) {
+            let i = rng.gen_range(0..3usize);
+            words[i] = corrupt::typo(&words[i], rng);
+        }
+        let filler = FILLERS[rng.gen_range(0..FILLERS.len())];
+        let mut title = format!(
+            "{} {} {} {} {}",
+            words[0], words[1], words[2], filler, self.code
+        );
+        if rng.gen_bool(0.3) {
+            title = corrupt::recase(&title, rng);
+        }
+        if rng.gen_bool(0.2) {
+            title = corrupt::reorder_tokens(&title, rng);
+        }
+        let price = corrupt::jitter(self.price, 4.0, rng);
+        Record::new(
+            id,
+            vec![
+                AttrValue::from(title),
+                AttrValue::from(self.category.as_str()),
+                AttrValue::from(price),
+            ],
+        )
+    }
+}
+
+/// Generates two relations of `n_left` × `n_right` records where
+/// `match_fraction` of the right records are noisy presentations of some
+/// left record (capped by `n_left`); the rest are unrelated entities.
+/// Fully deterministic per `(n_left, n_right, match_fraction, seed)`.
+pub fn serve_relations(
+    n_left: usize,
+    n_right: usize,
+    match_fraction: f64,
+    seed: u64,
+) -> ServeRelations {
+    assert!(
+        (0.0..=1.0).contains(&match_fraction),
+        "match_fraction {match_fraction} outside [0,1]"
+    );
+    let mut lex = Lexicon::new(StdRng::seed_from_u64(seed ^ 0x7365_7276_6531));
+    // Pool scaled to the workload: ~6 records share an identity word on
+    // average, so posting lists stay short at 100k×100k while random
+    // cross pairs rarely share two identity words.
+    let pool_size = ((n_left + n_right) / 6).clamp(64, 40_000);
+    let pool = lex.name_pool(pool_size);
+
+    let entities: Vec<Entity> = (0..n_left).map(|_| make_entity(&pool, &mut lex)).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7365_7276_6532);
+    let left: Vec<Record> = entities
+        .iter()
+        .enumerate()
+        .map(|(i, e)| e.clean_record(i as u64, &mut rng))
+        .collect();
+
+    let n_matches = ((n_right as f64 * match_fraction).round() as usize).min(n_left);
+    // Which left entities get a right-side presentation.
+    let mut left_choice: Vec<usize> = (0..n_left).collect();
+    left_choice.shuffle(&mut rng);
+    left_choice.truncate(n_matches);
+
+    // Build the right relation in a shuffled position order so matched and
+    // unmatched records interleave.
+    let mut positions: Vec<usize> = (0..n_right).collect();
+    positions.shuffle(&mut rng);
+    let mut right: Vec<Option<Record>> = (0..n_right).map(|_| None).collect();
+    let mut matches = Vec::with_capacity(n_matches);
+    for (k, &pos) in positions.iter().enumerate() {
+        let id = RIGHT_ID_OFFSET + pos as u64;
+        if k < n_matches {
+            let li = left_choice[k];
+            right[pos] = Some(entities[li].noisy_record(id, &mut rng));
+            matches.push((li, pos));
+        } else {
+            right[pos] = Some(make_entity(&pool, &mut lex).clean_record(id, &mut rng));
+        }
+    }
+    matches.sort_unstable();
+    ServeRelations {
+        left,
+        right: right.into_iter().map(|r| r.expect("filled")).collect(),
+        matches,
+    }
+}
+
+/// Labeled serialized pairs drawn from a relations instance: all (or up to
+/// `n_pos`) true matches plus `n_neg` random non-matching pairs. Used to
+/// train cascade stages on a *separately seeded* instance of the same
+/// distribution, keeping the serving relations unseen.
+pub fn labeled_pairs(
+    rels: &ServeRelations,
+    n_pos: usize,
+    n_neg: usize,
+    seed: u64,
+) -> Vec<(SerializedPair, bool)> {
+    let ser = Serializer::identity(rels.arity());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6C61_6265_6C73);
+    let mut out = Vec::with_capacity(n_pos.min(rels.matches.len()) + n_neg);
+    let mut pos: Vec<&(usize, usize)> = rels.matches.iter().collect();
+    pos.shuffle(&mut rng);
+    for &&(i, j) in pos.iter().take(n_pos) {
+        out.push((
+            SerializedPair {
+                left: ser.record(&rels.left[i]),
+                right: ser.record(&rels.right[j]),
+            },
+            true,
+        ));
+    }
+    let truth: std::collections::HashSet<(usize, usize)> =
+        rels.matches.iter().copied().collect();
+    let mut made = 0;
+    while made < n_neg && !rels.left.is_empty() && !rels.right.is_empty() {
+        let i = rng.gen_range(0..rels.left.len());
+        let j = rng.gen_range(0..rels.right.len());
+        if truth.contains(&(i, j)) {
+            continue;
+        }
+        out.push((
+            SerializedPair {
+                left: ser.record(&rels.left[i]),
+                right: ser.record(&rels.right[j]),
+            },
+            false,
+        ));
+        made += 1;
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = serve_relations(50, 60, 0.3, 7);
+        let b = serve_relations(50, 60, 0.3, 7);
+        assert_eq!(a.matches, b.matches);
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+        let c = serve_relations(50, 60, 0.3, 8);
+        assert_ne!(a.left, c.left);
+    }
+
+    #[test]
+    fn match_count_follows_fraction() {
+        let rels = serve_relations(200, 100, 0.3, 1);
+        assert_eq!(rels.matches.len(), 30);
+        // Capped by the left relation when it is smaller.
+        let capped = serve_relations(10, 100, 0.9, 1);
+        assert_eq!(capped.matches.len(), 10);
+    }
+
+    #[test]
+    fn matches_reference_valid_distinct_positions() {
+        let rels = serve_relations(80, 120, 0.5, 3);
+        let mut lefts = std::collections::HashSet::new();
+        let mut rights = std::collections::HashSet::new();
+        for &(i, j) in &rels.matches {
+            assert!(i < rels.left.len() && j < rels.right.len());
+            assert!(lefts.insert(i), "left {i} matched twice");
+            assert!(rights.insert(j), "right {j} matched twice");
+        }
+    }
+
+    #[test]
+    fn matched_pairs_share_identity_tokens() {
+        let rels = serve_relations(100, 100, 0.4, 5);
+        let text = |r: &Record| r.values[0].render().to_lowercase();
+        for &(i, j) in &rels.matches {
+            let lt = em_text::words(&text(&rels.left[i]));
+            let rt: std::collections::HashSet<String> =
+                em_text::words(&text(&rels.right[j])).into_iter().collect();
+            let shared = lt.iter().filter(|t| rt.contains(*t)).count();
+            assert!(
+                shared >= 2,
+                "match ({i},{j}) shares only {shared} tokens: {:?} vs {:?}",
+                rels.left[i].values[0],
+                rels.right[j].values[0]
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_disjoint_across_relations() {
+        let rels = serve_relations(30, 30, 0.2, 2);
+        for l in &rels.left {
+            for r in &rels.right {
+                assert_ne!(l.id, r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_pairs_are_balanced_and_consistent() {
+        let rels = serve_relations(100, 100, 0.4, 11);
+        let data = labeled_pairs(&rels, 20, 30, 0);
+        assert_eq!(data.iter().filter(|(_, y)| *y).count(), 20);
+        assert_eq!(data.iter().filter(|(_, y)| !*y).count(), 30);
+        for (p, _) in &data {
+            assert!(!p.left.is_empty() && !p.right.is_empty());
+        }
+    }
+}

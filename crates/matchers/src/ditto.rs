@@ -232,6 +232,14 @@ impl Matcher for Ditto {
     }
 
     fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_scores(batch)?
+            .into_iter()
+            .map(|p| p >= 0.5)
+            .collect())
+    }
+
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
         let model = self.model.as_ref().ok_or_else(|| EmError::NotFitted {
             matcher: self.name(),
         })?;
@@ -258,10 +266,7 @@ impl Matcher for Ditto {
                 encode_pair(&self.tokenizer, &q, model.config.max_seq)
             })
             .collect();
-        Ok(predict_proba(model, &encoded, 64)
-            .into_iter()
-            .map(|p| p >= 0.5)
-            .collect())
+        Ok(predict_proba(model, &encoded, 64))
     }
 }
 

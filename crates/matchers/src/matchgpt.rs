@@ -218,6 +218,41 @@ impl Matcher for MatchGpt {
         Ok(scores.into_iter().map(|s| s >= 0.5).collect())
     }
 
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scores = match &self.resilient {
+            Some(client) => match client.score_batch(&batch.serialized, &self.demos) {
+                Ok(scores) => scores,
+                Err(e) => {
+                    // Same degradation contract as `predict`: the fallback
+                    // matcher answers (with its own score surface) and the
+                    // round is flagged degraded.
+                    let fallback = self
+                        .fallback
+                        .as_mut()
+                        .expect("with_resilience always registers a fallback");
+                    em_obs::metrics::counter("faults.degraded").add(1);
+                    em_obs::event!(
+                        warn,
+                        "hosted.degraded",
+                        backend = client.backend().as_str(),
+                        fallback = fallback.name().as_str(),
+                        cause = e.kind_label()
+                    );
+                    self.degraded = true;
+                    return fallback.predict_scores(batch);
+                }
+            },
+            None => self.llm.try_score_batch(&batch.serialized, &self.demos)?,
+        };
+        if scores.len() != batch.len() {
+            return Err(EmError::Numeric("score batch size mismatch".into()));
+        }
+        Ok(scores)
+    }
+
     fn was_degraded(&self) -> bool {
         self.degraded
     }
@@ -426,6 +461,41 @@ mod tests {
         assert!(m.was_degraded());
         m.fit(&split, 0).unwrap();
         assert!(!m.was_degraded(), "fit must clear the sticky degraded flag");
+    }
+
+    #[test]
+    fn raw_scores_are_consistent_with_predictions() {
+        let llm = tiny_llm();
+        let mut m = MatchGpt::with_llm(llm, DemoStrategy::None);
+        let batch = small_batch();
+        let preds = m.predict(&batch).unwrap();
+        let scores = m.predict_scores(&batch).unwrap();
+        assert_eq!(preds.len(), scores.len());
+        for (p, s) in preds.iter().zip(&scores) {
+            assert_eq!(*p, *s >= 0.5, "pred {p} vs raw score {s}");
+        }
+    }
+
+    #[test]
+    fn degraded_scores_come_from_the_fallback_surface() {
+        let llm = tiny_llm();
+        let mut m = MatchGpt::with_resilience(
+            llm,
+            DemoStrategy::None,
+            None,
+            Box::new(crate::string_sim::StringSim::new()),
+        );
+        let client = m.resilient().unwrap();
+        client.breaker().force_open(client.clock().now_ns());
+        let batch = small_batch();
+        let scores = m.predict_scores(&batch).unwrap();
+        assert!(m.was_degraded());
+        let mut fallback = crate::string_sim::StringSim::new();
+        assert_eq!(
+            scores,
+            fallback.predict_scores(&batch).unwrap(),
+            "degraded scores must be the fallback's scores, bitwise"
+        );
     }
 
     #[test]

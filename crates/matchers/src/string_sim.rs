@@ -54,6 +54,38 @@ impl Matcher for StringSim {
             })
             .collect())
     }
+
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        // Piecewise-linear calibration that pins the decision boundary to
+        // 0.5: similarities at or below the threshold spread over
+        // [0, 0.5), above it over (0.5, 1]. `predict` is strict-greater,
+        // so the boundary sim == t belongs to the non-match side — it
+        // lands one ulp below 0.5, keeping `score >= 0.5 ⇔ sim > t`
+        // exact for every threshold while |2s − 1| grows with the margin.
+        let below_half = f32::from_bits(0.5f32.to_bits() - 1);
+        let t = self.threshold;
+        Ok(batch
+            .serialized
+            .iter()
+            .map(|p| {
+                let sim = ratcliff_obershelp(&p.left.to_lowercase(), &p.right.to_lowercase());
+                if sim <= t {
+                    if t <= 0.0 {
+                        // threshold 0: only sim == 0 lands here, and
+                        // predict says non-match (strict greater).
+                        0.0
+                    } else {
+                        ((0.5 * sim / t) as f32).min(below_half)
+                    }
+                } else if t >= 1.0 {
+                    // unreachable (sim ≤ 1 ≤ t), kept for totality
+                    1.0
+                } else {
+                    ((0.5 + 0.5 * (sim - t) / (1.0 - t)) as f32).max(0.5)
+                }
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +152,42 @@ mod tests {
     fn is_parameter_free() {
         let m = StringSim::new();
         assert_eq!(m.params_millions(), None);
+    }
+
+    #[test]
+    fn scores_agree_with_predict_everywhere_including_the_boundary() {
+        // "ab" vs "bc" has similarity exactly 0.5 = the threshold;
+        // predict is strict-greater so the score must fall below 0.5.
+        for threshold in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let mut m = StringSim::with_threshold(threshold).unwrap();
+            let b = batch(vec![
+                ("ab", "bc"),
+                ("sony tv x100", "sony tv x100"),
+                ("aaaa", "zzzz"),
+                ("sony tv", "sony tv bravia"),
+            ]);
+            let preds = m.predict(&b).unwrap();
+            let scores = m.predict_scores(&b).unwrap();
+            for (p, s) in preds.iter().zip(&scores) {
+                assert!((0.0..=1.0).contains(s));
+                assert_eq!(*p, *s >= 0.5, "t={threshold}: pred {p} vs score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_margin_grows_with_similarity() {
+        let mut m = StringSim::new();
+        let b = batch(vec![
+            ("sony tv x100", "sony tv x100"), // identical
+            ("sony tv x100", "sony tv x200"), // near
+            ("sony tv x100", "zzzz qqqq"),    // far
+        ]);
+        let s = m.predict_scores(&b).unwrap();
+        assert_eq!(s[0], 1.0);
+        assert!(s[1] > 0.5 && s[1] < 1.0);
+        assert!(s[2] < 0.5);
+        // confidence |2s-1| orders identical > near
+        assert!((2.0 * s[0] - 1.0).abs() > (2.0 * s[1] - 1.0).abs());
     }
 }

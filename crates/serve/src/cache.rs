@@ -1,0 +1,80 @@
+//! Pair-keyed score cache.
+//!
+//! Serving workloads revisit pairs: re-ingested catalogs, overlapping
+//! blocker outputs, repeated queries. The cache stores the raw `f32`
+//! score per `(stage, left_id, right_id)` so a revisit returns the
+//! bitwise-identical score without touching the matcher — per stage,
+//! because each cascade stage has its own score surface and a cheap
+//! stage's cached score must never masquerade as an expensive one's.
+
+use std::collections::HashMap;
+
+/// Pair-keyed, stage-scoped score cache. Keys are record *ids* (not
+/// positions), so a cache outlives reorderings of the stores.
+#[derive(Debug, Default)]
+pub struct ScoreCache {
+    map: HashMap<(u32, u64, u64), f32>,
+}
+
+impl ScoreCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached score for a pair at a stage, if present.
+    pub fn get(&self, stage: u32, left_id: u64, right_id: u64) -> Option<f32> {
+        self.map.get(&(stage, left_id, right_id)).copied()
+    }
+
+    /// Stores a score (last write wins).
+    pub fn insert(&mut self, stage: u32, left_id: u64, right_id: u64, score: f32) {
+        self.map.insert((stage, left_id, right_id), score);
+    }
+
+    /// Number of cached entries across all stages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_bitwise() {
+        let mut c = ScoreCache::new();
+        let score = 0.123_456_79_f32;
+        c.insert(1, 10, 20, score);
+        let got = c.get(1, 10, 20).unwrap();
+        assert_eq!(got.to_bits(), score.to_bits());
+    }
+
+    #[test]
+    fn stages_are_isolated() {
+        let mut c = ScoreCache::new();
+        c.insert(0, 1, 2, 0.9);
+        assert_eq!(c.get(1, 1, 2), None);
+        assert_eq!(c.get(0, 2, 1), None);
+        assert_eq!(c.get(0, 1, 2), Some(0.9));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = ScoreCache::new();
+        c.insert(0, 1, 2, 0.5);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

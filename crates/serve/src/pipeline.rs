@@ -1,0 +1,325 @@
+//! The blocking → cascade serving pipeline.
+
+use crate::cache::ScoreCache;
+use crate::stage::{approx_tokens, Stage};
+use crate::store::RecordStore;
+use em_blocking::{metrics::reduction_ratio, Blocker, CandidatePair};
+use em_core::{run_chunks, EmError, EvalBatch, Result, SerializedPair};
+use em_cost::estimate::{api_bill_for, ApiBill};
+
+/// Tuning knobs of the serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Pairs per matcher call. Each call's internal parallelism (chunked
+    /// scoring over the shared threadpool) provides the thread-level
+    /// fan-out; this bounds peak memory per call.
+    pub batch_size: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { batch_size: 512 }
+    }
+}
+
+/// What one cascade stage did during a run.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage name.
+    pub name: String,
+    /// Pairs that reached this stage.
+    pub pairs_in: usize,
+    /// Pairs actually scored by the matcher (cache misses).
+    pub scored: usize,
+    /// Pairs answered from the score cache.
+    pub cache_hits: usize,
+    /// Pairs escalated to the next stage.
+    pub escalated: usize,
+    /// `true` if the stage's matcher returned an error and the cascade
+    /// kept the previous stage's scores for its pairs.
+    pub errored: bool,
+    /// `true` if the matcher reported internal degradation (e.g. a hosted
+    /// client falling back after a tripped breaker).
+    pub degraded: bool,
+    /// Wall-clock seconds spent scoring at this stage.
+    pub seconds: f64,
+    /// Approximate tokens billed for the scored pairs.
+    pub tokens: u64,
+    /// The stage's bill at its configured price.
+    pub bill: ApiBill,
+}
+
+impl StageReport {
+    /// Scored pairs per second (cache hits excluded).
+    pub fn pairs_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.scored as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of incoming pairs served from cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.pairs_in > 0 {
+            self.cache_hits as f64 / self.pairs_in as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of incoming pairs escalated onward.
+    pub fn escalation_fraction(&self) -> f64 {
+        if self.pairs_in > 0 {
+            self.escalated as f64 / self.pairs_in as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The result of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Candidate pairs the blocker produced.
+    pub candidates: usize,
+    /// Blocking reduction ratio vs the full cross product.
+    pub reduction_ratio: f64,
+    /// Seconds spent in blocking.
+    pub blocking_seconds: f64,
+    /// Per-stage accounting, in cascade order.
+    pub stages: Vec<StageReport>,
+    /// The candidate pairs, aligned with `scores`.
+    pub pairs: Vec<CandidatePair>,
+    /// Final score per candidate pair (from the deepest stage that scored
+    /// it).
+    pub scores: Vec<f32>,
+    /// Pairs declared matches (`score >= 0.5`).
+    pub matches: Vec<CandidatePair>,
+}
+
+impl ServeReport {
+    /// Total bill across stages.
+    pub fn total_usd(&self) -> f64 {
+        self.stages.iter().map(|s| s.bill.usd_total()).sum()
+    }
+}
+
+/// A configured serving pipeline: blocker, matcher cascade, score cache.
+///
+/// Stages run cheap-first. Every candidate pair is scored by stage 0;
+/// a pair escalates to stage `k + 1` only while its current confidence
+/// `|2s − 1|` is below stage `k`'s margin. The deepest score wins. All
+/// scoring is cached per `(stage, left_id, right_id)`, so a repeated run
+/// over the same stores returns bitwise-identical scores without
+/// invoking any matcher.
+pub struct ServePipeline {
+    blocker: Box<dyn Blocker>,
+    stages: Vec<Stage>,
+    cache: ScoreCache,
+    config: ServeConfig,
+}
+
+impl ServePipeline {
+    /// Builds a pipeline. `stages` must be non-empty and ordered
+    /// cheap-to-expensive.
+    pub fn new(blocker: Box<dyn Blocker>, stages: Vec<Stage>) -> Result<Self> {
+        if stages.is_empty() {
+            return Err(EmError::Config("cascade needs at least one stage".into()));
+        }
+        Ok(ServePipeline {
+            blocker,
+            stages,
+            cache: ScoreCache::new(),
+            config: ServeConfig::default(),
+        })
+    }
+
+    /// Overrides the default configuration.
+    pub fn with_config(mut self, config: ServeConfig) -> Self {
+        assert!(config.batch_size > 0, "batch_size must be positive");
+        self.config = config;
+        self
+    }
+
+    /// The score cache (for inspection; e.g. persisting between runs).
+    pub fn cache(&self) -> &ScoreCache {
+        &self.cache
+    }
+
+    /// Drops all cached scores.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Runs blocking and the cascade over two stores.
+    ///
+    /// Stage-0 errors are fatal (there is no cheaper tier to answer).
+    /// An error at a deeper stage degrades instead: the affected pairs
+    /// keep the previous stage's scores, the stage is flagged in its
+    /// report, and the run completes.
+    pub fn run(&mut self, left: &RecordStore, right: &RecordStore) -> Result<ServeReport> {
+        let t_block = std::time::Instant::now();
+        let pairs = {
+            let _span = em_obs::span!(
+                "serve.blocking",
+                left = left.len(),
+                right = right.len()
+            );
+            self.blocker.candidates(left.records(), right.records())
+        };
+        let blocking_seconds = t_block.elapsed().as_secs_f64();
+        em_obs::metrics::counter("serve.candidates").add(pairs.len() as u64);
+        let rr = reduction_ratio(pairs.len(), left.len(), right.len());
+
+        // Assemble the serialized view once, in parallel chunks: the store
+        // pre-rendered both sides, so a pair is two string clones.
+        let chunks: Vec<&[CandidatePair]> = pairs.chunks(4096).collect();
+        let serialized: Vec<SerializedPair> = run_chunks(&chunks, |chunk| {
+            chunk
+                .iter()
+                .map(|&(i, j)| SerializedPair {
+                    left: left.text(i).to_owned(),
+                    right: right.text(j).to_owned(),
+                })
+                .collect::<Vec<_>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+
+        let mut scores = vec![0.0f32; pairs.len()];
+        let mut active: Vec<usize> = (0..pairs.len()).collect();
+        let mut reports: Vec<StageReport> = Vec::with_capacity(self.stages.len());
+        let n_stages = self.stages.len();
+
+        for (k, stage) in self.stages.iter_mut().enumerate() {
+            if active.is_empty() {
+                break;
+            }
+            let _span = em_obs::span!(
+                "serve.stage",
+                name = stage.name.as_str(),
+                pairs = active.len()
+            );
+            let t0 = std::time::Instant::now();
+            let pairs_in = active.len();
+
+            // Cache pass: answered pairs skip the matcher entirely.
+            let mut misses: Vec<usize> = Vec::new();
+            let mut hits = 0u64;
+            for &p in &active {
+                let (i, j) = pairs[p];
+                match self.cache.get(k as u32, left.id(i), right.id(j)) {
+                    Some(s) => {
+                        scores[p] = s;
+                        hits += 1;
+                    }
+                    None => misses.push(p),
+                }
+            }
+            em_obs::metrics::counter("serve.cache_hits").add(hits);
+
+            // Batched scoring of the misses. Batches are sequential here
+            // (the matcher needs `&mut`); each call parallelizes
+            // internally over the shared threadpool.
+            let mut errored = false;
+            let mut tokens = 0u64;
+            let mut scored = 0usize;
+            'batches: for batch_idx in misses.chunks(self.config.batch_size) {
+                let batch = EvalBatch {
+                    serialized: batch_idx.iter().map(|&p| serialized[p].clone()).collect(),
+                    raw: Vec::new(),
+                    attr_types: Vec::new(),
+                };
+                match stage.matcher.predict_scores(&batch) {
+                    Ok(batch_scores) => {
+                        if batch_scores.len() != batch_idx.len() {
+                            return Err(EmError::Numeric(format!(
+                                "stage {} returned {} scores for {} pairs",
+                                stage.name,
+                                batch_scores.len(),
+                                batch_idx.len()
+                            )));
+                        }
+                        for (&p, s) in batch_idx.iter().zip(batch_scores) {
+                            scores[p] = s;
+                            let (i, j) = pairs[p];
+                            self.cache.insert(k as u32, left.id(i), right.id(j), s);
+                            tokens += approx_tokens(&serialized[p]);
+                        }
+                        scored += batch_idx.len();
+                    }
+                    Err(e) => {
+                        if k == 0 {
+                            // No cheaper tier exists to answer for these
+                            // pairs: the run cannot produce scores.
+                            return Err(e);
+                        }
+                        em_obs::metrics::counter("serve.stage_errors").inc();
+                        em_obs::event!(
+                            warn,
+                            "serve.stage_error",
+                            stage = stage.name.as_str(),
+                            cause = format!("{e}").as_str()
+                        );
+                        errored = true;
+                        break 'batches;
+                    }
+                }
+            }
+            em_obs::metrics::counter("serve.scored").add(scored as u64);
+
+            // Escalation: pairs still inside the low-confidence band move
+            // on. An errored stage escalates nothing — unscored pairs
+            // keep the previous stage's (final) answer.
+            let escalated: Vec<usize> = if errored || k + 1 >= n_stages {
+                Vec::new()
+            } else {
+                active
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        let confidence = (2.0 * scores[p] as f64 - 1.0).abs();
+                        confidence < stage.margin
+                    })
+                    .collect()
+            };
+            em_obs::metrics::counter("serve.escalated").add(escalated.len() as u64);
+
+            reports.push(StageReport {
+                name: stage.name.clone(),
+                pairs_in,
+                scored,
+                cache_hits: hits as usize,
+                escalated: escalated.len(),
+                errored,
+                degraded: stage.matcher.was_degraded(),
+                seconds: t0.elapsed().as_secs_f64(),
+                tokens,
+                bill: api_bill_for(tokens, 0, stage.usd_per_1k_tokens),
+            });
+            if errored {
+                break;
+            }
+            active = escalated;
+        }
+
+        let matches: Vec<CandidatePair> = pairs
+            .iter()
+            .zip(&scores)
+            .filter_map(|(&p, &s)| (s >= 0.5).then_some(p))
+            .collect();
+        em_obs::metrics::counter("serve.matches").add(matches.len() as u64);
+
+        Ok(ServeReport {
+            candidates: pairs.len(),
+            reduction_ratio: rr,
+            blocking_seconds,
+            stages: reports,
+            pairs,
+            scores,
+            matches,
+        })
+    }
+}

@@ -1,0 +1,152 @@
+//! Cascade stages: a fitted matcher plus its gating margin and price.
+
+use em_core::{EmError, EvalBatch, LodoSplit, Matcher, Result, SerializedPair};
+use em_lm::{encode_pair, predict_proba, EncoderClassifier, HashTokenizer};
+
+/// One stage of the matcher cascade.
+///
+/// The matcher arrives already fitted (or parameter-free); the serving
+/// pipeline never trains. `margin` gates escalation: a pair whose score
+/// confidence `|2s − 1|` falls below it is forwarded to the next stage.
+/// `usd_per_1k_tokens` prices the stage's scoring for the per-stage
+/// `em_cost` bill (0 for free local stages like StringSim).
+pub struct Stage {
+    /// Display name for reports and spans.
+    pub name: String,
+    /// The fitted matcher answering this stage.
+    pub matcher: Box<dyn Matcher>,
+    /// Escalate when `|2s − 1| < margin`. 0 disables escalation from this
+    /// stage; 1 escalates everything but exact 0/1 scores.
+    pub margin: f64,
+    /// Price per 1K (approximate) tokens scored at this stage.
+    pub usd_per_1k_tokens: f64,
+}
+
+impl Stage {
+    /// A free stage with the default 0.3 escalation margin.
+    pub fn new(name: impl Into<String>, matcher: Box<dyn Matcher>) -> Self {
+        Stage {
+            name: name.into(),
+            matcher,
+            margin: 0.3,
+            usd_per_1k_tokens: 0.0,
+        }
+    }
+
+    /// Sets the escalation margin.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!((0.0..=1.0).contains(&margin), "margin {margin} outside [0,1]");
+        self.margin = margin;
+        self
+    }
+
+    /// Sets the per-1K-token price.
+    pub fn priced(mut self, usd_per_1k_tokens: f64) -> Self {
+        self.usd_per_1k_tokens = usd_per_1k_tokens;
+        self
+    }
+}
+
+/// Approximate token count of a serialized pair (the ~4 bytes/token rule
+/// the price book uses), never zero so every scored pair bills something.
+pub fn approx_tokens(pair: &SerializedPair) -> u64 {
+    (pair.len_bytes() as u64 / 4).max(1)
+}
+
+/// A pre-trained encoder classifier served frozen — the cascade's
+/// fine-tuned-SLM tier. Unlike `em_matchers::Ditto`, which trains inside
+/// `fit` for the LODO protocol, this wrapper takes finished weights: the
+/// serving system loads a model, it doesn't grow one.
+pub struct FrozenSlm {
+    name: String,
+    model: EncoderClassifier,
+    tokenizer: HashTokenizer,
+    batch_size: usize,
+}
+
+impl FrozenSlm {
+    /// Wraps trained weights and their tokenizer.
+    pub fn new(name: impl Into<String>, model: EncoderClassifier, tokenizer: HashTokenizer) -> Self {
+        FrozenSlm {
+            name: name.into(),
+            model,
+            tokenizer,
+            batch_size: 64,
+        }
+    }
+}
+
+impl Matcher for FrozenSlm {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn params_millions(&self) -> Option<f64> {
+        Some(self.model.param_count() as f64 / 1e6)
+    }
+
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        // Weights are frozen; serving never trains.
+        Ok(())
+    }
+
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_scores(batch)?
+            .into_iter()
+            .map(|s| s >= 0.5)
+            .collect())
+    }
+
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let encoded: Vec<_> = batch
+            .serialized
+            .iter()
+            .map(|p| encode_pair(&self.tokenizer, p, self.model.config.max_seq))
+            .collect();
+        let scores = predict_proba(&self.model, &encoded, self.batch_size);
+        if scores.len() != batch.len() {
+            return Err(EmError::Numeric("SLM score batch size mismatch".into()));
+        }
+        Ok(scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_matchers::StringSim;
+
+    #[test]
+    fn builder_sets_fields() {
+        let s = Stage::new("strsim", Box::new(StringSim::new()))
+            .with_margin(0.4)
+            .priced(0.015);
+        assert_eq!(s.name, "strsim");
+        assert_eq!(s.margin, 0.4);
+        assert_eq!(s.usd_per_1k_tokens, 0.015);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn margin_is_validated() {
+        let _ = Stage::new("x", Box::new(StringSim::new())).with_margin(1.5);
+    }
+
+    #[test]
+    fn approx_tokens_never_zero() {
+        let tiny = SerializedPair {
+            left: "a".into(),
+            right: "b".into(),
+        };
+        assert_eq!(approx_tokens(&tiny), 1);
+        let bigger = SerializedPair {
+            left: "x".repeat(40),
+            right: "y".repeat(40),
+        };
+        assert_eq!(approx_tokens(&bigger), 20);
+    }
+}

@@ -1,0 +1,79 @@
+//! Record stores: one relation plus its precomputed serialized texts.
+
+use em_core::{Record, Serializer};
+
+/// An in-memory relation prepared for serving: every record's
+/// values-only serialization (the only view matchers receive) is rendered
+/// once at load time, so candidate-pair assembly is two string clones
+/// instead of a per-pair render.
+#[derive(Debug, Clone)]
+pub struct RecordStore {
+    records: Vec<Record>,
+    texts: Vec<String>,
+}
+
+impl RecordStore {
+    /// Builds a store, rendering all serializations in identity column
+    /// order (the serving system has one canonical serialization; the
+    /// per-seed permutations belong to the LODO repetition protocol).
+    pub fn new(records: Vec<Record>) -> Self {
+        let arity = records.first().map(|r| r.values.len()).unwrap_or(0);
+        let ser = Serializer::identity(arity);
+        let texts = records.iter().map(|r| ser.record(r)).collect();
+        RecordStore { records, texts }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The underlying records (what blockers consume).
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The record at `idx`.
+    pub fn record(&self, idx: usize) -> &Record {
+        &self.records[idx]
+    }
+
+    /// The precomputed serialization of the record at `idx`.
+    pub fn text(&self, idx: usize) -> &str {
+        &self.texts[idx]
+    }
+
+    /// The stable id of the record at `idx` (cache key material).
+    pub fn id(&self, idx: usize) -> u64 {
+        self.records[idx].id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    #[test]
+    fn texts_match_identity_serialization() {
+        let store = RecordStore::new(vec![
+            Record::new(7, vec![AttrValue::from("sony tv"), AttrValue::from(99.0)]),
+            Record::new(8, vec![AttrValue::from("lamp"), AttrValue::Missing]),
+        ]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.text(0), "sony tv, 99");
+        assert_eq!(store.text(1), "lamp, ");
+        assert_eq!(store.id(0), 7);
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let store = RecordStore::new(vec![]);
+        assert!(store.is_empty());
+    }
+}

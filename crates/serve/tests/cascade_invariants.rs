@@ -1,0 +1,307 @@
+//! Cascade invariants: escalation is gated exactly by the stage margin,
+//! cache hits are bitwise-stable, deep-stage failures degrade instead of
+//! aborting, and the assembled pipeline works end to end on generated
+//! relations.
+
+use em_blocking::{full_cross_product, pair_set, Blocker, CandidatePair, TokenBlocker};
+use em_core::{AttrValue, EmError, EvalBatch, LodoSplit, Matcher, Record, Result};
+use em_matchers::StringSim;
+use em_serve::{RecordStore, ScoreCache, ServePipeline, Stage};
+use std::sync::{Arc, Mutex};
+
+/// Pairs everything with everything (tiny-test blocker).
+struct All;
+
+impl Blocker for All {
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        full_cross_product(left, right)
+    }
+}
+
+/// Scores a pair by parsing field `column` of the *left* record's
+/// serialization — the test scripts exact scores into the data.
+struct Scripted {
+    column: usize,
+    /// Serialized left sides of every pair this matcher scored.
+    seen: Arc<Mutex<Vec<String>>>,
+}
+
+impl Scripted {
+    fn new(column: usize) -> (Self, Arc<Mutex<Vec<String>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        (
+            Scripted {
+                column,
+                seen: seen.clone(),
+            },
+            seen,
+        )
+    }
+}
+
+impl Matcher for Scripted {
+    fn name(&self) -> String {
+        format!("Scripted[{}]", self.column)
+    }
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_scores(batch)?
+            .into_iter()
+            .map(|s| s >= 0.5)
+            .collect())
+    }
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        let mut seen = self.seen.lock().unwrap();
+        batch
+            .serialized
+            .iter()
+            .map(|p| {
+                seen.push(p.left.clone());
+                p.left
+                    .split(", ")
+                    .nth(self.column)
+                    .and_then(|f| f.parse::<f32>().ok())
+                    .ok_or_else(|| EmError::Numeric(format!("unparseable script: {}", p.left)))
+            })
+            .collect()
+    }
+}
+
+/// Always errors (a dead backend with no internal fallback).
+struct Dead;
+
+impl Matcher for Dead {
+    fn name(&self) -> String {
+        "Dead".into()
+    }
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+    fn predict(&mut self, _batch: &EvalBatch) -> Result<Vec<bool>> {
+        Err(EmError::Numeric("backend unreachable".into()))
+    }
+    fn predict_scores(&mut self, _batch: &EvalBatch) -> Result<Vec<f32>> {
+        Err(EmError::Numeric("backend unreachable".into()))
+    }
+}
+
+/// Left records scripting (stage0, stage1) scores into two columns.
+fn scripted_store(scores: &[(f32, f32)]) -> RecordStore {
+    RecordStore::new(
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &(s0, s1))| {
+                Record::new(
+                    i as u64,
+                    vec![
+                        AttrValue::from(format!("{s0}")),
+                        AttrValue::from(format!("{s1}")),
+                    ],
+                )
+            })
+            .collect(),
+    )
+}
+
+fn probe_store() -> RecordStore {
+    RecordStore::new(vec![Record::new(
+        999,
+        vec![AttrValue::from("0"), AttrValue::from("0")],
+    )])
+}
+
+#[test]
+fn escalation_happens_exactly_below_the_margin() {
+    // stage0 scores with confidences 0.8, 0.2, 0.04, 0.8, 0.1: at margin
+    // 0.3 exactly the three low-confidence pairs must escalate.
+    let scripted = [
+        (0.9f32, 0.95f32), // confident match — stays
+        (0.6, 0.9),        // low margin — escalates, flips harder
+        (0.52, 0.1),       // low margin — escalates, flips to non-match
+        (0.1, 0.5),        // confident non-match — stays
+        (0.45, 0.8),       // low margin — escalates
+    ];
+    let left = scripted_store(&scripted);
+    let right = probe_store();
+    let (s0, seen0) = Scripted::new(0);
+    let (s1, seen1) = Scripted::new(1);
+    let mut pipe = ServePipeline::new(
+        Box::new(All),
+        vec![
+            Stage::new("s0", Box::new(s0)).with_margin(0.3),
+            Stage::new("s1", Box::new(s1)).with_margin(0.0),
+        ],
+    )
+    .unwrap();
+    let report = pipe.run(&left, &right).unwrap();
+
+    assert_eq!(report.candidates, 5);
+    assert_eq!(seen0.lock().unwrap().len(), 5, "stage0 scores everything");
+    let escalated: Vec<String> = seen1.lock().unwrap().clone();
+    assert_eq!(
+        escalated.len(),
+        3,
+        "exactly the |2s-1| < 0.3 pairs escalate: {escalated:?}"
+    );
+    for left_text in &escalated {
+        let s0: f32 = left_text.split(", ").next().unwrap().parse().unwrap();
+        assert!(
+            (2.0 * s0 - 1.0).abs() < 0.3,
+            "escalated pair had confidence >= margin: {left_text}"
+        );
+    }
+    assert_eq!(report.stages[0].escalated, 3);
+    assert_eq!(report.stages[1].pairs_in, 3);
+
+    // Final scores: stayers keep stage0, escalated pairs take stage1.
+    for (p, &(s0, s1)) in report.pairs.iter().zip(&scripted) {
+        let expect = if (2.0 * s0 - 1.0).abs() < 0.3 { s1 } else { s0 };
+        assert_eq!(report.scores[p.0].to_bits(), expect.to_bits());
+    }
+    // Matches follow the deepest score.
+    assert_eq!(
+        pair_set(&report.matches),
+        pair_set(&[(0, 0), (1, 0), (4, 0)])
+    );
+}
+
+#[test]
+fn cache_hits_return_bitwise_identical_scores_without_scoring() {
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![
+        mk(0, "sony bravia tv 55"),
+        mk(1, "canon powershot camera"),
+        mk(2, "generic usb cable"),
+    ]);
+    let right = RecordStore::new(vec![
+        mk(10, "sony bravia tv 55 inch"),
+        mk(11, "kitchen blender pro"),
+    ]);
+    let mut pipe = ServePipeline::new(
+        Box::new(All),
+        vec![
+            Stage::new("sim-a", Box::new(StringSim::new())).with_margin(0.9),
+            Stage::new("sim-b", Box::new(StringSim::with_threshold(0.6).unwrap())),
+        ],
+    )
+    .unwrap();
+
+    let cold = pipe.run(&left, &right).unwrap();
+    assert!(
+        cold.stages.iter().map(|s| s.scored).sum::<usize>() > 0,
+        "cold run must score"
+    );
+    let warm = pipe.run(&left, &right).unwrap();
+
+    for (a, b) in cold.scores.iter().zip(&warm.scores) {
+        assert_eq!(a.to_bits(), b.to_bits(), "cache must round-trip bitwise");
+    }
+    for stage in &warm.stages {
+        assert_eq!(stage.scored, 0, "warm {}: no matcher calls", stage.name);
+        assert_eq!(stage.cache_hits, stage.pairs_in);
+        assert_eq!(stage.tokens, 0, "cache hits bill nothing");
+    }
+    assert_eq!(cold.matches, warm.matches);
+
+    // Clearing the cache brings scoring back.
+    pipe.clear_cache();
+    let reheat = pipe.run(&left, &right).unwrap();
+    assert!(reheat.stages.iter().map(|s| s.scored).sum::<usize>() > 0);
+}
+
+#[test]
+fn deep_stage_failure_keeps_previous_scores() {
+    let scripted = [(0.9f32, 0.0f32), (0.55, 0.0), (0.48, 0.0), (0.05, 0.0)];
+    let left = scripted_store(&scripted);
+    let right = probe_store();
+    let (s0, _) = Scripted::new(0);
+    let mut pipe = ServePipeline::new(
+        Box::new(All),
+        vec![
+            Stage::new("s0", Box::new(s0)).with_margin(0.3),
+            Stage::new("dead", Box::new(Dead)),
+        ],
+    )
+    .unwrap();
+    let report = pipe.run(&left, &right).unwrap();
+    assert!(report.stages[1].errored, "dead stage must be flagged");
+    // Every pair keeps its stage-0 score — including those that escalated
+    // into the dead stage.
+    for (p, &(s0, _)) in report.pairs.iter().zip(&scripted) {
+        assert_eq!(report.scores[p.0].to_bits(), s0.to_bits());
+    }
+}
+
+#[test]
+fn first_stage_failure_is_fatal() {
+    let left = scripted_store(&[(0.5, 0.5)]);
+    let right = probe_store();
+    let mut pipe =
+        ServePipeline::new(Box::new(All), vec![Stage::new("dead", Box::new(Dead))]).unwrap();
+    assert!(pipe.run(&left, &right).is_err());
+}
+
+#[test]
+fn empty_cascade_is_rejected() {
+    assert!(ServePipeline::new(Box::new(All), vec![]).is_err());
+}
+
+#[test]
+fn end_to_end_on_generated_relations() {
+    let rels = em_datagen::serve_relations(250, 250, 0.3, 42);
+    let left = RecordStore::new(rels.left.clone());
+    let right = RecordStore::new(rels.right.clone());
+    let blocker = TokenBlocker {
+        min_shared: 2,
+        max_token_frequency: 0.05,
+    };
+    // Blocking must keep most true matches at this noise level.
+    let truth = pair_set(&rels.matches);
+    let candidates = blocker.candidates(&left.records(), &right.records());
+    let found = candidates.iter().filter(|c| truth.contains(c)).count();
+    assert!(
+        found as f64 / truth.len() as f64 > 0.85,
+        "blocking recall degenerated: {found}/{}",
+        truth.len()
+    );
+
+    let mut pipe = ServePipeline::new(
+        Box::new(blocker),
+        vec![
+            Stage::new("strsim", Box::new(StringSim::new())).with_margin(0.6),
+            Stage::new("strsim-strict", Box::new(StringSim::with_threshold(0.55).unwrap())),
+        ],
+    )
+    .unwrap();
+    let report = pipe.run(&left, &right).unwrap();
+
+    assert_eq!(report.candidates, candidates.len());
+    assert_eq!(report.scores.len(), report.pairs.len());
+    assert!(report.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    let cand_set = pair_set(&report.pairs);
+    assert!(report.matches.iter().all(|m| cand_set.contains(m)));
+    assert!(report.reduction_ratio > 0.9, "{}", report.reduction_ratio);
+
+    // The cascade's decisions must carry real signal on this workload.
+    let tp = report.matches.iter().filter(|m| truth.contains(m)).count();
+    let precision = tp as f64 / report.matches.len().max(1) as f64;
+    let recall = tp as f64 / truth.len() as f64;
+    assert!(
+        precision > 0.5 && recall > 0.4,
+        "cascade degenerated: P {precision:.2} R {recall:.2}"
+    );
+}
+
+#[test]
+fn cache_is_stage_scoped() {
+    let mut c = ScoreCache::new();
+    c.insert(0, 5, 6, 0.25);
+    c.insert(1, 5, 6, 0.75);
+    assert_eq!(c.get(0, 5, 6), Some(0.25));
+    assert_eq!(c.get(1, 5, 6), Some(0.75));
+    assert_eq!(c.len(), 2);
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Profiles the serving pipeline: runs the bench_serve smoke (2k×2k
+# relations through blocking → StringSim → SLM → hosted-LLM cascade) and
+# verifies the serve.* observability surface is populated — the candidate,
+# cache-hit, escalation and match counters the production dashboards
+# would graph.
+#
+# The full 100k×100k measurement is `bench_serve` without --smoke; its
+# results are checked in as BENCH_serve.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q -p em-bench --bin bench_serve
+
+echo "== serve smoke (2k x 2k) =="
+serve_out="$(./target/release/bench_serve target/profile-bench-serve.json --smoke)"
+printf '%s\n' "$serve_out"
+
+# The cascade must leave its counter trail: candidates from the blocker,
+# scored pairs and escalations from the stage loop, cache hits from the
+# warm run, matches from the final thresholding.
+for counter in serve.candidates serve.scored serve.escalated serve.cache_hits serve.matches; do
+    if ! grep -q "$counter" <<<"$serve_out"; then
+        echo "profile is missing the $counter counter"
+        exit 1
+    fi
+done
+echo "serve.* counters present in the metrics registry"
+
+# The warm run answers entirely from the score cache: the cache-hit
+# counter must cover at least one full pass over the candidate set.
+cands="$(awk '/serve\.candidates/ { print $2 }' <<<"$serve_out")"
+hits="$(awk '/serve\.cache_hits/ { print $2 }' <<<"$serve_out")"
+if [ "$hits" -lt "$((cands / 3))" ]; then
+    echo "warm run barely hit the cache: $hits hits for $cands candidates"
+    exit 1
+fi
+echo "score cache live: $hits cache hits across $cands blocked candidates"

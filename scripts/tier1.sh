@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 # --workspace matters: the repo root is a workspace *and* a package, so a
 # bare `cargo build` covers only the root package and would leave the
 # em-bench bins this script runs (bench_attention, bench_finetune,
-# bench_zoo, chaos_lodo) unbuilt on a fresh target dir.
+# bench_zoo, bench_serve, chaos_lodo) unbuilt on a fresh target dir.
 cargo build --release --workspace
 cargo test -q --workspace
 
@@ -62,6 +62,20 @@ zoo_bench="$PWD/target/tier1-bench-zoo.json"
 ./target/release/bench_zoo "$zoo_bench" --smoke
 test -s "$zoo_bench" || { echo "zoo bench smoke failed: $zoo_bench is empty"; exit 1; }
 echo "zoo bench smoke: wrote $zoo_bench"
+
+# Serving-pipeline gates: the blocker property suite (sorted/deduped
+# subsets of the cross product, pair-completeness floors on generated
+# relations — incl. the three PR-7 regression fixes), the cascade
+# invariant suite (margin-exact escalation, bitwise cache hits,
+# deep-stage degradation), then a serve-bench smoke — 2k×2k relations
+# through the full blocking → StringSim → SLM → hosted-LLM cascade with
+# the cost-vs-baseline and warm-cache asserts live.
+cargo test -q -p em-blocking --test blocker_properties
+cargo test -q -p em-serve --test cascade_invariants
+serve_bench="$PWD/target/tier1-bench-serve.json"
+./target/release/bench_serve "$serve_bench" --smoke
+test -s "$serve_bench" || { echo "serve bench smoke failed: $serve_bench is empty"; exit 1; }
+echo "serve bench smoke: wrote $serve_bench"
 
 # Chaos smoke: a small LODO sweep through the resilient hosted client at
 # a 10% injected-fault rate must complete with zero aborted items and

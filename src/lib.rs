@@ -22,6 +22,7 @@
 //! | [`hardware`] | `em-hardware` | A100 deployment simulator (Table 5) |
 //! | [`cost`] | `em-cost` | price book and trade-off analysis (Table 6, Figures 3/4) |
 //! | [`obs`] | `em-obs` | tracing spans/events, metrics registry, run profiles (`EM_TRACE`) |
+//! | [`serve`] | `em-serve` | record stores, blocking → confidence-gated matcher cascade, score cache |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use em_matchers as matchers;
 pub use em_ml as ml;
 pub use em_nn as nn;
 pub use em_obs as obs;
+pub use em_serve as serve;
 pub use em_text as text;
 
 /// The most common imports for downstream users.
@@ -63,4 +65,5 @@ pub mod prelude {
         AnyMatch, AnyMatchBackbone, DemoStrategy, Ditto, Jellyfish, MatchGpt, StringSim, Unicorn,
         ZeroEr,
     };
+    pub use em_serve::{RecordStore, ServePipeline, Stage};
 }
