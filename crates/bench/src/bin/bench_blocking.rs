@@ -1,0 +1,205 @@
+//! Blocking benchmark: the indexed, banded-parallel candidate generation
+//! against the sequential reference path on the serving workload.
+//!
+//! The workload is `em_datagen::serve_relations` at 100k×100k (the
+//! `BENCH_serve` shape) under the serving `TokenBlocker` configuration.
+//! Asserted before anything is reported:
+//!
+//! * the indexed path's candidate set is **bitwise identical** to the
+//!   sequential reference at 1, 2, and 8 threads;
+//! * q-gram and sorted-neighbourhood parity holds at a bounded scale
+//!   (their reference paths are too slow for 100k);
+//! * in full mode, the indexed path (build + probe) beats the sequential
+//!   reference by at least 3× at the widest thread cap;
+//! * reusing prebuilt indexes (the pipeline's warm path) leaves only the
+//!   probe, which must beat the reference by a wider margin still.
+//!
+//! Writes machine-readable results to `BENCH_blocking.json` (or the path
+//! in argv[1]); `--smoke` runs 2k×2k to validate the harness in CI.
+
+use em_blocking::{
+    reference, Blocker, CandidatePair, QGramBlocker, RelationIndex, SortedNeighbourhood,
+    TokenBlocker,
+};
+use em_core::Record;
+use em_datagen::serve_relations;
+use em_nn::threadpool;
+use std::time::Instant;
+
+/// The serving blocker (the `BENCH_serve` configuration).
+fn serve_blocker() -> TokenBlocker {
+    TokenBlocker {
+        min_shared: 2,
+        max_token_frequency: 0.05,
+    }
+}
+
+/// The `threads` JSON block shared by all bench bins.
+fn threads_json() -> String {
+    let s = threadpool::budget_snapshot();
+    format!(
+        "{{ \"em_num_threads\": {}, \"available_parallelism\": {}, \"effective_budget\": {}, \"reservation_probe_extra\": {} }}",
+        s.env_threads.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        s.available_parallelism,
+        s.effective,
+        s.probe_grant
+    )
+}
+
+/// Medians a small sample of wall-clock timings of `f`, returning the
+/// timing and the last result (all results are asserted equal upstream).
+fn time_runs<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = Some(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (times[times.len() / 2], out.unwrap())
+}
+
+/// Cross-family parity at a bounded scale: the q-gram and
+/// sorted-neighbourhood reference paths are quadratic-ish in ways the
+/// 100k workload would turn into hours, so their bitwise checks run on a
+/// slice of the same relations.
+fn bounded_family_parity(left: &[Record], right: &[Record], caps: &[usize]) {
+    let qg = QGramBlocker::default();
+    let sn = SortedNeighbourhood { window: 10 };
+    let qg_expect = reference::qgram_candidates(&qg, left, right);
+    let sn_expect = reference::sorted_candidates(&sn, left, right);
+    for &cap in caps {
+        threadpool::set_max_threads(Some(cap));
+        assert_eq!(
+            qg.candidates(left, right),
+            qg_expect,
+            "qgram diverged at {cap} threads"
+        );
+        assert_eq!(
+            sn.candidates(left, right),
+            sn_expect,
+            "sorted-neighbourhood diverged at {cap} threads"
+        );
+    }
+    threadpool::set_max_threads(None);
+    println!(
+        "family parity at {}x{}: qgram {} pairs, sorted {} pairs, caps {caps:?} all bitwise",
+        left.len(),
+        right.len(),
+        qg_expect.len(),
+        sn_expect.len()
+    );
+}
+
+fn run(n: usize, out_path: &str, full: bool) {
+    let t_gen = Instant::now();
+    let rels = serve_relations(n, n, 0.3, 7);
+    println!(
+        "blocking workload: {n}x{n} records, {} true matches ({:.1}s to generate)",
+        rels.matches.len(),
+        t_gen.elapsed().as_secs_f64()
+    );
+    let blocker = serve_blocker();
+    let reps = if full { 1 } else { 3 };
+
+    // --- Sequential reference: the pre-index per-call path. -------------
+    let (ref_seconds, expect): (f64, Vec<CandidatePair>) = time_runs(reps, || {
+        reference::token_candidates(&blocker, &rels.left, &rels.right)
+    });
+    println!(
+        "sequential reference: {} candidates in {ref_seconds:.2}s",
+        expect.len()
+    );
+    assert!(!expect.is_empty(), "degenerate workload: no candidates");
+
+    // --- Indexed path at each thread cap: cold (build + probe). ---------
+    let caps = [1usize, 2, 8];
+    let cfg = blocker.required_features();
+    let mut cold_seconds = Vec::new();
+    for &cap in &caps {
+        threadpool::set_max_threads(Some(cap));
+        let (secs, got) = time_runs(reps, || blocker.candidates(&rels.left, &rels.right));
+        assert_eq!(
+            got, expect,
+            "indexed path diverged from the reference at {cap} threads"
+        );
+        println!(
+            "indexed cold @ {cap} threads: {secs:.2}s ({:.2}x vs reference), bitwise-identical",
+            ref_seconds / secs
+        );
+        cold_seconds.push(secs);
+    }
+
+    // --- Warm path: prebuilt indexes, probe only (pipeline reuse). ------
+    let widest = *caps.last().unwrap();
+    threadpool::set_max_threads(Some(widest));
+    let left_index = RelationIndex::build(&rels.left, &cfg);
+    let right_index = RelationIndex::build(&rels.right, &cfg);
+    let (probe_seconds, got) = time_runs(reps.max(3), || {
+        blocker.candidates_indexed(&left_index, &right_index)
+    });
+    assert_eq!(got, expect, "probe over prebuilt indexes diverged");
+    println!(
+        "indexed warm @ {widest} threads (probe only): {probe_seconds:.2}s ({:.2}x vs reference)",
+        ref_seconds / probe_seconds
+    );
+    threadpool::set_max_threads(None);
+
+    let cold_widest = *cold_seconds.last().unwrap();
+    let speedup = ref_seconds / cold_widest;
+    if full {
+        assert!(
+            speedup >= 3.0,
+            "indexed blocking must be >= 3x the sequential path at {widest} threads, got {speedup:.2}x"
+        );
+        assert!(
+            probe_seconds < cold_widest,
+            "probe-only reuse must beat a cold build"
+        );
+    }
+
+    // --- Other families, bounded scale. ---------------------------------
+    let bound = n.min(1_500);
+    bounded_family_parity(&rels.left[..bound], &rels.right[..bound], &caps);
+
+    println!("{}", em_obs::report::render_metrics());
+
+    let cold_json: Vec<String> = caps
+        .iter()
+        .zip(&cold_seconds)
+        .map(|(c, s)| format!("{{ \"threads\": {c}, \"seconds\": {s:.3}, \"speedup_vs_reference\": {:.2}, \"bitwise_equal\": true }}", ref_seconds / s))
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"token blocking (serving config) on serve_relations\",\n  \"shape\": {{ \"n_left\": {n}, \"n_right\": {n}, \"match_fraction\": 0.3, \"seed\": 7 }},\n  \"threads\": {},\n  \"blocker\": {{ \"family\": \"token\", \"min_shared\": 2, \"max_token_frequency\": 0.05 }},\n  \"candidates\": {},\n  \"sequential_reference_seconds\": {:.3},\n  \"indexed_cold\": [\n    {}\n  ],\n  \"indexed_probe_only\": {{ \"threads\": {}, \"seconds\": {:.3}, \"speedup_vs_reference\": {:.2}, \"bitwise_equal\": true }},\n  \"family_parity_bounded\": {{ \"n\": {}, \"families\": [\"qgram-default\", \"sorted-w10\"], \"thread_caps\": [1, 2, 8], \"bitwise_equal\": true }}\n}}\n",
+        threads_json(),
+        expect.len(),
+        ref_seconds,
+        cold_json.join(",\n    "),
+        widest,
+        probe_seconds,
+        ref_seconds / probe_seconds,
+        bound,
+    );
+    std::fs::write(out_path, json).expect("failed to write benchmark results");
+    println!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| *a != "--smoke")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_blocking.json".to_string());
+    // Counters feed the block.* profile greps (scripts/profile_serve.sh).
+    em_obs::trace::set_capture(true);
+    if smoke {
+        run(2_000, &out_path, false);
+    } else {
+        run(100_000, &out_path, true);
+    }
+}

@@ -168,8 +168,8 @@ fn ragged_examples(n: usize, seq: usize, vocab: u32) -> Vec<(Encoded, bool)> {
                     .join(" ")
             };
             let pair = SerializedPair {
-                left: side(llen, 0),
-                right: side(rlen, 1),
+                left: side(llen, 0).into(),
+                right: side(rlen, 1).into(),
             };
             (encode_pair(&tok, &pair, seq), i % 2 == 0)
         })

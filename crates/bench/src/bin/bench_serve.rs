@@ -80,8 +80,8 @@ fn hard_labeled_pairs(
     out.extend(hard.into_iter().map(|(i, j)| {
         (
             SerializedPair {
-                left: ser.record(&rels.left[i]),
-                right: ser.record(&rels.right[j]),
+                left: ser.record(&rels.left[i]).into(),
+                right: ser.record(&rels.right[j]).into(),
             },
             false,
         )
@@ -266,7 +266,9 @@ fn run(n: usize, out_path: &str) {
     let warm = pipe.run(&left, &right).unwrap();
     let warm_seconds = t1.elapsed().as_secs_f64();
 
-    // Warm-run invariants: the cache answers everything, bitwise.
+    // Warm-run invariants: the cache answers everything, bitwise, and the
+    // blocking state (indexes, candidates, serialized views) is reused —
+    // the warm run must not re-tokenize, re-index, or re-probe.
     for (a, b) in cold.scores.iter().zip(&warm.scores) {
         assert_eq!(a.to_bits(), b.to_bits(), "cache must round-trip bitwise");
     }
@@ -276,6 +278,18 @@ fn run(n: usize, out_path: &str) {
         assert_eq!(s.tokens, 0, "warm {}: cache hits billed tokens", s.name);
     }
     assert_eq!(cold.matches, warm.matches);
+    assert!(
+        !cold.blocking_reused,
+        "first run has no blocking state to reuse"
+    );
+    assert!(
+        warm.blocking_reused,
+        "unchanged stores must reuse the cached candidate set"
+    );
+    assert!(
+        warm_seconds < (cold_seconds / 5.0).max(0.5),
+        "warm run ({warm_seconds:.2}s) must be at least 5x faster than cold ({cold_seconds:.2}s)"
+    );
 
     // Blocking recall against the full truth (upper-bounds cascade recall).
     let cand_set: HashSet<CandidatePair> = cold.pairs.iter().copied().collect();
@@ -333,7 +347,7 @@ fn run(n: usize, out_path: &str) {
     let stages_cold: Vec<String> = cold.stages.iter().map(stage_json).collect();
     let stages_base: Vec<String> = baseline.stages.iter().map(stage_json).collect();
     let json = format!(
-        "{{\n  \"workload\": \"serving pipeline (blocking -> confidence-gated cascade) on serve_relations\",\n  \"shape\": {{ \"n_left\": {n}, \"n_right\": {n}, \"match_fraction\": 0.3, \"truth_pairs\": {}, \"seed\": 7 }},\n  \"threads\": {},\n  \"blocking\": {{ \"candidates\": {}, \"reduction_ratio\": {:.6}, \"recall\": {:.4}, \"seconds\": {:.3} }},\n  \"cascade_cold\": {{ \"seconds\": {:.3}, \"usd\": {:.6}, \"precision\": {:.4}, \"recall\": {:.4}, \"f1\": {:.4}, \"stages\": [\n    {}\n  ] }},\n  \"cascade_warm\": {{ \"seconds\": {:.3}, \"cache_hit_rate\": 1.0, \"scores_bitwise_equal_cold\": true, \"usd\": {:.6} }},\n  \"baseline_slm_on_all\": {{ \"seconds\": {:.3}, \"usd\": {:.6}, \"precision\": {:.4}, \"recall\": {:.4}, \"f1\": {:.4}, \"stages\": [\n    {}\n  ] }},\n  \"prices_usd_per_1k\": {{ \"strsim\": 0.0, \"slm_self_host\": {:.6}, \"gpt4\": {:.6} }},\n  \"cascade_cost_saving_vs_baseline\": {:.4},\n  \"cascade_f1_minus_baseline_f1\": {:.4}\n}}\n",
+        "{{\n  \"workload\": \"serving pipeline (blocking -> confidence-gated cascade) on serve_relations\",\n  \"shape\": {{ \"n_left\": {n}, \"n_right\": {n}, \"match_fraction\": 0.3, \"truth_pairs\": {}, \"seed\": 7 }},\n  \"threads\": {},\n  \"blocking\": {{ \"candidates\": {}, \"reduction_ratio\": {:.6}, \"recall\": {:.4}, \"seconds\": {:.3} }},\n  \"cascade_cold\": {{ \"seconds\": {:.3}, \"usd\": {:.6}, \"precision\": {:.4}, \"recall\": {:.4}, \"f1\": {:.4}, \"stages\": [\n    {}\n  ] }},\n  \"cascade_warm\": {{ \"seconds\": {:.3}, \"cache_hit_rate\": 1.0, \"scores_bitwise_equal_cold\": true, \"blocking_reused\": true, \"speedup_vs_cold\": {:.1}, \"usd\": {:.6} }},\n  \"baseline_slm_on_all\": {{ \"seconds\": {:.3}, \"usd\": {:.6}, \"precision\": {:.4}, \"recall\": {:.4}, \"f1\": {:.4}, \"stages\": [\n    {}\n  ] }},\n  \"prices_usd_per_1k\": {{ \"strsim\": 0.0, \"slm_self_host\": {:.6}, \"gpt4\": {:.6} }},\n  \"cascade_cost_saving_vs_baseline\": {:.4},\n  \"cascade_f1_minus_baseline_f1\": {:.4}\n}}\n",
         truth.len(),
         threads_json(),
         cold.candidates,
@@ -347,6 +361,7 @@ fn run(n: usize, out_path: &str) {
         f1,
         stages_cold.join(",\n    "),
         warm_seconds,
+        cold_seconds / warm_seconds.max(1e-9),
         warm.total_usd(),
         baseline_seconds,
         baseline_usd,

@@ -81,8 +81,8 @@ fn bench_pairs(n: usize) -> Vec<SerializedPair> {
         .map(|i| {
             let len = 4 + (i % 5) * 3; // 4..16 words per side
             SerializedPair {
-                left: side(i, 0, len),
-                right: side(i, if i % 3 == 0 { 0 } else { 1 }, len),
+                left: side(i, 0, len).into(),
+                right: side(i, if i % 3 == 0 { 0 } else { 1 }, len).into(),
             }
         })
         .collect()
@@ -98,8 +98,8 @@ fn bench_demos(k: usize, demo_side: usize) -> Vec<Demonstration> {
             // Make demo sides long enough to consume the full demo budget,
             // so the cached prefix is as large as a real sweep's.
             let pad = " extra detail".repeat(demo_side);
-            d.pair.left.push_str(&pad);
-            d.pair.right.push_str(&pad);
+            d.pair.left = format!("{}{}", d.pair.left, pad).into();
+            d.pair.right = format!("{}{}", d.pair.right, pad).into();
             d
         })
         .collect()

@@ -82,8 +82,8 @@ fn attention_probe() {
     let encoded: Vec<_> = (0..32)
         .map(|i| {
             let pair = em_core::SerializedPair {
-                left: format!("record number {i} alpha beta gamma delta"),
-                right: format!("record number {} alpha beta gamma", i % 5),
+                left: format!("record number {i} alpha beta gamma delta").into(),
+                right: format!("record number {} alpha beta gamma", i % 5).into(),
             };
             encode_pair(&tok, &pair, 64)
         })
@@ -118,8 +118,8 @@ fn finetune_probe() {
                 .collect::<Vec<_>>()
                 .join(" ");
             let pair = em_core::SerializedPair {
-                left: words.clone(),
-                right: words,
+                left: words.clone().into(),
+                right: words.into(),
             };
             (encode_pair(&tok, &pair, 48), i % 2 == 0)
         })
@@ -175,16 +175,16 @@ fn zoo_probe() {
     let demos: Vec<Demonstration> = (0..3)
         .map(|i| Demonstration {
             pair: em_core::SerializedPair {
-                left: format!("acme widget model {i} industrial"),
-                right: format!("acme widget model {i} industrial grade"),
+                left: format!("acme widget model {i} industrial").into(),
+                right: format!("acme widget model {i} industrial grade").into(),
             },
             label: i % 2 == 0,
         })
         .collect();
     let pairs: Vec<em_core::SerializedPair> = (0..64)
         .map(|i| em_core::SerializedPair {
-            left: format!("vendor item {i} blue medium"),
-            right: format!("vendor item {} blue", i % 7),
+            left: format!("vendor item {i} blue medium").into(),
+            right: format!("vendor item {} blue", i % 7).into(),
         })
         .collect();
     // Second pass scores against the already-populated prefix cache, so

@@ -1,0 +1,544 @@
+//! The reusable blocking index.
+//!
+//! Blocking was the serving pipeline's bottleneck after PR 7: tokenizing
+//! 200k records, building a `HashMap<String, Vec<usize>>` inverted index
+//! and accumulating shared-feature counts in a global
+//! `HashMap<(i, j), usize>` ran single-threaded in ~21s at 100k×100k —
+//! half the cold run — and ran *again* on every warm run. This module
+//! replaces that path with a persistent, relation-scoped
+//! [`RelationIndex`]:
+//!
+//! * **Parallel build.** Text rendering, tokenization and q-gram
+//!   extraction fan out in fixed 512-record chunks over the shared
+//!   `em_nn::threadpool` budget via [`em_core::run_chunks`] (results are
+//!   collected in item order, so the extracted features are identical at
+//!   any thread count). Features are interned to dense `u32` ids in
+//!   record order and postings are laid out flat with a counting sort —
+//!   no per-token allocation, postings ascending by construction.
+//! * **Banded parallel probe.** The candidate loop partitions the left
+//!   relation into fixed 1024-record bands; each band counts shared
+//!   features in a dense `Vec<u32>` accumulator (a touched-list reset
+//!   keeps it O(work), not O(n_right) per record) and emits its pairs
+//!   already sorted. Band outputs are concatenated in band order, so the
+//!   result is bitwise-identical to the sequential reference at 1, 2 or
+//!   8 threads — the same equivalence discipline as the GEMM, attention
+//!   and optimizer kernels (DESIGN.md §5/§8).
+//! * **Reuse.** An index depends only on its relation's records (plus the
+//!   feature configuration), so callers — notably
+//!   `em_serve::ServePipeline` — build it once per store generation and
+//!   probe it on every run.
+//!
+//! Observability: `block.index_build` / `block.probe` spans,
+//! `block.postings` (posting entries built), `block.stopped_tokens`
+//! (features cut by the document-frequency threshold) and
+//! `block.candidates_raw` (pairs sharing ≥ 1 feature, before the
+//! `min_shared` filter) counters.
+
+use crate::{record_text, stop_threshold, CandidatePair};
+use em_core::{run_chunks, Record};
+use std::collections::HashMap;
+
+/// Fixed record-chunk size for parallel feature extraction.
+const EXTRACT_CHUNK: usize = 512;
+
+/// Fixed left-relation band width for the parallel probe. Band boundaries
+/// are independent of the thread count, and band outputs merge in band
+/// order, so the candidate vector never depends on the worker budget.
+const PROBE_BAND: usize = 1024;
+
+/// Which features a [`RelationIndex`] must extract for a blocker family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexConfig {
+    /// Keep the full-text rendering (sorted-neighbourhood sort keys).
+    pub texts: bool,
+    /// Build word-token postings (token blocking).
+    pub tokens: bool,
+    /// Build q-gram postings over the key attribute, for this `q`.
+    pub qgrams: Option<usize>,
+}
+
+impl IndexConfig {
+    /// No features at all (for blockers that ignore the index).
+    pub fn none() -> Self {
+        IndexConfig::default()
+    }
+
+    /// `true` when an index built with `self` satisfies `needed`.
+    pub fn covers(&self, needed: &IndexConfig) -> bool {
+        (!needed.texts || self.texts)
+            && (!needed.tokens || self.tokens)
+            && match needed.qgrams {
+                None => true,
+                Some(q) => self.qgrams == Some(q),
+            }
+    }
+}
+
+/// Interned per-record features plus flat inverted postings for one
+/// relation. Postings are ascending record indices; per-record feature
+/// lists hold each feature once (extraction dedups).
+pub struct FeatureTable {
+    /// Feature string → dense id, assigned first-seen in record order.
+    ids: HashMap<String, u32>,
+    /// Per-record feature-id ranges into `rec_feats` (len `n + 1`).
+    rec_offsets: Vec<u32>,
+    /// Flattened per-record feature ids.
+    rec_feats: Vec<u32>,
+    /// Per-feature posting ranges into `postings` (len `vocab + 1`).
+    post_offsets: Vec<u32>,
+    /// Flattened postings: ascending record indices per feature.
+    postings: Vec<u32>,
+}
+
+impl FeatureTable {
+    /// Builds the table from per-record (sorted, deduped) feature strings.
+    fn build(per_record: Vec<Vec<String>>) -> Self {
+        let n = per_record.len();
+        let mut ids: HashMap<String, u32> = HashMap::new();
+        let mut rec_offsets = Vec::with_capacity(n + 1);
+        rec_offsets.push(0u32);
+        let mut rec_feats: Vec<u32> = Vec::new();
+        for feats in per_record {
+            for f in feats {
+                let next = ids.len() as u32;
+                let id = *ids.entry(f).or_insert(next);
+                rec_feats.push(id);
+            }
+            rec_offsets.push(rec_feats.len() as u32);
+        }
+        // Counting sort of (feature, record) into flat postings; records
+        // are visited in order, so every posting list ends up ascending.
+        let vocab = ids.len();
+        let mut counts = vec![0u32; vocab];
+        for &id in &rec_feats {
+            counts[id as usize] += 1;
+        }
+        let mut post_offsets = vec![0u32; vocab + 1];
+        for v in 0..vocab {
+            post_offsets[v + 1] = post_offsets[v] + counts[v];
+        }
+        let mut cursor: Vec<u32> = post_offsets[..vocab].to_vec();
+        let mut postings = vec![0u32; rec_feats.len()];
+        for rec in 0..n {
+            for k in rec_offsets[rec] as usize..rec_offsets[rec + 1] as usize {
+                let id = rec_feats[k] as usize;
+                postings[cursor[id] as usize] = rec as u32;
+                cursor[id] += 1;
+            }
+        }
+        FeatureTable {
+            ids,
+            rec_offsets,
+            rec_feats,
+            post_offsets,
+            postings,
+        }
+    }
+
+    /// Number of distinct features.
+    pub fn vocab(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Total posting entries (== total per-record feature occurrences).
+    pub fn n_postings(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of feature `id` in this relation.
+    #[inline]
+    pub fn df(&self, id: u32) -> usize {
+        (self.post_offsets[id as usize + 1] - self.post_offsets[id as usize]) as usize
+    }
+
+    /// Dense id of `feature`, if present.
+    #[inline]
+    pub fn lookup(&self, feature: &str) -> Option<u32> {
+        self.ids.get(feature).copied()
+    }
+
+    /// Feature ids of record `i`.
+    #[inline]
+    fn record_features(&self, i: usize) -> &[u32] {
+        &self.rec_feats[self.rec_offsets[i] as usize..self.rec_offsets[i + 1] as usize]
+    }
+
+    /// Ascending record indices containing feature `id`.
+    #[inline]
+    fn posting(&self, id: u32) -> &[u32] {
+        &self.postings[self.post_offsets[id as usize] as usize
+            ..self.post_offsets[id as usize + 1] as usize]
+    }
+}
+
+/// A relation's blocking features, built once and probed many times.
+pub struct RelationIndex {
+    n: usize,
+    texts: Option<Vec<String>>,
+    tokens: Option<FeatureTable>,
+    qgrams: Option<(usize, FeatureTable)>,
+    config: IndexConfig,
+}
+
+impl RelationIndex {
+    /// Builds the configured features, fanning extraction out over the
+    /// shared threadpool budget in fixed chunks.
+    pub fn build(records: &[Record], cfg: &IndexConfig) -> Self {
+        let _span = em_obs::span!("block.index_build", records = records.len());
+        let need_texts = cfg.texts || cfg.tokens;
+        let texts: Option<Vec<String>> = if need_texts {
+            let chunks: Vec<&[Record]> = records.chunks(EXTRACT_CHUNK).collect();
+            Some(
+                run_chunks(&chunks, |c| {
+                    c.iter().map(record_text).collect::<Vec<_>>()
+                })
+                .expect("blocking text-render worker panicked")
+                .into_iter()
+                .flatten()
+                .collect(),
+            )
+        } else {
+            None
+        };
+        let tokens = if cfg.tokens {
+            let ts = texts.as_deref().unwrap();
+            let chunks: Vec<&[String]> = ts.chunks(EXTRACT_CHUNK).collect();
+            let per_record: Vec<Vec<String>> = run_chunks(&chunks, |c| {
+                c.iter()
+                    .map(|t| {
+                        let mut w = em_text::words(t);
+                        w.sort_unstable();
+                        w.dedup();
+                        w
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .expect("blocking tokenize worker panicked")
+            .into_iter()
+            .flatten()
+            .collect();
+            Some(FeatureTable::build(per_record))
+        } else {
+            None
+        };
+        let qgrams = cfg.qgrams.map(|q| {
+            let chunks: Vec<&[Record]> = records.chunks(EXTRACT_CHUNK).collect();
+            let per_record: Vec<Vec<String>> = run_chunks(&chunks, |c| {
+                c.iter()
+                    .map(|r| crate::qgram::key_grams(r, q))
+                    .collect::<Vec<_>>()
+            })
+            .expect("blocking q-gram worker panicked")
+            .into_iter()
+            .flatten()
+            .collect();
+            (q, FeatureTable::build(per_record))
+        });
+        let built_postings = tokens.as_ref().map_or(0, FeatureTable::n_postings)
+            + qgrams.as_ref().map_or(0, |(_, t)| t.n_postings());
+        em_obs::metrics::counter("block.postings").add(built_postings as u64);
+        RelationIndex {
+            n: records.len(),
+            texts: if cfg.texts { texts } else { None },
+            tokens,
+            qgrams,
+            config: *cfg,
+        }
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the index covers zero records.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// Full-text sort keys (present when built with `texts`).
+    pub fn texts(&self) -> Option<&[String]> {
+        self.texts.as_deref()
+    }
+
+    /// Word-token features (present when built with `tokens`).
+    pub fn tokens(&self) -> Option<&FeatureTable> {
+        self.tokens.as_ref()
+    }
+
+    /// Q-gram features, if built with exactly this `q`.
+    pub fn qgrams(&self, q: usize) -> Option<&FeatureTable> {
+        match &self.qgrams {
+            Some((built_q, table)) if *built_q == q => Some(table),
+            _ => None,
+        }
+    }
+}
+
+/// Join-table markers: the left feature does not exist on the right, or
+/// was cut by the document-frequency threshold.
+const FEAT_NONE: u32 = u32::MAX;
+const FEAT_STOP: u32 = u32::MAX - 1;
+
+/// Shared-feature candidate generation over two feature tables: the
+/// engine behind both token and q-gram blocking.
+///
+/// Semantics are exactly the sequential reference's: document frequency
+/// is counted over *both* relations, features past
+/// `stop_threshold(n_left + n_right, max_frequency)` are cut before any
+/// posting expansion, and a pair is a candidate when it shares at least
+/// `min_shared` surviving features.
+pub(crate) fn overlap_candidates(
+    left: &FeatureTable,
+    right: &FeatureTable,
+    n_left: usize,
+    n_right: usize,
+    min_shared: usize,
+    max_frequency: f64,
+) -> Vec<CandidatePair> {
+    let _span = em_obs::span!("block.probe", left = n_left, right = n_right);
+    let max_df = stop_threshold(n_left + n_right, max_frequency);
+
+    // Resolve every left feature id to its right-relation counterpart
+    // once, applying the df cut here so the banded loop below is pure
+    // integer work. Slot writes are independent, so the (unordered)
+    // HashMap iteration cannot affect the result.
+    let mut join = vec![FEAT_NONE; left.vocab()];
+    let mut stopped = 0u64;
+    for (feat, &lid) in &left.ids {
+        if let Some(rid) = right.lookup(feat) {
+            if left.df(lid) + right.df(rid) > max_df {
+                join[lid as usize] = FEAT_STOP;
+                stopped += 1;
+            } else {
+                join[lid as usize] = rid;
+            }
+        } else if left.df(lid) > max_df {
+            // Left-only features past the cut produce no candidates either
+            // way; counted for the stop-token telemetry only.
+            stopped += 1;
+        }
+    }
+    em_obs::metrics::counter("block.stopped_tokens").add(stopped);
+
+    // Banded probe: fixed-width left bands, dense per-band accumulators,
+    // outputs concatenated in band order (run_chunks preserves item
+    // order) — sorted by construction, bitwise-stable across thread
+    // counts.
+    let bands: Vec<(usize, usize)> = (0..n_left)
+        .step_by(PROBE_BAND)
+        .map(|s| (s, (s + PROBE_BAND).min(n_left)))
+        .collect();
+    let per_band: Vec<(Vec<CandidatePair>, u64)> = run_chunks(&bands, |&(start, end)| {
+        let mut counts = vec![0u32; n_right];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut out: Vec<CandidatePair> = Vec::new();
+        let mut raw = 0u64;
+        for i in start..end {
+            for &lf in left.record_features(i) {
+                let rid = join[lf as usize];
+                if rid == FEAT_NONE || rid == FEAT_STOP {
+                    continue;
+                }
+                for &j in right.posting(rid) {
+                    if counts[j as usize] == 0 {
+                        touched.push(j);
+                    }
+                    counts[j as usize] += 1;
+                }
+            }
+            raw += touched.len() as u64;
+            touched.sort_unstable();
+            for &j in &touched {
+                if counts[j as usize] as usize >= min_shared {
+                    out.push((i, j as usize));
+                }
+                counts[j as usize] = 0;
+            }
+            touched.clear();
+        }
+        (out, raw)
+    })
+    .expect("blocking probe worker panicked");
+
+    let mut raw_total = 0u64;
+    let mut out = Vec::with_capacity(per_band.iter().map(|(v, _)| v.len()).sum());
+    for (band, raw) in per_band {
+        out.extend(band);
+        raw_total += raw;
+    }
+    em_obs::metrics::counter("block.candidates_raw").add(raw_total);
+    em_obs::metrics::counter("block.probes").inc();
+    out
+}
+
+/// Sorted-neighbourhood candidate generation over two text indexes: merge
+/// the pre-rendered sort keys, interleave equal-key runs, then sweep the
+/// window in fixed position bands fanned out over the threadpool.
+pub(crate) fn sorted_candidates(
+    window: usize,
+    left: &RelationIndex,
+    right: &RelationIndex,
+) -> Vec<CandidatePair> {
+    let lt = left.texts().expect("left index built without texts");
+    let rt = right.texts().expect("right index built without texts");
+    let _span = em_obs::span!("block.probe", left = lt.len(), right = rt.len());
+
+    // (sort key, relation, index); `&str` orders exactly like `String`.
+    let mut entries: Vec<(&str, bool, usize)> = Vec::with_capacity(lt.len() + rt.len());
+    for (i, t) in lt.iter().enumerate() {
+        entries.push((t.as_str(), false, i));
+    }
+    for (j, t) in rt.iter().enumerate() {
+        entries.push((t.as_str(), true, j));
+    }
+    entries.sort();
+    // Interleave mixed equal-key runs L,R,L,R,… (the PR 7 duplicate fix),
+    // preserving relative idx order inside each relation.
+    let mut run_start = 0;
+    while run_start < entries.len() {
+        let mut run_end = run_start + 1;
+        while run_end < entries.len() && entries[run_end].0 == entries[run_start].0 {
+            run_end += 1;
+        }
+        let run = &mut entries[run_start..run_end];
+        let split = run.iter().position(|e| e.1).unwrap_or(run.len());
+        if run.len() > 2 && split > 0 && split < run.len() {
+            let lefts: Vec<_> = run[..split].to_vec();
+            let rights: Vec<_> = run[split..].to_vec();
+            let (mut li, mut ri) = (0, 0);
+            for slot in run.iter_mut() {
+                let take_left = if li < lefts.len() && ri < rights.len() {
+                    li <= ri
+                } else {
+                    li < lefts.len()
+                };
+                if take_left {
+                    *slot = lefts[li];
+                    li += 1;
+                } else {
+                    *slot = rights[ri];
+                    ri += 1;
+                }
+            }
+        }
+        run_start = run_end;
+    }
+
+    // Fixed position bands; each position's window may read past the band
+    // end (read-only), so banding partitions the emitted pairs exactly.
+    let bands: Vec<(usize, usize)> = (0..entries.len())
+        .step_by(PROBE_BAND)
+        .map(|s| (s, (s + PROBE_BAND).min(entries.len())))
+        .collect();
+    let per_band: Vec<Vec<CandidatePair>> = run_chunks(&bands, |&(start, end)| {
+        let mut out = Vec::new();
+        for pos in start..end {
+            let (_, is_right, idx) = entries[pos];
+            let wend = (pos + window).min(entries.len());
+            for &(_, other_right, other_idx) in &entries[pos + 1..wend] {
+                match (is_right, other_right) {
+                    (false, true) => out.push((idx, other_idx)),
+                    (true, false) => out.push((other_idx, idx)),
+                    _ => {} // same relation: not a candidate
+                }
+            }
+        }
+        out
+    })
+    .expect("sorted-neighbourhood probe worker panicked");
+
+    let merged: Vec<CandidatePair> = per_band.into_iter().flatten().collect();
+    em_obs::metrics::counter("block.candidates_raw").add(merged.len() as u64);
+    em_obs::metrics::counter("block.probes").inc();
+    // Windows overlap band boundaries unordered; normalize like the
+    // sequential path (which sorts + dedups its raw pair list too).
+    crate::normalize(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::AttrValue;
+
+    fn rec(id: u64, text: &str) -> Record {
+        Record::new(id, vec![AttrValue::from(text)])
+    }
+
+    #[test]
+    fn feature_table_postings_are_ascending_and_complete() {
+        let t = FeatureTable::build(vec![
+            vec!["b".into(), "c".into()],
+            vec!["a".into(), "b".into()],
+            vec!["b".into()],
+        ]);
+        assert_eq!(t.vocab(), 3);
+        let b = t.lookup("b").unwrap();
+        assert_eq!(t.posting(b), &[0, 1, 2]);
+        assert_eq!(t.df(b), 3);
+        let a = t.lookup("a").unwrap();
+        assert_eq!(t.posting(a), &[1]);
+        assert_eq!(t.n_postings(), 5);
+        assert_eq!(t.record_features(1).len(), 2);
+    }
+
+    #[test]
+    fn config_covers_is_componentwise() {
+        let full = IndexConfig {
+            texts: true,
+            tokens: true,
+            qgrams: Some(3),
+        };
+        assert!(full.covers(&IndexConfig::none()));
+        assert!(full.covers(&IndexConfig {
+            tokens: true,
+            ..IndexConfig::none()
+        }));
+        assert!(!full.covers(&IndexConfig {
+            qgrams: Some(2),
+            ..IndexConfig::none()
+        }));
+        assert!(!IndexConfig::none().covers(&full));
+    }
+
+    #[test]
+    fn build_respects_configuration() {
+        let records = vec![rec(0, "sony tv"), rec(1, "canon camera")];
+        let ix = RelationIndex::build(
+            &records,
+            &IndexConfig {
+                texts: true,
+                tokens: true,
+                qgrams: Some(3),
+            },
+        );
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.texts().unwrap()[0], "sony tv");
+        assert!(ix.tokens().is_some());
+        assert!(ix.qgrams(3).is_some());
+        assert!(ix.qgrams(2).is_none(), "q mismatch must not alias");
+
+        let bare = RelationIndex::build(&records, &IndexConfig::none());
+        assert!(bare.texts().is_none());
+        assert!(bare.tokens().is_none());
+    }
+
+    #[test]
+    fn empty_relation_builds_an_empty_index() {
+        let ix = RelationIndex::build(
+            &[],
+            &IndexConfig {
+                texts: true,
+                tokens: true,
+                qgrams: Some(3),
+            },
+        );
+        assert!(ix.is_empty());
+        assert_eq!(ix.tokens().unwrap().vocab(), 0);
+    }
+}

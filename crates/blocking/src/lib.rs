@@ -8,11 +8,14 @@
 //! sorted neighbourhood, and the quality metrics (pair completeness /
 //! reduction ratio) used to evaluate blockers.
 
+pub mod index;
 pub mod metrics;
 pub mod qgram;
+pub mod reference;
 pub mod sorted;
 pub mod token;
 
+pub use index::{FeatureTable, IndexConfig, RelationIndex};
 pub use metrics::{pair_completeness, reduction_ratio, BlockingQuality};
 pub use qgram::QGramBlocker;
 pub use sorted::SortedNeighbourhood;
@@ -26,9 +29,37 @@ pub type CandidatePair = (usize, usize);
 
 /// Common interface of blocking techniques: produce candidate pairs from
 /// two relations (deduplicated, sorted).
+///
+/// Every blocker declares the [`IndexConfig`] it needs and generates
+/// candidates from two prebuilt [`RelationIndex`]es; the record-slice
+/// entry point is a convenience that builds throwaway indexes. Systems
+/// that run blocking repeatedly (the serving pipeline) keep the indexes
+/// and call [`Blocker::candidates_indexed`] directly — the index build is
+/// the expensive half of blocking, and it only depends on the relation.
 pub trait Blocker {
-    /// Generates candidate pairs `(left index, right index)`.
-    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair>;
+    /// The features [`Blocker::candidates_indexed`] reads from its
+    /// indexes.
+    fn required_features(&self) -> IndexConfig {
+        IndexConfig::none()
+    }
+
+    /// Generates candidate pairs `(left index, right index)` from
+    /// prebuilt indexes. The indexes must cover
+    /// [`Blocker::required_features`].
+    fn candidates_indexed(
+        &self,
+        left: &RelationIndex,
+        right: &RelationIndex,
+    ) -> Vec<CandidatePair>;
+
+    /// Generates candidate pairs `(left index, right index)`, building
+    /// single-use indexes for both relations.
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        let cfg = self.required_features();
+        let li = RelationIndex::build(left, &cfg);
+        let ri = RelationIndex::build(right, &cfg);
+        self.candidates_indexed(&li, &ri)
+    }
 }
 
 /// Sorts and deduplicates a raw candidate list (shared by implementations).
@@ -49,6 +80,14 @@ pub(crate) fn record_text(record: &Record) -> String {
         }
     }
     parts.join(" ")
+}
+
+/// The stop cut threshold shared by the indexed and reference paths: a
+/// feature present in more than `max_fraction` of all records (both
+/// relations) is a stop feature. The `max(2.0)` floor keeps tiny
+/// relations from stopping everything.
+pub(crate) fn stop_threshold(total_records: usize, max_fraction: f64) -> usize {
+    (total_records as f64 * max_fraction).max(2.0) as usize
 }
 
 /// Exhaustive cross product (the baseline blockers are compared against).

@@ -1,9 +1,9 @@
 //! Q-gram blocking: candidates share at least `min_shared` character
 //! q-grams of their key value — robust to typos that break token blocking.
 
-use crate::{normalize, Blocker, CandidatePair};
+use crate::index::{overlap_candidates, IndexConfig, RelationIndex};
+use crate::{Blocker, CandidatePair};
 use em_core::Record;
-use std::collections::HashMap;
 
 /// Q-gram blocker over the first attribute (the key value).
 #[derive(Debug, Clone, Copy)]
@@ -30,7 +30,9 @@ impl Default for QGramBlocker {
     }
 }
 
-fn key_grams(record: &Record, q: usize) -> Vec<String> {
+/// Sorted, deduped q-grams of a record's key (first) attribute — the
+/// feature extraction shared by the index build and the reference path.
+pub(crate) fn key_grams(record: &Record, q: usize) -> Vec<String> {
     let key = record
         .values
         .first()
@@ -43,47 +45,34 @@ fn key_grams(record: &Record, q: usize) -> Vec<String> {
 }
 
 impl Blocker for QGramBlocker {
-    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
-        let left_grams: Vec<Vec<String>> =
-            left.iter().map(|r| key_grams(r, self.q)).collect();
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (j, r) in right.iter().enumerate() {
-            for g in key_grams(r, self.q) {
-                index.entry(g).or_default().push(j);
-            }
+    fn required_features(&self) -> IndexConfig {
+        IndexConfig {
+            qgrams: Some(self.q),
+            ..IndexConfig::none()
         }
-        // Document frequency over both relations; the cut runs before the
-        // posting loop so a stop gram costs one hash probe, not a scan of
-        // its (potentially relation-sized) posting list.
-        let mut df: HashMap<&str, usize> = index
-            .iter()
-            .map(|(g, postings)| (g.as_str(), postings.len()))
-            .collect();
-        for grams in &left_grams {
-            for g in grams {
-                *df.entry(g.as_str()).or_insert(0) += 1;
-            }
-        }
-        let max_df =
-            ((left.len() + right.len()) as f64 * self.max_gram_frequency).max(2.0) as usize;
-        let mut shared: HashMap<CandidatePair, usize> = HashMap::new();
-        for (i, grams) in left_grams.iter().enumerate() {
-            for g in grams {
-                if df.get(g.as_str()).copied().unwrap_or(0) > max_df {
-                    continue; // stop gram
-                }
-                if let Some(matches) = index.get(g.as_str()) {
-                    for &j in matches {
-                        *shared.entry((i, j)).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-        normalize(
-            shared
-                .into_iter()
-                .filter_map(|(p, c)| (c >= self.min_shared).then_some(p))
-                .collect(),
+    }
+
+    /// Shared-gram candidates over prebuilt indexes; the df cut runs
+    /// before any posting expansion, and the banded parallel probe is
+    /// bitwise-identical to [`crate::reference::qgram_candidates`].
+    fn candidates_indexed(
+        &self,
+        left: &RelationIndex,
+        right: &RelationIndex,
+    ) -> Vec<CandidatePair> {
+        let lg = left
+            .qgrams(self.q)
+            .expect("left index built without matching q-grams");
+        let rg = right
+            .qgrams(self.q)
+            .expect("right index built without matching q-grams");
+        overlap_candidates(
+            lg,
+            rg,
+            left.len(),
+            right.len(),
+            self.min_shared,
+            self.max_gram_frequency,
         )
     }
 }

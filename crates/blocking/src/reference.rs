@@ -1,0 +1,179 @@
+//! Sequential reference blockers — the pre-index implementations kept as
+//! naive oracles, following the repo's equivalence discipline (the fused
+//! GEMM/attention/optimizer kernels all keep their seed path in an
+//! `em_nn::reference`-style module).
+//!
+//! The indexed paths in [`crate::index`] must return candidate vectors
+//! **bitwise-identical** to these functions at every thread count; the
+//! proptest suite `tests/parallel_equivalence.rs` enforces it. Nothing in
+//! the serving system calls these — they exist to be compared against.
+
+use crate::{normalize, record_text, stop_threshold, CandidatePair, QGramBlocker, SortedNeighbourhood, TokenBlocker};
+use em_core::Record;
+use std::collections::HashMap;
+
+/// Sequential token blocking, exactly as shipped before the index: one
+/// `HashMap<String, Vec<usize>>` inverted index over the right relation, a
+/// document-frequency census over both relations, and a global
+/// `HashMap<(i, j), count>` accumulator.
+pub fn token_candidates(
+    b: &TokenBlocker,
+    left: &[Record],
+    right: &[Record],
+) -> Vec<CandidatePair> {
+    let left_tokens: Vec<Vec<String>> = left
+        .iter()
+        .map(|r| {
+            let mut toks = em_text::words(&record_text(r));
+            toks.sort_unstable();
+            toks.dedup();
+            toks
+        })
+        .collect();
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (j, r) in right.iter().enumerate() {
+        let mut toks = em_text::words(&record_text(r));
+        toks.sort_unstable();
+        toks.dedup();
+        for t in toks {
+            index.entry(t).or_default().push(j);
+        }
+    }
+    // Document frequency over *both* relations (PR 7's stop-cut fix).
+    let mut df: HashMap<&str, usize> = index
+        .iter()
+        .map(|(t, postings)| (t.as_str(), postings.len()))
+        .collect();
+    for toks in &left_tokens {
+        for t in toks {
+            *df.entry(t.as_str()).or_insert(0) += 1;
+        }
+    }
+    let max_df = stop_threshold(left.len() + right.len(), b.max_token_frequency);
+    let mut shared_counts: HashMap<CandidatePair, usize> = HashMap::new();
+    for (i, toks) in left_tokens.iter().enumerate() {
+        for t in toks {
+            if df.get(t.as_str()).copied().unwrap_or(0) > max_df {
+                continue; // stop word
+            }
+            if let Some(matches) = index.get(t.as_str()) {
+                for &j in matches {
+                    *shared_counts.entry((i, j)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    normalize(
+        shared_counts
+            .into_iter()
+            .filter_map(|(p, c)| (c >= b.min_shared).then_some(p))
+            .collect(),
+    )
+}
+
+/// Sequential q-gram blocking over the key (first) attribute, with the df
+/// cut applied before posting-list expansion (PR 7's fix).
+pub fn qgram_candidates(
+    b: &QGramBlocker,
+    left: &[Record],
+    right: &[Record],
+) -> Vec<CandidatePair> {
+    let left_grams: Vec<Vec<String>> = left.iter().map(|r| crate::qgram::key_grams(r, b.q)).collect();
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (j, r) in right.iter().enumerate() {
+        for g in crate::qgram::key_grams(r, b.q) {
+            index.entry(g).or_default().push(j);
+        }
+    }
+    let mut df: HashMap<&str, usize> = index
+        .iter()
+        .map(|(g, postings)| (g.as_str(), postings.len()))
+        .collect();
+    for grams in &left_grams {
+        for g in grams {
+            *df.entry(g.as_str()).or_insert(0) += 1;
+        }
+    }
+    let max_df = stop_threshold(left.len() + right.len(), b.max_gram_frequency);
+    let mut shared: HashMap<CandidatePair, usize> = HashMap::new();
+    for (i, grams) in left_grams.iter().enumerate() {
+        for g in grams {
+            if df.get(g.as_str()).copied().unwrap_or(0) > max_df {
+                continue; // stop gram
+            }
+            if let Some(matches) = index.get(g.as_str()) {
+                for &j in matches {
+                    *shared.entry((i, j)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    normalize(
+        shared
+            .into_iter()
+            .filter_map(|(p, c)| (c >= b.min_shared).then_some(p))
+            .collect(),
+    )
+}
+
+/// Sequential sorted-neighbourhood blocking: merge both relations, sort by
+/// the full-text key, interleave equal-key runs, slide the window.
+pub fn sorted_candidates(
+    b: &SortedNeighbourhood,
+    left: &[Record],
+    right: &[Record],
+) -> Vec<CandidatePair> {
+    assert!(b.window >= 2, "window must be at least 2");
+    // (sort key, relation, index)
+    let mut entries: Vec<(String, bool, usize)> = Vec::with_capacity(left.len() + right.len());
+    for (i, r) in left.iter().enumerate() {
+        entries.push((record_text(r), false, i));
+    }
+    for (j, r) in right.iter().enumerate() {
+        entries.push((record_text(r), true, j));
+    }
+    entries.sort();
+    // Interleave mixed equal-key runs L,R,L,R,… so duplicates sit adjacent
+    // (PR 7's fix); relative idx order inside each relation is preserved.
+    let mut run_start = 0;
+    while run_start < entries.len() {
+        let mut run_end = run_start + 1;
+        while run_end < entries.len() && entries[run_end].0 == entries[run_start].0 {
+            run_end += 1;
+        }
+        let run = &mut entries[run_start..run_end];
+        let split = run.iter().position(|e| e.1).unwrap_or(run.len());
+        if run.len() > 2 && split > 0 && split < run.len() {
+            let lefts: Vec<_> = run[..split].to_vec();
+            let rights: Vec<_> = run[split..].to_vec();
+            let (mut li, mut ri) = (0, 0);
+            for slot in run.iter_mut() {
+                let take_left = if li < lefts.len() && ri < rights.len() {
+                    li <= ri
+                } else {
+                    li < lefts.len()
+                };
+                if take_left {
+                    *slot = lefts[li].clone();
+                    li += 1;
+                } else {
+                    *slot = rights[ri].clone();
+                    ri += 1;
+                }
+            }
+        }
+        run_start = run_end;
+    }
+    let mut out = Vec::new();
+    for (pos, (_, is_right, idx)) in entries.iter().enumerate() {
+        let end = (pos + b.window).min(entries.len());
+        for (_, other_right, other_idx) in &entries[pos + 1..end] {
+            match (is_right, other_right) {
+                (false, true) => out.push((*idx, *other_idx)),
+                (true, false) => out.push((*other_idx, *idx)),
+                _ => {} // same relation: not a candidate
+            }
+        }
+    }
+    normalize(out)
+}

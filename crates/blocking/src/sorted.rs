@@ -1,8 +1,8 @@
 //! Sorted-neighbourhood blocking: both relations are merged, sorted by a
 //! key rendering, and a sliding window pairs nearby records.
 
-use crate::{normalize, record_text, Blocker, CandidatePair};
-use em_core::Record;
+use crate::index::{IndexConfig, RelationIndex};
+use crate::{Blocker, CandidatePair};
 
 /// Sorted-neighbourhood blocker.
 #[derive(Debug, Clone, Copy)]
@@ -18,72 +18,31 @@ impl Default for SortedNeighbourhood {
 }
 
 impl Blocker for SortedNeighbourhood {
-    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+    fn required_features(&self) -> IndexConfig {
+        IndexConfig {
+            texts: true,
+            ..IndexConfig::none()
+        }
+    }
+
+    /// Sliding-window candidates over the indexes' pre-rendered sort
+    /// keys: equal-key runs interleave L,R,L,R,… so duplicates pair (the
+    /// PR 7 fix), and the window sweep fans out in fixed position bands —
+    /// bitwise-identical to [`crate::reference::sorted_candidates`].
+    fn candidates_indexed(
+        &self,
+        left: &RelationIndex,
+        right: &RelationIndex,
+    ) -> Vec<CandidatePair> {
         assert!(self.window >= 2, "window must be at least 2");
-        // (sort key, relation, index)
-        let mut entries: Vec<(String, bool, usize)> = Vec::with_capacity(left.len() + right.len());
-        for (i, r) in left.iter().enumerate() {
-            entries.push((record_text(r), false, i));
-        }
-        for (j, r) in right.iter().enumerate() {
-            entries.push((record_text(r), true, j));
-        }
-        entries.sort();
-        // The sort key is (text, is_right, idx), so an equal-key run
-        // groups every left record before every right record. When the
-        // run is longer than the window, a left record's window fills up
-        // with other lefts and bit-identical left/right duplicates — the
-        // highest-confidence matches — never pair. Rewrite each mixed
-        // equal-key run interleaved L,R,L,R,… so duplicates sit adjacent
-        // while relative idx order inside each relation is preserved.
-        let mut run_start = 0;
-        while run_start < entries.len() {
-            let mut run_end = run_start + 1;
-            while run_end < entries.len() && entries[run_end].0 == entries[run_start].0 {
-                run_end += 1;
-            }
-            let run = &mut entries[run_start..run_end];
-            let split = run.iter().position(|e| e.1).unwrap_or(run.len());
-            if run.len() > 2 && split > 0 && split < run.len() {
-                let lefts: Vec<_> = run[..split].to_vec();
-                let rights: Vec<_> = run[split..].to_vec();
-                let (mut li, mut ri) = (0, 0);
-                for slot in run.iter_mut() {
-                    let take_left = if li < lefts.len() && ri < rights.len() {
-                        li <= ri
-                    } else {
-                        li < lefts.len()
-                    };
-                    if take_left {
-                        *slot = lefts[li].clone();
-                        li += 1;
-                    } else {
-                        *slot = rights[ri].clone();
-                        ri += 1;
-                    }
-                }
-            }
-            run_start = run_end;
-        }
-        let mut out = Vec::new();
-        for (pos, (_, is_right, idx)) in entries.iter().enumerate() {
-            let end = (pos + self.window).min(entries.len());
-            for (_, other_right, other_idx) in &entries[pos + 1..end] {
-                match (is_right, other_right) {
-                    (false, true) => out.push((*idx, *other_idx)),
-                    (true, false) => out.push((*other_idx, *idx)),
-                    _ => {} // same relation: not a candidate
-                }
-            }
-        }
-        normalize(out)
+        crate::index::sorted_candidates(self.window, left, right)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_core::AttrValue;
+    use em_core::{AttrValue, Record};
 
     fn rec(id: u64, text: &str) -> Record {
         Record::new(id, vec![AttrValue::from(text)])

@@ -1,9 +1,8 @@
 //! Token blocking: two records become a candidate pair when they share at
 //! least `min_shared` word tokens. The classic high-recall baseline.
 
-use crate::{normalize, record_text, Blocker, CandidatePair};
-use em_core::Record;
-use std::collections::HashMap;
+use crate::index::{overlap_candidates, IndexConfig, RelationIndex};
+use crate::{Blocker, CandidatePair};
 
 /// Token (word-overlap) blocker.
 #[derive(Debug, Clone, Copy)]
@@ -25,63 +24,31 @@ impl Default for TokenBlocker {
 }
 
 impl Blocker for TokenBlocker {
-    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
-        // Tokenize every left record once; the token lists feed both the
-        // document-frequency census and the probe loop below.
-        let left_tokens: Vec<Vec<String>> = left
-            .iter()
-            .map(|r| {
-                let mut toks = em_text::words(&record_text(r));
-                toks.sort_unstable();
-                toks.dedup();
-                toks
-            })
-            .collect();
-        // Inverted index over right-relation tokens.
-        let mut index: HashMap<String, Vec<usize>> = HashMap::new();
-        for (j, r) in right.iter().enumerate() {
-            let mut toks = em_text::words(&record_text(r));
-            toks.sort_unstable();
-            toks.dedup();
-            for t in toks {
-                index.entry(t).or_default().push(j);
-            }
+    fn required_features(&self) -> IndexConfig {
+        IndexConfig {
+            tokens: true,
+            ..IndexConfig::none()
         }
-        // Document frequency over *both* relations, matching the documented
-        // stop-word semantics ("fraction of records"). The seed compared
-        // the right-only posting length against a threshold derived from
-        // left+right, so a token present in every right record slipped
-        // under the cut whenever the left relation was large — quadratic
-        // candidate blowup on skewed relation sizes.
-        let mut df: HashMap<&str, usize> = index
-            .iter()
-            .map(|(t, postings)| (t.as_str(), postings.len()))
-            .collect();
-        for toks in &left_tokens {
-            for t in toks {
-                *df.entry(t.as_str()).or_insert(0) += 1;
-            }
-        }
-        let max_df =
-            ((left.len() + right.len()) as f64 * self.max_token_frequency).max(2.0) as usize;
-        let mut shared_counts: HashMap<CandidatePair, usize> = HashMap::new();
-        for (i, toks) in left_tokens.iter().enumerate() {
-            for t in toks {
-                if df.get(t.as_str()).copied().unwrap_or(0) > max_df {
-                    continue; // stop word
-                }
-                if let Some(matches) = index.get(t.as_str()) {
-                    for &j in matches {
-                        *shared_counts.entry((i, j)).or_insert(0) += 1;
-                    }
-                }
-            }
-        }
-        normalize(
-            shared_counts
-                .into_iter()
-                .filter_map(|(p, c)| (c >= self.min_shared).then_some(p))
-                .collect(),
+    }
+
+    /// Shared-token candidates over prebuilt indexes. Document frequency
+    /// spans *both* relations (the PR 7 stop-cut semantics) and the cut
+    /// runs before any posting expansion; the banded parallel probe is
+    /// bitwise-identical to [`crate::reference::token_candidates`].
+    fn candidates_indexed(
+        &self,
+        left: &RelationIndex,
+        right: &RelationIndex,
+    ) -> Vec<CandidatePair> {
+        let lt = left.tokens().expect("left index built without tokens");
+        let rt = right.tokens().expect("right index built without tokens");
+        overlap_candidates(
+            lt,
+            rt,
+            left.len(),
+            right.len(),
+            self.min_shared,
+            self.max_token_frequency,
         )
     }
 }
@@ -89,7 +56,7 @@ impl Blocker for TokenBlocker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use em_core::AttrValue;
+    use em_core::{AttrValue, Record};
 
     fn rec(id: u64, text: &str) -> Record {
         Record::new(id, vec![AttrValue::from(text)])

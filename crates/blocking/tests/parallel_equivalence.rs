@@ -1,0 +1,180 @@
+//! Blocking-equivalence suite: the indexed, banded-parallel candidate
+//! generation must be **bitwise identical** to the sequential reference
+//! implementations in [`em_blocking::reference`] for every family, every
+//! relation shape, and every thread count — and a prebuilt index reused
+//! across runs (including after the other side changed) must answer
+//! exactly like a fresh build.
+//!
+//! This lives in its own integration binary because the thread-count
+//! parity tests mutate the process-global worker budget via
+//! [`em_nn::threadpool::set_max_threads`]; tests that do so serialize on
+//! [`THREAD_CAP`].
+
+use em_blocking::{
+    reference, Blocker, CandidatePair, QGramBlocker, RelationIndex, SortedNeighbourhood,
+    TokenBlocker,
+};
+use em_core::Record;
+use em_nn::threadpool;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes every test that overrides the global thread cap.
+static THREAD_CAP: Mutex<()> = Mutex::new(());
+
+/// Thread caps the parity tests sweep: inline, two workers, oversubscribed.
+const THREAD_CAPS: [usize; 3] = [1, 2, 8];
+
+/// One blocker family with its pre-index sequential oracle.
+struct Family {
+    name: &'static str,
+    blocker: Box<dyn Blocker>,
+    oracle: Box<dyn Fn(&[Record], &[Record]) -> Vec<CandidatePair>>,
+}
+
+fn families() -> Vec<Family> {
+    fn fam(
+        name: &'static str,
+        blocker: Box<dyn Blocker>,
+        oracle: impl Fn(&[Record], &[Record]) -> Vec<CandidatePair> + 'static,
+    ) -> Family {
+        Family {
+            name,
+            blocker,
+            oracle: Box::new(oracle),
+        }
+    }
+    let token_default = TokenBlocker::default();
+    let token_serving = TokenBlocker {
+        min_shared: 2,
+        max_token_frequency: 0.05,
+    };
+    let token_uncut = TokenBlocker {
+        min_shared: 1,
+        max_token_frequency: 1.0,
+    };
+    let qgram_default = QGramBlocker::default();
+    let qgram_loose = QGramBlocker {
+        q: 2,
+        min_shared: 1,
+        max_gram_frequency: 1.0,
+    };
+    let sn_small = SortedNeighbourhood { window: 2 };
+    let sn_wide = SortedNeighbourhood { window: 10 };
+    vec![
+        fam("token-default", Box::new(token_default), move |l, r| {
+            reference::token_candidates(&token_default, l, r)
+        }),
+        fam("token-serving", Box::new(token_serving), move |l, r| {
+            reference::token_candidates(&token_serving, l, r)
+        }),
+        fam("token-uncut", Box::new(token_uncut), move |l, r| {
+            reference::token_candidates(&token_uncut, l, r)
+        }),
+        fam("qgram-default", Box::new(qgram_default), move |l, r| {
+            reference::qgram_candidates(&qgram_default, l, r)
+        }),
+        fam("qgram-loose", Box::new(qgram_loose), move |l, r| {
+            reference::qgram_candidates(&qgram_loose, l, r)
+        }),
+        fam("sorted-w2", Box::new(sn_small), move |l, r| {
+            reference::sorted_candidates(&sn_small, l, r)
+        }),
+        fam("sorted-w10", Box::new(sn_wide), move |l, r| {
+            reference::sorted_candidates(&sn_wide, l, r)
+        }),
+    ]
+}
+
+/// Runs `f` under each swept thread cap, restoring the default after.
+fn at_each_cap(mut f: impl FnMut(usize)) {
+    let _g = THREAD_CAP.lock().unwrap();
+    for cap in THREAD_CAPS {
+        threadpool::set_max_threads(Some(cap));
+        f(cap);
+    }
+    threadpool::set_max_threads(None);
+}
+
+proptest! {
+    /// Indexed candidates equal the sequential oracle exactly — same
+    /// pairs, same order — for every family at 1, 2, and 8 threads.
+    #[test]
+    fn indexed_path_matches_reference_at_every_thread_count(
+        seed in 0u64..10,
+        n_left in 0usize..60,
+        n_right in 0usize..60,
+        tenths in 0usize..=10,
+    ) {
+        let rels = em_datagen::serve_relations(n_left, n_right, tenths as f64 / 10.0, seed);
+        for family in families() {
+            let expect = (family.oracle)(&rels.left, &rels.right);
+            let mut failure: Option<String> = None;
+            at_each_cap(|cap| {
+                let got = family.blocker.candidates(&rels.left, &rels.right);
+                if got != expect && failure.is_none() {
+                    failure = Some(format!(
+                        "{} at {} threads: {} candidates vs {} reference",
+                        family.name, cap, got.len(), expect.len()
+                    ));
+                }
+            });
+            prop_assert!(failure.is_none(), "{}", failure.unwrap());
+        }
+    }
+
+    /// A relation index built once answers identically when reused against
+    /// a *different* other side — the pipeline's reuse-after-append path.
+    /// Document frequencies live per relation and combine at probe time,
+    /// so a stale side's index stays exact.
+    #[test]
+    fn prebuilt_index_reused_after_other_side_grows(
+        seed in 0u64..8,
+        n in 4usize..40,
+        extra in 1usize..12,
+    ) {
+        let rels = em_datagen::serve_relations(n, n + extra, 0.4, seed);
+        let (right_before, right_grown) = (&rels.right[..n], &rels.right[..]);
+        for family in families() {
+            let cfg = family.blocker.required_features();
+            let left_index = RelationIndex::build(&rels.left, &cfg);
+
+            for right in [right_before, right_grown] {
+                let fresh_left = RelationIndex::build(&rels.left, &cfg);
+                let right_index = RelationIndex::build(right, &cfg);
+                let reused = family.blocker.candidates_indexed(&left_index, &right_index);
+                let fresh = family.blocker.candidates_indexed(&fresh_left, &right_index);
+                prop_assert_eq!(
+                    &reused, &fresh,
+                    "{}: reused left index diverged at |right|={}", family.name, right.len()
+                );
+                let oracle = (family.oracle)(&rels.left, right);
+                prop_assert_eq!(
+                    &reused, &oracle,
+                    "{}: indexed path diverged from reference at |right|={}",
+                    family.name, right.len()
+                );
+            }
+        }
+    }
+}
+
+/// The serving configuration at a deterministic, non-trivial scale: one
+/// straight pin that the banded probe is exact where it matters most.
+#[test]
+fn serving_blocker_parity_at_scale() {
+    let rels = em_datagen::serve_relations(400, 400, 0.3, 7);
+    let blocker = TokenBlocker {
+        min_shared: 2,
+        max_token_frequency: 0.05,
+    };
+    let expect = reference::token_candidates(&blocker, &rels.left, &rels.right);
+    assert!(!expect.is_empty(), "degenerate workload: no candidates");
+    at_each_cap(|cap| {
+        let got = blocker.candidates(&rels.left, &rels.right);
+        assert_eq!(
+            got, expect,
+            "token serving config diverged at {cap} threads"
+        );
+    });
+}

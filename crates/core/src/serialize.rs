@@ -12,6 +12,7 @@ use crate::record::Record;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Separator between attribute values, matching the StringSim baseline's
 /// "concatenating the values with a comma separator".
@@ -20,15 +21,33 @@ pub const VALUE_SEPARATOR: &str = ", ";
 /// A serialized pair: both records rendered to plain strings under the same
 /// column permutation. This is the *only* view of the data that
 /// cross-dataset matchers receive.
+///
+/// Both sides are shared `Arc<str>` slices: a serving pipeline renders
+/// each record once into its store and every candidate pair, batch, and
+/// retry *views* that rendering — cloning a pair (or an [`EvalBatch`]
+/// built from pairs) is two reference-count bumps, never a string copy.
+/// `Arc<str>` derefs to `&str`, so read sites are unchanged; construction
+/// sites use `.into()` from `&str` / `String`.
+///
+/// [`EvalBatch`]: crate::matcher::EvalBatch
 #[derive(Debug, Clone, PartialEq)]
 pub struct SerializedPair {
     /// Left record, values joined by [`VALUE_SEPARATOR`].
-    pub left: String,
+    pub left: Arc<str>,
     /// Right record, values joined by [`VALUE_SEPARATOR`].
-    pub right: String,
+    pub right: Arc<str>,
 }
 
 impl SerializedPair {
+    /// Builds a pair from anything string-like (`&str`, `String`,
+    /// `Arc<str>`).
+    pub fn new(left: impl Into<Arc<str>>, right: impl Into<Arc<str>>) -> Self {
+        SerializedPair {
+            left: left.into(),
+            right: right.into(),
+        }
+    }
+
     /// Combined length in bytes (useful for token-cost accounting).
     pub fn len_bytes(&self) -> usize {
         self.left.len() + self.right.len()
@@ -96,8 +115,8 @@ impl Serializer {
     /// Serializes a pair of records under the shared permutation.
     pub fn pair(&self, pair: &RecordPair) -> SerializedPair {
         SerializedPair {
-            left: self.record(&pair.left),
-            right: self.record(&pair.right),
+            left: self.record(&pair.left).into(),
+            right: self.record(&pair.right).into(),
         }
     }
 
@@ -196,9 +215,9 @@ mod tests {
         let sp = s.pair(&p);
         let order = s.order();
         let expect_left: Vec<&str> = order.iter().map(|&i| ["a", "b", "c"][i]).collect();
-        assert_eq!(sp.left, expect_left.join(", "));
+        assert_eq!(&*sp.left, expect_left.join(", "));
         let expect_right: Vec<&str> = order.iter().map(|&i| ["x", "y", "z"][i]).collect();
-        assert_eq!(sp.right, expect_right.join(", "));
+        assert_eq!(&*sp.right, expect_right.join(", "));
     }
 
     #[test]

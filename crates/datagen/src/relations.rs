@@ -210,8 +210,8 @@ pub fn labeled_pairs(
     for &&(i, j) in pos.iter().take(n_pos) {
         out.push((
             SerializedPair {
-                left: ser.record(&rels.left[i]),
-                right: ser.record(&rels.right[j]),
+                left: ser.record(&rels.left[i]).into(),
+                right: ser.record(&rels.right[j]).into(),
             },
             true,
         ));
@@ -227,8 +227,8 @@ pub fn labeled_pairs(
         }
         out.push((
             SerializedPair {
-                left: ser.record(&rels.left[i]),
-                right: ser.record(&rels.right[j]),
+                left: ser.record(&rels.left[i]).into(),
+                right: ser.record(&rels.right[j]).into(),
             },
             false,
         ));

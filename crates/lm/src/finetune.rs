@@ -204,8 +204,8 @@ mod tests {
                     b.swap(0, 3);
                     (
                         SerializedPair {
-                            left: a.join(" "),
-                            right: b.join(" "),
+                            left: a.join(" ").into(),
+                            right: b.join(" ").into(),
                         },
                         true,
                     )
@@ -215,8 +215,8 @@ mod tests {
                         .collect();
                     (
                         SerializedPair {
-                            left: a.join(" "),
-                            right: b.join(" "),
+                            left: a.join(" ").into(),
+                            right: b.join(" ").into(),
                         },
                         false,
                     )

@@ -50,8 +50,8 @@ fn ragged_examples(n: usize, seq: usize, with_full_row: bool) -> Vec<(Encoded, b
             let left: Vec<&str> = (0..len).map(|j| words[(i + j) % words.len()]).collect();
             let right: Vec<&str> = (0..len).map(|j| words[(i + j + i % 2) % words.len()]).collect();
             let pair = SerializedPair {
-                left: left.join(" "),
-                right: right.join(" "),
+                left: left.join(" ").into(),
+                right: right.join(" ").into(),
             };
             (encode_pair(&tok, &pair, seq), i % 2 == 0)
         })
@@ -61,8 +61,8 @@ fn ragged_examples(n: usize, seq: usize, with_full_row: bool) -> Vec<(Encoded, b
         // "longest row equals model max" edge case is always present.
         let long: Vec<&str> = (0..seq).map(|j| words[j % words.len()]).collect();
         let pair = SerializedPair {
-            left: long.join(" "),
-            right: long.join(" "),
+            left: long.join(" ").into(),
+            right: long.join(" ").into(),
         };
         let e = encode_pair(&tok, &pair, seq);
         assert_eq!(

@@ -108,7 +108,13 @@ pub fn attribute_pair_augmentation(split: &LodoSplit<'_>, n: usize, seed: u64) -
         if left.is_empty() || right.is_empty() {
             continue;
         }
-        out.push((SerializedPair { left, right }, lp.label));
+        out.push((
+            SerializedPair {
+                left: left.into(),
+                right: right.into(),
+            },
+            lp.label,
+        ));
     }
     out
 }
@@ -242,8 +248,8 @@ mod tests {
             .map(|i| {
                 (
                     SerializedPair {
-                        left: format!("{i}"),
-                        right: format!("{i}"),
+                        left: format!("{i}").into(),
+                        right: format!("{i}").into(),
                     },
                     true,
                 )
@@ -282,15 +288,15 @@ mod tests {
         for i in 0..50 {
             pairs.push((
                 SerializedPair {
-                    left: format!("alpha beta {i}"),
-                    right: format!("alpha beta {i}"),
+                    left: format!("alpha beta {i}").into(),
+                    right: format!("alpha beta {i}").into(),
                 },
                 true,
             ));
             pairs.push((
                 SerializedPair {
-                    left: format!("gamma delta {i}"),
-                    right: format!("zzz qqq {}", i + 100),
+                    left: format!("gamma delta {i}").into(),
+                    right: format!("zzz qqq {}", i + 100).into(),
                 },
                 false,
             ));
@@ -299,8 +305,8 @@ mod tests {
         for i in 0..10 {
             pairs.push((
                 SerializedPair {
-                    left: format!("mix one two {i}"),
-                    right: format!("mix one xx {i}"),
+                    left: format!("mix one two {i}").into(),
+                    right: format!("mix one xx {i}").into(),
                 },
                 i % 2 == 0,
             ));
@@ -323,8 +329,8 @@ mod tests {
             .map(|i| {
                 (
                     SerializedPair {
-                        left: format!("{i}"),
-                        right: format!("{i}"),
+                        left: format!("{i}").into(),
+                        right: format!("{i}").into(),
                     },
                     true,
                 )

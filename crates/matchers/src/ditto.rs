@@ -172,8 +172,8 @@ fn prepare_training_data(
     for (p, y) in pairs {
         let base = if cfg.summarization {
             SerializedPair {
-                left: summarize(&p.left, &tfidf, cfg.summarize_to),
-                right: summarize(&p.right, &tfidf, cfg.summarize_to),
+                left: summarize(&p.left, &tfidf, cfg.summarize_to).into(),
+                right: summarize(&p.right, &tfidf, cfg.summarize_to).into(),
             }
         } else {
             p.clone()
@@ -182,8 +182,8 @@ fn prepare_training_data(
             for _ in 0..cfg.augment_factor {
                 out.push((
                     SerializedPair {
-                        left: augment_side(&base.left, &mut rng),
-                        right: augment_side(&base.right, &mut rng),
+                        left: augment_side(&base.left, &mut rng).into(),
+                        right: augment_side(&base.right, &mut rng).into(),
                     },
                     *y,
                 ));
@@ -257,8 +257,8 @@ impl Matcher for Ditto {
             .map(|p| {
                 let q = if self.cfg.summarization {
                     SerializedPair {
-                        left: summarize(&p.left, &tfidf, self.cfg.summarize_to),
-                        right: summarize(&p.right, &tfidf, self.cfg.summarize_to),
+                        left: summarize(&p.left, &tfidf, self.cfg.summarize_to).into(),
+                        right: summarize(&p.right, &tfidf, self.cfg.summarize_to).into(),
                     }
                 } else {
                     p.clone()

@@ -312,10 +312,10 @@ mod tests {
         assert_eq!(demos.len(), 3);
         assert_eq!(demos.iter().filter(|d| d.label).count(), 1);
         let pos = demos.iter().find(|d| d.label).unwrap();
-        assert_eq!(pos.pair.left, "alpha beta");
-        assert_eq!(pos.pair.right, "alpha beta");
+        assert_eq!(&*pos.pair.left, "alpha beta");
+        assert_eq!(&*pos.pair.right, "alpha beta");
         // The borderline negative is not picked.
-        assert!(demos.iter().all(|d| d.pair.left != "mixed one"));
+        assert!(demos.iter().all(|d| &*d.pair.left != "mixed one"));
     }
 
     #[test]

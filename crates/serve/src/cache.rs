@@ -6,20 +6,55 @@
 //! bitwise-identical score without touching the matcher — per stage,
 //! because each cascade stage has its own score surface and a cheap
 //! stage's cached score must never masquerade as an expensive one's.
+//!
+//! The cache can be bounded: with a capacity set, insertion past the
+//! bound evicts the oldest-inserted entry (FIFO). FIFO rather than LRU
+//! keeps `get` a shared-reference read, which is what lets the pipeline
+//! probe the cache from parallel workers. As long as a run's working set
+//! fits within the capacity, warm runs remain bitwise-identical to cold
+//! ones; evictions only ever cost re-scoring, never wrong answers.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+type Key = (u32, u64, u64);
 
 /// Pair-keyed, stage-scoped score cache. Keys are record *ids* (not
 /// positions), so a cache outlives reorderings of the stores.
 #[derive(Debug, Default)]
 pub struct ScoreCache {
-    map: HashMap<(u32, u64, u64), f32>,
+    map: HashMap<Key, f32>,
+    /// Insertion order, oldest at the front; maintained only when bounded.
+    order: VecDeque<Key>,
+    capacity: Option<usize>,
+    evicted: u64,
 }
 
 impl ScoreCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries; the oldest
+    /// insertion is evicted first. `capacity` must be positive.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ScoreCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: Some(capacity),
+            evicted: 0,
+        }
+    }
+
+    /// The configured bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evicted
     }
 
     /// Cached score for a pair at a stage, if present.
@@ -27,9 +62,25 @@ impl ScoreCache {
         self.map.get(&(stage, left_id, right_id)).copied()
     }
 
-    /// Stores a score (last write wins).
+    /// Stores a score (last write wins). Re-inserting an existing key
+    /// updates the score in place without refreshing its eviction order.
     pub fn insert(&mut self, stage: u32, left_id: u64, right_id: u64, score: f32) {
-        self.map.insert((stage, left_id, right_id), score);
+        let key = (stage, left_id, right_id);
+        let was_new = self.map.insert(key, score).is_none();
+        if let Some(cap) = self.capacity {
+            if was_new {
+                self.order.push_back(key);
+                while self.map.len() > cap {
+                    let oldest = self
+                        .order
+                        .pop_front()
+                        .expect("bounded cache over capacity with empty order queue");
+                    self.map.remove(&oldest);
+                    self.evicted += 1;
+                    em_obs::metrics::counter("serve.cache_evicted").inc();
+                }
+            }
+        }
     }
 
     /// Number of cached entries across all stages.
@@ -42,9 +93,11 @@ impl ScoreCache {
         self.map.is_empty()
     }
 
-    /// Drops all entries.
+    /// Drops all entries (the eviction count survives; it is a lifetime
+    /// statistic, not a content one).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.order.clear();
     }
 }
 
@@ -76,5 +129,49 @@ mod tests {
         c.insert(0, 1, 2, 0.5);
         c.clear();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut c = ScoreCache::new();
+        for i in 0..10_000u64 {
+            c.insert(0, i, i, 0.5);
+        }
+        assert_eq!(c.len(), 10_000);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_first() {
+        let mut c = ScoreCache::with_capacity(2);
+        c.insert(0, 1, 1, 0.1);
+        c.insert(0, 2, 2, 0.2);
+        c.insert(0, 3, 3, 0.3); // evicts (0,1,1)
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.get(0, 1, 1), None);
+        assert_eq!(c.get(0, 2, 2), Some(0.2));
+        assert_eq!(c.get(0, 3, 3), Some(0.3));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_evicting() {
+        let mut c = ScoreCache::with_capacity(2);
+        c.insert(0, 1, 1, 0.1);
+        c.insert(0, 2, 2, 0.2);
+        c.insert(0, 1, 1, 0.9); // same key: update, no eviction
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.get(0, 1, 1), Some(0.9));
+        // (0,1,1) kept its original (oldest) slot, so it goes first.
+        c.insert(0, 3, 3, 0.3);
+        assert_eq!(c.get(0, 1, 1), None);
+        assert_eq!(c.get(0, 2, 2), Some(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ScoreCache::with_capacity(0);
     }
 }

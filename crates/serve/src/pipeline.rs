@@ -3,9 +3,12 @@
 use crate::cache::ScoreCache;
 use crate::stage::{approx_tokens, Stage};
 use crate::store::RecordStore;
-use em_blocking::{metrics::reduction_ratio, Blocker, CandidatePair};
+use em_blocking::{
+    metrics::reduction_ratio, Blocker, CandidatePair, IndexConfig, RelationIndex,
+};
 use em_core::{run_chunks, EmError, EvalBatch, Result, SerializedPair};
 use em_cost::estimate::{api_bill_for, ApiBill};
+use std::sync::Arc;
 
 /// Tuning knobs of the serving run.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +24,10 @@ impl Default for ServeConfig {
         ServeConfig { batch_size: 512 }
     }
 }
+
+/// Index positions handled per parallel work item in the cache probe and
+/// escalation sweeps.
+const PAIR_CHUNK: usize = 4096;
 
 /// What one cascade stage did during a run.
 #[derive(Debug, Clone)]
@@ -85,8 +92,13 @@ pub struct ServeReport {
     pub candidates: usize,
     /// Blocking reduction ratio vs the full cross product.
     pub reduction_ratio: f64,
-    /// Seconds spent in blocking.
+    /// Seconds spent in blocking (index build/reuse + probe + pair
+    /// serialization).
     pub blocking_seconds: f64,
+    /// `true` when both stores were unchanged since the previous run and
+    /// the candidate set (and its serialized view) was reused outright —
+    /// no tokenization, no index build, no probe.
+    pub blocking_reused: bool,
     /// Per-stage accounting, in cascade order.
     pub stages: Vec<StageReport>,
     /// The candidate pairs, aligned with `scores`.
@@ -105,6 +117,25 @@ impl ServeReport {
     }
 }
 
+/// Blocking state carried between runs, keyed by the stores' identities.
+///
+/// Each side's [`RelationIndex`] stays valid while its store's
+/// `(store_id, generation)` is unchanged; the candidate set and its
+/// serialized view stay valid while *both* sides are unchanged. A store
+/// mutation invalidates exactly the stale side — the fresh side's index
+/// is still reused for the re-probe.
+struct BlockSlot {
+    left_key: (u64, u64),
+    right_key: (u64, u64),
+    /// Features the indexes were built with; must cover the blocker's
+    /// requirement for the slot to be reusable.
+    features: IndexConfig,
+    left_index: Arc<RelationIndex>,
+    right_index: Arc<RelationIndex>,
+    pairs: Arc<Vec<CandidatePair>>,
+    serialized: Arc<Vec<SerializedPair>>,
+}
+
 /// A configured serving pipeline: blocker, matcher cascade, score cache.
 ///
 /// Stages run cheap-first. Every candidate pair is scored by stage 0;
@@ -112,12 +143,14 @@ impl ServeReport {
 /// `|2s − 1|` is below stage `k`'s margin. The deepest score wins. All
 /// scoring is cached per `(stage, left_id, right_id)`, so a repeated run
 /// over the same stores returns bitwise-identical scores without
-/// invoking any matcher.
+/// invoking any matcher — and, because blocking state is cached per
+/// store generation, without re-blocking either.
 pub struct ServePipeline {
     blocker: Box<dyn Blocker>,
     stages: Vec<Stage>,
     cache: ScoreCache,
     config: ServeConfig,
+    slot: Option<BlockSlot>,
 }
 
 impl ServePipeline {
@@ -132,6 +165,7 @@ impl ServePipeline {
             stages,
             cache: ScoreCache::new(),
             config: ServeConfig::default(),
+            slot: None,
         })
     }
 
@@ -139,6 +173,13 @@ impl ServePipeline {
     pub fn with_config(mut self, config: ServeConfig) -> Self {
         assert!(config.batch_size > 0, "batch_size must be positive");
         self.config = config;
+        self
+    }
+
+    /// Replaces the score cache with a bounded one (FIFO eviction past
+    /// `capacity` entries). Drops any previously cached scores.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = ScoreCache::with_capacity(capacity);
         self
     }
 
@@ -152,6 +193,77 @@ impl ServePipeline {
         self.cache.clear();
     }
 
+    /// Drops the cached blocking state, forcing the next run to rebuild
+    /// both indexes and re-probe. Scores stay cached.
+    pub fn invalidate_blocking(&mut self) {
+        self.slot = None;
+    }
+
+    /// Blocking for one run: reuse each side's index while its store is
+    /// unchanged, reuse the candidate set outright when both are, and
+    /// serialize fresh candidates as `Arc<str>` views of the stores'
+    /// pre-rendered texts. Returns `(pairs, serialized, reused)`.
+    fn block(
+        &mut self,
+        left: &RecordStore,
+        right: &RecordStore,
+    ) -> Result<(Arc<Vec<CandidatePair>>, Arc<Vec<SerializedPair>>, bool)> {
+        let needed = self.blocker.required_features();
+        let left_key = left.cache_key();
+        let right_key = right.cache_key();
+
+        let reusable = |side_key: (u64, u64), slot_key: (u64, u64), slot: &BlockSlot| {
+            side_key == slot_key && slot.features.covers(&needed)
+        };
+        let left_index = match &self.slot {
+            Some(s) if reusable(left_key, s.left_key, s) => Arc::clone(&s.left_index),
+            _ => Arc::new(RelationIndex::build(left.records(), &needed)),
+        };
+        let right_index = match &self.slot {
+            Some(s) if reusable(right_key, s.right_key, s) => Arc::clone(&s.right_index),
+            _ => Arc::new(RelationIndex::build(right.records(), &needed)),
+        };
+
+        let full_reuse = self
+            .slot
+            .as_ref()
+            .is_some_and(|s| reusable(left_key, s.left_key, s) && reusable(right_key, s.right_key, s));
+        let (pairs, serialized) = if full_reuse {
+            let s = self.slot.as_ref().expect("checked above");
+            em_obs::metrics::counter("serve.blocking_reused").inc();
+            (Arc::clone(&s.pairs), Arc::clone(&s.serialized))
+        } else {
+            let pairs = self.blocker.candidates_indexed(&left_index, &right_index);
+            // Serialized views of the stores' pre-rendered texts: each
+            // pair is two reference-count bumps, never a string copy.
+            let chunks: Vec<&[CandidatePair]> = pairs.chunks(PAIR_CHUNK).collect();
+            let serialized: Vec<SerializedPair> = run_chunks(&chunks, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(i, j)| SerializedPair {
+                        left: left.shared_text(i),
+                        right: right.shared_text(j),
+                    })
+                    .collect::<Vec<_>>()
+            })?
+            .into_iter()
+            .flatten()
+            .collect();
+            (Arc::new(pairs), Arc::new(serialized))
+        };
+
+        self.slot = Some(BlockSlot {
+            left_key,
+            right_key,
+            features: needed,
+            left_index,
+            right_index,
+            pairs: Arc::clone(&pairs),
+            serialized: Arc::clone(&serialized),
+        });
+        Ok((pairs, serialized, full_reuse))
+    }
+
     /// Runs blocking and the cascade over two stores.
     ///
     /// Stage-0 errors are fatal (there is no cheaper tier to answer).
@@ -160,38 +272,25 @@ impl ServePipeline {
     /// report, and the run completes.
     pub fn run(&mut self, left: &RecordStore, right: &RecordStore) -> Result<ServeReport> {
         let t_block = std::time::Instant::now();
-        let pairs = {
+        let (pairs, serialized, blocking_reused) = {
             let _span = em_obs::span!(
                 "serve.blocking",
                 left = left.len(),
                 right = right.len()
             );
-            self.blocker.candidates(left.records(), right.records())
+            self.block(left, right)?
         };
         let blocking_seconds = t_block.elapsed().as_secs_f64();
         em_obs::metrics::counter("serve.candidates").add(pairs.len() as u64);
         let rr = reduction_ratio(pairs.len(), left.len(), right.len());
+        let pairs_slice: &[CandidatePair] = &pairs;
+        let serialized_slice: &[SerializedPair] = &serialized;
 
-        // Assemble the serialized view once, in parallel chunks: the store
-        // pre-rendered both sides, so a pair is two string clones.
-        let chunks: Vec<&[CandidatePair]> = pairs.chunks(4096).collect();
-        let serialized: Vec<SerializedPair> = run_chunks(&chunks, |chunk| {
-            chunk
-                .iter()
-                .map(|&(i, j)| SerializedPair {
-                    left: left.text(i).to_owned(),
-                    right: right.text(j).to_owned(),
-                })
-                .collect::<Vec<_>>()
-        })?
-        .into_iter()
-        .flatten()
-        .collect();
-
-        let mut scores = vec![0.0f32; pairs.len()];
-        let mut active: Vec<usize> = (0..pairs.len()).collect();
+        let mut scores = vec![0.0f32; pairs_slice.len()];
+        let mut active: Vec<usize> = (0..pairs_slice.len()).collect();
         let mut reports: Vec<StageReport> = Vec::with_capacity(self.stages.len());
         let n_stages = self.stages.len();
+        let cache = &mut self.cache;
 
         for (k, stage) in self.stages.iter_mut().enumerate() {
             if active.is_empty() {
@@ -205,30 +304,51 @@ impl ServePipeline {
             let t0 = std::time::Instant::now();
             let pairs_in = active.len();
 
-            // Cache pass: answered pairs skip the matcher entirely.
+            // Cache pass, fanned out in fixed position bands (the cache
+            // is read-shared; merge order is band order, so the result is
+            // identical to the sequential sweep). Answered pairs skip the
+            // matcher entirely.
+            let probe_chunks: Vec<&[usize]> = active.chunks(PAIR_CHUNK).collect();
+            let probed: Vec<(Vec<(usize, f32)>, Vec<usize>)> = {
+                let cache_view: &ScoreCache = cache;
+                run_chunks(&probe_chunks, |chunk| {
+                    let mut chunk_hits = Vec::new();
+                    let mut chunk_misses = Vec::new();
+                    for &p in *chunk {
+                        let (i, j) = pairs_slice[p];
+                        match cache_view.get(k as u32, left.id(i), right.id(j)) {
+                            Some(s) => chunk_hits.push((p, s)),
+                            None => chunk_misses.push(p),
+                        }
+                    }
+                    (chunk_hits, chunk_misses)
+                })?
+            };
             let mut misses: Vec<usize> = Vec::new();
             let mut hits = 0u64;
-            for &p in &active {
-                let (i, j) = pairs[p];
-                match self.cache.get(k as u32, left.id(i), right.id(j)) {
-                    Some(s) => {
-                        scores[p] = s;
-                        hits += 1;
-                    }
-                    None => misses.push(p),
+            for (chunk_hits, chunk_misses) in probed {
+                for (p, s) in chunk_hits {
+                    scores[p] = s;
+                    hits += 1;
                 }
+                misses.extend(chunk_misses);
             }
             em_obs::metrics::counter("serve.cache_hits").add(hits);
 
             // Batched scoring of the misses. Batches are sequential here
             // (the matcher needs `&mut`); each call parallelizes
-            // internally over the shared threadpool.
+            // internally over the shared threadpool. Batch assembly
+            // shares the run's serialized views — cloning a pair is two
+            // reference-count bumps.
             let mut errored = false;
             let mut tokens = 0u64;
             let mut scored = 0usize;
             'batches: for batch_idx in misses.chunks(self.config.batch_size) {
                 let batch = EvalBatch {
-                    serialized: batch_idx.iter().map(|&p| serialized[p].clone()).collect(),
+                    serialized: batch_idx
+                        .iter()
+                        .map(|&p| serialized_slice[p].clone())
+                        .collect(),
                     raw: Vec::new(),
                     attr_types: Vec::new(),
                 };
@@ -244,9 +364,9 @@ impl ServePipeline {
                         }
                         for (&p, s) in batch_idx.iter().zip(batch_scores) {
                             scores[p] = s;
-                            let (i, j) = pairs[p];
-                            self.cache.insert(k as u32, left.id(i), right.id(j), s);
-                            tokens += approx_tokens(&serialized[p]);
+                            let (i, j) = pairs_slice[p];
+                            cache.insert(k as u32, left.id(i), right.id(j), s);
+                            tokens += approx_tokens(&serialized_slice[p]);
                         }
                         scored += batch_idx.len();
                     }
@@ -271,19 +391,29 @@ impl ServePipeline {
             em_obs::metrics::counter("serve.scored").add(scored as u64);
 
             // Escalation: pairs still inside the low-confidence band move
-            // on. An errored stage escalates nothing — unscored pairs
-            // keep the previous stage's (final) answer.
+            // on, filtered in fixed position bands (pure read of the
+            // score table; band-order merge keeps the sequential order).
+            // An errored stage escalates nothing — unscored pairs keep
+            // the previous stage's (final) answer.
             let escalated: Vec<usize> = if errored || k + 1 >= n_stages {
                 Vec::new()
             } else {
-                active
-                    .iter()
-                    .copied()
-                    .filter(|&p| {
-                        let confidence = (2.0 * scores[p] as f64 - 1.0).abs();
-                        confidence < stage.margin
-                    })
-                    .collect()
+                let margin = stage.margin;
+                let scores_view: &[f32] = &scores;
+                let esc_chunks: Vec<&[usize]> = active.chunks(PAIR_CHUNK).collect();
+                run_chunks(&esc_chunks, |chunk| {
+                    chunk
+                        .iter()
+                        .copied()
+                        .filter(|&p| {
+                            let confidence = (2.0 * scores_view[p] as f64 - 1.0).abs();
+                            confidence < margin
+                        })
+                        .collect::<Vec<usize>>()
+                })?
+                .into_iter()
+                .flatten()
+                .collect()
             };
             em_obs::metrics::counter("serve.escalated").add(escalated.len() as u64);
 
@@ -305,7 +435,7 @@ impl ServePipeline {
             active = escalated;
         }
 
-        let matches: Vec<CandidatePair> = pairs
+        let matches: Vec<CandidatePair> = pairs_slice
             .iter()
             .zip(&scores)
             .filter_map(|(&p, &s)| (s >= 0.5).then_some(p))
@@ -313,11 +443,12 @@ impl ServePipeline {
         em_obs::metrics::counter("serve.matches").add(matches.len() as u64);
 
         Ok(ServeReport {
-            candidates: pairs.len(),
+            candidates: pairs_slice.len(),
             reduction_ratio: rr,
             blocking_seconds,
+            blocking_reused,
             stages: reports,
-            pairs,
+            pairs: pairs_slice.to_vec(),
             scores,
             matches,
         })

@@ -144,8 +144,8 @@ mod tests {
         };
         assert_eq!(approx_tokens(&tiny), 1);
         let bigger = SerializedPair {
-            left: "x".repeat(40),
-            right: "y".repeat(40),
+            left: "x".repeat(40).into(),
+            right: "y".repeat(40).into(),
         };
         assert_eq!(approx_tokens(&bigger), 20);
     }

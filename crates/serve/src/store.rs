@@ -1,15 +1,51 @@
 //! Record stores: one relation plus its precomputed serialized texts.
 
 use em_core::{Record, Serializer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide store-id source: every distinct store (including clones)
+/// gets its own identity so a pipeline's cached blocking state can never
+/// alias two stores that merely share content.
+static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_store_id() -> u64 {
+    NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// An in-memory relation prepared for serving: every record's
 /// values-only serialization (the only view matchers receive) is rendered
-/// once at load time, so candidate-pair assembly is two string clones
-/// instead of a per-pair render.
-#[derive(Debug, Clone)]
+/// once at load time into a shared `Arc<str>`, so a candidate pair is two
+/// reference-count bumps instead of two string copies.
+///
+/// A store carries an *identity*: a process-unique `store_id` plus a
+/// `generation` counter bumped on every mutation. `(store_id, generation)`
+/// keys the pipeline's persistent blocking state — warm runs over an
+/// unchanged store skip tokenization, index construction, and the probe
+/// entirely, and any [`append`](RecordStore::append) invalidates exactly
+/// the stale side.
+#[derive(Debug)]
 pub struct RecordStore {
     records: Vec<Record>,
-    texts: Vec<String>,
+    texts: Vec<Arc<str>>,
+    serializer: Serializer,
+    store_id: u64,
+    generation: u64,
+}
+
+impl Clone for RecordStore {
+    /// Clones the data but *not* the identity: the clone is a new store
+    /// (fresh `store_id`, generation 0), because its future mutations are
+    /// independent of the original's.
+    fn clone(&self) -> Self {
+        RecordStore {
+            records: self.records.clone(),
+            texts: self.texts.clone(),
+            serializer: self.serializer.clone(),
+            store_id: fresh_store_id(),
+            generation: 0,
+        }
+    }
 }
 
 impl RecordStore {
@@ -18,9 +54,39 @@ impl RecordStore {
     /// per-seed permutations belong to the LODO repetition protocol).
     pub fn new(records: Vec<Record>) -> Self {
         let arity = records.first().map(|r| r.values.len()).unwrap_or(0);
-        let ser = Serializer::identity(arity);
-        let texts = records.iter().map(|r| ser.record(r)).collect();
-        RecordStore { records, texts }
+        let serializer = Serializer::identity(arity);
+        let texts = records
+            .iter()
+            .map(|r| Arc::from(serializer.record(r)))
+            .collect();
+        RecordStore {
+            records,
+            texts,
+            serializer,
+            store_id: fresh_store_id(),
+            generation: 0,
+        }
+    }
+
+    /// Appends records, rendering their texts and bumping the generation
+    /// so pipelines rebuild this side's blocking state on the next run.
+    pub fn append(&mut self, records: Vec<Record>) {
+        if records.is_empty() {
+            return;
+        }
+        if self.records.is_empty() {
+            // The store was built empty, so the arity (and thus the
+            // serializer) could not be derived at construction time.
+            let arity = records[0].values.len();
+            self.serializer = Serializer::identity(arity);
+        }
+        let rendered: Vec<Arc<str>> = records
+            .iter()
+            .map(|r| Arc::from(self.serializer.record(r)))
+            .collect();
+        self.texts.extend(rendered);
+        self.records.extend(records);
+        self.generation += 1;
     }
 
     /// Number of records.
@@ -48,9 +114,31 @@ impl RecordStore {
         &self.texts[idx]
     }
 
+    /// The shared handle to the serialization at `idx` — cloning it is a
+    /// reference-count bump, never a string copy.
+    pub fn shared_text(&self, idx: usize) -> Arc<str> {
+        Arc::clone(&self.texts[idx])
+    }
+
     /// The stable id of the record at `idx` (cache key material).
     pub fn id(&self, idx: usize) -> u64 {
         self.records[idx].id
+    }
+
+    /// Process-unique identity of this store.
+    pub fn store_id(&self) -> u64 {
+        self.store_id
+    }
+
+    /// Mutation counter; bumped by [`append`](RecordStore::append).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// `(store_id, generation)` — the key under which derived blocking
+    /// state (indexes, candidates, serialized views) stays valid.
+    pub fn cache_key(&self) -> (u64, u64) {
+        (self.store_id, self.generation)
     }
 }
 
@@ -75,5 +163,41 @@ mod tests {
     fn empty_store_is_fine() {
         let store = RecordStore::new(vec![]);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn append_bumps_generation_and_renders_texts() {
+        let mut store = RecordStore::new(vec![Record::new(
+            1,
+            vec![AttrValue::from("a"), AttrValue::from("b")],
+        )]);
+        assert_eq!(store.generation(), 0);
+        store.append(vec![Record::new(
+            2,
+            vec![AttrValue::from("c"), AttrValue::from("d")],
+        )]);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.text(1), "c, d");
+        // Appending nothing is not a mutation.
+        store.append(vec![]);
+        assert_eq!(store.generation(), 1);
+    }
+
+    #[test]
+    fn stores_have_distinct_identities() {
+        let a = RecordStore::new(vec![]);
+        let b = RecordStore::new(vec![]);
+        let c = a.clone();
+        assert_ne!(a.store_id(), b.store_id());
+        assert_ne!(a.store_id(), c.store_id(), "clone must not alias");
+    }
+
+    #[test]
+    fn shared_text_aliases_the_stored_rendering() {
+        let store = RecordStore::new(vec![Record::new(1, vec![AttrValue::from("x")])]);
+        let t = store.shared_text(0);
+        assert!(Arc::ptr_eq(&t, &store.shared_text(0)));
+        assert_eq!(&*t, "x");
     }
 }

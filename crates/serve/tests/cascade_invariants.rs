@@ -13,6 +13,16 @@ use std::sync::{Arc, Mutex};
 struct All;
 
 impl Blocker for All {
+    fn candidates_indexed(
+        &self,
+        left: &em_blocking::RelationIndex,
+        right: &em_blocking::RelationIndex,
+    ) -> Vec<CandidatePair> {
+        (0..left.len())
+            .flat_map(|i| (0..right.len()).map(move |j| (i, j)))
+            .collect()
+    }
+
     fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
         full_cross_product(left, right)
     }
@@ -59,7 +69,7 @@ impl Matcher for Scripted {
             .serialized
             .iter()
             .map(|p| {
-                seen.push(p.left.clone());
+                seen.push(p.left.to_string());
                 p.left
                     .split(", ")
                     .nth(self.column)
@@ -304,4 +314,145 @@ fn cache_is_stage_scoped() {
     assert_eq!(c.get(0, 5, 6), Some(0.25));
     assert_eq!(c.get(1, 5, 6), Some(0.75));
     assert_eq!(c.len(), 2);
+}
+
+fn sim_pipeline(blocker: Box<dyn Blocker>) -> ServePipeline {
+    ServePipeline::new(
+        blocker,
+        vec![Stage::new("sim", Box::new(StringSim::new()))],
+    )
+    .unwrap()
+}
+
+#[test]
+fn blocking_state_is_reused_while_stores_are_unchanged() {
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![mk(0, "sony tv"), mk(1, "canon camera")]);
+    let right = RecordStore::new(vec![mk(10, "sony tv 55"), mk(11, "blender")]);
+    let mut pipe = sim_pipeline(Box::new(All));
+
+    let cold = pipe.run(&left, &right).unwrap();
+    assert!(!cold.blocking_reused, "first run cannot reuse");
+    let warm = pipe.run(&left, &right).unwrap();
+    assert!(warm.blocking_reused, "unchanged stores must reuse");
+    assert_eq!(cold.pairs, warm.pairs);
+    for (a, b) in cold.scores.iter().zip(&warm.scores) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Explicit invalidation forces a rebuild with identical results.
+    pipe.invalidate_blocking();
+    let rebuilt = pipe.run(&left, &right).unwrap();
+    assert!(!rebuilt.blocking_reused);
+    assert_eq!(cold.pairs, rebuilt.pairs);
+}
+
+#[test]
+fn append_invalidates_exactly_the_mutated_side() {
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![mk(0, "alpha widget one"), mk(1, "beta widget two")]);
+    let mut right = RecordStore::new(vec![mk(10, "alpha widget one"), mk(11, "gamma gadget")]);
+    let blocker = TokenBlocker {
+        min_shared: 1,
+        max_token_frequency: 1.0,
+    };
+    let mut pipe = sim_pipeline(Box::new(blocker));
+
+    pipe.run(&left, &right).unwrap();
+    right.append(vec![mk(12, "beta widget two")]);
+    let after = pipe.run(&left, &right).unwrap();
+    assert!(
+        !after.blocking_reused,
+        "a mutated store must invalidate the candidate set"
+    );
+    // The appended record participates: a fresh pipeline over the grown
+    // stores produces exactly the same candidates and scores.
+    let mut fresh = sim_pipeline(Box::new(blocker));
+    let expect = fresh.run(&left, &right).unwrap();
+    assert_eq!(after.pairs, expect.pairs);
+    for (a, b) in after.scores.iter().zip(&expect.scores) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(
+        after.pairs.iter().any(|&(_, j)| j == 2),
+        "appended record never blocked: {:?}",
+        after.pairs
+    );
+
+    // Unchanged again: the regrown state is reusable.
+    let warm = pipe.run(&left, &right).unwrap();
+    assert!(warm.blocking_reused);
+    assert_eq!(warm.pairs, after.pairs);
+}
+
+#[test]
+fn clones_do_not_alias_cached_blocking_state() {
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![mk(0, "alpha one"), mk(1, "beta two")]);
+    let right = RecordStore::new(vec![mk(10, "alpha one")]);
+    let mut pipe = sim_pipeline(Box::new(All));
+    pipe.run(&left, &right).unwrap();
+
+    // A clone has equal content but its own identity; mutating it must
+    // not be mistaken for the original, nor the original for it.
+    let mut grown = right.clone();
+    grown.append(vec![mk(11, "beta two")]);
+    let on_clone = pipe.run(&left, &grown).unwrap();
+    assert!(!on_clone.blocking_reused);
+    assert_eq!(on_clone.candidates, 4);
+    let back = pipe.run(&left, &right).unwrap();
+    assert!(!back.blocking_reused, "stale state for a different store");
+    assert_eq!(back.candidates, 2);
+}
+
+#[test]
+fn bounded_cache_evicts_and_rescoring_stays_correct() {
+    // 6 candidate pairs through a capacity-4 cache: the warm run re-scores
+    // the evicted pairs but every score stays bitwise-identical (the
+    // matcher is deterministic), and evictions are counted.
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![
+        mk(0, "sony bravia tv"),
+        mk(1, "canon powershot"),
+        mk(2, "usb cable"),
+    ]);
+    let right = RecordStore::new(vec![mk(10, "sony bravia tv 55"), mk(11, "blender pro")]);
+    let mut pipe = sim_pipeline(Box::new(All)).with_cache_capacity(4);
+
+    let cold = pipe.run(&left, &right).unwrap();
+    assert_eq!(cold.candidates, 6);
+    assert!(
+        pipe.cache().evictions() >= 2,
+        "6 insertions through capacity 4 must evict"
+    );
+    assert_eq!(pipe.cache().len(), 4);
+
+    let warm = pipe.run(&left, &right).unwrap();
+    let warm_scored: usize = warm.stages.iter().map(|s| s.scored).sum();
+    let warm_hits: usize = warm.stages.iter().map(|s| s.cache_hits).sum();
+    assert!(warm_scored > 0, "evicted pairs must be re-scored");
+    assert!(warm_hits > 0, "retained pairs must hit");
+    for (a, b) in cold.scores.iter().zip(&warm.scores) {
+        assert_eq!(a.to_bits(), b.to_bits(), "eviction must never change scores");
+    }
+}
+
+#[test]
+fn warm_run_is_bitwise_when_capacity_is_not_exceeded() {
+    let mk = |i: u64, t: &str| Record::new(i, vec![AttrValue::from(t)]);
+    let left = RecordStore::new(vec![mk(0, "sony bravia tv"), mk(1, "canon powershot")]);
+    let right = RecordStore::new(vec![mk(10, "sony bravia tv 55"), mk(11, "blender pro")]);
+    // Capacity exactly covers the 4 scored pairs: no evictions, so the
+    // warm run answers 100% from cache, like the unbounded cache would.
+    let mut pipe = sim_pipeline(Box::new(All)).with_cache_capacity(4);
+    let cold = pipe.run(&left, &right).unwrap();
+    let warm = pipe.run(&left, &right).unwrap();
+    assert_eq!(pipe.cache().evictions(), 0);
+    for s in &warm.stages {
+        assert_eq!(s.scored, 0);
+        assert_eq!(s.cache_hits, s.pairs_in);
+    }
+    for (a, b) in cold.scores.iter().zip(&warm.scores) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }

@@ -18,14 +18,19 @@ printf '%s\n' "$serve_out"
 
 # The cascade must leave its counter trail: candidates from the blocker,
 # scored pairs and escalations from the stage loop, cache hits from the
-# warm run, matches from the final thresholding.
-for counter in serve.candidates serve.scored serve.escalated serve.cache_hits serve.matches; do
+# warm run, matches from the final thresholding — plus the blocking
+# index's own surface: postings interned at build time, tokens removed
+# by the document-frequency stop cut, and raw (pre-min_shared) candidate
+# touches from the banded probe.
+for counter in serve.candidates serve.scored serve.escalated serve.cache_hits \
+               serve.matches serve.blocking_reused \
+               block.postings block.stopped_tokens block.candidates_raw block.probes; do
     if ! grep -q "$counter" <<<"$serve_out"; then
         echo "profile is missing the $counter counter"
         exit 1
     fi
 done
-echo "serve.* counters present in the metrics registry"
+echo "serve.* and block.* counters present in the metrics registry"
 
 # The warm run answers entirely from the score cache: the cache-hit
 # counter must cover at least one full pass over the candidate set.

@@ -65,13 +65,24 @@ echo "zoo bench smoke: wrote $zoo_bench"
 
 # Serving-pipeline gates: the blocker property suite (sorted/deduped
 # subsets of the cross product, pair-completeness floors on generated
-# relations — incl. the three PR-7 regression fixes), the cascade
-# invariant suite (margin-exact escalation, bitwise cache hits,
-# deep-stage degradation), then a serve-bench smoke — 2k×2k relations
-# through the full blocking → StringSim → SLM → hosted-LLM cascade with
-# the cost-vs-baseline and warm-cache asserts live.
+# relations — incl. the three PR-7 regression fixes), the
+# blocking-equivalence suite (indexed banded-parallel candidates vs the
+# sequential em_blocking::reference oracles, bitwise, at 1/2/8 threads,
+# incl. index-reuse-after-growth), the cascade invariant suite
+# (margin-exact escalation, bitwise cache hits, blocking-state reuse and
+# generation invalidation, bounded-cache eviction, deep-stage
+# degradation), then blocking- and serve-bench smokes — the blocking one
+# re-runs the reference-vs-indexed bitwise asserts on 2k×2k, the serve
+# one pushes 2k×2k through the full blocking → StringSim → SLM →
+# hosted-LLM cascade with the cost-vs-baseline, warm-cache and
+# blocking-reuse asserts live.
 cargo test -q -p em-blocking --test blocker_properties
+cargo test -q -p em-blocking --test parallel_equivalence
 cargo test -q -p em-serve --test cascade_invariants
+block_bench="$PWD/target/tier1-bench-blocking.json"
+./target/release/bench_blocking "$block_bench" --smoke
+test -s "$block_bench" || { echo "blocking bench smoke failed: $block_bench is empty"; exit 1; }
+echo "blocking bench smoke: wrote $block_bench"
 serve_bench="$PWD/target/tier1-bench-serve.json"
 ./target/release/bench_serve "$serve_bench" --smoke
 test -s "$serve_bench" || { echo "serve bench smoke failed: $serve_bench is empty"; exit 1; }
