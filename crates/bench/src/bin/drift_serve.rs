@@ -1,0 +1,315 @@
+//! Drift drill: the serving cascade under a ramping perturbation rate.
+//!
+//! `em_datagen::DriftStream` carves one serve workload into batches and
+//! flags a linearly growing fraction of each right-side batch; the drill
+//! corrupts exactly the flagged records with an `em-perturb` noise plan
+//! (typo + token drop + nulled attribute) and feeds each batch through a
+//! `ServePipeline` against a fixed left catalog. The point is *graceful*
+//! degradation: as data quality drifts, the confidence gate should route
+//! more pairs past the cheap stage (escalation fraction and spend rise),
+//! while stage 0 stays fatal-free and the margin gating stays exact.
+//!
+//! Asserted per run:
+//!
+//! * every batch serves — `run` returns `Ok` for all batches (a stage-0
+//!   fault would abort the run instead);
+//! * gate conservation — each deeper stage's `pairs_in` equals the
+//!   previous stage's `escalated` count, every batch;
+//! * no stage reports degraded or absorbed-error service (no faults are
+//!   injected here; `chaos_lodo` owns the fault drills);
+//! * the stage-0 escalation fraction is monotone non-decreasing across
+//!   batches (small tolerance) and strictly higher at the end than at the
+//!   clean start;
+//! * per-candidate spend is higher on the noisiest batch than the clean
+//!   one.
+//!
+//! Writes `BENCH_drift.json` (or argv[1]); `--smoke` runs a reduced ramp
+//! on a 2-stage cascade for tier-1.
+
+use em_bench::robustness::{prf, serve_blocker, threads_json, train_serving_slm, SlmScale};
+use em_cost::estimate::self_host_cost_per_1k;
+use em_cost::pricing::openai;
+use em_datagen::{DriftConfig, DriftStream};
+use em_lm::config::LlmTier;
+use em_lm::zoo::{pretrain_tier, PretrainCorpus};
+use em_matchers::{DemoStrategy, MatchGpt, StringSim};
+use em_perturb::{DropToken, NullOut, PerturbPlan, Typo};
+use em_serve::{FrozenSlm, RecordStore, ServePipeline, ServeReport, Stage};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-batch outcome kept for the report. Each batch is served twice —
+/// clean and perturbed — so the drift effect is isolated from
+/// batch-to-batch content variation; the `*_delta` fields are
+/// perturbed-minus-clean on the *same* records.
+struct BatchOutcome {
+    rate: f64,
+    candidates: usize,
+    escalation: f64,
+    escalation_delta: f64,
+    usd_per_1k_candidates: f64,
+    usd_delta: f64,
+    f1: f64,
+    f1_clean: f64,
+}
+
+/// The drift noise: one typo pass, one dropped token, one nulled
+/// attribute per flagged record — strong enough to move strsim scores
+/// into the escalation band without erasing the blocking tokens.
+fn noise_plan(seed: u64) -> PerturbPlan {
+    PerturbPlan::new("drift-noise", seed)
+        .with(Box::new(Typo { passes: 1 }))
+        .with(Box::new(DropToken))
+        .with(Box::new(NullOut { k: 1 }))
+}
+
+fn gate_conservation(report: &ServeReport) {
+    for w in report.stages.windows(2) {
+        assert_eq!(
+            w[1].pairs_in, w[0].escalated,
+            "margin gating leaked pairs between {} and {}",
+            w[0].name, w[1].name
+        );
+    }
+}
+
+fn run(smoke: bool, out_path: &str) {
+    let t_all = Instant::now();
+    let cfg = if smoke {
+        DriftConfig {
+            left_size: 1_200,
+            batches: 4,
+            batch_size: 300,
+            match_fraction: 0.4,
+            start_rate: 0.0,
+            end_rate: 0.6,
+            seed: 41,
+        }
+    } else {
+        DriftConfig {
+            left_size: 4_000,
+            batches: 8,
+            batch_size: 800,
+            match_fraction: 0.4,
+            start_rate: 0.0,
+            end_rate: 0.7,
+            seed: 41,
+        }
+    };
+    let stream = DriftStream::new(cfg.clone());
+    let left = RecordStore::new(stream.left().to_vec());
+    let plan = noise_plan(cfg.seed);
+    println!(
+        "drift drill: left {} records, {} batches of {}, perturbation rate {:.2} -> {:.2}",
+        cfg.left_size, cfg.batches, cfg.batch_size, cfg.start_rate, cfg.end_rate
+    );
+
+    // --- Cascade (models trained on the separately-seeded instance). ----
+    let scale = if smoke {
+        SlmScale::smoke()
+    } else {
+        SlmScale::full()
+    };
+    let (slm, tokenizer) = train_serving_slm(scale, 17);
+    let slm_price = self_host_cost_per_1k(2_000.0);
+    let gpt = if smoke {
+        None
+    } else {
+        let train_rels = em_datagen::serve_relations(5_000, 5_000, 0.6, 1_007);
+        let corpus = PretrainCorpus {
+            pairs: em_bench::robustness::hard_labeled_pairs(&train_rels, 2_500, 2_500, 23),
+        };
+        Some(Arc::new(pretrain_tier(LlmTier::Gpt4, &corpus, 5)))
+    };
+    let make_stages = || -> Vec<Stage> {
+        let mut stages = vec![
+            Stage::new("strsim", Box::new(StringSim::new())).with_margin(0.6),
+            Stage::new(
+                "slm",
+                Box::new(FrozenSlm::new("slm-64d", slm.clone(), tokenizer.clone())),
+            )
+            .with_margin(0.25)
+            .priced(slm_price),
+        ];
+        if let Some(gpt) = &gpt {
+            stages.push(
+                Stage::new(
+                    "gpt4",
+                    Box::new(MatchGpt::with_resilience(
+                        gpt.clone(),
+                        DemoStrategy::None,
+                        None,
+                        Box::new(StringSim::new()),
+                    )),
+                )
+                .priced(openai::GPT4_PER_1K),
+            );
+        }
+        stages
+    };
+    // Two pipelines: the perturbed store reuses the clean store's record
+    // *ids* (they are versions of the same records), so the two views must
+    // never share a score cache.
+    let mut clean_pipe = ServePipeline::new(Box::new(serve_blocker()), make_stages()).unwrap();
+    let mut drift_pipe = ServePipeline::new(Box::new(serve_blocker()), make_stages()).unwrap();
+
+    // --- The ramp: every batch served clean and perturbed. --------------
+    let mut outcomes: Vec<BatchOutcome> = Vec::new();
+    println!(
+        "{:>5} {:>6} {:>10} {:>11} {:>7} {:>12} {:>9} {:>7} {:>7}",
+        "batch",
+        "rate",
+        "candidates",
+        "escalation",
+        "d_esc",
+        "usd/1k cand",
+        "d_usd",
+        "F1",
+        "F1clean"
+    );
+    for batch in stream {
+        let mut records = batch.records.clone();
+        for &i in &batch.flagged {
+            records[i] = plan.record(&records[i]);
+        }
+        let clean_right = RecordStore::new(batch.records.clone());
+        let right = RecordStore::new(records);
+        // Stage-0 fatal-free is the contract: a batch that cannot be
+        // served at all would surface here as an Err.
+        let clean_rep = clean_pipe
+            .run(&left, &clean_right)
+            .unwrap_or_else(|e| panic!("clean batch {} failed to serve: {e}", batch.index));
+        let report = drift_pipe
+            .run(&left, &right)
+            .unwrap_or_else(|e| panic!("batch {} failed to serve: {e}", batch.index));
+        for rep in [&clean_rep, &report] {
+            gate_conservation(rep);
+            assert!(
+                !rep.any_degraded(),
+                "batch {}: degraded service without injected faults",
+                batch.index
+            );
+            assert!(
+                !rep.any_errored(),
+                "batch {}: absorbed stage errors without injected faults",
+                batch.index
+            );
+        }
+        let truth: HashSet<(usize, usize)> = batch.matches.iter().copied().collect();
+        let (_, _, f1) = prf(&report.matches, &truth);
+        let (_, _, f1_clean) = prf(&clean_rep.matches, &truth);
+        let usd_1k = |r: &ServeReport| r.total_usd() / (r.candidates.max(1) as f64 / 1_000.0);
+        let out = BatchOutcome {
+            rate: batch.rate,
+            candidates: report.candidates,
+            escalation: report.escalation_fraction(),
+            escalation_delta: report.escalation_fraction() - clean_rep.escalation_fraction(),
+            usd_per_1k_candidates: usd_1k(&report),
+            usd_delta: usd_1k(&report) - usd_1k(&clean_rep),
+            f1,
+            f1_clean,
+        };
+        println!(
+            "{:>5} {:>6.3} {:>10} {:>10.1}% {:>+6.1}% {:>12.4} {:>+9.4} {:>7.3} {:>7.3}",
+            batch.index,
+            batch.rate,
+            out.candidates,
+            out.escalation * 100.0,
+            out.escalation_delta * 100.0,
+            out.usd_per_1k_candidates,
+            out.usd_delta,
+            out.f1,
+            out.f1_clean
+        );
+        outcomes.push(out);
+    }
+
+    // --- Graceful-degradation invariants across the ramp. ---------------
+    // The drift effect is read as perturbed-minus-clean on identical
+    // records, so batch composition noise cancels out.
+    let first = outcomes.first().expect("no batches");
+    let last = outcomes.last().expect("no batches");
+    assert!(
+        first.escalation_delta.abs() < 1e-9,
+        "rate-0 batch must serve identically clean and perturbed (delta {:.4})",
+        first.escalation_delta
+    );
+    for w in outcomes.windows(2) {
+        assert!(
+            w[1].escalation_delta >= w[0].escalation_delta - 0.02,
+            "escalation delta regressed under rising drift: {:.3} -> {:.3}",
+            w[0].escalation_delta,
+            w[1].escalation_delta
+        );
+    }
+    assert!(
+        last.escalation_delta > first.escalation_delta + 0.05,
+        "drift did not raise the escalation fraction (delta {:.3} -> {:.3})",
+        first.escalation_delta,
+        last.escalation_delta
+    );
+    assert!(
+        last.usd_delta > first.usd_delta,
+        "drift did not raise per-candidate spend (delta {:.4} -> {:.4})",
+        first.usd_delta,
+        last.usd_delta
+    );
+
+    println!("{}", em_obs::report::render_metrics());
+
+    let batches_json: Vec<String> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            format!(
+                "{{ \"batch\": {}, \"rate\": {:.4}, \"candidates\": {}, \"escalation_fraction\": {:.4}, \"escalation_delta_vs_clean\": {:.4}, \"usd_per_1k_candidates\": {:.6}, \"usd_delta_vs_clean\": {:.6}, \"f1\": {:.4}, \"f1_clean\": {:.4} }}",
+                i,
+                o.rate,
+                o.candidates,
+                o.escalation,
+                o.escalation_delta,
+                o.usd_per_1k_candidates,
+                o.usd_delta,
+                o.f1,
+                o.f1_clean
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"workload\": \"serving cascade under ramping perturbation rate (DriftStream + em-perturb)\",\n  \"shape\": {{ \"left\": {}, \"batches\": {}, \"batch_size\": {}, \"match_fraction\": {}, \"start_rate\": {}, \"end_rate\": {}, \"seed\": {} }},\n  \"threads\": {},\n  \"noise_plan\": \"typo(1) + drop-token + null(1) on flagged records\",\n  \"stage0_fatal_free\": true,\n  \"gate_conservation_checked\": true,\n  \"escalation_delta_monotone\": true,\n  \"escalation_delta_first\": {:.4},\n  \"escalation_delta_last\": {:.4},\n  \"usd_delta_first\": {:.6},\n  \"usd_delta_last\": {:.6},\n  \"batches\": [\n    {}\n  ]\n}}\n",
+        cfg.left_size,
+        cfg.batches,
+        cfg.batch_size,
+        cfg.match_fraction,
+        cfg.start_rate,
+        cfg.end_rate,
+        cfg.seed,
+        threads_json(),
+        first.escalation_delta,
+        last.escalation_delta,
+        first.usd_delta,
+        last.usd_delta,
+        batches_json.join(",\n    ")
+    );
+    std::fs::write(out_path, json).expect("failed to write drift results");
+    println!(
+        "wrote {out_path} ({} batches, {:.1}s total)",
+        outcomes.len(),
+        t_all.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_drift.json".to_string());
+    // Counters feed the perturb.* profile greps (scripts/profile_serve.sh).
+    em_obs::trace::set_capture(true);
+    run(smoke, &out_path);
+}

@@ -1,0 +1,300 @@
+//! Matcher × perturbation sensitivity matrix (`SENSITIVITY.json`).
+//!
+//! Evaluates every matcher family on one labelled pair workload under the
+//! clean serialization and under each `em_perturb::standard_suite` plan,
+//! and reports per-cell precision/recall/F1 plus the delta against that
+//! matcher's own clean baseline. The matrix answers the robustness
+//! question the paper's single-serialization tables cannot: *which*
+//! matchers degrade under *which* data errors and serialization ablations.
+//!
+//! Matcher families swept (full run):
+//!
+//! * **StringSim** — parameter-free string similarity;
+//! * **ZeroER** — unsupervised GMM over similarity features (reads the
+//!   raw records + column types, its documented restriction escape);
+//! * **SLM** — the fine-tuned serving encoder behind `FrozenSlm`;
+//! * **GPT-4 tier** — the pretrained hosted-LLM simulator via `MatchGpt`.
+//!
+//! Every `(matcher, perturbation)` cell is checkpointed to
+//! `<out>.ckpt.jsonl` as soon as it completes (`em_core::checkpoint`
+//! JSONL, torn-line tolerant); rerunning with `--resume` skips finished
+//! cells and recomputes only the rest. The checkpoint is removed once the
+//! final matrix is written.
+//!
+//! `--smoke` sweeps the 2 cheap matchers × 3 perturbations slice at small
+//! scale for tier-1; the full run regenerates the checked-in
+//! `SENSITIVITY.json`.
+
+use em_bench::robustness::{
+    raw_labeled_pairs, serve_attr_types, serve_schema_names, threads_json, train_serving_slm,
+    SlmScale,
+};
+use em_core::{
+    run_chunks, CheckpointLog, Confusion, EvalBatch, LabeledPair, Matcher, SensitivityRow,
+};
+use em_datagen::serve_relations;
+use em_lm::config::LlmTier;
+use em_lm::zoo::{pretrain_tier, PretrainCorpus};
+use em_matchers::{DemoStrategy, MatchGpt, StringSim, ZeroEr};
+use em_perturb::{standard_suite, PerturbPlan};
+use em_serve::FrozenSlm;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The clean baseline's column label.
+const CLEAN: &str = "clean";
+
+type Factory = Box<dyn Fn() -> Box<dyn Matcher> + Send + Sync>;
+
+/// One matcher family: a stable row label plus a factory producing a
+/// fresh instance per cell (cells run in parallel; matchers are stateful).
+struct Family {
+    label: &'static str,
+    factory: Factory,
+}
+
+fn fmt_pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn run(smoke: bool, resume: bool, out_path: &str) {
+    let t_all = Instant::now();
+
+    // --- Workload: raw labelled pairs, balanced, unseen by training. ----
+    let (n_side, n_pos) = if smoke { (1_000, 150) } else { (8_000, 800) };
+    let rels = serve_relations(n_side, n_side, 0.4, 31);
+    let pairs: Vec<LabeledPair> = raw_labeled_pairs(&rels, n_pos, n_pos, 13);
+    let labels: Vec<bool> = pairs.iter().map(|lp| lp.label).collect();
+    let names = serve_schema_names();
+    let types = serve_attr_types();
+    println!(
+        "sensitivity workload: {} pairs ({} positive) from {}x{} relations",
+        pairs.len(),
+        labels.iter().filter(|&&y| y).count(),
+        n_side,
+        n_side
+    );
+
+    // --- Perturbation columns: clean + the standard suite. --------------
+    let mut plans: Vec<PerturbPlan> = vec![PerturbPlan::new(CLEAN, 5)];
+    let suite = standard_suite(5, &names);
+    if smoke {
+        // The tier-1 slice: 3 perturbations spanning both ablation kinds
+        // (serialization: attr-shuffle, name-value; data error: typo-2).
+        plans.extend(
+            suite
+                .into_iter()
+                .filter(|p| matches!(p.name(), "attr-shuffle" | "name-value" | "typo-2")),
+        );
+    } else {
+        plans.extend(suite);
+    }
+    let t_batch = Instant::now();
+    let batches: Vec<EvalBatch> = plans.iter().map(|p| p.eval_batch(&pairs, &types)).collect();
+    println!(
+        "rendered {} perturbed batches in {:.1}s",
+        batches.len(),
+        t_batch.elapsed().as_secs_f64()
+    );
+
+    // --- Matcher rows. ---------------------------------------------------
+    let mut families: Vec<Family> = vec![
+        Family {
+            label: "strsim",
+            factory: Box::new(|| Box::new(StringSim::new())),
+        },
+        Family {
+            label: "zeroer",
+            factory: Box::new(|| Box::new(ZeroEr::new())),
+        },
+    ];
+    if !smoke {
+        let (slm, tokenizer) = train_serving_slm(SlmScale::full(), 17);
+        families.push(Family {
+            label: "slm-64d",
+            factory: Box::new(move || {
+                Box::new(FrozenSlm::new("slm-64d", slm.clone(), tokenizer.clone()))
+            }),
+        });
+        let train_rels = serve_relations(5_000, 5_000, 0.6, 1_007);
+        let corpus = PretrainCorpus {
+            pairs: em_bench::robustness::hard_labeled_pairs(&train_rels, 2_500, 2_500, 23),
+        };
+        let t_tier = Instant::now();
+        let gpt = Arc::new(pretrain_tier(LlmTier::Gpt4, &corpus, 5));
+        println!(
+            "hosted tier: {} pretrained in {:.1}s",
+            LlmTier::Gpt4.label(),
+            t_tier.elapsed().as_secs_f64()
+        );
+        families.push(Family {
+            label: "gpt4",
+            factory: Box::new(move || {
+                Box::new(MatchGpt::with_resilience(
+                    gpt.clone(),
+                    DemoStrategy::None,
+                    None,
+                    Box::new(StringSim::new()),
+                ))
+            }),
+        });
+    }
+
+    // --- Checkpoint: resume finished cells, log new ones as they land. --
+    let ckpt_path = PathBuf::from(format!("{out_path}.ckpt.jsonl"));
+    let plan_names: HashSet<&str> = plans.iter().map(|p| p.name()).collect();
+    let family_names: HashSet<&str> = families.iter().map(|f| f.label).collect();
+    let mut rows: Vec<SensitivityRow> = if resume && ckpt_path.exists() {
+        em_core::read_sensitivity_rows(&ckpt_path).expect("unreadable sensitivity checkpoint")
+    } else {
+        Vec::new()
+    };
+    // Rows from a different grid (e.g. a smoke checkpoint before a full
+    // run) are not resumable cells of *this* sweep.
+    rows.retain(|r| {
+        family_names.contains(r.matcher.as_str()) && plan_names.contains(r.perturbation.as_str())
+    });
+    if !rows.is_empty() {
+        println!("resume: {} finished cells carried over", rows.len());
+    }
+    let retained: Vec<String> = rows.iter().map(|r| r.to_json()).collect();
+    let log = CheckpointLog::create_lines(&ckpt_path, &retained).expect("checkpoint create");
+    let have: HashSet<(String, String)> = rows
+        .iter()
+        .map(|r| (r.matcher.clone(), r.perturbation.clone()))
+        .collect();
+    let todo: Vec<(usize, usize)> = (0..families.len())
+        .flat_map(|mi| (0..plans.len()).map(move |pi| (mi, pi)))
+        .filter(|&(mi, pi)| {
+            !have.contains(&(families[mi].label.to_string(), plans[pi].name().to_string()))
+        })
+        .collect();
+
+    // --- The sweep: every remaining cell through the workqueue. ---------
+    let t_sweep = Instant::now();
+    let computed: Vec<SensitivityRow> = run_chunks(&todo, |&(mi, pi)| {
+        let mut matcher = (families[mi].factory)();
+        let preds = matcher
+            .predict(&batches[pi])
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", families[mi].label, plans[pi].name()));
+        let conf = Confusion::from_predictions(&preds, &labels).expect("length mismatch");
+        let row = SensitivityRow {
+            matcher: families[mi].label.to_string(),
+            perturbation: plans[pi].name().to_string(),
+            precision: conf.precision() * 100.0,
+            recall: conf.recall() * 100.0,
+            f1: conf.f1() * 100.0,
+        };
+        log.append_line(&row.to_json()).expect("checkpoint append");
+        row
+    })
+    .expect("sensitivity sweep");
+    println!(
+        "swept {} cells in {:.1}s ({} resumed)",
+        computed.len(),
+        t_sweep.elapsed().as_secs_f64(),
+        rows.len()
+    );
+    rows.extend(computed);
+
+    // --- Assemble the matrix: rows ordered, deltas vs clean. ------------
+    let cell = |m: &str, p: &str| -> &SensitivityRow {
+        rows.iter()
+            .find(|r| r.matcher == m && r.perturbation == p)
+            .unwrap_or_else(|| panic!("missing cell ({m}, {p})"))
+    };
+    let mut matrix_json: Vec<String> = Vec::new();
+    println!(
+        "\n{:<10} {:<14} {:>7} {:>7} {:>7} {:>8}",
+        "matcher", "perturbation", "P", "R", "F1", "dF1"
+    );
+    for fam in &families {
+        let clean = cell(fam.label, CLEAN);
+        assert!(
+            clean.f1 > 20.0,
+            "{}: degenerate clean baseline (F1 {:.1})",
+            fam.label,
+            clean.f1
+        );
+        let mut cells_json: Vec<String> = Vec::new();
+        for plan in &plans {
+            let r = cell(fam.label, plan.name());
+            assert!(
+                r.precision.is_finite() && r.recall.is_finite() && r.f1.is_finite(),
+                "non-finite cell ({}, {})",
+                fam.label,
+                plan.name()
+            );
+            println!(
+                "{:<10} {:<14} {:>7.2} {:>7.2} {:>7.2} {:>+8.2}",
+                fam.label,
+                plan.name(),
+                r.precision,
+                r.recall,
+                r.f1,
+                r.f1 - clean.f1
+            );
+            cells_json.push(format!(
+                "{{ \"perturbation\": \"{}\", \"precision\": {}, \"recall\": {}, \"f1\": {}, \"delta_precision\": {}, \"delta_recall\": {}, \"delta_f1\": {} }}",
+                plan.name(),
+                fmt_pct(r.precision),
+                fmt_pct(r.recall),
+                fmt_pct(r.f1),
+                fmt_pct(r.precision - clean.precision),
+                fmt_pct(r.recall - clean.recall),
+                fmt_pct(r.f1 - clean.f1),
+            ));
+        }
+        matrix_json.push(format!(
+            "{{ \"matcher\": \"{}\", \"clean_f1\": {}, \"cells\": [\n      {}\n    ] }}",
+            fam.label,
+            fmt_pct(clean.f1),
+            cells_json.join(",\n      ")
+        ));
+    }
+
+    // Acceptance shape: the checked-in artifact covers >= 4 matcher
+    // families x >= 5 perturbations (the clean column is the baseline,
+    // not a perturbation).
+    if !smoke {
+        assert!(families.len() >= 4, "matrix needs >= 4 matcher families");
+        assert!(plans.len() - 1 >= 5, "matrix needs >= 5 perturbations");
+    }
+
+    println!("\n{}", em_obs::report::render_metrics());
+
+    let perturb_names: Vec<String> = plans.iter().map(|p| format!("\"{}\"", p.name())).collect();
+    let json = format!(
+        "{{\n  \"workload\": \"matcher x perturbation sensitivity on serve_relations raw pairs\",\n  \"shape\": {{ \"n_left\": {n_side}, \"n_right\": {n_side}, \"match_fraction\": 0.4, \"relation_seed\": 31, \"pairs\": {}, \"positives\": {}, \"perturb_seed\": 5 }},\n  \"threads\": {},\n  \"metric_units\": \"percent\",\n  \"perturbations\": [{}],\n  \"matrix\": [\n    {}\n  ]\n}}\n",
+        pairs.len(),
+        n_pos,
+        threads_json(),
+        perturb_names.join(", "),
+        matrix_json.join(",\n    ")
+    );
+    std::fs::write(out_path, json).expect("failed to write sensitivity matrix");
+    let _ = std::fs::remove_file(&ckpt_path);
+    println!(
+        "wrote {out_path} ({} matchers x {} columns, {:.1}s total)",
+        families.len(),
+        plans.len(),
+        t_all.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let resume = args.iter().any(|a| a == "--resume");
+    let out_path = args
+        .iter()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "SENSITIVITY.json".to_string());
+    // Counters feed the perturb.* profile greps (scripts/profile_serve.sh).
+    em_obs::trace::set_capture(true);
+    run(smoke, resume, &out_path);
+}

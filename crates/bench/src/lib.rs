@@ -21,6 +21,7 @@
 //! (default 1250, the paper's cap).
 
 pub mod paper;
+pub mod robustness;
 pub mod study;
 
 pub use paper::{paper_row, paper_table3, paper_table4_means, PaperRow};

@@ -1,0 +1,272 @@
+//! Shared plumbing for the perturbation-robustness harnesses
+//! (`sensitivity` and `drift_serve` bins).
+//!
+//! Both bins evaluate matchers on `em_datagen::serve_relations` workloads
+//! under `em-perturb` plans. What they share lives here: the workload
+//! schema, a *raw* labelled-pair sampler (perturbation operates on
+//! records, so the usual pre-serialized `labeled_pairs` view is useless
+//! to it), the hard-negative miner, and the serving SLM fine-tune.
+
+use em_blocking::{Blocker, CandidatePair, TokenBlocker};
+use em_core::{LabeledPair, SerializedPair, Serializer};
+use em_datagen::{serve_relations, ServeRelations};
+use em_lm::config::ModelConfig;
+use em_lm::model::EncoderClassifier;
+use em_lm::tokenizer::{encode_pair, Encoded, HashTokenizer};
+use em_lm::{predict_proba, train, TrainConfig};
+use em_nn::threadpool;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+use em_core::record::AttrType;
+
+/// Attribute names of the `serve_relations` schema, in column order —
+/// what the `name-value` serialization ablation renders.
+pub fn serve_schema_names() -> Vec<String> {
+    vec!["title".into(), "category".into(), "price".into()]
+}
+
+/// Attribute types of the `serve_relations` schema (ZeroER reads these).
+pub fn serve_attr_types() -> Vec<AttrType> {
+    vec![AttrType::ShortText, AttrType::ShortText, AttrType::Numeric]
+}
+
+/// The serving blocker shared with `bench_serve` (also used here to mine
+/// hard training negatives).
+pub fn serve_blocker() -> TokenBlocker {
+    TokenBlocker {
+        min_shared: 2,
+        max_token_frequency: 0.05,
+    }
+}
+
+/// Labelled *raw* record pairs: positives are true matches, negatives are
+/// *hard* — non-matching candidates that survive blocking (they share
+/// identity tokens) — topped up with uniform random cross pairs.
+/// Perturbation plans consume records, not serializations, so this is the
+/// sampler the sensitivity matrix is built on. Deterministic in `seed`.
+pub fn raw_labeled_pairs(
+    rels: &ServeRelations,
+    n_pos: usize,
+    n_neg: usize,
+    seed: u64,
+) -> Vec<LabeledPair> {
+    let truth: HashSet<(usize, usize)> = rels.matches.iter().copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7261_7770_6169_7273);
+    let mut pos: Vec<&(usize, usize)> = rels.matches.iter().collect();
+    pos.shuffle(&mut rng);
+    let mut out: Vec<LabeledPair> = pos
+        .iter()
+        .take(n_pos)
+        .map(|&&(i, j)| LabeledPair::new(rels.left[i].clone(), rels.right[j].clone(), true))
+        .collect();
+    let mut hard: Vec<CandidatePair> = serve_blocker()
+        .candidates(&rels.left, &rels.right)
+        .into_iter()
+        .filter(|c| !truth.contains(c))
+        .collect();
+    hard.shuffle(&mut rng);
+    hard.truncate(n_neg);
+    let mut drawn = hard.len();
+    out.extend(
+        hard.into_iter()
+            .map(|(i, j)| LabeledPair::new(rels.left[i].clone(), rels.right[j].clone(), false)),
+    );
+    while drawn < n_neg {
+        let i = rng.gen_range(0..rels.left.len());
+        let j = rng.gen_range(0..rels.right.len());
+        if truth.contains(&(i, j)) {
+            continue;
+        }
+        out.push(LabeledPair::new(
+            rels.left[i].clone(),
+            rels.right[j].clone(),
+            false,
+        ));
+        drawn += 1;
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Labelled serialized pairs with *hard* negatives — non-matching
+/// candidates that survive blocking — mirroring `bench_serve`'s training
+/// distribution for the cascade models.
+pub fn hard_labeled_pairs(
+    rels: &ServeRelations,
+    n_pos: usize,
+    n_neg: usize,
+    seed: u64,
+) -> Vec<(SerializedPair, bool)> {
+    let ser = Serializer::identity(rels.arity());
+    let truth: HashSet<CandidatePair> = rels.matches.iter().copied().collect();
+    let mut hard: Vec<CandidatePair> = serve_blocker()
+        .candidates(&rels.left, &rels.right)
+        .into_iter()
+        .filter(|c| !truth.contains(c))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6861_7264);
+    hard.shuffle(&mut rng);
+    hard.truncate(n_neg);
+    let mut out = em_datagen::labeled_pairs(rels, n_pos, n_neg - hard.len(), seed);
+    out.extend(hard.into_iter().map(|(i, j)| {
+        (
+            SerializedPair {
+                left: ser.record(&rels.left[i]).into(),
+                right: ser.record(&rels.right[j]).into(),
+            },
+            false,
+        )
+    }));
+    out.shuffle(&mut rng);
+    out
+}
+
+/// How much work [`train_serving_slm`] does; the smoke profiles keep
+/// tier-1 fast, the full profile matches `bench_serve`'s quality bar.
+#[derive(Debug, Clone, Copy)]
+pub struct SlmScale {
+    /// Records per side of the training relations.
+    pub relation_size: usize,
+    /// Positives (and negatives) in the fine-tune set.
+    pub train_pairs: usize,
+    /// Fine-tune epochs.
+    pub epochs: usize,
+    /// Holdout accuracy the model must clear before it may serve.
+    pub accuracy_gate: f64,
+}
+
+impl SlmScale {
+    /// The `bench_serve` profile.
+    pub fn full() -> Self {
+        SlmScale {
+            relation_size: 5_000,
+            train_pairs: 1_500,
+            epochs: 3,
+            accuracy_gate: 0.8,
+        }
+    }
+
+    /// A reduced profile for `--smoke` runs.
+    pub fn smoke() -> Self {
+        SlmScale {
+            relation_size: 2_000,
+            train_pairs: 700,
+            epochs: 2,
+            accuracy_gate: 0.75,
+        }
+    }
+}
+
+/// Fine-tunes the serving SLM on a separately-seeded relations instance
+/// (seed 1 007 — never a serving seed) and gates it on held-out accuracy.
+pub fn train_serving_slm(scale: SlmScale, seed: u64) -> (EncoderClassifier, HashTokenizer) {
+    let cfg = ModelConfig {
+        vocab: 4096,
+        d_model: 64,
+        n_layers: 2,
+        n_heads: 4,
+        ff_mult: 2,
+        max_seq: 48,
+        dropout: 0.0,
+        claimed_params_millions: 0.5,
+    };
+    let tokenizer = HashTokenizer::new(cfg.vocab);
+    let rels = serve_relations(scale.relation_size, scale.relation_size, 0.6, 1_007);
+    let train_pairs = hard_labeled_pairs(&rels, scale.train_pairs, scale.train_pairs, 11);
+    let holdout = hard_labeled_pairs(&rels, 300, 300, 97);
+    let encode = |pairs: &[(SerializedPair, bool)]| -> Vec<(Encoded, bool)> {
+        pairs
+            .iter()
+            .map(|(p, y)| (encode_pair(&tokenizer, p, cfg.max_seq), *y))
+            .collect()
+    };
+    let mut model = EncoderClassifier::new(cfg, seed);
+    let t0 = Instant::now();
+    let report = train(
+        &mut model,
+        &encode(&train_pairs),
+        &TrainConfig {
+            epochs: scale.epochs,
+            seed,
+            ..Default::default()
+        },
+    );
+    let held: Vec<(Encoded, bool)> = encode(&holdout);
+    let encoded: Vec<Encoded> = held.iter().map(|(e, _)| e.clone()).collect();
+    let scores = predict_proba(&model, &encoded, 64);
+    let correct = scores
+        .iter()
+        .zip(&held)
+        .filter(|(s, (_, y))| (**s >= 0.5) == *y)
+        .count();
+    let acc = correct as f64 / held.len() as f64;
+    println!(
+        "SLM fine-tune: {} examples, {} steps, final loss {:.4}, holdout accuracy {:.3} ({:.1}s)",
+        train_pairs.len(),
+        report.steps,
+        report.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        acc,
+        t0.elapsed().as_secs_f64()
+    );
+    assert!(
+        acc > scale.accuracy_gate,
+        "fine-tuned SLM failed its holdout gate: accuracy {acc:.3}"
+    );
+    (model, tokenizer)
+}
+
+/// The `threads` JSON block shared by all bench bins.
+pub fn threads_json() -> String {
+    let s = threadpool::budget_snapshot();
+    format!(
+        "{{ \"em_num_threads\": {}, \"available_parallelism\": {}, \"effective_budget\": {}, \"reservation_probe_extra\": {} }}",
+        s.env_threads.map_or_else(|| "null".to_string(), |v| v.to_string()),
+        s.available_parallelism,
+        s.effective,
+        s.probe_grant
+    )
+}
+
+/// Precision/recall/F1 of predicted match positions against ground truth.
+pub fn prf(matches: &[(usize, usize)], truth: &HashSet<(usize, usize)>) -> (f64, f64, f64) {
+    let tp = matches.iter().filter(|m| truth.contains(m)).count();
+    let p = tp as f64 / matches.len().max(1) as f64;
+    let r = tp as f64 / truth.len().max(1) as f64;
+    let f1 = if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    };
+    (p, r, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_pairs_are_labeled_and_deterministic() {
+        let rels = serve_relations(200, 200, 0.5, 3);
+        let a = raw_labeled_pairs(&rels, 30, 30, 9);
+        let b = raw_labeled_pairs(&rels, 30, 30, 9);
+        assert_eq!(a.len(), 60);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().filter(|lp| lp.label).count(), 30);
+        let truth: HashSet<(usize, usize)> = rels.matches.iter().copied().collect();
+        // Positives really are matches: their record ids correspond to a
+        // truth pair (right ids carry the datagen offset).
+        assert!(!truth.is_empty());
+    }
+
+    #[test]
+    fn schema_matches_relations_arity() {
+        let rels = serve_relations(10, 10, 0.5, 1);
+        assert_eq!(serve_schema_names().len(), rels.arity());
+        assert_eq!(serve_attr_types().len(), rels.arity());
+    }
+}

@@ -104,6 +104,64 @@ impl CheckpointRow {
     }
 }
 
+/// One completed (matcher × perturbation) cell of a sensitivity sweep.
+///
+/// The perturbation-robustness harness (`sensitivity` bin in `em-bench`)
+/// checkpoints each finished cell through the same JSONL machinery as the
+/// LODO sweep, so an interrupted matrix run resumes without re-scoring
+/// completed cells — and resumes bit-identically, because precision,
+/// recall and F1 round-trip through the shortest-roundtrip float format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Stable matcher label (factory identity across runs).
+    pub matcher: String,
+    /// Perturbation name, or `"clean"` for the unperturbed baseline.
+    pub perturbation: String,
+    /// Precision in percent on the perturbed pairs.
+    pub precision: f64,
+    /// Recall in percent on the perturbed pairs.
+    pub recall: f64,
+    /// F1 in percent on the perturbed pairs.
+    pub f1: f64,
+}
+
+impl SensitivityRow {
+    /// Serializes the row as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"matcher\":");
+        push_json_string(&mut out, &self.matcher);
+        out.push_str(",\"perturbation\":");
+        push_json_string(&mut out, &self.perturbation);
+        out.push_str(",\"precision\":");
+        out.push_str(&fmt_f64(self.precision));
+        out.push_str(",\"recall\":");
+        out.push_str(&fmt_f64(self.recall));
+        out.push_str(",\"f1\":");
+        out.push_str(&fmt_f64(self.f1));
+        out.push('}');
+        out
+    }
+
+    /// Parses one JSON line produced by [`SensitivityRow::to_json`].
+    pub fn from_json(line: &str) -> Result<SensitivityRow> {
+        let obj = parse_object(line)?;
+        let get = |key: &str| -> Result<&JsonValue> {
+            obj.iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| bad(format!("missing key `{key}`")))
+        };
+        Ok(SensitivityRow {
+            matcher: get("matcher")?.as_string()?,
+            perturbation: get("perturbation")?.as_string()?,
+            precision: get("precision")?.as_number()?,
+            recall: get("recall")?.as_number()?,
+            f1: get("f1")?.as_number()?,
+        })
+    }
+}
+
 /// Formats an `f64` so that parsing the text recovers the exact same bits
 /// (Rust's `Display` emits the shortest decimal that round-trips; the
 /// non-finite spellings below are accepted by `str::parse::<f64>`).
@@ -351,6 +409,16 @@ impl Parser<'_> {
 /// [`EmError::Checkpoint`], because it indicates corruption rather than
 /// interruption.
 pub fn read_rows(path: &Path) -> Result<Vec<CheckpointRow>> {
+    read_jsonl(path, CheckpointRow::from_json)
+}
+
+/// Reads every complete [`SensitivityRow`] from a sensitivity checkpoint,
+/// with the same torn-final-line tolerance as [`read_rows`].
+pub fn read_sensitivity_rows(path: &Path) -> Result<Vec<SensitivityRow>> {
+    read_jsonl(path, SensitivityRow::from_json)
+}
+
+fn read_jsonl<T>(path: &Path, parse: impl Fn(&str) -> Result<T>) -> Result<Vec<T>> {
     let mut text = String::new();
     File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
@@ -358,7 +426,7 @@ pub fn read_rows(path: &Path) -> Result<Vec<CheckpointRow>> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let mut rows = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
-        match CheckpointRow::from_json(line) {
+        match parse(line) {
             Ok(row) => rows.push(row),
             Err(_) if i + 1 == lines.len() => break, // torn final write
             Err(e) => {
@@ -398,10 +466,31 @@ impl CheckpointLog {
         Ok(log)
     }
 
+    /// Creates (truncates) the checkpoint file and seeds it with already
+    /// serialized lines — the row-type-agnostic twin of
+    /// [`CheckpointLog::create`], used by checkpoints whose rows are not
+    /// [`CheckpointRow`] (e.g. the sensitivity matrix).
+    pub fn create_lines(path: &Path, retained: &[String]) -> Result<CheckpointLog> {
+        let file = File::create(path)
+            .map_err(|e| EmError::Checkpoint(format!("create {}: {e}", path.display())))?;
+        let log = CheckpointLog {
+            writer: Mutex::new(BufWriter::new(file)),
+        };
+        for line in retained {
+            log.append_line(line)?;
+        }
+        Ok(log)
+    }
+
     /// Appends one completed row and flushes it to disk.
     pub fn append(&self, row: &CheckpointRow) -> Result<()> {
+        self.append_line(&row.to_json())
+    }
+
+    /// Appends one pre-serialized JSON line and flushes it to disk.
+    pub fn append_line(&self, line: &str) -> Result<()> {
         let mut w = self.writer.lock().unwrap();
-        writeln!(w, "{}", row.to_json())
+        writeln!(w, "{line}")
             .and_then(|()| w.flush())
             .map_err(|e| EmError::Checkpoint(format!("append: {e}")))
     }
@@ -487,6 +576,60 @@ mod tests {
             read_rows(&corrupt).unwrap_err(),
             EmError::Checkpoint(_)
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn srow() -> SensitivityRow {
+        SensitivityRow {
+            matcher: "strsim".into(),
+            perturbation: "misfield-2".into(),
+            precision: 91.0 + 1.0 / 3.0,
+            recall: 0.1 + 0.2,
+            f1: 55.5,
+        }
+    }
+
+    #[test]
+    fn sensitivity_row_round_trips_bit_exactly() {
+        let r = srow();
+        let back = SensitivityRow::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.matcher, r.matcher);
+        assert_eq!(back.perturbation, r.perturbation);
+        assert_eq!(back.precision.to_bits(), r.precision.to_bits());
+        assert_eq!(back.recall.to_bits(), r.recall.to_bits());
+        assert_eq!(back.f1.to_bits(), r.f1.to_bits());
+    }
+
+    #[test]
+    fn sensitivity_reader_tolerates_torn_final_line() {
+        let dir = std::env::temp_dir().join(format!("em-sens-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = srow().to_json();
+
+        let torn = dir.join("torn.jsonl");
+        std::fs::write(&torn, format!("{good}\n{}", &good[..good.len() / 2])).unwrap();
+        assert_eq!(read_sensitivity_rows(&torn).unwrap(), vec![srow()]);
+
+        let corrupt = dir.join("corrupt.jsonl");
+        std::fs::write(&corrupt, format!("garbage\n{good}\n")).unwrap();
+        assert!(read_sensitivity_rows(&corrupt).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn line_level_log_cycle() {
+        let dir = std::env::temp_dir().join(format!("em-sens-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sens.jsonl");
+        let r1 = srow();
+        let mut r2 = srow();
+        r2.perturbation = "null-1".into();
+
+        let log = CheckpointLog::create_lines(&path, &[r1.to_json()]).unwrap();
+        log.append_line(&r2.to_json()).unwrap();
+        drop(log);
+
+        assert_eq!(read_sensitivity_rows(&path).unwrap(), vec![r1, r2]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -29,7 +29,9 @@ pub mod serialize;
 pub mod stats;
 pub mod workqueue;
 
-pub use checkpoint::{read_rows, CheckpointLog, CheckpointRow};
+pub use checkpoint::{
+    read_rows, read_sensitivity_rows, CheckpointLog, CheckpointRow, SensitivityRow,
+};
 pub use dataset::{spec_of, Benchmark, DatasetId, DatasetSpec, Domain, TABLE1};
 pub use error::{EmError, Result};
 pub use eval::{
@@ -41,5 +43,5 @@ pub use matcher::{EvalBatch, Matcher};
 pub use metrics::{f1_percent, macro_average, Confusion, MeanStd};
 pub use pair::{LabeledPair, RecordPair};
 pub use record::{AttrType, AttrValue, Record};
-pub use serialize::{SerializedPair, Serializer, VALUE_SEPARATOR};
+pub use serialize::{SerializedPair, Serializer, NAME_SEPARATOR, VALUE_SEPARATOR};
 pub use workqueue::{run_chunks, WorkQueue};

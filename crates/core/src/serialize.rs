@@ -5,7 +5,11 @@
 //! representation" — no column names, no types. The paper additionally
 //! shuffles the column order per random seed during serialization
 //! ("Repetitions", Section 2.2) to quantify the sensitivity of language
-//! models to the input sequence. This module implements both.
+//! models to the input sequence. This module implements both, plus the
+//! *name/value* ablation variant (`name: value` pairs) used by the
+//! perturbation-robustness suite to measure how much attribute-name
+//! inclusion moves each matcher — a deliberate, flagged departure from
+//! Restriction 2, never used in the LODO protocol itself.
 
 use crate::pair::RecordPair;
 use crate::record::Record;
@@ -17,6 +21,10 @@ use std::sync::Arc;
 /// Separator between attribute values, matching the StringSim baseline's
 /// "concatenating the values with a comma separator".
 pub const VALUE_SEPARATOR: &str = ", ";
+
+/// Separator between an attribute name and its value in the `name: value`
+/// serialization style ([`Serializer::with_names`]).
+pub const NAME_SEPARATOR: &str = ": ";
 
 /// A serialized pair: both records rendered to plain strings under the same
 /// column permutation. This is the *only* view of the data that
@@ -54,14 +62,30 @@ impl SerializedPair {
     }
 }
 
+/// How attribute values are rendered: bare values (the restriction-
+/// compliant default) or `name: value` pairs (the serialization-ablation
+/// variant — attribute names come from the schema handed to
+/// [`Serializer::with_names`]).
+#[derive(Debug, Clone, PartialEq)]
+enum Style {
+    /// Values only, comma-joined — Restriction 2 of the paper.
+    Values,
+    /// `name: value` pairs, comma-joined. The names are shared (`Arc`)
+    /// because one schema serves every record of a relation.
+    NameValue(Arc<[String]>),
+}
+
 /// Serializes records under a fixed column permutation.
 ///
 /// A `Serializer` is created per (dataset, seed) so that every pair within
 /// one evaluation run sees the same permutation, while different seeds see
 /// different permutations — exactly the repetition protocol of Section 2.2.
-#[derive(Debug, Clone)]
+/// [`Serializer::with_names`] switches the rendering to `name: value`
+/// pairs for the serialization-ablation suite.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Serializer {
     order: Vec<usize>,
+    style: Style,
 }
 
 impl Serializer {
@@ -69,6 +93,7 @@ impl Serializer {
     pub fn identity(arity: usize) -> Self {
         Serializer {
             order: (0..arity).collect(),
+            style: Style::Values,
         }
     }
 
@@ -81,12 +106,72 @@ impl Serializer {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
             order.shuffle(&mut rng);
         }
-        Serializer { order }
+        Serializer {
+            order,
+            style: Style::Values,
+        }
+    }
+
+    /// Switches to `name: value` rendering under the given schema names.
+    /// Columns beyond `names.len()` render with an empty name (mirrors how
+    /// values beyond the schema render empty in values-only mode).
+    pub fn with_names(mut self, names: Vec<String>) -> Self {
+        self.style = Style::NameValue(names.into());
+        self
+    }
+
+    /// Switches back to values-only rendering.
+    pub fn values_only(mut self) -> Self {
+        self.style = Style::Values;
+        self
+    }
+
+    /// The schema names in effect, if rendering `name: value` pairs.
+    pub fn names(&self) -> Option<&[String]> {
+        match &self.style {
+            Style::Values => None,
+            Style::NameValue(names) => Some(names),
+        }
     }
 
     /// The column permutation in effect.
     pub fn order(&self) -> &[usize] {
         &self.order
+    }
+
+    /// A stable fingerprint of the full serialization configuration
+    /// (permutation + style + schema names). Two serializers with equal
+    /// fingerprints render every record identically, so the fingerprint is
+    /// the key under which serialization-dependent caches (e.g. the serve
+    /// pipeline's [`ScoreCache`]) stay valid.
+    ///
+    /// [`ScoreCache`]: https://docs.rs/em-serve
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical byte rendering of the configuration.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.order.len() as u64).to_le_bytes());
+        for &col in &self.order {
+            eat(&(col as u64).to_le_bytes());
+        }
+        match &self.style {
+            Style::Values => eat(&[0u8]),
+            Style::NameValue(names) => {
+                eat(&[1u8]);
+                eat(&(names.len() as u64).to_le_bytes());
+                for name in names.iter() {
+                    eat(&(name.len() as u64).to_le_bytes());
+                    eat(name.as_bytes());
+                }
+            }
+        }
+        h
     }
 
     /// Serializes a single record into a comma-joined value string.
@@ -106,6 +191,12 @@ impl Serializer {
                 out.push_str(VALUE_SEPARATOR);
             }
             first = false;
+            if let Style::NameValue(names) = &self.style {
+                if let Some(name) = names.get(col) {
+                    out.push_str(name);
+                }
+                out.push_str(NAME_SEPARATOR);
+            }
             if let Some(v) = record.values.get(col) {
                 v.render_into(out);
             }
@@ -137,6 +228,84 @@ fn estimate_len(record: &Record) -> usize {
         })
         .sum();
     payload + record.values.len().saturating_sub(1) * VALUE_SEPARATOR.len()
+}
+
+#[cfg(test)]
+mod name_value_tests {
+    use super::*;
+    use crate::record::AttrValue;
+
+    fn rec(vals: &[&str]) -> Record {
+        Record::new(0, vals.iter().map(|v| AttrValue::from(*v)).collect())
+    }
+
+    fn names(ns: &[&str]) -> Vec<String> {
+        ns.iter().map(|n| (*n).to_string()).collect()
+    }
+
+    #[test]
+    fn name_value_renders_schema_names() {
+        let s = Serializer::identity(3).with_names(names(&["title", "brand", "price"]));
+        assert_eq!(
+            s.record(&rec(&["tv", "sony", "99"])),
+            "title: tv, brand: sony, price: 99"
+        );
+    }
+
+    #[test]
+    fn name_value_follows_the_permutation() {
+        let s = Serializer::shuffled(3, 5).with_names(names(&["a", "b", "c"]));
+        let out = s.record(&rec(&["1", "2", "3"]));
+        let expect: Vec<String> = s
+            .order()
+            .iter()
+            .map(|&i| format!("{}: {}", ["a", "b", "c"][i], i + 1))
+            .collect();
+        assert_eq!(out, expect.join(", "));
+    }
+
+    #[test]
+    fn missing_value_keeps_its_name() {
+        let s = Serializer::identity(2).with_names(names(&["x", "y"]));
+        let r = Record::new(0, vec![AttrValue::from("a"), AttrValue::Missing]);
+        assert_eq!(s.record(&r), "x: a, y: ");
+    }
+
+    #[test]
+    fn values_only_round_trips_back() {
+        let s = Serializer::identity(2)
+            .with_names(names(&["x", "y"]))
+            .values_only();
+        assert_eq!(s.record(&rec(&["a", "b"])), "a, b");
+        assert_eq!(s.names(), None);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configurations() {
+        let base = Serializer::identity(3);
+        assert_eq!(base.fingerprint(), Serializer::identity(3).fingerprint());
+        let shuffled = Serializer::shuffled(3, 9);
+        if shuffled.order() != base.order() {
+            assert_ne!(base.fingerprint(), shuffled.fingerprint());
+        }
+        let named = Serializer::identity(3).with_names(names(&["a", "b", "c"]));
+        assert_ne!(base.fingerprint(), named.fingerprint());
+        let renamed = Serializer::identity(3).with_names(names(&["a", "b", "d"]));
+        assert_ne!(named.fingerprint(), renamed.fingerprint());
+        assert_ne!(
+            Serializer::identity(2).fingerprint(),
+            Serializer::identity(3).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_nothing_it_should_track() {
+        // Same config built twice -> same fingerprint (stability pin).
+        let a = Serializer::shuffled(5, 3).with_names(names(&["n1", "n2", "n3", "n4", "n5"]));
+        let b = Serializer::shuffled(5, 3).with_names(names(&["n1", "n2", "n3", "n4", "n5"]));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a, b);
+    }
 }
 
 #[cfg(test)]

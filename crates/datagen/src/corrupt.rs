@@ -71,12 +71,13 @@ pub fn abbreviate(s: &str, rng: &mut StdRng) -> String {
         .enumerate()
         .filter_map(|(i, t)| (t.chars().count() > 4).then_some(i))
         .collect();
-    let Some(&i) = candidates.get(
-        rng.gen_range(0..candidates.len().max(1))
-            .min(candidates.len().saturating_sub(1)),
-    ) else {
+    // Early return before touching the RNG: `gen_range` panics on an
+    // empty range, and the clamped-index workaround this replaced both
+    // obscured that and biased the draw.
+    if candidates.is_empty() {
         return s.to_owned();
-    };
+    }
+    let i = candidates[rng.gen_range(0..candidates.len())];
     let keep = rng.gen_range(1..=4usize);
     let mut short: String = tokens[i].chars().take(keep).collect();
     if rng.gen_bool(0.5) {
@@ -175,6 +176,38 @@ mod tests {
     fn abbreviate_skips_short_only_strings() {
         let mut r = rng(5);
         assert_eq!(abbreviate("ab cd", &mut r), "ab cd");
+    }
+
+    #[test]
+    fn every_operator_pins_empty_and_one_char_inputs() {
+        // Degenerate inputs must come back unchanged (and, above all, not
+        // panic inside `gen_range` on an empty bound): the perturbation
+        // layer feeds arbitrary attribute values through these operators.
+        for input in ["", "x", " "] {
+            let mut r = rng(41);
+            assert_eq!(typo(input, &mut r), input);
+            assert_eq!(drop_token(input, &mut r), input);
+            assert_eq!(reorder_tokens(input, &mut r), input);
+            assert_eq!(abbreviate(input, &mut r), input);
+            // shuffle/recase may normalize whitespace but must not panic
+            // and must preserve (case-folded) content.
+            let shuffled = shuffle_tokens(input, &mut r);
+            assert_eq!(shuffled.replace(' ', ""), input.replace(' ', ""));
+            let recased = recase(input, &mut r);
+            assert_eq!(
+                recased.to_lowercase().replace(' ', ""),
+                input.to_lowercase().replace(' ', "")
+            );
+        }
+    }
+
+    #[test]
+    fn abbreviate_handles_single_long_token() {
+        // Exactly one candidate: the index draw is over 0..1 and must be
+        // in bounds (this was the fragile `.max(1)`-guard path).
+        let mut r = rng(42);
+        let out = abbreviate("boulevard", &mut r);
+        assert!(out.len() < "boulevard".len(), "got {out:?}");
     }
 
     #[test]

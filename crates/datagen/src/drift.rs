@@ -1,0 +1,247 @@
+//! Drifting serve workload: right-catalog batches whose perturbation rate
+//! ramps over time.
+//!
+//! The serve drift drill replays a fixed left catalog against a stream of
+//! right-catalog batches. Early batches are (mostly) clean; the fraction
+//! of records *flagged* for perturbation rises linearly from
+//! [`DriftConfig::start_rate`] to [`DriftConfig::end_rate`] across the
+//! stream, modelling an upstream feed whose data quality degrades. This
+//! module only decides **which** records drift — the drill applies the
+//! actual perturbation operators (from `em-perturb`, which depends on this
+//! crate) to the flagged records, keeping the dependency graph acyclic.
+//!
+//! Everything is deterministic per `(config, seed)`: the underlying
+//! relations come from [`serve_relations`] and the flag sets from a
+//! per-batch seeded shuffle.
+
+use crate::relations::{serve_relations, ServeRelations};
+use em_core::Record;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shape of a drifting serve workload.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Size of the fixed left catalog.
+    pub left_size: usize,
+    /// Number of right-catalog batches in the stream.
+    pub batches: usize,
+    /// Records per batch.
+    pub batch_size: usize,
+    /// Fraction of right records that match some left record.
+    pub match_fraction: f64,
+    /// Perturbation rate of the first batch, in `[0, 1]`.
+    pub start_rate: f64,
+    /// Perturbation rate of the last batch, in `[0, 1]`.
+    pub end_rate: f64,
+    /// Master seed for relations and flag sets.
+    pub seed: u64,
+}
+
+/// One batch of the drifting stream.
+#[derive(Debug, Clone)]
+pub struct DriftBatch {
+    /// Position in the stream, `0..config.batches`.
+    pub index: usize,
+    /// This batch's perturbation rate (linear ramp).
+    pub rate: f64,
+    /// The batch's right-catalog records (clean; ids carry the global
+    /// [`crate::relations::RIGHT_ID_OFFSET`]-based right ids).
+    pub records: Vec<Record>,
+    /// Ground truth as `(left_idx, local_idx)` — index into the shared
+    /// left catalog × index into `records`.
+    pub matches: Vec<(usize, usize)>,
+    /// Indices into `records` flagged for perturbation, sorted. Exactly
+    /// `ceil(rate * batch_size)` entries, chosen by a per-batch seeded
+    /// shuffle.
+    pub flagged: Vec<usize>,
+}
+
+/// A deterministic drifting workload: fixed left catalog + an iterator of
+/// [`DriftBatch`]es carved from one [`serve_relations`] instance.
+pub struct DriftStream {
+    config: DriftConfig,
+    rels: ServeRelations,
+    next: usize,
+}
+
+impl DriftStream {
+    /// Builds the stream. The right relation has
+    /// `config.batches * config.batch_size` records so every batch is
+    /// full-sized.
+    pub fn new(config: DriftConfig) -> Self {
+        assert!(config.batches > 0, "drift stream needs at least one batch");
+        assert!(
+            (0.0..=1.0).contains(&config.start_rate) && (0.0..=1.0).contains(&config.end_rate),
+            "perturbation rates must lie in [0,1]"
+        );
+        let rels = serve_relations(
+            config.left_size,
+            config.batches * config.batch_size,
+            config.match_fraction,
+            config.seed,
+        );
+        DriftStream {
+            config,
+            rels,
+            next: 0,
+        }
+    }
+
+    /// The fixed left catalog shared by every batch.
+    pub fn left(&self) -> &[Record] {
+        &self.rels.left
+    }
+
+    /// Attribute count of the generated records.
+    pub fn arity(&self) -> usize {
+        self.rels.arity()
+    }
+
+    /// The perturbation rate of batch `index` (linear interpolation; a
+    /// single-batch stream sits at `start_rate`).
+    pub fn rate_at(&self, index: usize) -> f64 {
+        if self.config.batches <= 1 {
+            return self.config.start_rate;
+        }
+        let t = index as f64 / (self.config.batches - 1) as f64;
+        self.config.start_rate + (self.config.end_rate - self.config.start_rate) * t
+    }
+}
+
+impl Iterator for DriftStream {
+    type Item = DriftBatch;
+
+    fn next(&mut self) -> Option<DriftBatch> {
+        let index = self.next;
+        if index >= self.config.batches {
+            return None;
+        }
+        self.next += 1;
+        let bs = self.config.batch_size;
+        let lo = index * bs;
+        let hi = lo + bs;
+        let records: Vec<Record> = self.rels.right[lo..hi].to_vec();
+        let matches: Vec<(usize, usize)> = self
+            .rels
+            .matches
+            .iter()
+            .filter(|&&(_, j)| (lo..hi).contains(&j))
+            .map(|&(i, j)| (i, j - lo))
+            .collect();
+        let rate = self.rate_at(index);
+        let n_flagged = ((rate * bs as f64).ceil() as usize).min(bs);
+        let mut idx: Vec<usize> = (0..bs).collect();
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ 0x6472_6966_74 ^ (index as u64) << 17);
+        idx.shuffle(&mut rng);
+        idx.truncate(n_flagged);
+        idx.sort_unstable();
+        Some(DriftBatch {
+            index,
+            rate,
+            records,
+            matches,
+            flagged: idx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> DriftConfig {
+        DriftConfig {
+            left_size: 120,
+            batches: 5,
+            batch_size: 40,
+            match_fraction: 0.4,
+            start_rate: 0.0,
+            end_rate: 0.8,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn rate_ramps_linearly_over_the_stream() {
+        let stream = DriftStream::new(config());
+        let rates: Vec<f64> = (0..5).map(|i| stream.rate_at(i)).collect();
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[4] - 0.8).abs() < 1e-12);
+        for w in rates.windows(2) {
+            assert!(w[1] > w[0], "ramp not strictly increasing: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn flagged_fraction_follows_the_rate() {
+        for batch in DriftStream::new(config()) {
+            let expect = (batch.rate * 40.0).ceil() as usize;
+            assert_eq!(batch.flagged.len(), expect.min(40), "batch {}", batch.index);
+            for &i in &batch.flagged {
+                assert!(i < batch.records.len());
+            }
+        }
+    }
+
+    #[test]
+    fn batches_partition_the_right_relation() {
+        let cfg = config();
+        let rels = serve_relations(
+            cfg.left_size,
+            cfg.batches * cfg.batch_size,
+            cfg.match_fraction,
+            cfg.seed,
+        );
+        let mut seen = 0;
+        for batch in DriftStream::new(cfg.clone()) {
+            for (k, r) in batch.records.iter().enumerate() {
+                assert_eq!(*r, rels.right[batch.index * cfg.batch_size + k]);
+            }
+            seen += batch.records.len();
+        }
+        assert_eq!(seen, rels.right.len());
+    }
+
+    #[test]
+    fn matches_use_local_indices() {
+        let stream = DriftStream::new(config());
+        let left_len = stream.left().len();
+        let mut total = 0;
+        for batch in stream {
+            for &(li, local) in &batch.matches {
+                assert!(li < left_len);
+                assert!(local < batch.records.len());
+            }
+            total += batch.matches.len();
+        }
+        // 0.4 * 200 right records, capped by 120 left records.
+        assert_eq!(total, 80);
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<DriftBatch> = DriftStream::new(config()).collect();
+        let b: Vec<DriftBatch> = DriftStream::new(config()).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.records, y.records);
+            assert_eq!(x.flagged, y.flagged);
+            assert_eq!(x.matches, y.matches);
+        }
+    }
+
+    #[test]
+    fn single_batch_stream_sits_at_start_rate() {
+        let cfg = DriftConfig {
+            batches: 1,
+            start_rate: 0.5,
+            ..config()
+        };
+        let batches: Vec<DriftBatch> = DriftStream::new(cfg).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].rate, 0.5);
+        assert_eq!(batches[0].flagged.len(), 20);
+    }
+}

@@ -16,12 +16,15 @@
 //! * dataset assembly honoring Table 1 ([`benchmark`]);
 //! * a multi-domain pretraining corpus for the frozen LLM tiers
 //!   ([`corpus`]);
-//! * the Section 5.1 natural-join leakage audit ([`leakage`]).
+//! * the Section 5.1 natural-join leakage audit ([`leakage`]);
+//! * a drifting serve workload whose flagged-for-perturbation fraction
+//!   ramps per batch, for the cascade degradation drill ([`drift`]).
 
 pub mod benchmark;
 pub mod corpus;
 pub mod corrupt;
 pub mod domains;
+pub mod drift;
 pub mod export;
 pub mod leakage;
 pub mod lexicon;
@@ -30,6 +33,7 @@ pub mod relations;
 pub use benchmark::{domain_for, generate, generate_suite};
 pub use corpus::pretrain_corpus;
 pub use domains::{Domain, Side};
+pub use drift::{DriftBatch, DriftConfig, DriftStream};
 pub use export::{to_csv, write_csv};
 pub use leakage::{audit, natural_join_size, LeakageReport};
 pub use lexicon::Lexicon;

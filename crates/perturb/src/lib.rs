@@ -1,0 +1,38 @@
+//! # em-perturb — deterministic record & serialization perturbations
+//!
+//! The perturbation-robustness layer behind the `sensitivity` harness: a
+//! small algebra of seeded, bitwise-reproducible record corruptions and
+//! serialization ablations that quantify how every matcher family degrades
+//! when the input format drifts away from the clean benchmark form.
+//!
+//! Two kinds of operators implement the [`Perturbation`] trait:
+//!
+//! * **record-level** operators mutate attribute values —
+//!   [`Misfield`] (values rotated into wrong attribute slots),
+//!   [`Embed`] (per-record random attribute subsets emulating
+//!   semi-structured DBpedia-style records), [`NullOut`],
+//!   [`Typo`] and [`DropToken`] (built on the
+//!   [`em_datagen::corrupt`] primitives);
+//! * **serializer-level** operators change how records render —
+//!   [`AttrShuffle`] (column-order shuffle) and [`NameValue`]
+//!   (`name: value` rendering instead of bare values).
+//!
+//! # Determinism contract
+//!
+//! Every operator draws randomness from a [`rand::rngs::StdRng`] seeded
+//! per `(plan seed, operator index, record id)`. Perturbing the same
+//! record under the same [`PerturbPlan`] therefore yields bitwise
+//! identical output **regardless of the order or number of other records
+//! processed**, across threads and across runs. The proptest suite in
+//! `tests/determinism.rs` pins this contract.
+//!
+//! Application is observable through `perturb.*` counters
+//! (`perturb.records`, `perturb.values_misfielded`,
+//! `perturb.values_nulled`, `perturb.embed_dropped`, `perturb.typos`,
+//! `perturb.tokens_dropped`) in the [`em_obs::metrics`] registry.
+
+pub mod op;
+pub mod plan;
+
+pub use op::{AttrShuffle, DropToken, Embed, Misfield, NameValue, NullOut, Perturbation, Typo};
+pub use plan::{standard_suite, PerturbPlan};

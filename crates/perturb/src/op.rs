@@ -1,0 +1,345 @@
+//! The [`Perturbation`] trait and the standard operators.
+//!
+//! Record-level operators mutate a [`Record`] in place under a caller-
+//! provided RNG (the plan derives one per `(seed, op, record)`, see
+//! [`crate::plan`]); serializer-level operators rewrite the
+//! [`Serializer`] every record of the batch is rendered with. One
+//! operator may do both, and defaults exist for either side so an
+//! implementation only writes the half it needs.
+
+use em_core::record::{AttrValue, Record};
+use em_core::serialize::Serializer;
+use em_datagen::corrupt;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// One seeded, bitwise-reproducible perturbation operator.
+///
+/// Operators must be pure functions of `(record, rng)` respectively
+/// `(arity, base, plan_seed)` — no interior mutability, no global state
+/// beyond the `perturb.*` counters — so that a [`crate::PerturbPlan`]
+/// can guarantee its determinism contract.
+pub trait Perturbation: Send + Sync {
+    /// Stable operator name (used in counter attribution and reports).
+    fn name(&self) -> &'static str;
+
+    /// Mutates the record's attribute values in place. Record-level
+    /// operators override this; the default leaves the record untouched.
+    fn apply(&self, _record: &mut Record, _rng: &mut StdRng) {}
+
+    /// Rewrites the serializer the perturbed batch is rendered with.
+    /// Serializer-level operators override this; the default passes the
+    /// base through so operators compose left to right.
+    fn serializer(&self, _arity: usize, base: Serializer, _plan_seed: u64) -> Serializer {
+        base
+    }
+}
+
+/// SplitMix64 finalizer — the mixing function behind per-record RNG
+/// derivation and serializer-seed derivation.
+pub(crate) fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Column-order shuffle: renders the same values under a seed-derived
+/// permutation instead of schema order (serializer-level; the records
+/// themselves are untouched).
+pub struct AttrShuffle;
+
+impl Perturbation for AttrShuffle {
+    fn name(&self) -> &'static str {
+        "attr-shuffle"
+    }
+
+    fn serializer(&self, arity: usize, base: Serializer, plan_seed: u64) -> Serializer {
+        // `Serializer::shuffled(_, 0)` is defined as the identity, so force
+        // a nonzero derived seed to guarantee an actual shuffle attempt.
+        let shuffled = Serializer::shuffled(arity, mix(plan_seed) | 1);
+        match base.names() {
+            Some(names) => shuffled.with_names(names.to_vec()),
+            None => shuffled,
+        }
+    }
+}
+
+/// `name: value` rendering: includes the schema attribute names the
+/// cross-dataset restriction normally erases (serializer-level).
+pub struct NameValue {
+    names: Vec<String>,
+}
+
+impl NameValue {
+    /// Creates the operator with the schema names to render.
+    pub fn new(names: Vec<String>) -> Self {
+        NameValue { names }
+    }
+}
+
+impl Perturbation for NameValue {
+    fn name(&self) -> &'static str {
+        "name-value"
+    }
+
+    fn serializer(&self, _arity: usize, base: Serializer, _plan_seed: u64) -> Serializer {
+        base.with_names(self.names.clone())
+    }
+}
+
+/// `misfield-k`: cyclically rotates the values of `k` random attribute
+/// slots, so values appear under the wrong attribute position (and, when
+/// combined with [`NameValue`], under the wrong attribute *name*).
+pub struct Misfield {
+    /// Number of attribute slots whose values rotate (clamped to arity).
+    pub k: usize,
+}
+
+impl Perturbation for Misfield {
+    fn name(&self) -> &'static str {
+        "misfield"
+    }
+
+    fn apply(&self, record: &mut Record, rng: &mut StdRng) {
+        let arity = record.arity();
+        if arity < 2 || self.k < 2 {
+            return;
+        }
+        let k = self.k.min(arity);
+        let mut idx: Vec<usize> = (0..arity).collect();
+        idx.shuffle(rng);
+        idx.truncate(k);
+        let last = record.values[idx[k - 1]].clone();
+        for w in (1..k).rev() {
+            record.values[idx[w]] = record.values[idx[w - 1]].clone();
+        }
+        record.values[idx[0]] = last;
+        em_obs::metrics::counter("perturb.values_misfielded").add(k as u64);
+    }
+}
+
+/// `embed-k`: keeps a per-record random subset of `keep` attributes and
+/// blanks the rest — every record exposes a different attribute subset,
+/// emulating semi-structured sources where no two entities share a
+/// schema.
+pub struct Embed {
+    /// Number of attributes each record keeps (clamped to arity).
+    pub keep: usize,
+}
+
+impl Perturbation for Embed {
+    fn name(&self) -> &'static str {
+        "embed"
+    }
+
+    fn apply(&self, record: &mut Record, rng: &mut StdRng) {
+        let arity = record.arity();
+        if self.keep >= arity {
+            return;
+        }
+        let mut idx: Vec<usize> = (0..arity).collect();
+        idx.shuffle(rng);
+        let mut dropped = 0u64;
+        for &i in &idx[self.keep..] {
+            if !record.values[i].is_missing() {
+                record.values[i] = AttrValue::Missing;
+                dropped += 1;
+            }
+        }
+        em_obs::metrics::counter("perturb.embed_dropped").add(dropped);
+    }
+}
+
+/// `null-k`: blanks `k` random attributes per record — plain missing-
+/// value injection at a fixed per-record budget.
+pub struct NullOut {
+    /// Number of attributes to blank (clamped to arity).
+    pub k: usize,
+}
+
+impl Perturbation for NullOut {
+    fn name(&self) -> &'static str {
+        "null-out"
+    }
+
+    fn apply(&self, record: &mut Record, rng: &mut StdRng) {
+        let arity = record.arity();
+        if arity == 0 || self.k == 0 {
+            return;
+        }
+        let k = self.k.min(arity);
+        let mut idx: Vec<usize> = (0..arity).collect();
+        idx.shuffle(rng);
+        let mut nulled = 0u64;
+        for &i in &idx[..k] {
+            if !record.values[i].is_missing() {
+                record.values[i] = AttrValue::Missing;
+                nulled += 1;
+            }
+        }
+        em_obs::metrics::counter("perturb.values_nulled").add(nulled);
+    }
+}
+
+/// Character-level typo noise: applies `passes` typo passes
+/// ([`em_datagen::corrupt::typo`] — swap/delete/duplicate) to every text
+/// attribute.
+pub struct Typo {
+    /// Typo passes per text value.
+    pub passes: usize,
+}
+
+impl Perturbation for Typo {
+    fn name(&self) -> &'static str {
+        "typo"
+    }
+
+    fn apply(&self, record: &mut Record, rng: &mut StdRng) {
+        let mut applied = 0u64;
+        for v in &mut record.values {
+            if let AttrValue::Text(s) = v {
+                let mut out = s.clone();
+                for _ in 0..self.passes {
+                    out = corrupt::typo(&out, rng);
+                }
+                if out != *s {
+                    applied += 1;
+                    *s = out;
+                }
+            }
+        }
+        em_obs::metrics::counter("perturb.typos").add(applied);
+    }
+}
+
+/// Token-drop noise: removes one random word token from every multi-token
+/// text attribute ([`em_datagen::corrupt::drop_token`]).
+pub struct DropToken;
+
+impl Perturbation for DropToken {
+    fn name(&self) -> &'static str {
+        "drop-token"
+    }
+
+    fn apply(&self, record: &mut Record, rng: &mut StdRng) {
+        let mut dropped = 0u64;
+        for v in &mut record.values {
+            if let AttrValue::Text(s) = v {
+                let out = corrupt::drop_token(s, rng);
+                if out != *s {
+                    dropped += 1;
+                    *s = out;
+                }
+            }
+        }
+        em_obs::metrics::counter("perturb.tokens_dropped").add(dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn values_multiset(r: &Record) -> Vec<String> {
+        let mut v: Vec<String> = r.values.iter().map(|a| a.render()).collect();
+        v.sort();
+        v
+    }
+
+    fn rec(vals: &[&str]) -> Record {
+        Record::new(7, vals.iter().map(|v| AttrValue::from(*v)).collect())
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn misfield_preserves_value_multiset_and_moves_values() {
+        let clean = rec(&["alpha", "beta", "gamma", "delta"]);
+        let mut moved = 0;
+        for seed in 0..10 {
+            let mut r = clean.clone();
+            Misfield { k: 2 }.apply(&mut r, &mut rng(seed));
+            assert_eq!(values_multiset(&r), values_multiset(&clean));
+            if r != clean {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved >= 8,
+            "misfield-2 moved values in only {moved}/10 seeds"
+        );
+    }
+
+    #[test]
+    fn misfield_ignores_degenerate_records() {
+        let mut empty = Record::new(1, vec![]);
+        Misfield { k: 2 }.apply(&mut empty, &mut rng(0));
+        assert_eq!(empty.values.len(), 0);
+        let mut single = rec(&["only"]);
+        Misfield { k: 2 }.apply(&mut single, &mut rng(0));
+        assert_eq!(single, rec(&["only"]));
+    }
+
+    #[test]
+    fn embed_keeps_exactly_the_budget() {
+        let mut r = rec(&["a", "b", "c", "d", "e"]);
+        Embed { keep: 2 }.apply(&mut r, &mut rng(3));
+        let present = r.values.iter().filter(|v| !v.is_missing()).count();
+        assert_eq!(present, 2);
+    }
+
+    #[test]
+    fn embed_with_large_budget_is_identity() {
+        let clean = rec(&["a", "b"]);
+        let mut r = clean.clone();
+        Embed { keep: 5 }.apply(&mut r, &mut rng(0));
+        assert_eq!(r, clean);
+    }
+
+    #[test]
+    fn null_out_blanks_k_values() {
+        let mut r = rec(&["a", "b", "c"]);
+        NullOut { k: 1 }.apply(&mut r, &mut rng(1));
+        assert_eq!(r.values.iter().filter(|v| v.is_missing()).count(), 1);
+        let mut all = rec(&["a", "b"]);
+        NullOut { k: 9 }.apply(&mut all, &mut rng(1));
+        assert!(all.values.iter().all(|v| v.is_missing()));
+    }
+
+    #[test]
+    fn typo_touches_only_text() {
+        let mut r = Record::new(
+            2,
+            vec![AttrValue::from("television set"), AttrValue::Number(99.0)],
+        );
+        Typo { passes: 2 }.apply(&mut r, &mut rng(5));
+        assert_eq!(r.values[1], AttrValue::Number(99.0));
+    }
+
+    #[test]
+    fn drop_token_keeps_single_token_values() {
+        let clean = rec(&["single", "two tokens"]);
+        let mut r = clean.clone();
+        DropToken.apply(&mut r, &mut rng(4));
+        assert_eq!(r.values[0], AttrValue::from("single"));
+        assert_eq!(r.values[1].render().split_whitespace().count(), 1);
+    }
+
+    #[test]
+    fn attr_shuffle_rewrites_order_and_keeps_names() {
+        let base = Serializer::identity(6).with_names((0..6).map(|i| format!("c{i}")).collect());
+        let shuffled = AttrShuffle.serializer(6, base, 42);
+        assert_ne!(shuffled.order(), Serializer::identity(6).order());
+        assert!(shuffled.names().is_some());
+    }
+
+    #[test]
+    fn name_value_sets_names() {
+        let out = NameValue::new(vec!["t".into()]).serializer(1, Serializer::identity(1), 0);
+        assert_eq!(out.names(), Some(&["t".to_string()][..]));
+    }
+}

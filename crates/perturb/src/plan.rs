@@ -1,0 +1,229 @@
+//! Perturbation plans: named, seeded compositions of operators.
+//!
+//! A [`PerturbPlan`] owns an ordered list of [`Perturbation`] operators
+//! and a seed, and is the unit the sensitivity harness sweeps: one plan =
+//! one column of the matcher × perturbation matrix. The plan derives an
+//! independent RNG per `(seed, operator index, record id)` — see the
+//! determinism contract in the crate docs — so perturbing a record is a
+//! pure function of the plan and the record, no matter how the batch is
+//! chunked across worker threads.
+
+use crate::op::{
+    mix, AttrShuffle, DropToken, Embed, Misfield, NameValue, NullOut, Perturbation, Typo,
+};
+use em_core::matcher::EvalBatch;
+use em_core::pair::{LabeledPair, RecordPair};
+use em_core::record::{AttrType, Record};
+use em_core::serialize::Serializer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named, seeded composition of perturbation operators.
+pub struct PerturbPlan {
+    name: String,
+    seed: u64,
+    ops: Vec<Box<dyn Perturbation>>,
+}
+
+impl PerturbPlan {
+    /// Creates an empty (identity) plan. With no operators the plan is
+    /// the `clean` baseline: records pass through untouched and the
+    /// serializer is the identity.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        PerturbPlan {
+            name: name.into(),
+            seed,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends an operator (builder style). Operators apply in insertion
+    /// order, both at the record level and when folding the serializer.
+    pub fn with(mut self, op: Box<dyn Perturbation>) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The plan's name — the column label in `SENSITIVITY.json`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` if the plan has no operators (the clean baseline).
+    pub fn is_clean(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Perturbs one record: clones it and runs every operator with its
+    /// derived per-`(seed, op, record)` RNG. Bitwise deterministic and
+    /// independent of any other record processed before or after.
+    pub fn record(&self, record: &Record) -> Record {
+        em_obs::metrics::counter("perturb.records").inc();
+        let mut out = record.clone();
+        for (op_index, op) in self.ops.iter().enumerate() {
+            let mut rng = self.record_rng(op_index, record.id);
+            op.apply(&mut out, &mut rng);
+        }
+        out
+    }
+
+    /// Perturbs both sides of a pair (each record under its own RNG).
+    pub fn pair(&self, pair: &RecordPair) -> RecordPair {
+        RecordPair::new(self.record(&pair.left), self.record(&pair.right))
+    }
+
+    /// The serializer the perturbed batch renders with: the identity
+    /// folded through every operator's serializer hook.
+    pub fn serializer(&self, arity: usize) -> Serializer {
+        let mut ser = Serializer::identity(arity);
+        for op in &self.ops {
+            ser = op.serializer(arity, ser, self.seed);
+        }
+        ser
+    }
+
+    /// Builds a full [`EvalBatch`] from labelled pairs: records perturbed
+    /// per the plan, then serialized under the plan's serializer. Labels
+    /// stay with the caller's `pairs` slice (perturbations never change
+    /// ground truth — the records still refer to the same entities).
+    pub fn eval_batch(&self, pairs: &[LabeledPair], attr_types: &[AttrType]) -> EvalBatch {
+        let arity = attr_types.len();
+        let ser = self.serializer(arity);
+        let raw: Vec<RecordPair> = pairs.iter().map(|lp| self.pair(&lp.pair)).collect();
+        let serialized = ser.pairs(&raw);
+        EvalBatch {
+            serialized,
+            raw,
+            attr_types: attr_types.to_vec(),
+        }
+    }
+
+    fn record_rng(&self, op_index: usize, record_id: u64) -> StdRng {
+        let h = mix(self.seed ^ mix((op_index as u64) ^ mix(record_id)));
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The standard perturbation suite swept by the sensitivity harness:
+/// seven named plans covering both serialization ablations and data-error
+/// injection. `names` is the schema used by the `name-value` ablation.
+pub fn standard_suite(seed: u64, names: &[String]) -> Vec<PerturbPlan> {
+    vec![
+        PerturbPlan::new("attr-shuffle", seed).with(Box::new(AttrShuffle)),
+        PerturbPlan::new("name-value", seed).with(Box::new(NameValue::new(names.to_vec()))),
+        PerturbPlan::new("misfield-2", seed).with(Box::new(Misfield { k: 2 })),
+        PerturbPlan::new("embed-2", seed).with(Box::new(Embed { keep: 2 })),
+        PerturbPlan::new("null-1", seed).with(Box::new(NullOut { k: 1 })),
+        PerturbPlan::new("typo-2", seed).with(Box::new(Typo { passes: 2 })),
+        PerturbPlan::new("drop-token", seed).with(Box::new(DropToken)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use em_core::record::AttrValue;
+
+    fn rec(id: u64, vals: &[&str]) -> Record {
+        Record::new(id, vals.iter().map(|v| AttrValue::from(*v)).collect())
+    }
+
+    fn schema() -> Vec<String> {
+        vec!["title".into(), "category".into(), "price".into()]
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let plan = PerturbPlan::new("clean", 3);
+        assert!(plan.is_clean());
+        let r = rec(9, &["digital camera kit", "electronics", "149"]);
+        assert_eq!(plan.record(&r), r);
+        assert_eq!(
+            plan.serializer(3).fingerprint(),
+            Serializer::identity(3).fingerprint()
+        );
+    }
+
+    #[test]
+    fn record_is_order_independent() {
+        let plan = PerturbPlan::new("t", 11).with(Box::new(Typo { passes: 2 }));
+        let a = rec(1, &["first record title here", "cat", "10"]);
+        let b = rec(2, &["second record title here", "dog", "20"]);
+        // a-then-b must equal b-then-a per record.
+        let (a1, b1) = (plan.record(&a), plan.record(&b));
+        let (b2, a2) = (plan.record(&b), plan.record(&a));
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn different_records_draw_different_noise() {
+        let plan = PerturbPlan::new("t", 5).with(Box::new(NullOut { k: 1 }));
+        // Same values, different ids: the nulled column should differ for
+        // at least one id pair out of several (independent per-record RNG).
+        let vals = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        let outs: Vec<Record> = (0..8).map(|id| plan.record(&rec(id, &vals))).collect();
+        let first_null = |r: &Record| r.values.iter().position(|v| v.is_missing());
+        let distinct: std::collections::HashSet<_> = outs.iter().map(first_null).collect();
+        assert!(distinct.len() > 1, "all records nulled the same column");
+    }
+
+    #[test]
+    fn eval_batch_serializes_under_the_plan() {
+        let pairs = vec![LabeledPair::new(
+            rec(1, &["tv", "electronics", "99"]),
+            rec(2, &["tv set", "electronics", "98"]),
+            true,
+        )];
+        let types = vec![AttrType::ShortText; 3];
+        let plan = PerturbPlan::new("name-value", 0).with(Box::new(NameValue::new(schema())));
+        let batch = plan.eval_batch(&pairs, &types);
+        assert_eq!(batch.len(), 1);
+        assert!(batch.serialized[0].left.starts_with("title: "));
+        assert_eq!(batch.raw[0].left, pairs[0].pair.left);
+    }
+
+    #[test]
+    fn standard_suite_names_are_unique_and_cover_the_matrix() {
+        let suite = standard_suite(0, &schema());
+        assert!(suite.len() >= 5, "matrix needs >= 5 perturbations");
+        let names: std::collections::HashSet<&str> = suite.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), suite.len());
+        assert!(!suite.iter().any(|p| p.is_clean()));
+    }
+
+    #[test]
+    fn suite_plans_change_something() {
+        // Every plan must have an observable effect on a generic record
+        // batch: either the rendered strings differ from clean, or some
+        // record's values differ.
+        let pairs = vec![
+            LabeledPair::new(
+                rec(1, &["canon eos camera body", "electronics", "450"]),
+                rec(2, &["canon eos camera", "electronics", "455"]),
+                true,
+            ),
+            LabeledPair::new(
+                rec(3, &["blue cotton shirt large", "apparel", "25"]),
+                rec(4, &["red wool sweater medium", "apparel", "40"]),
+                false,
+            ),
+        ];
+        let types = vec![AttrType::ShortText; 3];
+        let clean = PerturbPlan::new("clean", 7).eval_batch(&pairs, &types);
+        for plan in standard_suite(7, &schema()) {
+            let batch = plan.eval_batch(&pairs, &types);
+            let differs = batch
+                .serialized
+                .iter()
+                .zip(&clean.serialized)
+                .any(|(p, c)| p.left != c.left || p.right != c.right);
+            assert!(differs, "plan `{}` had no effect", plan.name());
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Proptest pin of the em-perturb determinism contract: every operator is
+//! bitwise-reproducible given `(seed, config)` — the same plan applied to
+//! the same record yields identical output across calls, across batch
+//! orderings, and across chunked parallel application — and the plan's
+//! serializer is a pure function of `(seed, config)` too.
+
+use em_core::record::{AttrValue, Record};
+use em_core::run_chunks;
+use em_perturb::{standard_suite, DropToken, Misfield, NullOut, PerturbPlan, Typo};
+use proptest::prelude::*;
+
+fn schema() -> Vec<String> {
+    vec!["title".into(), "category".into(), "price".into()]
+}
+
+fn record(id: u64, title: &str, category: &str, price: f64) -> Record {
+    Record::new(
+        id,
+        vec![
+            AttrValue::from(title),
+            AttrValue::from(category),
+            AttrValue::Number(price),
+        ],
+    )
+}
+
+/// Bitwise equality for records: `PartialEq` on `AttrValue::Number`
+/// compares f64 by value, which is bit-equality for the non-NaN payloads
+/// the generator produces; text compares byte-for-byte.
+fn assert_same(a: &Record, b: &Record) {
+    assert_eq!(a, b);
+}
+
+proptest! {
+    #[test]
+    fn every_suite_plan_is_reproducible(
+        seed in 0u64..1000,
+        id in 0u64..1_000_000,
+        title in "[a-z ]{0,30}",
+        category in "[a-z]{0,10}",
+        price in 0.0f64..10_000.0,
+    ) {
+        let r = record(id, &title, &category, price);
+        for plan in standard_suite(seed, &schema()) {
+            assert_same(&plan.record(&r), &plan.record(&r));
+            prop_assert_eq!(
+                plan.serializer(3).fingerprint(),
+                plan.serializer(3).fingerprint()
+            );
+        }
+    }
+
+    #[test]
+    fn rebuilt_plans_agree(seed in 0u64..1000, id in 0u64..1_000_000, title in "[a-z ]{0,30}") {
+        // Two independently constructed plans with the same (seed, config)
+        // are interchangeable — nothing hides in construction order.
+        let r = record(id, &title, "cat", 42.0);
+        let a = standard_suite(seed, &schema());
+        let b = standard_suite(seed, &schema());
+        for (pa, pb) in a.iter().zip(&b) {
+            prop_assert_eq!(pa.name(), pb.name());
+            assert_same(&pa.record(&r), &pb.record(&r));
+            prop_assert_eq!(pa.serializer(3).fingerprint(), pb.serializer(3).fingerprint());
+        }
+    }
+
+    #[test]
+    fn batch_order_does_not_leak_between_records(
+        seed in 0u64..500,
+        titles in proptest::collection::vec("[a-z ]{1,25}", 6),
+    ) {
+        let records: Vec<Record> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| record(i as u64, t, "cat", i as f64))
+            .collect();
+        let plan = PerturbPlan::new("composite", seed)
+            .with(Box::new(Typo { passes: 1 }))
+            .with(Box::new(NullOut { k: 1 }));
+        let forward: Vec<Record> = records.iter().map(|r| plan.record(r)).collect();
+        let backward: Vec<Record> = records.iter().rev().map(|r| plan.record(r)).collect();
+        for (f, b) in forward.iter().zip(backward.iter().rev()) {
+            assert_same(f, b);
+        }
+    }
+
+    #[test]
+    fn chunked_parallel_application_matches_serial(
+        seed in 0u64..200,
+        titles in proptest::collection::vec("[a-z ]{1,20}", 8),
+    ) {
+        let records: Vec<Record> = titles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| record(i as u64, t, "cat", 1.0))
+            .collect();
+        let plan = PerturbPlan::new("par", seed)
+            .with(Box::new(Misfield { k: 2 }))
+            .with(Box::new(DropToken));
+        let serial: Vec<Record> = records.iter().map(|r| plan.record(r)).collect();
+        let parallel = run_chunks(&records, |r| plan.record(r)).unwrap();
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_same(s, p);
+        }
+    }
+
+    #[test]
+    fn different_seeds_usually_perturb_differently(id in 0u64..100_000) {
+        // Not a determinism property per se, but pins that the seed is
+        // actually wired through: across several seeds, null-out must not
+        // always blank the same column.
+        let r = record(id, "one two three four", "category", 9.0);
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..8u64 {
+            let plan = PerturbPlan::new("n", seed).with(Box::new(NullOut { k: 1 }));
+            let out = plan.record(&r);
+            distinct.insert(out.values.iter().position(|v| v.is_missing()));
+        }
+        prop_assert!(distinct.len() > 1);
+    }
+}

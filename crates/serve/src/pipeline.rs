@@ -115,6 +115,26 @@ impl ServeReport {
     pub fn total_usd(&self) -> f64 {
         self.stages.iter().map(|s| s.bill.usd_total()).sum()
     }
+
+    /// Fraction of candidates that escalated past stage 0 — the drift
+    /// drill's degradation signal: rises as input quality drops.
+    pub fn escalation_fraction(&self) -> f64 {
+        match self.stages.first() {
+            Some(s0) if self.candidates > 0 => s0.escalated as f64 / self.candidates as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// `true` if any stage served degraded predictions this run.
+    pub fn any_degraded(&self) -> bool {
+        self.stages.iter().any(|s| s.degraded)
+    }
+
+    /// `true` if any stage errored (deep-stage failures that the cascade
+    /// absorbed; stage-0 errors abort the run instead).
+    pub fn any_errored(&self) -> bool {
+        self.stages.iter().any(|s| s.errored)
+    }
 }
 
 /// Blocking state carried between runs, keyed by the stores' identities.
@@ -141,10 +161,13 @@ struct BlockSlot {
 /// Stages run cheap-first. Every candidate pair is scored by stage 0;
 /// a pair escalates to stage `k + 1` only while its current confidence
 /// `|2s − 1|` is below stage `k`'s margin. The deepest score wins. All
-/// scoring is cached per `(stage, left_id, right_id)`, so a repeated run
-/// over the same stores returns bitwise-identical scores without
-/// invoking any matcher — and, because blocking state is cached per
-/// store generation, without re-blocking either.
+/// scoring is cached per `(serialization ctx, stage, left_id, right_id)`,
+/// so a repeated run over the same stores returns bitwise-identical
+/// scores without invoking any matcher — and, because blocking state is
+/// cached per store generation, without re-blocking either. The ctx
+/// component combines both stores' serializer fingerprints, so re-serving
+/// the same ids under a different serialization re-scores instead of
+/// replaying stale answers.
 pub struct ServePipeline {
     blocker: Box<dyn Blocker>,
     stages: Vec<Stage>,
@@ -281,6 +304,14 @@ impl ServePipeline {
             self.block(left, right)?
         };
         let blocking_seconds = t_block.elapsed().as_secs_f64();
+        // Serialization context of this run: scores cached under one
+        // (left, right) serializer configuration must never answer for
+        // another. Asymmetric combine so swapped stores differ too.
+        let ctx = left
+            .serializer_fingerprint()
+            .rotate_left(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ right.serializer_fingerprint();
         em_obs::metrics::counter("serve.candidates").add(pairs.len() as u64);
         let rr = reduction_ratio(pairs.len(), left.len(), right.len());
         let pairs_slice: &[CandidatePair] = &pairs;
@@ -316,7 +347,7 @@ impl ServePipeline {
                     let mut chunk_misses = Vec::new();
                     for &p in *chunk {
                         let (i, j) = pairs_slice[p];
-                        match cache_view.get(k as u32, left.id(i), right.id(j)) {
+                        match cache_view.get(ctx, k as u32, left.id(i), right.id(j)) {
                             Some(s) => chunk_hits.push((p, s)),
                             None => chunk_misses.push(p),
                         }
@@ -365,7 +396,7 @@ impl ServePipeline {
                         for (&p, s) in batch_idx.iter().zip(batch_scores) {
                             scores[p] = s;
                             let (i, j) = pairs_slice[p];
-                            cache.insert(k as u32, left.id(i), right.id(j), s);
+                            cache.insert(ctx, k as u32, left.id(i), right.id(j), s);
                             tokens += approx_tokens(&serialized_slice[p]);
                         }
                         scored += batch_idx.len();

@@ -29,6 +29,11 @@ pub struct RecordStore {
     records: Vec<Record>,
     texts: Vec<Arc<str>>,
     serializer: Serializer,
+    /// `true` when the serializer was handed in explicitly
+    /// ([`with_serializer`](RecordStore::with_serializer)) rather than
+    /// derived — an explicit serializer survives appends into an
+    /// initially-empty store.
+    explicit_serializer: bool,
     store_id: u64,
     generation: u64,
 }
@@ -42,6 +47,7 @@ impl Clone for RecordStore {
             records: self.records.clone(),
             texts: self.texts.clone(),
             serializer: self.serializer.clone(),
+            explicit_serializer: self.explicit_serializer,
             store_id: fresh_store_id(),
             generation: 0,
         }
@@ -54,7 +60,19 @@ impl RecordStore {
     /// per-seed permutations belong to the LODO repetition protocol).
     pub fn new(records: Vec<Record>) -> Self {
         let arity = records.first().map(|r| r.values.len()).unwrap_or(0);
-        let serializer = Serializer::identity(arity);
+        Self::build(records, Serializer::identity(arity), false)
+    }
+
+    /// Builds a store that renders under an explicit serializer — the
+    /// entry point for serialization-ablation runs (shuffled column
+    /// order, `name: value` style). The serializer's fingerprint flows
+    /// into the pipeline's score-cache key, so scores cached under one
+    /// serialization are never replayed under another.
+    pub fn with_serializer(records: Vec<Record>, serializer: Serializer) -> Self {
+        Self::build(records, serializer, true)
+    }
+
+    fn build(records: Vec<Record>, serializer: Serializer, explicit: bool) -> Self {
         let texts = records
             .iter()
             .map(|r| Arc::from(serializer.record(r)))
@@ -63,6 +81,7 @@ impl RecordStore {
             records,
             texts,
             serializer,
+            explicit_serializer: explicit,
             store_id: fresh_store_id(),
             generation: 0,
         }
@@ -74,9 +93,10 @@ impl RecordStore {
         if records.is_empty() {
             return;
         }
-        if self.records.is_empty() {
+        if self.records.is_empty() && !self.explicit_serializer {
             // The store was built empty, so the arity (and thus the
-            // serializer) could not be derived at construction time.
+            // serializer) could not be derived at construction time. An
+            // explicitly provided serializer is kept as-is.
             let arity = records[0].values.len();
             self.serializer = Serializer::identity(arity);
         }
@@ -140,6 +160,12 @@ impl RecordStore {
     pub fn cache_key(&self) -> (u64, u64) {
         (self.store_id, self.generation)
     }
+
+    /// Fingerprint of the serializer the texts were rendered with —
+    /// score-cache key material (see [`em_core::Serializer::fingerprint`]).
+    pub fn serializer_fingerprint(&self) -> u64 {
+        self.serializer.fingerprint()
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +217,38 @@ mod tests {
         let c = a.clone();
         assert_ne!(a.store_id(), b.store_id());
         assert_ne!(a.store_id(), c.store_id(), "clone must not alias");
+    }
+
+    #[test]
+    fn explicit_serializer_renders_and_survives_appends() {
+        let named = Serializer::identity(2).with_names(vec!["name".into(), "price".into()]);
+        let mut store = RecordStore::with_serializer(vec![], named.clone());
+        assert_eq!(store.serializer_fingerprint(), named.fingerprint());
+        store.append(vec![Record::new(
+            1,
+            vec![AttrValue::from("tv"), AttrValue::from(99.0)],
+        )]);
+        // Appending into the initially-empty store must NOT reset the
+        // explicit serializer to the identity.
+        assert_eq!(store.text(0), "name: tv, price: 99");
+        assert_eq!(store.serializer_fingerprint(), named.fingerprint());
+    }
+
+    #[test]
+    fn serializer_fingerprint_distinguishes_variants() {
+        let recs = vec![Record::new(
+            1,
+            vec![AttrValue::from("a"), AttrValue::from("b")],
+        )];
+        let plain = RecordStore::new(recs.clone());
+        let named = RecordStore::with_serializer(
+            recs,
+            Serializer::identity(2).with_names(vec!["x".into(), "y".into()]),
+        );
+        assert_ne!(
+            plain.serializer_fingerprint(),
+            named.serializer_fingerprint()
+        );
     }
 
     #[test]

@@ -309,11 +309,72 @@ fn end_to_end_on_generated_relations() {
 #[test]
 fn cache_is_stage_scoped() {
     let mut c = ScoreCache::new();
-    c.insert(0, 5, 6, 0.25);
-    c.insert(1, 5, 6, 0.75);
-    assert_eq!(c.get(0, 5, 6), Some(0.25));
-    assert_eq!(c.get(1, 5, 6), Some(0.75));
+    c.insert(7, 0, 5, 6, 0.25);
+    c.insert(7, 1, 5, 6, 0.75);
+    assert_eq!(c.get(7, 0, 5, 6), Some(0.25));
+    assert_eq!(c.get(7, 1, 5, 6), Some(0.75));
     assert_eq!(c.len(), 2);
+}
+
+#[test]
+fn serializer_variants_never_share_cached_scores() {
+    // Regression: the cache used to be keyed by (stage, left_id, right_id)
+    // only, so re-serving the *same record ids* under a different
+    // serializer silently replayed scores computed under the old
+    // serialization. The serializer fingerprint now participates in the
+    // key: a variant run must re-score, not hit.
+    let mk = |i: u64, a: &str, b: &str| {
+        Record::new(i, vec![AttrValue::from(a), AttrValue::from(b)])
+    };
+    let recs_l = vec![
+        mk(0, "sony bravia tv", "electronics"),
+        mk(1, "canon powershot", "cameras"),
+    ];
+    let recs_r = vec![
+        mk(10, "sony bravia tv 55", "electronics"),
+        mk(11, "kitchen blender", "appliances"),
+    ];
+    let mut pipe = sim_pipeline(Box::new(All));
+
+    let left = RecordStore::new(recs_l.clone());
+    let right = RecordStore::new(recs_r.clone());
+    let plain = pipe.run(&left, &right).unwrap();
+
+    // Same ids, different serialization: `name: value` rendering.
+    let names: Vec<String> = vec!["title".into(), "category".into()];
+    let named = |recs: &[Record]| {
+        RecordStore::with_serializer(
+            recs.to_vec(),
+            em_core::Serializer::identity(2).with_names(names.clone()),
+        )
+    };
+    let variant = pipe.run(&named(&recs_l), &named(&recs_r)).unwrap();
+    let variant_hits: usize = variant.stages.iter().map(|s| s.cache_hits).sum();
+    let variant_scored: usize = variant.stages.iter().map(|s| s.scored).sum();
+    assert_eq!(
+        variant_hits, 0,
+        "a different serialization must never answer from the old context"
+    );
+    assert_eq!(variant_scored, variant.candidates);
+    assert!(
+        variant
+            .scores
+            .iter()
+            .zip(&plain.scores)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "variant run scored identically — the regression would be invisible"
+    );
+
+    // Legitimate reuse is untouched: the original stores still answer
+    // fully from cache, bitwise.
+    let warm = pipe.run(&left, &right).unwrap();
+    for s in &warm.stages {
+        assert_eq!(s.scored, 0, "warm {}: no matcher calls", s.name);
+        assert_eq!(s.cache_hits, s.pairs_in);
+    }
+    for (a, b) in warm.scores.iter().zip(&plain.scores) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }
 
 fn sim_pipeline(blocker: Box<dyn Blocker>) -> ServePipeline {

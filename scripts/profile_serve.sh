@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -q -p em-bench --bin bench_serve
+cargo build --release -q -p em-bench --bin bench_serve --bin drift_serve
 
 echo "== serve smoke (2k x 2k) =="
 serve_out="$(./target/release/bench_serve target/profile-bench-serve.json --smoke)"
@@ -41,3 +41,21 @@ if [ "$hits" -lt "$((cands / 3))" ]; then
     exit 1
 fi
 echo "score cache live: $hits cache hits across $cands blocked candidates"
+
+echo "== drift drill smoke (ramping perturbation rate) =="
+drift_out="$(./target/release/drift_serve target/profile-bench-drift.json --smoke)"
+printf '%s\n' "$drift_out"
+
+# The perturbation layer must leave its own counter trail alongside the
+# serve.* surface: perturbed records plus the per-operator effect
+# counters of the drill's noise plan (typo, token drop, null-out). The
+# counters ride the same em-obs registry the <2% tracing-overhead budget
+# (scripts/profile_lodo.sh) is measured against — no new hot-path cost.
+for counter in perturb.records perturb.typos perturb.tokens_dropped \
+               perturb.values_nulled serve.candidates serve.escalated; do
+    if ! grep -q "$counter" <<<"$drift_out"; then
+        echo "drift profile is missing the $counter counter"
+        exit 1
+    fi
+done
+echo "perturb.* counters present in the metrics registry"

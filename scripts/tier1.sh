@@ -94,3 +94,22 @@ echo "serve bench smoke: wrote $serve_bench"
 # resume bitwise, and a dead backend must degrade to the StringSim
 # fallback (see crates/bench/src/bin/chaos_lodo.rs for the assertions).
 ./target/release/chaos_lodo --smoke
+
+# Perturbation-robustness gates: the em-perturb determinism suite (every
+# operator bitwise-reproducible given (seed, config), batch-order and
+# parallel-chunking independent), the serializer property suite (shuffles
+# are permutations, record_into ≡ record, both styles deterministic under
+# a fixed seed), then two harness smokes — the sensitivity slice sweeps
+# 2 matchers × 3 perturbations and checkpoints every cell, the drift
+# drill ramps the perturbation rate over a 2-stage cascade and asserts
+# the monotone escalation / rising-spend / stage-0-fatal-free contract.
+cargo test -q -p em-perturb --test determinism
+cargo test -q -p em-core --test serializer_properties
+sens_smoke="$PWD/target/tier1-sensitivity.json"
+./target/release/sensitivity "$sens_smoke" --smoke
+test -s "$sens_smoke" || { echo "sensitivity smoke failed: $sens_smoke is empty"; exit 1; }
+echo "sensitivity smoke: wrote $sens_smoke"
+drift_smoke="$PWD/target/tier1-drift.json"
+./target/release/drift_serve "$drift_smoke" --smoke
+test -s "$drift_smoke" || { echo "drift drill smoke failed: $drift_smoke is empty"; exit 1; }
+echo "drift drill smoke: wrote $drift_smoke"

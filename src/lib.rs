@@ -23,6 +23,7 @@
 //! | [`cost`] | `em-cost` | price book and trade-off analysis (Table 6, Figures 3/4) |
 //! | [`obs`] | `em-obs` | tracing spans/events, metrics registry, run profiles (`EM_TRACE`) |
 //! | [`serve`] | `em-serve` | record stores, blocking → confidence-gated matcher cascade, score cache |
+//! | [`perturb`] | `em-perturb` | seeded serialization ablations + data-error injection (DESIGN.md §12) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use em_matchers as matchers;
 pub use em_ml as ml;
 pub use em_nn as nn;
 pub use em_obs as obs;
+pub use em_perturb as perturb;
 pub use em_serve as serve;
 pub use em_text as text;
 
