@@ -92,6 +92,17 @@ pub trait Matcher: Send {
     fn was_degraded(&self) -> bool {
         false
     }
+
+    /// Exact tokens consumed per pair by the most recent
+    /// [`Matcher::predict_scores`] / [`Matcher::predict`] call, for
+    /// matchers that know their real token consumption (a local encoder
+    /// knows its encoded lengths; a byte-counting heuristic does not).
+    /// `None` means the caller should fall back to its approximation —
+    /// the serialized-bytes/4 rule the price book uses. When `Some`, the
+    /// vector is aligned with the batch that was scored.
+    fn exact_billed_tokens(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 #[cfg(test)]

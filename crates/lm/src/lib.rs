@@ -32,6 +32,7 @@ pub use hosted::{
     CallCtx, FaultInjectedLlm, HostedLlm, ResilienceConfig, ResilientLlm, HOSTED_CHUNK,
 };
 pub use model::{Batch, EncoderClassifier, Head, MoeHead, PrefixState};
+pub use em_nn::qgemm::InferencePrecision;
 pub use prefix::{collate_suffixes, PrefixCache, PrefixVariant};
 pub use prompt::{encode_prompt, Demonstration, PromptBudget};
 pub use tokenizer::{encode_pair, segment, special, Encoded, HashTokenizer};

@@ -97,6 +97,16 @@ impl Batch {
         self.gather(examples.len(), |i| &examples[i]);
     }
 
+    /// [`Self::collate_refs_into`] through an index view: gathers the
+    /// rows of `idx` (positions into `pool`) without materialising a
+    /// reordered `Encoded` slice. This is what lets the serve-time
+    /// length-bucketing sort *indices* by encoded length and collate each
+    /// bucket straight from the original pool — no per-bucket clone of
+    /// the encodings, same pad-to-batch-max trimming.
+    pub fn collate_indices_into(&mut self, pool: &[Encoded], idx: &[usize]) {
+        self.gather(idx.len(), |i| &pool[idx[i]]);
+    }
+
     fn gather<'a>(&mut self, n: usize, get: impl Fn(usize) -> &'a Encoded) {
         assert!(n > 0, "cannot collate an empty batch");
         let full = get(0).len();
@@ -428,10 +438,28 @@ impl EncoderClassifier {
 
     fn embed(&self, batch: &Batch) -> (Tensor, Vec<u32>) {
         let pos_ids = Self::position_ids(batch.n, batch.seq);
-        let mut x = self.tok_emb.lookup(&batch.ids);
-        x.add_assign(&self.pos_emb.lookup(&pos_ids));
-        x.add_assign(&self.seg_emb.lookup(&batch.segments));
-        x.add_assign(&self.ovl_emb.lookup(&batch.overlap));
+        // One fused gather: per element `((tok + pos) + seg) + ovl`, the
+        // same order (and therefore the same bits) as chaining lookup +
+        // three add_assigns, without materializing four tensors.
+        let d = self.config.d_model;
+        let mut x = Tensor::zeros(batch.ids.len(), d);
+        let out = x.data_mut();
+        for (r, (((&id, &pid), &sid), &oid)) in batch
+            .ids
+            .iter()
+            .zip(&pos_ids)
+            .zip(&batch.segments)
+            .zip(&batch.overlap)
+            .enumerate()
+        {
+            let tok = self.tok_emb.table.value.row(id as usize);
+            let pos = self.pos_emb.table.value.row(pid as usize);
+            let seg = self.seg_emb.table.value.row(sid as usize);
+            let ovl = self.ovl_emb.table.value.row(oid as usize);
+            for (c, o) in out[r * d..(r + 1) * d].iter_mut().enumerate() {
+                *o = ((tok[c] + pos[c]) + seg[c]) + ovl[c];
+            }
+        }
         (x, pos_ids)
     }
 
@@ -564,15 +592,18 @@ impl EncoderClassifier {
         }
     }
 
-    /// Switches every Linear on the inference path (attention projections,
-    /// FFNs, head) to the given numeric mode. Embeddings and LayerNorms
-    /// stay f32 — they are per-row and cheap. Training forwards never
-    /// consult the quantized copies, so this only affects
-    /// [`Self::forward`] / [`Self::forward_with_prefix`].
+    /// Switches every layer on the inference path to the given numeric
+    /// mode: Linears (attention projections, FFNs, head) flip between f32
+    /// and int8 GEMMs; the attention softmax, GELUs, and LayerNorms flip
+    /// between exact and vectorized elementwise kernels. Embeddings stay
+    /// f32 (a table lookup has no arithmetic to quantize). Training
+    /// forwards never consult any of the fast copies, so this only
+    /// affects [`Self::forward`] / [`Self::forward_with_prefix`].
     pub fn set_inference_precision(&mut self, precision: InferencePrecision) {
         for block in &mut self.blocks {
             block.set_precision(precision);
         }
+        self.ln_f.set_precision(precision);
         match &mut self.head {
             Head::Linear(l) => l.set_precision(precision),
             Head::Moe(m) => {

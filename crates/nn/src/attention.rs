@@ -76,6 +76,14 @@ pub struct MultiHeadAttention {
     pub wo: Linear,
     heads: usize,
     dim: usize,
+    /// In [`crate::qgemm::InferencePrecision::Int8`] mode the inference
+    /// forward runs the masked softmax with a vectorized `e^x` (~1e-6
+    /// relative error, far below the int8 quantization noise that mode
+    /// already accepts — same contract as the fast GELU in
+    /// [`crate::layers::Gelu`]). Training and `Full`-precision inference
+    /// always use the exact scalar `exp`, so the fused-vs-reference
+    /// bitwise oracle is untouched.
+    fast: bool,
     cache: Option<FwdCache>,
     /// Consumed cache recycled by the next training forward, so the packed
     /// Q/K/V and probability buffers are allocated once per layer.
@@ -96,6 +104,7 @@ impl Clone for MultiHeadAttention {
             wo: self.wo.clone(),
             heads: self.heads,
             dim: self.dim,
+            fast: self.fast,
             cache: self.cache.clone(),
             spare: None,
             scratch: Mutex::new(AttnScratch::default()),
@@ -209,6 +218,233 @@ fn masked_softmax_row_scaled(row: &mut [f32], mask: &[bool], scale: f32) {
     }
 }
 
+/// Scalar form of the fast masked softmax: [`masked_softmax_row_scaled`]
+/// with the exp argument clamped to ±30.5 (matching the vectorized kernel's
+/// range, so the AVX-512 and portable builds share semantics). Serves as
+/// the portable fallback and the over-long-row escape hatch of
+/// [`fast_softmax::item`].
+#[allow(dead_code)]
+fn masked_softmax_row_fast_scalar(row: &mut [f32], mask: &[bool], scale: f32) {
+    let mut m = f32::NEG_INFINITY;
+    for (v, &keep) in row.iter_mut().zip(mask) {
+        *v *= scale;
+        if keep && *v > m {
+            m = *v;
+        }
+    }
+    if !m.is_finite() {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for (v, &keep) in row.iter_mut().zip(mask) {
+        if keep {
+            *v = (*v - m).clamp(-30.5, 30.5).exp();
+            sum += *v;
+        } else {
+            *v = 0.0;
+        }
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+/// Vectorized masked softmax for the reduced-precision inference mode:
+/// every pass (scale, masked max, `e^clamp(v−m, ±30.5)`, masked sum,
+/// normalize) runs 16 lanes wide, with the token mask precompiled to one
+/// lane bitmask per 16-key group so the hot row loop never touches the
+/// `&[bool]` form. The exp uses the same Cody–Waite + degree-5 polynomial
+/// as the fast GELU in `layers::fast_gelu` (duplicated rather than shared
+/// so retuning one kernel can never silently shift the other's pinned
+/// drift bits); ~1e-6 relative error, far below the int8 drift budget.
+///
+/// Determinism contract: a key's lane position (`key_index % 16`), the
+/// group partials' accumulation order, and every per-lane operation depend
+/// only on the row contents and the mask — masked and past-the-end lanes
+/// contribute `-inf` to the max and `+0.0` to the tree sums, which are
+/// identities. A pair therefore scores the same bits alone, in any length
+/// bucket, and at any batch composition — the invariant the serving
+/// fast-path tests pin.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod fast_softmax {
+    use std::arch::x86_64::*;
+
+    const ROUND_NEAREST: i32 = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+
+    /// Widest supported mask: 64 groups × 16 keys. Longer sequences fall
+    /// back to the scalar row loop (no model in the repo comes close).
+    const MAX_GROUPS: usize = 64;
+
+    /// `e^v` for `v ∈ [-30.5, 30.5]`; relative error ~2e-6.
+    #[inline]
+    unsafe fn exp_approx(v: __m512) -> __m512 {
+        let n = _mm512_roundscale_ps::<ROUND_NEAREST>(_mm512_mul_ps(
+            v,
+            _mm512_set1_ps(std::f32::consts::LOG2_E),
+        ));
+        // r = v − n·ln2, split high/low so r keeps full precision.
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(0.693_359_375), v);
+        let r = _mm512_fnmadd_ps(n, _mm512_set1_ps(-2.121_944_4e-4), r);
+        // Degree-5 Taylor on |r| ≤ ln2/2.
+        let mut p = _mm512_set1_ps(1.0 / 120.0);
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(1.0 / 24.0));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(1.0 / 6.0));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(0.5));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(1.0));
+        p = _mm512_fmadd_ps(p, r, _mm512_set1_ps(1.0));
+        // Scale by 2^n through the exponent field; |n| ≤ 44 keeps the
+        // biased exponent inside the finite range.
+        let scale = _mm512_castsi512_ps(_mm512_slli_epi32::<23>(_mm512_add_epi32(
+            _mm512_cvtps_epi32(n),
+            _mm512_set1_epi32(127),
+        )));
+        _mm512_mul_ps(p, scale)
+    }
+
+    #[inline]
+    unsafe fn exp_sub16(x: __m512, m: __m512, cap: __m512) -> __m512 {
+        let v = _mm512_sub_ps(x, m);
+        let v = _mm512_max_ps(_mm512_min_ps(v, cap), _mm512_sub_ps(_mm512_setzero_ps(), cap));
+        exp_approx(v)
+    }
+
+    /// [`row`] with the whole row held in `G` zmm registers across all
+    /// three passes (one load + one store instead of three of each).
+    /// Every arithmetic operation, value, and accumulation order matches
+    /// [`row`] exactly, so the two are bitwise interchangeable; rows wider
+    /// than 4 groups (seq > 64) stay on the streaming variant.
+    unsafe fn row_reg<const G: usize>(row: &mut [f32], lanes: &[u16], scale: f32) {
+        let sv = _mm512_set1_ps(scale);
+        let len = row.len();
+        let full = move |g: usize| -> u16 {
+            if (g + 1) * 16 <= len { 0xffff } else { (1u16 << (len - g * 16)) - 1 }
+        };
+        let mut x = [_mm512_setzero_ps(); G];
+        let mut maxv = _mm512_set1_ps(f32::NEG_INFINITY);
+        for (g, xg) in x.iter_mut().enumerate() {
+            *xg = _mm512_mul_ps(_mm512_maskz_loadu_ps(full(g), row.as_ptr().add(g * 16)), sv);
+            maxv = _mm512_mask_max_ps(maxv, lanes[g], maxv, *xg);
+        }
+        let m = _mm512_reduce_max_ps(maxv);
+        if !m.is_finite() {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        let mv = _mm512_set1_ps(m);
+        let cap = _mm512_set1_ps(30.5);
+        let mut sum = 0.0f32;
+        for (g, xg) in x.iter_mut().enumerate() {
+            let e = _mm512_maskz_mov_ps(lanes[g], exp_sub16(*xg, mv, cap));
+            *xg = e;
+            sum += _mm512_reduce_add_ps(e);
+        }
+        if sum <= 0.0 {
+            for (g, xg) in x.iter().enumerate() {
+                _mm512_mask_storeu_ps(row.as_mut_ptr().add(g * 16), full(g), *xg);
+            }
+            return;
+        }
+        let dv = _mm512_set1_ps(sum);
+        for (g, xg) in x.iter().enumerate() {
+            _mm512_mask_storeu_ps(row.as_mut_ptr().add(g * 16), full(g), _mm512_div_ps(*xg, dv));
+        }
+    }
+
+    /// One softmax row: `row` is the `seq`-wide score row, `lanes` the
+    /// per-group keep bitmasks (past-the-end bits already cleared).
+    unsafe fn row(row: &mut [f32], lanes: &[u16], scale: f32) {
+        let sv = _mm512_set1_ps(scale);
+        // Pass 1: scale in place; running per-lane max over keep lanes.
+        let mut maxv = _mm512_set1_ps(f32::NEG_INFINITY);
+        let mut i = 0usize;
+        for &keep in lanes {
+            // Masked load: past-the-end lanes read 0.0 and their keep
+            // bits are clear, so they never reach the max.
+            let x = _mm512_mul_ps(_mm512_maskz_loadu_ps(keep, row.as_ptr().add(i)), sv);
+            maxv = _mm512_mask_max_ps(maxv, keep, maxv, x);
+            i += 16;
+        }
+        let m = _mm512_reduce_max_ps(maxv);
+        if !m.is_finite() {
+            row.iter_mut().for_each(|v| *v = 0.0);
+            return;
+        }
+        // Pass 2: exp(clamp(scale·v − m)) on keep lanes, 0 elsewhere;
+        // group partial sums accumulate in group order.
+        let mv = _mm512_set1_ps(m);
+        let cap = _mm512_set1_ps(30.5);
+        let mut sum = 0.0f32;
+        let mut i = 0usize;
+        for (g, &keep) in lanes.iter().enumerate() {
+            let full = if (g + 1) * 16 <= row.len() { 0xffff } else { (1u16 << (row.len() - g * 16)) - 1 };
+            let x = _mm512_mul_ps(_mm512_maskz_loadu_ps(full, row.as_ptr().add(i)), sv);
+            let e = _mm512_maskz_mov_ps(keep, exp_sub16(x, mv, cap));
+            _mm512_mask_storeu_ps(row.as_mut_ptr().add(i), full, e);
+            sum += _mm512_reduce_add_ps(e);
+            i += 16;
+        }
+        if sum <= 0.0 {
+            return;
+        }
+        // Pass 3: normalize (IEEE-exact per-lane divide).
+        let dv = _mm512_set1_ps(sum);
+        let mut i = 0usize;
+        for (g, _) in lanes.iter().enumerate() {
+            let full = if (g + 1) * 16 <= row.len() { 0xffff } else { (1u16 << (row.len() - g * 16)) - 1 };
+            let x = _mm512_maskz_loadu_ps(full, row.as_ptr().add(i));
+            _mm512_mask_storeu_ps(row.as_mut_ptr().add(i), full, _mm512_div_ps(x, dv));
+            i += 16;
+        }
+    }
+
+    /// Scale + masked softmax over all `seq` rows of one attention item's
+    /// `seq × seq` score block. The mask compiles to lane bitmasks once
+    /// per item and is reused by every row.
+    pub fn item(scores: &mut [f32], seq: usize, mask: &[bool], scale: f32) {
+        debug_assert_eq!(scores.len(), seq * seq);
+        debug_assert_eq!(mask.len(), seq);
+        let ng = seq.div_ceil(16);
+        if ng > MAX_GROUPS {
+            for t in 0..seq {
+                super::masked_softmax_row_fast_scalar(&mut scores[t * seq..(t + 1) * seq], mask, scale);
+            }
+            return;
+        }
+        let mut lanes = [0u16; MAX_GROUPS];
+        for (g, chunk) in mask.chunks(16).enumerate() {
+            let mut bits = 0u16;
+            for (i, &keep) in chunk.iter().enumerate() {
+                bits |= (keep as u16) << i;
+            }
+            lanes[g] = bits;
+        }
+        for t in 0..seq {
+            let r = &mut scores[t * seq..(t + 1) * seq];
+            unsafe {
+                match ng {
+                    1 => row_reg::<1>(r, &lanes[..1], scale),
+                    2 => row_reg::<2>(r, &lanes[..2], scale),
+                    3 => row_reg::<3>(r, &lanes[..3], scale),
+                    4 => row_reg::<4>(r, &lanes[..4], scale),
+                    _ => row(r, &lanes[..ng], scale),
+                }
+            }
+        }
+    }
+}
+
+/// Portable fallback: same clamped-exp semantics via libm — no speedup,
+/// and (like the AVX-512 path) only reachable in Int8 inference mode.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+mod fast_softmax {
+    pub fn item(scores: &mut [f32], seq: usize, mask: &[bool], scale: f32) {
+        for t in 0..seq {
+            super::masked_softmax_row_fast_scalar(&mut scores[t * seq..(t + 1) * seq], mask, scale);
+        }
+    }
+}
+
 /// Splits `items` (batch × head blocks) into contiguous per-worker bands
 /// and runs `run_band(first_item, items_in_band, band_slices...)` on each,
 /// where each band receives disjoint `&mut` sub-slices of every buffer in
@@ -252,7 +488,8 @@ where
 /// item). Fan-out over (batch × head) items draws from the shared
 /// threadpool budget; items write disjoint slices and each per-element
 /// reduction is serial, so output is bitwise identical at any worker
-/// count.
+/// count. `fast` selects the vectorized-exp softmax (Int8 inference only;
+/// see [`masked_softmax_row_scaled_fast`]).
 #[allow(clippy::too_many_arguments)]
 fn attend_packed(
     batch: usize,
@@ -265,6 +502,7 @@ fn attend_packed(
     mask: &[bool],
     scores: &mut [f32],
     ctx: &mut [f32],
+    fast: bool,
 ) {
     let items = batch * heads;
     let scale = 1.0 / (hd as f32).sqrt();
@@ -288,13 +526,21 @@ fn attend_packed(
         let vb = &v[off..off + seq * hd];
         let bmask = &mask[(idx / heads) * seq..(idx / heads + 1) * seq];
         // Scores = Q·Kᵀ straight into the arena block, then scale + masked
-        // softmax fused over the contiguous rows.
-        gemm::gemm(seq, hd, seq, qb, false, kb, true, sc);
-        for t in 0..seq {
-            masked_softmax_row_scaled(&mut sc[t * seq..(t + 1) * seq], bmask, scale);
+        // softmax fused over the contiguous rows, then context = P·V. The
+        // fast (Int8 inference) variant swaps in the FMA-contracted GEMM
+        // and the vectorized softmax; the exact path is the bitwise
+        // contract the fused-vs-reference oracle pins.
+        if fast {
+            gemm::gemm_fast(seq, hd, seq, qb, kb, true, sc);
+            fast_softmax::item(sc, seq, bmask, scale);
+            gemm::gemm_fast(seq, seq, hd, sc, vb, false, cx);
+        } else {
+            gemm::gemm(seq, hd, seq, qb, false, kb, true, sc);
+            for t in 0..seq {
+                masked_softmax_row_scaled(&mut sc[t * seq..(t + 1) * seq], bmask, scale);
+            }
+            gemm::gemm(seq, seq, hd, sc, false, vb, false, cx);
         }
-        // Context = P·V.
-        gemm::gemm(seq, seq, hd, sc, false, vb, false, cx);
     };
 
     let reservation = if volume >= PARALLEL_MIN_VOLUME && items > 1 {
@@ -395,7 +641,7 @@ pub fn fused_attention(q: &Tensor, k: &Tensor, v: &Tensor, seq: usize, heads: us
     pack_heads(v.data(), batch, seq, heads, hd, &mut vp);
     let mut scores = vec![0.0f32; batch * heads * seq * seq];
     let mut ctx = vec![0.0f32; batch * seq * dim];
-    attend_packed(batch, seq, heads, hd, &qp, &kp, &vp, mask, &mut scores, &mut ctx);
+    attend_packed(batch, seq, heads, hd, &qp, &kp, &vp, mask, &mut scores, &mut ctx, false);
     let mut out = Tensor::zeros(batch * seq, dim);
     unpack_heads(&ctx, batch, seq, heads, hd, out.data_mut());
     out
@@ -415,6 +661,7 @@ impl MultiHeadAttention {
             wo: Linear::new(dim, dim, rng),
             heads,
             dim,
+            fast: false,
             cache: None,
             spare: None,
             scratch: Mutex::new(AttnScratch::default()),
@@ -456,6 +703,7 @@ impl MultiHeadAttention {
             mask,
             &mut cache.probs,
             &mut scratch.ctx,
+            false,
         );
         let mut concat = Tensor::zeros(x.rows(), self.dim);
         unpack_heads(&scratch.ctx, batch, seq, self.heads, hd, concat.data_mut());
@@ -480,12 +728,15 @@ impl MultiHeadAttention {
         self.forward_inference_precomputed(&q, &k, &v, seq, mask)
     }
 
-    /// Switches all four projection layers' inference numeric mode.
+    /// Switches all four projection layers' inference numeric mode, plus
+    /// the attention core's softmax (vectorized exp in Int8 mode — see the
+    /// `fast` field; training `forward` always stays on the exact path).
     pub fn set_precision(&mut self, precision: crate::qgemm::InferencePrecision) {
         self.wq.set_precision(precision);
         self.wk.set_precision(precision);
         self.wv.set_precision(precision);
         self.wo.set_precision(precision);
+        self.fast = matches!(precision, crate::qgemm::InferencePrecision::Int8);
     }
 
     /// Everything after the Q/K/V projections: pack heads, fused masked
@@ -512,6 +763,18 @@ impl MultiHeadAttention {
         let hd = self.dim / self.heads;
         let n = batch * seq * self.dim;
 
+        // Reduced-precision serving path: the strided FMA kernels read the
+        // Q/K/V head blocks straight out of the interleaved tensors and
+        // write the context into the concatenated layout, skipping the
+        // pack/unpack permutation passes entirely. Bitwise identical to
+        // the packed fast path (addressing change only), so the bucket /
+        // batch invariance contract carries over; the packed fan-out path
+        // keeps serving volumes large enough to parallelize.
+        let volume = batch * self.heads * seq * seq * hd;
+        if self.fast && volume < PARALLEL_MIN_VOLUME {
+            return self.fast_attend_unpacked(q, k, v, batch, seq, hd, mask);
+        }
+
         let mut fallback;
         let mut guard;
         let s: &mut AttnScratch = match self.scratch.try_lock() {
@@ -533,10 +796,59 @@ impl MultiHeadAttention {
         pack_heads(k.data(), batch, seq, self.heads, hd, &mut s.k);
         pack_heads(v.data(), batch, seq, self.heads, hd, &mut s.v);
         attend_packed(
-            batch, seq, self.heads, hd, &s.q, &s.k, &s.v, mask, &mut s.scores, &mut s.ctx,
+            batch, seq, self.heads, hd, &s.q, &s.k, &s.v, mask, &mut s.scores, &mut s.ctx, self.fast,
         );
         let mut concat = Tensor::zeros(q.rows(), self.dim);
         unpack_heads(&s.ctx, batch, seq, self.heads, hd, concat.data_mut());
+        self.wo.forward_inference(&concat)
+    }
+
+    /// Sequential attention core over the interleaved layout (see the
+    /// dispatch comment in [`Self::forward_inference_precomputed`]); only
+    /// the `seq × seq` score block is scratch.
+    fn fast_attend_unpacked(
+        &self,
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        batch: usize,
+        seq: usize,
+        hd: usize,
+        mask: &[bool],
+    ) -> Tensor {
+        if em_obs::capture_enabled() {
+            let m = attn_metrics();
+            m.calls.inc();
+            m.flops.add(4 * (batch * self.heads * seq * seq * hd) as u64);
+        }
+        let mut fallback;
+        let mut guard;
+        let s: &mut AttnScratch = match self.scratch.try_lock() {
+            Ok(g) => {
+                guard = g;
+                &mut guard
+            }
+            Err(_) => {
+                fallback = AttnScratch::default();
+                &mut fallback
+            }
+        };
+        ensure_len(&mut s.scores, seq * seq);
+        let scores = &mut s.scores[..seq * seq];
+        let scale = 1.0 / (hd as f32).sqrt();
+        let dim = self.dim;
+        let (qd, kd, vd) = (q.data(), k.data(), v.data());
+        let mut concat = Tensor::zeros(batch * seq, dim);
+        let cd = concat.data_mut();
+        for b in 0..batch {
+            let bmask = &mask[b * seq..(b + 1) * seq];
+            for h in 0..self.heads {
+                let off = b * seq * dim + h * hd;
+                gemm::gemm_fast_strided(seq, hd, seq, &qd[off..], dim, &kd[off..], dim, true, scores, seq);
+                fast_softmax::item(scores, seq, bmask, scale);
+                gemm::gemm_fast_strided(seq, seq, hd, scores, seq, &vd[off..], dim, false, &mut cd[off..], dim);
+            }
+        }
         self.wo.forward_inference(&concat)
     }
 
@@ -718,6 +1030,96 @@ mod tests {
         let mut row = vec![1.0, 2.0];
         masked_softmax_row(&mut row, &[false, false]);
         assert_eq!(row, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fast_softmax_matches_exact_within_tolerance() {
+        // Varied seq lengths exercise the full-vector and masked-tail
+        // lanes; one masked position carries a value above the valid max
+        // to hit the fast path's upper clamp.
+        for seq in [3usize, 16, 17, 48, 63] {
+            let mut exact: Vec<f32> = (0..seq * seq)
+                .map(|i| ((i * 31 % 17) as f32) - 8.0)
+                .collect();
+            exact[seq / 2] = 40.0;
+            let mut mask = vec![true; seq];
+            mask[seq / 2] = false;
+            let mut fast = exact.clone();
+            for t in 0..seq {
+                masked_softmax_row_scaled(&mut exact[t * seq..(t + 1) * seq], &mask, 0.25);
+            }
+            fast_softmax::item(&mut fast, seq, &mask, 0.25);
+            for t in 0..seq {
+                assert_eq!(fast[t * seq + seq / 2], 0.0, "masked lane must be zeroed");
+                let row = &fast[t * seq..(t + 1) * seq];
+                assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            }
+            for (a, b) in exact.iter().zip(&fast) {
+                assert!((a - b).abs() < 1e-5, "seq {seq}: {a} vs {b}");
+            }
+        }
+        // Fully masked rows zero out on both paths, and the scalar form
+        // agrees with the vector form's masking semantics.
+        let mut block = vec![2.0f32, -1.0, 0.5, 3.0];
+        fast_softmax::item(&mut block, 2, &[false, false], 1.0);
+        assert_eq!(block, vec![0.0; 4]);
+        let mut row = vec![2.0f32, -1.0];
+        masked_softmax_row_fast_scalar(&mut row, &[false, false], 1.0);
+        assert_eq!(row, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn fast_softmax_bits_are_bucket_invariant() {
+        // The same 5 valid keys padded to different bucket widths must
+        // produce bitwise-identical probabilities on the valid prefix —
+        // the invariant that lets bucketed serving collation change batch
+        // shape without changing any pair's score.
+        let valid = 5usize;
+        let vals: Vec<f32> = (0..valid).map(|i| (i as f32) * 0.7 - 1.2).collect();
+        let mut reference: Option<Vec<f32>> = None;
+        for seq in [valid, 7, 16, 21, 48] {
+            let mut mask = vec![false; seq];
+            let mut block = vec![0.0f32; seq * seq];
+            for t in 0..valid {
+                mask[t] = true;
+                block[t * seq..t * seq + valid].copy_from_slice(&vals);
+            }
+            fast_softmax::item(&mut block, seq, &mask, 0.5);
+            let got: Vec<f32> = (0..valid)
+                .flat_map(|t| block[t * seq..t * seq + valid].to_vec())
+                .collect();
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(
+                    r.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "seq {seq} changed the valid prefix bits"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn set_precision_routes_inference_softmax_only() {
+        // Int8 mode must change inference bits (fast exp engaged) while the
+        // training forward stays bitwise on the exact path.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = Tensor::from_vec(6, 8, (0..48).map(|i| ((i % 13) as f32) * 0.11 - 0.6).collect());
+        let mask = vec![true, true, true, true, true, false];
+        let train_before = mha.forward(&x, 3, &mask);
+        mha.cache = None;
+        mha.set_precision(crate::qgemm::InferencePrecision::Int8);
+        assert!(mha.fast);
+        let train_after = mha.forward(&x, 3, &mask);
+        mha.cache = None;
+        assert_eq!(
+            train_before.data(),
+            train_after.data(),
+            "training forward must ignore the inference precision knob"
+        );
+        mha.set_precision(crate::qgemm::InferencePrecision::Full);
+        assert!(!mha.fast, "Full precision must restore the exact softmax");
     }
 
     #[test]

@@ -41,10 +41,14 @@ impl TransformerBlock {
         }
     }
 
-    /// Switches every Linear in the block (attention projections + FFN)
-    /// to the given inference numeric mode. LayerNorm stays f32.
+    /// Switches every layer in the block to the given inference numeric
+    /// mode: the Linears (attention projections + FFN) flip between f32
+    /// and int8 GEMMs, and the attention softmax / GELU / LayerNorms flip
+    /// between exact and vectorized elementwise kernels.
     pub fn set_precision(&mut self, precision: crate::qgemm::InferencePrecision) {
+        self.ln1.set_precision(precision);
         self.attn.set_precision(precision);
+        self.ln2.set_precision(precision);
         self.ff1.set_precision(precision);
         self.act.set_precision(precision);
         self.ff2.set_precision(precision);
@@ -75,8 +79,8 @@ impl TransformerBlock {
         let mut x1 = x.clone();
         x1.add_assign(&a);
         let h2 = self.ln2.forward_inference(&x1);
-        let f = self.ff1.forward_inference(&h2);
-        let f = self.act.forward_inference(&f);
+        let mut f = self.ff1.forward_inference(&h2);
+        self.act.forward_inference_inplace(&mut f);
         let f = self.ff2.forward_inference(&f);
         let mut out = x1;
         out.add_assign(&f);

@@ -116,6 +116,238 @@ pub fn gemm(
     }
 }
 
+/// `C = A·op(B)` with FMA contraction, for small inference-only products.
+///
+/// Same shape contract as [`gemm`] with `a_trans = false`, but each
+/// per-element accumulation uses fused multiply-add (one rounding per
+/// step instead of two), so results differ from [`gemm`] by ordinary f32
+/// rounding. Reserved for the reduced-precision serving path (attention
+/// core in Int8 mode), where the drift budget already covers it — exact
+/// paths must keep calling [`gemm`], whose mul-then-add order is the
+/// bitwise contract the equivalence oracles pin. Accumulation is still
+/// serial over `k` per element and depends only on the operand values,
+/// so batch composition never changes a sequence's bits.
+///
+/// Falls back to [`gemm`] when `n > MAX_FAST_N` (accumulators no longer
+/// fit the register budget) or the build lacks AVX-512.
+pub fn gemm_fast(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    b_trans: bool,
+    c: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k, "A shape mismatch");
+    debug_assert_eq!(b.len(), k * n, "B shape mismatch");
+    debug_assert_eq!(c.len(), m * n, "C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if em_obs::capture_enabled() {
+        let metrics = gemm_metrics();
+        metrics.calls.inc();
+        metrics.flops.add(2 * (m * n * k) as u64);
+    }
+    fast_kernels::gemm_fast(m, k, n, a, b, b_trans, c);
+}
+
+/// Strided form of [`gemm_fast`]: operand rows live at a caller-supplied
+/// stride, so attention can read Q/K/V head blocks (and write the context
+/// into the concatenated layout) straight out of the interleaved
+/// `(batch·seq, dim)` tensors — no head packing or unpacking passes.
+///
+/// * `a` row `i` starts at `i·a_stride` (`k` values).
+/// * `b` row `p` starts at `p·b_stride` (`n` values) when `!b_trans`;
+///   when `b_trans`, element `(p, j)` is `b[j·b_stride + p]` (`n` rows of
+///   `k` values).
+/// * `c` row `i` starts at `i·c_stride` (`n` values).
+///
+/// Per-element accumulation order is identical to [`gemm_fast`] on packed
+/// copies of the same operands, so the two produce bitwise-identical
+/// results — the layout is an addressing change, not a numeric one.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_fast_strided(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_stride: usize,
+    b: &[f32],
+    b_stride: usize,
+    b_trans: bool,
+    c: &mut [f32],
+    c_stride: usize,
+) {
+    debug_assert!(a_stride >= k && b_stride >= if b_trans { k } else { n } && c_stride >= n);
+    debug_assert!(a.len() >= (m - 1) * a_stride + k, "A shape mismatch");
+    debug_assert!(c.len() >= (m - 1) * c_stride + n, "C shape mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if em_obs::capture_enabled() {
+        let metrics = gemm_metrics();
+        metrics.calls.inc();
+        metrics.flops.add(2 * (m * n * k) as u64);
+    }
+    fast_kernels::gemm_fast_strided(m, k, n, a, a_stride, b, b_stride, b_trans, c, c_stride);
+}
+
+/// Widest `n` the broadcast-FMA kernel holds in registers (4 zmm
+/// accumulators). Attention-core shapes are `n = seq ≤ 64` or `n = hd`.
+pub const MAX_FAST_N: usize = 64;
+
+/// Broadcast-FMA direct kernels (no packing): row `i` of `C` accumulates
+/// `a[i,k] · B[k, :]` over `k` with the whole output row held in
+/// registers. `b_trans` operands are transposed into a small stack
+/// buffer first — the attention `Q·Kᵀ` product is the only caller.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod fast_kernels {
+    use std::arch::x86_64::*;
+
+    /// Stack scratch for the transposed-B copy: covers `k·n` up to
+    /// 64 × [`super::MAX_FAST_N`] (attention: `seq × seq` ≤ 64 × 64).
+    const MAX_BT: usize = 64 * super::MAX_FAST_N;
+
+    pub fn gemm_fast(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], b_trans: bool, c: &mut [f32]) {
+        if n > super::MAX_FAST_N || (b_trans && k * n > MAX_BT) {
+            super::gemm(m, k, n, a, false, b, b_trans, c);
+            return;
+        }
+        gemm_fast_strided(m, k, n, a, k, b, if b_trans { k } else { n }, b_trans, c, n);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_fast_strided(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        b_trans: bool,
+        c: &mut [f32],
+        c_stride: usize,
+    ) {
+        if n > super::MAX_FAST_N || (b_trans && k * n > MAX_BT) {
+            portable_strided(m, k, n, a, a_stride, b, b_stride, b_trans, c, c_stride);
+            return;
+        }
+        if b_trans {
+            // b holds n rows of k values at b_stride; the kernel wants k×n.
+            let mut bt = [0.0f32; MAX_BT];
+            for j in 0..n {
+                for p in 0..k {
+                    bt[p * n + j] = b[j * b_stride + p];
+                }
+            }
+            unsafe { broadcast_fma(m, k, n, a, a_stride, &bt[..k * n], n, c, c_stride) }
+        } else {
+            unsafe { broadcast_fma(m, k, n, a, a_stride, b, b_stride, c, c_stride) }
+        }
+    }
+
+    /// Scalar escape hatch for shapes past the register budget; mirrors
+    /// the FMA contraction so results stay consistent per build.
+    #[allow(clippy::too_many_arguments)]
+    fn portable_strided(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        b_trans: bool,
+        c: &mut [f32],
+        c_stride: usize,
+    ) {
+        for i in 0..m {
+            let arow = &a[i * a_stride..i * a_stride + k];
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for (p, &av) in arow.iter().enumerate() {
+                    let bv = if b_trans { b[j * b_stride + p] } else { b[p * b_stride + j] };
+                    s = av.mul_add(bv, s);
+                }
+                c[i * c_stride + j] = s;
+            }
+        }
+    }
+
+    /// `C[i, :] = Σ_k a[i,k] · B[k, :]` with up to 4 zmm accumulators per
+    /// row; `n ≤ 64`. Rows of every operand live at caller strides.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn broadcast_fma(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        c: &mut [f32],
+        c_stride: usize,
+    ) {
+        let groups = n.div_ceil(16);
+        let tail = if n % 16 == 0 { 0xffffu16 } else { (1u16 << (n % 16)) - 1 };
+        let gmask = |g: usize| if g + 1 == groups { tail } else { 0xffff };
+        for i in 0..m {
+            let arow = &a[i * a_stride..i * a_stride + k];
+            let mut acc = [_mm512_setzero_ps(); 4];
+            for (p, &av) in arow.iter().enumerate() {
+                let bv = _mm512_set1_ps(av);
+                let brow = b.as_ptr().add(p * b_stride);
+                for g in 0..groups {
+                    let x = _mm512_maskz_loadu_ps(gmask(g), brow.add(g * 16));
+                    acc[g] = _mm512_fmadd_ps(bv, x, acc[g]);
+                }
+            }
+            let crow = c.as_mut_ptr().add(i * c_stride);
+            for g in 0..groups {
+                _mm512_mask_storeu_ps(crow.add(g * 16), gmask(g), acc[g]);
+            }
+        }
+    }
+}
+
+/// Portable fallback: no FMA to exploit, so the fast entry is just the
+/// exact kernel — no speedup, no additional drift. The strided entry
+/// stages operands into contiguous buffers and delegates likewise.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+mod fast_kernels {
+    pub fn gemm_fast(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], b_trans: bool, c: &mut [f32]) {
+        super::gemm(m, k, n, a, false, b, b_trans, c);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn gemm_fast_strided(
+        m: usize,
+        k: usize,
+        n: usize,
+        a: &[f32],
+        a_stride: usize,
+        b: &[f32],
+        b_stride: usize,
+        b_trans: bool,
+        c: &mut [f32],
+        c_stride: usize,
+    ) {
+        let ac: Vec<f32> = (0..m).flat_map(|i| a[i * a_stride..i * a_stride + k].iter().copied()).collect();
+        let brows = if b_trans { n } else { k };
+        let bcols = if b_trans { k } else { n };
+        let bc: Vec<f32> =
+            (0..brows).flat_map(|r| b[r * b_stride..r * b_stride + bcols].iter().copied()).collect();
+        let mut cc = vec![0.0f32; m * n];
+        super::gemm(m, k, n, &ac, false, &bc, b_trans, &mut cc);
+        for i in 0..m {
+            c[i * c_stride..i * c_stride + n].copy_from_slice(&cc[i * n..(i + 1) * n]);
+        }
+    }
+}
+
 /// The blocked kernel, unconditionally (no size dispatch). Public so the
 /// equivalence tests and benchmarks can exercise it on any shape.
 pub fn gemm_blocked(
@@ -459,6 +691,49 @@ mod tests {
                 ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 4.0
             })
             .collect()
+    }
+
+    #[test]
+    fn fast_strided_matches_contiguous_bits() {
+        // The strided kernel on interleaved head blocks must reproduce the
+        // contiguous kernel on packed copies bit-for-bit — that is what
+        // lets the unpacked attention path inherit the packed path's
+        // invariance proofs.
+        let (seq, hd, heads) = (21, 16, 3);
+        let dim = heads * hd;
+        let q = fill(seq * dim, 1);
+        let k = fill(seq * dim, 2);
+        let p = fill(seq * seq, 3);
+        for h in 0..heads {
+            let off = h * hd;
+            // Packed copies of head h.
+            let qp: Vec<f32> = (0..seq).flat_map(|t| q[t * dim + off..t * dim + off + hd].to_vec()).collect();
+            let kp: Vec<f32> = (0..seq).flat_map(|t| k[t * dim + off..t * dim + off + hd].to_vec()).collect();
+            // Q·Kᵀ, strided A and B vs contiguous.
+            let mut want = vec![0.0f32; seq * seq];
+            gemm_fast(seq, hd, seq, &qp, &kp, true, &mut want);
+            let mut got = vec![0.0f32; seq * seq];
+            gemm_fast_strided(seq, hd, seq, &q[off..], dim, &k[off..], dim, true, &mut got, seq);
+            assert_eq!(
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "QKᵀ head {h} diverged"
+            );
+            // P·V with a strided C, vs contiguous then scatter.
+            let mut ctx = vec![0.0f32; seq * hd];
+            gemm_fast(seq, seq, hd, &p, &kp, false, &mut ctx);
+            let mut out = vec![0.0f32; seq * dim];
+            gemm_fast_strided(seq, seq, hd, &p, seq, &k[off..], dim, false, &mut out[off..], dim);
+            for t in 0..seq {
+                for c in 0..hd {
+                    assert_eq!(
+                        ctx[t * hd + c].to_bits(),
+                        out[t * dim + off + c].to_bits(),
+                        "P·V head {h} row {t} col {c} diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,12 +72,16 @@ impl Linear {
     /// when the layer is in [`InferencePrecision::Int8`] mode, otherwise
     /// the bitwise-reproducible f32 GEMM.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        let mut y = match &self.qweight {
-            Some(q) => q.matmul(x),
-            None => x.matmul(&self.weight.value),
-        };
-        y.add_row_broadcast(self.bias.value.row(0));
-        y
+        match &self.qweight {
+            // Bias rides in the dequantize epilogue — bitwise identical
+            // to a separate broadcast pass, one fewer output traversal.
+            Some(q) => q.matmul_bias(x, self.bias.value.row(0)),
+            None => {
+                let mut y = x.matmul(&self.weight.value);
+                y.add_row_broadcast(self.bias.value.row(0));
+                y
+            }
+        }
     }
 
     /// [`Self::forward_inference`] with activation quantization shared
@@ -96,9 +100,7 @@ impl Linear {
                 let qa = qx.get_or_insert_with(|| {
                     crate::qgemm::QuantizedActivations::quantize(x, q.kp())
                 });
-                let mut y = q.matmul_prequant(qa);
-                y.add_row_broadcast(self.bias.value.row(0));
-                y
+                q.matmul_prequant_bias(qa, self.bias.value.row(0))
             }
             None => self.forward_inference(x),
         }
@@ -267,6 +269,11 @@ pub struct LayerNorm {
     pub beta: Param,
     eps: f32,
     cached: Option<(Tensor, Vec<f32>)>, // (x_hat, inv_std per row)
+    /// In [`InferencePrecision::Int8`] mode the inference forward runs a
+    /// vectorized normalization (tree-order mean/variance reductions —
+    /// deterministic per row, but not bit-matched to the serial scalar
+    /// sums). Training and `Full` inference always use the exact path.
+    fast: bool,
 }
 
 impl LayerNorm {
@@ -279,7 +286,13 @@ impl LayerNorm {
             beta: Param::zeros(1, dim),
             eps: 1e-5,
             cached: None,
+            fast: false,
         }
+    }
+
+    /// Switches the inference numeric mode (see the `fast` field).
+    pub fn set_precision(&mut self, precision: InferencePrecision) {
+        self.fast = matches!(precision, InferencePrecision::Int8);
     }
 
     /// Forward pass with caching.
@@ -289,8 +302,17 @@ impl LayerNorm {
         out
     }
 
-    /// Inference-only forward.
+    /// Inference-only forward. The fast (Int8-mode) path also skips the
+    /// x̂ cache tensor the shared `compute` materializes for backward.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        if self.fast {
+            return fast_layernorm::forward(
+                x,
+                self.gamma.value.row(0),
+                self.beta.value.row(0),
+                self.eps,
+            );
+        }
         self.compute(x).0
     }
 
@@ -517,12 +539,18 @@ impl Gelu {
     /// Inference-only forward.
     pub fn forward_inference(&self, x: &Tensor) -> Tensor {
         let mut y = x.clone();
-        if self.fast {
-            fast_gelu::gelu_slice(y.data_mut());
-        } else {
-            y.data_mut().iter_mut().for_each(|v| *v = gelu_scalar(*v));
-        }
+        self.forward_inference_inplace(&mut y);
         y
+    }
+
+    /// [`Self::forward_inference`] without the output clone — same values,
+    /// for callers that own the activation buffer anyway (the FFN path).
+    pub fn forward_inference_inplace(&self, x: &mut Tensor) {
+        if self.fast {
+            fast_gelu::gelu_slice(x.data_mut());
+        } else {
+            x.data_mut().iter_mut().for_each(|v| *v = gelu_scalar(*v));
+        }
     }
 
     /// Backward through the activation.
@@ -622,6 +650,107 @@ mod fast_gelu {
 mod fast_gelu {
     pub fn gelu_slice(data: &mut [f32]) {
         data.iter_mut().for_each(|v| *v = super::gelu_scalar(*v));
+    }
+}
+
+/// Vectorized LayerNorm for the reduced-precision inference mode: mean and
+/// variance accumulate 16 lanes wide (per-lane partials reduced by the
+/// fixed `_mm512_reduce_add_ps` tree), then one fused normalize+affine
+/// sweep. The reduction order depends only on the row contents, so a row
+/// normalizes to the same bits at any batch composition — the serving
+/// fast-path invariant. Differs from the serial scalar sums by ordinary
+/// f32 rounding (~1e-7 relative), far below the int8 drift budget.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod fast_layernorm {
+    use super::Tensor;
+    use std::arch::x86_64::*;
+
+    #[inline]
+    unsafe fn row_norm(row: &[f32], gamma: &[f32], beta: &[f32], eps: f32, out: &mut [f32]) {
+        let d = row.len();
+        let tail_at = d / 16 * 16;
+        let tail = if d == tail_at { 0u16 } else { (1u16 << (d - tail_at)) - 1 };
+        // Mean.
+        let mut acc = _mm512_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= d {
+            acc = _mm512_add_ps(acc, _mm512_loadu_ps(row.as_ptr().add(i)));
+            i += 16;
+        }
+        if tail != 0 {
+            acc = _mm512_add_ps(acc, _mm512_maskz_loadu_ps(tail, row.as_ptr().add(i)));
+        }
+        let mean = _mm512_reduce_add_ps(acc) / d as f32;
+        // Variance: masked accumulation so past-the-end lanes (which
+        // would read as 0 − mean) never contribute.
+        let mv = _mm512_set1_ps(mean);
+        let mut acc = _mm512_setzero_ps();
+        let mut i = 0usize;
+        while i + 16 <= d {
+            let df = _mm512_sub_ps(_mm512_loadu_ps(row.as_ptr().add(i)), mv);
+            acc = _mm512_add_ps(acc, _mm512_mul_ps(df, df));
+            i += 16;
+        }
+        if tail != 0 {
+            let df = _mm512_sub_ps(_mm512_maskz_loadu_ps(tail, row.as_ptr().add(i)), mv);
+            acc = _mm512_add_ps(acc, _mm512_maskz_mov_ps(tail, _mm512_mul_ps(df, df)));
+        }
+        let var = _mm512_reduce_add_ps(acc) / d as f32;
+        let iv = _mm512_set1_ps(1.0 / (var + eps).sqrt());
+        // Normalize + affine: γ·((x − μ)·σ⁻¹) + β.
+        let mut i = 0usize;
+        while i + 16 <= d {
+            let h = _mm512_mul_ps(_mm512_sub_ps(_mm512_loadu_ps(row.as_ptr().add(i)), mv), iv);
+            let o = _mm512_fmadd_ps(_mm512_loadu_ps(gamma.as_ptr().add(i)), h, _mm512_loadu_ps(beta.as_ptr().add(i)));
+            _mm512_storeu_ps(out.as_mut_ptr().add(i), o);
+            i += 16;
+        }
+        if tail != 0 {
+            let h = _mm512_mul_ps(_mm512_sub_ps(_mm512_maskz_loadu_ps(tail, row.as_ptr().add(i)), mv), iv);
+            let o = _mm512_fmadd_ps(
+                _mm512_maskz_loadu_ps(tail, gamma.as_ptr().add(i)),
+                h,
+                _mm512_maskz_loadu_ps(tail, beta.as_ptr().add(i)),
+            );
+            _mm512_mask_storeu_ps(out.as_mut_ptr().add(i), tail, o);
+        }
+    }
+
+    pub fn forward(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+        let (n, d) = (x.rows(), x.cols());
+        let mut out = Tensor::zeros(n, d);
+        for i in 0..n {
+            let row = x.row(i);
+            unsafe {
+                // row() borrows x immutably; the out row is disjoint.
+                let o = std::slice::from_raw_parts_mut(out.data_mut().as_mut_ptr().add(i * d), d);
+                row_norm(row, gamma, beta, eps, o);
+            }
+        }
+        out
+    }
+}
+
+/// Portable fallback: the exact serial normalization, minus the x̂ cache
+/// allocation — same bits as the training path's forward.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+mod fast_layernorm {
+    use super::Tensor;
+
+    pub fn forward(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+        let (n, d) = (x.rows(), x.cols());
+        let mut out = Tensor::zeros(n, d);
+        for i in 0..n {
+            let row = x.row(i);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv_std = 1.0 / (var + eps).sqrt();
+            let o = &mut out.data_mut()[i * d..(i + 1) * d];
+            for j in 0..d {
+                o[j] = gamma[j] * ((row[j] - mean) * inv_std) + beta[j];
+            }
+        }
+        out
     }
 }
 

@@ -181,8 +181,22 @@ impl QuantizedMatrix {
     /// `x @ W` for a `(m, k)` activation tensor → `(m, n)`.
     pub fn matmul(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.cols(), self.k, "qgemm dimension mismatch");
-        let mut out = Tensor::zeros(x.rows(), self.n);
+        // qgemm overwrites every output element, so skip the zero fill.
+        let mut out = Tensor::uninit(x.rows(), self.n);
         qgemm(x.rows(), x.data(), self, out.data_mut());
+        out
+    }
+
+    /// [`Self::matmul`] with the bias row folded into the dequantize
+    /// epilogue: `out = sx·sw·acc + bias[j]`, the same multiply-then-add
+    /// sequence as a separate broadcast pass, so results are bitwise
+    /// identical while the output is only traversed once.
+    pub fn matmul_bias(&self, x: &Tensor, bias: &[f32]) -> Tensor {
+        assert_eq!(x.cols(), self.k, "qgemm dimension mismatch");
+        assert_eq!(bias.len(), self.n, "bias shape mismatch");
+        let mut out = Tensor::uninit(x.rows(), self.n);
+        let qa = quantize_activations(x.rows(), self.k, self.kp, x.data());
+        qgemm_prequant_bias(&qa, self, Some(bias), out.data_mut());
         out
     }
 
@@ -192,8 +206,17 @@ impl QuantizedMatrix {
     /// Bitwise identical to [`Self::matmul`]: the per-row scale depends
     /// only on the activations.
     pub fn matmul_prequant(&self, qa: &QuantizedActivations) -> Tensor {
-        let mut out = Tensor::zeros(qa.m, self.n);
+        let mut out = Tensor::uninit(qa.m, self.n);
         qgemm_prequant(qa, self, out.data_mut());
+        out
+    }
+
+    /// [`Self::matmul_prequant`] with the fused bias epilogue of
+    /// [`Self::matmul_bias`].
+    pub fn matmul_prequant_bias(&self, qa: &QuantizedActivations, bias: &[f32]) -> Tensor {
+        assert_eq!(bias.len(), self.n, "bias shape mismatch");
+        let mut out = Tensor::uninit(qa.m, self.n);
+        qgemm_prequant_bias(qa, self, Some(bias), out.data_mut());
         out
     }
 }
@@ -271,6 +294,17 @@ pub fn qgemm(m: usize, x: &[f32], w: &QuantizedMatrix, out: &mut [f32]) {
 /// [`qgemm`] over activations quantized up front — the shared-activation
 /// entry point behind [`QuantizedMatrix::matmul_prequant`].
 pub fn qgemm_prequant(qa: &QuantizedActivations, w: &QuantizedMatrix, out: &mut [f32]) {
+    qgemm_prequant_bias(qa, w, None, out);
+}
+
+/// [`qgemm_prequant`] with an optional bias row added in the dequantize
+/// epilogue (multiply-then-add, bitwise equal to a separate bias pass).
+fn qgemm_prequant_bias(
+    qa: &QuantizedActivations,
+    w: &QuantizedMatrix,
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
     assert_eq!(qa.k, w.k, "qgemm dimension mismatch");
     assert_eq!(qa.kp, w.kp, "activation row stride mismatch");
     debug_assert_eq!(out.len(), qa.m * w.n, "output shape mismatch");
@@ -296,7 +330,7 @@ pub fn qgemm_prequant(qa: &QuantizedActivations, w: &QuantizedMatrix, out: &mut 
     };
     let nworkers = reservation.total().min(nstrips).max(1);
     if nworkers <= 1 {
-        process_band(0, m, w, qa, out);
+        process_band(0, m, w, qa, bias, out);
         return;
     }
     let base = nstrips / nworkers;
@@ -311,7 +345,7 @@ pub fn qgemm_prequant(qa: &QuantizedActivations, w: &QuantizedMatrix, out: &mut 
             let (band, tail) = rest.split_at_mut(rows_here * w.n);
             rest = tail;
             let (w, qa) = (&*w, qa);
-            let mut run = move || process_band(row0, rows_here, w, qa, band);
+            let mut run = move || process_band(row0, rows_here, w, qa, bias, band);
             if t + 1 == nworkers {
                 run();
             } else {
@@ -328,6 +362,7 @@ fn process_band(
     rows: usize,
     w: &QuantizedMatrix,
     qa: &QuantizedActivations,
+    bias: Option<&[f32]>,
     band: &mut [f32],
 ) {
     let n = w.n;
@@ -345,11 +380,25 @@ fn process_band(
             for (ii, accrow) in acc.iter().enumerate().take(mr_eff) {
                 let sx = qa.scales[row0 + r + ii];
                 let dst = &mut band[(r + ii) * n + j0..(r + ii) * n + j0 + nr_eff];
-                for jj in 0..nr_eff {
-                    // Remove the +128 activation offset exactly, then
-                    // rescale: out = sx · sw · (acc − 128 · Σ qw).
-                    let corrected = accrow[jj] - 128 * w.col_sums[j0 + jj];
-                    dst[jj] = sx * w.scales[j0 + jj] * corrected as f32;
+                match bias {
+                    Some(bias) => {
+                        for jj in 0..nr_eff {
+                            let corrected = accrow[jj] - 128 * w.col_sums[j0 + jj];
+                            // Same multiply-then-add sequence as a
+                            // separate bias broadcast (no FMA), so the
+                            // fused epilogue is bitwise identical.
+                            dst[jj] = sx * w.scales[j0 + jj] * corrected as f32 + bias[j0 + jj];
+                        }
+                    }
+                    None => {
+                        for jj in 0..nr_eff {
+                            // Remove the +128 activation offset exactly,
+                            // then rescale:
+                            // out = sx · sw · (acc − 128 · Σ qw).
+                            let corrected = accrow[jj] - 128 * w.col_sums[j0 + jj];
+                            dst[jj] = sx * w.scales[j0 + jj] * corrected as f32;
+                        }
+                    }
                 }
             }
         }

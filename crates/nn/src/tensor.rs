@@ -29,6 +29,23 @@ impl Tensor {
         Tensor { rows, cols, data }
     }
 
+    /// Allocates the shape without zero-filling. Strictly for kernels that
+    /// overwrite every element before any read (the qgemm output path);
+    /// callers that might leave gaps must use [`Self::zeros`]. Skipping
+    /// the memset matters because inference allocates a fresh output per
+    /// Linear call on the serve hot path.
+    pub fn uninit(rows: usize, cols: usize) -> Self {
+        let len = rows * cols;
+        let mut data = Vec::with_capacity(len);
+        // SAFETY: f32 has no invalid bit patterns, and the contract above
+        // requires every element to be overwritten before it is read.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            data.set_len(len);
+        }
+        Tensor { rows, cols, data }
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {

@@ -90,6 +90,15 @@ impl ScoreCache {
         }
     }
 
+    /// Snapshot of every cached entry as `(key, score_bits)`, sorted by
+    /// key — for equivalence suites comparing two caches' full contents
+    /// bitwise (e.g. pipelined vs barrier execution).
+    pub fn entries(&self) -> Vec<((u64, u32, u64, u64), u32)> {
+        let mut v: Vec<_> = self.map.iter().map(|(&k, &s)| (k, s.to_bits())).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Number of cached entries across all stages.
     pub fn len(&self) -> usize {
         self.map.len()

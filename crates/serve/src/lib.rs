@@ -29,6 +29,6 @@ pub mod stage;
 pub mod store;
 
 pub use cache::ScoreCache;
-pub use pipeline::{ServeConfig, ServePipeline, ServeReport, StageReport};
+pub use pipeline::{Executor, ServeConfig, ServePipeline, ServeReport, StageReport};
 pub use stage::{approx_tokens, FrozenSlm, Stage};
 pub use store::RecordStore;

@@ -1,7 +1,7 @@
 //! Cascade stages: a fitted matcher plus its gating margin and price.
 
-use em_core::{EmError, EvalBatch, LodoSplit, Matcher, Result, SerializedPair};
-use em_lm::{encode_pair, predict_proba, EncoderClassifier, HashTokenizer};
+use em_core::{run_chunks, EmError, EvalBatch, LodoSplit, Matcher, Result, SerializedPair};
+use em_lm::{encode_pair, Batch, Encoded, EncoderClassifier, HashTokenizer, InferencePrecision};
 
 /// One stage of the matcher cascade.
 ///
@@ -45,6 +45,21 @@ impl Stage {
         self.usd_per_1k_tokens = usd_per_1k_tokens;
         self
     }
+
+    /// Tokens to bill for the batch the stage's matcher just scored.
+    ///
+    /// Local tiers that know their real consumption (a [`FrozenSlm`]
+    /// knows its encoded lengths) report it through
+    /// [`Matcher::exact_billed_tokens`]; everything else falls back to
+    /// the serialized-bytes/4 approximation. The exact path stops the
+    /// bill counting bytes the encoder truncated away — a padded or
+    /// over-long pair bills what the model actually consumed.
+    pub fn bill_exact_tokens(&self, batch: &EvalBatch) -> u64 {
+        match self.matcher.exact_billed_tokens() {
+            Some(exact) if exact.len() == batch.len() => exact.iter().sum(),
+            _ => batch.serialized.iter().map(approx_tokens).sum(),
+        }
+    }
 }
 
 /// Approximate token count of a serialized pair (the ~4 bytes/token rule
@@ -53,15 +68,39 @@ pub fn approx_tokens(pair: &SerializedPair) -> u64 {
     (pair.len_bytes() as u64 / 4).max(1)
 }
 
+/// Pairs encoded per parallel work item on the serve tokenization path.
+const ENCODE_CHUNK: usize = 256;
+
 /// A pre-trained encoder classifier served frozen — the cascade's
 /// fine-tuned-SLM tier. Unlike `em_matchers::Ditto`, which trains inside
 /// `fit` for the LODO protocol, this wrapper takes finished weights: the
 /// serving system loads a model, it doesn't grow one.
+///
+/// Scoring runs the full inference fast path:
+///
+/// - **parallel tokenization** — pairs are encoded in
+///   [`ENCODE_CHUNK`]-sized chunks over the shared threadpool;
+/// - **length-bucketed collation** — indices are stable-sorted by
+///   encoded (valid) length, chunked into model batches, and each bucket
+///   is pad-to-batch-max collated, so short pairs never pay a long
+///   pair's padding; scores are scattered back to input order;
+/// - **optional int8 GEMMs** — [`Self::with_precision`] wires
+///   `em_nn::qgemm` into every Linear (guarded by the qgemm flip-rate /
+///   drift gates; `Full` restores f32 bits).
+///
+/// Every step is per-sequence independent (per-row activation
+/// quantization, masked attention, masked mean pooling, exact i32
+/// accumulation), so bucketing and batch composition never change a
+/// pair's score bits — the scattered result is bitwise-identical to
+/// scoring in input order, which `tests/` pin.
 pub struct FrozenSlm {
     name: String,
     model: EncoderClassifier,
     tokenizer: HashTokenizer,
     batch_size: usize,
+    /// Valid encoded length per pair of the most recent scoring call —
+    /// the tokens the model actually consumed, for exact billing.
+    last_exact_tokens: Vec<u64>,
 }
 
 impl FrozenSlm {
@@ -72,7 +111,77 @@ impl FrozenSlm {
             model,
             tokenizer,
             batch_size: 64,
+            last_exact_tokens: Vec::new(),
         }
+    }
+
+    /// Switches the inference GEMM precision (`Int8` quantizes every
+    /// Linear; `Full` restores the original f32 bits).
+    pub fn with_precision(mut self, precision: InferencePrecision) -> Self {
+        self.model.set_inference_precision(precision);
+        self
+    }
+
+    /// Sets the model batch size (sequences per forward call, which is
+    /// also the length-bucket width). Must be positive.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The one scoring path both [`Matcher::predict`] and
+    /// [`Matcher::predict_scores`] route through, so the ≥0.5 decision
+    /// can never diverge from the score surface.
+    fn scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        self.last_exact_tokens.clear();
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let max_seq = self.model.config.max_seq;
+
+        // Tokenize in parallel chunks; chunk-order merge keeps input order.
+        let tok = &self.tokenizer;
+        let chunks: Vec<&[SerializedPair]> = batch.serialized.chunks(ENCODE_CHUNK).collect();
+        let encoded: Vec<Encoded> = run_chunks(&chunks, |chunk| {
+            chunk
+                .iter()
+                .map(|p| encode_pair(tok, p, max_seq))
+                .collect::<Vec<_>>()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Valid (unpadded) length per pair: what the model consumes and
+        // what the stage bills. Floor 1 to match the collation floor.
+        let valid: Vec<usize> = encoded
+            .iter()
+            .map(|e| e.mask.iter().rposition(|&m| m).map_or(1, |p| p + 1))
+            .collect();
+        self.last_exact_tokens = valid.iter().map(|&v| v as u64).collect();
+
+        // Length buckets: stable sort of indices keeps equal-length pairs
+        // in input order, so the bucket assignment is deterministic.
+        let mut order: Vec<usize> = (0..encoded.len()).collect();
+        order.sort_by_key(|&i| valid[i]);
+
+        let mut scores = vec![0.0f32; encoded.len()];
+        let mut pad_saved = 0usize;
+        let mut model_batch = Batch::empty();
+        for bucket in order.chunks(self.batch_size) {
+            model_batch.collate_indices_into(&encoded, bucket);
+            pad_saved += model_batch.padded_tokens_saved(max_seq);
+            let logits = self.model.forward(&model_batch);
+            if logits.len() != bucket.len() {
+                return Err(EmError::Numeric("SLM score batch size mismatch".into()));
+            }
+            for (&p, logit) in bucket.iter().zip(logits) {
+                scores[p] = em_nn::sigmoid_f32(logit);
+            }
+        }
+        em_obs::metrics::counter("serve.bucket_pad_saved").add(pad_saved as u64);
+        Ok(scores)
     }
 }
 
@@ -91,27 +200,15 @@ impl Matcher for FrozenSlm {
     }
 
     fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
-        Ok(self
-            .predict_scores(batch)?
-            .into_iter()
-            .map(|s| s >= 0.5)
-            .collect())
+        Ok(self.scores(batch)?.into_iter().map(|s| s >= 0.5).collect())
     }
 
     fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
-        if batch.is_empty() {
-            return Ok(Vec::new());
-        }
-        let encoded: Vec<_> = batch
-            .serialized
-            .iter()
-            .map(|p| encode_pair(&self.tokenizer, p, self.model.config.max_seq))
-            .collect();
-        let scores = predict_proba(&self.model, &encoded, self.batch_size);
-        if scores.len() != batch.len() {
-            return Err(EmError::Numeric("SLM score batch size mismatch".into()));
-        }
-        Ok(scores)
+        self.scores(batch)
+    }
+
+    fn exact_billed_tokens(&self) -> Option<Vec<u64>> {
+        Some(self.last_exact_tokens.clone())
     }
 }
 

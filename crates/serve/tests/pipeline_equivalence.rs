@@ -1,0 +1,487 @@
+//! Pipelined ≡ barrier equivalence: the micro-batch executor must
+//! reproduce the barrier executor bit for bit — final scores, matches,
+//! stage reports (everything except wall-clock seconds), cache contents
+//! (including bounded-FIFO eviction survivors), and bills — at any
+//! thread cap and any micro-batch size, across healthy runs, deep-stage
+//! failures, and fatal stage-0 failures.
+
+use em_blocking::{full_cross_product, Blocker, CandidatePair};
+use em_core::{AttrValue, EmError, EvalBatch, LodoSplit, Matcher, Record, Result};
+use em_lm::{EncoderClassifier, HashTokenizer, InferencePrecision, ModelConfig};
+use em_matchers::StringSim;
+use em_nn::threadpool;
+use em_serve::{
+    Executor, FrozenSlm, RecordStore, ServeConfig, ServePipeline, ServeReport, Stage,
+};
+use proptest::prelude::*;
+
+/// Pairs everything with everything (tiny-test blocker).
+struct All;
+
+impl Blocker for All {
+    fn candidates_indexed(
+        &self,
+        left: &em_blocking::RelationIndex,
+        right: &em_blocking::RelationIndex,
+    ) -> Vec<CandidatePair> {
+        (0..left.len())
+            .flat_map(|i| (0..right.len()).map(move |j| (i, j)))
+            .collect()
+    }
+
+    fn candidates(&self, left: &[Record], right: &[Record]) -> Vec<CandidatePair> {
+        full_cross_product(left, right)
+    }
+}
+
+/// Deterministic pair-level score: an FNV-style hash of both serialized
+/// sides plus a per-stage salt, mapped into [0, 1]. Batch-composition
+/// independent by construction, so any executor schedule must reproduce
+/// it exactly.
+fn hash_score(left: &str, right: &str, salt: u64) -> f32 {
+    let mut h = salt ^ 0xcbf2_9ce4_8422_2325;
+    for b in left.bytes().chain([0u8]).chain(right.bytes()) {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    ((h >> 40) as f64 / (1u64 << 24) as f64) as f32
+}
+
+struct HashScore {
+    salt: u64,
+}
+
+impl Matcher for HashScore {
+    fn name(&self) -> String {
+        format!("HashScore[{}]", self.salt)
+    }
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+    fn predict(&mut self, batch: &EvalBatch) -> Result<Vec<bool>> {
+        Ok(self
+            .predict_scores(batch)?
+            .into_iter()
+            .map(|s| s >= 0.5)
+            .collect())
+    }
+    fn predict_scores(&mut self, batch: &EvalBatch) -> Result<Vec<f32>> {
+        Ok(batch
+            .serialized
+            .iter()
+            .map(|p| hash_score(&p.left, &p.right, self.salt))
+            .collect())
+    }
+}
+
+/// Always errors (a dead backend with no internal fallback).
+struct Dead;
+
+impl Matcher for Dead {
+    fn name(&self) -> String {
+        "Dead".into()
+    }
+    fn fit(&mut self, _split: &LodoSplit<'_>, _seed: u64) -> Result<()> {
+        Ok(())
+    }
+    fn predict(&mut self, _batch: &EvalBatch) -> Result<Vec<bool>> {
+        Err(EmError::Numeric("backend unreachable".into()))
+    }
+    fn predict_scores(&mut self, _batch: &EvalBatch) -> Result<Vec<f32>> {
+        Err(EmError::Numeric("backend unreachable".into()))
+    }
+}
+
+fn store(side: &str, n: usize, id_base: u64) -> RecordStore {
+    RecordStore::new(
+        (0..n)
+            .map(|i| {
+                Record::new(
+                    id_base + i as u64,
+                    vec![AttrValue::from(format!("{side} record {i}"))],
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Margins/salts/prices for a cascade of hash matchers.
+fn hash_stages(margins: &[f64]) -> Vec<Stage> {
+    margins
+        .iter()
+        .enumerate()
+        .map(|(k, &m)| {
+            Stage::new(format!("h{k}"), Box::new(HashScore { salt: k as u64 + 1 }))
+                .with_margin(m)
+                .priced(0.001 * (k as f64 + 1.0))
+        })
+        .collect()
+}
+
+struct Outcome {
+    report: ServeReport,
+    cache: Vec<((u64, u32, u64, u64), u32)>,
+    evictions: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with(
+    executor: Executor,
+    micro_batch: usize,
+    batch_size: usize,
+    threads: Option<usize>,
+    stages: Vec<Stage>,
+    cache_cap: Option<usize>,
+    left: &RecordStore,
+    right: &RecordStore,
+) -> Result<Outcome> {
+    threadpool::set_max_threads(threads);
+    let mut pipe = ServePipeline::new(Box::new(All), stages)
+        .unwrap()
+        .with_config(ServeConfig {
+            batch_size,
+            micro_batch,
+            executor,
+        });
+    if let Some(c) = cache_cap {
+        pipe = pipe.with_cache_capacity(c);
+    }
+    let res = pipe.run(left, right);
+    threadpool::set_max_threads(None);
+    res.map(|report| Outcome {
+        report,
+        cache: pipe.cache().entries(),
+        evictions: pipe.cache().evictions(),
+    })
+}
+
+/// Full bitwise equivalence minus per-stage `seconds` (the one documented
+/// difference: the pipelined executor reports busy time, not wall time).
+fn assert_equivalent(want: &Outcome, got: &Outcome, label: &str) {
+    assert_eq!(want.report.candidates, got.report.candidates, "{label}");
+    assert_eq!(want.report.pairs, got.report.pairs, "{label}");
+    assert_eq!(
+        want.report.scores.len(),
+        got.report.scores.len(),
+        "{label}"
+    );
+    for (i, (a, b)) in want.report.scores.iter().zip(&got.report.scores).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: score {i} diverged");
+    }
+    assert_eq!(want.report.matches, got.report.matches, "{label}");
+    assert_eq!(
+        want.report.stages.len(),
+        got.report.stages.len(),
+        "{label}: stage report count"
+    );
+    for (a, b) in want.report.stages.iter().zip(&got.report.stages) {
+        assert_eq!(a.name, b.name, "{label}");
+        assert_eq!(a.pairs_in, b.pairs_in, "{label} {}: pairs_in", a.name);
+        assert_eq!(a.scored, b.scored, "{label} {}: scored", a.name);
+        assert_eq!(a.cache_hits, b.cache_hits, "{label} {}: cache_hits", a.name);
+        assert_eq!(a.escalated, b.escalated, "{label} {}: escalated", a.name);
+        assert_eq!(a.errored, b.errored, "{label} {}: errored", a.name);
+        assert_eq!(a.degraded, b.degraded, "{label} {}: degraded", a.name);
+        assert_eq!(a.tokens, b.tokens, "{label} {}: tokens", a.name);
+        assert_eq!(
+            a.bill.usd_total().to_bits(),
+            b.bill.usd_total().to_bits(),
+            "{label} {}: bill",
+            a.name
+        );
+    }
+    assert_eq!(want.cache, got.cache, "{label}: cache contents diverged");
+    assert_eq!(want.evictions, got.evictions, "{label}: eviction counts");
+}
+
+#[test]
+fn pipelined_matches_barrier_across_micro_sizes_and_threads() {
+    let left = store("left", 24, 0);
+    let right = store("right", 9, 1000);
+    let margins = [0.7, 0.4, 0.0];
+    let whole = 24 * 9;
+
+    let barrier = run_with(
+        Executor::Barrier,
+        whole,
+        16,
+        Some(1),
+        hash_stages(&margins),
+        None,
+        &left,
+        &right,
+    )
+    .unwrap();
+    assert!(
+        barrier.report.stages.len() == 3 && barrier.report.stages[2].pairs_in > 0,
+        "workload must exercise the full cascade"
+    );
+
+    for micro in [1usize, 7, 64, whole] {
+        for cap in [1usize, 2, 8] {
+            let piped = run_with(
+                Executor::Pipelined,
+                micro,
+                16,
+                Some(cap),
+                hash_stages(&margins),
+                None,
+                &left,
+                &right,
+            )
+            .unwrap();
+            assert_equivalent(&piped, &barrier, &format!("micro {micro} cap {cap}"));
+        }
+    }
+}
+
+#[test]
+fn warm_pipelined_run_answers_entirely_from_cache() {
+    let left = store("left", 12, 0);
+    let right = store("right", 6, 500);
+    threadpool::set_max_threads(Some(2));
+    let mut pipe = ServePipeline::new(Box::new(All), hash_stages(&[0.6, 0.0]))
+        .unwrap()
+        .with_config(ServeConfig {
+            batch_size: 8,
+            micro_batch: 7,
+            executor: Executor::Pipelined,
+        });
+    let cold = pipe.run(&left, &right).unwrap();
+    let warm = pipe.run(&left, &right).unwrap();
+    threadpool::set_max_threads(None);
+    for s in &warm.stages {
+        assert_eq!(s.scored, 0, "warm {}: matcher was invoked", s.name);
+        assert_eq!(s.cache_hits, s.pairs_in, "warm {}: cache misses", s.name);
+        assert_eq!(s.tokens, 0, "warm {}: cache hits billed", s.name);
+    }
+    for (a, b) in cold.scores.iter().zip(&warm.scores) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(cold.matches, warm.matches);
+}
+
+#[test]
+fn bounded_cache_fifo_eviction_order_is_identical() {
+    // 24 pairs × 2 stages through a capacity-10 cache: far more
+    // insertions than capacity, so which entries survive depends on the
+    // exact FIFO insertion sequence — the sharpest probe of the
+    // pipelined merge's canonical ordering.
+    let left = store("left", 6, 0);
+    let right = store("right", 4, 100);
+    let barrier = run_with(
+        Executor::Barrier,
+        24,
+        5,
+        Some(1),
+        hash_stages(&[0.9, 0.0]),
+        Some(10),
+        &left,
+        &right,
+    )
+    .unwrap();
+    assert!(barrier.evictions > 0, "workload must actually evict");
+    for micro in [1usize, 5, 24] {
+        let piped = run_with(
+            Executor::Pipelined,
+            micro,
+            5,
+            Some(2),
+            hash_stages(&[0.9, 0.0]),
+            Some(10),
+            &left,
+            &right,
+        )
+        .unwrap();
+        assert_equivalent(&piped, &barrier, &format!("bounded micro {micro}"));
+    }
+}
+
+#[test]
+fn deep_stage_failure_parity() {
+    // Stage 1 is dead: both executors must flag it, keep stage-0 scores,
+    // truncate the report list at the errored stage, and leave identical
+    // cache contents (the pipelined executor discards any deeper work
+    // that overlapped with the failure).
+    let left = store("left", 10, 0);
+    let right = store("right", 5, 200);
+    let stages = || {
+        vec![
+            Stage::new("h0", Box::new(HashScore { salt: 1 })).with_margin(0.8),
+            Stage::new("dead", Box::new(Dead)).with_margin(0.5),
+            Stage::new("h2", Box::new(HashScore { salt: 3 })),
+        ]
+    };
+    let barrier = run_with(
+        Executor::Barrier,
+        50,
+        8,
+        Some(1),
+        stages(),
+        None,
+        &left,
+        &right,
+    )
+    .unwrap();
+    assert_eq!(barrier.report.stages.len(), 2);
+    assert!(barrier.report.stages[1].errored);
+    for micro in [1usize, 7, 50] {
+        let piped = run_with(
+            Executor::Pipelined,
+            micro,
+            8,
+            Some(2),
+            stages(),
+            None,
+            &left,
+            &right,
+        )
+        .unwrap();
+        assert_equivalent(&piped, &barrier, &format!("dead stage, micro {micro}"));
+    }
+}
+
+#[test]
+fn stage0_failure_is_fatal_in_both_executors() {
+    let left = store("left", 4, 0);
+    let right = store("right", 3, 50);
+    for executor in [Executor::Barrier, Executor::Pipelined] {
+        let res = run_with(
+            executor,
+            2,
+            4,
+            Some(2),
+            vec![Stage::new("dead", Box::new(Dead))],
+            None,
+            &left,
+            &right,
+        );
+        assert!(res.is_err(), "{executor:?}: stage-0 death must abort");
+    }
+}
+
+#[test]
+fn empty_escalation_truncates_reports_identically() {
+    // Margin 0 at stage 0: nothing escalates, so stage 1 must produce no
+    // report under either executor.
+    let left = store("left", 8, 0);
+    let right = store("right", 4, 300);
+    let barrier = run_with(
+        Executor::Barrier,
+        32,
+        8,
+        Some(1),
+        hash_stages(&[0.0, 0.5]),
+        None,
+        &left,
+        &right,
+    )
+    .unwrap();
+    assert_eq!(barrier.report.stages.len(), 1);
+    let piped = run_with(
+        Executor::Pipelined,
+        3,
+        8,
+        Some(2),
+        hash_stages(&[0.0, 0.5]),
+        None,
+        &left,
+        &right,
+    )
+    .unwrap();
+    assert_equivalent(&piped, &barrier, "empty escalation");
+}
+
+#[test]
+fn slm_stage_pipelined_matches_barrier_in_both_precisions() {
+    // A real FrozenSlm tier (untrained tiny weights are deterministic)
+    // behind a StringSim gate: the executors must agree bitwise on the
+    // model's scores too — in f32 and on the int8 fast path.
+    let cfg = ModelConfig {
+        vocab: 512,
+        d_model: 16,
+        n_layers: 1,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 32,
+        dropout: 0.0,
+        claimed_params_millions: 0.1,
+    };
+    let tokenizer = HashTokenizer::new(cfg.vocab);
+    let model = EncoderClassifier::new(cfg, 3);
+    let left = store("gadget alpha", 20, 0);
+    let right = store("gadget beta", 10, 400);
+    for precision in [InferencePrecision::Full, InferencePrecision::Int8] {
+        let stages = || {
+            vec![
+                Stage::new("strsim", Box::new(StringSim::new())).with_margin(0.95),
+                Stage::new(
+                    "slm",
+                    Box::new(
+                        FrozenSlm::new("slm-16d", model.clone(), tokenizer.clone())
+                            .with_precision(precision),
+                    ),
+                )
+                .priced(0.002),
+            ]
+        };
+        let barrier = run_with(
+            Executor::Barrier,
+            200,
+            16,
+            Some(1),
+            stages(),
+            None,
+            &left,
+            &right,
+        )
+        .unwrap();
+        assert!(
+            barrier.report.stages[1].scored > 0,
+            "{precision:?}: the SLM stage must score something"
+        );
+        for cap in [2usize, 8] {
+            let piped = run_with(
+                Executor::Pipelined,
+                13,
+                16,
+                Some(cap),
+                stages(),
+                None,
+                &left,
+                &right,
+            )
+            .unwrap();
+            assert_equivalent(&piped, &barrier, &format!("slm {precision:?} cap {cap}"));
+        }
+    }
+}
+
+proptest! {
+    /// Randomized cascades: any relation shape, stage count, margin
+    /// vector, micro-batch size, and matcher batch size — pipelined at
+    /// 2 threads must equal barrier at 1 thread bit for bit.
+    #[test]
+    fn randomized_pipelined_equals_barrier(
+        n_left in 1usize..30,
+        n_right in 1usize..10,
+        n_stages in 1usize..=3,
+        raw_margins in proptest::collection::vec(0.0f64..1.0, 3),
+        micro_sel in 0usize..4,
+        batch_sel in 0usize..2,
+    ) {
+        let margins = &raw_margins[..n_stages];
+        let micro = [1usize, 7, 64, 10_000][micro_sel];
+        let batch_size = [3usize, 512][batch_sel];
+        let left = store("left", n_left, 0);
+        let right = store("right", n_right, 10_000);
+        let barrier = run_with(
+            Executor::Barrier, micro, batch_size, Some(1),
+            hash_stages(margins), None, &left, &right,
+        ).unwrap();
+        let piped = run_with(
+            Executor::Pipelined, micro, batch_size, Some(2),
+            hash_stages(margins), None, &left, &right,
+        ).unwrap();
+        assert_equivalent(&piped, &barrier, "proptest case");
+    }
+}

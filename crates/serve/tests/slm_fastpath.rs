@@ -1,0 +1,201 @@
+//! FrozenSlm inference fast-path regressions: the shared scoring path
+//! behind `predict`/`predict_scores`, bitwise invariance of
+//! length-bucketed collation (any batch composition ≡ scoring one pair
+//! at a time), thread-count invariance of the parallel tokenizer, and
+//! exact-token billing (the stage bills encoded lengths, not a bytes/4
+//! guess over text the encoder truncated away).
+
+use em_core::{EvalBatch, Matcher, SerializedPair};
+use em_lm::{encode_pair, EncoderClassifier, HashTokenizer, InferencePrecision, ModelConfig};
+use em_matchers::StringSim;
+use em_nn::threadpool;
+use em_serve::{approx_tokens, FrozenSlm, Stage};
+
+fn tiny_config() -> ModelConfig {
+    ModelConfig {
+        vocab: 512,
+        d_model: 16,
+        n_layers: 1,
+        n_heads: 2,
+        ff_mult: 2,
+        max_seq: 32,
+        dropout: 0.0,
+        claimed_params_millions: 0.1,
+    }
+}
+
+fn slm(precision: InferencePrecision, batch_size: usize) -> FrozenSlm {
+    let cfg = tiny_config();
+    FrozenSlm::new(
+        "slm-test",
+        EncoderClassifier::new(cfg.clone(), 7),
+        HashTokenizer::new(cfg.vocab),
+    )
+    .with_precision(precision)
+    .with_batch_size(batch_size)
+}
+
+/// A batch with widely varied serialized lengths so the length buckets
+/// are non-trivial (short pairs really do land in different model
+/// batches than long ones).
+fn varied_batch(n: usize) -> EvalBatch {
+    let serialized = (0..n)
+        .map(|i| {
+            let left = format!("widget {} {}", i, "alpha ".repeat(i % 11));
+            let right = format!("gadget {} {}", i * 7 % 13, "beta ".repeat((i * 3) % 9));
+            SerializedPair {
+                left: left.into(),
+                right: right.into(),
+            }
+        })
+        .collect();
+    EvalBatch {
+        serialized,
+        raw: vec![],
+        attr_types: vec![],
+    }
+}
+
+fn singleton(pair: &SerializedPair) -> EvalBatch {
+    EvalBatch {
+        serialized: vec![pair.clone()],
+        raw: vec![],
+        attr_types: vec![],
+    }
+}
+
+#[test]
+fn predict_is_scores_thresholded_bitwise() {
+    let batch = varied_batch(37);
+    let mut m = slm(InferencePrecision::Full, 8);
+    let scores = m.predict_scores(&batch).unwrap();
+    let preds = m.predict(&batch).unwrap();
+    assert_eq!(preds.len(), scores.len());
+    for (p, s) in preds.iter().zip(&scores) {
+        assert_eq!(*p, *s >= 0.5, "decision diverged from score surface");
+    }
+}
+
+#[test]
+fn bucketed_batch_scoring_matches_per_pair_scoring() {
+    // Scoring the whole batch through length buckets must scatter back
+    // bitwise-identical scores to scoring each pair alone — for both
+    // precisions. This pins pad-to-batch-max collation, the stable
+    // length sort, and the scatter in one assertion.
+    let batch = varied_batch(41);
+    for precision in [InferencePrecision::Full, InferencePrecision::Int8] {
+        let mut bucketed = slm(precision, 8);
+        let got = bucketed.predict_scores(&batch).unwrap();
+        let mut solo = slm(precision, 8);
+        for (i, pair) in batch.serialized.iter().enumerate() {
+            let alone = solo.predict_scores(&singleton(pair)).unwrap();
+            assert_eq!(
+                got[i].to_bits(),
+                alone[0].to_bits(),
+                "{precision:?}: pair {i} scored differently in a bucket than alone"
+            );
+        }
+    }
+}
+
+#[test]
+fn scores_are_thread_count_invariant() {
+    // The parallel chunked tokenizer merges in chunk order, so the
+    // thread cap must never change a single score bit.
+    let batch = varied_batch(53);
+    threadpool::set_max_threads(Some(1));
+    let oracle = slm(InferencePrecision::Full, 16).predict_scores(&batch).unwrap();
+    for cap in [2usize, 8] {
+        threadpool::set_max_threads(Some(cap));
+        let got = slm(InferencePrecision::Full, 16).predict_scores(&batch).unwrap();
+        for (i, (a, b)) in oracle.iter().zip(&got).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "cap {cap}: score {i} diverged");
+        }
+    }
+    threadpool::set_max_threads(None);
+}
+
+#[test]
+fn exact_tokens_are_encoded_valid_lengths() {
+    let batch = varied_batch(23);
+    let cfg = tiny_config();
+    let tokenizer = HashTokenizer::new(cfg.vocab);
+    let mut m = slm(InferencePrecision::Full, 8);
+    m.predict_scores(&batch).unwrap();
+    let exact = m.exact_billed_tokens().expect("FrozenSlm must report exact tokens");
+    assert_eq!(exact.len(), batch.len());
+    for (i, pair) in batch.serialized.iter().enumerate() {
+        let enc = encode_pair(&tokenizer, pair, cfg.max_seq);
+        let valid = enc.mask.iter().rposition(|&m| m).map_or(1, |p| p + 1) as u64;
+        assert_eq!(exact[i], valid, "pair {i}: billed tokens ≠ encoded length");
+    }
+}
+
+#[test]
+fn truncated_pairs_bill_less_than_the_byte_approximation() {
+    // A pair far longer than max_seq: the bytes/4 approximation would
+    // bill hundreds of tokens the encoder never consumed; the exact path
+    // caps at max_seq.
+    let long = SerializedPair {
+        left: "industrial vacuum pump stainless ".repeat(30).into(),
+        right: "heavy duty compressor unit model ".repeat(30).into(),
+    };
+    let batch = EvalBatch {
+        serialized: vec![long.clone()],
+        raw: vec![],
+        attr_types: vec![],
+    };
+    let mut m = slm(InferencePrecision::Full, 8);
+    m.predict_scores(&batch).unwrap();
+    let exact = m.exact_billed_tokens().unwrap()[0];
+    assert!(exact <= tiny_config().max_seq as u64);
+    assert!(
+        exact < approx_tokens(&long),
+        "exact billing ({exact}) should undercut the byte approximation \
+         ({}) on truncated text",
+        approx_tokens(&long)
+    );
+}
+
+#[test]
+fn stage_bills_exact_for_slm_and_approx_otherwise() {
+    let batch = varied_batch(11);
+    let approx_total: u64 = batch.serialized.iter().map(approx_tokens).sum();
+
+    // SLM stage: score, then bill — must equal the sum of encoded lengths.
+    let mut slm_stage = Stage::new("slm", Box::new(slm(InferencePrecision::Full, 8)));
+    slm_stage.matcher.predict_scores(&batch).unwrap();
+    let exact_total: u64 = slm_stage
+        .matcher
+        .exact_billed_tokens()
+        .unwrap()
+        .iter()
+        .sum();
+    assert_eq!(slm_stage.bill_exact_tokens(&batch), exact_total);
+
+    // A matcher with no exact accounting falls back to bytes/4.
+    let mut sim_stage = Stage::new("sim", Box::new(StringSim::new()));
+    sim_stage.matcher.predict_scores(&batch).unwrap();
+    assert!(sim_stage.matcher.exact_billed_tokens().is_none());
+    assert_eq!(sim_stage.bill_exact_tokens(&batch), approx_total);
+
+    // Stale accounting (different batch size than billed) also falls back.
+    let mut stale = Stage::new("slm2", Box::new(slm(InferencePrecision::Full, 8)));
+    stale.matcher.predict_scores(&singleton(&batch.serialized[0])).unwrap();
+    assert_eq!(stale.bill_exact_tokens(&batch), approx_total);
+}
+
+#[test]
+fn int8_flip_rate_is_tiny_on_frozen_weights() {
+    // The serving-side sanity check behind the bench's smoke assert:
+    // int8 inference may flip only a sliver of borderline decisions.
+    let batch = varied_batch(97);
+    let full = slm(InferencePrecision::Full, 16).predict(&batch).unwrap();
+    let int8 = slm(InferencePrecision::Int8, 16).predict(&batch).unwrap();
+    let flips = full.iter().zip(&int8).filter(|(a, b)| a != b).count();
+    assert!(
+        (flips as f64) / (batch.len() as f64) < 0.05,
+        "int8 flipped {flips}/{} decisions",
+        batch.len()
+    );
+}

@@ -75,10 +75,18 @@ echo "zoo bench smoke: wrote $zoo_bench"
 # re-runs the reference-vs-indexed bitwise asserts on 2k×2k, the serve
 # one pushes 2k×2k through the full blocking → StringSim → SLM →
 # hosted-LLM cascade with the cost-vs-baseline, warm-cache and
-# blocking-reuse asserts live.
+# blocking-reuse asserts live. The serve-inference fast-path gates ride
+# here too: the SLM fast-path suite (bucketed collation ≡ per-pair
+# scoring bitwise in f32 and int8, thread parity, exact-token billing)
+# and the executor-equivalence suite (pipelined micro-batch schedule ≡
+# barrier schedule bitwise — scores, reports, cache contents, FIFO
+# evictions, bills — across micro-batch sizes, thread caps, and
+# dead-stage failures, plus a 128-case randomized property).
 cargo test -q -p em-blocking --test blocker_properties
 cargo test -q -p em-blocking --test parallel_equivalence
 cargo test -q -p em-serve --test cascade_invariants
+cargo test -q -p em-serve --test slm_fastpath
+cargo test -q -p em-serve --test pipeline_equivalence
 block_bench="$PWD/target/tier1-bench-blocking.json"
 ./target/release/bench_blocking "$block_bench" --smoke
 test -s "$block_bench" || { echo "blocking bench smoke failed: $block_bench is empty"; exit 1; }
@@ -113,3 +121,8 @@ drift_smoke="$PWD/target/tier1-drift.json"
 ./target/release/drift_serve "$drift_smoke" --smoke
 test -s "$drift_smoke" || { echo "drift drill smoke failed: $drift_smoke is empty"; exit 1; }
 echo "drift drill smoke: wrote $drift_smoke"
+
+# Benchmark trajectory: regenerate the BENCH_TRAJECTORY.md roll-up from
+# the checked-in BENCH_*.json files so the cross-PR perf table never
+# drifts from the numbers it summarizes.
+./scripts/bench_trajectory.sh
